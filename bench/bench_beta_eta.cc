@@ -1,0 +1,56 @@
+// Experiments E3/E4 (paper §5): the three array normalization rules save
+// time and space by avoiding (re)tabulation.
+//
+//   BetaP/n     vs  BetaPUnopt/n   — [[f(i) | i<n]][k]: beta^p computes one
+//                                    element instead of materializing n
+//   EtaP/n      vs  EtaPUnopt/n    — [[A[i] | i<len A]]: eta^p returns A
+//                                    instead of copying it
+//   DeltaP/n    vs  DeltaPUnopt/n  — len([[f(i) | i<n]]): delta^p skips the
+//                                    tabulation entirely
+// Shape: the optimized series are O(1) in n, the unoptimized O(n).
+
+#include "bench_util.h"
+
+namespace aql {
+namespace bench {
+namespace {
+
+void RunBoth(benchmark::State& state, const std::string& query, bool optimized,
+             size_t n) {
+  System* sys = optimized ? SharedSystem() : SharedUnoptimizedSystem();
+  (void)sys->DefineVal("N", Value::Nat(n));
+  (void)sys->DefineVal("A", NatVector(RandomNats(n, 1000)));
+  ExprPtr q = MustCompile(sys, state, query);
+  for (auto _ : state) benchmark::DoNotOptimize(MustEval(sys, state, q));
+  state.SetComplexityN(n);
+}
+
+const char* kBetaP = "(fn \\n => [[ i * i + 1 | \\i < n ]][n / 2])!N";
+void BM_BetaP(benchmark::State& state) { RunBoth(state, kBetaP, true, state.range(0)); }
+void BM_BetaPUnopt(benchmark::State& state) {
+  RunBoth(state, kBetaP, false, state.range(0));
+}
+BENCHMARK(BM_BetaP)->RangeMultiplier(4)->Range(256, 65536)->Complexity();
+BENCHMARK(BM_BetaPUnopt)->RangeMultiplier(4)->Range(256, 65536)->Complexity();
+
+const char* kEtaP = "[[ A[i] | \\i < len!A ]]";
+void BM_EtaP(benchmark::State& state) { RunBoth(state, kEtaP, true, state.range(0)); }
+void BM_EtaPUnopt(benchmark::State& state) {
+  RunBoth(state, kEtaP, false, state.range(0));
+}
+BENCHMARK(BM_EtaP)->RangeMultiplier(4)->Range(256, 65536)->Complexity();
+BENCHMARK(BM_EtaPUnopt)->RangeMultiplier(4)->Range(256, 65536)->Complexity();
+
+const char* kDeltaP = "(fn \\n => len![[ i * i | \\i < n ]])!N";
+void BM_DeltaP(benchmark::State& state) { RunBoth(state, kDeltaP, true, state.range(0)); }
+void BM_DeltaPUnopt(benchmark::State& state) {
+  RunBoth(state, kDeltaP, false, state.range(0));
+}
+BENCHMARK(BM_DeltaP)->RangeMultiplier(4)->Range(256, 65536)->Complexity();
+BENCHMARK(BM_DeltaPUnopt)->RangeMultiplier(4)->Range(256, 65536)->Complexity();
+
+}  // namespace
+}  // namespace bench
+}  // namespace aql
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Ablation for the code-motion phase (§5 "later phases include ... code
+// motion"; design decision called out in DESIGN.md).
+//
+// Series:
+//   InvariantHoisted/n   — [[ i + Sum(gen m) | i < n ]] with code motion:
+//                          O(n + m)
+//   InvariantInLoop/n    — same query, phase disabled: O(n * m)
+//   HistFast/n           — hist' with the phase on (grouping runs once)
+//   HistFastNoMotion/n   — hist' with the phase off: the beta inlining
+//                          policy already keeps the grouping let-bound, so
+//                          these two should track each other — a guard
+//                          that neither mechanism regresses
+
+#include "bench_util.h"
+
+namespace aql {
+namespace bench {
+namespace {
+
+System* NoMotionSystem() {
+  static System* sys = [] {
+    SystemConfig cfg;
+    cfg.optimizer.enable_code_motion = false;
+    return new System(cfg);
+  }();
+  return sys;
+}
+
+constexpr const char* kInvariant =
+    "[[ i + summap(fn \\j => j)!(gen!512) | \\i < N ]]";
+
+void BM_InvariantHoisted(benchmark::State& state) {
+  System* sys = SharedSystem();
+  (void)sys->DefineVal("N", Value::Nat(state.range(0)));
+  ExprPtr q = MustCompile(sys, state, kInvariant);
+  for (auto _ : state) benchmark::DoNotOptimize(MustEval(sys, state, q));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_InvariantHoisted)->RangeMultiplier(4)->Range(16, 4096)->Complexity();
+
+void BM_InvariantInLoop(benchmark::State& state) {
+  System* sys = NoMotionSystem();
+  (void)sys->DefineVal("N", Value::Nat(state.range(0)));
+  ExprPtr q = MustCompile(sys, state, kInvariant);
+  for (auto _ : state) benchmark::DoNotOptimize(MustEval(sys, state, q));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_InvariantInLoop)->RangeMultiplier(4)->Range(16, 4096)->Complexity();
+
+void BM_HistFastMotion(benchmark::State& state) {
+  System* sys = SharedSystem();
+  (void)sys->DefineVal("H", NatVector(RandomNats(state.range(0), 128)));
+  ExprPtr q = MustCompile(sys, state, "hist_fast!H");
+  for (auto _ : state) benchmark::DoNotOptimize(MustEval(sys, state, q));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HistFastMotion)->RangeMultiplier(4)->Range(128, 8192)->Complexity();
+
+void BM_HistFastNoMotion(benchmark::State& state) {
+  System* sys = NoMotionSystem();
+  (void)sys->DefineVal("H", NatVector(RandomNats(state.range(0), 128)));
+  ExprPtr q = MustCompile(sys, state, "hist_fast!H");
+  for (auto _ : state) benchmark::DoNotOptimize(MustEval(sys, state, q));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HistFastNoMotion)->RangeMultiplier(4)->Range(128, 8192)->Complexity();
+
+}  // namespace
+}  // namespace bench
+}  // namespace aql
+
+BENCHMARK_MAIN();

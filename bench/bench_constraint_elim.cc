@@ -1,0 +1,93 @@
+// Experiment E7 (paper §5): many redundant constraint checks introduced
+// by beta^p can be eliminated by the four rewrite rules; Proposition 5.1
+// says not all can (bound checking is undecidable).
+//
+// Series:
+//   GuardedGather/n        — gather query whose beta^p guards are all
+//                            redundant; full optimizer deletes them
+//   GuardedGatherNoCE/n    — same query with the constraint-elimination
+//                            phase disabled: every element pays the check
+//   ResidualCheckKept/n    — a query whose check is NOT redundant (the
+//                            evenpos stride): both configurations keep it
+// Shape: with CE the guarded and unguarded gathers converge; without CE
+// there is a constant per-element tax.
+
+#include "bench_util.h"
+
+namespace aql {
+namespace bench {
+namespace {
+
+System* NoCeSystem() {
+  static System* sys = [] {
+    SystemConfig cfg;
+    cfg.optimizer.enable_constraint_elimination = false;
+    return new System(cfg);
+  }();
+  return sys;
+}
+
+// A[i] under [[ . | i < len A ]]: the beta^p guard i < len A is redundant.
+constexpr const char* kGather = "[[ [[ A[j] * 2 | \\j < len!A ]][i] + 1 | \\i < len!A ]]";
+
+void BM_GuardedGather(benchmark::State& state) {
+  System* sys = SharedSystem();
+  (void)sys->DefineVal("A", NatVector(RandomNats(state.range(0), 100)));
+  ExprPtr q = MustCompile(sys, state, kGather);
+  for (auto _ : state) benchmark::DoNotOptimize(MustEval(sys, state, q));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GuardedGather)->RangeMultiplier(4)->Range(256, 16384)->Complexity();
+
+void BM_GuardedGatherNoCE(benchmark::State& state) {
+  System* sys = NoCeSystem();
+  (void)sys->DefineVal("A", NatVector(RandomNats(state.range(0), 100)));
+  ExprPtr q = MustCompile(sys, state, kGather);
+  for (auto _ : state) benchmark::DoNotOptimize(MustEval(sys, state, q));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GuardedGatherNoCE)->RangeMultiplier(4)->Range(256, 16384)->Complexity();
+
+// evenpos's stride-2 access: the check i*2 < len A is genuinely dynamic.
+void BM_ResidualCheckKept(benchmark::State& state) {
+  System* sys = SharedSystem();
+  (void)sys->DefineVal("A", NatVector(RandomNats(state.range(0), 100)));
+  ExprPtr q = MustCompile(sys, state, "evenpos!(maparr!(fn \\x => x + 1, A))");
+  for (auto _ : state) benchmark::DoNotOptimize(MustEval(sys, state, q));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ResidualCheckKept)->RangeMultiplier(4)->Range(256, 16384)->Complexity();
+
+// Static census: how many checks does each phase configuration leave?
+void BM_ResidualCheckCount(benchmark::State& state) {
+  System* with_ce = SharedSystem();
+  System* without_ce = NoCeSystem();
+  (void)with_ce->DefineVal("A", NatVector(RandomNats(64, 100)));
+  (void)without_ce->DefineVal("A", NatVector(RandomNats(64, 100)));
+  size_t kept_with = 0, kept_without = 0;
+  for (auto _ : state) {
+    auto a = with_ce->Compile(kGather);
+    auto b = without_ce->Compile(kGather);
+    if (!a.ok() || !b.ok()) {
+      state.SkipWithError("compile failed");
+      return;
+    }
+    std::function<size_t(const ExprPtr&)> count_ifs = [&](const ExprPtr& e) -> size_t {
+      size_t n = e->is(ExprKind::kIf) ? 1 : 0;
+      for (const ExprPtr& c : e->children()) n += count_ifs(c);
+      return n;
+    };
+    kept_with = count_ifs(*a);
+    kept_without = count_ifs(*b);
+    benchmark::DoNotOptimize(kept_with + kept_without);
+  }
+  state.counters["checks_with_ce"] = double(kept_with);
+  state.counters["checks_without_ce"] = double(kept_without);
+}
+BENCHMARK(BM_ResidualCheckCount);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aql
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Backend comparison: tree-walking evaluator (name-resolved environments)
+// vs the compiled slot-based backend (src/exec). The "code generator"
+// payoff the paper alludes to in §3: primitives and variables resolved at
+// plan time rather than per evaluation.
+//
+// Series, for representative workloads:
+//   *_Tree/n      — Evaluator (src/eval)
+//   *_Compiled/n  — exec::Program (src/exec)
+
+#include "bench_util.h"
+#include "exec/compiled.h"
+
+namespace aql {
+namespace bench {
+namespace {
+
+void RunBackends(benchmark::State& state, const std::string& query, bool compiled,
+                 std::function<void(System*)> setup = nullptr) {
+  System* sys = SharedSystem();
+  if (setup) setup(sys);
+  ExprPtr q = MustCompile(sys, state, query);
+  if (!q) return;
+  if (compiled) {
+    // Program compiled once, run per iteration.
+    auto program = exec::Compile(q, sys->PrimitiveResolver());
+    if (!program.ok()) {
+      state.SkipWithError(program.status().ToString().c_str());
+      return;
+    }
+    for (auto _ : state) {
+      auto r = program->Run();
+      if (!r.ok()) {
+        state.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(r);
+    }
+  } else {
+    for (auto _ : state) benchmark::DoNotOptimize(MustEval(sys, state, q));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void SetupData(System* sys, size_t n) {
+  (void)sys->DefineVal("A", NatVector(RandomNats(n, 1000, 1)));
+  (void)sys->DefineVal("B", NatVector(RandomNats(n, 1000, 2)));
+}
+
+void BM_ComprehensionTree(benchmark::State& state) {
+  RunBackends(state, "summap(fn \\x => x % 7)!(gen!" + std::to_string(state.range(0)) + ")",
+              false);
+}
+void BM_ComprehensionCompiled(benchmark::State& state) {
+  RunBackends(state, "summap(fn \\x => x % 7)!(gen!" + std::to_string(state.range(0)) + ")",
+              true);
+}
+BENCHMARK(BM_ComprehensionTree)->RangeMultiplier(4)->Range(256, 16384)->Complexity();
+BENCHMARK(BM_ComprehensionCompiled)->RangeMultiplier(4)->Range(256, 16384)->Complexity();
+
+void BM_ZipMapTree(benchmark::State& state) {
+  RunBackends(state, "maparr!(fn (\\x, \\y) => x + y, zip!(A, B))", false,
+              [&](System* s) { SetupData(s, state.range(0)); });
+}
+void BM_ZipMapCompiled(benchmark::State& state) {
+  RunBackends(state, "maparr!(fn (\\x, \\y) => x + y, zip!(A, B))", true,
+              [&](System* s) { SetupData(s, state.range(0)); });
+}
+BENCHMARK(BM_ZipMapTree)->RangeMultiplier(4)->Range(256, 16384)->Complexity();
+BENCHMARK(BM_ZipMapCompiled)->RangeMultiplier(4)->Range(256, 16384)->Complexity();
+
+void BM_HistFastTree(benchmark::State& state) {
+  RunBackends(state, "hist_fast!A", false,
+              [&](System* s) { SetupData(s, state.range(0)); });
+}
+void BM_HistFastCompiled(benchmark::State& state) {
+  RunBackends(state, "hist_fast!A", true,
+              [&](System* s) { SetupData(s, state.range(0)); });
+}
+BENCHMARK(BM_HistFastTree)->RangeMultiplier(4)->Range(256, 16384)->Complexity();
+BENCHMARK(BM_HistFastCompiled)->RangeMultiplier(4)->Range(256, 16384)->Complexity();
+
+// One-off compilation cost of the backend itself.
+void BM_BackendCompileCost(benchmark::State& state) {
+  System* sys = SharedSystem();
+  SetupData(sys, 64);
+  ExprPtr q = MustCompile(sys, state, "maparr!(fn (\\x, \\y) => x + y, zip!(A, B))");
+  for (auto _ : state) {
+    auto program = exec::Compile(q, nullptr);
+    benchmark::DoNotOptimize(program);
+  }
+}
+BENCHMARK(BM_BackendCompileCost);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aql
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Experiment E5 (paper §1, §5): after normalization,
+// zip(subseq(A,i,j), subseq(B,i,j)) and subseq(zip(A,B),i,j) "get reduced
+// to the same query" — so BOTH run at the fused speed, while without the
+// optimizer the plans differ (the zip-first plan materializes a
+// full-length intermediate).
+//
+// Series (window of 64 elements out of n):
+//   SubseqThenZip / ZipThenSubseq            — optimized: both O(window)
+//   SubseqThenZipUnopt / ZipThenSubseqUnopt  — unoptimized: zip-first pays
+//                                              O(n) for the intermediate
+// The crossover the paper implies: optimized plans are insensitive to
+// operation order; the unoptimized gap grows with n / window.
+
+#include "bench_util.h"
+
+namespace aql {
+namespace bench {
+namespace {
+
+constexpr const char* kSubseqThenZip =
+    "zip!(subseq!(A, 10, 73), subseq!(B, 10, 73))";
+constexpr const char* kZipThenSubseq = "subseq!(zip!(A, B), 10, 73)";
+
+void Run(benchmark::State& state, const char* query, bool optimized) {
+  System* sys = optimized ? SharedSystem() : SharedUnoptimizedSystem();
+  size_t n = state.range(0);
+  (void)sys->DefineVal("A", NatVector(RandomNats(n, 1000, 1)));
+  (void)sys->DefineVal("B", NatVector(RandomNats(n, 1000, 2)));
+  ExprPtr q = MustCompile(sys, state, query);
+  for (auto _ : state) benchmark::DoNotOptimize(MustEval(sys, state, q));
+  state.SetComplexityN(n);
+}
+
+void BM_SubseqThenZip(benchmark::State& state) { Run(state, kSubseqThenZip, true); }
+void BM_ZipThenSubseq(benchmark::State& state) { Run(state, kZipThenSubseq, true); }
+void BM_SubseqThenZipUnopt(benchmark::State& state) {
+  Run(state, kSubseqThenZip, false);
+}
+void BM_ZipThenSubseqUnopt(benchmark::State& state) {
+  Run(state, kZipThenSubseq, false);
+}
+BENCHMARK(BM_SubseqThenZip)->RangeMultiplier(4)->Range(256, 65536)->Complexity();
+BENCHMARK(BM_ZipThenSubseq)->RangeMultiplier(4)->Range(256, 65536)->Complexity();
+BENCHMARK(BM_SubseqThenZipUnopt)->RangeMultiplier(4)->Range(256, 65536)->Complexity();
+BENCHMARK(BM_ZipThenSubseqUnopt)->RangeMultiplier(4)->Range(256, 65536)->Complexity();
+
+// Deep map pipelines: k chained maparr fuse into one loop.
+void BM_MapPipelineFused(benchmark::State& state) {
+  System* sys = SharedSystem();
+  (void)sys->DefineVal("A", NatVector(RandomNats(4096, 1000)));
+  std::string q = "A";
+  for (int i = 0; i < state.range(0); ++i) q = "maparr!(fn \\x => x + 1, " + q + ")";
+  ExprPtr compiled = MustCompile(sys, state, q);
+  for (auto _ : state) benchmark::DoNotOptimize(MustEval(sys, state, compiled));
+}
+void BM_MapPipelineUnopt(benchmark::State& state) {
+  System* sys = SharedUnoptimizedSystem();
+  (void)sys->DefineVal("A", NatVector(RandomNats(4096, 1000)));
+  std::string q = "A";
+  for (int i = 0; i < state.range(0); ++i) q = "maparr!(fn \\x => x + 1, " + q + ")";
+  ExprPtr compiled = MustCompile(sys, state, q);
+  for (auto _ : state) benchmark::DoNotOptimize(MustEval(sys, state, compiled));
+}
+BENCHMARK(BM_MapPipelineFused)->DenseRange(1, 5);
+BENCHMARK(BM_MapPipelineUnopt)->DenseRange(1, 5);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aql
+
+BENCHMARK_MAIN();

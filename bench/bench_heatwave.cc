@@ -1,0 +1,100 @@
+// Experiment E9 (paper §1): the motivating heat-wave query, end to end,
+// on synthetic weather data with the paper's mismatched grids.
+//
+// Series:
+//   Heatwave/days       — the full optimized query as days grow
+//   HeatwaveUnopt/days  — without the optimizer (normalization usually
+//                         buys a constant factor here; the pipeline is
+//                         dominated by zip_3 over the month)
+//   HeatwavePieces      — the regridding steps in isolation
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "netcdf/synth.h"
+
+namespace aql {
+namespace bench {
+namespace {
+
+constexpr const char* kQuery =
+    "{d | \\d <- gen!NDAYS,"
+    "     \\WS' == evenpos!(proj_col!(WS, 0)),"
+    "     \\TRW == zip_3!(T, RH, WS'),"
+    "     \\A == subseq!(TRW, d*24, d*24 + 23),"
+    "     heatindex!A > threshold}";
+
+void SetupWeather(System* sys, uint64_t days) {
+  netcdf::SynthWeatherOptions opts;
+  opts.days = days;
+  uint64_t hours = days * 24;
+  std::vector<Value> t, rh, ws;
+  for (uint64_t h = 0; h < hours; ++h) {
+    t.push_back(Value::Real(netcdf::SynthTemperature(opts, 151 * 24 + h, 0, 0)));
+    rh.push_back(Value::Real(netcdf::SynthHumidity(opts, 151 * 24 + h, 0, 0)));
+  }
+  for (uint64_t tick = 0; tick < days * 48; ++tick) {
+    for (uint64_t alt = 0; alt < 3; ++alt) {
+      ws.push_back(Value::Real(netcdf::SynthWind(opts, tick, alt, 0, 0)));
+    }
+  }
+  (void)sys->DefineVal("T", Value::MakeVector(std::move(t)));
+  (void)sys->DefineVal("RH", Value::MakeVector(std::move(rh)));
+  (void)sys->DefineVal("WS", *Value::MakeArray({days * 48, 3}, std::move(ws)));
+  (void)sys->DefineVal("NDAYS", Value::Nat(days));
+  (void)sys->DefineVal("threshold", Value::Real(88.0));
+  // Idempotent: re-registration returns AlreadyExists, which is fine.
+  (void)sys->RegisterPrimitive(
+      "heatindex", "[[real * real * real]]_1 -> real",
+      [](const Value& arg) -> Result<Value> {
+        double peak = -1e30;
+        for (const Value& v : arg.array().elems) {
+          const auto& f = v.tuple_fields();
+          peak = std::max(peak, f[0].real_value() + 0.05 * f[1].real_value() -
+                                    0.4 * f[2].real_value());
+        }
+        return Value::Real(peak);
+      });
+}
+
+void BM_Heatwave(benchmark::State& state) {
+  System* sys = SharedSystem();
+  SetupWeather(sys, state.range(0));
+  ExprPtr q = MustCompile(sys, state, kQuery);
+  for (auto _ : state) benchmark::DoNotOptimize(MustEval(sys, state, q));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Heatwave)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+void BM_HeatwaveUnopt(benchmark::State& state) {
+  System* sys = SharedUnoptimizedSystem();
+  SetupWeather(sys, state.range(0));
+  ExprPtr q = MustCompile(sys, state, kQuery);
+  for (auto _ : state) benchmark::DoNotOptimize(MustEval(sys, state, q));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HeatwaveUnopt)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+void BM_HeatwaveRegridOnly(benchmark::State& state) {
+  System* sys = SharedSystem();
+  SetupWeather(sys, state.range(0));
+  ExprPtr q = MustCompile(sys, state, "evenpos!(proj_col!(WS, 0))");
+  for (auto _ : state) benchmark::DoNotOptimize(MustEval(sys, state, q));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HeatwaveRegridOnly)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+void BM_HeatwaveZipOnly(benchmark::State& state) {
+  System* sys = SharedSystem();
+  SetupWeather(sys, state.range(0));
+  ExprPtr q = MustCompile(sys, state, "zip_3!(T, RH, evenpos!(proj_col!(WS, 0)))");
+  for (auto _ : state) benchmark::DoNotOptimize(MustEval(sys, state, q));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HeatwaveZipOnly)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+}  // namespace
+}  // namespace bench
+}  // namespace aql
+
+BENCHMARK_MAIN();

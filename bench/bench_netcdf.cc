@@ -1,0 +1,112 @@
+// Experiment E12 (paper §4.1): the NetCDF driver. Subslab read cost vs
+// slab size, header decode cost, the readval path into complex objects,
+// and write throughput — the "I/O module" of Figure 3.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_util.h"
+#include "io/drivers.h"
+#include "netcdf/reader.h"
+#include "netcdf/synth.h"
+
+namespace aql {
+namespace bench {
+namespace {
+
+// One shared 90-day 4x4 hourly temperature file.
+const std::string& TestFile() {
+  static const std::string* path = [] {
+    auto p = new std::string(
+        (std::filesystem::temp_directory_path() / "aql_bench.nc").string());
+    netcdf::SynthWeatherOptions opts;
+    opts.days = 90;
+    auto r = netcdf::WriteTempFile(*p, opts);
+    if (!r.ok()) std::abort();
+    return p;
+  }();
+  return *path;
+}
+
+void BM_HeaderDecode(benchmark::State& state) {
+  auto reader = netcdf::NcReader::OpenFile(TestFile());
+  if (!reader.ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto r = netcdf::NcReader::OpenFile(TestFile());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_HeaderDecode);
+
+void BM_SlabRead(benchmark::State& state) {
+  auto reader = netcdf::NcReader::OpenFile(TestFile());
+  if (!reader.ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  int var = reader->header().FindVar("temp");
+  uint64_t hours = state.range(0);
+  for (auto _ : state) {
+    auto slab = reader->ReadSlab(var, {0, 0, 0}, {hours, 4, 4});
+    benchmark::DoNotOptimize(slab);
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * hours * 16 * 4);
+  state.SetComplexityN(hours);
+}
+BENCHMARK(BM_SlabRead)->RangeMultiplier(4)->Range(24, 1536)->Complexity();
+
+void BM_ReadvalIntoComplexObject(benchmark::State& state) {
+  auto reader_fn = MakeNetcdfReader(3);
+  uint64_t hours = state.range(0);
+  Value args = Value::MakeTuple(
+      {Value::Str(TestFile()), Value::Str("temp"),
+       Value::MakeTuple({Value::Nat(0), Value::Nat(0), Value::Nat(0)}),
+       Value::MakeTuple({Value::Nat(hours - 1), Value::Nat(3), Value::Nat(3)})});
+  for (auto _ : state) benchmark::DoNotOptimize(reader_fn(args));
+  state.SetComplexityN(hours);
+}
+BENCHMARK(BM_ReadvalIntoComplexObject)->RangeMultiplier(4)->Range(24, 1536)->Complexity();
+
+void BM_QueryOverNetcdfData(benchmark::State& state) {
+  // The typical post-readval workload: a filter-aggregate over the slab.
+  System* sys = SharedSystem();
+  std::string program = "readval \\T using NETCDF3 at (\"" + TestFile() +
+                        "\", \"temp\", (0,0,0), (239,3,3));";
+  auto rd = sys->Run(program);
+  if (!rd.ok()) {
+    state.SkipWithError(rd.status().ToString().c_str());
+    return;
+  }
+  ExprPtr q = MustCompile(sys, state, "card!({h | [(\\h,_,_) : \\t] <- T, t > 70.0})");
+  for (auto _ : state) benchmark::DoNotOptimize(MustEval(sys, state, q));
+}
+BENCHMARK(BM_QueryOverNetcdfData);
+
+void BM_FileWrite(benchmark::State& state) {
+  netcdf::SynthWeatherOptions opts;
+  opts.days = state.range(0);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "aql_bench_write.nc").string();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto r = netcdf::WriteTempFile(path, opts);
+    if (!r.ok()) {
+      state.SkipWithError("write failed");
+      return;
+    }
+    bytes = *r;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * int64_t(bytes));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_FileWrite)->RangeMultiplier(4)->Range(2, 32);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aql
+
+BENCHMARK_MAIN();

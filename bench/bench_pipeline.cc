@@ -1,0 +1,116 @@
+// Experiment E11 (paper §4.1): cost of each stage of the query pipeline
+//   parse -> desugar -> resolve (macro substitution) -> typecheck
+//         -> optimize -> evaluate
+// on representative queries, plus end-to-end Run() including the REPL
+// bookkeeping. This is the "query module / object module" breakdown of
+// Figure 3.
+
+#include "bench_util.h"
+#include "surface/desugar.h"
+#include "surface/parser.h"
+
+namespace aql {
+namespace bench {
+namespace {
+
+const char* kRepresentative =
+    "{ (k, sumset!vs) | (\\k, \\vs) <- nest!({ (x % 8, x * x) | \\x <- gen!64 }) }";
+
+void BM_StageLex(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = ParseExpression(kRepresentative);
+    if (!r.ok()) state.SkipWithError("parse failed");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_StageLex);
+
+void BM_StageDesugar(benchmark::State& state) {
+  auto surf = ParseExpression(kRepresentative);
+  if (!surf.ok()) {
+    state.SkipWithError("parse failed");
+    return;
+  }
+  for (auto _ : state) {
+    Desugarer d;
+    benchmark::DoNotOptimize(d.Desugar(*surf));
+  }
+}
+BENCHMARK(BM_StageDesugar);
+
+void BM_StageResolve(benchmark::State& state) {
+  System* sys = SharedSystem();
+  auto core = sys->ParseToCore(kRepresentative);
+  if (!core.ok()) {
+    state.SkipWithError("desugar failed");
+    return;
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(sys->ResolveNames(*core));
+}
+BENCHMARK(BM_StageResolve);
+
+void BM_StageTypecheck(benchmark::State& state) {
+  System* sys = SharedSystem();
+  auto core = sys->ParseToCore(kRepresentative);
+  auto resolved = sys->ResolveNames(*core);
+  if (!resolved.ok()) {
+    state.SkipWithError("resolve failed");
+    return;
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(sys->TypeOf(*resolved));
+}
+BENCHMARK(BM_StageTypecheck);
+
+void BM_StageOptimize(benchmark::State& state) {
+  System* sys = SharedSystem();
+  auto resolved = sys->CompileUnoptimized(kRepresentative);
+  if (!resolved.ok()) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(sys->Optimize(*resolved));
+}
+BENCHMARK(BM_StageOptimize);
+
+void BM_StageEvaluate(benchmark::State& state) {
+  System* sys = SharedSystem();
+  auto compiled = sys->Compile(kRepresentative);
+  if (!compiled.ok()) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(sys->EvalCore(*compiled));
+}
+BENCHMARK(BM_StageEvaluate);
+
+void BM_EndToEndRun(benchmark::State& state) {
+  System* sys = SharedSystem();
+  std::string stmt = std::string(kRepresentative) + ";";
+  for (auto _ : state) benchmark::DoNotOptimize(sys->Run(stmt));
+}
+BENCHMARK(BM_EndToEndRun);
+
+// Session startup: prelude compilation (the cost of openness).
+void BM_SystemStartup(benchmark::State& state) {
+  for (auto _ : state) {
+    System sys;
+    benchmark::DoNotOptimize(sys.init_status());
+  }
+}
+BENCHMARK(BM_SystemStartup);
+
+void BM_SystemStartupNoPrelude(benchmark::State& state) {
+  for (auto _ : state) {
+    SystemConfig cfg;
+    cfg.load_prelude = false;
+    System sys(cfg);
+    benchmark::DoNotOptimize(sys.init_status());
+  }
+}
+BENCHMARK(BM_SystemStartupNoPrelude);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aql
+
+BENCHMARK_MAIN();

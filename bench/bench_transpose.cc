@@ -1,0 +1,71 @@
+// Experiment E6 (paper §5): the transpose rule
+//   transpose([[e | i<m, j<n]]) ~> [[e | j<n, i<m]]
+// is DERIVED from beta^p/delta^p/pi plus constraint elimination — no
+// transpose primitive needed. The win: the tabulated argument is never
+// materialized.
+//
+// Series (square m = n matrices):
+//   TransposeOfTab/n       — optimized: one fused tabulation
+//   TransposeOfTabUnopt/n  — materializes the inner matrix, then copies
+//   DoubleTranspose/n      — optimized: normalizes back to the original
+//                            tabulation (involution), so same as baseline
+//   DoubleTransposeUnopt/n — two full copies
+//   CompileTransposeDerivation — optimizer time for the derivation itself
+
+#include "bench_util.h"
+
+namespace aql {
+namespace bench {
+namespace {
+
+std::string TabQuery(const char* wrap, size_t n) {
+  std::string mat = "[[ i * " + std::to_string(n) + " + j | \\i < " + std::to_string(n) +
+                    ", \\j < " + std::to_string(n) + " ]]";
+  std::string q = wrap;
+  size_t pos;
+  while ((pos = q.find('#')) != std::string::npos) q.replace(pos, 1, mat);
+  return q;
+}
+
+void Run(benchmark::State& state, const char* wrap, bool optimized) {
+  System* sys = optimized ? SharedSystem() : SharedUnoptimizedSystem();
+  ExprPtr q = MustCompile(sys, state, TabQuery(wrap, state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(MustEval(sys, state, q));
+  state.SetComplexityN(state.range(0) * state.range(0));
+}
+
+void BM_TransposeOfTab(benchmark::State& state) { Run(state, "transpose!(#)", true); }
+void BM_TransposeOfTabUnopt(benchmark::State& state) {
+  Run(state, "transpose!(#)", false);
+}
+void BM_DoubleTranspose(benchmark::State& state) {
+  Run(state, "transpose!(transpose!(#))", true);
+}
+void BM_DoubleTransposeUnopt(benchmark::State& state) {
+  Run(state, "transpose!(transpose!(#))", false);
+}
+BENCHMARK(BM_TransposeOfTab)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+BENCHMARK(BM_TransposeOfTabUnopt)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+BENCHMARK(BM_DoubleTranspose)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+BENCHMARK(BM_DoubleTransposeUnopt)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+// How long does the §5 derivation itself take in the optimizer?
+void BM_CompileTransposeDerivation(benchmark::State& state) {
+  System* sys = SharedSystem();
+  auto resolved = sys->CompileUnoptimized(TabQuery("transpose!(#)", 64));
+  if (!resolved.ok()) {
+    state.SkipWithError(resolved.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    RewriteStats stats;
+    benchmark::DoNotOptimize(sys->Optimize(*resolved, &stats));
+  }
+}
+BENCHMARK(BM_CompileTransposeDerivation);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aql
+
+BENCHMARK_MAIN();

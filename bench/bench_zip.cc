@@ -1,0 +1,67 @@
+// Experiment E1 (paper §1): "we expect zip to take linear time in an
+// array query language, but in one without arrays it would ordinarily
+// take quadratic time (the time to do a cross product)."
+//
+// Series:
+//   ZipArrays/n   — zip!(A, B) on [[nat]]_1 values       (expected O(n))
+//   ZipViaSets/n  — the same zip on the graph encoding
+//                   {(i, a_i)} with a pattern join        (expected O(n^2))
+// The shape to look for: ZipViaSets' time per element grows linearly
+// with n while ZipArrays' stays flat.
+
+#include "bench_util.h"
+
+namespace aql {
+namespace bench {
+namespace {
+
+void SetupArrays(System* sys, size_t n) {
+  auto a = RandomNats(n, 1000, 1);
+  auto b = RandomNats(n, 1000, 2);
+  (void)sys->DefineVal("A", NatVector(a));
+  (void)sys->DefineVal("B", NatVector(b));
+  (void)sys->DefineVal("GA", NatVectorGraph(a));
+  (void)sys->DefineVal("GB", NatVectorGraph(b));
+}
+
+void BM_ZipArrays(benchmark::State& state) {
+  System* sys = SharedSystem();
+  SetupArrays(sys, state.range(0));
+  ExprPtr q = MustCompile(sys, state, "zip!(A, B)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MustEval(sys, state, q));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ZipArrays)->RangeMultiplier(2)->Range(256, 8192)->Complexity();
+
+void BM_ZipViaSets(benchmark::State& state) {
+  System* sys = SharedSystem();
+  SetupArrays(sys, state.range(0));
+  // Without arrays, aligning positions needs a join on the index — the
+  // cross-product shape of §1.
+  ExprPtr q = MustCompile(sys, state, "{ (i, (x, y)) | (\\i, \\x) <- GA, (i, \\y) <- GB }");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MustEval(sys, state, q));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ZipViaSets)->RangeMultiplier(2)->Range(256, 4096)->Complexity();
+
+void BM_Zip3Arrays(benchmark::State& state) {
+  System* sys = SharedSystem();
+  SetupArrays(sys, state.range(0));
+  (void)sys->DefineVal("C", NatVector(RandomNats(state.range(0), 1000, 3)));
+  ExprPtr q = MustCompile(sys, state, "zip_3!(A, B, C)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MustEval(sys, state, q));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Zip3Arrays)->RangeMultiplier(2)->Range(256, 8192)->Complexity();
+
+}  // namespace
+}  // namespace bench
+}  // namespace aql
+
+BENCHMARK_MAIN();

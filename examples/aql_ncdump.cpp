@@ -1,0 +1,51 @@
+// aql_ncdump — CDL dump of NetCDF classic files through the from-scratch
+// codec (the substrate's equivalent of Unidata's ncdump).
+//
+// Usage:
+//   aql_ncdump <file.nc> [max_elements]   dump header + truncated data
+//   aql_ncdump -h <file.nc>               header only
+//   aql_ncdump --demo                     generate and dump a sample file
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "netcdf/dump.h"
+#include "netcdf/synth.h"
+
+int main(int argc, char** argv) {
+  aql::netcdf::DumpOptions options;
+  std::string path;
+
+  if (argc >= 2 && std::strcmp(argv[1], "--demo") == 0) {
+    path = (std::filesystem::temp_directory_path() / "aql_ncdump_demo.nc").string();
+    aql::netcdf::SynthWeatherOptions synth;
+    synth.days = 2;
+    synth.lats = 2;
+    synth.lons = 2;
+    auto written = aql::netcdf::WriteTempFile(path, synth);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.status().ToString().c_str());
+      return 1;
+    }
+    options.max_elements_per_variable = 16;
+  } else if (argc >= 3 && std::strcmp(argv[1], "-h") == 0) {
+    path = argv[2];
+    options.include_data = false;
+  } else if (argc >= 2) {
+    path = argv[1];
+    if (argc >= 3) options.max_elements_per_variable = std::stoul(argv[2]);
+  } else {
+    std::fprintf(stderr, "usage: %s [-h] <file.nc> [max_elements] | --demo\n", argv[0]);
+    return 2;
+  }
+
+  auto cdl = aql::netcdf::DumpCdlFile(path, options);
+  if (!cdl.ok()) {
+    std::fprintf(stderr, "error: %s\n", cdl.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(cdl->c_str(), stdout);
+  return 0;
+}

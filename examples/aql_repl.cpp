@@ -1,0 +1,116 @@
+// aql_repl — the AQL read-eval-print loop (paper §4).
+//
+// Usage:
+//   aql_repl                 interactive session
+//   aql_repl file.aql ...    execute script files, then exit
+//
+// Statements end with ';' and may span lines:
+//   : val \xs = [[1, 2, 3]];
+//   : { x * x | [_ : \x] <- xs };
+//   typ it : {nat}
+//   val it = {1, 4, 9}
+// Commands: :quit, :help, :plan <expr>  (show the optimized core term).
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "env/system.h"
+
+namespace {
+
+void RunProgram(aql::System* sys, const std::string& program) {
+  auto results = sys->Run(program);
+  if (!results.ok()) {
+    std::printf("error: %s\n", results.status().ToString().c_str());
+    return;
+  }
+  for (const auto& r : *results) std::printf("%s\n", r.ToDisplayString(16).c_str());
+}
+
+void ShowPlan(aql::System* sys, const std::string& expr) {
+  auto report = sys->Explain(expr);
+  if (!report.ok()) {
+    std::printf("error: %s\n", report.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", report->c_str());
+}
+
+int RunFiles(aql::System* sys, int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    RunProgram(sys, buf.str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aql::System sys;
+  if (!sys.init_status().ok()) {
+    std::fprintf(stderr, "init error: %s\n", sys.init_status().ToString().c_str());
+    return 1;
+  }
+  if (argc > 1) return RunFiles(&sys, argc, argv);
+
+  std::printf("AQL — a query language for multidimensional arrays\n");
+  std::printf("(Libkin, Machlin & Wong, SIGMOD 1996). :help for help.\n");
+  std::string pending;
+  std::string line;
+  while (true) {
+    std::printf("%s", pending.empty() ? ": " : ":: ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (pending.empty()) {
+      if (line == ":quit" || line == ":q") break;
+      if (line == ":help") {
+        std::printf(
+            "statements end with ';'. Forms:\n"
+            "  <expr>;                          evaluate a query (binds 'it')\n"
+            "  val \\x = <expr>;                 bind a value\n"
+            "  macro \\f = <expr>;               define a macro\n"
+            "  readval \\x using READER at <e>;  read external data\n"
+            "  writeval <e> using WRITER at <e>; write external data\n"
+            "  :plan <expr>                     show the optimized plan\n"
+            "  :load <file.aql>                 run a script file\n"
+            "  :quit                            leave\n");
+        continue;
+      }
+      if (line.rfind(":plan ", 0) == 0) {
+        ShowPlan(&sys, line.substr(6));
+        continue;
+      }
+      if (line.rfind(":load ", 0) == 0) {
+        std::string path = line.substr(6);
+        std::ifstream in(path);
+        if (!in) {
+          std::printf("cannot open %s\n", path.c_str());
+        } else {
+          std::stringstream buf;
+          buf << in.rdbuf();
+          RunProgram(&sys, buf.str());
+        }
+        continue;
+      }
+    }
+    pending += line;
+    pending += "\n";
+    // Execute once the statement is ';'-terminated (ignoring whitespace).
+    size_t last = pending.find_last_not_of(" \t\n");
+    if (last != std::string::npos && pending[last] == ';') {
+      RunProgram(&sys, pending);
+      pending.clear();
+    }
+  }
+  return 0;
+}

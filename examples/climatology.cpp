@@ -1,0 +1,77 @@
+// Climatology: a realistic scientific-workflow example on top of the
+// whole stack. Reads a year of synthetic hourly temperatures from NetCDF,
+// computes daily means, a 7-day running climatology, day-over-day
+// anomalies, and the heat-spike days — then writes the daily means BACK
+// as a NetCDF file via writeval. This is the §1 thesis in miniature:
+// extraction and reshaping in the query language, heavy numerics (here
+// none are needed) in registered primitives.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "env/system.h"
+#include "netcdf/synth.h"
+
+using aql::Status;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  namespace fs = std::filesystem;
+  std::string in_path = (fs::temp_directory_path() / "climatology_in.nc").string();
+  std::string out_path = (fs::temp_directory_path() / "climatology_daily.nc").string();
+
+  aql::netcdf::SynthWeatherOptions opts;
+  opts.days = 365;
+  opts.lats = 1;
+  opts.lons = 1;
+  if (auto w = aql::netcdf::WriteTempFile(in_path, opts); !w.ok()) {
+    return Fail(w.status());
+  }
+
+  aql::System sys;
+  if (!sys.init_status().ok()) return Fail(sys.init_status());
+
+  std::string program =
+      // Pull the whole year at the site and flatten to a 1-d hourly series.
+      "readval \\Traw using NETCDF3 at (\"" + in_path +
+      "\", \"temp\", (0, 0, 0), (8759, 0, 0));\n"
+      "val \\T = [[ Traw[(h, 0, 0)] | \\h < 8760 ]];\n"
+      // Daily means: 24-hour windows, stride 24 (window_sum + everynth).
+      "val \\daily = everynth!(smooth!(T, 24), 24);\n"
+      "len!daily;\n"
+      // 7-day running climatology over the daily series.
+      "val \\weekly = smooth!(daily, 7);\n"
+      // Day-over-day anomaly: |today - yesterday| summed, as a variability
+      // score per month (30-day chunks).
+      "val \\variability =\n"
+      "  [[ summap(fn \\d => max2!(daily[m*30+d+1] - daily[m*30+d],\n"
+      "                            daily[m*30+d] - daily[m*30+d+1]))!(gen!29)\n"
+      "     | \\m < 12 ]];\n"
+      "variability;\n"
+      // Heat spikes: days at least 1.25 degrees over the weekly climatology.
+      "{ d | [\\d : \\t] <- daily, d < len!weekly, t > weekly[d] + 1.25 };\n"
+      // Annual extremes.
+      "(arrmin!daily, arrmax!daily, argmax!daily);\n"
+      // Persist the daily means as a fresh NetCDF file.
+      "writeval daily using NETCDF at (\"" + out_path + "\", \"daily_mean\");\n"
+      // And prove the round trip.
+      "readval \\back using NETCDF1 at (\"" + out_path + "\", \"daily_mean\", 0, 9);\n"
+      "back;\n";
+
+  auto results = sys.Run(program);
+  if (!results.ok()) return Fail(results.status());
+  for (const auto& r : *results) {
+    std::printf("%s\n\n", r.ToDisplayString(12).c_str());
+  }
+
+  std::printf("wrote daily means to %s\n", out_path.c_str());
+  return 0;
+}

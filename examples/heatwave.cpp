@@ -1,0 +1,108 @@
+// The paper's motivating example (§1), full stack:
+//
+//   "On which days last June was it unbearably hot in NYC?"
+//
+// This example goes through the whole system: it synthesizes NetCDF files
+// with the paper's mismatched grids (hourly T/RH; half-hourly, multi-
+// altitude WS), reads June subslabs through the NETCDF drivers, registers
+// the heatindex external primitive, and runs the §1 query verbatim.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "env/system.h"
+#include "netcdf/synth.h"
+
+using aql::Result;
+using aql::Status;
+using aql::Value;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<Value> HeatIndex(const Value& arg) {
+  // Peak discomfort over the day's 24 (temp, rh, ws) readings.
+  double peak = -1e30;
+  for (const Value& v : arg.array().elems) {
+    const auto& f = v.tuple_fields();
+    peak = std::max(peak,
+                    f[0].real_value() + 0.05 * f[1].real_value() - 0.4 * f[2].real_value());
+  }
+  return Value::Real(peak);
+}
+
+}  // namespace
+
+int main() {
+  namespace fs = std::filesystem;
+  std::string dir = fs::temp_directory_path().string();
+  std::string temp_nc = dir + "/heatwave_temp.nc";
+  std::string rh_nc = dir + "/heatwave_rh.nc";
+  std::string ws_nc = dir + "/heatwave_wind.nc";
+
+  // 1. Synthesize a full year of weather (the DESIGN.md substitution for
+  //    the paper's proprietary NYC observations).
+  aql::netcdf::SynthWeatherOptions opts;
+  opts.days = 365;
+  opts.lats = 1;
+  opts.lons = 1;
+  opts.alts = 3;
+  for (auto [path, writer] :
+       {std::pair{&temp_nc, &aql::netcdf::WriteTempFile},
+        std::pair{&rh_nc, &aql::netcdf::WriteHumidityFile},
+        std::pair{&ws_nc, &aql::netcdf::WriteWindFile}}) {
+    auto written = writer(*path, opts);
+    if (!written.ok()) return Fail(written.status());
+    std::printf("wrote %s (%zu bytes)\n", path->c_str(), *written);
+  }
+
+  aql::System sys;
+  if (!sys.init_status().ok()) return Fail(sys.init_status());
+  Status reg = sys.RegisterPrimitive("heatindex", "[[real * real * real]]_1 -> real",
+                                     HeatIndex);
+  if (!reg.ok()) return Fail(reg);
+
+  // 2. Read the June slabs. June 1 is day 151 (0-based) of a non-leap
+  //    year: hourly series 720 long, half-hourly 1440.
+  std::string program =
+      "val \\june0 = 151 * 24;\n"
+      "readval \\T using NETCDF3 at (\"" + temp_nc +
+      "\", \"temp\", (june0, 0, 0), (june0 + 719, 0, 0));\n"
+      "readval \\RHraw using NETCDF3 at (\"" + rh_nc +
+      "\", \"rh\", (june0, 0, 0), (june0 + 719, 0, 0));\n"
+      "readval \\WSraw using NETCDF4 at (\"" + ws_nc +
+      "\", \"ws\", (151 * 48, 0, 0, 0), (151 * 48 + 1439, 2, 0, 0));\n";
+  auto rd = sys.Run(program);
+  if (!rd.ok()) return Fail(rd.status());
+  for (const auto& r : *rd) std::printf("%s\n", r.ToDisplayString(3).c_str());
+
+  // 3. Flatten the singleton lat/lon axes: T, RH to 1-d; WS to 2-d
+  //    (time2 x altitude), exactly the shapes §1 assumes.
+  auto shaped = sys.Run(
+      "val \\T1 = [[ T[(h, 0, 0)] | \\h < 720 ]];\n"
+      "val \\RH = [[ RHraw[(h, 0, 0)] | \\h < 720 ]];\n"
+      "val \\WS = [[ WSraw[(t, a, 0, 0)] | \\t < 1440, \\a < 3 ]];\n");
+  if (!shaped.ok()) return Fail(shaped.status());
+
+  // 4. The §1 query, for a few thresholds.
+  for (double threshold : {88.0, 90.0, 92.0}) {
+    if (Status s = sys.DefineVal("threshold", Value::Real(threshold)); !s.ok()) {
+      return Fail(s);
+    }
+    auto days = sys.Eval(
+        "{d | \\d <- gen!30,"
+        "     \\WS' == evenpos!(proj_col!(WS, 0)),"
+        "     \\TRW == zip_3!(T1, RH, WS'),"
+        "     \\A == subseq!(TRW, d*24, d*24 + 23),"
+        "     heatindex!A > threshold}");
+    if (!days.ok()) return Fail(days.status());
+    std::printf("unbearably hot days in June (threshold %.0f): %s\n", threshold,
+                days->ToString().c_str());
+  }
+  return 0;
+}

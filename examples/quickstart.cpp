@@ -1,0 +1,71 @@
+// Quickstart: embedding AQL in a C++ program.
+//
+// Shows the minimal surface of the public API: build a System, run
+// queries, bind values and macros, register an external primitive, and
+// inspect inferred types — the two "views" of §4 from the host side.
+
+#include <cstdio>
+
+#include "env/system.h"
+
+using aql::Result;
+using aql::Status;
+using aql::Value;
+
+namespace {
+
+// Prints one statement result REPL-style.
+void Show(const aql::StatementResult& r) {
+  std::printf("%s\n", r.ToDisplayString(10).c_str());
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  aql::System sys;
+  if (!sys.init_status().ok()) return Fail(sys.init_status());
+
+  // 1. Plain queries: comprehensions, arrays, aggregates.
+  auto r1 = sys.Run(
+      "{ x * x | \\x <- gen!6, x % 2 = 0 };\n"
+      "[[ i * 10 + j | \\i < 2, \\j < 3 ]];\n"
+      "summap(fn \\x => x)!(gen!101);\n");
+  if (!r1.ok()) return Fail(r1.status());
+  for (const auto& r : *r1) Show(r);
+
+  // 2. Values and macros persist across Run calls ('val' / 'macro').
+  auto r2 = sys.Run(
+      "val \\prices = [[19, 5, 12, 8, 30]];\n"
+      "macro \\discounted = fn \\p => maparr!(fn \\x => x - x / 10, p);\n"
+      "discounted!prices;\n"
+      "setmax!(rng!(discounted!prices));\n");
+  if (!r2.ok()) return Fail(r2.status());
+  for (const auto& r : *r2) Show(r);
+
+  // 3. Register a C++ function as a typed external primitive and use it
+  //    from AQL (the openness contract of §4.1).
+  Status reg = sys.RegisterPrimitive(
+      "celsius", "real -> real", [](const Value& v) -> Result<Value> {
+        return Value::Real((v.real_value() - 32.0) * 5.0 / 9.0);
+      });
+  if (!reg.ok()) return Fail(reg);
+  auto r3 = sys.Run("maparr!(fn \\t => celsius!t, [[32.0, 98.6, 212.0]]);");
+  if (!r3.ok()) return Fail(r3.status());
+  for (const auto& r : *r3) Show(r);
+
+  // 4. The compilation pipeline piecewise: look at the optimizer's work.
+  auto plan = sys.Compile("fn \\A => evenpos!(reverse!A)");
+  if (!plan.ok()) return Fail(plan.status());
+  std::printf("normalized plan: %s\n", (*plan)->ToString().c_str());
+
+  // 5. Host-side access to bound values.
+  if (const Value* prices = sys.LookupVal("prices")) {
+    std::printf("prices from C++: %s\n", prices->ToDisplayString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// The §4.2 sample session, reproduced line for line:
+//
+//   "What days last June was it hotter than 85 degrees after sunset in NYC?"
+//
+// Host side: define sunset() in C++ and register it as the june_sunset
+// primitive (the paper's TopEnv.RegisterCO call). AQL side: the months
+// val, the days_since_1_1 macro, the NETCDF3 readval, and the final
+// comprehension — printed in the session's typ/val format.
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "env/system.h"
+#include "netcdf/synth.h"
+
+using aql::Result;
+using aql::Status;
+using aql::Value;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// sunset(lat, lon, day): hour of sunset for a June day. A compact
+// sunrise-equation approximation is plenty for the demo.
+Result<Value> JuneSunset(const Value& arg) {
+  const auto& f = arg.tuple_fields();
+  double lat = f[0].real_value();
+  uint64_t day = f[2].nat_value();
+  double doy = 151.0 + double(day);
+  double decl = 23.45 * std::sin(2 * M_PI * (284.0 + doy) / 365.0) * M_PI / 180.0;
+  double phi = lat * M_PI / 180.0;
+  double cos_h = -std::tan(phi) * std::tan(decl);
+  cos_h = std::max(-1.0, std::min(1.0, cos_h));
+  double half_daylight_hours = std::acos(cos_h) * 12.0 / M_PI;
+  return Value::Nat(static_cast<uint64_t>(std::round(12.0 + half_daylight_hours)));
+}
+
+}  // namespace
+
+int main() {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "session_temp.nc").string();
+  aql::netcdf::SynthWeatherOptions opts;
+  opts.days = 365;
+  opts.lats = 1;
+  opts.lons = 1;
+  // Summer-heavy synthetic year so the answer is interesting.
+  opts.base_temp_f = 60.5;
+  if (auto w = aql::netcdf::WriteTempFile(path, opts); !w.ok()) return Fail(w.status());
+
+  aql::System sys;
+  if (!sys.init_status().ok()) return Fail(sys.init_status());
+
+  // - let val COjunesunset = ... TopEnv.RegisterCO("june_sunset", ...)
+  Status reg = sys.RegisterPrimitive("june_sunset", "real * real * nat -> nat",
+                                     JuneSunset);
+  if (!reg.ok()) return Fail(reg);
+  if (Status s = sys.DefineVal("NYlat", Value::Real(40.7)); !s.ok()) return Fail(s);
+  if (Status s = sys.DefineVal("NYlon", Value::Real(-74.0)); !s.ok()) return Fail(s);
+
+  // : val \months = ...; macro \days_since_1_1 = ...
+  std::string session1 =
+      "val \\months = [[0,31,28,31,30,31,30,31,31,30,31,30]];\n"
+      "macro \\days_since_1_1 = fn (\\m,\\d,\\y) =>\n"
+      "  d + summap(fn \\i => months[i])!(gen!m) +\n"
+      "  if m > 2 and y % 4 = 0 then 1 else 0;\n";
+  auto r1 = sys.Run(session1);
+  if (!r1.ok()) return Fail(r1.status());
+  for (const auto& r : *r1) std::printf("%s\n", r.ToDisplayString(4).c_str());
+
+  // : readval \T using NETCDF3 at ("temp.nc", "temp", ..., ...);
+  std::string session2 =
+      "readval \\T using NETCDF3 at\n"
+      "  (\"" + path + "\", \"temp\",\n"
+      "   (days_since_1_1!(6,1,95)*24, 0, 0),\n"
+      "   (days_since_1_1!(6,30,95)*24 + 23, 0, 0));\n";
+  auto r2 = sys.Run(session2);
+  if (!r2.ok()) return Fail(r2.status());
+  for (const auto& r : *r2) std::printf("%s\n", r.ToDisplayString(3).c_str());
+
+  // : {d | [(\h,_,_):\t] <- T, \d==h/24+1, ..., t > 85.0};
+  auto r3 = sys.Run(
+      "{d | [(\\h,_,_) : \\t] <- T, \\d == h/24 + 1,\n"
+      "     h % 24 > june_sunset!(NYlat, NYlon, d), t > 85.0};\n");
+  if (!r3.ok()) return Fail(r3.status());
+  for (const auto& r : *r3) std::printf("%s\n", r.ToDisplayString(40).c_str());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Result<T>: a value or a Status, in the Arrow style.
+//
+// Used throughout the AQL pipeline: the parser returns
+// Result<SurfaceExpr>, the type checker Result<Type>, the evaluator
+// Result<Value>, and so on.
+
+#ifndef AQL_BASE_RESULT_H_
+#define AQL_BASE_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "base/status.h"
+
+namespace aql {
+
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : rep_(std::move(value)) {}   // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace aql
+
+// Bind the success value of a Result-producing expression to `lhs`,
+// propagating failure. `lhs` may include a declaration:
+//   AQL_ASSIGN_OR_RETURN(auto v, Evaluate(e));
+#define AQL_ASSIGN_OR_RETURN(lhs, rexpr) \
+  AQL_ASSIGN_OR_RETURN_IMPL_(AQL_CONCAT_(_aql_result_, __LINE__), lhs, rexpr)
+
+#define AQL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr)   \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define AQL_CONCAT_(a, b) AQL_CONCAT_IMPL_(a, b)
+#define AQL_CONCAT_IMPL_(a, b) a##b
+
+#endif  // AQL_BASE_RESULT_H_

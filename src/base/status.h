@@ -1,0 +1,107 @@
+// Status: lightweight error signalling for the AQL library.
+//
+// Follows the Arrow/RocksDB idiom: all fallible public entry points return
+// Status or Result<T> (see result.h) rather than throwing. Error codes map
+// onto the failure classes the paper's system distinguishes: lexical/parse
+// errors, type errors, evaluation errors (the explicit error value "bottom"
+// of NRCA is a *value*, not a Status — see object/value.h), I/O failures,
+// and misuse of the registration API.
+
+#ifndef AQL_BASE_STATUS_H_
+#define AQL_BASE_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace aql {
+
+enum class StatusCode {
+  kOk = 0,
+  kLexError,        // lexer rejected the input
+  kParseError,      // parser rejected the token stream
+  kTypeError,       // Fig.-1 typing rules violated
+  kEvalError,       // evaluator hit a condition it cannot express as bottom
+  kIoError,         // file / format level failure
+  kFormatError,     // malformed exchange-format or NetCDF bytes
+  kNotFound,        // unknown name (variable, reader, primitive, ...)
+  kAlreadyExists,   // duplicate registration
+  kInvalidArgument, // API misuse
+  kUnimplemented,
+  kInternal,
+};
+
+// Human-readable name of a status code ("TypeError", ...).
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // Default: OK. Represented as a null state pointer so that the success
+  // path costs one pointer compare.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(message)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status LexError(std::string m) { return Status(StatusCode::kLexError, std::move(m)); }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status TypeError(std::string m) {
+    return Status(StatusCode::kTypeError, std::move(m));
+  }
+  static Status EvalError(std::string m) {
+    return Status(StatusCode::kEvalError, std::move(m));
+  }
+  static Status IoError(std::string m) { return Status(StatusCode::kIoError, std::move(m)); }
+  static Status FormatError(std::string m) {
+    return Status(StatusCode::kFormatError, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  // "TypeError: unbound variable x" (or "OK").
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const State> state_;
+};
+
+}  // namespace aql
+
+// Propagate a non-OK Status out of the enclosing function.
+#define AQL_RETURN_IF_ERROR(expr)                    \
+  do {                                               \
+    ::aql::Status _aql_status = (expr);              \
+    if (!_aql_status.ok()) return _aql_status;       \
+  } while (false)
+
+#endif  // AQL_BASE_STATUS_H_

@@ -1,0 +1,32 @@
+#include "base/strings.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace aql {
+
+std::string Join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string RealToString(double d) {
+  if (std::isnan(d)) return "nan";
+  if (std::isinf(d)) return d > 0 ? "inf" : "-inf";
+  char buf[64];
+  // %.17g round-trips doubles exactly.
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  std::string s(buf);
+  // Ensure the token re-lexes as a real literal.
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+      s.find("inf") == std::string::npos && s.find("nan") == std::string::npos) {
+    s += ".0";
+  }
+  return s;
+}
+
+}  // namespace aql

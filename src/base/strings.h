@@ -1,0 +1,29 @@
+// Small string-formatting helpers shared across modules.
+
+#ifndef AQL_BASE_STRINGS_H_
+#define AQL_BASE_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace aql {
+
+// Concatenates the streamable arguments into one string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  ((void)(os << args), ...);
+  return os.str();
+}
+
+// Joins the elements of `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+// Renders a double the way the AQL exchange format expects: always with a
+// decimal point or exponent so it re-parses as a real, never as a nat.
+std::string RealToString(double d);
+
+}  // namespace aql
+
+#endif  // AQL_BASE_STRINGS_H_

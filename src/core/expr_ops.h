@@ -1,0 +1,44 @@
+// Binding-aware operations on core expressions: free variables,
+// capture-avoiding substitution, alpha-equivalence, fresh names.
+//
+// These are the workhorses of the optimizer (§5): the beta rule for
+// functions and the beta^p rule for arrays are both "substitute, avoiding
+// capture", and rule soundness tests compare results up to alpha.
+
+#ifndef AQL_CORE_EXPR_OPS_H_
+#define AQL_CORE_EXPR_OPS_H_
+
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "core/expr.h"
+
+namespace aql {
+
+// Free variables of e (bound occurrences excluded).
+std::set<std::string> FreeVars(const ExprPtr& e);
+
+// True iff `name` occurs free in e.
+bool OccursFree(const ExprPtr& e, const std::string& name);
+
+// Returns a name not present in `avoid`, derived from `base`.
+// Fresh names use a '$' suffix, which the surface lexer never produces,
+// so generated names can never collide with user names.
+std::string FreshName(const std::string& base, const std::set<std::string>& avoid);
+
+// e with every free occurrence of `var` replaced by `replacement`,
+// alpha-renaming binders as needed to avoid capturing replacement's
+// free variables.
+ExprPtr Substitute(const ExprPtr& e, const std::string& var, const ExprPtr& replacement);
+
+// Simultaneous capture-avoiding substitution.
+ExprPtr SubstituteAll(const ExprPtr& e,
+                      const std::unordered_map<std::string, ExprPtr>& subst);
+
+// Structural equality up to renaming of bound variables.
+bool AlphaEqual(const ExprPtr& a, const ExprPtr& b);
+
+}  // namespace aql
+
+#endif  // AQL_CORE_EXPR_OPS_H_

@@ -1,0 +1,144 @@
+#include "env/natives.h"
+
+#include <cmath>
+
+#include "base/strings.h"
+
+namespace aql {
+
+namespace {
+
+class WrappedFunc : public FuncValue {
+ public:
+  WrappedFunc(std::string name, std::function<Result<Value>(const Value&)> fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  Result<Value> Apply(const Value& arg) const override { return fn_(arg); }
+  std::string name() const override { return StrCat("<prim:", name_, ">"); }
+
+ private:
+  std::string name_;
+  std::function<Result<Value>(const Value&)> fn_;
+};
+
+TypePtr SchemeVar() { return Type::Var(0); }
+
+Result<Value> NativeMember(const Value& arg) {
+  if (arg.kind() != ValueKind::kTuple || arg.tuple_fields().size() != 2 ||
+      arg.tuple_fields()[1].kind() != ValueKind::kSet) {
+    return Status::EvalError("member expects (value, set)");
+  }
+  return Value::Bool(arg.tuple_fields()[1].SetContains(arg.tuple_fields()[0]));
+}
+
+Result<Value> NativeSetMin(const Value& arg) {
+  if (arg.kind() != ValueKind::kSet) return Status::EvalError("setmin expects a set");
+  if (arg.set().elems.empty()) return Value::Bottom();
+  return arg.set().elems.front();
+}
+
+Result<Value> NativeSetMax(const Value& arg) {
+  if (arg.kind() != ValueKind::kSet) return Status::EvalError("setmax expects a set");
+  if (arg.set().elems.empty()) return Value::Bottom();
+  return arg.set().elems.back();
+}
+
+Result<Value> NativeCard(const Value& arg) {
+  if (arg.kind() != ValueKind::kSet) return Status::EvalError("card expects a set");
+  return Value::Nat(arg.set().elems.size());
+}
+
+Result<Value> NativeToReal(const Value& arg) {
+  if (arg.kind() != ValueKind::kNat) return Status::EvalError("to_real expects a nat");
+  return Value::Real(static_cast<double>(arg.nat_value()));
+}
+
+Result<Value> NativeFloor(const Value& arg) {
+  if (arg.kind() != ValueKind::kReal) return Status::EvalError("floor expects a real");
+  double d = std::floor(arg.real_value());
+  if (d < 0 || std::isnan(d)) return Value::Bottom();
+  return Value::Nat(static_cast<uint64_t>(d));
+}
+
+Result<Value> NativeSqrt(const Value& arg) {
+  if (arg.kind() != ValueKind::kReal) return Status::EvalError("sqrt expects a real");
+  return Value::Real(std::sqrt(arg.real_value()));
+}
+
+// String operations: the paper treats strings as an uninterpreted base
+// type whose operations arrive as registered primitives (§1); these are
+// the ones every session wants.
+Result<Value> NativeStrcat(const Value& arg) {
+  if (arg.kind() != ValueKind::kTuple || arg.tuple_fields().size() != 2 ||
+      arg.tuple_fields()[0].kind() != ValueKind::kString ||
+      arg.tuple_fields()[1].kind() != ValueKind::kString) {
+    return Status::EvalError("strcat expects (string, string)");
+  }
+  return Value::Str(arg.tuple_fields()[0].str_value() + arg.tuple_fields()[1].str_value());
+}
+
+Result<Value> NativeStrlen(const Value& arg) {
+  if (arg.kind() != ValueKind::kString) return Status::EvalError("strlen expects a string");
+  return Value::Nat(arg.str_value().size());
+}
+
+// substr(s, start, count): bottom when the range is out of bounds,
+// mirroring array subscripting.
+Result<Value> NativeSubstr(const Value& arg) {
+  if (arg.kind() != ValueKind::kTuple || arg.tuple_fields().size() != 3 ||
+      arg.tuple_fields()[0].kind() != ValueKind::kString ||
+      arg.tuple_fields()[1].kind() != ValueKind::kNat ||
+      arg.tuple_fields()[2].kind() != ValueKind::kNat) {
+    return Status::EvalError("substr expects (string, nat, nat)");
+  }
+  const std::string& s = arg.tuple_fields()[0].str_value();
+  uint64_t start = arg.tuple_fields()[1].nat_value();
+  uint64_t count = arg.tuple_fields()[2].nat_value();
+  if (start > s.size() || count > s.size() - start) return Value::Bottom();
+  return Value::Str(s.substr(start, count));
+}
+
+Result<Value> NativeNatToString(const Value& arg) {
+  if (arg.kind() != ValueKind::kNat) {
+    return Status::EvalError("nat_to_string expects a nat");
+  }
+  return Value::Str(std::to_string(arg.nat_value()));
+}
+
+NativePrimitive Make(const char* name, TypePtr scheme,
+                     Result<Value> (*fn)(const Value&)) {
+  return NativePrimitive{name, std::move(scheme), WrapFunction(name, fn)};
+}
+
+}  // namespace
+
+std::shared_ptr<const FuncValue> WrapFunction(
+    std::string name, std::function<Result<Value>(const Value&)> fn) {
+  return std::make_shared<WrappedFunc>(std::move(name), std::move(fn));
+}
+
+std::vector<NativePrimitive> BuiltinPrimitives() {
+  TypePtr a = SchemeVar();
+  return {
+      Make("member", Type::Arrow(Type::Product({a, Type::Set(a)}), Type::Bool()),
+           NativeMember),
+      Make("setmin", Type::Arrow(Type::Set(a), a), NativeSetMin),
+      Make("setmax", Type::Arrow(Type::Set(a), a), NativeSetMax),
+      Make("card", Type::Arrow(Type::Set(a), Type::Nat()), NativeCard),
+      Make("to_real", Type::Arrow(Type::Nat(), Type::Real()), NativeToReal),
+      Make("floor", Type::Arrow(Type::Real(), Type::Nat()), NativeFloor),
+      Make("sqrt", Type::Arrow(Type::Real(), Type::Real()), NativeSqrt),
+      Make("strcat", Type::Arrow(Type::Product({Type::String(), Type::String()}),
+                                 Type::String()),
+           NativeStrcat),
+      Make("strlen", Type::Arrow(Type::String(), Type::Nat()), NativeStrlen),
+      Make("substr",
+           Type::Arrow(Type::Product({Type::String(), Type::Nat(), Type::Nat()}),
+                       Type::String()),
+           NativeSubstr),
+      Make("nat_to_string", Type::Arrow(Type::Nat(), Type::String()),
+           NativeNatToString),
+  };
+}
+
+}  // namespace aql

@@ -1,0 +1,47 @@
+// Natively-implemented primitives available in every AQL session.
+//
+// The paper keeps the calculus minimal and adds "derived operators ... as
+// primitives" for efficiency (§3). These are the ones whose efficient
+// implementation cannot be expressed in AQL itself (they exploit the
+// canonical sorted-set representation), registered with polymorphic type
+// schemes:
+//
+//   member  : 'a * {'a} -> bool      binary search, O(log n)
+//   setmin  : {'a} -> 'a             first element of the canonical set
+//   setmax  : {'a} -> 'a             last element (bottom on empty)
+//   card    : {'a} -> nat            O(1) cardinality
+//   to_real : nat -> real            numeric conversions for mixed
+//   floor   : real -> nat            arithmetic (bottom on negatives)
+//   sqrt    : real -> real
+
+#ifndef AQL_ENV_NATIVES_H_
+#define AQL_ENV_NATIVES_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "object/value.h"
+#include "types/type.h"
+
+namespace aql {
+
+// A registered external primitive: implementation plus type scheme
+// (variables in the scheme are instantiated fresh at each use site).
+struct NativePrimitive {
+  std::string name;
+  TypePtr scheme;
+  std::shared_ptr<const FuncValue> fn;
+};
+
+// Wraps a C++ callable as a FuncValue named `name`.
+std::shared_ptr<const FuncValue> WrapFunction(
+    std::string name, std::function<Result<Value>(const Value&)> fn);
+
+// The built-in primitive set described above.
+std::vector<NativePrimitive> BuiltinPrimitives();
+
+}  // namespace aql
+
+#endif  // AQL_ENV_NATIVES_H_

@@ -1,0 +1,143 @@
+#include "env/prelude.h"
+
+namespace aql {
+
+const char* PreludeSource() {
+  return R"PRELUDE(
+(* ---- generic combinators ---- *)
+macro \id      = fn \x => x;
+macro \compose = fn (\f, \g) => fn \x => f!(g!x);
+
+(* ---- scalar helpers ---- *)
+macro \min2 = fn (\a, \b) => if a < b then a else b;
+macro \max2 = fn (\a, \b) => if a < b then b else a;
+
+(* ---- set operations (paper section 2 examples) ---- *)
+macro \mapset    = fn (\f, \x) => { f!y | \y <- x };
+macro \filterset = fn (\p, \x) => { y | \y <- x, p!y };
+macro \cross     = fn (\x, \y) => { (a, b) | \a <- x, \b <- y };
+macro \setunion  = fn (\x, \y) => { e | \p <- {x, y}, \e <- p };
+macro \setminus  = fn (\x, \y) => { e | \e <- x, not (e isin y) };
+macro \intersect = fn (\x, \y) => { e | \e <- x, e isin y };
+macro \count     = fn \x => summap(fn \y => 1)!x;
+macro \forall_in = fn (\p, \x) => summap(fn \y => if p!y then 0 else 1)!x = 0;
+macro \exists_in = fn (\p, \x) => not (summap(fn \y => if p!y then 1 else 0)!x = 0);
+macro \nest      = fn \x => { (a, { b | (a, \b) <- x }) | (\a, _) <- x };
+
+(* ---- array basics: maps, domains, graphs ---- *)
+macro \dom    = fn \a => gen!(len!a);
+macro \dom2   = fn \a => { (i, j) | \i <- gen!(pi_1_2!(dim2!a)),
+                                    \j <- gen!(pi_2_2!(dim2!a)) };
+macro \rng    = fn \a => { x | [\i : \x] <- a };
+macro \graph  = fn \a => { (i, x) | [\i : \x] <- a };
+macro \graph2 = fn \a => { (i, x) | [(\r, \c) : \x] <- a, \i == (r, c) };
+macro \maparr = fn (\f, \a) => [[ f!(a[i]) | \i < len!a ]];
+
+(* ---- the paper's one-dimensional operations (section 2) ---- *)
+macro \zip     = fn (\a, \b) => [[ (a[i], b[i]) | \i < min2!(len!a, len!b) ]];
+macro \zip_3   = fn (\a, \b, \c) =>
+  [[ (a[i], b[i], c[i]) | \i < min2!(min2!(len!a, len!b), len!c) ]];
+macro \subseq  = fn (\a, \i, \j) => [[ a[i + k] | \k < (j + 1) - i ]];
+macro \reverse = fn \a => [[ a[(len!a - i) - 1] | \i < len!a ]];
+macro \evenpos = fn \a => [[ a[i * 2] | \i < len!a / 2 ]];
+macro \append  = fn (\a, \b) =>
+  [[ if i < len!a then a[i] else b[i - len!a] | \i < len!a + len!b ]];
+
+(* ---- matrix operations (section 2) ---- *)
+macro \transpose = fn \m =>
+  [[ m[i, j] | \j < pi_2_2!(dim2!m), \i < pi_1_2!(dim2!m) ]];
+macro \proj_col  = fn (\m, \j) => [[ m[i, j] | \i < pi_1_2!(dim2!m) ]];
+macro \proj_row  = fn (\m, \i) => [[ m[i, j] | \j < pi_2_2!(dim2!m) ]];
+macro \matmul    = fn (\m, \n) =>
+  if pi_2_2!(dim2!m) <> pi_1_2!(dim2!n) then bottom else
+  [[ summap(fn \k => m[i, k] * n[k, j])!(gen!(pi_2_2!(dim2!m)))
+     | \i < pi_1_2!(dim2!m), \j < pi_2_2!(dim2!n) ]];
+macro \reshape2  = fn (\a, \r, \c) =>
+  if r * c <> len!a then bottom else [[ a[i * c + j] | \i < r, \j < c ]];
+macro \flatten2  = fn \m =>
+  [[ m[i / pi_2_2!(dim2!m), i % pi_2_2!(dim2!m)]
+     | \i < pi_1_2!(dim2!m) * pi_2_2!(dim2!m) ]];
+
+(* ---- aggregates over sets of naturals ---- *)
+macro \sumset = fn \x => summap(fn \y => y)!x;
+
+(* ---- histograms (section 2): nested-loop vs index-based group-by ---- *)
+macro \hist      = fn \e =>
+  [[ summap(fn \j => if e[j] = i then 1 else 0)!(dom!e) | \i < setmax!(rng!e) + 1 ]];
+macro \graph_inv = fn \e => { (x, i) | [\i : \x] <- e };
+macro \hist_fast = fn \e => maparr!(fn \s => card!s, index!(graph_inv!e));
+
+(* ---- scientific array operations: the section 1 motivation domain.
+   Derived forms over tabulate/subscript/dim, so the section 5 rules
+   fuse them like everything else. ---- *)
+macro \oddpos   = fn \a => [[ a[i * 2 + 1] | \i < len!a / 2 ]];
+macro \everynth = fn (\a, \n) => [[ a[i * n] | \i < (len!a + n - 1) / n ]];
+macro \shift    = fn (\a, \k, \fill) =>
+  [[ if i < k then fill else a[i - k] | \i < len!a ]];
+macro \window_sum = fn (\a, \w) =>
+  [[ summap(fn \k => a[i + k])!(gen!w) | \i < (len!a + 1) - w ]];
+macro \smooth   = fn (\a, \w) =>
+  [[ summap(fn \k => a[i + k])!(gen!w) / to_real!w | \i < (len!a + 1) - w ]];
+macro \diff1    = fn \a => [[ a[i + 1] - a[i] | \i < len!a - 1 ]];
+macro \outer    = fn (\a, \b) => [[ a[i] * b[j] | \i < len!a, \j < len!b ]];
+macro \dot      = fn (\a, \b) =>
+  summap(fn \i => a[i] * b[i])!(gen!(min2!(len!a, len!b)));
+macro \conv1    = fn (\a, \k) =>
+  [[ summap(fn \j => a[i + j] * k[j])!(gen!(len!k)) | \i < (len!a + 1) - len!k ]];
+macro \subslab2 = fn (\m, (\r1, \c1), (\r2, \c2)) =>
+  [[ m[r1 + i, c1 + j] | \i < (r2 + 1) - r1, \j < (c2 + 1) - c1 ]];
+macro \maparr2  = fn (\f, \m) =>
+  [[ f!(m[i, j]) | \i < pi_1_2!(dim2!m), \j < pi_2_2!(dim2!m) ]];
+macro \zip2d    = fn (\m, \n) =>
+  [[ (m[i, j], n[i, j]) | \i < min2!(pi_1_2!(dim2!m), pi_1_2!(dim2!n)),
+                          \j < min2!(pi_2_2!(dim2!m), pi_2_2!(dim2!n)) ]];
+macro \rowsums  = fn \m =>
+  [[ summap(fn \j => m[i, j])!(gen!(pi_2_2!(dim2!m))) | \i < pi_1_2!(dim2!m) ]];
+macro \colsums  = fn \m => rowsums!(transpose!m);
+macro \arrmin   = fn \a => setmin!(rng!a);
+macro \arrmax   = fn \a => setmax!(rng!a);
+macro \argmax   = fn \a => setmin!({ i | [\i : \x] <- a, x = arrmax!a });
+macro \identity2 = fn \n => [[ if i = j then 1 else 0 | \i < n, \j < n ]];
+
+(* ---- bags as multiplicity maps {t * nat}: the NBC encoding of §6.
+   A bag is a set of (element, multiplicity) pairs with positive,
+   unique-per-element multiplicities. ---- *)
+macro \bag_of      = fn \s => { (x, 1) | \x <- s };
+macro \bag_mult    = fn (\b, \x) => summap(fn (\y, \m) => if y = x then m else 0)!b;
+macro \bag_support = fn \b => { x | (\x, \m) <- b, m > 0 };
+macro \bag_union   = fn (\b1, \b2) =>
+  { (x, bag_mult!(b1, x) + bag_mult!(b2, x))
+    | \x <- setunion!(bag_support!b1, bag_support!b2) };
+macro \bag_count   = fn \b => summap(fn (_, \m) => m)!b;
+macro \bag_map     = fn (\f, \b) =>
+  { (y, summap(fn (\x, \m) => if f!x = y then m else 0)!b)
+    | \y <- { f!x | (\x, _) <- b } };
+macro \bag_from_arr = fn \a =>
+  { (x, count!({ i | [\i : \y] <- a, y = x })) | \x <- rng!a };
+
+(* ---- the ODMG array primitives (section 7: "our array query language
+   can also easily simulate all ODMG array primitives"). ---- *)
+macro \odmg_create = fn (\n, \v) => [[ v | \i < n ]];
+macro \odmg_update = fn (\a, \k, \v) =>
+  if k < len!a then [[ if i = k then v else a[i] | \i < len!a ]] else bottom;
+macro \odmg_insert = fn (\a, \k, \v) =>
+  if k < len!a + 1 then
+    [[ if i < k then a[i] else if i = k then v else a[i - 1] | \i < len!a + 1 ]]
+  else bottom;
+macro \odmg_remove = fn (\a, \k) =>
+  if k < len!a then
+    [[ if i < k then a[i] else a[i + 1] | \i < len!a - 1 ]]
+  else bottom;
+macro \odmg_resize = fn (\a, \n, \fill) =>
+  [[ if i < len!a then a[i] else fill | \i < n ]];
+macro \odmg_concat = fn (\a, \b) => append!(a, b);
+macro \odmg_size   = fn \a => len!a;
+
+(* ---- ranking (section 6): arrays add exactly this power ---- *)
+macro \rank     = fn \x => { (y, count!({ z | \z <- x, z < y }) + 1) | \y <- x };
+macro \ranked   = fn \x => { (i, y) | (\y, \i) <- rank!x };
+macro \unrank   = fn \x => { y | (\y, _) <- x };
+)PRELUDE";
+}
+
+}  // namespace aql

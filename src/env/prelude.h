@@ -1,0 +1,18 @@
+// The standard macro prelude, written in AQL itself (paper §3 "Derived
+// primitives": frequently used operators are available as macros).
+//
+// Everything here is definable in the core calculus — the point of §2's
+// minimality argument — so the prelude is AQL source compiled through the
+// ordinary pipeline at session start.
+
+#ifndef AQL_ENV_PRELUDE_H_
+#define AQL_ENV_PRELUDE_H_
+
+namespace aql {
+
+// ';'-terminated macro declarations.
+const char* PreludeSource();
+
+}  // namespace aql
+
+#endif  // AQL_ENV_PRELUDE_H_

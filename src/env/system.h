@@ -1,0 +1,130 @@
+// aql::System — the public facade over the whole query system (Fig. 3).
+//
+// Owns the four modules of the paper's architecture:
+//   query module   : parser + desugarer + type checker + optimizer
+//   object module  : evaluator + complex-object library
+//   I/O module     : reader/writer registry (NetCDF + exchange format)
+//   environment    : vals, macros, registered external primitives
+//
+// Two views, as in §4: a host-language ("SML top level") view — the
+// Register*/Define* methods — and the AQL read-eval-print view — Run(),
+// which executes ';'-terminated statements (queries, val/macro
+// declarations, readval/writeval commands).
+//
+// Typical embedding:
+//
+//   aql::System sys;
+//   sys.RegisterPrimitive("heatindex", "[[real * real * real]]_1 -> real",
+//                         MyHeatIndex);
+//   auto results = sys.Run("{ d | \\d <- gen!30, ... };");
+
+#ifndef AQL_ENV_SYSTEM_H_
+#define AQL_ENV_SYSTEM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "core/expr.h"
+#include "env/natives.h"
+#include "eval/evaluator.h"
+#include "exec/compiled.h"
+#include "io/registry.h"
+#include "opt/optimizer.h"
+#include "surface/ast.h"
+#include "types/type.h"
+
+namespace aql {
+
+// Result of executing one top-level statement.
+struct StatementResult {
+  Statement::Kind kind = Statement::Kind::kQuery;
+  std::string name;   // bound name for val/macro/readval
+  bool has_value = false;
+  Value value;        // query / val / readval result
+  TypePtr type;       // inferred type (null for writeval)
+
+  // REPL-style rendering: "typ it : {nat}\nval it = {25,27,28}".
+  std::string ToDisplayString(size_t max_items = 8) const;
+};
+
+struct SystemConfig {
+  OptimizerConfig optimizer;
+  bool optimize = true;       // run the optimizer before evaluation
+  bool load_prelude = true;   // standard macro prelude (env/prelude.h)
+};
+
+class System {
+ public:
+  explicit System(SystemConfig config = {});
+
+  // Non-OK when the prelude failed to load (a build defect; tests check it).
+  const Status& init_status() const { return init_status_; }
+
+  // ---- The AQL read-eval-print view ----
+  // Executes a sequence of ';'-terminated statements; returns one result
+  // per statement. Queries also bind the variable `it`.
+  Result<std::vector<StatementResult>> Run(std::string_view program);
+  // Evaluates a single expression (no trailing ';').
+  Result<Value> Eval(std::string_view expression);
+
+  // ---- Compilation pipeline, exposed stage by stage ----
+  // parse + desugar (free names unresolved).
+  Result<ExprPtr> ParseToCore(std::string_view expression);
+  // Substitutes macros and vals, resolves primitives (§4.1: macros are
+  // substituted in before optimization).
+  Result<ExprPtr> ResolveNames(const ExprPtr& e);
+  // parse + desugar + resolve + typecheck (+ optimize unless disabled).
+  Result<ExprPtr> Compile(std::string_view expression);
+  Result<ExprPtr> CompileUnoptimized(std::string_view expression);
+  Result<TypePtr> TypeOf(const ExprPtr& resolved);
+  Result<Value> EvalCore(const ExprPtr& compiled) const;
+  // Same semantics as EvalCore, through the slot-based compiled backend
+  // (src/exec): variables become frame slots, closures capture lists.
+  // Compiles then runs once; for repeated execution, build the program
+  // yourself with exec::Compile(e, PrimitiveResolver()).
+  Result<Value> EvalCoreCompiled(const ExprPtr& compiled) const;
+  // Resolver over this system's registered primitives, for exec::Compile.
+  exec::ExternalResolver PrimitiveResolver() const;
+
+  // Human-readable compilation report for one expression: inferred type,
+  // core term size before/after optimization, per-rule firing counts, and
+  // the final plan — what the REPL's :plan command prints.
+  Result<std::string> Explain(std::string_view expression);
+  ExprPtr Optimize(const ExprPtr& e, RewriteStats* stats = nullptr) const;
+
+  // ---- The host-language view (openness, §4.1) ----
+  Status RegisterPrimitive(const std::string& name, const std::string& type_scheme,
+                           std::function<Result<Value>(const Value&)> fn);
+  Status RegisterReader(const std::string& name, IoRegistry::ReaderFn reader);
+  Status RegisterWriter(const std::string& name, IoRegistry::WriterFn writer);
+  Status DefineMacro(const std::string& name, std::string_view aql_source);
+  Status DefineVal(const std::string& name, Value value);
+  Status RegisterRule(const std::string& phase, Rule rule);
+
+  const Value* LookupVal(const std::string& name) const;
+  const ExprPtr* LookupMacro(const std::string& name) const;
+  Optimizer* optimizer() { return &optimizer_; }
+  IoRegistry* io() { return &io_; }
+  const Evaluator& evaluator() const { return evaluator_; }
+
+ private:
+  Result<StatementResult> RunStatement(const Statement& stmt);
+  Result<ExprPtr> ResolveImpl(const ExprPtr& e, std::vector<std::string>* bound) const;
+  TypePtr LookupScheme(const std::string& name) const;
+
+  SystemConfig config_;
+  Status init_status_;
+  Optimizer optimizer_;
+  IoRegistry io_;
+  Evaluator evaluator_;
+  std::map<std::string, Value> vals_;
+  std::map<std::string, ExprPtr> macros_;
+  std::map<std::string, NativePrimitive> primitives_;
+};
+
+}  // namespace aql
+
+#endif  // AQL_ENV_SYSTEM_H_

@@ -1,0 +1,94 @@
+// Evaluator for the core calculus (the "object module" of Fig. 3).
+//
+// An environment-passing interpreter producing complex-object Values.
+// Semantics follow paper §2:
+//   - sets are canonical (sorted, deduplicated); big-union iterates
+//     elements in the definable linear order, which is what makes the §6
+//     ranking constructs deterministic;
+//   - the error value bottom is contagious through sets, tuples, sums and
+//     conditions, but arrays are *partial functions* (§2): a tabulation
+//     whose body errors at one point stores bottom at that point and stays
+//     defined elsewhere. This choice makes the §5 array rules
+//     (beta^p/eta^p/delta^p) unconditionally sound; src/opt still ships the
+//     error-freedom analysis for the rules that do need it;
+//   - nat arithmetic uses monus for '-' and integer division for '/';
+//     the same operators work at type real with ordinary IEEE semantics;
+//   - out-of-bounds subscripts, get() on non-singletons, division by zero,
+//     and dense literals whose value count mismatches their dimensions all
+//     evaluate to bottom, not to a host error.
+//
+// Host-level failures (unbound variable, applying a non-function) surface
+// as Status; a well-typed program never triggers them.
+
+#ifndef AQL_EVAL_EVALUATOR_H_
+#define AQL_EVAL_EVALUATOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "base/result.h"
+#include "core/expr.h"
+#include "object/value.h"
+
+namespace aql {
+
+// Persistent environment: binding extends without copying.
+class Environment {
+ public:
+  Environment() = default;
+
+  Environment Bind(std::string name, Value value) const {
+    return Environment(
+        std::make_shared<const Node>(Node{std::move(name), std::move(value), head_}));
+  }
+
+  // Most recent binding of `name`, or nullptr.
+  const Value* Lookup(const std::string& name) const {
+    for (const Node* n = head_.get(); n != nullptr; n = n->next.get()) {
+      if (n->name == name) return &n->value;
+    }
+    return nullptr;
+  }
+
+ private:
+  struct Node {
+    std::string name;
+    Value value;
+    std::shared_ptr<const Node> next;
+  };
+  explicit Environment(std::shared_ptr<const Node> head) : head_(std::move(head)) {}
+  std::shared_ptr<const Node> head_;
+};
+
+class Evaluator {
+ public:
+  // Resolves a registered external primitive to its implementation, or
+  // nullptr if unknown.
+  using ExternalLookup =
+      std::function<std::shared_ptr<const FuncValue>(const std::string&)>;
+
+  explicit Evaluator(ExternalLookup external_lookup = nullptr,
+                     size_t max_depth = kDefaultMaxDepth)
+      : external_lookup_(std::move(external_lookup)), max_depth_(max_depth) {}
+
+  Result<Value> Eval(const ExprPtr& e) const { return Eval(e, Environment()); }
+  Result<Value> Eval(const ExprPtr& e, const Environment& env) const;
+
+  // Recursion guard: evaluation deeper than this (nested closures /
+  // pathological expression trees) returns an EvalError instead of
+  // overrunning the host stack.
+  static constexpr size_t kDefaultMaxDepth = 10000;
+
+ private:
+  Result<Value> EvalTab(const Expr& e, const Environment& env) const;
+  Result<Value> EvalIndex(const Expr& e, const Environment& env) const;
+  Result<Value> EvalArith(const Expr& e, const Environment& env) const;
+
+  ExternalLookup external_lookup_;
+  size_t max_depth_;
+};
+
+}  // namespace aql
+
+#endif  // AQL_EVAL_EVALUATOR_H_

@@ -1,0 +1,720 @@
+#include "exec/compiled.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/strings.h"
+#include "core/expr_ops.h"
+
+namespace aql {
+namespace exec {
+
+namespace {
+
+// ---------- runtime nodes ----------
+
+class ConstNode : public Node {
+ public:
+  explicit ConstNode(Value v) : value_(std::move(v)) {}
+  Result<Value> Run(Frame*) const override { return value_; }
+
+ private:
+  Value value_;
+};
+
+class SlotNode : public Node {
+ public:
+  explicit SlotNode(size_t slot) : slot_(slot) {}
+  Result<Value> Run(Frame* f) const override { return f->slots[slot_]; }
+
+ private:
+  size_t slot_;
+};
+
+// Closure: captured values + code compiled against a fresh frame laid out
+// as [captures..., param, scratch...].
+class CompiledClosure : public FuncValue {
+ public:
+  CompiledClosure(std::vector<Value> captured, const Node* body, size_t frame_size)
+      : captured_(std::move(captured)), body_(body), frame_size_(frame_size) {}
+
+  Result<Value> Apply(const Value& arg) const override {
+    Frame frame;
+    frame.slots.resize(frame_size_);
+    std::copy(captured_.begin(), captured_.end(), frame.slots.begin());
+    frame.slots[captured_.size()] = arg;
+    return body_->Run(&frame);
+  }
+
+  std::string name() const override { return "<compiled fn>"; }
+
+ private:
+  std::vector<Value> captured_;
+  const Node* body_;
+  size_t frame_size_;
+};
+
+// Creates a closure, capturing the listed slots of the current frame.
+// Owns the compiled body (shared among all closures it creates).
+class LambdaNode : public Node {
+ public:
+  LambdaNode(std::vector<size_t> capture_slots, NodePtr body, size_t frame_size)
+      : capture_slots_(std::move(capture_slots)),
+        body_(std::move(body)),
+        frame_size_(frame_size) {}
+
+  Result<Value> Run(Frame* f) const override {
+    std::vector<Value> captured;
+    captured.reserve(capture_slots_.size());
+    for (size_t s : capture_slots_) captured.push_back(f->slots[s]);
+    return Value::MakeFunc(std::make_shared<CompiledClosure>(std::move(captured),
+                                                             body_.get(), frame_size_));
+  }
+
+ private:
+  std::vector<size_t> capture_slots_;
+  NodePtr body_;
+  size_t frame_size_;
+};
+
+class ApplyNode : public Node {
+ public:
+  ApplyNode(NodePtr fn, NodePtr arg) : fn_(std::move(fn)), arg_(std::move(arg)) {}
+  Result<Value> Run(Frame* f) const override {
+    AQL_ASSIGN_OR_RETURN(Value fn, fn_->Run(f));
+    if (fn.is_bottom()) return Value::Bottom();
+    if (fn.kind() != ValueKind::kFunc) {
+      return Status::EvalError("applying a non-function value");
+    }
+    AQL_ASSIGN_OR_RETURN(Value arg, arg_->Run(f));
+    if (arg.is_bottom()) return Value::Bottom();
+    return fn.func().Apply(arg);
+  }
+
+ private:
+  NodePtr fn_, arg_;
+};
+
+class TupleNode : public Node {
+ public:
+  explicit TupleNode(std::vector<NodePtr> fields) : fields_(std::move(fields)) {}
+  Result<Value> Run(Frame* f) const override {
+    std::vector<Value> vals;
+    vals.reserve(fields_.size());
+    for (const NodePtr& n : fields_) {
+      AQL_ASSIGN_OR_RETURN(Value v, n->Run(f));
+      if (v.is_bottom()) return Value::Bottom();
+      vals.push_back(std::move(v));
+    }
+    return Value::MakeTuple(std::move(vals));
+  }
+
+ private:
+  std::vector<NodePtr> fields_;
+};
+
+class ProjNode : public Node {
+ public:
+  ProjNode(size_t index, size_t arity, NodePtr inner)
+      : index_(index), arity_(arity), inner_(std::move(inner)) {}
+  Result<Value> Run(Frame* f) const override {
+    AQL_ASSIGN_OR_RETURN(Value v, inner_->Run(f));
+    if (v.is_bottom()) return Value::Bottom();
+    if (v.kind() != ValueKind::kTuple || v.tuple_fields().size() != arity_) {
+      return Status::EvalError("projection arity mismatch");
+    }
+    return v.tuple_fields()[index_ - 1];
+  }
+
+ private:
+  size_t index_, arity_;
+  NodePtr inner_;
+};
+
+class SingletonNode : public Node {
+ public:
+  explicit SingletonNode(NodePtr inner) : inner_(std::move(inner)) {}
+  Result<Value> Run(Frame* f) const override {
+    AQL_ASSIGN_OR_RETURN(Value v, inner_->Run(f));
+    if (v.is_bottom()) return Value::Bottom();
+    return Value::MakeSetCanonical({std::move(v)});
+  }
+
+ private:
+  NodePtr inner_;
+};
+
+class UnionNode : public Node {
+ public:
+  UnionNode(NodePtr a, NodePtr b) : a_(std::move(a)), b_(std::move(b)) {}
+  Result<Value> Run(Frame* f) const override {
+    AQL_ASSIGN_OR_RETURN(Value a, a_->Run(f));
+    if (a.is_bottom()) return Value::Bottom();
+    AQL_ASSIGN_OR_RETURN(Value b, b_->Run(f));
+    if (b.is_bottom()) return Value::Bottom();
+    return Value::SetUnion(a, b);
+  }
+
+ private:
+  NodePtr a_, b_;
+};
+
+class BigUnionNode : public Node {
+ public:
+  BigUnionNode(size_t binder_slot, NodePtr body, NodePtr source)
+      : binder_slot_(binder_slot), body_(std::move(body)), source_(std::move(source)) {}
+  Result<Value> Run(Frame* f) const override {
+    AQL_ASSIGN_OR_RETURN(Value src, source_->Run(f));
+    if (src.is_bottom()) return Value::Bottom();
+    std::vector<Value> acc;
+    for (const Value& x : src.set().elems) {
+      f->slots[binder_slot_] = x;
+      AQL_ASSIGN_OR_RETURN(Value part, body_->Run(f));
+      if (part.is_bottom()) return Value::Bottom();
+      const auto& elems = part.set().elems;
+      acc.insert(acc.end(), elems.begin(), elems.end());
+    }
+    return Value::MakeSet(std::move(acc));
+  }
+
+ private:
+  size_t binder_slot_;
+  NodePtr body_, source_;
+};
+
+class GetNode : public Node {
+ public:
+  explicit GetNode(NodePtr inner) : inner_(std::move(inner)) {}
+  Result<Value> Run(Frame* f) const override {
+    AQL_ASSIGN_OR_RETURN(Value v, inner_->Run(f));
+    if (v.is_bottom()) return Value::Bottom();
+    if (v.set().elems.size() != 1) return Value::Bottom();
+    return v.set().elems[0];
+  }
+
+ private:
+  NodePtr inner_;
+};
+
+class IfNode : public Node {
+ public:
+  IfNode(NodePtr cond, NodePtr then_n, NodePtr else_n)
+      : cond_(std::move(cond)), then_(std::move(then_n)), else_(std::move(else_n)) {}
+  Result<Value> Run(Frame* f) const override {
+    AQL_ASSIGN_OR_RETURN(Value c, cond_->Run(f));
+    if (c.is_bottom()) return Value::Bottom();
+    return (c.bool_value() ? then_ : else_)->Run(f);
+  }
+
+ private:
+  NodePtr cond_, then_, else_;
+};
+
+class CmpNode : public Node {
+ public:
+  CmpNode(CmpOp op, NodePtr a, NodePtr b) : op_(op), a_(std::move(a)), b_(std::move(b)) {}
+  Result<Value> Run(Frame* f) const override {
+    AQL_ASSIGN_OR_RETURN(Value a, a_->Run(f));
+    if (a.is_bottom()) return Value::Bottom();
+    AQL_ASSIGN_OR_RETURN(Value b, b_->Run(f));
+    if (b.is_bottom()) return Value::Bottom();
+    int c = Value::Compare(a, b);
+    switch (op_) {
+      case CmpOp::kEq: return Value::Bool(c == 0);
+      case CmpOp::kNe: return Value::Bool(c != 0);
+      case CmpOp::kLt: return Value::Bool(c < 0);
+      case CmpOp::kLe: return Value::Bool(c <= 0);
+      case CmpOp::kGt: return Value::Bool(c > 0);
+      case CmpOp::kGe: return Value::Bool(c >= 0);
+    }
+    return Status::Internal("bad cmp op");
+  }
+
+ private:
+  CmpOp op_;
+  NodePtr a_, b_;
+};
+
+class ArithNode : public Node {
+ public:
+  ArithNode(ArithOp op, NodePtr a, NodePtr b)
+      : op_(op), a_(std::move(a)), b_(std::move(b)) {}
+  Result<Value> Run(Frame* f) const override {
+    AQL_ASSIGN_OR_RETURN(Value a, a_->Run(f));
+    if (a.is_bottom()) return Value::Bottom();
+    AQL_ASSIGN_OR_RETURN(Value b, b_->Run(f));
+    if (b.is_bottom()) return Value::Bottom();
+    if (a.kind() == ValueKind::kNat && b.kind() == ValueKind::kNat) {
+      uint64_t x = a.nat_value(), y = b.nat_value();
+      switch (op_) {
+        case ArithOp::kAdd: return Value::Nat(x + y);
+        case ArithOp::kMonus: return Value::Nat(x >= y ? x - y : 0);
+        case ArithOp::kMul: return Value::Nat(x * y);
+        case ArithOp::kDiv: return y == 0 ? Value::Bottom() : Value::Nat(x / y);
+        case ArithOp::kMod: return y == 0 ? Value::Bottom() : Value::Nat(x % y);
+      }
+    }
+    if (a.kind() == ValueKind::kReal && b.kind() == ValueKind::kReal) {
+      double x = a.real_value(), y = b.real_value();
+      switch (op_) {
+        case ArithOp::kAdd: return Value::Real(x + y);
+        case ArithOp::kMonus: return Value::Real(x - y);
+        case ArithOp::kMul: return Value::Real(x * y);
+        case ArithOp::kDiv: return Value::Real(x / y);
+        case ArithOp::kMod: return Value::Real(std::fmod(x, y));
+      }
+    }
+    return Status::EvalError("arithmetic on non-numeric values");
+  }
+
+ private:
+  ArithOp op_;
+  NodePtr a_, b_;
+};
+
+class GenNode : public Node {
+ public:
+  explicit GenNode(NodePtr inner) : inner_(std::move(inner)) {}
+  Result<Value> Run(Frame* f) const override {
+    AQL_ASSIGN_OR_RETURN(Value n, inner_->Run(f));
+    if (n.is_bottom()) return Value::Bottom();
+    if (n.kind() != ValueKind::kNat) return Status::EvalError("gen of non-nat");
+    std::vector<Value> elems;
+    elems.reserve(n.nat_value());
+    for (uint64_t i = 0; i < n.nat_value(); ++i) elems.push_back(Value::Nat(i));
+    return Value::MakeSetCanonical(std::move(elems));
+  }
+
+ private:
+  NodePtr inner_;
+};
+
+class SumNode : public Node {
+ public:
+  SumNode(size_t binder_slot, NodePtr body, NodePtr source)
+      : binder_slot_(binder_slot), body_(std::move(body)), source_(std::move(source)) {}
+  Result<Value> Run(Frame* f) const override {
+    AQL_ASSIGN_OR_RETURN(Value src, source_->Run(f));
+    if (src.is_bottom()) return Value::Bottom();
+    uint64_t nat_total = 0;
+    double real_total = 0;
+    bool is_real = false, first = true;
+    for (const Value& x : src.set().elems) {
+      f->slots[binder_slot_] = x;
+      AQL_ASSIGN_OR_RETURN(Value part, body_->Run(f));
+      if (part.is_bottom()) return Value::Bottom();
+      if (first) {
+        is_real = part.kind() == ValueKind::kReal;
+        first = false;
+      }
+      if (is_real) {
+        if (part.kind() != ValueKind::kReal) {
+          return Status::EvalError("Sum body mixed nat and real");
+        }
+        real_total += part.real_value();
+      } else {
+        if (part.kind() != ValueKind::kNat) {
+          return Status::EvalError("Sum body must be nat or real");
+        }
+        nat_total += part.nat_value();
+      }
+    }
+    if (first) return Value::Nat(0);
+    return is_real ? Value::Real(real_total) : Value::Nat(nat_total);
+  }
+
+ private:
+  size_t binder_slot_;
+  NodePtr body_, source_;
+};
+
+class TabNode : public Node {
+ public:
+  TabNode(std::vector<size_t> binder_slots, NodePtr body, std::vector<NodePtr> bounds)
+      : binder_slots_(std::move(binder_slots)),
+        body_(std::move(body)),
+        bounds_(std::move(bounds)) {}
+  Result<Value> Run(Frame* f) const override {
+    size_t k = binder_slots_.size();
+    std::vector<uint64_t> dims(k);
+    for (size_t j = 0; j < k; ++j) {
+      AQL_ASSIGN_OR_RETURN(Value b, bounds_[j]->Run(f));
+      if (b.is_bottom()) return Value::Bottom();
+      if (b.kind() != ValueKind::kNat) {
+        return Status::EvalError("tabulation bound is not a nat");
+      }
+      dims[j] = b.nat_value();
+    }
+    uint64_t total = 1;
+    for (uint64_t d : dims) total *= d;
+    std::vector<Value> elems;
+    elems.reserve(total);
+    std::vector<uint64_t> index(k, 0);
+    for (uint64_t flat = 0; flat < total; ++flat) {
+      for (size_t j = 0; j < k; ++j) f->slots[binder_slots_[j]] = Value::Nat(index[j]);
+      AQL_ASSIGN_OR_RETURN(Value v, body_->Run(f));
+      elems.push_back(std::move(v));  // bottom stays per-point (partial arrays)
+      for (size_t j = k; j-- > 0;) {
+        if (++index[j] < dims[j]) break;
+        index[j] = 0;
+      }
+    }
+    auto arr = Value::MakeArray(std::move(dims), std::move(elems));
+    if (!arr.ok()) return Status::Internal(arr.status().message());
+    return std::move(arr).value();
+  }
+
+ private:
+  std::vector<size_t> binder_slots_;
+  NodePtr body_;
+  std::vector<NodePtr> bounds_;
+};
+
+bool ExtractIndexValue(const Value& v, std::vector<uint64_t>* out) {
+  out->clear();
+  if (v.kind() == ValueKind::kNat) {
+    out->push_back(v.nat_value());
+    return true;
+  }
+  if (v.kind() == ValueKind::kTuple) {
+    for (const Value& f : v.tuple_fields()) {
+      if (f.kind() != ValueKind::kNat) return false;
+      out->push_back(f.nat_value());
+    }
+    return out->size() >= 2;
+  }
+  return false;
+}
+
+class SubscriptNode : public Node {
+ public:
+  SubscriptNode(NodePtr arr, NodePtr idx) : arr_(std::move(arr)), idx_(std::move(idx)) {}
+  Result<Value> Run(Frame* f) const override {
+    AQL_ASSIGN_OR_RETURN(Value arr, arr_->Run(f));
+    if (arr.is_bottom()) return Value::Bottom();
+    if (arr.kind() != ValueKind::kArray) {
+      return Status::EvalError("subscript of non-array");
+    }
+    AQL_ASSIGN_OR_RETURN(Value idx, idx_->Run(f));
+    if (idx.is_bottom()) return Value::Bottom();
+    std::vector<uint64_t> index;
+    if (!ExtractIndexValue(idx, &index)) {
+      return Status::EvalError("array index is not a nat or tuple of nats");
+    }
+    const ArrayRep& a = arr.array();
+    if (!a.InBounds(index)) return Value::Bottom();
+    return a.elems[a.Flatten(index)];
+  }
+
+ private:
+  NodePtr arr_, idx_;
+};
+
+class DimNode : public Node {
+ public:
+  DimNode(size_t rank, NodePtr arr) : rank_(rank), arr_(std::move(arr)) {}
+  Result<Value> Run(Frame* f) const override {
+    AQL_ASSIGN_OR_RETURN(Value arr, arr_->Run(f));
+    if (arr.is_bottom()) return Value::Bottom();
+    if (arr.kind() != ValueKind::kArray) return Status::EvalError("dim of non-array");
+    const ArrayRep& a = arr.array();
+    if (a.dims.size() != rank_) return Status::EvalError("dim rank mismatch");
+    if (rank_ == 1) return Value::Nat(a.dims[0]);
+    std::vector<Value> fields;
+    fields.reserve(rank_);
+    for (uint64_t d : a.dims) fields.push_back(Value::Nat(d));
+    return Value::MakeTuple(std::move(fields));
+  }
+
+ private:
+  size_t rank_;
+  NodePtr arr_;
+};
+
+class IndexNode : public Node {
+ public:
+  IndexNode(size_t rank, NodePtr source) : rank_(rank), source_(std::move(source)) {}
+  Result<Value> Run(Frame* f) const override {
+    AQL_ASSIGN_OR_RETURN(Value src, source_->Run(f));
+    if (src.is_bottom()) return Value::Bottom();
+    std::vector<uint64_t> dims(rank_, 0);
+    std::vector<std::pair<std::vector<uint64_t>, const Value*>> entries;
+    entries.reserve(src.set().elems.size());
+    for (const Value& pair : src.set().elems) {
+      if (pair.kind() != ValueKind::kTuple || pair.tuple_fields().size() != 2) {
+        return Status::EvalError("index expects (key, value) pairs");
+      }
+      const Value& key = pair.tuple_fields()[0];
+      std::vector<uint64_t> idx;
+      if (rank_ == 1) {
+        if (key.kind() != ValueKind::kNat) return Status::EvalError("bad index key");
+        idx.push_back(key.nat_value());
+      } else if (!ExtractIndexValue(key, &idx) || idx.size() != rank_) {
+        return Status::EvalError("bad index key shape");
+      }
+      for (size_t j = 0; j < rank_; ++j) dims[j] = std::max(dims[j], idx[j] + 1);
+      entries.emplace_back(std::move(idx), &pair.tuple_fields()[1]);
+    }
+    uint64_t total = 1;
+    for (uint64_t d : dims) total *= d;
+    std::vector<std::vector<Value>> buckets(total);
+    ArrayRep shape{dims, {}};
+    for (auto& [idx, value] : entries) buckets[shape.Flatten(idx)].push_back(*value);
+    std::vector<Value> elems;
+    elems.reserve(total);
+    for (auto& bucket : buckets) {
+      elems.push_back(Value::MakeSetCanonical(std::move(bucket)));
+    }
+    auto arr = Value::MakeArray(std::move(dims), std::move(elems));
+    if (!arr.ok()) return Status::Internal(arr.status().message());
+    return std::move(arr).value();
+  }
+
+ private:
+  size_t rank_;
+  NodePtr source_;
+};
+
+class DenseNode : public Node {
+ public:
+  DenseNode(size_t rank, std::vector<NodePtr> dims, std::vector<NodePtr> values)
+      : rank_(rank), dims_(std::move(dims)), values_(std::move(values)) {}
+  Result<Value> Run(Frame* f) const override {
+    std::vector<uint64_t> dims(rank_);
+    for (size_t j = 0; j < rank_; ++j) {
+      AQL_ASSIGN_OR_RETURN(Value d, dims_[j]->Run(f));
+      if (d.is_bottom()) return Value::Bottom();
+      if (d.kind() != ValueKind::kNat) return Status::EvalError("dense dim non-nat");
+      dims[j] = d.nat_value();
+    }
+    uint64_t total = 1;
+    for (uint64_t d : dims) total *= d;
+    if (total != values_.size()) return Value::Bottom();
+    std::vector<Value> elems;
+    elems.reserve(total);
+    for (const NodePtr& v : values_) {
+      AQL_ASSIGN_OR_RETURN(Value val, v->Run(f));
+      elems.push_back(std::move(val));
+    }
+    auto arr = Value::MakeArray(std::move(dims), std::move(elems));
+    if (!arr.ok()) return Status::Internal(arr.status().message());
+    return std::move(arr).value();
+  }
+
+ private:
+  size_t rank_;
+  std::vector<NodePtr> dims_, values_;
+};
+
+// ---------- compiler ----------
+
+class Compiler {
+ public:
+  explicit Compiler(const ExternalResolver& externals) : externals_(externals) {}
+
+  Result<Program> CompileProgram(const ExprPtr& e, const std::vector<std::string>& params) {
+    scope_ = params;
+    high_water_ = params.size();
+    AQL_ASSIGN_OR_RETURN(NodePtr root, CompileNode(e));
+    return Program(std::move(root), high_water_);
+  }
+
+ private:
+  size_t Push(const std::string& name) {
+    scope_.push_back(name);
+    high_water_ = std::max(high_water_, scope_.size());
+    return scope_.size() - 1;
+  }
+  void Pop(size_t n = 1) { scope_.resize(scope_.size() - n); }
+
+  Result<size_t> Lookup(const std::string& name) const {
+    for (size_t i = scope_.size(); i-- > 0;) {
+      if (scope_[i] == name) return i;
+    }
+    return Status::EvalError(StrCat("unbound variable ", name, " at compile time"));
+  }
+
+  Result<NodePtr> CompileNode(const ExprPtr& e) {
+    switch (e->kind()) {
+      case ExprKind::kVar: {
+        AQL_ASSIGN_OR_RETURN(size_t slot, Lookup(e->var_name()));
+        return NodePtr(new SlotNode(slot));
+      }
+      case ExprKind::kLambda:
+        return CompileLambda(e);
+      case ExprKind::kApply: {
+        AQL_ASSIGN_OR_RETURN(NodePtr fn, CompileNode(e->child(0)));
+        AQL_ASSIGN_OR_RETURN(NodePtr arg, CompileNode(e->child(1)));
+        return NodePtr(new ApplyNode(std::move(fn), std::move(arg)));
+      }
+      case ExprKind::kTuple: {
+        std::vector<NodePtr> fields;
+        for (const ExprPtr& c : e->children()) {
+          AQL_ASSIGN_OR_RETURN(NodePtr n, CompileNode(c));
+          fields.push_back(std::move(n));
+        }
+        return NodePtr(new TupleNode(std::move(fields)));
+      }
+      case ExprKind::kProj: {
+        AQL_ASSIGN_OR_RETURN(NodePtr inner, CompileNode(e->child(0)));
+        return NodePtr(new ProjNode(e->proj_index(), e->proj_arity(), std::move(inner)));
+      }
+      case ExprKind::kEmptySet:
+        return NodePtr(new ConstNode(Value::EmptySet()));
+      case ExprKind::kSingleton: {
+        AQL_ASSIGN_OR_RETURN(NodePtr inner, CompileNode(e->child(0)));
+        return NodePtr(new SingletonNode(std::move(inner)));
+      }
+      case ExprKind::kUnion: {
+        AQL_ASSIGN_OR_RETURN(NodePtr a, CompileNode(e->child(0)));
+        AQL_ASSIGN_OR_RETURN(NodePtr b, CompileNode(e->child(1)));
+        return NodePtr(new UnionNode(std::move(a), std::move(b)));
+      }
+      case ExprKind::kBigUnion: {
+        AQL_ASSIGN_OR_RETURN(NodePtr src, CompileNode(e->child(1)));
+        size_t slot = Push(e->binder());
+        auto body = CompileNode(e->child(0));
+        Pop();
+        AQL_RETURN_IF_ERROR(body.status());
+        return NodePtr(new BigUnionNode(slot, std::move(body).value(), std::move(src)));
+      }
+      case ExprKind::kGet: {
+        AQL_ASSIGN_OR_RETURN(NodePtr inner, CompileNode(e->child(0)));
+        return NodePtr(new GetNode(std::move(inner)));
+      }
+      case ExprKind::kBoolConst:
+        return NodePtr(new ConstNode(Value::Bool(e->bool_const())));
+      case ExprKind::kIf: {
+        AQL_ASSIGN_OR_RETURN(NodePtr c, CompileNode(e->child(0)));
+        AQL_ASSIGN_OR_RETURN(NodePtr t, CompileNode(e->child(1)));
+        AQL_ASSIGN_OR_RETURN(NodePtr f, CompileNode(e->child(2)));
+        return NodePtr(new IfNode(std::move(c), std::move(t), std::move(f)));
+      }
+      case ExprKind::kCmp: {
+        AQL_ASSIGN_OR_RETURN(NodePtr a, CompileNode(e->child(0)));
+        AQL_ASSIGN_OR_RETURN(NodePtr b, CompileNode(e->child(1)));
+        return NodePtr(new CmpNode(e->cmp_op(), std::move(a), std::move(b)));
+      }
+      case ExprKind::kNatConst:
+        return NodePtr(new ConstNode(Value::Nat(e->nat_const())));
+      case ExprKind::kRealConst:
+        return NodePtr(new ConstNode(Value::Real(e->real_const())));
+      case ExprKind::kStrConst:
+        return NodePtr(new ConstNode(Value::Str(e->str_const())));
+      case ExprKind::kArith: {
+        AQL_ASSIGN_OR_RETURN(NodePtr a, CompileNode(e->child(0)));
+        AQL_ASSIGN_OR_RETURN(NodePtr b, CompileNode(e->child(1)));
+        return NodePtr(new ArithNode(e->arith_op(), std::move(a), std::move(b)));
+      }
+      case ExprKind::kGen: {
+        AQL_ASSIGN_OR_RETURN(NodePtr inner, CompileNode(e->child(0)));
+        return NodePtr(new GenNode(std::move(inner)));
+      }
+      case ExprKind::kSum: {
+        AQL_ASSIGN_OR_RETURN(NodePtr src, CompileNode(e->child(1)));
+        size_t slot = Push(e->binder());
+        auto body = CompileNode(e->child(0));
+        Pop();
+        AQL_RETURN_IF_ERROR(body.status());
+        return NodePtr(new SumNode(slot, std::move(body).value(), std::move(src)));
+      }
+      case ExprKind::kTab: {
+        std::vector<NodePtr> bounds;
+        for (size_t j = 0; j < e->tab_rank(); ++j) {
+          AQL_ASSIGN_OR_RETURN(NodePtr b, CompileNode(e->tab_bound(j)));
+          bounds.push_back(std::move(b));
+        }
+        std::vector<size_t> slots;
+        for (const std::string& v : e->binders()) slots.push_back(Push(v));
+        auto body = CompileNode(e->tab_body());
+        Pop(e->tab_rank());
+        AQL_RETURN_IF_ERROR(body.status());
+        return NodePtr(
+            new TabNode(std::move(slots), std::move(body).value(), std::move(bounds)));
+      }
+      case ExprKind::kSubscript: {
+        AQL_ASSIGN_OR_RETURN(NodePtr arr, CompileNode(e->child(0)));
+        AQL_ASSIGN_OR_RETURN(NodePtr idx, CompileNode(e->child(1)));
+        return NodePtr(new SubscriptNode(std::move(arr), std::move(idx)));
+      }
+      case ExprKind::kDim: {
+        AQL_ASSIGN_OR_RETURN(NodePtr arr, CompileNode(e->child(0)));
+        return NodePtr(new DimNode(e->rank(), std::move(arr)));
+      }
+      case ExprKind::kIndex: {
+        AQL_ASSIGN_OR_RETURN(NodePtr src, CompileNode(e->child(0)));
+        return NodePtr(new IndexNode(e->rank(), std::move(src)));
+      }
+      case ExprKind::kDense: {
+        std::vector<NodePtr> dims, values;
+        for (size_t j = 0; j < e->dense_rank(); ++j) {
+          AQL_ASSIGN_OR_RETURN(NodePtr d, CompileNode(e->dense_dim(j)));
+          dims.push_back(std::move(d));
+        }
+        for (size_t j = 0; j < e->dense_value_count(); ++j) {
+          AQL_ASSIGN_OR_RETURN(NodePtr v, CompileNode(e->dense_value(j)));
+          values.push_back(std::move(v));
+        }
+        return NodePtr(new DenseNode(e->dense_rank(), std::move(dims), std::move(values)));
+      }
+      case ExprKind::kBottom:
+        return NodePtr(new ConstNode(Value::Bottom()));
+      case ExprKind::kLiteral:
+        return NodePtr(new ConstNode(e->literal()));
+      case ExprKind::kExternal: {
+        std::shared_ptr<const FuncValue> fn =
+            externals_ ? externals_(e->var_name()) : nullptr;
+        if (!fn) {
+          return Status::EvalError(
+              StrCat("unknown external primitive ", e->var_name()));
+        }
+        return NodePtr(new ConstNode(Value::MakeFunc(std::move(fn))));
+      }
+    }
+    return Status::Internal("unknown expression kind in compiler");
+  }
+
+  // Lambdas compile against a fresh frame [captures..., param, scratch].
+  Result<NodePtr> CompileLambda(const ExprPtr& e) {
+    std::set<std::string> fv = FreeVars(e);
+    std::vector<size_t> capture_slots;
+    std::vector<std::string> inner_scope;
+    capture_slots.reserve(fv.size());
+    for (const std::string& name : fv) {
+      AQL_ASSIGN_OR_RETURN(size_t slot, Lookup(name));
+      capture_slots.push_back(slot);
+      inner_scope.push_back(name);
+    }
+    Compiler inner(externals_);
+    inner.scope_ = std::move(inner_scope);
+    inner.scope_.push_back(e->binder());
+    inner.high_water_ = inner.scope_.size();
+    AQL_ASSIGN_OR_RETURN(NodePtr body, inner.CompileNode(e->child(0)));
+    return NodePtr(
+        new LambdaNode(std::move(capture_slots), std::move(body), inner.high_water_));
+  }
+
+  const ExternalResolver& externals_;
+  std::vector<std::string> scope_;
+  size_t high_water_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Program::Run(std::vector<Value> args) const {
+  Frame frame;
+  frame.slots.resize(frame_size_);
+  for (size_t i = 0; i < args.size() && i < frame.slots.size(); ++i) {
+    frame.slots[i] = std::move(args[i]);
+  }
+  return root_->Run(&frame);
+}
+
+Result<Program> Compile(const ExprPtr& e, const ExternalResolver& externals,
+                        const std::vector<std::string>& params) {
+  Compiler compiler(externals);
+  return compiler.CompileProgram(e, params);
+}
+
+}  // namespace exec
+}  // namespace aql

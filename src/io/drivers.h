@@ -1,0 +1,37 @@
+// Built-in I/O drivers.
+//
+//   COFILE          — reads/writes a complex object in the §3 data
+//                     exchange format. Argument: the file path (string).
+//                     Demonstrates the openness contract: any producer of
+//                     exchange-format bytes plugs in the same way.
+//   NETCDF1..NETCDF4 — the paper's NetCDF readers. Argument:
+//                     (filename, varname, lower, upper) where lower/upper
+//                     are inclusive k-tuples of indices (plain nats for
+//                     k = 1). Returns the subslab as [[real]]_k.
+//   NETCDF_INFO     — reads a file's catalogue: the set of
+//                     (variable name, dimension-length vector) pairs, of
+//                     type {string * [[nat]]_1}.
+//   NETCDF (writer) — writes a numeric array value ([[real]]_k or
+//                     [[nat]]_k) as a classic-format NetCDF file.
+//                     Argument: (filename, varname). Dimensions are named
+//                     dim0..dim{k-1}; the external type is NC_DOUBLE.
+
+#ifndef AQL_IO_DRIVERS_H_
+#define AQL_IO_DRIVERS_H_
+
+#include "io/registry.h"
+
+namespace aql {
+
+IoRegistry::ReaderFn MakeCoFileReader();
+IoRegistry::WriterFn MakeCoFileWriter();
+IoRegistry::ReaderFn MakeNetcdfReader(size_t rank);
+IoRegistry::ReaderFn MakeNetcdfInfoReader();
+IoRegistry::WriterFn MakeNetcdfWriter();
+
+// Registers all built-in drivers under their standard names.
+Status RegisterBuiltinDrivers(IoRegistry* registry);
+
+}  // namespace aql
+
+#endif  // AQL_IO_DRIVERS_H_

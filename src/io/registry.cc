@@ -1,0 +1,40 @@
+#include "io/registry.h"
+
+#include "base/strings.h"
+
+namespace aql {
+
+Status IoRegistry::RegisterReader(const std::string& name, ReaderFn reader) {
+  if (readers_.count(name)) {
+    return Status::AlreadyExists(StrCat("reader ", name, " already registered"));
+  }
+  readers_[name] = std::move(reader);
+  return Status::OK();
+}
+
+Status IoRegistry::RegisterWriter(const std::string& name, WriterFn writer) {
+  if (writers_.count(name)) {
+    return Status::AlreadyExists(StrCat("writer ", name, " already registered"));
+  }
+  writers_[name] = std::move(writer);
+  return Status::OK();
+}
+
+Result<Value> IoRegistry::Read(const std::string& reader, const Value& args) const {
+  auto it = readers_.find(reader);
+  if (it == readers_.end()) {
+    return Status::NotFound(StrCat("no reader registered as ", reader));
+  }
+  return it->second(args);
+}
+
+Status IoRegistry::Write(const std::string& writer, const Value& payload,
+                         const Value& args) const {
+  auto it = writers_.find(writer);
+  if (it == writers_.end()) {
+    return Status::NotFound(StrCat("no writer registered as ", writer));
+  }
+  return it->second(payload, args);
+}
+
+}  // namespace aql

@@ -1,0 +1,42 @@
+// Reader/writer registry (paper §4.1, "I/O and the NetCDF Interface").
+//
+// Any driver producing a complex object can be registered as a reader and
+// is immediately available to the AQL `readval V using READER at E`
+// command; writers serve `writeval E using WRITER at E`. Drivers receive
+// the evaluated `at` argument as a complex object (e.g. the NETCDF3 reader
+// takes a (filename, varname, lower, upper) 4-tuple).
+
+#ifndef AQL_IO_REGISTRY_H_
+#define AQL_IO_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "base/result.h"
+#include "object/value.h"
+
+namespace aql {
+
+class IoRegistry {
+ public:
+  using ReaderFn = std::function<Result<Value>(const Value& args)>;
+  using WriterFn = std::function<Status(const Value& payload, const Value& args)>;
+
+  Status RegisterReader(const std::string& name, ReaderFn reader);
+  Status RegisterWriter(const std::string& name, WriterFn writer);
+
+  Result<Value> Read(const std::string& reader, const Value& args) const;
+  Status Write(const std::string& writer, const Value& payload, const Value& args) const;
+
+  bool HasReader(const std::string& name) const { return readers_.count(name) > 0; }
+  bool HasWriter(const std::string& name) const { return writers_.count(name) > 0; }
+
+ private:
+  std::map<std::string, ReaderFn> readers_;
+  std::map<std::string, WriterFn> writers_;
+};
+
+}  // namespace aql
+
+#endif  // AQL_IO_REGISTRY_H_

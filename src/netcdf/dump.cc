@@ -1,0 +1,139 @@
+#include "netcdf/dump.h"
+
+#include <filesystem>
+
+#include "base/strings.h"
+
+namespace aql {
+namespace netcdf {
+
+namespace {
+
+std::string CdlNumber(NcType type, double v) {
+  switch (type) {
+    case NcType::kByte:
+    case NcType::kShort:
+    case NcType::kInt:
+      return std::to_string(int64_t(v));
+    case NcType::kFloat:
+    case NcType::kDouble:
+      return RealToString(v);
+    case NcType::kChar:
+      return std::to_string(int64_t(v));
+  }
+  return "?";
+}
+
+std::string CdlString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void AppendAttr(const std::string& owner, const NcAttr& attr, std::string* out) {
+  out->append("\t\t");
+  out->append(owner);
+  out->push_back(':');
+  out->append(attr.name);
+  out->append(" = ");
+  if (attr.type == NcType::kChar) {
+    out->append(CdlString(attr.chars));
+  } else {
+    for (size_t i = 0; i < attr.numbers.size(); ++i) {
+      if (i > 0) out->append(", ");
+      out->append(CdlNumber(attr.type, attr.numbers[i]));
+    }
+  }
+  out->append(" ;\n");
+}
+
+}  // namespace
+
+Result<std::string> DumpCdl(const NcReader& reader, const std::string& name,
+                            const DumpOptions& options) {
+  const NcHeader& h = reader.header();
+  std::string out = StrCat("netcdf ", name, " {\n");
+
+  if (!h.dims.empty()) {
+    out.append("dimensions:\n");
+    for (const NcDim& d : h.dims) {
+      if (d.is_record) {
+        out.append(StrCat("\t", d.name, " = UNLIMITED ; // (", h.numrecs,
+                          " currently)\n"));
+      } else {
+        out.append(StrCat("\t", d.name, " = ", d.length, " ;\n"));
+      }
+    }
+  }
+
+  if (!h.vars.empty()) {
+    out.append("variables:\n");
+    for (const NcVar& var : h.vars) {
+      out.append(StrCat("\t", NcTypeName(var.type), " ", var.name, "("));
+      for (size_t i = 0; i < var.dim_ids.size(); ++i) {
+        if (i > 0) out.append(", ");
+        out.append(h.dims[var.dim_ids[i]].name);
+      }
+      out.append(") ;\n");
+      for (const NcAttr& attr : var.attrs) AppendAttr(var.name, attr, &out);
+    }
+  }
+
+  if (!h.gattrs.empty()) {
+    out.append("\n// global attributes:\n");
+    for (const NcAttr& attr : h.gattrs) AppendAttr("", attr, &out);
+  }
+
+  if (options.include_data && !h.vars.empty()) {
+    out.append("data:\n");
+    for (size_t v = 0; v < h.vars.size(); ++v) {
+      const NcVar& var = h.vars[v];
+      out.append(StrCat(" ", var.name, " = "));
+      std::vector<uint64_t> shape = h.VarShape(var);
+      uint64_t total = 1;
+      for (uint64_t d : shape) total *= d;
+      uint64_t budget = options.max_elements_per_variable == 0
+                            ? total
+                            : std::min<uint64_t>(total,
+                                                 options.max_elements_per_variable);
+      if (var.type == NcType::kChar) {
+        std::vector<uint64_t> start(shape.size(), 0);
+        std::vector<uint64_t> count = shape;
+        if (!shape.empty()) {
+          // Truncate along the first axis to respect the budget roughly.
+          uint64_t per_row = total / (shape[0] == 0 ? 1 : shape[0]);
+          if (per_row > 0) count[0] = std::min<uint64_t>(shape[0], budget / per_row + 1);
+        }
+        AQL_ASSIGN_OR_RETURN(std::string chars, reader.ReadChars(int(v), start, count));
+        if (chars.size() > budget) chars.resize(budget);
+        out.append(CdlString(chars));
+        if (budget < total) out.append(", ...");
+      } else {
+        // Read only the prefix when truncating a 1-d or record variable;
+        // fall back to a full read otherwise (files here are small).
+        AQL_ASSIGN_OR_RETURN(std::vector<double> data, reader.ReadAll(int(v)));
+        for (uint64_t i = 0; i < budget; ++i) {
+          if (i > 0) out.append(", ");
+          out.append(CdlNumber(var.type, data[i]));
+        }
+        if (budget < total) out.append(", ...");
+      }
+      out.append(" ;\n");
+    }
+  }
+  out.append("}\n");
+  return out;
+}
+
+Result<std::string> DumpCdlFile(const std::string& path, const DumpOptions& options) {
+  AQL_ASSIGN_OR_RETURN(NcReader reader, NcReader::OpenFile(path));
+  std::string name = std::filesystem::path(path).stem().string();
+  return DumpCdl(reader, name, options);
+}
+
+}  // namespace netcdf
+}  // namespace aql

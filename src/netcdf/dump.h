@@ -1,0 +1,51 @@
+// CDL rendering of NetCDF classic files (the `ncdump` functionality of
+// the Unidata toolchain the paper's users would reach for first).
+//
+// Produces the standard text form:
+//
+//   netcdf <name> {
+//   dimensions:
+//           time = UNLIMITED ; // (720 currently)
+//           lat = 4 ;
+//   variables:
+//           float temp(time, lat, lon) ;
+//                   temp:units = "degF" ;
+//   // global attributes:
+//                   :source = "aql synthetic weather" ;
+//   data:
+//    temp = 67.3, 67.3, 67.2, ... ;
+//   }
+//
+// Data sections can be elided (header-only dumps) or truncated after a
+// per-variable element budget.
+
+#ifndef AQL_NETCDF_DUMP_H_
+#define AQL_NETCDF_DUMP_H_
+
+#include <string>
+
+#include "base/result.h"
+#include "netcdf/reader.h"
+
+namespace aql {
+namespace netcdf {
+
+struct DumpOptions {
+  bool include_data = true;
+  // Maximum elements printed per variable; 0 means all. Elided tails are
+  // marked with "...".
+  size_t max_elements_per_variable = 64;
+};
+
+// Renders the file behind `reader` as CDL. `name` is the dataset name
+// printed on the first line (ncdump uses the basename).
+Result<std::string> DumpCdl(const NcReader& reader, const std::string& name,
+                            const DumpOptions& options = {});
+
+// Convenience: open + dump.
+Result<std::string> DumpCdlFile(const std::string& path, const DumpOptions& options = {});
+
+}  // namespace netcdf
+}  // namespace aql
+
+#endif  // AQL_NETCDF_DUMP_H_

@@ -1,0 +1,59 @@
+#include "netcdf/format.h"
+
+namespace aql {
+namespace netcdf {
+
+size_t NcTypeSize(NcType type) {
+  switch (type) {
+    case NcType::kByte:
+    case NcType::kChar:
+      return 1;
+    case NcType::kShort:
+      return 2;
+    case NcType::kInt:
+    case NcType::kFloat:
+      return 4;
+    case NcType::kDouble:
+      return 8;
+  }
+  return 0;
+}
+
+const char* NcTypeName(NcType type) {
+  switch (type) {
+    case NcType::kByte: return "byte";
+    case NcType::kChar: return "char";
+    case NcType::kShort: return "short";
+    case NcType::kInt: return "int";
+    case NcType::kFloat: return "float";
+    case NcType::kDouble: return "double";
+  }
+  return "unknown";
+}
+
+int NcHeader::FindVar(const std::string& name) const {
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (vars[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int NcHeader::FindDim(const std::string& name) const {
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (dims[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<uint64_t> NcHeader::VarShape(const NcVar& var) const {
+  std::vector<uint64_t> shape;
+  shape.reserve(var.dim_ids.size());
+  for (uint32_t id : var.dim_ids) {
+    const NcDim& d = dims[id];
+    shape.push_back(d.is_record ? numrecs : d.length);
+  }
+  return shape;
+}
+
+}  // namespace netcdf
+}  // namespace aql

@@ -1,0 +1,100 @@
+// NetCDF classic file format, implemented from scratch (paper §4.1).
+//
+// The paper ties AQL to "legacy" scientific data through a NetCDF driver
+// built on the Unidata access library. This module replaces that library
+// with a self-contained codec for the *classic* binary format:
+//
+//   netcdf_file = magic numrecs dim_list gatt_list var_list data
+//   magic       = 'C' 'D' 'F' version      (version 1 = classic,
+//                                           2 = 64-bit offset)
+//   dim_list    = ABSENT | NC_DIMENSION nelems [dim ...]
+//   dim         = name dim_length           (length 0 = record dimension)
+//   gatt_list   = ABSENT | NC_ATTRIBUTE nelems [attr ...]
+//   attr        = name nc_type nelems [values]   (padded to 4 bytes)
+//   var_list    = ABSENT | NC_VARIABLE nelems [var ...]
+//   var         = name ndims [dimid ...] vatt_list nc_type vsize begin
+//   data        = fixed-size variable data, then record data interleaved
+//                 one record at a time
+//
+// All integers are big-endian; names and values pad to 4-byte boundaries;
+// `begin` is 4 bytes in CDF-1 and 8 bytes in CDF-2. Record variables
+// (first dimension = the record dimension) store one record slab per
+// record; when there is exactly one record variable its records are packed
+// without padding (the classic-format special case).
+//
+// External types: NC_BYTE(1) NC_CHAR(2) NC_SHORT(3) NC_INT(4) NC_FLOAT(5)
+// NC_DOUBLE(6).
+
+#ifndef AQL_NETCDF_FORMAT_H_
+#define AQL_NETCDF_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace aql {
+namespace netcdf {
+
+enum class NcType : uint32_t {
+  kByte = 1,
+  kChar = 2,
+  kShort = 3,
+  kInt = 4,
+  kFloat = 5,
+  kDouble = 6,
+};
+
+// External (on-disk) size in bytes of one element.
+size_t NcTypeSize(NcType type);
+const char* NcTypeName(NcType type);
+
+struct NcDim {
+  std::string name;
+  uint64_t length = 0;  // 0 on disk means the record dimension
+  bool is_record = false;
+};
+
+// Attribute values are held decoded: numeric attributes as doubles,
+// character attributes as a string.
+struct NcAttr {
+  std::string name;
+  NcType type = NcType::kDouble;
+  std::vector<double> numbers;
+  std::string chars;
+};
+
+struct NcVar {
+  std::string name;
+  NcType type = NcType::kDouble;
+  std::vector<uint32_t> dim_ids;
+  std::vector<NcAttr> attrs;
+  // Populated by the reader / computed by the writer.
+  uint64_t vsize = 0;
+  uint64_t begin = 0;
+
+  bool IsRecord(const std::vector<NcDim>& dims) const {
+    return !dim_ids.empty() && dims[dim_ids[0]].is_record;
+  }
+};
+
+struct NcHeader {
+  uint8_t version = 1;  // 1 = classic, 2 = 64-bit offset
+  uint64_t numrecs = 0;
+  std::vector<NcDim> dims;
+  std::vector<NcAttr> gattrs;
+  std::vector<NcVar> vars;
+
+  // Index of the variable called `name`, or -1.
+  int FindVar(const std::string& name) const;
+  int FindDim(const std::string& name) const;
+
+  // Shape of a variable: record dimension resolved to numrecs.
+  std::vector<uint64_t> VarShape(const NcVar& var) const;
+};
+
+}  // namespace netcdf
+}  // namespace aql
+
+#endif  // AQL_NETCDF_FORMAT_H_

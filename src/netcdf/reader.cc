@@ -1,0 +1,376 @@
+#include "netcdf/reader.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "base/strings.h"
+
+namespace aql {
+namespace netcdf {
+
+namespace {
+
+constexpr uint32_t kTagAbsent = 0;
+constexpr uint32_t kTagDimension = 0x0A;
+constexpr uint32_t kTagVariable = 0x0B;
+constexpr uint32_t kTagAttribute = 0x0C;
+
+// Big-endian cursor over the header bytes.
+class Cursor {
+ public:
+  Cursor(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  uint64_t pos() const { return pos_; }
+
+  Status Need(uint64_t n) const {
+    if (pos_ + n > bytes_.size()) {
+      return Status::FormatError(StrCat("netcdf: truncated file at offset ", pos_));
+    }
+    return Status::OK();
+  }
+
+  Result<uint32_t> U32() {
+    AQL_RETURN_IF_ERROR(Need(4));
+    uint32_t v = (uint32_t(bytes_[pos_]) << 24) | (uint32_t(bytes_[pos_ + 1]) << 16) |
+                 (uint32_t(bytes_[pos_ + 2]) << 8) | uint32_t(bytes_[pos_ + 3]);
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> U64() {
+    AQL_ASSIGN_OR_RETURN(uint32_t hi, U32());
+    AQL_ASSIGN_OR_RETURN(uint32_t lo, U32());
+    return (uint64_t(hi) << 32) | lo;
+  }
+
+  Result<std::string> Name() {
+    AQL_ASSIGN_OR_RETURN(uint32_t len, U32());
+    AQL_RETURN_IF_ERROR(Need(len));
+    std::string out(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+    pos_ += len;
+    return SkipPad(len).ok() ? Result<std::string>(std::move(out))
+                             : Result<std::string>(Status::FormatError("netcdf: bad pad"));
+  }
+
+  Status SkipPad(uint64_t consumed) {
+    uint64_t pad = (4 - consumed % 4) % 4;
+    AQL_RETURN_IF_ERROR(Need(pad));
+    pos_ += pad;
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) {
+    AQL_RETURN_IF_ERROR(Need(n));
+    pos_ += n;
+    return Status::OK();
+  }
+
+  const uint8_t* Raw() const { return bytes_.data() + pos_; }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  uint64_t pos_ = 0;
+};
+
+double DecodeBigEndian(NcType type, const uint8_t* p) {
+  switch (type) {
+    case NcType::kByte:
+      return static_cast<double>(static_cast<int8_t>(p[0]));
+    case NcType::kChar:
+      return static_cast<double>(p[0]);
+    case NcType::kShort:
+      return static_cast<double>(static_cast<int16_t>((uint16_t(p[0]) << 8) | p[1]));
+    case NcType::kInt:
+      return static_cast<double>(static_cast<int32_t>(
+          (uint32_t(p[0]) << 24) | (uint32_t(p[1]) << 16) | (uint32_t(p[2]) << 8) | p[3]));
+    case NcType::kFloat: {
+      uint32_t bits =
+          (uint32_t(p[0]) << 24) | (uint32_t(p[1]) << 16) | (uint32_t(p[2]) << 8) | p[3];
+      float f;
+      std::memcpy(&f, &bits, 4);
+      return f;
+    }
+    case NcType::kDouble: {
+      uint64_t bits = 0;
+      for (int i = 0; i < 8; ++i) bits = (bits << 8) | p[i];
+      double d;
+      std::memcpy(&d, &bits, 8);
+      return d;
+    }
+  }
+  return 0;
+}
+
+Result<NcType> DecodeType(uint32_t raw) {
+  if (raw < 1 || raw > 6) {
+    return Status::FormatError(StrCat("netcdf: bad nc_type ", raw));
+  }
+  return static_cast<NcType>(raw);
+}
+
+Result<NcAttr> ParseAttr(Cursor* cur) {
+  NcAttr attr;
+  AQL_ASSIGN_OR_RETURN(attr.name, cur->Name());
+  AQL_ASSIGN_OR_RETURN(uint32_t raw_type, cur->U32());
+  AQL_ASSIGN_OR_RETURN(attr.type, DecodeType(raw_type));
+  AQL_ASSIGN_OR_RETURN(uint32_t nelems, cur->U32());
+  size_t esize = NcTypeSize(attr.type);
+  AQL_RETURN_IF_ERROR(cur->Need(uint64_t(nelems) * esize));
+  if (attr.type == NcType::kChar) {
+    attr.chars.assign(reinterpret_cast<const char*>(cur->Raw()), nelems);
+  } else {
+    attr.numbers.reserve(nelems);
+    for (uint32_t i = 0; i < nelems; ++i) {
+      attr.numbers.push_back(DecodeBigEndian(attr.type, cur->Raw() + i * esize));
+    }
+  }
+  AQL_RETURN_IF_ERROR(cur->Skip(uint64_t(nelems) * esize));
+  AQL_RETURN_IF_ERROR(cur->SkipPad(uint64_t(nelems) * esize));
+  return attr;
+}
+
+Result<std::vector<NcAttr>> ParseAttrList(Cursor* cur) {
+  AQL_ASSIGN_OR_RETURN(uint32_t tag, cur->U32());
+  AQL_ASSIGN_OR_RETURN(uint32_t nelems, cur->U32());
+  std::vector<NcAttr> attrs;
+  if (tag == kTagAbsent) {
+    if (nelems != 0) return Status::FormatError("netcdf: ABSENT list with nonzero count");
+    return attrs;
+  }
+  if (tag != kTagAttribute) {
+    return Status::FormatError(StrCat("netcdf: expected attribute tag, got ", tag));
+  }
+  // Untrusted count: each attribute needs at least 12 header bytes, so a
+  // count beyond that bound is corruption — reject before reserving.
+  AQL_RETURN_IF_ERROR(cur->Need(uint64_t(nelems) * 12));
+  attrs.reserve(nelems);
+  for (uint32_t i = 0; i < nelems; ++i) {
+    AQL_ASSIGN_OR_RETURN(NcAttr a, ParseAttr(cur));
+    attrs.push_back(std::move(a));
+  }
+  return attrs;
+}
+
+}  // namespace
+
+Result<NcReader> NcReader::Open(std::vector<uint8_t> bytes) {
+  Cursor cur(bytes);
+  AQL_RETURN_IF_ERROR(cur.Need(4));
+  if (bytes[0] != 'C' || bytes[1] != 'D' || bytes[2] != 'F') {
+    return Status::FormatError("netcdf: bad magic (not a classic NetCDF file)");
+  }
+  NcHeader header;
+  header.version = bytes[3];
+  if (header.version != 1 && header.version != 2) {
+    return Status::FormatError(
+        StrCat("netcdf: unsupported version byte ", int(header.version)));
+  }
+  AQL_RETURN_IF_ERROR(cur.Skip(4));
+  AQL_ASSIGN_OR_RETURN(uint32_t numrecs, cur.U32());
+  header.numrecs = numrecs == 0xFFFFFFFFu ? 0 : numrecs;  // STREAMING -> computed later
+
+  // dim_list.
+  AQL_ASSIGN_OR_RETURN(uint32_t dim_tag, cur.U32());
+  AQL_ASSIGN_OR_RETURN(uint32_t ndims, cur.U32());
+  if (dim_tag != kTagAbsent && dim_tag != kTagDimension) {
+    return Status::FormatError("netcdf: bad dimension list tag");
+  }
+  if (dim_tag == kTagAbsent && ndims != 0) {
+    return Status::FormatError("netcdf: ABSENT dim list with nonzero count");
+  }
+  for (uint32_t i = 0; i < ndims; ++i) {
+    NcDim dim;
+    AQL_ASSIGN_OR_RETURN(dim.name, cur.Name());
+    AQL_ASSIGN_OR_RETURN(uint32_t len, cur.U32());
+    dim.length = len;
+    dim.is_record = (len == 0);
+    header.dims.push_back(std::move(dim));
+  }
+
+  AQL_ASSIGN_OR_RETURN(header.gattrs, ParseAttrList(&cur));
+
+  // var_list.
+  AQL_ASSIGN_OR_RETURN(uint32_t var_tag, cur.U32());
+  AQL_ASSIGN_OR_RETURN(uint32_t nvars, cur.U32());
+  if (var_tag != kTagAbsent && var_tag != kTagVariable) {
+    return Status::FormatError("netcdf: bad variable list tag");
+  }
+  uint64_t recsize = 0;
+  size_t record_var_count = 0;
+  for (uint32_t i = 0; i < nvars; ++i) {
+    NcVar var;
+    AQL_ASSIGN_OR_RETURN(var.name, cur.Name());
+    AQL_ASSIGN_OR_RETURN(uint32_t vdims, cur.U32());
+    for (uint32_t j = 0; j < vdims; ++j) {
+      AQL_ASSIGN_OR_RETURN(uint32_t dim_id, cur.U32());
+      if (dim_id >= header.dims.size()) {
+        return Status::FormatError("netcdf: variable references unknown dimension");
+      }
+      var.dim_ids.push_back(dim_id);
+    }
+    AQL_ASSIGN_OR_RETURN(var.attrs, ParseAttrList(&cur));
+    AQL_ASSIGN_OR_RETURN(uint32_t raw_type, cur.U32());
+    AQL_ASSIGN_OR_RETURN(var.type, DecodeType(raw_type));
+    AQL_ASSIGN_OR_RETURN(uint32_t vsize, cur.U32());
+    var.vsize = vsize;
+    if (header.version == 2) {
+      AQL_ASSIGN_OR_RETURN(var.begin, cur.U64());
+    } else {
+      AQL_ASSIGN_OR_RETURN(uint32_t begin, cur.U32());
+      var.begin = begin;
+    }
+    if (var.IsRecord(header.dims)) {
+      recsize += var.vsize;
+      ++record_var_count;
+    }
+    header.vars.push_back(std::move(var));
+  }
+  // Classic-format special case: a single record variable packs its
+  // records without padding to a 4-byte boundary.
+  if (record_var_count == 1) {
+    for (const NcVar& v : header.vars) {
+      if (v.IsRecord(header.dims)) {
+        uint64_t unpadded = NcTypeSize(v.type);
+        std::vector<uint64_t> shape = header.VarShape(v);
+        for (size_t j = 1; j < shape.size(); ++j) unpadded *= shape[j];
+        recsize = unpadded;
+      }
+    }
+  }
+  return NcReader(std::move(header), std::move(bytes), recsize);
+}
+
+Result<NcReader> NcReader::OpenFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError(StrCat("cannot open ", path));
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  return Open(std::move(bytes));
+}
+
+uint64_t NcReader::ElementOffset(const NcVar& var, const std::vector<uint64_t>& shape,
+                                 const std::vector<uint64_t>& index) const {
+  size_t esize = NcTypeSize(var.type);
+  if (var.IsRecord(header_.dims)) {
+    // Record r lives at begin + r * recsize; within the record the
+    // remaining dimensions are contiguous.
+    uint64_t within = 0;
+    for (size_t j = 1; j < shape.size(); ++j) within = within * shape[j] + index[j];
+    return var.begin + index[0] * recsize_ + within * esize;
+  }
+  uint64_t flat = 0;
+  for (size_t j = 0; j < shape.size(); ++j) flat = flat * shape[j] + index[j];
+  return var.begin + flat * esize;
+}
+
+Result<double> NcReader::DecodeAt(NcType type, uint64_t offset) const {
+  size_t esize = NcTypeSize(type);
+  if (offset + esize > bytes_.size()) {
+    return Status::FormatError("netcdf: data read past end of file");
+  }
+  return DecodeBigEndian(type, bytes_.data() + offset);
+}
+
+Result<std::vector<double>> NcReader::ReadSlab(int var_index,
+                                               const std::vector<uint64_t>& start,
+                                               const std::vector<uint64_t>& count) const {
+  if (var_index < 0 || var_index >= static_cast<int>(header_.vars.size())) {
+    return Status::InvalidArgument("netcdf: bad variable index");
+  }
+  const NcVar& var = header_.vars[var_index];
+  if (var.type == NcType::kChar) {
+    return Status::InvalidArgument("netcdf: use ReadChars for char variables");
+  }
+  std::vector<uint64_t> shape = header_.VarShape(var);
+  if (start.size() != shape.size() || count.size() != shape.size()) {
+    return Status::InvalidArgument(
+        StrCat("netcdf: slab rank mismatch for variable ", var.name, " (rank ",
+               shape.size(), ")"));
+  }
+  uint64_t total = 1;
+  for (size_t j = 0; j < shape.size(); ++j) {
+    if (start[j] + count[j] > shape[j]) {
+      return Status::InvalidArgument(
+          StrCat("netcdf: slab out of range on dimension ", j, " of ", var.name));
+    }
+    if (count[j] != 0 && total > bytes_.size() / count[j]) {
+      // More elements than the file has bytes: the header is corrupt.
+      return Status::FormatError("netcdf: variable extent exceeds file size");
+    }
+    total *= count[j];
+  }
+  if (total > bytes_.size()) {
+    return Status::FormatError("netcdf: variable extent exceeds file size");
+  }
+  std::vector<double> out;
+  out.reserve(total);
+  if (total == 0) return out;
+  std::vector<uint64_t> rel(shape.size(), 0);
+  std::vector<uint64_t> abs(shape.size());
+  for (uint64_t n = 0; n < total; ++n) {
+    for (size_t j = 0; j < shape.size(); ++j) abs[j] = start[j] + rel[j];
+    AQL_ASSIGN_OR_RETURN(double v, DecodeAt(var.type, ElementOffset(var, shape, abs)));
+    out.push_back(v);
+    for (size_t j = shape.size(); j-- > 0;) {
+      if (++rel[j] < count[j]) break;
+      rel[j] = 0;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<double>> NcReader::ReadAll(int var_index) const {
+  if (var_index < 0 || var_index >= static_cast<int>(header_.vars.size())) {
+    return Status::InvalidArgument("netcdf: bad variable index");
+  }
+  const NcVar& var = header_.vars[var_index];
+  std::vector<uint64_t> shape = header_.VarShape(var);
+  std::vector<uint64_t> start(shape.size(), 0);
+  return ReadSlab(var_index, start, shape);
+}
+
+Result<std::string> NcReader::ReadChars(int var_index, const std::vector<uint64_t>& start,
+                                        const std::vector<uint64_t>& count) const {
+  if (var_index < 0 || var_index >= static_cast<int>(header_.vars.size())) {
+    return Status::InvalidArgument("netcdf: bad variable index");
+  }
+  const NcVar& var = header_.vars[var_index];
+  if (var.type != NcType::kChar) {
+    return Status::InvalidArgument("netcdf: ReadChars on non-char variable");
+  }
+  std::vector<uint64_t> shape = header_.VarShape(var);
+  if (start.size() != shape.size() || count.size() != shape.size()) {
+    return Status::InvalidArgument("netcdf: slab rank mismatch");
+  }
+  uint64_t total = 1;
+  for (size_t j = 0; j < shape.size(); ++j) {
+    if (start[j] + count[j] > shape[j]) {
+      return Status::InvalidArgument("netcdf: slab out of range");
+    }
+    if (count[j] != 0 && total > bytes_.size() / count[j]) {
+      return Status::FormatError("netcdf: variable extent exceeds file size");
+    }
+    total *= count[j];
+  }
+  if (total > bytes_.size()) {
+    return Status::FormatError("netcdf: variable extent exceeds file size");
+  }
+  std::string out;
+  out.reserve(total);
+  std::vector<uint64_t> rel(shape.size(), 0);
+  std::vector<uint64_t> abs(shape.size());
+  for (uint64_t n = 0; n < total; ++n) {
+    for (size_t j = 0; j < shape.size(); ++j) abs[j] = start[j] + rel[j];
+    uint64_t offset = ElementOffset(var, shape, abs);
+    if (offset >= bytes_.size()) return Status::FormatError("netcdf: char read past end");
+    out.push_back(static_cast<char>(bytes_[offset]));
+    for (size_t j = shape.size(); j-- > 0;) {
+      if (++rel[j] < count[j]) break;
+      rel[j] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace netcdf
+}  // namespace aql

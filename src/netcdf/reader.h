@@ -1,0 +1,62 @@
+// NetCDF classic-format reader with hyperslab extraction.
+//
+// The file is loaded into memory once; header decoding and slab reads
+// operate on the byte buffer. Slab reads are the NETCDF<k> reader's
+// workhorse (paper §4.1): `ReadSlab(var, start, count)` returns `count`
+// elements per dimension starting at `start`, decoded to doubles in
+// row-major order, honouring record-variable interleaving.
+
+#ifndef AQL_NETCDF_READER_H_
+#define AQL_NETCDF_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "netcdf/format.h"
+
+namespace aql {
+namespace netcdf {
+
+class NcReader {
+ public:
+  // Parses the header; the buffer is copied and kept for slab reads.
+  static Result<NcReader> Open(std::vector<uint8_t> bytes);
+  static Result<NcReader> OpenFile(const std::string& path);
+
+  const NcHeader& header() const { return header_; }
+
+  // Reads a hyperslab of `var_index` as doubles (numeric types only).
+  // start.size() == count.size() == rank of the variable.
+  Result<std::vector<double>> ReadSlab(int var_index,
+                                       const std::vector<uint64_t>& start,
+                                       const std::vector<uint64_t>& count) const;
+
+  // Whole-variable convenience read.
+  Result<std::vector<double>> ReadAll(int var_index) const;
+
+  // Reads a character variable's slab as a string (NC_CHAR only).
+  Result<std::string> ReadChars(int var_index, const std::vector<uint64_t>& start,
+                                const std::vector<uint64_t>& count) const;
+
+ private:
+  NcReader(NcHeader header, std::vector<uint8_t> bytes, uint64_t recsize)
+      : header_(std::move(header)), bytes_(std::move(bytes)), recsize_(recsize) {}
+
+  // Byte offset of element `flat_index` (row-major over the full variable
+  // shape) of variable `var`.
+  uint64_t ElementOffset(const NcVar& var, const std::vector<uint64_t>& shape,
+                         const std::vector<uint64_t>& index) const;
+
+  Result<double> DecodeAt(NcType type, uint64_t offset) const;
+
+  NcHeader header_;
+  std::vector<uint8_t> bytes_;
+  uint64_t recsize_ = 0;  // bytes per record across all record variables
+};
+
+}  // namespace netcdf
+}  // namespace aql
+
+#endif  // AQL_NETCDF_READER_H_

@@ -1,0 +1,130 @@
+#include "netcdf/synth.h"
+
+#include <cmath>
+
+#include "netcdf/writer.h"
+
+namespace aql {
+namespace netcdf {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Small deterministic hash -> [0,1): SplitMix64 finalizer.
+double Noise(uint64_t seed, uint64_t a, uint64_t b, uint64_t c, uint64_t d) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ull * (a + 1) + 0xBF58476D1CE4E5B9ull * (b + 1) +
+               0x94D049BB133111EBull * (c + 1) + 0xD6E8FEB86659FD93ull * (d + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z = z ^ (z >> 31);
+  return double(z >> 11) / double(1ull << 53);
+}
+
+}  // namespace
+
+double SynthTemperature(const SynthWeatherOptions& opts, uint64_t hour, uint64_t lat,
+                        uint64_t lon) {
+  double day = double(hour) / 24.0;
+  double seasonal = 22.0 * std::sin(2 * kPi * (day - 80.0) / 365.0);  // peak ~mid-July
+  double diurnal = 8.0 * std::sin(2 * kPi * (double(hour % 24) - 9.0) / 24.0);
+  double site = 1.5 * double(lat) - 0.8 * double(lon);
+  double noise = 6.0 * (Noise(opts.seed, hour, lat, lon, 0) - 0.5);
+  return opts.base_temp_f + seasonal + diurnal + site + noise;
+}
+
+double SynthHumidity(const SynthWeatherOptions& opts, uint64_t hour, uint64_t lat,
+                     uint64_t lon) {
+  double diurnal = -15.0 * std::sin(2 * kPi * (double(hour % 24) - 9.0) / 24.0);
+  double noise = 20.0 * (Noise(opts.seed, hour, lat, lon, 1) - 0.5);
+  double rh = 60.0 + diurnal + noise;
+  if (rh < 5.0) rh = 5.0;
+  if (rh > 100.0) rh = 100.0;
+  return rh;
+}
+
+double SynthWind(const SynthWeatherOptions& opts, uint64_t half_hour, uint64_t alt,
+                 uint64_t lat, uint64_t lon) {
+  double base = 6.0 + 3.5 * double(alt);  // faster aloft
+  double gust = 4.0 * Noise(opts.seed, half_hour, alt, lat * 97 + lon, 2);
+  double diurnal = 2.0 * std::sin(2 * kPi * double(half_hour % 48) / 48.0);
+  double ws = base + gust + diurnal;
+  return ws < 0 ? 0 : ws;
+}
+
+namespace {
+
+Result<size_t> WriteGrid3(const std::string& path, const SynthWeatherOptions& opts,
+                          const char* var_name, const char* units,
+                          double (*fn)(const SynthWeatherOptions&, uint64_t, uint64_t,
+                                       uint64_t)) {
+  NcWriter w(1);
+  uint64_t hours = opts.days * 24;
+  uint32_t time_id = w.AddDim("time", opts.use_record_time ? 0 : hours);
+  uint32_t lat_id = w.AddDim("lat", opts.lats);
+  uint32_t lon_id = w.AddDim("lon", opts.lons);
+
+  NcAttr unit_attr;
+  unit_attr.name = "units";
+  unit_attr.type = NcType::kChar;
+  unit_attr.chars = units;
+  w.AddGlobalAttr(NcAttr{"source", NcType::kChar, {}, "aql synthetic weather"});
+
+  std::vector<double> data;
+  data.reserve(hours * opts.lats * opts.lons);
+  for (uint64_t h = 0; h < hours; ++h) {
+    for (uint64_t la = 0; la < opts.lats; ++la) {
+      for (uint64_t lo = 0; lo < opts.lons; ++lo) {
+        data.push_back(fn(opts, h, la, lo));
+      }
+    }
+  }
+  w.AddVar(var_name, NcType::kFloat, {time_id, lat_id, lon_id}, std::move(data),
+           {unit_attr});
+  AQL_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                       w.Encode(opts.use_record_time ? hours : 0));
+  AQL_RETURN_IF_ERROR(w.WriteFile(path, opts.use_record_time ? hours : 0));
+  return bytes.size();
+}
+
+}  // namespace
+
+Result<size_t> WriteTempFile(const std::string& path, const SynthWeatherOptions& opts) {
+  return WriteGrid3(path, opts, "temp", "degF", &SynthTemperature);
+}
+
+Result<size_t> WriteHumidityFile(const std::string& path,
+                                 const SynthWeatherOptions& opts) {
+  return WriteGrid3(path, opts, "rh", "percent", &SynthHumidity);
+}
+
+Result<size_t> WriteWindFile(const std::string& path, const SynthWeatherOptions& opts) {
+  NcWriter w(1);
+  uint64_t ticks = opts.days * 48;  // half-hourly grid (§1)
+  uint32_t time_id = w.AddDim("time2", opts.use_record_time ? 0 : ticks);
+  uint32_t alt_id = w.AddDim("alt", opts.alts);
+  uint32_t lat_id = w.AddDim("lat", opts.lats);
+  uint32_t lon_id = w.AddDim("lon", opts.lons);
+  w.AddGlobalAttr(NcAttr{"source", NcType::kChar, {}, "aql synthetic weather"});
+
+  std::vector<double> data;
+  data.reserve(ticks * opts.alts * opts.lats * opts.lons);
+  for (uint64_t t = 0; t < ticks; ++t) {
+    for (uint64_t al = 0; al < opts.alts; ++al) {
+      for (uint64_t la = 0; la < opts.lats; ++la) {
+        for (uint64_t lo = 0; lo < opts.lons; ++lo) {
+          data.push_back(SynthWind(opts, t, al, la, lo));
+        }
+      }
+    }
+  }
+  w.AddVar("ws", NcType::kFloat, {time_id, alt_id, lat_id, lon_id}, std::move(data),
+           {NcAttr{"units", NcType::kChar, {}, "mph"}});
+  AQL_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                       w.Encode(opts.use_record_time ? ticks : 0));
+  AQL_RETURN_IF_ERROR(w.WriteFile(path, opts.use_record_time ? ticks : 0));
+  return bytes.size();
+}
+
+}  // namespace netcdf
+}  // namespace aql

@@ -1,0 +1,54 @@
+// Synthetic weather data (the repository's stand-in for the paper's
+// proprietary NYC observations; see DESIGN.md "Substitutions").
+//
+// Generates genuine NetCDF classic files with the same dimensionality and
+// gridding the paper's examples assume:
+//   - temp.nc   : temp(time, lat, lon), hourly surface temperature (F)
+//   - rh.nc     : rh(time, lat, lon), hourly relative humidity (%)
+//   - wind.nc   : ws(time2, alt, lat, lon), HALF-hourly wind speed over
+//                 several altitudes (the mismatched grid of §1)
+//
+// Values are deterministic (seeded LCG + diurnal/seasonal sinusoids), so
+// tests can assert exact query answers.
+
+#ifndef AQL_NETCDF_SYNTH_H_
+#define AQL_NETCDF_SYNTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace aql {
+namespace netcdf {
+
+struct SynthWeatherOptions {
+  uint64_t days = 365;       // length of the time axis in days
+  uint64_t lats = 4;
+  uint64_t lons = 4;
+  uint64_t alts = 3;         // wind file only
+  uint64_t seed = 1996;      // paper's publication year
+  double base_temp_f = 60.0; // annual mean
+  bool use_record_time = true;  // time as the unlimited dimension
+};
+
+// Deterministic surface temperature, in deg F, at an absolute hour.
+double SynthTemperature(const SynthWeatherOptions& opts, uint64_t hour, uint64_t lat,
+                        uint64_t lon);
+// Relative humidity in percent.
+double SynthHumidity(const SynthWeatherOptions& opts, uint64_t hour, uint64_t lat,
+                     uint64_t lon);
+// Wind speed (mph) at a half-hour tick and altitude level.
+double SynthWind(const SynthWeatherOptions& opts, uint64_t half_hour, uint64_t alt,
+                 uint64_t lat, uint64_t lon);
+
+// Writers for the three files. Each returns the number of bytes written.
+Result<size_t> WriteTempFile(const std::string& path, const SynthWeatherOptions& opts);
+Result<size_t> WriteHumidityFile(const std::string& path, const SynthWeatherOptions& opts);
+Result<size_t> WriteWindFile(const std::string& path, const SynthWeatherOptions& opts);
+
+}  // namespace netcdf
+}  // namespace aql
+
+#endif  // AQL_NETCDF_SYNTH_H_

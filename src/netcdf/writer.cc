@@ -1,0 +1,299 @@
+#include "netcdf/writer.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "base/strings.h"
+
+namespace aql {
+namespace netcdf {
+
+namespace {
+
+constexpr uint32_t kTagDimension = 0x0A;
+constexpr uint32_t kTagVariable = 0x0B;
+constexpr uint32_t kTagAttribute = 0x0C;
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(uint8_t(v >> 24));
+  out->push_back(uint8_t(v >> 16));
+  out->push_back(uint8_t(v >> 8));
+  out->push_back(uint8_t(v));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  PutU32(out, uint32_t(v >> 32));
+  PutU32(out, uint32_t(v));
+}
+
+void Pad4(std::vector<uint8_t>* out) {
+  while (out->size() % 4 != 0) out->push_back(0);
+}
+
+void PutName(std::vector<uint8_t>* out, const std::string& name) {
+  PutU32(out, uint32_t(name.size()));
+  out->insert(out->end(), name.begin(), name.end());
+  Pad4(out);
+}
+
+void EncodeValue(std::vector<uint8_t>* out, NcType type, double v) {
+  switch (type) {
+    case NcType::kByte:
+      out->push_back(uint8_t(int8_t(v)));
+      return;
+    case NcType::kChar:
+      out->push_back(uint8_t(v));
+      return;
+    case NcType::kShort: {
+      int16_t s = int16_t(v);
+      out->push_back(uint8_t(uint16_t(s) >> 8));
+      out->push_back(uint8_t(uint16_t(s)));
+      return;
+    }
+    case NcType::kInt: {
+      int32_t i = int32_t(v);
+      PutU32(out, uint32_t(i));
+      return;
+    }
+    case NcType::kFloat: {
+      float f = float(v);
+      uint32_t bits;
+      std::memcpy(&bits, &f, 4);
+      PutU32(out, bits);
+      return;
+    }
+    case NcType::kDouble: {
+      uint64_t bits;
+      std::memcpy(&bits, &v, 8);
+      PutU64(out, bits);
+      return;
+    }
+  }
+}
+
+void PutAttr(std::vector<uint8_t>* out, const NcAttr& attr) {
+  PutName(out, attr.name);
+  PutU32(out, uint32_t(attr.type));
+  if (attr.type == NcType::kChar) {
+    PutU32(out, uint32_t(attr.chars.size()));
+    out->insert(out->end(), attr.chars.begin(), attr.chars.end());
+  } else {
+    PutU32(out, uint32_t(attr.numbers.size()));
+    for (double v : attr.numbers) EncodeValue(out, attr.type, v);
+  }
+  Pad4(out);
+}
+
+void PutAttrList(std::vector<uint8_t>* out, const std::vector<NcAttr>& attrs) {
+  if (attrs.empty()) {
+    PutU32(out, 0);
+    PutU32(out, 0);
+    return;
+  }
+  PutU32(out, kTagAttribute);
+  PutU32(out, uint32_t(attrs.size()));
+  for (const NcAttr& a : attrs) PutAttr(out, a);
+}
+
+uint64_t RoundUp4(uint64_t n) { return (n + 3) & ~uint64_t(3); }
+
+}  // namespace
+
+uint32_t NcWriter::AddDim(std::string name, uint64_t length) {
+  dims_.push_back(NcDim{std::move(name), length, length == 0});
+  return uint32_t(dims_.size() - 1);
+}
+
+void NcWriter::AddGlobalAttr(NcAttr attr) { gattrs_.push_back(std::move(attr)); }
+
+uint32_t NcWriter::AddVar(std::string name, NcType type, std::vector<uint32_t> dim_ids,
+                          std::vector<double> data, std::vector<NcAttr> attrs) {
+  PendingVar pv;
+  pv.var.name = std::move(name);
+  pv.var.type = type;
+  pv.var.dim_ids = std::move(dim_ids);
+  pv.var.attrs = std::move(attrs);
+  pv.data = std::move(data);
+  vars_.push_back(std::move(pv));
+  return uint32_t(vars_.size() - 1);
+}
+
+uint32_t NcWriter::AddCharVar(std::string name, std::vector<uint32_t> dim_ids,
+                              std::string data, std::vector<NcAttr> attrs) {
+  PendingVar pv;
+  pv.var.name = std::move(name);
+  pv.var.type = NcType::kChar;
+  pv.var.dim_ids = std::move(dim_ids);
+  pv.var.attrs = std::move(attrs);
+  pv.char_data = std::move(data);
+  vars_.push_back(std::move(pv));
+  return uint32_t(vars_.size() - 1);
+}
+
+Result<std::vector<uint8_t>> NcWriter::Encode(uint64_t num_records) const {
+  // Validate dimensions and compute per-variable sizes.
+  size_t record_dims = 0;
+  for (const NcDim& d : dims_) record_dims += d.is_record ? 1 : 0;
+  if (record_dims > 1) {
+    return Status::InvalidArgument("netcdf: at most one record dimension");
+  }
+
+  std::vector<uint64_t> vsizes(vars_.size());
+  std::vector<uint64_t> per_record_counts(vars_.size(), 0);
+  size_t record_var_count = 0;
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    const PendingVar& pv = vars_[i];
+    uint64_t count = 1;  // elements per record for record vars, total else
+    bool is_record = false;
+    for (size_t j = 0; j < pv.var.dim_ids.size(); ++j) {
+      uint32_t id = pv.var.dim_ids[j];
+      if (id >= dims_.size()) {
+        return Status::InvalidArgument("netcdf: bad dimension id");
+      }
+      const NcDim& d = dims_[id];
+      if (d.is_record) {
+        if (j != 0) {
+          return Status::InvalidArgument(
+              "netcdf: record dimension must be the first dimension");
+        }
+        is_record = true;
+        continue;
+      }
+      count *= d.length;
+    }
+    vsizes[i] = RoundUp4(count * NcTypeSize(pv.var.type));
+    per_record_counts[i] = count;
+    if (is_record) ++record_var_count;
+    uint64_t expected = count * (is_record ? num_records : 1);
+    uint64_t actual =
+        pv.var.type == NcType::kChar ? pv.char_data.size() : pv.data.size();
+    if (actual != expected) {
+      return Status::InvalidArgument(
+          StrCat("netcdf: variable ", pv.var.name, " has ", actual,
+                 " values, expected ", expected));
+    }
+  }
+
+  // Header with placeholder offsets to measure its size, then rebuild.
+  // (Offsets only change the byte *values*, never the length, because the
+  // begin field is fixed-width.)
+  auto build_header = [&](const std::vector<uint64_t>& begins) {
+    std::vector<uint8_t> out;
+    out.push_back('C');
+    out.push_back('D');
+    out.push_back('F');
+    out.push_back(version_);
+    PutU32(&out, uint32_t(num_records));
+    if (dims_.empty()) {
+      PutU32(&out, 0);
+      PutU32(&out, 0);
+    } else {
+      PutU32(&out, kTagDimension);
+      PutU32(&out, uint32_t(dims_.size()));
+      for (const NcDim& d : dims_) {
+        PutName(&out, d.name);
+        PutU32(&out, d.is_record ? 0 : uint32_t(d.length));
+      }
+    }
+    PutAttrList(&out, gattrs_);
+    if (vars_.empty()) {
+      PutU32(&out, 0);
+      PutU32(&out, 0);
+    } else {
+      PutU32(&out, kTagVariable);
+      PutU32(&out, uint32_t(vars_.size()));
+      for (size_t i = 0; i < vars_.size(); ++i) {
+        const PendingVar& pv = vars_[i];
+        PutName(&out, pv.var.name);
+        PutU32(&out, uint32_t(pv.var.dim_ids.size()));
+        for (uint32_t id : pv.var.dim_ids) PutU32(&out, id);
+        PutAttrList(&out, pv.var.attrs);
+        PutU32(&out, uint32_t(pv.var.type));
+        PutU32(&out, uint32_t(vsizes[i]));
+        if (version_ == 2) {
+          PutU64(&out, begins[i]);
+        } else {
+          PutU32(&out, uint32_t(begins[i]));
+        }
+      }
+    }
+    return out;
+  };
+
+  std::vector<uint64_t> begins(vars_.size(), 0);
+  uint64_t header_size = build_header(begins).size();
+
+  // Assign offsets: fixed variables first, then the record section.
+  uint64_t offset = header_size;
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    if (vars_[i].var.IsRecord(dims_)) continue;
+    begins[i] = offset;
+    offset += vsizes[i];
+  }
+  uint64_t record_start = offset;
+  uint64_t recsize = 0;
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    if (!vars_[i].var.IsRecord(dims_)) continue;
+    begins[i] = record_start + recsize;
+    recsize += vsizes[i];
+  }
+  // Single-record-variable special case: records are packed unpadded.
+  if (record_var_count == 1) {
+    for (size_t i = 0; i < vars_.size(); ++i) {
+      if (vars_[i].var.IsRecord(dims_)) {
+        recsize = per_record_counts[i] * NcTypeSize(vars_[i].var.type);
+      }
+    }
+  }
+
+  std::vector<uint8_t> out = build_header(begins);
+  out.resize(record_start + recsize * num_records, 0);
+
+  // Fixed-size data.
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    const PendingVar& pv = vars_[i];
+    if (pv.var.IsRecord(dims_)) continue;
+    std::vector<uint8_t> buf;
+    if (pv.var.type == NcType::kChar) {
+      buf.assign(pv.char_data.begin(), pv.char_data.end());
+    } else {
+      for (double v : pv.data) EncodeValue(&buf, pv.var.type, v);
+    }
+    std::memcpy(out.data() + begins[i], buf.data(), buf.size());
+  }
+  // Record data, interleaved per record.
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    const PendingVar& pv = vars_[i];
+    if (!pv.var.IsRecord(dims_)) continue;
+    size_t esize = NcTypeSize(pv.var.type);
+    for (uint64_t r = 0; r < num_records; ++r) {
+      std::vector<uint8_t> buf;
+      if (pv.var.type == NcType::kChar) {
+        buf.assign(pv.char_data.begin() + r * per_record_counts[i],
+                   pv.char_data.begin() + (r + 1) * per_record_counts[i]);
+      } else {
+        for (uint64_t n = 0; n < per_record_counts[i]; ++n) {
+          EncodeValue(&buf, pv.var.type, pv.data[r * per_record_counts[i] + n]);
+        }
+      }
+      uint64_t at = begins[i] + r * recsize;
+      if (at + buf.size() > out.size()) out.resize(at + buf.size(), 0);
+      std::memcpy(out.data() + at, buf.data(), buf.size());
+      (void)esize;
+    }
+  }
+  return out;
+}
+
+Status NcWriter::WriteFile(const std::string& path, uint64_t num_records) const {
+  AQL_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, Encode(num_records));
+  std::ofstream outf(path, std::ios::binary | std::ios::trunc);
+  if (!outf) return Status::IoError(StrCat("cannot open ", path, " for writing"));
+  outf.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  if (!outf) return Status::IoError(StrCat("failed writing ", path));
+  return Status::OK();
+}
+
+}  // namespace netcdf
+}  // namespace aql

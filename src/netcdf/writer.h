@@ -1,0 +1,65 @@
+// NetCDF classic-format writer.
+//
+// Builds a complete CDF-1 or CDF-2 byte stream from a declarative file
+// description: dimensions, global attributes, and variables with their
+// data supplied as doubles (converted to each variable's external type).
+// Layout follows the classic rules: header, fixed-size variable data in
+// declaration order (each slab 4-byte aligned), then record data
+// interleaved one record at a time.
+
+#ifndef AQL_NETCDF_WRITER_H_
+#define AQL_NETCDF_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "netcdf/format.h"
+
+namespace aql {
+namespace netcdf {
+
+class NcWriter {
+ public:
+  explicit NcWriter(uint8_t version = 1) : version_(version) {}
+
+  // Returns the dimension id. length 0 declares the record dimension
+  // (at most one).
+  uint32_t AddDim(std::string name, uint64_t length);
+
+  void AddGlobalAttr(NcAttr attr);
+
+  // Data is row-major over the variable's shape with the record dimension
+  // (if any) resolved against `num_records` passed to Encode. Returns the
+  // variable id.
+  uint32_t AddVar(std::string name, NcType type, std::vector<uint32_t> dim_ids,
+                  std::vector<double> data, std::vector<NcAttr> attrs = {});
+
+  // Char variable convenience (data supplied as a string).
+  uint32_t AddCharVar(std::string name, std::vector<uint32_t> dim_ids, std::string data,
+                      std::vector<NcAttr> attrs = {});
+
+  // Serializes the file. num_records is required iff a record dimension
+  // was declared.
+  Result<std::vector<uint8_t>> Encode(uint64_t num_records = 0) const;
+
+  Status WriteFile(const std::string& path, uint64_t num_records = 0) const;
+
+ private:
+  struct PendingVar {
+    NcVar var;
+    std::vector<double> data;
+    std::string char_data;
+  };
+
+  uint8_t version_;
+  std::vector<NcDim> dims_;
+  std::vector<NcAttr> gattrs_;
+  std::vector<PendingVar> vars_;
+};
+
+}  // namespace netcdf
+}  // namespace aql
+
+#endif  // AQL_NETCDF_WRITER_H_

@@ -1,0 +1,318 @@
+#include "object/value.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "base/strings.h"
+
+namespace aql {
+
+const char* ValueKindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kBottom: return "bottom";
+    case ValueKind::kBool: return "bool";
+    case ValueKind::kNat: return "nat";
+    case ValueKind::kReal: return "real";
+    case ValueKind::kString: return "string";
+    case ValueKind::kTuple: return "tuple";
+    case ValueKind::kSet: return "set";
+    case ValueKind::kArray: return "array";
+    case ValueKind::kFunc: return "function";
+  }
+  return "unknown";
+}
+
+uint64_t ArrayRep::TotalSize() const {
+  uint64_t n = 1;
+  for (uint64_t d : dims) n *= d;
+  return n;
+}
+
+uint64_t ArrayRep::Flatten(const std::vector<uint64_t>& index) const {
+  uint64_t flat = 0;
+  for (size_t i = 0; i < dims.size(); ++i) flat = flat * dims[i] + index[i];
+  return flat;
+}
+
+bool ArrayRep::InBounds(const std::vector<uint64_t>& index) const {
+  if (index.size() != dims.size()) return false;
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (index[i] >= dims[i]) return false;
+  }
+  return true;
+}
+
+Value Value::Str(std::string s) {
+  return Value(Rep(std::make_shared<const std::string>(std::move(s))));
+}
+
+Value Value::MakeTuple(std::vector<Value> fields) {
+  return Value(Rep(std::make_shared<const std::vector<Value>>(std::move(fields))));
+}
+
+Value Value::MakeSet(std::vector<Value> elems) {
+  std::sort(elems.begin(), elems.end(),
+            [](const Value& a, const Value& b) { return Compare(a, b) < 0; });
+  elems.erase(std::unique(elems.begin(), elems.end(),
+                          [](const Value& a, const Value& b) { return Compare(a, b) == 0; }),
+              elems.end());
+  return MakeSetCanonical(std::move(elems));
+}
+
+Value Value::MakeSetCanonical(std::vector<Value> elems) {
+#ifndef NDEBUG
+  for (size_t i = 1; i < elems.size(); ++i) {
+    assert(Compare(elems[i - 1], elems[i]) < 0 && "set not canonical");
+  }
+#endif
+  return Value(Rep(std::make_shared<const SetRep>(SetRep{std::move(elems)})));
+}
+
+Result<Value> Value::MakeArray(std::vector<uint64_t> dims, std::vector<Value> elems) {
+  if (dims.empty()) {
+    return Status::InvalidArgument("array must have at least one dimension");
+  }
+  uint64_t total = 1;
+  for (uint64_t d : dims) total *= d;
+  if (total != elems.size()) {
+    return Status::InvalidArgument(
+        StrCat("array literal has ", elems.size(), " values but dimensions require ", total));
+  }
+  return Value(
+      Rep(std::make_shared<const ArrayRep>(ArrayRep{std::move(dims), std::move(elems)})));
+}
+
+Value Value::MakeVector(std::vector<Value> elems) {
+  uint64_t n = elems.size();
+  return Value(Rep(std::make_shared<const ArrayRep>(ArrayRep{{n}, std::move(elems)})));
+}
+
+Value Value::MakeFunc(std::shared_ptr<const FuncValue> fn) {
+  return Value(Rep(std::move(fn)));
+}
+
+namespace {
+
+template <typename T>
+int Cmp3(const T& a, const T& b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+int CompareValueVectors(const std::vector<Value>& a, const std::vector<Value>& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = Value::Compare(a[i], b[i]);
+    if (c != 0) return c;
+  }
+  return Cmp3(a.size(), b.size());
+}
+
+}  // namespace
+
+int Value::Compare(const Value& a, const Value& b) {
+  if (a.kind() != b.kind()) {
+    return Cmp3(static_cast<int>(a.kind()), static_cast<int>(b.kind()));
+  }
+  switch (a.kind()) {
+    case ValueKind::kBottom: return 0;
+    case ValueKind::kBool: return Cmp3(a.bool_value(), b.bool_value());
+    case ValueKind::kNat: return Cmp3(a.nat_value(), b.nat_value());
+    case ValueKind::kReal: return Cmp3(a.real_value(), b.real_value());
+    case ValueKind::kString: return a.str_value().compare(b.str_value());
+    case ValueKind::kTuple: return CompareValueVectors(a.tuple_fields(), b.tuple_fields());
+    case ValueKind::kSet: return CompareValueVectors(a.set().elems, b.set().elems);
+    case ValueKind::kArray: {
+      // Dimensions first, then row-major content: this makes <_[[t]]_k a
+      // lexicographic product of linear orders, hence linear.
+      const ArrayRep& x = a.array();
+      const ArrayRep& y = b.array();
+      if (int c = Cmp3(x.dims.size(), y.dims.size()); c != 0) return c;
+      for (size_t i = 0; i < x.dims.size(); ++i) {
+        if (int c = Cmp3(x.dims[i], y.dims[i]); c != 0) return c;
+      }
+      return CompareValueVectors(x.elems, y.elems);
+    }
+    case ValueKind::kFunc: {
+      const FuncValue* pa = &a.func();
+      const FuncValue* pb = &b.func();
+      return Cmp3(reinterpret_cast<uintptr_t>(pa), reinterpret_cast<uintptr_t>(pb));
+    }
+  }
+  return 0;
+}
+
+bool Value::SetContains(const Value& elem) const {
+  const auto& v = set().elems;
+  return std::binary_search(
+      v.begin(), v.end(), elem,
+      [](const Value& a, const Value& b) { return Compare(a, b) < 0; });
+}
+
+Value Value::SetUnion(const Value& a, const Value& b) {
+  const auto& x = a.set().elems;
+  const auto& y = b.set().elems;
+  std::vector<Value> out;
+  out.reserve(x.size() + y.size());
+  size_t i = 0, j = 0;
+  while (i < x.size() && j < y.size()) {
+    int c = Compare(x[i], y[j]);
+    if (c < 0) {
+      out.push_back(x[i++]);
+    } else if (c > 0) {
+      out.push_back(y[j++]);
+    } else {
+      out.push_back(x[i]);
+      ++i;
+      ++j;
+    }
+  }
+  while (i < x.size()) out.push_back(x[i++]);
+  while (j < y.size()) out.push_back(y[j++]);
+  return MakeSetCanonical(std::move(out));
+}
+
+namespace {
+
+void AppendValue(const Value& v, std::string* out);
+
+void AppendJoined(const std::vector<Value>& vs, std::string* out) {
+  for (size_t i = 0; i < vs.size(); ++i) {
+    if (i > 0) out->append(", ");
+    AppendValue(vs[i], out);
+  }
+}
+
+void AppendQuoted(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      default: out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendValue(const Value& v, std::string* out) {
+  switch (v.kind()) {
+    case ValueKind::kBottom:
+      out->append("bottom");
+      return;
+    case ValueKind::kBool:
+      out->append(v.bool_value() ? "true" : "false");
+      return;
+    case ValueKind::kNat:
+      out->append(std::to_string(v.nat_value()));
+      return;
+    case ValueKind::kReal:
+      out->append(RealToString(v.real_value()));
+      return;
+    case ValueKind::kString:
+      AppendQuoted(v.str_value(), out);
+      return;
+    case ValueKind::kTuple:
+      out->push_back('(');
+      AppendJoined(v.tuple_fields(), out);
+      out->push_back(')');
+      return;
+    case ValueKind::kSet:
+      out->push_back('{');
+      AppendJoined(v.set().elems, out);
+      out->push_back('}');
+      return;
+    case ValueKind::kArray: {
+      const ArrayRep& a = v.array();
+      out->append("[[");
+      for (size_t i = 0; i < a.dims.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        out->append(std::to_string(a.dims[i]));
+      }
+      out->append("; ");
+      AppendJoined(a.elems, out);
+      out->append("]]");
+      return;
+    }
+    case ValueKind::kFunc:
+      out->append(v.func().name());
+      return;
+  }
+}
+
+// Advances a multi-index in row-major order.
+void NextIndex(const std::vector<uint64_t>& dims, std::vector<uint64_t>* index) {
+  for (size_t i = dims.size(); i-- > 0;) {
+    if (++(*index)[i] < dims[i]) return;
+    (*index)[i] = 0;
+  }
+}
+
+void AppendDisplay(const Value& v, size_t max_items, std::string* out);
+
+void AppendDisplayJoined(const std::vector<Value>& vs, size_t max_items, std::string* out) {
+  size_t limit = max_items == 0 ? vs.size() : std::min(vs.size(), max_items);
+  for (size_t i = 0; i < limit; ++i) {
+    if (i > 0) out->append(", ");
+    AppendDisplay(vs[i], max_items, out);
+  }
+  if (limit < vs.size()) out->append(", ...");
+}
+
+void AppendDisplay(const Value& v, size_t max_items, std::string* out) {
+  switch (v.kind()) {
+    case ValueKind::kTuple:
+      out->push_back('(');
+      AppendDisplayJoined(v.tuple_fields(), max_items, out);
+      out->push_back(')');
+      return;
+    case ValueKind::kSet:
+      out->push_back('{');
+      AppendDisplayJoined(v.set().elems, max_items, out);
+      out->push_back('}');
+      return;
+    case ValueKind::kArray: {
+      // §4.2 session style: [[(0,0,0):67.3, (1,0,0):67.3, ...]].
+      const ArrayRep& a = v.array();
+      out->append("[[");
+      std::vector<uint64_t> index(a.dims.size(), 0);
+      size_t total = a.elems.size();
+      size_t limit = max_items == 0 ? total : std::min(total, max_items);
+      for (size_t i = 0; i < limit; ++i) {
+        if (i > 0) out->append(", ");
+        out->push_back('(');
+        for (size_t d = 0; d < index.size(); ++d) {
+          if (d > 0) out->push_back(',');
+          out->append(std::to_string(index[d]));
+        }
+        out->append("):");
+        AppendDisplay(a.elems[i], max_items, out);
+        NextIndex(a.dims, &index);
+      }
+      if (limit < total) out->append(", ...");
+      out->append("]]");
+      return;
+    }
+    default:
+      AppendValue(v, out);
+  }
+}
+
+}  // namespace
+
+std::string Value::ToString() const {
+  std::string out;
+  AppendValue(*this, &out);
+  return out;
+}
+
+std::string Value::ToDisplayString(size_t max_items) const {
+  std::string out;
+  AppendDisplay(*this, max_items, &out);
+  return out;
+}
+
+}  // namespace aql

@@ -1,0 +1,164 @@
+// Complex-object values for the AQL data model (paper §2, §3).
+//
+// The object types of NRCA are
+//
+//   t ::= b | B | N | t1 x ... x tk | {t} | [[t]]_k
+//
+// and we realize them with one tagged value class:
+//
+//   - kBool, kNat           primitive B and N (nats are 64-bit)
+//   - kReal, kString        the uninterpreted base types b used by the
+//                           paper's examples (temperatures, names)
+//   - kTuple                k-ary products
+//   - kSet                  finite sets, stored canonically: sorted under
+//                           the definable linear order <_t and deduplicated,
+//                           so structural equality is vector equality
+//   - kArray                k-dimensional arrays as *functions of
+//                           rectangular domain*: a dims vector plus values
+//                           in row-major order
+//   - kBottom               the explicit error value of the calculus; bound
+//                           errors and get() on non-singletons produce it
+//   - kFunc                 closures / registered external primitives; these
+//                           exist only transiently during evaluation (the
+//                           type system keeps them out of sets and arrays)
+//
+// Values are immutable and cheap to copy: heavy payloads are behind
+// shared_ptr<const ...>.
+
+#ifndef AQL_OBJECT_VALUE_H_
+#define AQL_OBJECT_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+
+namespace aql {
+
+class Value;
+
+enum class ValueKind {
+  kBottom = 0,  // least in the linear order
+  kBool,
+  kNat,
+  kReal,
+  kString,
+  kTuple,
+  kSet,
+  kArray,
+  kFunc,
+};
+
+const char* ValueKindName(ValueKind kind);
+
+// Canonical set representation: ascending under Value::Compare, no dups.
+struct SetRep {
+  std::vector<Value> elems;
+};
+
+// k-dimensional array: dims.size() == k >= 1, elems.size() == product(dims),
+// row-major (last index varies fastest).
+struct ArrayRep {
+  std::vector<uint64_t> dims;
+  std::vector<Value> elems;
+
+  uint64_t TotalSize() const;
+  // Row-major flattening of a multi-index; no bounds checking.
+  uint64_t Flatten(const std::vector<uint64_t>& index) const;
+  // True iff index[i] < dims[i] for all i and arities match.
+  bool InBounds(const std::vector<uint64_t>& index) const;
+};
+
+// Abstract function value: closures (eval module) and registered external
+// primitives (env module) both implement this.
+class FuncValue {
+ public:
+  virtual ~FuncValue() = default;
+  virtual Result<Value> Apply(const Value& arg) const = 0;
+  // Diagnostic name shown by the printer, e.g. "<fn>" or "<prim:heatindex>".
+  virtual std::string name() const { return "<fn>"; }
+};
+
+class Value {
+ public:
+  // Default-constructed value is bottom; keeps vectors of Value usable.
+  Value() : rep_(BottomTag{}) {}
+
+  static Value Bottom() { return Value(); }
+  static Value Bool(bool b) { return Value(Rep(b)); }
+  static Value Nat(uint64_t n) { return Value(Rep(n)); }
+  static Value Real(double d) { return Value(Rep(d)); }
+  static Value Str(std::string s);
+  static Value MakeTuple(std::vector<Value> fields);
+  // Builds a canonical set: sorts and deduplicates.
+  static Value MakeSet(std::vector<Value> elems);
+  // Precondition: already sorted and deduplicated (checked in debug builds).
+  static Value MakeSetCanonical(std::vector<Value> elems);
+  static Value EmptySet() { return MakeSetCanonical({}); }
+  // dims must be non-empty; elems.size() must equal product(dims).
+  static Result<Value> MakeArray(std::vector<uint64_t> dims, std::vector<Value> elems);
+  static Value MakeVector(std::vector<Value> elems);  // 1-d array
+  static Value MakeFunc(std::shared_ptr<const FuncValue> fn);
+
+  ValueKind kind() const { return static_cast<ValueKind>(rep_.index()); }
+  bool is_bottom() const { return kind() == ValueKind::kBottom; }
+
+  // Accessors; callers must check the kind first (asserted in debug builds).
+  bool bool_value() const { return std::get<bool>(rep_); }
+  uint64_t nat_value() const { return std::get<uint64_t>(rep_); }
+  double real_value() const { return std::get<double>(rep_); }
+  const std::string& str_value() const { return *std::get<StrPtr>(rep_); }
+  const std::vector<Value>& tuple_fields() const { return *std::get<TuplePtr>(rep_); }
+  const SetRep& set() const { return *std::get<SetPtr>(rep_); }
+  const ArrayRep& array() const { return *std::get<ArrayPtr>(rep_); }
+  const FuncValue& func() const { return *std::get<FuncPtr>(rep_); }
+  std::shared_ptr<const FuncValue> func_ptr() const { return std::get<FuncPtr>(rep_); }
+
+  // The definable linear order <_t of the paper (see [21]): total over all
+  // values, kind-rank first, then structural/lexicographic within a kind.
+  // Function values compare by identity (they never occur inside data).
+  // Returns <0, 0, >0.
+  static int Compare(const Value& a, const Value& b);
+
+  bool Equals(const Value& other) const { return Compare(*this, other) == 0; }
+  bool operator==(const Value& other) const { return Equals(other); }
+  bool operator!=(const Value& other) const { return !Equals(other); }
+  bool operator<(const Value& other) const { return Compare(*this, other) < 0; }
+
+  // Set helpers (operate on canonical reps).
+  bool SetContains(const Value& elem) const;
+  static Value SetUnion(const Value& a, const Value& b);
+
+  // Exchange-format rendering (§3 grammar). Arrays print in the dense
+  // row-major literal form [[d1,...,dk; v0,...,vn-1]].
+  std::string ToString() const;
+  // Display form used by the REPL: arrays print as [[(i1,..,ik):v, ...]]
+  // like the sample session in §4.2; long values are elided after
+  // `max_items` entries per collection (0 means no limit).
+  std::string ToDisplayString(size_t max_items = 0) const;
+
+ private:
+  struct BottomTag {
+    bool operator==(const BottomTag&) const { return true; }
+  };
+  using StrPtr = std::shared_ptr<const std::string>;
+  using TuplePtr = std::shared_ptr<const std::vector<Value>>;
+  using SetPtr = std::shared_ptr<const SetRep>;
+  using ArrayPtr = std::shared_ptr<const ArrayRep>;
+  using FuncPtr = std::shared_ptr<const FuncValue>;
+  // Variant order must match ValueKind enumerator order.
+  using Rep = std::variant<BottomTag, bool, uint64_t, double, StrPtr, TuplePtr,
+                           SetPtr, ArrayPtr, FuncPtr>;
+
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+}  // namespace aql
+
+#endif  // AQL_OBJECT_VALUE_H_

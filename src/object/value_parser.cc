@@ -1,0 +1,228 @@
+#include "object/value_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "base/strings.h"
+
+namespace aql {
+namespace {
+
+class ValueParser {
+ public:
+  ValueParser(std::string_view text, size_t pos) : text_(text), pos_(pos) {}
+
+  size_t pos() const { return pos_; }
+
+  Result<Value> Parse() {
+    SkipSpace();
+    AQL_ASSIGN_OR_RETURN(Value v, ParseOne());
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeIf(std::string_view token) {
+    SkipSpace();
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(std::string_view token) {
+    if (!ConsumeIf(token)) {
+      return Status::FormatError(
+          StrCat("expected '", std::string(token), "' at offset ", pos_, " in value text"));
+    }
+    return Status::OK();
+  }
+
+  bool AtWordBoundary(size_t end) const {
+    return end >= text_.size() || (!std::isalnum(static_cast<unsigned char>(text_[end])) &&
+                                   text_[end] != '_');
+  }
+
+  bool ConsumeKeyword(std::string_view word) {
+    SkipSpace();
+    if (text_.substr(pos_, word.size()) == word && AtWordBoundary(pos_ + word.size())) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> ParseOne() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Status::FormatError("unexpected end of value text");
+    if (ConsumeKeyword("true")) return Value::Bool(true);
+    if (ConsumeKeyword("false")) return Value::Bool(false);
+    if (ConsumeKeyword("bottom")) return Value::Bottom();
+    char c = text_[pos_];
+    if (c == '"') return ParseString();
+    if (c == '(') return ParseTuple();
+    if (c == '{') return ParseSet();
+    if (c == '[') return ParseArray();
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+') {
+      return ParseNumber();
+    }
+    return Status::FormatError(StrCat("unexpected character '", std::string(1, c),
+                                      "' at offset ", pos_, " in value text"));
+  }
+
+  Result<Value> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        char e = text_[pos_++];
+        switch (e) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          default:
+            return Status::FormatError(StrCat("bad escape '\\", std::string(1, e), "'"));
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    if (pos_ >= text_.size()) return Status::FormatError("unterminated string literal");
+    ++pos_;  // closing quote
+    return Value::Str(std::move(out));
+  }
+
+  Result<Value> ParseNumber() {
+    size_t start = pos_;
+    if (text_[pos_] == '-' || text_[pos_] == '+') ++pos_;
+    bool is_real = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E') {
+        is_real = true;
+        ++pos_;
+        if (c != '.' && pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+          ++pos_;
+        }
+      } else {
+        break;
+      }
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    if (is_real || token[0] == '-') {
+      char* end = nullptr;
+      double d = std::strtod(token.c_str(), &end);
+      if (end != token.c_str() + token.size()) {
+        return Status::FormatError(StrCat("bad numeric literal '", token, "'"));
+      }
+      return Value::Real(d);
+    }
+    char* end = nullptr;
+    uint64_t n = std::strtoull(token.c_str(), &end, 10);
+    if (end != token.c_str() + token.size()) {
+      return Status::FormatError(StrCat("bad nat literal '", token, "'"));
+    }
+    return Value::Nat(n);
+  }
+
+  Result<Value> ParseTuple() {
+    ++pos_;  // '('
+    std::vector<Value> fields;
+    if (ConsumeIf(")")) {
+      return Status::FormatError("empty tuple is not a value; arity must be >= 2");
+    }
+    while (true) {
+      AQL_ASSIGN_OR_RETURN(Value v, ParseOne());
+      fields.push_back(std::move(v));
+      if (ConsumeIf(")")) break;
+      AQL_RETURN_IF_ERROR(Expect(","));
+    }
+    if (fields.size() == 1) return std::move(fields[0]);  // parenthesized value
+    return Value::MakeTuple(std::move(fields));
+  }
+
+  Result<Value> ParseSet() {
+    ++pos_;  // '{'
+    std::vector<Value> elems;
+    if (ConsumeIf("}")) return Value::EmptySet();
+    while (true) {
+      AQL_ASSIGN_OR_RETURN(Value v, ParseOne());
+      elems.push_back(std::move(v));
+      if (ConsumeIf("}")) break;
+      AQL_RETURN_IF_ERROR(Expect(","));
+    }
+    return Value::MakeSet(std::move(elems));
+  }
+
+  Result<Value> ParseArray() {
+    AQL_RETURN_IF_ERROR(Expect("[["));
+    if (ConsumeIf("]]")) return Value::MakeVector({});
+    // Parse a comma-separated value list; if a ';' follows, the list so far
+    // is the dimension vector of a dense literal.
+    std::vector<Value> items;
+    while (true) {
+      AQL_ASSIGN_OR_RETURN(Value v, ParseOne());
+      items.push_back(std::move(v));
+      if (ConsumeIf(";")) return ParseDenseRest(std::move(items));
+      if (ConsumeIf("]]")) return Value::MakeVector(std::move(items));
+      AQL_RETURN_IF_ERROR(Expect(","));
+    }
+  }
+
+  Result<Value> ParseDenseRest(std::vector<Value> dim_values) {
+    std::vector<uint64_t> dims;
+    dims.reserve(dim_values.size());
+    for (const Value& v : dim_values) {
+      if (v.kind() != ValueKind::kNat) {
+        return Status::FormatError("array dimensions must be nat literals");
+      }
+      dims.push_back(v.nat_value());
+    }
+    std::vector<Value> elems;
+    if (!ConsumeIf("]]")) {
+      while (true) {
+        AQL_ASSIGN_OR_RETURN(Value v, ParseOne());
+        elems.push_back(std::move(v));
+        if (ConsumeIf("]]")) break;
+        AQL_RETURN_IF_ERROR(Expect(","));
+      }
+    }
+    return Value::MakeArray(std::move(dims), std::move(elems));
+  }
+
+  std::string_view text_;
+  size_t pos_;
+};
+
+}  // namespace
+
+Result<Value> ParseValuePrefix(std::string_view text, size_t* pos) {
+  ValueParser parser(text, *pos);
+  AQL_ASSIGN_OR_RETURN(Value v, parser.Parse());
+  *pos = parser.pos();
+  return v;
+}
+
+Result<Value> ParseValue(std::string_view text) {
+  size_t pos = 0;
+  AQL_ASSIGN_OR_RETURN(Value v, ParseValuePrefix(text, &pos));
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  if (pos != text.size()) {
+    return Status::FormatError(StrCat("trailing characters after value at offset ", pos));
+  }
+  return v;
+}
+
+}  // namespace aql

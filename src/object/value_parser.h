@@ -1,0 +1,31 @@
+// Parser for the complex-object data exchange format (paper §3).
+//
+//   co ::= true | false | <nat> | <real> | "<string>" | bottom
+//        | (co, ..., co)                      tuples (arity >= 2)
+//        | {co, ..., co}                      sets
+//        | [[co, ..., co]]                    one-dimensional array literal
+//        | [[n1, ..., nk; co, ..., co]]       dense k-dim row-major literal
+//
+// Any driver that deposits a byte stream in this grammar can be registered
+// as an AQL reader (§4.1); this parser is the other half of
+// Value::ToString(), and round-trips every value.
+
+#ifndef AQL_OBJECT_VALUE_PARSER_H_
+#define AQL_OBJECT_VALUE_PARSER_H_
+
+#include <string_view>
+
+#include "base/result.h"
+#include "object/value.h"
+
+namespace aql {
+
+// Parses exactly one value; trailing non-whitespace is an error.
+Result<Value> ParseValue(std::string_view text);
+
+// Parses one value starting at *pos, advancing *pos past it.
+Result<Value> ParseValuePrefix(std::string_view text, size_t* pos);
+
+}  // namespace aql
+
+#endif  // AQL_OBJECT_VALUE_PARSER_H_

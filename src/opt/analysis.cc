@@ -1,0 +1,179 @@
+#include "opt/analysis.h"
+
+namespace aql {
+
+bool ValueErrorFree(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kBottom:
+      return false;
+    case ValueKind::kTuple:
+      for (const Value& f : v.tuple_fields()) {
+        if (!ValueErrorFree(f)) return false;
+      }
+      return true;
+    case ValueKind::kSet:
+      for (const Value& x : v.set().elems) {
+        if (!ValueErrorFree(x)) return false;
+      }
+      return true;
+    case ValueKind::kArray:
+      for (const Value& x : v.array().elems) {
+        if (!ValueErrorFree(x)) return false;
+      }
+      return true;
+    case ValueKind::kFunc:
+      return false;  // cannot see inside
+    default:
+      return true;
+  }
+}
+
+bool LoopFree(const ExprPtr& e) {
+  switch (e->kind()) {
+    case ExprKind::kBigUnion:
+    case ExprKind::kSum:
+    case ExprKind::kTab:
+    case ExprKind::kGen:
+    case ExprKind::kIndex:
+    case ExprKind::kDense:
+    case ExprKind::kApply:     // unknown callee may iterate
+    case ExprKind::kExternal:
+      return false;
+    case ExprKind::kLambda:
+      return true;  // a value; its body runs only when applied
+    default:
+      for (const ExprPtr& c : e->children()) {
+        if (!LoopFree(c)) return false;
+      }
+      return true;
+  }
+}
+
+namespace {
+
+void CountOccurrencesImpl(const ExprPtr& e, const std::string& name, bool in_scope,
+                          size_t* count, bool* under_binder) {
+  if (e->is(ExprKind::kVar)) {
+    if (e->var_name() == name) {
+      ++*count;
+      if (in_scope) *under_binder = true;
+    }
+    return;
+  }
+  auto child_binders = ChildBinders(*e);
+  for (size_t i = 0; i < e->children().size(); ++i) {
+    bool shadowed = false;
+    for (const std::string& b : child_binders[i]) {
+      if (b == name) {
+        shadowed = true;
+        break;
+      }
+    }
+    if (shadowed) continue;
+    CountOccurrencesImpl(e->child(i), name, in_scope || !child_binders[i].empty(),
+                         count, under_binder);
+  }
+}
+
+bool ConsumedImpl(const ExprPtr& e, const std::string& name) {
+  // A bare occurrence at this node fails; occurrences one level under a
+  // consuming construct succeed.
+  if (e->is(ExprKind::kVar)) return e->var_name() != name;
+  auto child_binders = ChildBinders(*e);
+  for (size_t i = 0; i < e->children().size(); ++i) {
+    bool shadowed = false;
+    for (const std::string& b : child_binders[i]) {
+      if (b == name) {
+        shadowed = true;
+        break;
+      }
+    }
+    if (shadowed) continue;
+    const ExprPtr& c = e->child(i);
+    bool consuming_position = false;
+    switch (e->kind()) {
+      case ExprKind::kSubscript:
+      case ExprKind::kApply:
+        consuming_position = (i == 0);
+        break;
+      case ExprKind::kDim:
+      case ExprKind::kProj:
+        consuming_position = true;
+        break;
+      default:
+        break;
+    }
+    if (consuming_position && c->is(ExprKind::kVar) && c->var_name() == name) continue;
+    if (!ConsumedImpl(c, name)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+size_t CountFreeOccurrences(const ExprPtr& e, const std::string& name,
+                            bool* under_binder) {
+  size_t count = 0;
+  *under_binder = false;
+  CountOccurrencesImpl(e, name, false, &count, under_binder);
+  return count;
+}
+
+bool OccurrencesConsumed(const ExprPtr& e, const std::string& name) {
+  return ConsumedImpl(e, name);
+}
+
+bool ErrorFree(const ExprPtr& e) {
+  switch (e->kind()) {
+    case ExprKind::kBottom:
+    case ExprKind::kGet:        // non-singleton argument errors
+    case ExprKind::kSubscript:  // out-of-bounds errors
+    case ExprKind::kExternal:   // unknown body
+      return false;
+    case ExprKind::kApply: {
+      // (\x. body)(arg) is error-free if both parts are; any other callee
+      // is opaque.
+      if (!e->child(0)->is(ExprKind::kLambda)) return false;
+      return ErrorFree(e->child(0)->child(0)) && ErrorFree(e->child(1));
+    }
+    case ExprKind::kArith: {
+      if (!ErrorFree(e->child(0)) || !ErrorFree(e->child(1))) return false;
+      if (e->arith_op() == ArithOp::kDiv || e->arith_op() == ArithOp::kMod) {
+        // Safe only when dividing by a provably non-zero constant.
+        const ExprPtr& d = e->child(1);
+        if (d->is(ExprKind::kNatConst)) return d->nat_const() != 0;
+        if (d->is(ExprKind::kRealConst)) return d->real_const() != 0;
+        return false;
+      }
+      return true;
+    }
+    case ExprKind::kDense: {
+      // A dense literal errors when the dimension product mismatches the
+      // value count; provable only with constant dimensions.
+      uint64_t product = 1;
+      for (size_t j = 0; j < e->dense_rank(); ++j) {
+        if (!e->dense_dim(j)->is(ExprKind::kNatConst)) return false;
+        product *= e->dense_dim(j)->nat_const();
+      }
+      if (product != e->dense_value_count()) return false;
+      for (const ExprPtr& c : e->children()) {
+        if (!ErrorFree(c)) return false;
+      }
+      return true;
+    }
+    case ExprKind::kLiteral:
+      return ValueErrorFree(e->literal());
+    case ExprKind::kLambda:
+      // A lambda is a value; its body only runs when applied (handled at
+      // the application site). As a value it is error-free.
+      return true;
+    default: {
+      for (const ExprPtr& c : e->children()) {
+        if (!ErrorFree(c)) return false;
+      }
+      return true;
+    }
+  }
+}
+
+}  // namespace aql

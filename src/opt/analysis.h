@@ -1,0 +1,50 @@
+// Static analyses used to gate rewrite rules.
+//
+// ErrorFree: a conservative syntactic check that an expression cannot
+// evaluate to the error value bottom (paper §2 "Errors", §5: the delta^p
+// rule "is sound only if e1 is error-free"). With our partial-function
+// array semantics delta^p does not need the check, but several other rules
+// do (collapsing `if c then e else e`, multiply-by-zero, dropping a
+// tabulation body whose value is unused), and the strict-array
+// configuration reinstates the paper's gate.
+//
+// Bound-checking is undecidable for NRCA (Proposition 5.1), so false here
+// only means "could not prove error-free".
+
+#ifndef AQL_OPT_ANALYSIS_H_
+#define AQL_OPT_ANALYSIS_H_
+
+#include "core/expr.h"
+
+namespace aql {
+
+// True when `e` provably cannot produce bottom. Conservative: subscripts,
+// get, division by a non-constant, external calls, and applications of
+// unknown functions all return false.
+bool ErrorFree(const ExprPtr& e);
+
+// True when the value `v` contains no bottom anywhere.
+bool ValueErrorFree(const Value& v);
+
+// True when evaluating `e` performs no iteration: no big unions, sums,
+// tabulations, gen, index, dense construction, or calls. Such expressions
+// cost O(size) and may be duplicated into loop bodies by beta without
+// changing the asymptotic complexity of a query.
+bool LoopFree(const ExprPtr& e);
+
+// Counts free occurrences of `name` in `e`; sets *under_binder when any
+// occurrence sits inside a scope introduced by e's subterms (a loop or
+// lambda body), i.e. a position that may evaluate many times.
+size_t CountFreeOccurrences(const ExprPtr& e, const std::string& name,
+                            bool* under_binder);
+
+// True when every free occurrence of `name` in `e` is in a position the
+// array/product rules will consume statically: the target of a subscript,
+// dim, or projection, or the function position of an application. Inlining
+// a tabulation/lambda/tuple argument into such positions is what drives
+// the §5 derivations (transpose, zip/subseq) to fuse.
+bool OccurrencesConsumed(const ExprPtr& e, const std::string& name);
+
+}  // namespace aql
+
+#endif  // AQL_OPT_ANALYSIS_H_

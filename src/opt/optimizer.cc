@@ -1,0 +1,54 @@
+#include "opt/optimizer.h"
+
+#include "base/strings.h"
+
+namespace aql {
+
+namespace {
+
+std::vector<Rule> Concat(std::vector<Rule> a, const std::vector<Rule>& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  return a;
+}
+
+}  // namespace
+
+Optimizer::Optimizer(OptimizerConfig config) : config_(std::move(config)) {
+  std::vector<Rule> normalization =
+      Concat(Concat(NrcRules(), ArithRules()), ArrayRules(config_.strict_arrays));
+  phases_.push_back({"normalization", normalization});
+  if (config_.enable_constraint_elimination) {
+    // Constraint elimination introduces boolean constants; the folding
+    // rules that consume them run in the same phase.
+    phases_.push_back({"constraint-elimination",
+                       Concat(ConstraintRules(), normalization)});
+  }
+  if (config_.enable_code_motion) {
+    // Last: nothing after this phase may re-inline the hoisted bindings.
+    phases_.push_back({"code-motion", CodeMotionRules(config_.aggressive_code_motion)});
+  }
+}
+
+ExprPtr Optimizer::Optimize(const ExprPtr& e, RewriteStats* stats) const {
+  ExprPtr cur = e;
+  for (const Phase& phase : phases_) {
+    cur = RewriteFixpoint(cur, phase.rules, config_.rewrite, stats);
+  }
+  return cur;
+}
+
+void Optimizer::AddPhase(std::string name, std::vector<Rule> rules) {
+  phases_.push_back({std::move(name), std::move(rules)});
+}
+
+Status Optimizer::AddRule(const std::string& phase, Rule rule) {
+  for (Phase& p : phases_) {
+    if (p.name == phase) {
+      p.rules.push_back(std::move(rule));
+      return Status::OK();
+    }
+  }
+  return Status::NotFound(StrCat("no optimizer phase named ", phase));
+}
+
+}  // namespace aql

@@ -1,0 +1,64 @@
+// The phased AQL optimizer (paper §5).
+//
+// Default pipeline:
+//   phase 1 "normalization"            NRC + arithmetic + array rules
+//   phase 2 "constraint-elimination"   the four §5 bound-check rules, plus
+//                                      the folding rules that consume the
+//                                      `true`/`false` they introduce
+//
+// The phase list and every phase's rule base are extensible at run time
+// (AddPhase / AddRule), mirroring the open architecture of §4.1.
+
+#ifndef AQL_OPT_OPTIMIZER_H_
+#define AQL_OPT_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "opt/rewriter.h"
+#include "opt/rules.h"
+
+namespace aql {
+
+struct OptimizerConfig {
+  // Paper semantics: strict arrays gate delta^p on error-freedom. Our
+  // default partial-function semantics needs no gate (see eval/evaluator.h).
+  bool strict_arrays = false;
+  bool enable_constraint_elimination = true;
+  // Phase 3, loop-invariant hoisting (§5 "code motion").
+  bool enable_code_motion = true;
+  // Hoist possibly-erroring expressions too (trades definedness monotonicity
+  // for speed; see rules_motion.cc).
+  bool aggressive_code_motion = false;
+  RewriteOptions rewrite;
+};
+
+class Optimizer {
+ public:
+  explicit Optimizer(OptimizerConfig config = {});
+
+  // Runs all phases in order. Per-rule firing statistics accumulate into
+  // *stats when non-null.
+  ExprPtr Optimize(const ExprPtr& e, RewriteStats* stats = nullptr) const;
+
+  // Appends a new phase with the given rules (runs after existing phases).
+  void AddPhase(std::string name, std::vector<Rule> rules);
+
+  // Adds a rule to an existing phase.
+  Status AddRule(const std::string& phase, Rule rule);
+
+  const OptimizerConfig& config() const { return config_; }
+
+ private:
+  struct Phase {
+    std::string name;
+    std::vector<Rule> rules;
+  };
+  OptimizerConfig config_;
+  std::vector<Phase> phases_;
+};
+
+}  // namespace aql
+
+#endif  // AQL_OPT_OPTIMIZER_H_

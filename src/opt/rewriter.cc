@@ -1,0 +1,83 @@
+#include "opt/rewriter.h"
+
+namespace aql {
+
+namespace {
+
+class Engine {
+ public:
+  Engine(const std::vector<Rule>& rules, const RewriteOptions& options,
+         RewriteStats* stats)
+      : rules_(rules), options_(options), stats_(stats) {}
+
+  ExprPtr Run(ExprPtr e) {
+    size_t size = e->TreeSize();
+    for (size_t pass = 0; pass < options_.max_passes; ++pass) {
+      if (stats_) ++stats_->passes;
+      changed_ = false;
+      e = RewriteNode(std::move(e), &size);
+      if (!changed_) break;
+      if (size > options_.max_nodes) {
+        if (stats_) stats_->hit_budget = true;
+        break;
+      }
+    }
+    return e;
+  }
+
+ private:
+  // One bottom-up sweep: children first, then repeatedly apply rules at
+  // this node (re-descending into replacements on the next pass).
+  ExprPtr RewriteNode(ExprPtr e, size_t* size) {
+    if (!e->children().empty()) {
+      bool child_changed = false;
+      std::vector<ExprPtr> children;
+      children.reserve(e->children().size());
+      for (const ExprPtr& c : e->children()) {
+        ExprPtr nc = RewriteNode(c, size);
+        child_changed |= (nc.get() != c.get());
+        children.push_back(std::move(nc));
+      }
+      if (child_changed) e = e->WithChildren(std::move(children));
+    }
+    // Try rules at this node until none fires (bounded per node).
+    for (size_t spin = 0; spin < 16; ++spin) {
+      const Rule* fired = nullptr;
+      ExprPtr replacement;
+      for (const Rule& r : rules_) {
+        replacement = r.apply(e);
+        if (replacement) {
+          fired = &r;
+          break;
+        }
+      }
+      if (!fired) break;
+      size_t old_size = e->TreeSize();
+      size_t new_size = replacement->TreeSize();
+      if (new_size > old_size + options_.max_rule_growth) {
+        if (stats_) stats_->hit_budget = true;
+        break;  // refuse a single step that blows the term up
+      }
+      *size = *size - old_size + new_size;
+      e = std::move(replacement);
+      changed_ = true;
+      if (stats_) ++stats_->firings[fired->name];
+      if (*size > options_.max_nodes) break;
+    }
+    return e;
+  }
+
+  const std::vector<Rule>& rules_;
+  const RewriteOptions& options_;
+  RewriteStats* stats_;
+  bool changed_ = false;
+};
+
+}  // namespace
+
+ExprPtr RewriteFixpoint(const ExprPtr& e, const std::vector<Rule>& rules,
+                        const RewriteOptions& options, RewriteStats* stats) {
+  return Engine(rules, options, stats).Run(e);
+}
+
+}  // namespace aql

@@ -1,0 +1,58 @@
+// Rewrite engine for the AQL optimizer (paper §5).
+//
+// The optimizer proceeds in *phases*; each phase is a named set of rules
+// applied bottom-up to a fixpoint. Rule bases, application strategies, and
+// the phase list are extensible at run time (the paper's openness
+// requirement, §4.1): RegisterRule on the Optimizer adds user rules to any
+// phase.
+//
+// A rule is a partial function on expressions: it returns the replacement
+// or nullptr when it does not apply. The engine guards against blowup with
+// a node budget and a pass limit, and records per-rule firing counts,
+// which the derivation tests and optimizer benches inspect.
+
+#ifndef AQL_OPT_REWRITER_H_
+#define AQL_OPT_REWRITER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/expr.h"
+
+namespace aql {
+
+struct Rule {
+  std::string name;
+  // Returns nullptr when the rule does not apply at this node.
+  std::function<ExprPtr(const ExprPtr&)> apply;
+};
+
+struct RewriteStats {
+  std::map<std::string, size_t> firings;
+  size_t passes = 0;
+  bool hit_budget = false;
+
+  size_t TotalFirings() const {
+    size_t n = 0;
+    for (const auto& [_, c] : firings) n += c;
+    return n;
+  }
+};
+
+struct RewriteOptions {
+  size_t max_passes = 64;        // full bottom-up sweeps per phase
+  size_t max_nodes = 200000;     // stop rewriting when the term grows past this
+  size_t max_rule_growth = 512;  // a single firing may not grow the term more
+};
+
+// Applies `rules` bottom-up until fixpoint (or budget). Stats are
+// accumulated into *stats if non-null.
+ExprPtr RewriteFixpoint(const ExprPtr& e, const std::vector<Rule>& rules,
+                        const RewriteOptions& options, RewriteStats* stats);
+
+}  // namespace aql
+
+#endif  // AQL_OPT_REWRITER_H_

@@ -1,0 +1,45 @@
+// The optimizer's built-in rule bases (paper §5).
+//
+//   NrcRules        — the NRC equational theory [7, 34]: beta for
+//                     functions, pi for products, vertical fusion of set
+//                     loops, loop elimination over {} / {e} / unions /
+//                     conditionals, filter promotion, get({e}) = e,
+//                     conditional folding.
+//   ArithRules      — constant folding and unit laws for the natural /
+//                     real operators (the extension of NRC with arithmetic
+//                     from [18]).
+//   ArrayRules      — the three §5 array rules and their k-dimensional
+//                     generalizations:
+//                       beta^p :  [[e1 | i < e2]][e3]
+//                                   ~> if e3 < e2 then e1{i:=e3} else bottom
+//                       eta^p  :  [[e[i] | i < len(e)]]  ~>  e
+//                       delta^p:  len([[e1 | i < e2]])   ~>  e2
+//                     plus dim/subscript folding over dense literals.
+//                     With strict_arrays, delta^p is gated on the
+//                     error-freedom analysis exactly as the paper requires.
+//   ConstraintRules — the four §5 redundant-bound-check elimination rules
+//                     (tabulation bounds, gen bounds, and the two
+//                     conditional-context rules).
+
+#ifndef AQL_OPT_RULES_H_
+#define AQL_OPT_RULES_H_
+
+#include <vector>
+
+#include "opt/rewriter.h"
+
+namespace aql {
+
+std::vector<Rule> NrcRules();
+std::vector<Rule> ArithRules();
+std::vector<Rule> ArrayRules(bool strict_arrays);
+std::vector<Rule> ConstraintRules();
+
+// Loop-invariant hoisting (the paper's "code motion" phase). With
+// `aggressive`, expressions that may error are hoisted too (changes WHEN
+// an error surfaces; off by default to keep definedness monotone).
+std::vector<Rule> CodeMotionRules(bool aggressive);
+
+}  // namespace aql
+
+#endif  // AQL_OPT_RULES_H_

@@ -1,0 +1,85 @@
+// Arithmetic folding rules (the NRC-with-arithmetic extension of [18]).
+
+#include "opt/analysis.h"
+#include "opt/rules.h"
+
+namespace aql {
+
+namespace {
+
+ExprPtr RuleNatFold(const ExprPtr& e) {
+  if (!e->is(ExprKind::kArith)) return nullptr;
+  const ExprPtr& a = e->child(0);
+  const ExprPtr& b = e->child(1);
+  if (!a->is(ExprKind::kNatConst) || !b->is(ExprKind::kNatConst)) return nullptr;
+  uint64_t x = a->nat_const(), y = b->nat_const();
+  switch (e->arith_op()) {
+    case ArithOp::kAdd: return Expr::NatConst(x + y);
+    case ArithOp::kMonus: return Expr::NatConst(x >= y ? x - y : 0);
+    case ArithOp::kMul: return Expr::NatConst(x * y);
+    case ArithOp::kDiv: return y == 0 ? Expr::Bottom() : Expr::NatConst(x / y);
+    case ArithOp::kMod: return y == 0 ? Expr::Bottom() : Expr::NatConst(x % y);
+  }
+  return nullptr;
+}
+
+ExprPtr RuleRealFold(const ExprPtr& e) {
+  if (!e->is(ExprKind::kArith)) return nullptr;
+  const ExprPtr& a = e->child(0);
+  const ExprPtr& b = e->child(1);
+  if (!a->is(ExprKind::kRealConst) || !b->is(ExprKind::kRealConst)) return nullptr;
+  double x = a->real_const(), y = b->real_const();
+  switch (e->arith_op()) {
+    case ArithOp::kAdd: return Expr::RealConst(x + y);
+    case ArithOp::kMonus: return Expr::RealConst(x - y);
+    case ArithOp::kMul: return Expr::RealConst(x * y);
+    case ArithOp::kDiv: return Expr::RealConst(x / y);
+    default: return nullptr;
+  }
+}
+
+bool IsNat(const ExprPtr& e, uint64_t n) {
+  return e->is(ExprKind::kNatConst) && e->nat_const() == n;
+}
+
+// Unit laws at type nat: x+0, 0+x, x-0, x*1, 1*x, x/1, x%1 (=0), x*0, 0*x.
+// The annihilation laws need the other operand error-free.
+ExprPtr RuleNatIdentity(const ExprPtr& e) {
+  if (!e->is(ExprKind::kArith)) return nullptr;
+  const ExprPtr& a = e->child(0);
+  const ExprPtr& b = e->child(1);
+  switch (e->arith_op()) {
+    case ArithOp::kAdd:
+      if (IsNat(b, 0)) return a;
+      if (IsNat(a, 0)) return b;
+      return nullptr;
+    case ArithOp::kMonus:
+      if (IsNat(b, 0)) return a;
+      return nullptr;
+    case ArithOp::kMul:
+      if (IsNat(b, 1)) return a;
+      if (IsNat(a, 1)) return b;
+      if (IsNat(b, 0) && ErrorFree(a)) return Expr::NatConst(0);
+      if (IsNat(a, 0) && ErrorFree(b)) return Expr::NatConst(0);
+      return nullptr;
+    case ArithOp::kDiv:
+      if (IsNat(b, 1)) return a;
+      return nullptr;
+    case ArithOp::kMod:
+      if (IsNat(b, 1) && ErrorFree(a)) return Expr::NatConst(0);
+      return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<Rule> ArithRules() {
+  return {
+      {"nat_fold", RuleNatFold},
+      {"real_fold", RuleRealFold},
+      {"nat_identity", RuleNatIdentity},
+  };
+}
+
+}  // namespace aql

@@ -1,0 +1,163 @@
+// Code motion (paper §5: "Later phases include I/O optimizations and code
+// motion"): loop-invariant hoisting.
+//
+// A loop body that recomputes an expensive, binder-independent expression
+// per iteration — per element of a tabulation, per member of a big union
+// or sum — is rewritten to evaluate it once:
+//
+//   [[ ... S ... | i < n ]]   ~>   let v = S in [[ ... v ... | i < n ]]
+//
+// for maximal subexpressions S that (a) do not mention the loop binders,
+// (b) are not atomic, (c) actually iterate (LoopFree is false), and
+// (d) are provably error-free — hoisting evaluates S even when the loop
+// would have run zero iterations (or, for tabulations, would have stored
+// the error at a single point), so an erroring S would make the program
+// less defined. OptimizerConfig::aggressive_code_motion drops gate (d)
+// for users who accept error-timing changes in exchange for speed.
+//
+// All alpha-equal occurrences of S anywhere in the node (body and bounds)
+// share the one binding, so the rule doubles as loop-level common
+// subexpression elimination.
+
+#include <atomic>
+#include <set>
+
+#include "core/expr_ops.h"
+#include "opt/analysis.h"
+#include "opt/rules.h"
+
+namespace aql {
+
+namespace {
+
+bool IsLoop(const ExprPtr& e) {
+  return e->is(ExprKind::kTab) || e->is(ExprKind::kBigUnion) || e->is(ExprKind::kSum);
+}
+
+bool IsHoistCandidate(const ExprPtr& e, const std::set<std::string>& loop_binders,
+                      bool aggressive) {
+  switch (e->kind()) {
+    case ExprKind::kVar:
+    case ExprKind::kBoolConst:
+    case ExprKind::kNatConst:
+    case ExprKind::kRealConst:
+    case ExprKind::kStrConst:
+    case ExprKind::kLiteral:
+    case ExprKind::kBottom:
+    case ExprKind::kEmptySet:
+    case ExprKind::kLambda:  // a value; nothing to save
+      return false;
+    default:
+      break;
+  }
+  if (LoopFree(e)) return false;  // cheap: duplication is O(1) per use
+  if (!aggressive && !ErrorFree(e)) return false;
+  for (const std::string& b : loop_binders) {
+    if (OccursFree(e, b)) return false;
+  }
+  return true;
+}
+
+// Collects maximal hoistable subtrees of `e`, outermost first. Does not
+// descend into a candidate (it is hoisted whole). `blocked` accumulates
+// every binder crossed on the way down — the loop's own binders plus any
+// lambda/loop binder inside the body — since a candidate mentioning one of
+// those cannot move above its binding site.
+void CollectCandidates(const ExprPtr& e, std::set<std::string>* blocked,
+                       bool aggressive, std::vector<ExprPtr>* out) {
+  if (IsHoistCandidate(e, *blocked, aggressive)) {
+    for (const ExprPtr& seen : *out) {
+      if (AlphaEqual(seen, e)) return;
+    }
+    out->push_back(e);
+    return;
+  }
+  auto child_binders = ChildBinders(*e);
+  for (size_t i = 0; i < e->children().size(); ++i) {
+    std::vector<std::string> added;
+    for (const std::string& b : child_binders[i]) {
+      if (blocked->insert(b).second) added.push_back(b);
+    }
+    CollectCandidates(e->child(i), blocked, aggressive, out);
+    for (const std::string& b : added) blocked->erase(b);
+  }
+}
+
+// Replaces alpha-equal occurrences of `target` with `replacement`,
+// skipping scopes that rebind a free variable of the target.
+ExprPtr ReplaceAll(const ExprPtr& e, const ExprPtr& target, const ExprPtr& replacement,
+                   const std::set<std::string>& target_fv) {
+  if (AlphaEqual(e, target)) return replacement;
+  if (e->children().empty()) return e;
+  auto child_binders = ChildBinders(*e);
+  std::vector<ExprPtr> children;
+  children.reserve(e->children().size());
+  bool changed = false;
+  for (size_t i = 0; i < e->children().size(); ++i) {
+    bool captured = false;
+    for (const std::string& b : child_binders[i]) {
+      if (target_fv.count(b)) {
+        captured = true;
+        break;
+      }
+    }
+    ExprPtr nc = captured ? e->child(i)
+                          : ReplaceAll(e->child(i), target, replacement, target_fv);
+    changed |= (nc.get() != e->child(i).get());
+    children.push_back(std::move(nc));
+  }
+  return changed ? e->WithChildren(std::move(children)) : e;
+}
+
+// Every name occurring in e, bound or free: fresh hoist variables must
+// avoid them all, or an inner hoist's binder would capture an outer one.
+void CollectAllNames(const ExprPtr& e, std::set<std::string>* out) {
+  if (e->is(ExprKind::kVar)) out->insert(e->var_name());
+  for (const std::string& b : e->binders()) out->insert(b);
+  for (const ExprPtr& c : e->children()) CollectAllNames(c, out);
+}
+
+ExprPtr RuleHoistLoopInvariant(const ExprPtr& e, bool aggressive) {
+  if (!IsLoop(e)) return nullptr;
+  std::set<std::string> blocked(e->binders().begin(), e->binders().end());
+  std::vector<ExprPtr> candidates;
+  CollectCandidates(e->child(0), &blocked, aggressive, &candidates);
+  if (candidates.empty()) return nullptr;
+
+  std::set<std::string> avoid;
+  CollectAllNames(e, &avoid);
+  // A process-wide counter keeps hoist variables unique across separate
+  // firings too (nested loops are rewritten in separate engine steps).
+  static std::atomic<uint64_t> counter{0};
+
+  ExprPtr node = e;
+  std::vector<std::pair<std::string, ExprPtr>> lets;
+  for (const ExprPtr& s : candidates) {
+    std::string v;
+    do {
+      v = "cm$" + std::to_string(counter.fetch_add(1));
+    } while (avoid.count(v));
+    avoid.insert(v);
+    std::set<std::string> s_fv = FreeVars(s);
+    ExprPtr replaced = ReplaceAll(node, s, Expr::Var(v), s_fv);
+    if (replaced.get() == node.get()) continue;  // nothing replaceable
+    node = std::move(replaced);
+    lets.emplace_back(v, s);
+  }
+  if (lets.empty()) return nullptr;
+  for (size_t i = lets.size(); i-- > 0;) {
+    node = Expr::Let(lets[i].first, lets[i].second, node);
+  }
+  return node;
+}
+
+}  // namespace
+
+std::vector<Rule> CodeMotionRules(bool aggressive) {
+  return {
+      {"hoist_loop_invariant",
+       [aggressive](const ExprPtr& e) { return RuleHoistLoopInvariant(e, aggressive); }},
+  };
+}
+
+}  // namespace aql

@@ -1,0 +1,360 @@
+// NRC normalization rules (paper §5; equational theory of [7, 34]).
+
+#include "core/expr_ops.h"
+#include "opt/analysis.h"
+#include "opt/rules.h"
+
+namespace aql {
+
+namespace {
+
+bool IsEmptySet(const ExprPtr& e) { return e->is(ExprKind::kEmptySet); }
+
+bool IsNatZero(const ExprPtr& e) {
+  return e->is(ExprKind::kNatConst) && e->nat_const() == 0;
+}
+
+// Is `arg` a value the array/product rules will consume statically when
+// inlined into subscript/dim/proj/apply positions? Tabulations are eaten
+// by beta^p/delta^p, lambdas by beta, tuples (of consumable or cheap
+// parts) by pi. Duplicating these is what drives the §5 derivations.
+bool ConsumableArgument(const ExprPtr& arg) {
+  switch (arg->kind()) {
+    case ExprKind::kTab:
+    case ExprKind::kLambda:
+      return true;
+    case ExprKind::kTuple:
+      for (const ExprPtr& c : arg->children()) {
+        bool cheap = LoopFree(c) && c->TreeSize() <= 16;
+        if (!cheap && !ConsumableArgument(c)) return false;
+      }
+      return true;
+    default:
+      return false;
+  }
+}
+
+// beta: (\x. body)(arg) ~> body{x := arg} — with an inlining policy.
+//
+// Unconditional substitution would duplicate arbitrary computations into
+// loop bodies (e.g. re-grouping an indexed set once per output element),
+// so the rule fires only when inlining cannot change the query's
+// complexity:
+//   1. x does not occur: drop arg (definedness refinement, like delta^p);
+//   2. arg is atomic (variable / constant / materialized value);
+//   3. arg is loop-free and small: duplication costs O(1) per use;
+//   4. x occurs exactly once, outside any loop or lambda body;
+//   5. arg is consumable (tabulation / lambda / tuple thereof) and every
+//      occurrence of x sits in a consuming position, so beta^p, delta^p,
+//      pi, or beta itself will eliminate the copies statically — the §5
+//      transpose and zip/subseq derivations take this path.
+// Otherwise the application is kept: `let` costs one binding and
+// evaluates arg exactly once (the paper's later "code motion" phase).
+ExprPtr RuleBeta(const ExprPtr& e) {
+  if (!e->is(ExprKind::kApply)) return nullptr;
+  const ExprPtr& fn = e->child(0);
+  if (!fn->is(ExprKind::kLambda)) return nullptr;
+  const ExprPtr& arg = e->child(1);
+  const ExprPtr& body = fn->child(0);
+  const std::string& x = fn->binder();
+
+  bool under_binder = false;
+  size_t occurrences = CountFreeOccurrences(body, x, &under_binder);
+  bool fire = false;
+  if (occurrences == 0) {
+    fire = true;
+  } else {
+    switch (arg->kind()) {
+      case ExprKind::kVar:
+      case ExprKind::kBoolConst:
+      case ExprKind::kNatConst:
+      case ExprKind::kRealConst:
+      case ExprKind::kStrConst:
+      case ExprKind::kLiteral:
+      case ExprKind::kExternal:
+      case ExprKind::kBottom:
+      case ExprKind::kEmptySet:
+        fire = true;
+        break;
+      default:
+        break;
+    }
+    if (!fire && LoopFree(arg) && arg->TreeSize() <= 16) fire = true;
+    if (!fire && occurrences == 1 && !under_binder) fire = true;
+    if (!fire && ConsumableArgument(arg) && OccurrencesConsumed(body, x)) fire = true;
+  }
+  if (!fire) return nullptr;
+  return Substitute(body, x, arg);
+}
+
+// Scalar literal values (bound by val declarations / readval) normalize
+// to the corresponding constant nodes so constant folding sees them.
+ExprPtr RuleLiteralToConst(const ExprPtr& e) {
+  if (!e->is(ExprKind::kLiteral)) return nullptr;
+  const Value& v = e->literal();
+  switch (v.kind()) {
+    case ValueKind::kBool: return Expr::BoolConst(v.bool_value());
+    case ValueKind::kNat: return Expr::NatConst(v.nat_value());
+    case ValueKind::kReal: return Expr::RealConst(v.real_value());
+    case ValueKind::kString: return Expr::StrConst(v.str_value());
+    case ValueKind::kBottom: return Expr::Bottom();
+    default: return nullptr;
+  }
+}
+
+// pi: pi_i(e1, ..., ek) ~> ei. Unconditional, like beta: dropping a
+// sibling field that would have evaluated to bottom makes the program
+// MORE defined, which is the normalization contract (cf. the delta^p
+// discussion in §5). Every other rule preserves error-free results
+// exactly; see opt_soundness_test.
+ExprPtr RuleProjTuple(const ExprPtr& e) {
+  if (!e->is(ExprKind::kProj)) return nullptr;
+  const ExprPtr& t = e->child(0);
+  if (!t->is(ExprKind::kTuple) || t->children().size() != e->proj_arity()) return nullptr;
+  return t->child(e->proj_index() - 1);
+}
+
+// pi over a literal tuple value.
+ExprPtr RuleProjLiteral(const ExprPtr& e) {
+  if (!e->is(ExprKind::kProj)) return nullptr;
+  const ExprPtr& t = e->child(0);
+  if (!t->is(ExprKind::kLiteral) || t->literal().kind() != ValueKind::kTuple) {
+    return nullptr;
+  }
+  const auto& fields = t->literal().tuple_fields();
+  if (fields.size() != e->proj_arity()) return nullptr;
+  return Expr::Literal(fields[e->proj_index() - 1]);
+}
+
+// U{ e | x in {} } ~> {}
+ExprPtr RuleBigUnionEmptySource(const ExprPtr& e) {
+  if (!e->is(ExprKind::kBigUnion) || !IsEmptySet(e->child(1))) return nullptr;
+  return Expr::EmptySet();
+}
+
+// U{ {} | x in s } ~> {}   (s must be error-free: bottom source is bottom)
+ExprPtr RuleBigUnionEmptyBody(const ExprPtr& e) {
+  if (!e->is(ExprKind::kBigUnion) || !IsEmptySet(e->child(0))) return nullptr;
+  if (!ErrorFree(e->child(1))) return nullptr;
+  return Expr::EmptySet();
+}
+
+// U{ e | x in {a} } ~> e{x := a}   (a error-free; {bottom} is bottom)
+ExprPtr RuleBigUnionSingleton(const ExprPtr& e) {
+  if (!e->is(ExprKind::kBigUnion)) return nullptr;
+  const ExprPtr& src = e->child(1);
+  if (!src->is(ExprKind::kSingleton) || !ErrorFree(src->child(0))) return nullptr;
+  return Substitute(e->child(0), e->binder(), src->child(0));
+}
+
+// Horizontal fusion: U{ e | x in a U b } ~> U{e | x in a} U U{e | x in b}
+ExprPtr RuleBigUnionOverUnion(const ExprPtr& e) {
+  if (!e->is(ExprKind::kBigUnion) || !e->child(1)->is(ExprKind::kUnion)) return nullptr;
+  const ExprPtr& u = e->child(1);
+  return Expr::Union(Expr::BigUnion(e->binder(), e->child(0), u->child(0)),
+                     Expr::BigUnion(e->binder(), e->child(0), u->child(1)));
+}
+
+// Vertical fusion: U{ e1 | x in U{ e2 | y in e3 } }
+//                    ~> U{ U{ e1 | x in e2 } | y in e3 }   (y not free in e1)
+ExprPtr RuleBigUnionFusion(const ExprPtr& e) {
+  if (!e->is(ExprKind::kBigUnion) || !e->child(1)->is(ExprKind::kBigUnion)) {
+    return nullptr;
+  }
+  ExprPtr inner = e->child(1);
+  std::string y = inner->binder();
+  if (OccursFree(e->child(0), y)) {
+    // Rename the inner binder away from e1's free variables.
+    std::set<std::string> avoid = FreeVars(e->child(0));
+    auto inner_fv = FreeVars(inner->child(0));
+    avoid.insert(inner_fv.begin(), inner_fv.end());
+    std::string fresh = FreshName(y, avoid);
+    inner = Expr::BigUnion(fresh, Substitute(inner->child(0), y, Expr::Var(fresh)),
+                           inner->child(1));
+    y = fresh;
+  }
+  return Expr::BigUnion(
+      y, Expr::BigUnion(e->binder(), e->child(0), inner->child(0)), inner->child(1));
+}
+
+// U{ e | x in if c then a else b } ~> if c then U{e | x in a} else U{...b}
+ExprPtr RuleBigUnionOverIf(const ExprPtr& e) {
+  if (!e->is(ExprKind::kBigUnion) || !e->child(1)->is(ExprKind::kIf)) return nullptr;
+  const ExprPtr& cond = e->child(1);
+  return Expr::If(cond->child(0),
+                  Expr::BigUnion(e->binder(), e->child(0), cond->child(1)),
+                  Expr::BigUnion(e->binder(), e->child(0), cond->child(2)));
+}
+
+// Filter promotion: U{ if c then e else {} | x in s } with x not free in c
+//   ~> if c then U{ e | x in s } else {}
+// Needs s error-free (a bottom source is bottom on the left) AND c
+// error-free: when s is empty the left never evaluates c, but the right
+// always does, so an erroring c would make the program LESS defined —
+// the one direction normalization never takes.
+ExprPtr RuleFilterPromotion(const ExprPtr& e) {
+  if (!e->is(ExprKind::kBigUnion) || !e->child(0)->is(ExprKind::kIf)) return nullptr;
+  const ExprPtr& body = e->child(0);
+  if (!IsEmptySet(body->child(2))) return nullptr;
+  if (OccursFree(body->child(0), e->binder())) return nullptr;
+  if (!ErrorFree(e->child(1)) || !ErrorFree(body->child(0))) return nullptr;
+  return Expr::If(body->child(0),
+                  Expr::BigUnion(e->binder(), body->child(1), e->child(1)),
+                  Expr::EmptySet());
+}
+
+// Sum analogues. Note Sum does NOT distribute over unions (sets
+// deduplicate), so only the safe shapes appear here.
+ExprPtr RuleSumEmptySource(const ExprPtr& e) {
+  if (!e->is(ExprKind::kSum) || !IsEmptySet(e->child(1))) return nullptr;
+  return Expr::NatConst(0);
+}
+
+ExprPtr RuleSumSingleton(const ExprPtr& e) {
+  if (!e->is(ExprKind::kSum)) return nullptr;
+  const ExprPtr& src = e->child(1);
+  if (!src->is(ExprKind::kSingleton) || !ErrorFree(src->child(0))) return nullptr;
+  return Substitute(e->child(0), e->binder(), src->child(0));
+}
+
+ExprPtr RuleSumOverIf(const ExprPtr& e) {
+  if (!e->is(ExprKind::kSum) || !e->child(1)->is(ExprKind::kIf)) return nullptr;
+  const ExprPtr& cond = e->child(1);
+  return Expr::If(cond->child(0), Expr::Sum(e->binder(), e->child(0), cond->child(1)),
+                  Expr::Sum(e->binder(), e->child(0), cond->child(2)));
+}
+
+// Sum{ if c then e else 0 | x in s } with x not free in c
+//   ~> if c then Sum{ e | x in s } else 0
+// (s and c error-free, as for RuleFilterPromotion.)
+ExprPtr RuleSumFilterPromotion(const ExprPtr& e) {
+  if (!e->is(ExprKind::kSum) || !e->child(0)->is(ExprKind::kIf)) return nullptr;
+  const ExprPtr& body = e->child(0);
+  if (!IsNatZero(body->child(2))) return nullptr;
+  if (OccursFree(body->child(0), e->binder())) return nullptr;
+  if (!ErrorFree(e->child(1)) || !ErrorFree(body->child(0))) return nullptr;
+  return Expr::If(body->child(0), Expr::Sum(e->binder(), body->child(1), e->child(1)),
+                  Expr::NatConst(0));
+}
+
+// get({e}) ~> e
+ExprPtr RuleGetSingleton(const ExprPtr& e) {
+  if (!e->is(ExprKind::kGet) || !e->child(0)->is(ExprKind::kSingleton)) return nullptr;
+  return e->child(0)->child(0);
+}
+
+// {} U e ~> e,  e U {} ~> e
+ExprPtr RuleUnionEmpty(const ExprPtr& e) {
+  if (!e->is(ExprKind::kUnion)) return nullptr;
+  if (IsEmptySet(e->child(0))) return e->child(1);
+  if (IsEmptySet(e->child(1))) return e->child(0);
+  return nullptr;
+}
+
+// if true then a else b ~> a;  if false then a else b ~> b
+ExprPtr RuleIfConst(const ExprPtr& e) {
+  if (!e->is(ExprKind::kIf) || !e->child(0)->is(ExprKind::kBoolConst)) return nullptr;
+  return e->child(0)->bool_const() ? e->child(1) : e->child(2);
+}
+
+// if c then a else a ~> a   (c error-free)
+ExprPtr RuleIfSameBranches(const ExprPtr& e) {
+  if (!e->is(ExprKind::kIf)) return nullptr;
+  if (!AlphaEqual(e->child(1), e->child(2))) return nullptr;
+  if (!ErrorFree(e->child(0))) return nullptr;
+  return e->child(1);
+}
+
+// Nested conditional with identical condition:
+//   if c then (if c then a else b) else d ~> if c then a else d (and dual).
+ExprPtr RuleIfNestedSameCond(const ExprPtr& e) {
+  if (!e->is(ExprKind::kIf)) return nullptr;
+  const ExprPtr& c = e->child(0);
+  if (e->child(1)->is(ExprKind::kIf) && AlphaEqual(e->child(1)->child(0), c)) {
+    return Expr::If(c, e->child(1)->child(1), e->child(2));
+  }
+  if (e->child(2)->is(ExprKind::kIf) && AlphaEqual(e->child(2)->child(0), c)) {
+    return Expr::If(c, e->child(1), e->child(2)->child(2));
+  }
+  return nullptr;
+}
+
+// Comparison of two constants folds.
+const Value* ConstValueOf(const ExprPtr& e, Value* storage) {
+  switch (e->kind()) {
+    case ExprKind::kBoolConst: *storage = Value::Bool(e->bool_const()); return storage;
+    case ExprKind::kNatConst: *storage = Value::Nat(e->nat_const()); return storage;
+    case ExprKind::kRealConst: *storage = Value::Real(e->real_const()); return storage;
+    case ExprKind::kStrConst: *storage = Value::Str(e->str_const()); return storage;
+    case ExprKind::kLiteral: *storage = e->literal(); return storage;
+    default: return nullptr;
+  }
+}
+
+ExprPtr RuleCmpFold(const ExprPtr& e) {
+  if (!e->is(ExprKind::kCmp)) return nullptr;
+  Value sa, sb;
+  const Value* a = ConstValueOf(e->child(0), &sa);
+  const Value* b = ConstValueOf(e->child(1), &sb);
+  if (!a || !b) return nullptr;
+  if (a->is_bottom() || b->is_bottom()) return Expr::Bottom();
+  int c = Value::Compare(*a, *b);
+  switch (e->cmp_op()) {
+    case CmpOp::kEq: return Expr::BoolConst(c == 0);
+    case CmpOp::kNe: return Expr::BoolConst(c != 0);
+    case CmpOp::kLt: return Expr::BoolConst(c < 0);
+    case CmpOp::kLe: return Expr::BoolConst(c <= 0);
+    case CmpOp::kGt: return Expr::BoolConst(c > 0);
+    case CmpOp::kGe: return Expr::BoolConst(c >= 0);
+  }
+  return nullptr;
+}
+
+// e op e for identical error-free e folds by reflexivity.
+ExprPtr RuleCmpRefl(const ExprPtr& e) {
+  if (!e->is(ExprKind::kCmp)) return nullptr;
+  if (!AlphaEqual(e->child(0), e->child(1))) return nullptr;
+  if (!ErrorFree(e->child(0))) return nullptr;
+  switch (e->cmp_op()) {
+    case CmpOp::kEq:
+    case CmpOp::kLe:
+    case CmpOp::kGe:
+      return Expr::BoolConst(true);
+    case CmpOp::kNe:
+    case CmpOp::kLt:
+    case CmpOp::kGt:
+      return Expr::BoolConst(false);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<Rule> NrcRules() {
+  return {
+      {"literal_to_const", RuleLiteralToConst},
+      {"beta", RuleBeta},
+      {"proj_tuple", RuleProjTuple},
+      {"proj_literal", RuleProjLiteral},
+      {"bigunion_empty_source", RuleBigUnionEmptySource},
+      {"bigunion_empty_body", RuleBigUnionEmptyBody},
+      {"bigunion_singleton", RuleBigUnionSingleton},
+      {"bigunion_over_union", RuleBigUnionOverUnion},
+      {"bigunion_fusion", RuleBigUnionFusion},
+      {"bigunion_over_if", RuleBigUnionOverIf},
+      {"filter_promotion", RuleFilterPromotion},
+      {"sum_empty_source", RuleSumEmptySource},
+      {"sum_singleton", RuleSumSingleton},
+      {"sum_over_if", RuleSumOverIf},
+      {"sum_filter_promotion", RuleSumFilterPromotion},
+      {"get_singleton", RuleGetSingleton},
+      {"union_empty", RuleUnionEmpty},
+      {"if_const", RuleIfConst},
+      {"if_same_branches", RuleIfSameBranches},
+      {"if_nested_same_cond", RuleIfNestedSameCond},
+      {"cmp_fold", RuleCmpFold},
+      {"cmp_refl", RuleCmpRefl},
+  };
+}
+
+}  // namespace aql

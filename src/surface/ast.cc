@@ -1,0 +1,18 @@
+#include "surface/ast.h"
+
+namespace aql {
+
+void Pattern::CollectBound(std::vector<std::string>* out) const {
+  switch (kind) {
+    case PatternKind::kBind:
+      out->push_back(name);
+      return;
+    case PatternKind::kTuple:
+      for (const Pattern& p : fields) p.CollectBound(out);
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace aql

@@ -1,0 +1,126 @@
+// Surface abstract syntax for AQL (paper §3): comprehensions, patterns,
+// blocks, literals, and the top-level declaration forms of §4. The
+// desugarer (desugar.h) translates this into the core calculus by the
+// Figure-2 rules.
+
+#ifndef AQL_SURFACE_AST_H_
+#define AQL_SURFACE_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/expr.h"
+#include "object/value.h"
+
+namespace aql {
+
+struct SurfaceExpr;
+using SurfacePtr = std::shared_ptr<const SurfaceExpr>;
+
+// Patterns (paper §3):  P ::= (P1,...,Pk) | _ | c | x | \x
+enum class PatternKind {
+  kBind,      // \x : matches anything, binds x
+  kWildcard,  // _  : matches anything
+  kConst,     // c  : matches the constant c
+  kUse,       // x  : matches the value currently bound to x
+  kTuple,     // (P1,...,Pk)
+};
+
+struct Pattern {
+  PatternKind kind;
+  std::string name;              // kBind / kUse
+  Value constant;                // kConst
+  std::vector<Pattern> fields;   // kTuple
+
+  static Pattern Bind(std::string n) { return {PatternKind::kBind, std::move(n), {}, {}}; }
+  static Pattern Wildcard() { return {PatternKind::kWildcard, {}, {}, {}}; }
+  static Pattern Const(Value v) { return {PatternKind::kConst, {}, std::move(v), {}}; }
+  static Pattern Use(std::string n) { return {PatternKind::kUse, std::move(n), {}, {}}; }
+  static Pattern Tuple(std::vector<Pattern> fs) {
+    return {PatternKind::kTuple, {}, {}, std::move(fs)};
+  }
+
+  // Names bound by this pattern, in left-to-right order.
+  void CollectBound(std::vector<std::string>* out) const;
+};
+
+// One generator / filter position of a comprehension.
+struct CompItem {
+  enum class Kind {
+    kGenerator,       // P <- e           (set generator)
+    kArrayGenerator,  // [Pi : Px] <- e   (array generator, §3)
+    kBinding,         // P == e           (shorthand for P <- {e})
+    kFilter,          // boolean expression
+  };
+  Kind kind;
+  Pattern pattern;        // value pattern (unused for kFilter)
+  Pattern index_pattern;  // kArrayGenerator only
+  SurfacePtr expr;        // source set / bound expression / filter
+};
+
+enum class SurfaceKind {
+  kVar,
+  kNatLit,
+  kRealLit,
+  kStrLit,
+  kBoolLit,
+  kBottomLit,
+  kTuple,
+  kSetLit,        // {e1,...,en}; n may be 0
+  kComp,          // {e | items}
+  kArrayLit,      // [[e1,...,en]] (one-dimensional)
+  kArrayDense,    // [[d1,...,dk; v0,...,vm]]
+  kTab,           // [[e | \i1 < e1, ..., \ik < ek]]
+  kApp,           // f!e
+  kFn,            // fn P => e
+  kLet,           // let val P1 = e1 ... in e end
+  kIf,
+  kBinOp,
+  kNot,
+  kSubscript,     // e[i1,...,ik]
+};
+
+enum class SurfaceBinOp {
+  kAnd, kOr,
+  kEq, kNe, kLt, kLe, kGt, kGe, kIsin,
+  kAdd, kSub, kMul, kDiv, kMod,
+};
+
+struct SurfaceExpr {
+  SurfaceKind kind;
+
+  std::string name;                     // kVar
+  uint64_t nat = 0;                     // kNatLit
+  double real = 0;                      // kRealLit
+  std::string str;                      // kStrLit
+  bool boolean = false;                 // kBoolLit
+  std::vector<SurfacePtr> children;     // generic subexpressions
+  std::vector<CompItem> items;          // kComp
+  std::vector<Pattern> patterns;        // kFn (1), kLet (one per decl)
+  std::vector<std::string> tab_vars;    // kTab binders
+  SurfaceBinOp op = SurfaceBinOp::kEq;  // kBinOp
+  size_t dense_rank = 0;                // kArrayDense
+
+  size_t line = 0;  // source position for diagnostics
+};
+
+// Top-level statement (the AQL read-eval-print loop forms of §4).
+struct Statement {
+  enum class Kind {
+    kQuery,     // e ;
+    kVal,       // val \x = e ;
+    kMacro,     // macro \name = e ;
+    kReadval,   // readval \x using READER at e ;
+    kWriteval,  // writeval e using WRITER at e ;
+  };
+  Kind kind;
+  std::string name;    // val/macro/readval target
+  std::string reader;  // reader/writer registration name
+  SurfacePtr expr;     // query / bound expression / writeval payload
+  SurfacePtr at_args;  // readval/writeval argument expression
+};
+
+}  // namespace aql
+
+#endif  // AQL_SURFACE_AST_H_

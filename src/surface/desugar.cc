@@ -1,0 +1,353 @@
+#include "surface/desugar.h"
+
+#include "base/strings.h"
+
+namespace aql {
+
+namespace {
+
+// Builtin syntactic operators handled at application position. Returns the
+// rank for dim/index families, 0 if `name` is not a builtin of that family.
+size_t DimRank(const std::string& name) {
+  if (name == "len") return 1;
+  if (name.size() == 4 && name.compare(0, 3, "dim") == 0 && name[3] >= '2' &&
+      name[3] <= '9') {
+    return name[3] - '0';
+  }
+  return 0;
+}
+
+size_t IndexRank(const std::string& name) {
+  if (name == "index" || name == "index1") return 1;
+  if (name.size() == 6 && name.compare(0, 5, "index") == 0 && name[5] >= '2' &&
+      name[5] <= '9') {
+    return name[5] - '0';
+  }
+  return 0;
+}
+
+bool IsVarNamed(const SurfacePtr& e, const char* name) {
+  return e->kind == SurfaceKind::kVar && e->name == name;
+}
+
+// pi_i_k (e.g. pi_1_3) and the fst/snd aliases produce structural Proj
+// nodes, so the optimizer's product rule can see through them (needed for
+// the §5 transpose derivation).
+bool ProjSpec(const std::string& name, size_t* i, size_t* k) {
+  if (name == "fst") {
+    *i = 1;
+    *k = 2;
+    return true;
+  }
+  if (name == "snd") {
+    *i = 2;
+    *k = 2;
+    return true;
+  }
+  if (name.size() == 6 && name.compare(0, 3, "pi_") == 0 && name[4] == '_' &&
+      name[3] >= '1' && name[3] <= '9' && name[5] >= '2' && name[5] <= '9') {
+    *i = name[3] - '0';
+    *k = name[5] - '0';
+    return *i <= *k;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string Desugarer::Fresh(const char* base) {
+  return StrCat(base, "$", fresh_counter_++);
+}
+
+Result<ExprPtr> Desugarer::Desugar(const SurfacePtr& e) { return DesugarExpr(e); }
+
+Result<ExprPtr> Desugarer::Match(const Pattern& p, ExprPtr scrutinee, ExprPtr success,
+                                 const ExprPtr& fail) {
+  switch (p.kind) {
+    case PatternKind::kBind:
+      // Let-bind; the optimizer's beta rule inlines trivial cases.
+      return Expr::Let(p.name, std::move(scrutinee), std::move(success));
+    case PatternKind::kWildcard:
+      return success;
+    case PatternKind::kConst:
+      return Expr::If(Expr::Cmp(CmpOp::kEq, std::move(scrutinee), Expr::Literal(p.constant)),
+                      std::move(success), fail);
+    case PatternKind::kUse:
+      return Expr::If(Expr::Cmp(CmpOp::kEq, std::move(scrutinee), Expr::Var(p.name)),
+                      std::move(success), fail);
+    case PatternKind::kTuple: {
+      // Bind the scrutinee once, then match fields left to right against
+      // projections (Fig. 2 lambda-pattern translation, generalized).
+      std::string z = Fresh("t");
+      size_t k = p.fields.size();
+      ExprPtr body = std::move(success);
+      for (size_t i = k; i-- > 0;) {
+        AQL_ASSIGN_OR_RETURN(
+            body, Match(p.fields[i], Expr::Proj(i + 1, k, Expr::Var(z)), std::move(body),
+                        fail));
+      }
+      return Expr::Let(z, std::move(scrutinee), std::move(body));
+    }
+  }
+  return Status::Internal("unknown pattern kind");
+}
+
+ExprPtr Desugarer::DomainOf(const ExprPtr& array_var, size_t rank) {
+  if (rank == 1) return Expr::Gen(Expr::Dim(1, array_var));
+  // U{ ... U{ {(i1,...,ik)} | ik in gen(dim_k,k a) } ... | i1 in gen(dim_1,k a) }
+  std::vector<std::string> vars;
+  vars.reserve(rank);
+  for (size_t j = 0; j < rank; ++j) vars.push_back(Fresh("d"));
+  std::vector<ExprPtr> tuple_fields;
+  for (const std::string& v : vars) tuple_fields.push_back(Expr::Var(v));
+  ExprPtr body = Expr::Singleton(Expr::Tuple(std::move(tuple_fields)));
+  for (size_t j = rank; j-- > 0;) {
+    ExprPtr gen = Expr::Gen(Expr::Proj(j + 1, rank, Expr::Dim(rank, array_var)));
+    body = Expr::BigUnion(vars[j], std::move(body), std::move(gen));
+  }
+  return body;
+}
+
+Result<ExprPtr> Desugarer::DesugarComp(const SurfacePtr& comp, size_t item_index) {
+  if (item_index == comp->items.size()) {
+    // {e | } => {e}.
+    AQL_ASSIGN_OR_RETURN(ExprPtr head, DesugarExpr(comp->children[0]));
+    return Expr::Singleton(std::move(head));
+  }
+  const CompItem& item = comp->items[item_index];
+  ExprPtr empty = Expr::EmptySet();
+  switch (item.kind) {
+    case CompItem::Kind::kFilter: {
+      AQL_ASSIGN_OR_RETURN(ExprPtr cond, DesugarExpr(item.expr));
+      AQL_ASSIGN_OR_RETURN(ExprPtr rest, DesugarComp(comp, item_index + 1));
+      return Expr::If(std::move(cond), std::move(rest), empty);
+    }
+    case CompItem::Kind::kBinding: {
+      // P == e  =>  P <- {e}: match once; mismatch yields {}.
+      AQL_ASSIGN_OR_RETURN(ExprPtr bound, DesugarExpr(item.expr));
+      AQL_ASSIGN_OR_RETURN(ExprPtr rest, DesugarComp(comp, item_index + 1));
+      return Match(item.pattern, std::move(bound), std::move(rest), empty);
+    }
+    case CompItem::Kind::kGenerator: {
+      AQL_ASSIGN_OR_RETURN(ExprPtr src, DesugarExpr(item.expr));
+      AQL_ASSIGN_OR_RETURN(ExprPtr rest, DesugarComp(comp, item_index + 1));
+      if (item.pattern.kind == PatternKind::kBind) {
+        return Expr::BigUnion(item.pattern.name, std::move(rest), std::move(src));
+      }
+      std::string z = Fresh("g");
+      AQL_ASSIGN_OR_RETURN(ExprPtr body,
+                           Match(item.pattern, Expr::Var(z), std::move(rest), empty));
+      return Expr::BigUnion(z, std::move(body), std::move(src));
+    }
+    case CompItem::Kind::kArrayGenerator: {
+      // [Pi : Px] <- A  =>  \i <- dom(A), Px <- {A[i]}; the rank of A is
+      // read off the index pattern's shape.
+      AQL_ASSIGN_OR_RETURN(ExprPtr src, DesugarExpr(item.expr));
+      AQL_ASSIGN_OR_RETURN(ExprPtr rest, DesugarComp(comp, item_index + 1));
+      size_t rank = item.index_pattern.kind == PatternKind::kTuple
+                        ? item.index_pattern.fields.size()
+                        : 1;
+      std::string a = Fresh("a");
+      std::string z = Fresh("i");
+      AQL_ASSIGN_OR_RETURN(
+          ExprPtr inner,
+          Match(item.pattern, Expr::Subscript(Expr::Var(a), Expr::Var(z)), std::move(rest),
+                empty));
+      AQL_ASSIGN_OR_RETURN(ExprPtr body,
+                           Match(item.index_pattern, Expr::Var(z), std::move(inner), empty));
+      ExprPtr loop = Expr::BigUnion(z, std::move(body), DomainOf(Expr::Var(a), rank));
+      return Expr::Let(a, std::move(src), std::move(loop));
+    }
+  }
+  return Status::Internal("unknown comprehension item kind");
+}
+
+Result<ExprPtr> Desugarer::DesugarApp(const SurfacePtr& e) {
+  const SurfacePtr& fn = e->children[0];
+  const SurfacePtr& arg = e->children[1];
+  if (fn->kind == SurfaceKind::kVar) {
+    const std::string& name = fn->name;
+    if (name == "gen") {
+      AQL_ASSIGN_OR_RETURN(ExprPtr a, DesugarExpr(arg));
+      return Expr::Gen(std::move(a));
+    }
+    if (name == "get") {
+      AQL_ASSIGN_OR_RETURN(ExprPtr a, DesugarExpr(arg));
+      return Expr::Get(std::move(a));
+    }
+    if (size_t k = DimRank(name); k > 0) {
+      AQL_ASSIGN_OR_RETURN(ExprPtr a, DesugarExpr(arg));
+      return Expr::Dim(k, std::move(a));
+    }
+    if (size_t k = IndexRank(name); k > 0) {
+      AQL_ASSIGN_OR_RETURN(ExprPtr a, DesugarExpr(arg));
+      return Expr::Index(k, std::move(a));
+    }
+    if (size_t i = 0, k = 0; ProjSpec(name, &i, &k)) {
+      AQL_ASSIGN_OR_RETURN(ExprPtr a, DesugarExpr(arg));
+      return Expr::Proj(i, k, std::move(a));
+    }
+  }
+  // summap(f)!e  =>  Sum{ f(x) | x in e }.
+  if (fn->kind == SurfaceKind::kApp && IsVarNamed(fn->children[0], "summap")) {
+    AQL_ASSIGN_OR_RETURN(ExprPtr f, DesugarExpr(fn->children[1]));
+    AQL_ASSIGN_OR_RETURN(ExprPtr src, DesugarExpr(arg));
+    std::string x = Fresh("s");
+    return Expr::Sum(x, Expr::Apply(std::move(f), Expr::Var(x)), std::move(src));
+  }
+  AQL_ASSIGN_OR_RETURN(ExprPtr f, DesugarExpr(fn));
+  AQL_ASSIGN_OR_RETURN(ExprPtr a, DesugarExpr(arg));
+  return Expr::Apply(std::move(f), std::move(a));
+}
+
+Result<ExprPtr> Desugarer::DesugarExpr(const SurfacePtr& e) {
+  switch (e->kind) {
+    case SurfaceKind::kVar:
+      return Expr::Var(e->name);
+    case SurfaceKind::kNatLit:
+      return Expr::NatConst(e->nat);
+    case SurfaceKind::kRealLit:
+      return Expr::RealConst(e->real);
+    case SurfaceKind::kStrLit:
+      return Expr::StrConst(e->str);
+    case SurfaceKind::kBoolLit:
+      return Expr::BoolConst(e->boolean);
+    case SurfaceKind::kBottomLit:
+      return Expr::Bottom();
+    case SurfaceKind::kTuple: {
+      std::vector<ExprPtr> fields;
+      fields.reserve(e->children.size());
+      for (const SurfacePtr& c : e->children) {
+        AQL_ASSIGN_OR_RETURN(ExprPtr f, DesugarExpr(c));
+        fields.push_back(std::move(f));
+      }
+      return Expr::Tuple(std::move(fields));
+    }
+    case SurfaceKind::kSetLit: {
+      // {e1,...,en} => {e1} U ... U {en} (§3).
+      if (e->children.empty()) return Expr::EmptySet();
+      ExprPtr acc;
+      for (const SurfacePtr& c : e->children) {
+        AQL_ASSIGN_OR_RETURN(ExprPtr x, DesugarExpr(c));
+        ExprPtr single = Expr::Singleton(std::move(x));
+        acc = acc ? Expr::Union(std::move(acc), std::move(single)) : std::move(single);
+      }
+      return acc;
+    }
+    case SurfaceKind::kComp:
+      return DesugarComp(e, 0);
+    case SurfaceKind::kArrayLit: {
+      // 1-d literal as a dense literal with dimension n.
+      std::vector<ExprPtr> values;
+      values.reserve(e->children.size());
+      for (const SurfacePtr& c : e->children) {
+        AQL_ASSIGN_OR_RETURN(ExprPtr v, DesugarExpr(c));
+        values.push_back(std::move(v));
+      }
+      std::vector<ExprPtr> dims{Expr::NatConst(values.size())};
+      return Expr::Dense(1, std::move(dims), std::move(values));
+    }
+    case SurfaceKind::kArrayDense: {
+      std::vector<ExprPtr> dims;
+      std::vector<ExprPtr> values;
+      for (size_t i = 0; i < e->children.size(); ++i) {
+        AQL_ASSIGN_OR_RETURN(ExprPtr c, DesugarExpr(e->children[i]));
+        if (i < e->dense_rank) {
+          dims.push_back(std::move(c));
+        } else {
+          values.push_back(std::move(c));
+        }
+      }
+      return Expr::Dense(e->dense_rank, std::move(dims), std::move(values));
+    }
+    case SurfaceKind::kTab: {
+      AQL_ASSIGN_OR_RETURN(ExprPtr body, DesugarExpr(e->children[0]));
+      std::vector<ExprPtr> bounds;
+      for (size_t i = 1; i < e->children.size(); ++i) {
+        AQL_ASSIGN_OR_RETURN(ExprPtr b, DesugarExpr(e->children[i]));
+        bounds.push_back(std::move(b));
+      }
+      return Expr::Tab(e->tab_vars, std::move(body), std::move(bounds));
+    }
+    case SurfaceKind::kApp:
+      return DesugarApp(e);
+    case SurfaceKind::kFn: {
+      std::string z = Fresh("p");
+      AQL_ASSIGN_OR_RETURN(ExprPtr body, DesugarExpr(e->children[0]));
+      // Trivial single-bind pattern keeps its own name for readability.
+      const Pattern& p = e->patterns[0];
+      if (p.kind == PatternKind::kBind) {
+        return Expr::Lambda(p.name, std::move(body));
+      }
+      AQL_ASSIGN_OR_RETURN(ExprPtr matched,
+                           Match(p, Expr::Var(z), std::move(body), Expr::Bottom()));
+      return Expr::Lambda(z, std::move(matched));
+    }
+    case SurfaceKind::kLet: {
+      // Multiple declarations nest left to right (§3).
+      AQL_ASSIGN_OR_RETURN(ExprPtr body, DesugarExpr(e->children.back()));
+      for (size_t i = e->patterns.size(); i-- > 0;) {
+        AQL_ASSIGN_OR_RETURN(ExprPtr bound, DesugarExpr(e->children[i]));
+        AQL_ASSIGN_OR_RETURN(
+            body, Match(e->patterns[i], std::move(bound), std::move(body), Expr::Bottom()));
+      }
+      return body;
+    }
+    case SurfaceKind::kIf: {
+      AQL_ASSIGN_OR_RETURN(ExprPtr c, DesugarExpr(e->children[0]));
+      AQL_ASSIGN_OR_RETURN(ExprPtr t, DesugarExpr(e->children[1]));
+      AQL_ASSIGN_OR_RETURN(ExprPtr f, DesugarExpr(e->children[2]));
+      return Expr::If(std::move(c), std::move(t), std::move(f));
+    }
+    case SurfaceKind::kNot: {
+      AQL_ASSIGN_OR_RETURN(ExprPtr inner, DesugarExpr(e->children[0]));
+      return Expr::If(std::move(inner), Expr::BoolConst(false), Expr::BoolConst(true));
+    }
+    case SurfaceKind::kBinOp: {
+      AQL_ASSIGN_OR_RETURN(ExprPtr l, DesugarExpr(e->children[0]));
+      AQL_ASSIGN_OR_RETURN(ExprPtr r, DesugarExpr(e->children[1]));
+      switch (e->op) {
+        case SurfaceBinOp::kAnd:
+          return Expr::If(std::move(l), std::move(r), Expr::BoolConst(false));
+        case SurfaceBinOp::kOr:
+          return Expr::If(std::move(l), Expr::BoolConst(true), std::move(r));
+        case SurfaceBinOp::kEq: return Expr::Cmp(CmpOp::kEq, std::move(l), std::move(r));
+        case SurfaceBinOp::kNe: return Expr::Cmp(CmpOp::kNe, std::move(l), std::move(r));
+        case SurfaceBinOp::kLt: return Expr::Cmp(CmpOp::kLt, std::move(l), std::move(r));
+        case SurfaceBinOp::kLe: return Expr::Cmp(CmpOp::kLe, std::move(l), std::move(r));
+        case SurfaceBinOp::kGt: return Expr::Cmp(CmpOp::kGt, std::move(l), std::move(r));
+        case SurfaceBinOp::kGe: return Expr::Cmp(CmpOp::kGe, std::move(l), std::move(r));
+        case SurfaceBinOp::kIsin:
+          return Expr::Apply(Expr::External("member"),
+                             Expr::Tuple({std::move(l), std::move(r)}));
+        case SurfaceBinOp::kAdd:
+          return Expr::Arith(ArithOp::kAdd, std::move(l), std::move(r));
+        case SurfaceBinOp::kSub:
+          return Expr::Arith(ArithOp::kMonus, std::move(l), std::move(r));
+        case SurfaceBinOp::kMul:
+          return Expr::Arith(ArithOp::kMul, std::move(l), std::move(r));
+        case SurfaceBinOp::kDiv:
+          return Expr::Arith(ArithOp::kDiv, std::move(l), std::move(r));
+        case SurfaceBinOp::kMod:
+          return Expr::Arith(ArithOp::kMod, std::move(l), std::move(r));
+      }
+      return Status::Internal("unknown binop");
+    }
+    case SurfaceKind::kSubscript: {
+      AQL_ASSIGN_OR_RETURN(ExprPtr arr, DesugarExpr(e->children[0]));
+      if (e->children.size() == 2) {
+        AQL_ASSIGN_OR_RETURN(ExprPtr idx, DesugarExpr(e->children[1]));
+        return Expr::Subscript(std::move(arr), std::move(idx));
+      }
+      std::vector<ExprPtr> indices;
+      for (size_t i = 1; i < e->children.size(); ++i) {
+        AQL_ASSIGN_OR_RETURN(ExprPtr idx, DesugarExpr(e->children[i]));
+        indices.push_back(std::move(idx));
+      }
+      return Expr::Subscript(std::move(arr), Expr::Tuple(std::move(indices)));
+    }
+  }
+  return Status::Internal("unknown surface expression kind");
+}
+
+}  // namespace aql

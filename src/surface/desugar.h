@@ -1,0 +1,60 @@
+// Desugaring: surface AQL -> core calculus, by the Figure-2 translations.
+//
+//   {e1 | \x <- e2, GF}   =>  U{ {e1 | GF} | x in e2 }
+//   {e1 | e2, GF}         =>  if e2 then {e1 | GF} else {}
+//   {e | }                =>  {e}
+//   P == e                =>  P <- {e}
+//   [Pi : Px] <- A        =>  \i <- dom(A), Px <- {A[i]}     (array generator)
+//   fn P => e             =>  \z. match(P, z, e, bottom)
+//   let val P = e1 in e2  =>  (fn P => e2)!e1
+//
+// Pattern matching compiles to projections, equality tests, and lets, as in
+// the second table of Figure 2: non-binding / constant positions become
+// equality guards whose failure contributes {} (in comprehensions) or
+// bottom (in lambda position).
+//
+// The rank of an array generator comes from the shape of its index pattern:
+// a tuple pattern of arity k addresses a k-dimensional array, anything else
+// a one-dimensional one (cf. the [(\h,_,_):\t] <- T generator of §4.2).
+//
+// A handful of names are *builtin syntactic operators* rather than
+// identifiers; applying them produces core constructs directly:
+//   gen!e, get!e, len!e, dim2..dim9!e, index!e (= index1), index2..index9!e,
+//   summap(f)!e  (the paper's notation for Sum{f(x) | x in e}).
+// Membership `a isin B` becomes a call to the native primitive `member`.
+
+#ifndef AQL_SURFACE_DESUGAR_H_
+#define AQL_SURFACE_DESUGAR_H_
+
+#include "base/result.h"
+#include "core/expr.h"
+#include "surface/ast.h"
+
+namespace aql {
+
+class Desugarer {
+ public:
+  // Translates one surface expression into the core calculus. Free
+  // identifiers stay as kVar nodes; the environment module later resolves
+  // them against vals, macros, and registered primitives.
+  Result<ExprPtr> Desugar(const SurfacePtr& e);
+
+ private:
+  std::string Fresh(const char* base);
+
+  Result<ExprPtr> DesugarExpr(const SurfacePtr& e);
+  Result<ExprPtr> DesugarComp(const SurfacePtr& comp, size_t item_index);
+  Result<ExprPtr> Match(const Pattern& p, ExprPtr scrutinee, ExprPtr success,
+                        const ExprPtr& fail);
+  Result<ExprPtr> DesugarApp(const SurfacePtr& e);
+
+  // dom_k(a): gen(len a) for k = 1; the k-fold cross product of
+  // gen(dim_{j,k} a) otherwise (a set of k-tuples).
+  ExprPtr DomainOf(const ExprPtr& array_var, size_t rank);
+
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace aql
+
+#endif  // AQL_SURFACE_DESUGAR_H_

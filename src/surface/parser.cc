@@ -1,0 +1,527 @@
+#include "surface/parser.h"
+
+#include "base/strings.h"
+#include "surface/token.h"
+
+namespace aql {
+
+namespace {
+
+std::shared_ptr<SurfaceExpr> NewNode(SurfaceKind kind) {
+  auto n = std::make_shared<SurfaceExpr>();
+  n->kind = kind;
+  return n;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SurfacePtr> ParseWholeExpression() {
+    AQL_ASSIGN_OR_RETURN(SurfacePtr e, ParseExpr());
+    if (!At(TokenKind::kEnd)) {
+      return Error(StrCat("unexpected ", TokenKindName(Peek().kind), " after expression"));
+    }
+    return e;
+  }
+
+  Result<std::vector<Statement>> ParseStatements() {
+    std::vector<Statement> out;
+    while (!At(TokenKind::kEnd)) {
+      AQL_ASSIGN_OR_RETURN(Statement s, ParseStatement());
+      out.push_back(std::move(s));
+    }
+    return out;
+  }
+
+ private:
+  // ---- Token plumbing ----
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool At(TokenKind k) const { return Peek().kind == k; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool ConsumeIf(TokenKind k) {
+    if (At(k)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Error(std::string message) const {
+    return Status::ParseError(StrCat(message, " at line ", Peek().line));
+  }
+  Status Expect(TokenKind k) {
+    if (!ConsumeIf(k)) {
+      return Error(StrCat("expected ", TokenKindName(k), ", found ",
+                          TokenKindName(Peek().kind)));
+    }
+    return Status::OK();
+  }
+
+  // Adjacent closers from nested subscripts lex greedily as ']]' (the C++
+  // '>>' wart). When a single ']' is required, split the token in place.
+  Status ExpectRBracket() {
+    if (At(TokenKind::kRArrayBracket)) {
+      tokens_[pos_].kind = TokenKind::kRBracket;
+      return Status::OK();  // the remaining ']' stays as the current token
+    }
+    return Expect(TokenKind::kRBracket);
+  }
+
+  // ---- Statements ----
+  Result<Statement> ParseStatement() {
+    Statement s;
+    if (ConsumeIf(TokenKind::kVal)) {
+      s.kind = Statement::Kind::kVal;
+      AQL_ASSIGN_OR_RETURN(s.name, ParseBindName());
+      AQL_RETURN_IF_ERROR(Expect(TokenKind::kEq));
+      AQL_ASSIGN_OR_RETURN(s.expr, ParseExpr());
+      AQL_RETURN_IF_ERROR(Expect(TokenKind::kSemi));
+      return s;
+    }
+    if (ConsumeIf(TokenKind::kMacro)) {
+      s.kind = Statement::Kind::kMacro;
+      AQL_ASSIGN_OR_RETURN(s.name, ParseBindName());
+      AQL_RETURN_IF_ERROR(Expect(TokenKind::kEq));
+      AQL_ASSIGN_OR_RETURN(s.expr, ParseExpr());
+      AQL_RETURN_IF_ERROR(Expect(TokenKind::kSemi));
+      return s;
+    }
+    if (ConsumeIf(TokenKind::kReadval)) {
+      s.kind = Statement::Kind::kReadval;
+      AQL_ASSIGN_OR_RETURN(s.name, ParseBindName());
+      AQL_RETURN_IF_ERROR(Expect(TokenKind::kUsing));
+      if (!At(TokenKind::kIdent)) return Error("expected reader name after 'using'");
+      s.reader = Advance().text;
+      AQL_RETURN_IF_ERROR(Expect(TokenKind::kAt));
+      AQL_ASSIGN_OR_RETURN(s.at_args, ParseExpr());
+      AQL_RETURN_IF_ERROR(Expect(TokenKind::kSemi));
+      return s;
+    }
+    if (ConsumeIf(TokenKind::kWriteval)) {
+      s.kind = Statement::Kind::kWriteval;
+      AQL_ASSIGN_OR_RETURN(s.expr, ParseExpr());
+      AQL_RETURN_IF_ERROR(Expect(TokenKind::kUsing));
+      if (!At(TokenKind::kIdent)) return Error("expected writer name after 'using'");
+      s.reader = Advance().text;
+      AQL_RETURN_IF_ERROR(Expect(TokenKind::kAt));
+      AQL_ASSIGN_OR_RETURN(s.at_args, ParseExpr());
+      AQL_RETURN_IF_ERROR(Expect(TokenKind::kSemi));
+      return s;
+    }
+    s.kind = Statement::Kind::kQuery;
+    AQL_ASSIGN_OR_RETURN(s.expr, ParseExpr());
+    AQL_RETURN_IF_ERROR(Expect(TokenKind::kSemi));
+    return s;
+  }
+
+  Result<std::string> ParseBindName() {
+    if (At(TokenKind::kBindIdent) || At(TokenKind::kIdent)) return Advance().text;
+    return Error("expected a name (optionally '\\'-prefixed)");
+  }
+
+  // ---- Patterns ----
+  Result<Pattern> ParsePattern() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kBindIdent:
+        return Pattern::Bind(Advance().text);
+      case TokenKind::kUnderscore:
+        Advance();
+        return Pattern::Wildcard();
+      case TokenKind::kIdent:
+        return Pattern::Use(Advance().text);
+      case TokenKind::kNat:
+        return Pattern::Const(Value::Nat(Advance().nat));
+      case TokenKind::kReal:
+        return Pattern::Const(Value::Real(Advance().real));
+      case TokenKind::kString:
+        return Pattern::Const(Value::Str(Advance().text));
+      case TokenKind::kTrue:
+        Advance();
+        return Pattern::Const(Value::Bool(true));
+      case TokenKind::kFalse:
+        Advance();
+        return Pattern::Const(Value::Bool(false));
+      case TokenKind::kLParen: {
+        Advance();
+        std::vector<Pattern> fields;
+        AQL_ASSIGN_OR_RETURN(Pattern first, ParsePattern());
+        fields.push_back(std::move(first));
+        while (ConsumeIf(TokenKind::kComma)) {
+          AQL_ASSIGN_OR_RETURN(Pattern p, ParsePattern());
+          fields.push_back(std::move(p));
+        }
+        AQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        if (fields.size() == 1) return std::move(fields[0]);
+        return Pattern::Tuple(std::move(fields));
+      }
+      default:
+        return Error(StrCat("expected a pattern, found ", TokenKindName(t.kind)));
+    }
+  }
+
+  // ---- Expressions ----
+  Result<SurfacePtr> ParseExpr() {
+    if (ConsumeIf(TokenKind::kFn)) {
+      AQL_ASSIGN_OR_RETURN(Pattern p, ParsePattern());
+      AQL_RETURN_IF_ERROR(Expect(TokenKind::kArrow));
+      AQL_ASSIGN_OR_RETURN(SurfacePtr body, ParseExpr());
+      auto n = NewNode(SurfaceKind::kFn);
+      n->patterns.push_back(std::move(p));
+      n->children.push_back(std::move(body));
+      return SurfacePtr(n);
+    }
+    if (ConsumeIf(TokenKind::kLet)) {
+      auto n = NewNode(SurfaceKind::kLet);
+      while (ConsumeIf(TokenKind::kVal)) {
+        AQL_ASSIGN_OR_RETURN(Pattern p, ParsePattern());
+        AQL_RETURN_IF_ERROR(Expect(TokenKind::kEq));
+        AQL_ASSIGN_OR_RETURN(SurfacePtr bound, ParseExpr());
+        n->patterns.push_back(std::move(p));
+        n->children.push_back(std::move(bound));
+      }
+      if (n->patterns.empty()) return Error("let block needs at least one 'val'");
+      AQL_RETURN_IF_ERROR(Expect(TokenKind::kIn));
+      AQL_ASSIGN_OR_RETURN(SurfacePtr body, ParseExpr());
+      AQL_RETURN_IF_ERROR(Expect(TokenKind::kEnd_));
+      n->children.push_back(std::move(body));
+      return SurfacePtr(n);
+    }
+    if (ConsumeIf(TokenKind::kIf)) {
+      auto n = NewNode(SurfaceKind::kIf);
+      AQL_ASSIGN_OR_RETURN(SurfacePtr c, ParseExpr());
+      AQL_RETURN_IF_ERROR(Expect(TokenKind::kThen));
+      AQL_ASSIGN_OR_RETURN(SurfacePtr t, ParseExpr());
+      AQL_RETURN_IF_ERROR(Expect(TokenKind::kElse));
+      AQL_ASSIGN_OR_RETURN(SurfacePtr e, ParseExpr());
+      n->children = {std::move(c), std::move(t), std::move(e)};
+      return SurfacePtr(n);
+    }
+    return ParseOr();
+  }
+
+  SurfacePtr MakeBinOp(SurfaceBinOp op, SurfacePtr l, SurfacePtr r) {
+    auto n = NewNode(SurfaceKind::kBinOp);
+    n->op = op;
+    n->children = {std::move(l), std::move(r)};
+    return n;
+  }
+
+  Result<SurfacePtr> ParseOr() {
+    AQL_ASSIGN_OR_RETURN(SurfacePtr lhs, ParseAnd());
+    while (ConsumeIf(TokenKind::kOr)) {
+      AQL_ASSIGN_OR_RETURN(SurfacePtr rhs, ParseAnd());
+      lhs = MakeBinOp(SurfaceBinOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<SurfacePtr> ParseAnd() {
+    AQL_ASSIGN_OR_RETURN(SurfacePtr lhs, ParseCmp());
+    while (ConsumeIf(TokenKind::kAnd)) {
+      AQL_ASSIGN_OR_RETURN(SurfacePtr rhs, ParseCmp());
+      lhs = MakeBinOp(SurfaceBinOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<SurfacePtr> ParseCmp() {
+    AQL_ASSIGN_OR_RETURN(SurfacePtr lhs, ParseAdd());
+    SurfaceBinOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq: op = SurfaceBinOp::kEq; break;
+      case TokenKind::kNe: op = SurfaceBinOp::kNe; break;
+      case TokenKind::kLt: op = SurfaceBinOp::kLt; break;
+      case TokenKind::kLe: op = SurfaceBinOp::kLe; break;
+      case TokenKind::kGt: op = SurfaceBinOp::kGt; break;
+      case TokenKind::kGe: op = SurfaceBinOp::kGe; break;
+      case TokenKind::kIsin: op = SurfaceBinOp::kIsin; break;
+      default: return lhs;
+    }
+    Advance();
+    AQL_ASSIGN_OR_RETURN(SurfacePtr rhs, ParseAdd());
+    return MakeBinOp(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<SurfacePtr> ParseAdd() {
+    AQL_ASSIGN_OR_RETURN(SurfacePtr lhs, ParseMul());
+    while (At(TokenKind::kPlus) || At(TokenKind::kMinus)) {
+      SurfaceBinOp op = At(TokenKind::kPlus) ? SurfaceBinOp::kAdd : SurfaceBinOp::kSub;
+      Advance();
+      AQL_ASSIGN_OR_RETURN(SurfacePtr rhs, ParseMul());
+      lhs = MakeBinOp(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<SurfacePtr> ParseMul() {
+    AQL_ASSIGN_OR_RETURN(SurfacePtr lhs, ParseApp());
+    while (At(TokenKind::kStar) || At(TokenKind::kSlash) || At(TokenKind::kPercent)) {
+      SurfaceBinOp op = At(TokenKind::kStar)    ? SurfaceBinOp::kMul
+                        : At(TokenKind::kSlash) ? SurfaceBinOp::kDiv
+                                                : SurfaceBinOp::kMod;
+      Advance();
+      AQL_ASSIGN_OR_RETURN(SurfacePtr rhs, ParseApp());
+      lhs = MakeBinOp(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<SurfacePtr> ParseApp() {
+    AQL_ASSIGN_OR_RETURN(SurfacePtr lhs, ParsePostfix());
+    while (ConsumeIf(TokenKind::kBang)) {
+      AQL_ASSIGN_OR_RETURN(SurfacePtr rhs, ParsePostfix());
+      auto n = NewNode(SurfaceKind::kApp);
+      n->children = {std::move(lhs), std::move(rhs)};
+      lhs = std::move(n);
+    }
+    return lhs;
+  }
+
+  Result<SurfacePtr> ParsePostfix() {
+    AQL_ASSIGN_OR_RETURN(SurfacePtr e, ParseAtom());
+    while (true) {
+      if (At(TokenKind::kLBracket)) {
+        Advance();
+        auto n = NewNode(SurfaceKind::kSubscript);
+        n->children.push_back(std::move(e));
+        AQL_ASSIGN_OR_RETURN(SurfacePtr i0, ParseExpr());
+        n->children.push_back(std::move(i0));
+        while (ConsumeIf(TokenKind::kComma)) {
+          AQL_ASSIGN_OR_RETURN(SurfacePtr ix, ParseExpr());
+          n->children.push_back(std::move(ix));
+        }
+        AQL_RETURN_IF_ERROR(ExpectRBracket());
+        e = std::move(n);
+      } else if (At(TokenKind::kLParen)) {
+        // Juxtaposition application with a parenthesized argument, the
+        // paper's summap(f)!e style.
+        AQL_ASSIGN_OR_RETURN(SurfacePtr arg, ParseAtom());
+        auto n = NewNode(SurfaceKind::kApp);
+        n->children = {std::move(e), std::move(arg)};
+        e = std::move(n);
+      } else {
+        break;
+      }
+    }
+    return e;
+  }
+
+  Result<SurfacePtr> ParseAtom() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kNat: {
+        auto n = NewNode(SurfaceKind::kNatLit);
+        n->nat = Advance().nat;
+        return SurfacePtr(n);
+      }
+      case TokenKind::kReal: {
+        auto n = NewNode(SurfaceKind::kRealLit);
+        n->real = Advance().real;
+        return SurfacePtr(n);
+      }
+      case TokenKind::kString: {
+        auto n = NewNode(SurfaceKind::kStrLit);
+        n->str = Advance().text;
+        return SurfacePtr(n);
+      }
+      case TokenKind::kTrue:
+      case TokenKind::kFalse: {
+        auto n = NewNode(SurfaceKind::kBoolLit);
+        n->boolean = Advance().kind == TokenKind::kTrue;
+        return SurfacePtr(n);
+      }
+      case TokenKind::kBottom:
+        Advance();
+        return SurfacePtr(NewNode(SurfaceKind::kBottomLit));
+      case TokenKind::kIdent: {
+        auto n = NewNode(SurfaceKind::kVar);
+        n->name = Advance().text;
+        return SurfacePtr(n);
+      }
+      case TokenKind::kNot: {
+        Advance();
+        AQL_ASSIGN_OR_RETURN(SurfacePtr inner, ParseAtom());
+        auto n = NewNode(SurfaceKind::kNot);
+        n->children.push_back(std::move(inner));
+        return SurfacePtr(n);
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        AQL_ASSIGN_OR_RETURN(SurfacePtr first, ParseExpr());
+        if (ConsumeIf(TokenKind::kRParen)) return first;
+        auto n = NewNode(SurfaceKind::kTuple);
+        n->children.push_back(std::move(first));
+        while (ConsumeIf(TokenKind::kComma)) {
+          AQL_ASSIGN_OR_RETURN(SurfacePtr next, ParseExpr());
+          n->children.push_back(std::move(next));
+        }
+        AQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        return SurfacePtr(n);
+      }
+      case TokenKind::kLBrace:
+        return ParseBraces();
+      case TokenKind::kLArrayBracket:
+        return ParseArrayBrackets();
+      case TokenKind::kFn:
+      case TokenKind::kLet:
+      case TokenKind::kIf:
+        // Allow these in atom position too (e.g. summap(fn \i => ...)!s).
+        return ParseExpr();
+      default:
+        return Error(StrCat("unexpected ", TokenKindName(t.kind), " in expression"));
+    }
+  }
+
+  // '{' already peeked. Set literal or comprehension.
+  Result<SurfacePtr> ParseBraces() {
+    Advance();  // '{'
+    if (ConsumeIf(TokenKind::kRBrace)) return SurfacePtr(NewNode(SurfaceKind::kSetLit));
+    AQL_ASSIGN_OR_RETURN(SurfacePtr head, ParseExpr());
+    if (ConsumeIf(TokenKind::kBar)) {
+      auto n = NewNode(SurfaceKind::kComp);
+      n->children.push_back(std::move(head));
+      while (true) {
+        AQL_ASSIGN_OR_RETURN(CompItem item, ParseCompItem());
+        n->items.push_back(std::move(item));
+        if (!ConsumeIf(TokenKind::kComma)) break;
+      }
+      AQL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+      return SurfacePtr(n);
+    }
+    auto n = NewNode(SurfaceKind::kSetLit);
+    n->children.push_back(std::move(head));
+    while (ConsumeIf(TokenKind::kComma)) {
+      AQL_ASSIGN_OR_RETURN(SurfacePtr next, ParseExpr());
+      n->children.push_back(std::move(next));
+    }
+    AQL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+    return SurfacePtr(n);
+  }
+
+  // One comprehension item: generator, array generator, binding, or filter.
+  // A generator/binding starts with a pattern followed by '<-' or '=='; we
+  // detect that with bounded backtracking.
+  Result<CompItem> ParseCompItem() {
+    size_t saved = pos_;
+    // Array generator: '[' P ':' P ']' '<-' e
+    if (At(TokenKind::kLBracket)) {
+      Advance();
+      auto index_pat = ParsePattern();
+      if (index_pat.ok() && ConsumeIf(TokenKind::kColon)) {
+        auto value_pat = ParsePattern();
+        if (value_pat.ok() && ConsumeIf(TokenKind::kRBracket) &&
+            ConsumeIf(TokenKind::kGets)) {
+          AQL_ASSIGN_OR_RETURN(SurfacePtr src, ParseExpr());
+          CompItem item;
+          item.kind = CompItem::Kind::kArrayGenerator;
+          item.index_pattern = std::move(index_pat).value();
+          item.pattern = std::move(value_pat).value();
+          item.expr = std::move(src);
+          return item;
+        }
+      }
+      pos_ = saved;
+    }
+    // Set generator / binding: P '<-' e  |  P '==' e.
+    {
+      auto pat = ParsePattern();
+      if (pat.ok()) {
+        if (ConsumeIf(TokenKind::kGets)) {
+          AQL_ASSIGN_OR_RETURN(SurfacePtr src, ParseExpr());
+          CompItem item;
+          item.kind = CompItem::Kind::kGenerator;
+          item.pattern = std::move(pat).value();
+          item.expr = std::move(src);
+          return item;
+        }
+        if (ConsumeIf(TokenKind::kBind)) {
+          AQL_ASSIGN_OR_RETURN(SurfacePtr bound, ParseExpr());
+          CompItem item;
+          item.kind = CompItem::Kind::kBinding;
+          item.pattern = std::move(pat).value();
+          item.expr = std::move(bound);
+          return item;
+        }
+      }
+      pos_ = saved;
+    }
+    // Otherwise: a boolean filter.
+    AQL_ASSIGN_OR_RETURN(SurfacePtr filter, ParseExpr());
+    CompItem item;
+    item.kind = CompItem::Kind::kFilter;
+    item.expr = std::move(filter);
+    return item;
+  }
+
+  // '[[' already peeked: tabulation, dense literal, or 1-d literal.
+  Result<SurfacePtr> ParseArrayBrackets() {
+    Advance();  // '[['
+    if (ConsumeIf(TokenKind::kRArrayBracket)) {
+      return SurfacePtr(NewNode(SurfaceKind::kArrayLit));  // [[]]: empty 1-d
+    }
+    AQL_ASSIGN_OR_RETURN(SurfacePtr first, ParseExpr());
+    if (ConsumeIf(TokenKind::kBar)) {
+      // Tabulation: [[ e | \i1 < e1, ..., \ik < ek ]].
+      auto n = NewNode(SurfaceKind::kTab);
+      n->children.push_back(std::move(first));
+      while (true) {
+        if (!At(TokenKind::kBindIdent)) {
+          return Error("expected '\\i' binder in array tabulation");
+        }
+        n->tab_vars.push_back(Advance().text);
+        AQL_RETURN_IF_ERROR(Expect(TokenKind::kLt));
+        AQL_ASSIGN_OR_RETURN(SurfacePtr bound, ParseExpr());
+        n->children.push_back(std::move(bound));
+        if (!ConsumeIf(TokenKind::kComma)) break;
+      }
+      AQL_RETURN_IF_ERROR(Expect(TokenKind::kRArrayBracket));
+      return SurfacePtr(n);
+    }
+    std::vector<SurfacePtr> items;
+    items.push_back(std::move(first));
+    while (ConsumeIf(TokenKind::kComma)) {
+      AQL_ASSIGN_OR_RETURN(SurfacePtr next, ParseExpr());
+      items.push_back(std::move(next));
+    }
+    if (ConsumeIf(TokenKind::kSemi)) {
+      // Dense literal: the items so far are the dimensions.
+      auto n = NewNode(SurfaceKind::kArrayDense);
+      n->dense_rank = items.size();
+      n->children = std::move(items);
+      if (!At(TokenKind::kRArrayBracket)) {
+        while (true) {
+          AQL_ASSIGN_OR_RETURN(SurfacePtr v, ParseExpr());
+          n->children.push_back(std::move(v));
+          if (!ConsumeIf(TokenKind::kComma)) break;
+        }
+      }
+      AQL_RETURN_IF_ERROR(Expect(TokenKind::kRArrayBracket));
+      return SurfacePtr(n);
+    }
+    AQL_RETURN_IF_ERROR(Expect(TokenKind::kRArrayBracket));
+    auto n = NewNode(SurfaceKind::kArrayLit);
+    n->children = std::move(items);
+    return SurfacePtr(n);
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SurfacePtr> ParseExpression(std::string_view source) {
+  AQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  return Parser(std::move(tokens)).ParseWholeExpression();
+}
+
+Result<std::vector<Statement>> ParseProgram(std::string_view source) {
+  AQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  return Parser(std::move(tokens)).ParseStatements();
+}
+
+}  // namespace aql

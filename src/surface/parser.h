@@ -1,0 +1,47 @@
+// Recursive-descent parser for the AQL surface syntax.
+//
+// Grammar sketch (precedence low to high):
+//
+//   stmt   ::= 'val' \x '=' expr ';' | 'macro' \x '=' expr ';'
+//            | 'readval' \x 'using' IDENT 'at' expr ';'
+//            | 'writeval' expr 'using' IDENT 'at' expr ';'
+//            | expr ';'
+//   expr   ::= 'fn' P' '=>' expr | 'let' decls 'in' expr 'end'
+//            | 'if' expr 'then' expr 'else' expr | or_expr
+//   or     ::= and ('or' and)*
+//   and    ::= cmp ('and' cmp)*
+//   cmp    ::= add (('='|'<>'|'<'|'<='|'>'|'>='|'isin') add)?
+//   add    ::= mul (('+'|'-') mul)*
+//   mul    ::= app (('*'|'/'|'%') app)*
+//   app    ::= post ('!' post)*                    (left associative)
+//   post   ::= atom ('[' expr (',' expr)* ']')*    (subscripting)
+//   atom   ::= literal | IDENT | 'not' atom | '(' expr (',' expr)* ')'
+//            | '{' ... '}' | '[[' ... ']]' | 'bottom'
+//
+// Inside braces, '{e | items}' is a comprehension; '{e1,...,en}' a set
+// literal. Inside '[[ ]]': tabulation if a '|' follows the head, a dense
+// literal if a ';' occurs at depth 0, otherwise a 1-d array literal.
+// Comprehension items need one token of backtracking to tell a generator
+// pattern from a filter expression; the parser saves and restores its
+// token cursor for that case.
+
+#ifndef AQL_SURFACE_PARSER_H_
+#define AQL_SURFACE_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "surface/ast.h"
+
+namespace aql {
+
+// Parses a single expression (the whole input must be consumed).
+Result<SurfacePtr> ParseExpression(std::string_view source);
+
+// Parses a sequence of ';'-terminated statements.
+Result<std::vector<Statement>> ParseProgram(std::string_view source);
+
+}  // namespace aql
+
+#endif  // AQL_SURFACE_PARSER_H_

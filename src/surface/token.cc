@@ -1,0 +1,327 @@
+#include "surface/token.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "base/strings.h"
+
+namespace aql {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "<end>";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kBindIdent: return "binding identifier";
+    case TokenKind::kNat: return "nat literal";
+    case TokenKind::kReal: return "real literal";
+    case TokenKind::kString: return "string literal";
+    case TokenKind::kFn: return "'fn'";
+    case TokenKind::kLet: return "'let'";
+    case TokenKind::kVal: return "'val'";
+    case TokenKind::kIn: return "'in'";
+    case TokenKind::kEnd_: return "'end'";
+    case TokenKind::kIf: return "'if'";
+    case TokenKind::kThen: return "'then'";
+    case TokenKind::kElse: return "'else'";
+    case TokenKind::kTrue: return "'true'";
+    case TokenKind::kFalse: return "'false'";
+    case TokenKind::kAnd: return "'and'";
+    case TokenKind::kOr: return "'or'";
+    case TokenKind::kNot: return "'not'";
+    case TokenKind::kIsin: return "'isin'";
+    case TokenKind::kMacro: return "'macro'";
+    case TokenKind::kReadval: return "'readval'";
+    case TokenKind::kWriteval: return "'writeval'";
+    case TokenKind::kUsing: return "'using'";
+    case TokenKind::kAt: return "'at'";
+    case TokenKind::kBottom: return "'bottom'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLArrayBracket: return "'[['";
+    case TokenKind::kRArrayBracket: return "']]'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemi: return "';'";
+    case TokenKind::kBar: return "'|'";
+    case TokenKind::kUnderscore: return "'_'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kArrow: return "'=>'";
+    case TokenKind::kGets: return "'<-'";
+    case TokenKind::kBind: return "'=='";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'<>'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+  }
+  return "<unknown>";
+}
+
+namespace {
+
+const std::unordered_map<std::string, TokenKind>& Keywords() {
+  static const auto* kMap = new std::unordered_map<std::string, TokenKind>{
+      {"fn", TokenKind::kFn},       {"let", TokenKind::kLet},
+      {"val", TokenKind::kVal},     {"in", TokenKind::kIn},
+      {"end", TokenKind::kEnd_},    {"if", TokenKind::kIf},
+      {"then", TokenKind::kThen},   {"else", TokenKind::kElse},
+      {"true", TokenKind::kTrue},   {"false", TokenKind::kFalse},
+      {"and", TokenKind::kAnd},     {"or", TokenKind::kOr},
+      {"not", TokenKind::kNot},     {"isin", TokenKind::kIsin},
+      {"macro", TokenKind::kMacro}, {"readval", TokenKind::kReadval},
+      {"writeval", TokenKind::kWriteval},
+      {"using", TokenKind::kUsing}, {"at", TokenKind::kAt},
+      {"bottom", TokenKind::kBottom},
+  };
+  return *kMap;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      AQL_RETURN_IF_ERROR(SkipSpaceAndComments());
+      if (pos_ >= src_.size()) break;
+      AQL_ASSIGN_OR_RETURN(Token t, Next());
+      tokens.push_back(std::move(t));
+    }
+    tokens.push_back(Tok(TokenKind::kEnd));
+    return tokens;
+  }
+
+ private:
+  Token Tok(TokenKind kind, std::string text = {}) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line_;
+    t.column = col_;
+    return t;
+  }
+
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  Status SkipSpaceAndComments() {
+    while (pos_ < src_.size()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '(' && Peek(1) == '*') {
+        size_t start_line = line_;
+        Advance();
+        Advance();
+        int depth = 1;
+        while (depth > 0) {
+          if (pos_ >= src_.size()) {
+            return Status::LexError(
+                StrCat("unterminated comment starting at line ", start_line));
+          }
+          if (Peek() == '(' && Peek(1) == '*') {
+            Advance();
+            Advance();
+            ++depth;
+          } else if (Peek() == '*' && Peek(1) == ')') {
+            Advance();
+            Advance();
+            --depth;
+          } else {
+            Advance();
+          }
+        }
+      } else {
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  static bool IsIdentStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  }
+  static bool IsIdentCont(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '\'';
+  }
+
+  Result<Token> Next() {
+    char c = Peek();
+    if (c == '\\') {
+      Advance();
+      if (!IsIdentStart(Peek())) {
+        return Status::LexError(StrCat("expected identifier after '\\' at line ", line_));
+      }
+      return Tok(TokenKind::kBindIdent, LexIdentText());
+    }
+    if (IsIdentStart(c)) {
+      std::string word = LexIdentText();
+      if (word == "_") return Tok(TokenKind::kUnderscore);
+      auto it = Keywords().find(word);
+      if (it != Keywords().end()) return Tok(it->second);
+      return Tok(TokenKind::kIdent, std::move(word));
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) return LexNumber();
+    if (c == '"') return LexString();
+    Advance();
+    switch (c) {
+      case '(': return Tok(TokenKind::kLParen);
+      case ')': return Tok(TokenKind::kRParen);
+      case '{': return Tok(TokenKind::kLBrace);
+      case '}': return Tok(TokenKind::kRBrace);
+      case '[':
+        if (Peek() == '[') {
+          Advance();
+          return Tok(TokenKind::kLArrayBracket);
+        }
+        return Tok(TokenKind::kLBracket);
+      case ']':
+        if (Peek() == ']') {
+          Advance();
+          return Tok(TokenKind::kRArrayBracket);
+        }
+        return Tok(TokenKind::kRBracket);
+      case ',': return Tok(TokenKind::kComma);
+      case ';': return Tok(TokenKind::kSemi);
+      case '|': return Tok(TokenKind::kBar);
+      case ':': return Tok(TokenKind::kColon);
+      case '!': return Tok(TokenKind::kBang);
+      case '+': return Tok(TokenKind::kPlus);
+      case '-': return Tok(TokenKind::kMinus);
+      case '*': return Tok(TokenKind::kStar);
+      case '/': return Tok(TokenKind::kSlash);
+      case '%': return Tok(TokenKind::kPercent);
+      case '=':
+        if (Peek() == '=') {
+          Advance();
+          return Tok(TokenKind::kBind);
+        }
+        if (Peek() == '>') {
+          Advance();
+          return Tok(TokenKind::kArrow);
+        }
+        return Tok(TokenKind::kEq);
+      case '<':
+        if (Peek() == '-') {
+          Advance();
+          return Tok(TokenKind::kGets);
+        }
+        if (Peek() == '=') {
+          Advance();
+          return Tok(TokenKind::kLe);
+        }
+        if (Peek() == '>') {
+          Advance();
+          return Tok(TokenKind::kNe);
+        }
+        return Tok(TokenKind::kLt);
+      case '>':
+        if (Peek() == '=') {
+          Advance();
+          return Tok(TokenKind::kGe);
+        }
+        return Tok(TokenKind::kGt);
+      default:
+        return Status::LexError(
+            StrCat("unexpected character '", std::string(1, c), "' at line ", line_));
+    }
+  }
+
+  std::string LexIdentText() {
+    std::string out;
+    while (pos_ < src_.size() && IsIdentCont(Peek())) out.push_back(Advance());
+    return out;
+  }
+
+  Result<Token> LexNumber() {
+    std::string digits;
+    bool is_real = false;
+    while (pos_ < src_.size()) {
+      char c = Peek();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        digits.push_back(Advance());
+      } else if (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+        is_real = true;
+        digits.push_back(Advance());
+      } else if ((c == 'e' || c == 'E') &&
+                 (std::isdigit(static_cast<unsigned char>(Peek(1))) ||
+                  ((Peek(1) == '+' || Peek(1) == '-') &&
+                   std::isdigit(static_cast<unsigned char>(Peek(2)))))) {
+        is_real = true;
+        digits.push_back(Advance());
+        if (Peek() == '+' || Peek() == '-') digits.push_back(Advance());
+      } else {
+        break;
+      }
+    }
+    Token t = Tok(is_real ? TokenKind::kReal : TokenKind::kNat);
+    if (is_real) {
+      t.real = std::strtod(digits.c_str(), nullptr);
+    } else {
+      t.nat = std::strtoull(digits.c_str(), nullptr, 10);
+    }
+    return t;
+  }
+
+  Result<Token> LexString() {
+    Advance();  // opening quote
+    std::string out;
+    while (pos_ < src_.size() && Peek() != '"') {
+      char c = Advance();
+      if (c == '\\' && pos_ < src_.size()) {
+        char e = Advance();
+        switch (e) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          default:
+            return Status::LexError(StrCat("bad string escape '\\", std::string(1, e),
+                                           "' at line ", line_));
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    if (pos_ >= src_.size()) {
+      return Status::LexError(StrCat("unterminated string at line ", line_));
+    }
+    Advance();  // closing quote
+    return Tok(TokenKind::kString, std::move(out));
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t col_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view source) { return Lexer(source).Run(); }
+
+}  // namespace aql

@@ -1,0 +1,61 @@
+// Tokens and lexer for the AQL surface syntax (paper §3, §4.2).
+//
+// Notable lexical points, all taken from the paper's sample sessions:
+//   - binding occurrences of variables are written with a backslash: \x
+//     (kBindIdent), while uses are bare identifiers; primes are legal in
+//     identifiers (WS' in the motivating example);
+//   - '!' is function application, '==' is the comprehension binding form
+//     (P :== e), '=' is equality, '<-' introduces generators;
+//   - '[[' and ']]' delimit array literals and tabulations;
+//   - comments are ML-style (* ... *) and nest.
+
+#ifndef AQL_SURFACE_TOKEN_H_
+#define AQL_SURFACE_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace aql {
+
+enum class TokenKind {
+  kEnd,
+  kIdent,       // x, zip_3, WS'
+  kBindIdent,   // \x
+  kNat,         // 42
+  kReal,        // 85.0, 1e-3
+  kString,      // "abc"
+  // Keywords.
+  kFn, kLet, kVal, kIn, kEnd_, kIf, kThen, kElse, kTrue, kFalse,
+  kAnd, kOr, kNot, kIsin, kMacro, kReadval, kWriteval, kUsing, kAt, kBottom,
+  // Punctuation / operators.
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kLArrayBracket, kRArrayBracket,  // [[ ]]
+  kComma, kSemi, kBar, kUnderscore, kColon,
+  kBang,        // !
+  kArrow,       // =>
+  kGets,        // <-
+  kBind,        // ==
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind;
+  std::string text;    // identifier name / string contents
+  uint64_t nat = 0;
+  double real = 0;
+  size_t line = 0;
+  size_t column = 0;
+};
+
+// Tokenizes the whole input. On success the final token has kind kEnd.
+Result<std::vector<Token>> Lex(std::string_view source);
+
+}  // namespace aql
+
+#endif  // AQL_SURFACE_TOKEN_H_

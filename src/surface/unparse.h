@@ -1,0 +1,37 @@
+// Unparser: core calculus -> AQL surface syntax.
+//
+// The inverse direction of the Figure-2 translations: every core
+// construct has a surface rendering that parses and desugars back to an
+// equivalent term —
+//
+//   BigUnion(x, e1, e2)   ->  { y | \x <- e2, \y <- e1 }
+//   Sum(x, e1, e2)        ->  summap(fn \x => e1)!(e2)
+//   Tab                   ->  [[ e | \i1 < b1, ... ]]
+//   Proj(i,k)             ->  pi_i_k!(e)
+//   Union                 ->  setunion!(a, b)       (prelude macro)
+//   Get/Gen/Dim/Index     ->  get!/gen!/len!/dimK!/indexK!
+//   Literal               ->  the exchange-format literal (§3 grammar is a
+//                             sublanguage of the expression grammar)
+//
+// Used by tooling (pretty plans a user can paste back into the REPL) and
+// by the round-trip property suite: for random core terms e,
+// eval(desugar(parse(Unparse(e)))) == eval(e).
+
+#ifndef AQL_SURFACE_UNPARSE_H_
+#define AQL_SURFACE_UNPARSE_H_
+
+#include <string>
+
+#include "base/result.h"
+#include "core/expr.h"
+
+namespace aql {
+
+// Renders e as parseable AQL. Fails only on constructs with no surface
+// form (none currently — External renders as its name and parses back if
+// the primitive is registered).
+Result<std::string> Unparse(const ExprPtr& e);
+
+}  // namespace aql
+
+#endif  // AQL_SURFACE_UNPARSE_H_

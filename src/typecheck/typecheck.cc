@@ -1,0 +1,408 @@
+#include "typecheck/typecheck.h"
+
+#include <unordered_map>
+
+#include "base/strings.h"
+
+namespace aql {
+
+namespace {
+
+// Instantiates a type scheme: every distinct variable in `scheme` is
+// replaced by a fresh variable from `unifier`.
+TypePtr Instantiate(const TypePtr& scheme, TypeUnifier* unifier,
+                    std::unordered_map<uint64_t, TypePtr>* mapping) {
+  switch (scheme->kind()) {
+    case TypeKind::kVar: {
+      auto it = mapping->find(scheme->var_id());
+      if (it != mapping->end()) return it->second;
+      TypePtr fresh = unifier->Fresh();
+      (*mapping)[scheme->var_id()] = fresh;
+      return fresh;
+    }
+    case TypeKind::kProduct: {
+      std::vector<TypePtr> fields;
+      fields.reserve(scheme->fields().size());
+      for (const TypePtr& f : scheme->fields()) {
+        fields.push_back(Instantiate(f, unifier, mapping));
+      }
+      return Type::Product(std::move(fields));
+    }
+    case TypeKind::kSet:
+      return Type::Set(Instantiate(scheme->elem(), unifier, mapping));
+    case TypeKind::kArray:
+      return Type::Array(Instantiate(scheme->elem(), unifier, mapping), scheme->rank());
+    case TypeKind::kArrow:
+      return Type::Arrow(Instantiate(scheme->from(), unifier, mapping),
+                         Instantiate(scheme->to(), unifier, mapping));
+    default:
+      return scheme;
+  }
+}
+
+TypePtr NatIndexType(size_t rank) {
+  if (rank == 1) return Type::Nat();
+  std::vector<TypePtr> fields(rank, Type::Nat());
+  return Type::Product(std::move(fields));
+}
+
+}  // namespace
+
+Result<TypePtr> TypeChecker::TypeOfValue(const Value& v, TypeUnifier* unifier) {
+  switch (v.kind()) {
+    case ValueKind::kBottom:
+      return unifier->Fresh();
+    case ValueKind::kBool:
+      return Type::Bool();
+    case ValueKind::kNat:
+      return Type::Nat();
+    case ValueKind::kReal:
+      return Type::Real();
+    case ValueKind::kString:
+      return Type::String();
+    case ValueKind::kTuple: {
+      std::vector<TypePtr> fields;
+      for (const Value& f : v.tuple_fields()) {
+        AQL_ASSIGN_OR_RETURN(TypePtr t, TypeOfValue(f, unifier));
+        fields.push_back(std::move(t));
+      }
+      if (fields.size() < 2) {
+        return Status::TypeError("tuple value with arity < 2");
+      }
+      return Type::Product(std::move(fields));
+    }
+    case ValueKind::kSet: {
+      TypePtr elem = unifier->Fresh();
+      for (const Value& x : v.set().elems) {
+        AQL_ASSIGN_OR_RETURN(TypePtr t, TypeOfValue(x, unifier));
+        AQL_RETURN_IF_ERROR(unifier->Unify(elem, t));
+      }
+      return Type::Set(unifier->Resolve(elem));
+    }
+    case ValueKind::kArray: {
+      TypePtr elem = unifier->Fresh();
+      for (const Value& x : v.array().elems) {
+        AQL_ASSIGN_OR_RETURN(TypePtr t, TypeOfValue(x, unifier));
+        AQL_RETURN_IF_ERROR(unifier->Unify(elem, t));
+      }
+      return Type::Array(unifier->Resolve(elem), v.array().dims.size());
+    }
+    case ValueKind::kFunc:
+      return Status::TypeError("function values have no inferable object type");
+  }
+  return Status::Internal("unknown value kind");
+}
+
+Result<TypePtr> TypeChecker::Check(const ExprPtr& e) {
+  std::map<std::string, TypePtr> env;
+  return Check(e, env);
+}
+
+Result<TypePtr> TypeChecker::Check(const ExprPtr& e,
+                                   const std::map<std::string, TypePtr>& env) {
+  std::map<std::string, TypePtr> mutable_env = env;
+  AQL_ASSIGN_OR_RETURN(TypePtr t, Infer(e, &mutable_env));
+  AQL_RETURN_IF_ERROR(SolveDeferred());
+  return unifier_.Resolve(t);
+}
+
+Status TypeChecker::SolveDeferred() {
+  // Worklist over subscript constraints: each pass tries to learn the rank
+  // of the subscripted array either from the array side or the index side.
+  bool progress = true;
+  while (progress && !subscripts_.empty()) {
+    progress = false;
+    std::vector<SubscriptConstraint> remaining;
+    for (const SubscriptConstraint& c : subscripts_) {
+      TypePtr arr = unifier_.Shallow(c.array);
+      if (arr->is(TypeKind::kArray)) {
+        AQL_RETURN_IF_ERROR(unifier_.Unify(c.index, NatIndexType(arr->rank())));
+        AQL_RETURN_IF_ERROR(unifier_.Unify(c.elem, arr->elem()));
+        progress = true;
+        continue;
+      }
+      if (!arr->is(TypeKind::kVar)) {
+        return Status::TypeError(
+            StrCat("subscript applied to non-array type ", unifier_.Resolve(arr)->ToString()));
+      }
+      TypePtr idx = unifier_.Shallow(c.index);
+      if (idx->is(TypeKind::kNat)) {
+        AQL_RETURN_IF_ERROR(unifier_.Unify(c.array, Type::Array(c.elem, 1)));
+        progress = true;
+        continue;
+      }
+      if (idx->is(TypeKind::kProduct)) {
+        size_t k = idx->fields().size();
+        for (const TypePtr& f : idx->fields()) {
+          AQL_RETURN_IF_ERROR(unifier_.Unify(f, Type::Nat()));
+        }
+        AQL_RETURN_IF_ERROR(unifier_.Unify(c.array, Type::Array(c.elem, k)));
+        progress = true;
+        continue;
+      }
+      if (!idx->is(TypeKind::kVar)) {
+        return Status::TypeError(
+            StrCat("array index has non-index type ", unifier_.Resolve(idx)->ToString()));
+      }
+      remaining.push_back(c);
+    }
+    subscripts_ = std::move(remaining);
+  }
+  if (!subscripts_.empty()) {
+    // Default unresolved subscripts to rank 1, mirroring the numeric
+    // default below; this accepts e.g. `fn \a => a[0]` as [['a]]_1 -> 'a.
+    for (const SubscriptConstraint& c : subscripts_) {
+      AQL_RETURN_IF_ERROR(unifier_.Unify(c.index, Type::Nat()));
+      AQL_RETURN_IF_ERROR(unifier_.Unify(c.array, Type::Array(c.elem, 1)));
+    }
+    subscripts_.clear();
+  }
+
+  for (const TypePtr& t : numeric_) {
+    TypePtr r = unifier_.Shallow(t);
+    if (r->is(TypeKind::kVar)) {
+      AQL_RETURN_IF_ERROR(unifier_.Unify(r, Type::Nat()));
+    } else if (!r->is(TypeKind::kNat) && !r->is(TypeKind::kReal)) {
+      return Status::TypeError(StrCat("arithmetic requires nat or real, got ",
+                                      unifier_.Resolve(r)->ToString()));
+    }
+  }
+  numeric_.clear();
+
+  for (const TypePtr& t : comparable_) {
+    TypePtr r = unifier_.Resolve(t);
+    if (r->is(TypeKind::kArrow)) {
+      return Status::TypeError("comparison operators require object types, got a function");
+    }
+  }
+  comparable_.clear();
+
+  // Fig. 1: {t} and [[t]]_k require t to be an OBJECT type — function
+  // types may not appear inside collections.
+  for (const TypePtr& t : element_types_) {
+    if (ContainsArrow(unifier_.Resolve(t))) {
+      return Status::TypeError(
+          "function types may not appear inside sets or arrays (object types only)");
+    }
+  }
+  element_types_.clear();
+  return Status::OK();
+}
+
+bool TypeChecker::ContainsArrow(const TypePtr& t) {
+  if (t->is(TypeKind::kArrow)) return true;
+  for (size_t i = 0; i < (t->is(TypeKind::kProduct) ? t->fields().size() : 0); ++i) {
+    if (ContainsArrow(t->fields()[i])) return true;
+  }
+  if (t->is(TypeKind::kSet) || t->is(TypeKind::kArray)) return ContainsArrow(t->elem());
+  return false;
+}
+
+Result<TypePtr> TypeChecker::Infer(const ExprPtr& e, std::map<std::string, TypePtr>* env) {
+  switch (e->kind()) {
+    case ExprKind::kVar: {
+      auto it = env->find(e->var_name());
+      if (it == env->end()) {
+        return Status::TypeError(StrCat("unbound variable ", e->var_name()));
+      }
+      return it->second;
+    }
+    case ExprKind::kLambda: {
+      TypePtr param = unifier_.Fresh();
+      auto saved = env->find(e->binder());
+      TypePtr old = saved != env->end() ? saved->second : nullptr;
+      (*env)[e->binder()] = param;
+      auto body = Infer(e->child(0), env);
+      if (old) {
+        (*env)[e->binder()] = old;
+      } else {
+        env->erase(e->binder());
+      }
+      AQL_RETURN_IF_ERROR(body.status());
+      return Type::Arrow(param, body.value());
+    }
+    case ExprKind::kApply: {
+      AQL_ASSIGN_OR_RETURN(TypePtr fn, Infer(e->child(0), env));
+      AQL_ASSIGN_OR_RETURN(TypePtr arg, Infer(e->child(1), env));
+      TypePtr result = unifier_.Fresh();
+      AQL_RETURN_IF_ERROR(unifier_.Unify(fn, Type::Arrow(arg, result)));
+      return result;
+    }
+    case ExprKind::kTuple: {
+      std::vector<TypePtr> fields;
+      for (const ExprPtr& c : e->children()) {
+        AQL_ASSIGN_OR_RETURN(TypePtr t, Infer(c, env));
+        fields.push_back(std::move(t));
+      }
+      return Type::Product(std::move(fields));
+    }
+    case ExprKind::kProj: {
+      AQL_ASSIGN_OR_RETURN(TypePtr t, Infer(e->child(0), env));
+      std::vector<TypePtr> fields;
+      fields.reserve(e->proj_arity());
+      for (size_t i = 0; i < e->proj_arity(); ++i) fields.push_back(unifier_.Fresh());
+      AQL_RETURN_IF_ERROR(unifier_.Unify(t, Type::Product(fields)));
+      return fields[e->proj_index() - 1];
+    }
+    case ExprKind::kEmptySet:
+      return Type::Set(unifier_.Fresh());
+    case ExprKind::kSingleton: {
+      AQL_ASSIGN_OR_RETURN(TypePtr t, Infer(e->child(0), env));
+      element_types_.push_back(t);  // Fig. 1: {t} needs an object type t
+      return Type::Set(std::move(t));
+    }
+    case ExprKind::kUnion: {
+      AQL_ASSIGN_OR_RETURN(TypePtr a, Infer(e->child(0), env));
+      AQL_ASSIGN_OR_RETURN(TypePtr b, Infer(e->child(1), env));
+      AQL_RETURN_IF_ERROR(unifier_.Unify(a, b));
+      AQL_RETURN_IF_ERROR(unifier_.Unify(a, Type::Set(unifier_.Fresh())));
+      return a;
+    }
+    case ExprKind::kBigUnion: {
+      AQL_ASSIGN_OR_RETURN(TypePtr src, Infer(e->child(1), env));
+      TypePtr elem = unifier_.Fresh();
+      AQL_RETURN_IF_ERROR(unifier_.Unify(src, Type::Set(elem)));
+      auto saved = env->find(e->binder());
+      TypePtr old = saved != env->end() ? saved->second : nullptr;
+      (*env)[e->binder()] = elem;
+      auto body = Infer(e->child(0), env);
+      if (old) {
+        (*env)[e->binder()] = old;
+      } else {
+        env->erase(e->binder());
+      }
+      AQL_RETURN_IF_ERROR(body.status());
+      TypePtr out_elem = unifier_.Fresh();
+      AQL_RETURN_IF_ERROR(unifier_.Unify(body.value(), Type::Set(out_elem)));
+      return Type::Set(out_elem);
+    }
+    case ExprKind::kGet: {
+      AQL_ASSIGN_OR_RETURN(TypePtr t, Infer(e->child(0), env));
+      TypePtr elem = unifier_.Fresh();
+      AQL_RETURN_IF_ERROR(unifier_.Unify(t, Type::Set(elem)));
+      return elem;
+    }
+    case ExprKind::kBoolConst:
+      return Type::Bool();
+    case ExprKind::kIf: {
+      AQL_ASSIGN_OR_RETURN(TypePtr c, Infer(e->child(0), env));
+      AQL_RETURN_IF_ERROR(unifier_.Unify(c, Type::Bool()));
+      AQL_ASSIGN_OR_RETURN(TypePtr t, Infer(e->child(1), env));
+      AQL_ASSIGN_OR_RETURN(TypePtr f, Infer(e->child(2), env));
+      AQL_RETURN_IF_ERROR(unifier_.Unify(t, f));
+      return t;
+    }
+    case ExprKind::kCmp: {
+      AQL_ASSIGN_OR_RETURN(TypePtr a, Infer(e->child(0), env));
+      AQL_ASSIGN_OR_RETURN(TypePtr b, Infer(e->child(1), env));
+      AQL_RETURN_IF_ERROR(unifier_.Unify(a, b));
+      comparable_.push_back(a);
+      return Type::Bool();
+    }
+    case ExprKind::kNatConst:
+      return Type::Nat();
+    case ExprKind::kRealConst:
+      return Type::Real();
+    case ExprKind::kStrConst:
+      return Type::String();
+    case ExprKind::kArith: {
+      AQL_ASSIGN_OR_RETURN(TypePtr a, Infer(e->child(0), env));
+      AQL_ASSIGN_OR_RETURN(TypePtr b, Infer(e->child(1), env));
+      AQL_RETURN_IF_ERROR(unifier_.Unify(a, b));
+      numeric_.push_back(a);
+      return a;
+    }
+    case ExprKind::kGen: {
+      AQL_ASSIGN_OR_RETURN(TypePtr t, Infer(e->child(0), env));
+      AQL_RETURN_IF_ERROR(unifier_.Unify(t, Type::Nat()));
+      return Type::Set(Type::Nat());
+    }
+    case ExprKind::kSum: {
+      AQL_ASSIGN_OR_RETURN(TypePtr src, Infer(e->child(1), env));
+      TypePtr elem = unifier_.Fresh();
+      AQL_RETURN_IF_ERROR(unifier_.Unify(src, Type::Set(elem)));
+      auto saved = env->find(e->binder());
+      TypePtr old = saved != env->end() ? saved->second : nullptr;
+      (*env)[e->binder()] = elem;
+      auto body = Infer(e->child(0), env);
+      if (old) {
+        (*env)[e->binder()] = old;
+      } else {
+        env->erase(e->binder());
+      }
+      AQL_RETURN_IF_ERROR(body.status());
+      numeric_.push_back(body.value());
+      return body.value();
+    }
+    case ExprKind::kTab: {
+      size_t k = e->tab_rank();
+      for (size_t j = 0; j < k; ++j) {
+        AQL_ASSIGN_OR_RETURN(TypePtr b, Infer(e->tab_bound(j), env));
+        AQL_RETURN_IF_ERROR(unifier_.Unify(b, Type::Nat()));
+      }
+      std::vector<std::pair<std::string, TypePtr>> saved;
+      for (const std::string& v : e->binders()) {
+        auto it = env->find(v);
+        saved.emplace_back(v, it != env->end() ? it->second : nullptr);
+        (*env)[v] = Type::Nat();
+      }
+      auto body = Infer(e->tab_body(), env);
+      for (auto& [v, old] : saved) {
+        if (old) {
+          (*env)[v] = old;
+        } else {
+          env->erase(v);
+        }
+      }
+      AQL_RETURN_IF_ERROR(body.status());
+      element_types_.push_back(body.value());  // [[t]]_k needs object t
+      return Type::Array(body.value(), k);
+    }
+    case ExprKind::kSubscript: {
+      AQL_ASSIGN_OR_RETURN(TypePtr arr, Infer(e->child(0), env));
+      AQL_ASSIGN_OR_RETURN(TypePtr idx, Infer(e->child(1), env));
+      TypePtr elem = unifier_.Fresh();
+      subscripts_.push_back({arr, idx, elem});
+      return elem;
+    }
+    case ExprKind::kDim: {
+      AQL_ASSIGN_OR_RETURN(TypePtr arr, Infer(e->child(0), env));
+      AQL_RETURN_IF_ERROR(unifier_.Unify(arr, Type::Array(unifier_.Fresh(), e->rank())));
+      return NatIndexType(e->rank());
+    }
+    case ExprKind::kIndex: {
+      AQL_ASSIGN_OR_RETURN(TypePtr src, Infer(e->child(0), env));
+      TypePtr value = unifier_.Fresh();
+      TypePtr pair = Type::Product({NatIndexType(e->rank()), value});
+      AQL_RETURN_IF_ERROR(unifier_.Unify(src, Type::Set(pair)));
+      return Type::Array(Type::Set(value), e->rank());
+    }
+    case ExprKind::kDense: {
+      for (size_t j = 0; j < e->dense_rank(); ++j) {
+        AQL_ASSIGN_OR_RETURN(TypePtr d, Infer(e->dense_dim(j), env));
+        AQL_RETURN_IF_ERROR(unifier_.Unify(d, Type::Nat()));
+      }
+      TypePtr elem = unifier_.Fresh();
+      for (size_t j = 0; j < e->dense_value_count(); ++j) {
+        AQL_ASSIGN_OR_RETURN(TypePtr t, Infer(e->dense_value(j), env));
+        AQL_RETURN_IF_ERROR(unifier_.Unify(elem, t));
+      }
+      return Type::Array(elem, e->dense_rank());
+    }
+    case ExprKind::kBottom:
+      return unifier_.Fresh();
+    case ExprKind::kLiteral:
+      return TypeOfValue(e->literal(), &unifier_);
+    case ExprKind::kExternal: {
+      TypePtr scheme = external_lookup_ ? external_lookup_(e->var_name()) : nullptr;
+      if (!scheme) {
+        return Status::TypeError(StrCat("unknown external primitive ", e->var_name()));
+      }
+      std::unordered_map<uint64_t, TypePtr> mapping;
+      return Instantiate(scheme, &unifier_, &mapping);
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+}  // namespace aql

@@ -1,0 +1,77 @@
+// Type checking / inference for the core calculus (paper Fig. 1).
+//
+// Every typing rule in Figure 1 is implemented here. Because the surface
+// language leaves binders unannotated, checking is unification-based: each
+// binder gets a fresh type variable and constructs add equations.
+//
+// Two constraint families cannot be solved eagerly and are deferred:
+//   - numeric overloading: the arithmetic operators and Sum work at both
+//     nat (paper semantics: '-' is monus, '/' integer division) and real
+//     (extension; the paper routes real arithmetic through external
+//     primitives, we fold it into the calculus). Unresolved numeric types
+//     default to nat, the paper's N.
+//   - subscripting: e1[e2] needs e1's rank to decide whether e2 is N or
+//     N^k; a worklist pass resolves these once enough structure is known.
+//
+// External primitives are registered with a type *scheme* (a type possibly
+// containing type variables) that is freshly instantiated at each use, so
+// natively-implemented generic operations (min, max, member, ...) check
+// polymorphically. User macros achieve polymorphism by substitution
+// before checking, exactly as in the paper (§4.1).
+
+#ifndef AQL_TYPECHECK_TYPECHECK_H_
+#define AQL_TYPECHECK_TYPECHECK_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "base/result.h"
+#include "core/expr.h"
+#include "types/type.h"
+#include "types/unify.h"
+
+namespace aql {
+
+class TypeChecker {
+ public:
+  // Returns the registered type scheme for an external primitive, or
+  // nullptr if unknown. Variables inside the scheme are instantiated fresh
+  // at every use site.
+  using ExternalLookup = std::function<TypePtr(const std::string&)>;
+
+  explicit TypeChecker(ExternalLookup external_lookup)
+      : external_lookup_(std::move(external_lookup)) {}
+
+  // Infers the type of a closed expression (or one whose free variables are
+  // all given in `env`). The returned type is fully resolved; residual type
+  // variables indicate the expression is polymorphic.
+  Result<TypePtr> Check(const ExprPtr& e);
+  Result<TypePtr> Check(const ExprPtr& e, const std::map<std::string, TypePtr>& env);
+
+  // Infers the object type of an already-evaluated complex object. Empty
+  // sets/arrays produce types containing fresh variables from `unifier`.
+  static Result<TypePtr> TypeOfValue(const Value& v, TypeUnifier* unifier);
+
+ private:
+  struct SubscriptConstraint {
+    TypePtr array;
+    TypePtr index;
+    TypePtr elem;
+  };
+
+  Result<TypePtr> Infer(const ExprPtr& e, std::map<std::string, TypePtr>* env);
+  Status SolveDeferred();
+  static bool ContainsArrow(const TypePtr& t);
+
+  ExternalLookup external_lookup_;
+  TypeUnifier unifier_;
+  std::vector<TypePtr> numeric_;             // must end up nat or real
+  std::vector<TypePtr> comparable_;          // must end up an object type
+  std::vector<TypePtr> element_types_;       // set/array elements: object types
+  std::vector<SubscriptConstraint> subscripts_;
+};
+
+}  // namespace aql
+
+#endif  // AQL_TYPECHECK_TYPECHECK_H_

@@ -1,0 +1,290 @@
+#include "types/type.h"
+
+#include <cctype>
+#include <map>
+
+#include "base/strings.h"
+
+namespace aql {
+
+const char* TypeKindName(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kBool: return "bool";
+    case TypeKind::kNat: return "nat";
+    case TypeKind::kReal: return "real";
+    case TypeKind::kString: return "string";
+    case TypeKind::kBase: return "base";
+    case TypeKind::kProduct: return "product";
+    case TypeKind::kSet: return "set";
+    case TypeKind::kArray: return "array";
+    case TypeKind::kArrow: return "arrow";
+    case TypeKind::kVar: return "var";
+  }
+  return "unknown";
+}
+
+TypePtr Type::Bool() {
+  static const TypePtr t(new Type(TypeKind::kBool, {}, {}, 0, 0));
+  return t;
+}
+TypePtr Type::Nat() {
+  static const TypePtr t(new Type(TypeKind::kNat, {}, {}, 0, 0));
+  return t;
+}
+TypePtr Type::Real() {
+  static const TypePtr t(new Type(TypeKind::kReal, {}, {}, 0, 0));
+  return t;
+}
+TypePtr Type::String() {
+  static const TypePtr t(new Type(TypeKind::kString, {}, {}, 0, 0));
+  return t;
+}
+TypePtr Type::Base(std::string name) {
+  return TypePtr(new Type(TypeKind::kBase, std::move(name), {}, 0, 0));
+}
+TypePtr Type::Product(std::vector<TypePtr> fields) {
+  return TypePtr(new Type(TypeKind::kProduct, {}, std::move(fields), 0, 0));
+}
+TypePtr Type::Set(TypePtr elem) {
+  return TypePtr(new Type(TypeKind::kSet, {}, {std::move(elem)}, 0, 0));
+}
+TypePtr Type::Array(TypePtr elem, size_t rank) {
+  return TypePtr(new Type(TypeKind::kArray, {}, {std::move(elem)}, rank, 0));
+}
+TypePtr Type::Arrow(TypePtr from, TypePtr to) {
+  return TypePtr(new Type(TypeKind::kArrow, {}, {std::move(from), std::move(to)}, 0, 0));
+}
+TypePtr Type::Var(uint64_t id) {
+  return TypePtr(new Type(TypeKind::kVar, {}, {}, 0, id));
+}
+
+bool Type::IsObjectType() const {
+  switch (kind_) {
+    case TypeKind::kArrow:
+    case TypeKind::kVar:
+      return false;
+    case TypeKind::kProduct:
+    case TypeKind::kSet:
+    case TypeKind::kArray: {
+      for (const TypePtr& c : children_) {
+        if (!c->IsObjectType()) return false;
+      }
+      return true;
+    }
+    default:
+      return true;
+  }
+}
+
+bool Type::IsGround() const {
+  if (kind_ == TypeKind::kVar) return false;
+  for (const TypePtr& c : children_) {
+    if (!c->IsGround()) return false;
+  }
+  return true;
+}
+
+bool Type::Equals(const TypePtr& a, const TypePtr& b) {
+  if (a.get() == b.get()) return true;
+  if (a->kind_ != b->kind_) return false;
+  switch (a->kind_) {
+    case TypeKind::kBase:
+      return a->name_ == b->name_;
+    case TypeKind::kVar:
+      return a->var_id_ == b->var_id_;
+    case TypeKind::kArray:
+      if (a->rank_ != b->rank_) return false;
+      [[fallthrough]];
+    default: {
+      if (a->children_.size() != b->children_.size()) return false;
+      for (size_t i = 0; i < a->children_.size(); ++i) {
+        if (!Equals(a->children_[i], b->children_[i])) return false;
+      }
+      return true;
+    }
+  }
+}
+
+namespace {
+
+// Precedence: arrow (lowest) < product < atom.
+void Append(const Type& t, int prec, std::string* out) {
+  switch (t.kind()) {
+    case TypeKind::kBool: out->append("bool"); return;
+    case TypeKind::kNat: out->append("nat"); return;
+    case TypeKind::kReal: out->append("real"); return;
+    case TypeKind::kString: out->append("string"); return;
+    case TypeKind::kBase: out->append(t.base_name()); return;
+    case TypeKind::kVar:
+      out->push_back('\'');
+      out->push_back(static_cast<char>('a' + t.var_id() % 26));
+      if (t.var_id() >= 26) out->append(std::to_string(t.var_id() / 26));
+      return;
+    case TypeKind::kSet:
+      out->push_back('{');
+      Append(*t.elem(), 0, out);
+      out->push_back('}');
+      return;
+    case TypeKind::kArray:
+      out->append("[[");
+      Append(*t.elem(), 0, out);
+      out->append("]]_");
+      out->append(std::to_string(t.rank()));
+      return;
+    case TypeKind::kProduct: {
+      if (prec > 1) out->push_back('(');
+      const auto& fs = t.fields();
+      for (size_t i = 0; i < fs.size(); ++i) {
+        if (i > 0) out->append(" * ");
+        Append(*fs[i], 2, out);
+      }
+      if (prec > 1) out->push_back(')');
+      return;
+    }
+    case TypeKind::kArrow:
+      if (prec > 0) out->push_back('(');
+      Append(*t.from(), 1, out);
+      out->append(" -> ");
+      Append(*t.to(), 0, out);
+      if (prec > 0) out->push_back(')');
+      return;
+  }
+}
+
+class TypeParser {
+ public:
+  explicit TypeParser(std::string_view text) : text_(text) {}
+
+  Result<TypePtr> Parse() {
+    AQL_ASSIGN_OR_RETURN(TypePtr t, ParseArrow());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::FormatError(StrCat("trailing characters in type at offset ", pos_));
+    }
+    return t;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeIf(std::string_view tok) {
+    SkipSpace();
+    if (text_.substr(pos_, tok.size()) == tok) {
+      pos_ += tok.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<TypePtr> ParseArrow() {
+    AQL_ASSIGN_OR_RETURN(TypePtr lhs, ParseProduct());
+    if (ConsumeIf("->")) {
+      AQL_ASSIGN_OR_RETURN(TypePtr rhs, ParseArrow());
+      return Type::Arrow(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<TypePtr> ParseProduct() {
+    AQL_ASSIGN_OR_RETURN(TypePtr first, ParseAtom());
+    std::vector<TypePtr> fields{std::move(first)};
+    while (true) {
+      SkipSpace();
+      // '*' begins a product component; make sure we are not eating "->".
+      if (pos_ < text_.size() && text_[pos_] == '*') {
+        ++pos_;
+        AQL_ASSIGN_OR_RETURN(TypePtr next, ParseAtom());
+        fields.push_back(std::move(next));
+      } else {
+        break;
+      }
+    }
+    if (fields.size() == 1) return std::move(fields[0]);
+    return Type::Product(std::move(fields));
+  }
+
+  Result<TypePtr> ParseAtom() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Status::FormatError("unexpected end of type");
+    char c = text_[pos_];
+    if (c == '\'') {
+      // Type variable: 'a, 'elem, ... Same name = same variable within
+      // one parse (used for polymorphic primitive schemes).
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                                     text_[pos_] == '_')) {
+        ++pos_;
+      }
+      if (start == pos_) return Status::FormatError("expected name after ' in type");
+      std::string name(text_.substr(start, pos_ - start));
+      auto [it, inserted] = vars_.emplace(name, vars_.size());
+      return Type::Var(it->second);
+    }
+    if (c == '(') {
+      ++pos_;
+      AQL_ASSIGN_OR_RETURN(TypePtr t, ParseArrow());
+      if (!ConsumeIf(")")) return Status::FormatError("expected ')' in type");
+      return t;
+    }
+    if (c == '{') {
+      ++pos_;
+      AQL_ASSIGN_OR_RETURN(TypePtr t, ParseArrow());
+      if (!ConsumeIf("}")) return Status::FormatError("expected '}' in type");
+      return Type::Set(std::move(t));
+    }
+    if (text_.substr(pos_, 2) == "[[") {
+      pos_ += 2;
+      AQL_ASSIGN_OR_RETURN(TypePtr t, ParseArrow());
+      if (!ConsumeIf("]]")) return Status::FormatError("expected ']]' in type");
+      size_t rank = 1;
+      if (ConsumeIf("_")) {
+        SkipSpace();
+        size_t start = pos_;
+        while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+          ++pos_;
+        }
+        if (start == pos_) return Status::FormatError("expected rank after ']]_'");
+        rank = std::stoul(std::string(text_.substr(start, pos_ - start)));
+        if (rank == 0) return Status::FormatError("array rank must be >= 1");
+      }
+      return Type::Array(std::move(t), rank);
+    }
+    // Identifier.
+    size_t start = pos_;
+    while (pos_ < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                                   text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (start == pos_) {
+      return Status::FormatError(StrCat("unexpected character '", std::string(1, c),
+                                        "' in type at offset ", pos_));
+    }
+    std::string word(text_.substr(start, pos_ - start));
+    if (word == "bool") return Type::Bool();
+    if (word == "nat" || word == "int") return Type::Nat();
+    if (word == "real") return Type::Real();
+    if (word == "string") return Type::String();
+    return Type::Base(std::move(word));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::map<std::string, uint64_t> vars_;
+};
+
+}  // namespace
+
+std::string Type::ToString() const {
+  std::string out;
+  Append(*this, 0, &out);
+  return out;
+}
+
+Result<TypePtr> ParseType(std::string_view text) { return TypeParser(text).Parse(); }
+
+}  // namespace aql

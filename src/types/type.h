@@ -1,0 +1,103 @@
+// The NRCA type system (paper §2, Fig. 1).
+//
+// Object types:
+//
+//   t ::= b | B | N | t1 x ... x tk | {t} | [[t]]_k
+//
+// plus object function types t1 -> t2. We add two interpreted base types the
+// paper's examples use (real, string), uninterpreted named base types, and
+// type variables used internally by the unification-based checker so the
+// unannotated surface language (fn \x => e, comprehensions) can be inferred.
+//
+// Types are immutable trees behind shared_ptr; TypePtr equality is
+// structural (Type::Equals).
+
+#ifndef AQL_TYPES_TYPE_H_
+#define AQL_TYPES_TYPE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace aql {
+
+class Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+enum class TypeKind {
+  kBool,
+  kNat,
+  kReal,
+  kString,
+  kBase,     // uninterpreted base type with a name
+  kProduct,  // k-ary product, k >= 2
+  kSet,
+  kArray,    // element type + dimensionality k >= 1
+  kArrow,    // object function type
+  kVar,      // unification variable (checker-internal)
+};
+
+const char* TypeKindName(TypeKind kind);
+
+class Type {
+ public:
+  static TypePtr Bool();
+  static TypePtr Nat();
+  static TypePtr Real();
+  static TypePtr String();
+  static TypePtr Base(std::string name);
+  static TypePtr Product(std::vector<TypePtr> fields);
+  static TypePtr Set(TypePtr elem);
+  static TypePtr Array(TypePtr elem, size_t rank);
+  static TypePtr Arrow(TypePtr from, TypePtr to);
+  static TypePtr Var(uint64_t id);
+
+  TypeKind kind() const { return kind_; }
+  bool is(TypeKind k) const { return kind_ == k; }
+
+  const std::string& base_name() const { return name_; }
+  const std::vector<TypePtr>& fields() const { return children_; }  // product
+  const TypePtr& elem() const { return children_[0]; }              // set/array
+  size_t rank() const { return rank_; }                             // array
+  const TypePtr& from() const { return children_[0]; }              // arrow
+  const TypePtr& to() const { return children_[1]; }                // arrow
+  uint64_t var_id() const { return var_id_; }
+
+  // True for types co-domain values can inhabit (everything but kArrow and
+  // kVar); function types may not appear inside products, sets, or arrays.
+  bool IsObjectType() const;
+  // True when the type contains no unification variables.
+  bool IsGround() const;
+
+  static bool Equals(const TypePtr& a, const TypePtr& b);
+
+  // Paper-style rendering: "nat", "{nat}", "[[real]]_3",
+  // "nat * nat -> nat", "b<name>" for uninterpreted bases, "'a" for vars.
+  std::string ToString() const;
+
+ private:
+  Type(TypeKind kind, std::string name, std::vector<TypePtr> children, size_t rank,
+       uint64_t var_id)
+      : kind_(kind),
+        name_(std::move(name)),
+        children_(std::move(children)),
+        rank_(rank),
+        var_id_(var_id) {}
+
+  TypeKind kind_;
+  std::string name_;
+  std::vector<TypePtr> children_;
+  size_t rank_ = 0;
+  uint64_t var_id_ = 0;
+};
+
+// Parses the textual type syntax used when registering external primitives,
+// e.g. "real * real * nat -> nat", "{nat * string}", "[[real]]_3".
+Result<TypePtr> ParseType(std::string_view text);
+
+}  // namespace aql
+
+#endif  // AQL_TYPES_TYPE_H_

@@ -1,0 +1,108 @@
+#include "types/unify.h"
+
+#include "base/strings.h"
+
+namespace aql {
+
+TypePtr TypeUnifier::Shallow(const TypePtr& t) const {
+  TypePtr cur = t;
+  while (cur->is(TypeKind::kVar)) {
+    auto it = subst_.find(cur->var_id());
+    if (it == subst_.end()) break;
+    cur = it->second;
+  }
+  return cur;
+}
+
+TypePtr TypeUnifier::Resolve(const TypePtr& t) const {
+  TypePtr cur = Shallow(t);
+  switch (cur->kind()) {
+    case TypeKind::kProduct: {
+      std::vector<TypePtr> fields;
+      fields.reserve(cur->fields().size());
+      for (const TypePtr& f : cur->fields()) fields.push_back(Resolve(f));
+      return Type::Product(std::move(fields));
+    }
+    case TypeKind::kSet:
+      return Type::Set(Resolve(cur->elem()));
+    case TypeKind::kArray:
+      return Type::Array(Resolve(cur->elem()), cur->rank());
+    case TypeKind::kArrow:
+      return Type::Arrow(Resolve(cur->from()), Resolve(cur->to()));
+    default:
+      return cur;
+  }
+}
+
+bool TypeUnifier::Occurs(uint64_t var_id, const TypePtr& t) const {
+  TypePtr cur = Shallow(t);
+  if (cur->is(TypeKind::kVar)) return cur->var_id() == var_id;
+  switch (cur->kind()) {
+    case TypeKind::kProduct:
+      for (const TypePtr& f : cur->fields()) {
+        if (Occurs(var_id, f)) return true;
+      }
+      return false;
+    case TypeKind::kSet:
+    case TypeKind::kArray:
+      return Occurs(var_id, cur->elem());
+    case TypeKind::kArrow:
+      return Occurs(var_id, cur->from()) || Occurs(var_id, cur->to());
+    default:
+      return false;
+  }
+}
+
+Status TypeUnifier::Unify(const TypePtr& a, const TypePtr& b) {
+  TypePtr x = Shallow(a);
+  TypePtr y = Shallow(b);
+  if (x->is(TypeKind::kVar) && y->is(TypeKind::kVar) && x->var_id() == y->var_id()) {
+    return Status::OK();
+  }
+  if (x->is(TypeKind::kVar)) {
+    if (Occurs(x->var_id(), y)) {
+      return Status::TypeError(StrCat("occurs check failed: '", x->ToString(), " in ",
+                                      Resolve(y)->ToString()));
+    }
+    subst_[x->var_id()] = y;
+    return Status::OK();
+  }
+  if (y->is(TypeKind::kVar)) return Unify(y, x);
+  if (x->kind() != y->kind()) {
+    return Status::TypeError(
+        StrCat("cannot unify ", Resolve(x)->ToString(), " with ", Resolve(y)->ToString()));
+  }
+  switch (x->kind()) {
+    case TypeKind::kBase:
+      if (x->base_name() != y->base_name()) {
+        return Status::TypeError(
+            StrCat("cannot unify base type ", x->base_name(), " with ", y->base_name()));
+      }
+      return Status::OK();
+    case TypeKind::kProduct: {
+      if (x->fields().size() != y->fields().size()) {
+        return Status::TypeError(StrCat("tuple arity mismatch: ", x->fields().size(),
+                                        " vs ", y->fields().size()));
+      }
+      for (size_t i = 0; i < x->fields().size(); ++i) {
+        AQL_RETURN_IF_ERROR(Unify(x->fields()[i], y->fields()[i]));
+      }
+      return Status::OK();
+    }
+    case TypeKind::kSet:
+      return Unify(x->elem(), y->elem());
+    case TypeKind::kArray:
+      if (x->rank() != y->rank()) {
+        return Status::TypeError(
+            StrCat("array rank mismatch: ", x->rank(), " vs ", y->rank()));
+      }
+      return Unify(x->elem(), y->elem());
+    case TypeKind::kArrow:
+      AQL_RETURN_IF_ERROR(Unify(x->from(), y->from()));
+      return Unify(x->to(), y->to());
+    default:
+      return Status::OK();  // identical primitive kinds
+  }
+}
+
+}  // namespace aql

@@ -1,0 +1,43 @@
+// Unification for the inference-based type checker.
+//
+// The surface language has unannotated binders (fn \x => e, comprehension
+// generators), so the checker introduces fresh type variables and unifies.
+// There is no polymorphism: macros are substituted into the query before
+// checking (paper §4.1), so every use site is checked at its concrete type.
+
+#ifndef AQL_TYPES_UNIFY_H_
+#define AQL_TYPES_UNIFY_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "base/result.h"
+#include "types/type.h"
+
+namespace aql {
+
+class TypeUnifier {
+ public:
+  TypePtr Fresh() { return Type::Var(next_var_id_++); }
+
+  // Makes a and b equal, extending the substitution; occurs-check guarded.
+  Status Unify(const TypePtr& a, const TypePtr& b);
+
+  // Fully applies the current substitution to t ("zonking"). Unsolved
+  // variables remain as kVar.
+  TypePtr Resolve(const TypePtr& t) const;
+
+  // One-step resolution of a variable chain; non-variables are returned
+  // unchanged.
+  TypePtr Shallow(const TypePtr& t) const;
+
+ private:
+  bool Occurs(uint64_t var_id, const TypePtr& t) const;
+
+  uint64_t next_var_id_ = 0;
+  std::unordered_map<uint64_t, TypePtr> subst_;
+};
+
+}  // namespace aql
+
+#endif  // AQL_TYPES_UNIFY_H_

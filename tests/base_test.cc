@@ -1,0 +1,106 @@
+// Unit tests for the base layer: Status, Result<T>, the propagation
+// macros, and string helpers.
+
+#include "base/result.h"
+#include "base/status.h"
+#include "base/strings.h"
+
+#include "gtest/gtest.h"
+
+namespace aql {
+namespace {
+
+TEST(Status, OkIsDefaultAndCheap) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+  EXPECT_EQ(ok.message(), "");
+  EXPECT_EQ(ok.ToString(), "OK");
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  Status s = Status::TypeError("unbound variable x");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+  EXPECT_EQ(s.message(), "unbound variable x");
+  EXPECT_EQ(s.ToString(), "TypeError: unbound variable x");
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(Status, CopiesShareState) {
+  Status a = Status::Internal("boom");
+  Status b = a;
+  EXPECT_EQ(b.message(), "boom");
+  EXPECT_EQ(b.code(), StatusCode::kInternal);
+}
+
+TEST(Status, CodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kEvalError), "EvalError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFormatError), "FormatError");
+}
+
+Result<int> Half(int n) {
+  if (n % 2 != 0) return Status::InvalidArgument("odd");
+  return n / 2;
+}
+
+Result<int> Quarter(int n) {
+  AQL_ASSIGN_OR_RETURN(int h, Half(n));
+  AQL_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(Result, ValueAndStatusSides) {
+  Result<int> good = 21;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 21);
+  EXPECT_TRUE(good.status().ok());
+
+  Result<int> bad = Status::NotFound("nope");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  auto q = Quarter(8);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(*q, 2);
+  EXPECT_FALSE(Quarter(6).ok()) << "inner Half(3) fails";
+  EXPECT_EQ(Quarter(5).status().message(), "odd");
+}
+
+TEST(Result, MoveOutOfResult) {
+  Result<std::string> r = std::string("payload");
+  std::string taken = std::move(r).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(Strings, StrCatMixesTypes) {
+  EXPECT_EQ(StrCat("n=", 42, ", pi=", 3.5, ", b=", true), "n=42, pi=3.5, b=1");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"only"}, "-"), "only");
+}
+
+TEST(Strings, RealToStringAlwaysReparses) {
+  EXPECT_EQ(RealToString(85), "85.0");
+  EXPECT_EQ(RealToString(0.5), "0.5");
+  EXPECT_EQ(RealToString(-3), "-3.0");
+  // Round-trip exactness for an awkward double.
+  double d = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(RealToString(d)), d);
+  // Exponent forms still mark themselves as reals.
+  EXPECT_NE(RealToString(1e300).find('e'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aql

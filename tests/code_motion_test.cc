@@ -1,0 +1,173 @@
+// Tests for the code-motion phase (§5's "later phases include ... code
+// motion"): loop-invariant hoisting with definedness gating.
+
+#include "core/expr_ops.h"
+#include "env/system.h"
+#include "gtest/gtest.h"
+#include "opt/optimizer.h"
+#include "test_util.h"
+
+namespace aql {
+namespace {
+
+size_t CountKind(const ExprPtr& e, ExprKind kind) {
+  size_t n = e->is(kind) ? 1 : 0;
+  for (const ExprPtr& c : e->children()) n += CountKind(c, kind);
+  return n;
+}
+
+// Does the tree contain an Apply(Lambda ...) (a preserved `let`) whose
+// bound expression is a loop?
+bool HasHoistedLet(const ExprPtr& e) {
+  if (e->is(ExprKind::kApply) && e->child(0)->is(ExprKind::kLambda) &&
+      !e->child(1)->is(ExprKind::kVar)) {
+    return true;
+  }
+  for (const ExprPtr& c : e->children()) {
+    if (HasHoistedLet(c)) return true;
+  }
+  return false;
+}
+
+class CodeMotionTest : public ::testing::Test {
+ protected:
+  System sys_;
+};
+
+TEST_F(CodeMotionTest, HoistsInvariantSumOutOfTabulation) {
+  // summap over gen is invariant in i and error-free: hoisted.
+  auto q = sys_.Compile("[[ i + summap(fn \\j => j)!(gen!1000) | \\i < 50 ]]");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(HasHoistedLet(*q)) << (*q)->ToString();
+  // The sum must sit OUTSIDE the tabulation.
+  ASSERT_EQ((*q)->kind(), ExprKind::kApply) << (*q)->ToString();
+  EXPECT_EQ((*q)->child(1)->kind(), ExprKind::kSum);
+  // And the result is right.
+  auto v = sys_.EvalCore(*q);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->array().elems[3], Value::Nat(3 + 999 * 1000 / 2));
+}
+
+TEST_F(CodeMotionTest, BinderDependentExpressionStays) {
+  auto q = sys_.Compile("[[ summap(fn \\j => j)!(gen!i) | \\i < 10 ]]");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(HasHoistedLet(*q)) << (*q)->ToString();
+}
+
+TEST_F(CodeMotionTest, CheapExpressionsAreNotHoisted) {
+  auto q = sys_.Compile("[[ i + (n * 2 + 1) | \\i < 10 ]]");
+  // n free: loop-invariant but loop-free and tiny — duplication is fine.
+  (void)sys_.DefineVal("n", Value::Nat(7));
+  q = sys_.Compile("[[ i + (n * 2 + 1) | \\i < 10 ]]");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(HasHoistedLet(*q)) << (*q)->ToString();
+}
+
+TEST_F(CodeMotionTest, PossiblyErroringExpressionGated) {
+  // x / x has a non-constant divisor, so no part of the invariant sum is
+  // provably error-free: hoisting would change WHERE a potential error
+  // lands (one array slot vs the whole query). Default config keeps it
+  // in place; the aggressive configuration hoists it.
+  const char* q_src =
+      "[[ i + summap(fn \\j => j)!(mapset!(fn \\x => x / x, S)) | \\i < 4 ]]";
+  (void)sys_.DefineVal("S", Value::MakeSet({Value::Nat(2), Value::Nat(3)}));
+  auto q = sys_.Compile(q_src);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_FALSE(HasHoistedLet(*q)) << (*q)->ToString();
+
+  OptimizerConfig cfg;
+  cfg.aggressive_code_motion = true;
+  SystemConfig scfg;
+  scfg.optimizer = cfg;
+  System aggressive(scfg);
+  (void)aggressive.DefineVal("S", Value::MakeSet({Value::Nat(2), Value::Nat(3)}));
+  auto q2 = aggressive.Compile(q_src);
+  ASSERT_TRUE(q2.ok());
+  EXPECT_TRUE(HasHoistedLet(*q2)) << (*q2)->ToString();
+  // Both evaluate to the same (defined) result here.
+  auto v1 = sys_.EvalCore(*q);
+  auto v2 = aggressive.EvalCore(*q2);
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  EXPECT_EQ(*v1, *v2);
+}
+
+TEST_F(CodeMotionTest, SharedAcrossBodyAndBounds) {
+  // gen!(card!...) style: an invariant loop used in body positions twice
+  // shares one binding (loop-level CSE).
+  auto q = sys_.Compile(
+      "[[ summap(fn \\j => j)!(gen!100) + i * summap(fn \\j => j)!(gen!100) "
+      "| \\i < 8 ]]");
+  ASSERT_TRUE(q.ok());
+  // Exactly one hoisted binding; one Sum remains in the whole term.
+  EXPECT_EQ(CountKind(*q, ExprKind::kSum), 1u) << (*q)->ToString();
+}
+
+TEST_F(CodeMotionTest, LambdaBodiesAreNotScavenged) {
+  // The invariant expression sits inside a lambda that the loop applies
+  // to a binder-dependent argument... the lambda's own parameter must not
+  // leak out. (Regression test for the capture bug.)
+  auto q = sys_.Compile(
+      "{ summap(fn \\b => b + summap(fn \\j => j)!(gen!x))!(gen!3) | \\x <- gen!4 }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto v = sys_.EvalCore(*q);
+  ASSERT_TRUE(v.ok()) << v.status().ToString() << "\n" << (*q)->ToString();
+  SystemConfig raw_cfg;
+  raw_cfg.optimize = false;
+  System raw(raw_cfg);
+  auto vr = raw.Eval("{ summap(fn \\b => b + summap(fn \\j => j)!(gen!x))!(gen!3) "
+                     "| \\x <- gen!4 }");
+  ASSERT_TRUE(vr.ok());
+  EXPECT_EQ(*v, *vr);
+}
+
+TEST_F(CodeMotionTest, CanBeDisabled) {
+  OptimizerConfig cfg;
+  cfg.enable_code_motion = false;
+  SystemConfig scfg;
+  scfg.optimizer = cfg;
+  System off(scfg);
+  auto q = off.Compile("[[ i + summap(fn \\j => j)!(gen!1000) | \\i < 50 ]]");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(HasHoistedLet(*q)) << (*q)->ToString();
+}
+
+TEST_F(CodeMotionTest, HistFastKeepsIndexOutOfTheLoop) {
+  // The regression that motivated the inlining policy + code motion: the
+  // grouping pass of hist' must run once, not once per output bucket.
+  (void)sys_.DefineVal("H",
+                       Value::MakeVector({Value::Nat(1), Value::Nat(3), Value::Nat(1)}));
+  auto q = sys_.Compile("hist_fast!H");
+  ASSERT_TRUE(q.ok());
+  // index appears exactly once and NOT inside any tabulation body.
+  EXPECT_EQ(CountKind(*q, ExprKind::kIndex), 1u) << (*q)->ToString();
+  std::function<bool(const ExprPtr&, bool)> index_in_loop = [&](const ExprPtr& e,
+                                                                bool in_loop) {
+    if (e->is(ExprKind::kIndex) && in_loop) return true;
+    bool loops = e->is(ExprKind::kTab) || e->is(ExprKind::kBigUnion) ||
+                 e->is(ExprKind::kSum);
+    auto cb = ChildBinders(*e);
+    for (size_t i = 0; i < e->children().size(); ++i) {
+      bool inner = in_loop || (loops && !cb[i].empty());
+      if (index_in_loop(e->child(i), inner)) return true;
+    }
+    return false;
+  };
+  EXPECT_FALSE(index_in_loop(*q, false)) << (*q)->ToString();
+}
+
+TEST_F(CodeMotionTest, OptimizedStillAgreesOnValues) {
+  SystemConfig raw_cfg;
+  raw_cfg.optimize = false;
+  System raw(raw_cfg);
+  const char* kQueries[] = {
+      "[[ i + summap(fn \\j => j)!(gen!30) | \\i < 10 ]]",
+      "summap(fn \\x => x * card!(gen!9))!(gen!5)",
+      "{ x + summap(fn \\j => j * j)!(gen!6) | \\x <- gen!5 }",
+  };
+  for (const char* q : kQueries) {
+    EXPECT_EQ(testing::EvalOrDie(&sys_, q), testing::EvalOrDie(&raw, q)) << q;
+  }
+}
+
+}  // namespace
+}  // namespace aql

@@ -1,0 +1,141 @@
+// Tests for the §5 redundant-bound-check elimination rules (experiment E7).
+
+#include "core/expr_ops.h"
+#include "env/system.h"
+#include "gtest/gtest.h"
+#include "opt/optimizer.h"
+
+namespace aql {
+namespace {
+
+size_t CountKind(const ExprPtr& e, ExprKind kind) {
+  size_t n = e->is(kind) ? 1 : 0;
+  for (const ExprPtr& c : e->children()) n += CountKind(c, kind);
+  return n;
+}
+
+class ConstraintElimTest : public ::testing::Test {
+ protected:
+  Optimizer optimizer_;
+};
+
+TEST_F(ConstraintElimTest, TabBinderCheckEliminated) {
+  // [[ if i < n then i else 0 | i < n ]]  ~>  [[ i | i < n ]].
+  ExprPtr e = Expr::Tab(
+      {"i"},
+      Expr::If(Expr::Cmp(CmpOp::kLt, Expr::Var("i"), Expr::Var("n")), Expr::Var("i"),
+               Expr::NatConst(0)),
+      {Expr::Var("n")});
+  ExprPtr r = optimizer_.Optimize(e);
+  EXPECT_EQ(r->ToString(), "[[ i | i < n ]]");
+}
+
+TEST_F(ConstraintElimTest, TabMultiBinderChecks) {
+  // Both i < m and j < n are redundant inside [[ . | i < m, j < n ]].
+  ExprPtr check_i = Expr::Cmp(CmpOp::kLt, Expr::Var("i"), Expr::Var("m"));
+  ExprPtr check_j = Expr::Cmp(CmpOp::kLt, Expr::Var("j"), Expr::Var("n"));
+  ExprPtr body = Expr::If(check_i, Expr::If(check_j, Expr::Var("i"), Expr::Bottom()),
+                          Expr::Bottom());
+  ExprPtr e = Expr::Tab({"i", "j"}, body, {Expr::Var("m"), Expr::Var("n")});
+  ExprPtr r = optimizer_.Optimize(e);
+  EXPECT_EQ(CountKind(r, ExprKind::kIf), 0u) << r->ToString();
+}
+
+TEST_F(ConstraintElimTest, CheckAgainstDifferentBoundKept) {
+  // i < p is NOT redundant in [[ . | i < n ]].
+  ExprPtr e = Expr::Tab(
+      {"i"},
+      Expr::If(Expr::Cmp(CmpOp::kLt, Expr::Var("i"), Expr::Var("p")), Expr::Var("i"),
+               Expr::NatConst(0)),
+      {Expr::Var("n")});
+  ExprPtr r = optimizer_.Optimize(e);
+  EXPECT_EQ(CountKind(r, ExprKind::kIf), 1u) << r->ToString();
+}
+
+TEST_F(ConstraintElimTest, ShadowedBinderNotRewritten) {
+  // The inner tabulation rebinds i; its i < n refers to the inner i with a
+  // DIFFERENT bound, so only the outer occurrence may be replaced.
+  ExprPtr inner = Expr::Tab(
+      {"i"},
+      Expr::If(Expr::Cmp(CmpOp::kLt, Expr::Var("i"), Expr::Var("n")), Expr::NatConst(1),
+               Expr::NatConst(0)),
+      {Expr::Var("p")});
+  ExprPtr outer = Expr::Tab({"i"}, inner, {Expr::Var("n")});
+  ExprPtr r = optimizer_.Optimize(outer);
+  // Inner check must survive (inner i bounded by p, not n).
+  EXPECT_EQ(CountKind(r, ExprKind::kIf), 1u) << r->ToString();
+}
+
+TEST_F(ConstraintElimTest, CaptureOfBoundFreeVarsBlocksRewrite) {
+  // Outer tab bound is n; inside, a big union rebinds n. The check i < n
+  // under that binder refers to a different n and must be kept.
+  ExprPtr guarded = Expr::If(Expr::Cmp(CmpOp::kLt, Expr::Var("i"), Expr::Var("n")),
+                             Expr::Singleton(Expr::Var("i")), Expr::EmptySet());
+  ExprPtr rebind_n = Expr::BigUnion("n", guarded, Expr::Var("S"));
+  ExprPtr e = Expr::Tab({"i"}, rebind_n, {Expr::Var("n")});
+  ExprPtr r = optimizer_.Optimize(e);
+  EXPECT_GE(CountKind(r, ExprKind::kIf), 1u) << r->ToString();
+}
+
+TEST_F(ConstraintElimTest, GenBoundCheckEliminated) {
+  // U{ if x < e then {x} else {} | x in gen(e) } ~> U{ {x} | x in gen(e) }.
+  ExprPtr e = Expr::BigUnion(
+      "x",
+      Expr::If(Expr::Cmp(CmpOp::kLt, Expr::Var("x"), Expr::Var("e")),
+               Expr::Singleton(Expr::Var("x")), Expr::EmptySet()),
+      Expr::Gen(Expr::Var("e")));
+  ExprPtr r = optimizer_.Optimize(e);
+  EXPECT_EQ(CountKind(r, ExprKind::kIf), 0u) << r->ToString();
+}
+
+TEST_F(ConstraintElimTest, SumGenBoundCheckEliminated) {
+  ExprPtr e = Expr::Sum(
+      "x",
+      Expr::If(Expr::Cmp(CmpOp::kLt, Expr::Var("x"), Expr::Var("e")), Expr::Var("x"),
+               Expr::NatConst(0)),
+      Expr::Gen(Expr::Var("e")));
+  ExprPtr r = optimizer_.Optimize(e);
+  EXPECT_EQ(CountKind(r, ExprKind::kIf), 0u) << r->ToString();
+}
+
+TEST_F(ConstraintElimTest, IfCondTrueInThenBranch) {
+  // if c then (if c then a else b) else d  ~>  if c then a else d,
+  // even when c is not error-free (same evaluation either way).
+  ExprPtr c = Expr::Cmp(CmpOp::kLt, Expr::Var("x"), Expr::Var("y"));
+  ExprPtr e = Expr::If(c, Expr::If(c, Expr::Var("a"), Expr::Var("b")), Expr::Var("d"));
+  ExprPtr r = optimizer_.Optimize(e);
+  EXPECT_EQ(r->ToString(), "if x < y then a else d");
+}
+
+TEST_F(ConstraintElimTest, IfCondFalseInElseBranch) {
+  ExprPtr c = Expr::Cmp(CmpOp::kEq, Expr::Var("x"), Expr::NatConst(0));
+  ExprPtr e = Expr::If(c, Expr::Var("a"), Expr::If(c, Expr::Var("b"), Expr::Var("d")));
+  ExprPtr r = optimizer_.Optimize(e);
+  EXPECT_EQ(r->ToString(), "if x = 0 then a else d");
+}
+
+TEST_F(ConstraintElimTest, DisabledByConfiguration) {
+  OptimizerConfig cfg;
+  cfg.enable_constraint_elimination = false;
+  Optimizer no_ce(cfg);
+  ExprPtr e = Expr::Tab(
+      {"i"},
+      Expr::If(Expr::Cmp(CmpOp::kLt, Expr::Var("i"), Expr::Var("n")), Expr::Var("i"),
+               Expr::NatConst(0)),
+      {Expr::Var("n")});
+  EXPECT_EQ(CountKind(no_ce.Optimize(e), ExprKind::kIf), 1u);
+}
+
+TEST_F(ConstraintElimTest, BetaPGuardsFromSameBoundVanish) {
+  // The composition that motivates the §5 phase ordering: beta^p
+  // introduces a guard that the elimination phase then deletes.
+  System sys;
+  auto compiled = sys.Compile("fn \\A => [[ [[ A[j] | \\j < len!A ]][i] | \\i < len!A ]]");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  // eta^p alone would fold the inner tab to A; either way no ifs remain
+  // and the whole thing is A.
+  EXPECT_EQ((*compiled)->ToString(), "\\A. A");
+}
+
+}  // namespace
+}  // namespace aql

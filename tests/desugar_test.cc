@@ -1,0 +1,195 @@
+// Desugarer tests: the Figure-2 translations, pattern compilation, array
+// generators, builtin operators, and behavioral checks through evaluation.
+
+#include "surface/desugar.h"
+
+#include "core/expr_ops.h"
+#include "env/system.h"
+#include "gtest/gtest.h"
+#include "surface/parser.h"
+#include "test_util.h"
+
+namespace aql {
+namespace {
+
+ExprPtr MustDesugar(const std::string& src) {
+  auto surf = ParseExpression(src);
+  EXPECT_TRUE(surf.ok()) << surf.status().ToString();
+  Desugarer d;
+  auto core = d.Desugar(*surf);
+  EXPECT_TRUE(core.ok()) << core.status().ToString();
+  return core.ok() ? *core : nullptr;
+}
+
+TEST(Desugar, GeneratorBecomesBigUnion) {
+  // {e1 | \x <- e2} => U{ {e1} | x in e2 }  (first row of Fig. 2).
+  ExprPtr e = MustDesugar("{x + 1 | \\x <- s}");
+  ASSERT_EQ(e->kind(), ExprKind::kBigUnion);
+  EXPECT_EQ(e->binder(), "x");
+  EXPECT_EQ(e->child(0)->kind(), ExprKind::kSingleton);
+  EXPECT_EQ(e->child(1)->var_name(), "s");
+}
+
+TEST(Desugar, FilterBecomesConditional) {
+  // {e1 | e2} => if e2 then {e1} else {}  (second row of Fig. 2).
+  ExprPtr e = MustDesugar("{x | \\x <- s, x > 2}");
+  const ExprPtr& body = e->child(0);
+  ASSERT_EQ(body->kind(), ExprKind::kIf);
+  EXPECT_EQ(body->child(0)->kind(), ExprKind::kCmp);
+  EXPECT_EQ(body->child(2)->kind(), ExprKind::kEmptySet);
+}
+
+TEST(Desugar, EmptyTailIsSingleton) {
+  // {e | } => {e}  (third row of Fig. 2).
+  ExprPtr e = MustDesugar("{42 | \\x <- s}");
+  EXPECT_EQ(e->child(0)->kind(), ExprKind::kSingleton);
+}
+
+TEST(Desugar, SetLiteralIsUnionOfSingletons) {
+  ExprPtr e = MustDesugar("{1, 2, 3}");
+  ASSERT_EQ(e->kind(), ExprKind::kUnion);
+  EXPECT_EQ(e->child(1)->kind(), ExprKind::kSingleton);
+}
+
+TEST(Desugar, TuplePatternUsesProjections) {
+  // Lambda pattern translation (Fig. 2): components come out via pi_{i,k}.
+  ExprPtr e = MustDesugar("fn (\\a, \\b) => a + b");
+  ASSERT_EQ(e->kind(), ExprKind::kLambda);
+  // Body is let-chains over projections; find a Proj node.
+  bool found_proj = false;
+  std::function<void(const ExprPtr&)> walk = [&](const ExprPtr& n) {
+    if (n->is(ExprKind::kProj)) found_proj = true;
+    for (const ExprPtr& c : n->children()) walk(c);
+  };
+  walk(e->child(0));
+  EXPECT_TRUE(found_proj);
+}
+
+TEST(Desugar, ConstantPatternBecomesEqualityGuard) {
+  // { x | (0, \x) <- s }: the 0 position compiles to an if-equality whose
+  // failure branch is {}.
+  ExprPtr e = MustDesugar("{ x | (0, \\x) <- s }");
+  std::string printed = e->ToString();
+  EXPECT_NE(printed.find("= 0"), std::string::npos) << printed;
+  EXPECT_NE(printed.find("else {}"), std::string::npos) << printed;
+}
+
+TEST(Desugar, BindingIsGeneratorOverSingleton) {
+  // P == e behaves as P <- {e}: evaluation proves it.
+  System sys;
+  EXPECT_EQ(testing::EvalOrDie(&sys, "{ y | \\x <- gen!3, \\y == x * x }"),
+            testing::EvalOrDie(&sys, "{ y | \\x <- gen!3, \\y <- {x * x} }"));
+}
+
+TEST(Desugar, ArrayGeneratorRank1) {
+  // [\i : \x] <- A  =>  i over gen(len A), x = A[i].
+  ExprPtr e = MustDesugar("{ i | [\\i : \\x] <- a, x > 2 }");
+  std::string printed = e->ToString();
+  EXPECT_NE(printed.find("gen(dim_1("), std::string::npos) << printed;
+}
+
+TEST(Desugar, ArrayGeneratorRankFromTuplePattern) {
+  ExprPtr e = MustDesugar("{ h | [(\\h, _, _) : \\t] <- T, t > 85.0 }");
+  std::string printed = e->ToString();
+  EXPECT_NE(printed.find("dim_3("), std::string::npos) << printed;
+}
+
+TEST(Desugar, LetBlocksNest) {
+  ExprPtr e = MustDesugar("let val \\x = 1 val \\y = x in y end");
+  // let is Apply(Lambda ...).
+  ASSERT_EQ(e->kind(), ExprKind::kApply);
+  EXPECT_EQ(e->child(0)->kind(), ExprKind::kLambda);
+}
+
+TEST(Desugar, BuiltinOperators) {
+  EXPECT_EQ(MustDesugar("gen!5")->kind(), ExprKind::kGen);
+  EXPECT_EQ(MustDesugar("get!{1}")->kind(), ExprKind::kGet);
+  EXPECT_EQ(MustDesugar("len!a")->kind(), ExprKind::kDim);
+  EXPECT_EQ(MustDesugar("len!a")->rank(), 1u);
+  EXPECT_EQ(MustDesugar("dim2!a")->rank(), 2u);
+  EXPECT_EQ(MustDesugar("index!s")->kind(), ExprKind::kIndex);
+  EXPECT_EQ(MustDesugar("index3!s")->rank(), 3u);
+  EXPECT_EQ(MustDesugar("pi_1_2!p")->kind(), ExprKind::kProj);
+  EXPECT_EQ(MustDesugar("fst!p")->proj_index(), 1u);
+  EXPECT_EQ(MustDesugar("snd!p")->proj_index(), 2u);
+  EXPECT_EQ(MustDesugar("pi_2_3!p")->proj_arity(), 3u);
+}
+
+TEST(Desugar, SummapBecomesSumConstruct) {
+  ExprPtr e = MustDesugar("summap(fn \\x => x * 2)!(gen!4)");
+  ASSERT_EQ(e->kind(), ExprKind::kSum);
+  EXPECT_EQ(e->child(1)->kind(), ExprKind::kGen);
+}
+
+TEST(Desugar, BoolOpsBecomeConditionals) {
+  ExprPtr a = MustDesugar("p and q");
+  ASSERT_EQ(a->kind(), ExprKind::kIf);
+  EXPECT_EQ(a->child(2)->kind(), ExprKind::kBoolConst);
+  ExprPtr o = MustDesugar("p or q");
+  ASSERT_EQ(o->kind(), ExprKind::kIf);
+  EXPECT_TRUE(o->child(1)->bool_const());
+  ExprPtr n = MustDesugar("not p");
+  ASSERT_EQ(n->kind(), ExprKind::kIf);
+  EXPECT_FALSE(n->child(1)->bool_const());
+}
+
+TEST(Desugar, IsinBecomesMemberPrimitive) {
+  ExprPtr e = MustDesugar("1 isin s");
+  ASSERT_EQ(e->kind(), ExprKind::kApply);
+  EXPECT_EQ(e->child(0)->kind(), ExprKind::kExternal);
+  EXPECT_EQ(e->child(0)->var_name(), "member");
+}
+
+TEST(Desugar, MultiIndexSubscriptBecomesTuple) {
+  ExprPtr e = MustDesugar("m[i, j]");
+  ASSERT_EQ(e->kind(), ExprKind::kSubscript);
+  EXPECT_EQ(e->child(1)->kind(), ExprKind::kTuple);
+  ExprPtr e1 = MustDesugar("a[i]");
+  EXPECT_EQ(e1->child(1)->kind(), ExprKind::kVar);
+}
+
+TEST(Desugar, ArrayLiteralIsDense) {
+  ExprPtr e = MustDesugar("[[5, 6]]");
+  ASSERT_EQ(e->kind(), ExprKind::kDense);
+  EXPECT_EQ(e->dense_rank(), 1u);
+  EXPECT_EQ(e->dense_dim(0)->nat_const(), 2u);
+}
+
+// Behavioral checks of the pattern semantics from §3.
+TEST(DesugarBehavior, NaturalJoinViaUsePattern) {
+  System sys;
+  Value v = testing::EvalOrDie(
+      &sys,
+      "{ (x, y, z) | (\\x, \\y) <- {(1, 10), (2, 20)}, (y, \\z) <- {(10, 7), (30, 8)} }");
+  EXPECT_EQ(v.ToString(), "{(1, 10, 7)}");
+}
+
+TEST(DesugarBehavior, WildcardAndConstantPatterns) {
+  System sys;
+  Value v = testing::EvalOrDie(
+      &sys, "{ x | (_, 0, \\x) <- {(1, 0, 10), (2, 1, 20), (3, 0, 30)} }");
+  EXPECT_EQ(v.ToString(), "{10, 30}");
+}
+
+TEST(DesugarBehavior, NestViaPatterns) {
+  // nest from §3 collects second components by first component.
+  System sys;
+  Value v = testing::EvalOrDie(&sys, "nest!({(1, 10), (1, 11), (2, 20)})");
+  EXPECT_EQ(v.ToString(), "{(1, {10, 11}), (2, {20})}");
+}
+
+TEST(DesugarBehavior, ArrayGeneratorPicksPositions) {
+  // §3: {i | [\i : \x] <- A, x > 90} picks positions whose value exceeds 90.
+  System sys;
+  Value v = testing::EvalOrDie(&sys, "{ i | [\\i : \\x] <- [[50, 95, 20, 91]], x > 90 }");
+  EXPECT_EQ(v.ToString(), "{1, 3}");
+}
+
+TEST(DesugarBehavior, FnPatternMismatchIsBottom) {
+  System sys;
+  Value v = testing::EvalOrDie(&sys, "(fn (1, \\x) => x)!(2, 5)");
+  EXPECT_TRUE(v.is_bottom());
+}
+
+}  // namespace
+}  // namespace aql

@@ -1,0 +1,87 @@
+// Tests for the CDL dumper (src/netcdf/dump.*).
+
+#include "netcdf/dump.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "gtest/gtest.h"
+#include "netcdf/writer.h"
+
+namespace aql {
+namespace netcdf {
+namespace {
+
+Result<NcReader> SampleFile() {
+  NcWriter w(1);
+  uint32_t t = w.AddDim("time", 0);
+  uint32_t x = w.AddDim("x", 3);
+  uint32_t len = w.AddDim("len", 5);
+  w.AddGlobalAttr(NcAttr{"title", NcType::kChar, {}, "dump test"});
+  w.AddVar("series", NcType::kInt, {t, x}, {1, 2, 3, 4, 5, 6},
+           {NcAttr{"units", NcType::kChar, {}, "counts"},
+            NcAttr{"valid_range", NcType::kInt, {0, 100}, ""}});
+  w.AddVar("coeff", NcType::kDouble, {x}, {0.5, 1.5, -2.0});
+  w.AddCharVar("label", {len}, "hello");
+  AQL_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, w.Encode(2));
+  return NcReader::Open(std::move(bytes));
+}
+
+TEST(DumpCdl, RendersAllSections) {
+  auto reader = SampleFile();
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  auto cdl = DumpCdl(*reader, "sample");
+  ASSERT_TRUE(cdl.ok()) << cdl.status().ToString();
+  const std::string& s = *cdl;
+  EXPECT_NE(s.find("netcdf sample {"), std::string::npos) << s;
+  EXPECT_NE(s.find("time = UNLIMITED ; // (2 currently)"), std::string::npos) << s;
+  EXPECT_NE(s.find("x = 3 ;"), std::string::npos) << s;
+  EXPECT_NE(s.find("int series(time, x) ;"), std::string::npos) << s;
+  EXPECT_NE(s.find("series:units = \"counts\""), std::string::npos) << s;
+  EXPECT_NE(s.find("series:valid_range = 0, 100"), std::string::npos) << s;
+  EXPECT_NE(s.find(":title = \"dump test\""), std::string::npos) << s;
+  EXPECT_NE(s.find("series = 1, 2, 3, 4, 5, 6 ;"), std::string::npos) << s;
+  EXPECT_NE(s.find("coeff = 0.5, 1.5, -2.0 ;"), std::string::npos) << s;
+  EXPECT_NE(s.find("label = \"hello\""), std::string::npos) << s;
+  EXPECT_EQ(s.back(), '\n');
+}
+
+TEST(DumpCdl, HeaderOnly) {
+  auto reader = SampleFile();
+  ASSERT_TRUE(reader.ok());
+  DumpOptions options;
+  options.include_data = false;
+  auto cdl = DumpCdl(*reader, "sample", options);
+  ASSERT_TRUE(cdl.ok());
+  EXPECT_EQ(cdl->find("data:"), std::string::npos);
+  EXPECT_NE(cdl->find("variables:"), std::string::npos);
+}
+
+TEST(DumpCdl, TruncatesWithEllipsis) {
+  auto reader = SampleFile();
+  ASSERT_TRUE(reader.ok());
+  DumpOptions options;
+  options.max_elements_per_variable = 2;
+  auto cdl = DumpCdl(*reader, "sample", options);
+  ASSERT_TRUE(cdl.ok());
+  EXPECT_NE(cdl->find("series = 1, 2, ... ;"), std::string::npos) << *cdl;
+}
+
+TEST(DumpCdl, FileConvenienceUsesBasename) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "aql_dump_file.nc").string();
+  NcWriter w(1);
+  uint32_t d = w.AddDim("n", 2);
+  w.AddVar("v", NcType::kShort, {d}, {7, 8});
+  ASSERT_TRUE(w.WriteFile(path).ok());
+  auto cdl = DumpCdlFile(path);
+  ASSERT_TRUE(cdl.ok()) << cdl.status().ToString();
+  EXPECT_NE(cdl->find("netcdf aql_dump_file {"), std::string::npos) << *cdl;
+  EXPECT_NE(cdl->find("short v(n) ;"), std::string::npos);
+  std::remove(path.c_str());
+  EXPECT_FALSE(DumpCdlFile(path).ok()) << "deleted file";
+}
+
+}  // namespace
+}  // namespace netcdf
+}  // namespace aql

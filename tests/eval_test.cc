@@ -1,0 +1,184 @@
+// Evaluator tests: the §2 semantics of every core construct, bottom
+// propagation, monus/integer division, index grouping, and the
+// strict-application invariant.
+
+#include "eval/evaluator.h"
+
+#include "env/system.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace aql {
+namespace {
+
+class EvalTest : public ::testing::Test {
+ protected:
+  Value Eval(const std::string& expr) { return testing::EvalOrDie(&sys_, expr); }
+  System sys_;
+};
+
+TEST_F(EvalTest, NatArithmetic) {
+  EXPECT_EQ(Eval("7 + 5"), Value::Nat(12));
+  EXPECT_EQ(Eval("7 * 5"), Value::Nat(35));
+  EXPECT_EQ(Eval("7 / 2"), Value::Nat(3)) << "integer division";
+  EXPECT_EQ(Eval("7 % 2"), Value::Nat(1));
+  EXPECT_EQ(Eval("3 - 5"), Value::Nat(0)) << "monus truncates at zero";
+  EXPECT_EQ(Eval("5 - 3"), Value::Nat(2));
+}
+
+TEST_F(EvalTest, RealArithmetic) {
+  EXPECT_EQ(Eval("1.5 + 2.25"), Value::Real(3.75));
+  EXPECT_EQ(Eval("1.0 - 2.5"), Value::Real(-1.5)) << "real minus is not monus";
+  EXPECT_EQ(Eval("5.0 / 2.0"), Value::Real(2.5));
+}
+
+TEST_F(EvalTest, DivisionByZeroIsBottom) {
+  EXPECT_TRUE(Eval("1 / 0").is_bottom());
+  EXPECT_TRUE(Eval("1 % 0").is_bottom());
+}
+
+TEST_F(EvalTest, ComparisonsUseLinearOrder) {
+  EXPECT_EQ(Eval("(1, 9) < (2, 0)"), Value::Bool(true));
+  EXPECT_EQ(Eval("{1, 2} = {2, 1}"), Value::Bool(true));
+  EXPECT_EQ(Eval("\"abc\" < \"abd\""), Value::Bool(true));
+  EXPECT_EQ(Eval("[[1, 2]] < [[1, 3]]"), Value::Bool(true));
+  EXPECT_EQ(Eval("3 <> 4"), Value::Bool(true));
+}
+
+TEST_F(EvalTest, SetSemantics) {
+  EXPECT_EQ(Eval("{2, 1, 2}").ToString(), "{1, 2}");
+  EXPECT_EQ(Eval("gen!4").ToString(), "{0, 1, 2, 3}");
+  EXPECT_EQ(Eval("gen!0").ToString(), "{}");
+  EXPECT_EQ(Eval("{ x + 10 | \\x <- gen!3 }").ToString(), "{10, 11, 12}");
+  // Big union deduplicates.
+  EXPECT_EQ(Eval("{ x / 2 | \\x <- gen!6 }").ToString(), "{0, 1, 2}");
+}
+
+TEST_F(EvalTest, SumSemantics) {
+  EXPECT_EQ(Eval("summap(fn \\x => x)!(gen!5)"), Value::Nat(10));
+  EXPECT_EQ(Eval("summap(fn \\x => x)!{}"), Value::Nat(0));
+  EXPECT_EQ(Eval("summap(fn \\x => 2.5)!{1, 2}"), Value::Real(5.0));
+  // Sum ranges over the SET: duplicates already collapsed.
+  EXPECT_EQ(Eval("summap(fn \\x => x)!{1, 1, 1}"), Value::Nat(1));
+}
+
+TEST_F(EvalTest, GetSemantics) {
+  EXPECT_EQ(Eval("get!{7}"), Value::Nat(7));
+  EXPECT_TRUE(Eval("get!{}").is_bottom());
+  EXPECT_TRUE(Eval("get!{1, 2}").is_bottom());
+}
+
+TEST_F(EvalTest, TabulationRowMajor) {
+  Value v = Eval("[[ i * 10 + j | \\i < 2, \\j < 3 ]]");
+  ASSERT_EQ(v.kind(), ValueKind::kArray);
+  EXPECT_EQ(v.array().dims, (std::vector<uint64_t>{2, 3}));
+  EXPECT_EQ(v.array().elems[4], Value::Nat(11)) << "element (1,1)";
+  EXPECT_EQ(Eval("[[ i | \\i < 0 ]]").array().TotalSize(), 0u);
+}
+
+TEST_F(EvalTest, SubscriptBoundsProduceBottom) {
+  EXPECT_EQ(Eval("[[10, 20, 30]][1]"), Value::Nat(20));
+  EXPECT_TRUE(Eval("[[10, 20, 30]][3]").is_bottom());
+  EXPECT_TRUE(Eval("[[ i | \\i < 2, \\j < 2 ]][1, 2]").is_bottom());
+}
+
+TEST_F(EvalTest, DimForms) {
+  EXPECT_EQ(Eval("len![[5, 6, 7]]"), Value::Nat(3));
+  EXPECT_EQ(Eval("dim2![[ 0 | \\i < 4, \\j < 7 ]]").ToString(), "(4, 7)");
+}
+
+TEST_F(EvalTest, DenseLiteralCountMismatchIsBottom) {
+  EXPECT_TRUE(Eval("(fn \\n => [[n, 2; 1, 2, 3, 4]])!3").is_bottom());
+  EXPECT_EQ(Eval("(fn \\n => [[n, 2; 1, 2, 3, 4]])!2").kind(), ValueKind::kArray);
+}
+
+TEST_F(EvalTest, IndexGroupsAndFillsHoles) {
+  // The §2 example: index({(1,"a"),(3,"b"),(1,"c")}) = [[{},{a,c},{},{b}]].
+  Value v = Eval("index!({(1, \"a\"), (3, \"b\"), (1, \"c\")})");
+  ASSERT_EQ(v.kind(), ValueKind::kArray);
+  ASSERT_EQ(v.array().dims[0], 4u);
+  EXPECT_EQ(v.array().elems[0].ToString(), "{}");
+  EXPECT_EQ(v.array().elems[1].ToString(), "{\"a\", \"c\"}");
+  EXPECT_EQ(v.array().elems[2].ToString(), "{}");
+  EXPECT_EQ(v.array().elems[3].ToString(), "{\"b\"}");
+}
+
+TEST_F(EvalTest, IndexOfEmptySet) {
+  Value v = Eval("index!({x | \\x <- {(1, 2)}, false})");
+  ASSERT_EQ(v.kind(), ValueKind::kArray);
+  EXPECT_EQ(v.array().TotalSize(), 0u);
+}
+
+TEST_F(EvalTest, IndexMultiDimensional) {
+  Value v = Eval("index2!({((0, 1), \"x\"), ((1, 0), \"y\")})");
+  ASSERT_EQ(v.array().dims, (std::vector<uint64_t>{2, 2}));
+  EXPECT_EQ(v.array().elems[1].ToString(), "{\"x\"}");
+  EXPECT_EQ(v.array().elems[2].ToString(), "{\"y\"}");
+}
+
+TEST_F(EvalTest, BottomPropagation) {
+  EXPECT_TRUE(Eval("bottom + 1").is_bottom());
+  EXPECT_TRUE(Eval("(bottom, 2)").is_bottom()) << "tuples are error-strict";
+  EXPECT_TRUE(Eval("{bottom}").is_bottom()) << "sets are error-strict";
+  EXPECT_TRUE(Eval("if bottom then 1 else 2").is_bottom());
+  EXPECT_TRUE(Eval("get!bottom").is_bottom());
+  EXPECT_TRUE(Eval("bottom = 1").is_bottom());
+  EXPECT_TRUE(Eval("gen!bottom").is_bottom());
+}
+
+TEST_F(EvalTest, ArraysArePartialFunctions) {
+  // An error at one point leaves the rest of the array observable (§2:
+  // arrays as partial functions; see eval/evaluator.h).
+  Value v = Eval("[[ if i = 1 then bottom else i | \\i < 3 ]]");
+  ASSERT_EQ(v.kind(), ValueKind::kArray);
+  EXPECT_EQ(v.array().elems[0], Value::Nat(0));
+  EXPECT_TRUE(v.array().elems[1].is_bottom());
+  EXPECT_EQ(v.array().elems[2], Value::Nat(2));
+  EXPECT_EQ(Eval("len![[ if i = 1 then bottom else i | \\i < 3 ]]"), Value::Nat(3));
+}
+
+TEST_F(EvalTest, StrictApplicationNeverBindsBottom) {
+  // Arguments evaluate before the call: a bottom argument short-circuits.
+  // (Checked unoptimized: normalization's beta rule is allowed to make
+  // programs MORE defined, like the paper's delta^p — see opt tests.)
+  SystemConfig cfg;
+  cfg.optimize = false;
+  System raw(cfg);
+  EXPECT_TRUE(testing::EvalOrDie(&raw, "(fn \\x => 42)!bottom").is_bottom());
+  // When the parameter is actually used, the error surfaces either way.
+  EXPECT_TRUE(Eval("(fn \\x => x + 42)!(get!{})").is_bottom());
+}
+
+TEST_F(EvalTest, IfBranchesAreLazy) {
+  EXPECT_EQ(Eval("if true then 1 else 1 / 0"), Value::Nat(1));
+  EXPECT_EQ(Eval("if false then get!{} else 2"), Value::Nat(2));
+}
+
+TEST_F(EvalTest, ClosuresCaptureEnvironment) {
+  EXPECT_EQ(Eval("let val \\n = 10 in (fn \\x => x + n)!5 end"), Value::Nat(15));
+  EXPECT_EQ(Eval("((fn \\x => fn \\y => x - y)!10)!4"), Value::Nat(6));
+}
+
+TEST_F(EvalTest, HigherOrderThroughSets) {
+  EXPECT_EQ(Eval("mapset!(fn \\x => x * x, gen!4)").ToString(), "{0, 1, 4, 9}");
+  EXPECT_EQ(Eval("filterset!(fn \\x => x % 2 = 0, gen!6)").ToString(), "{0, 2, 4}");
+}
+
+TEST(EvalDirect, UnboundVariableIsHostError) {
+  Evaluator ev;
+  auto r = ev.Eval(Expr::Var("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kEvalError);
+}
+
+TEST(EvalDirect, EnvironmentShadowing) {
+  Environment env;
+  env = env.Bind("x", Value::Nat(1));
+  Environment inner = env.Bind("x", Value::Nat(2));
+  EXPECT_EQ(env.Lookup("x")->nat_value(), 1u);
+  EXPECT_EQ(inner.Lookup("x")->nat_value(), 2u);
+  EXPECT_EQ(env.Lookup("y"), nullptr);
+}
+
+}  // namespace
+}  // namespace aql

@@ -1,0 +1,101 @@
+// Tests for the core calculus AST (src/core/expr.*): construction,
+// printing, rebuilding, tree size.
+
+#include "core/expr.h"
+
+#include "gtest/gtest.h"
+
+namespace aql {
+namespace {
+
+TEST(ExprFactories, Basics) {
+  ExprPtr v = Expr::Var("x");
+  EXPECT_EQ(v->kind(), ExprKind::kVar);
+  EXPECT_EQ(v->var_name(), "x");
+
+  ExprPtr lam = Expr::Lambda("x", Expr::Var("x"));
+  EXPECT_EQ(lam->binder(), "x");
+  EXPECT_EQ(lam->child(0)->kind(), ExprKind::kVar);
+
+  ExprPtr tab = Expr::Tab({"i", "j"}, Expr::Var("i"),
+                          {Expr::NatConst(2), Expr::NatConst(3)});
+  EXPECT_EQ(tab->tab_rank(), 2u);
+  EXPECT_EQ(tab->tab_bound(1)->nat_const(), 3u);
+  EXPECT_EQ(tab->tab_body()->var_name(), "i");
+}
+
+TEST(ExprFactories, DenseLayout) {
+  ExprPtr d = Expr::Dense(2, {Expr::NatConst(1), Expr::NatConst(2)},
+                          {Expr::NatConst(10), Expr::NatConst(20)});
+  EXPECT_EQ(d->dense_rank(), 2u);
+  EXPECT_EQ(d->dense_dim(1)->nat_const(), 2u);
+  EXPECT_EQ(d->dense_value_count(), 2u);
+  EXPECT_EQ(d->dense_value(1)->nat_const(), 20u);
+}
+
+TEST(ExprFactories, LetEncodesAsApplyLambda) {
+  ExprPtr let = Expr::Let("x", Expr::NatConst(1), Expr::Var("x"));
+  ASSERT_EQ(let->kind(), ExprKind::kApply);
+  EXPECT_EQ(let->child(0)->kind(), ExprKind::kLambda);
+}
+
+TEST(ExprPrinting, CalculusNotation) {
+  ExprPtr e = Expr::BigUnion("x", Expr::Singleton(Expr::Var("x")),
+                             Expr::Gen(Expr::NatConst(5)));
+  EXPECT_EQ(e->ToString(), "U{ {x} | x in gen(5) }");
+
+  ExprPtr tab =
+      Expr::Tab({"i"}, Expr::Subscript(Expr::Var("A"), Expr::Var("i")),
+                {Expr::Dim(1, Expr::Var("A"))});
+  EXPECT_EQ(tab->ToString(), "[[ A[i] | i < dim_1(A) ]]");
+
+  EXPECT_EQ(Expr::If(Expr::BoolConst(true), Expr::NatConst(1), Expr::Bottom())->ToString(),
+            "if true then 1 else bottom");
+  EXPECT_EQ(Expr::Proj(1, 2, Expr::Var("p"))->ToString(), "pi_1,2(p)");
+  EXPECT_EQ(Expr::Sum("x", Expr::Var("x"), Expr::Var("S"))->ToString(),
+            "Sum{ x | x in S }");
+}
+
+TEST(ExprPrinting, OperatorsAndLiterals) {
+  ExprPtr e = Expr::Arith(ArithOp::kMonus, Expr::Var("a"), Expr::NatConst(1));
+  EXPECT_EQ(e->ToString(), "a - 1");
+  EXPECT_EQ(Expr::Cmp(CmpOp::kNe, Expr::Var("a"), Expr::Var("b"))->ToString(), "a <> b");
+  EXPECT_EQ(Expr::StrConst("hi")->ToString(), "\"hi\"");
+  EXPECT_EQ(Expr::Literal(Value::MakeSet({Value::Nat(1)}))->ToString(), "{1}");
+}
+
+TEST(ExprRebuild, WithChildrenPreservesPayload) {
+  ExprPtr p = Expr::Proj(2, 3, Expr::Var("x"));
+  ExprPtr q = p->WithChildren({Expr::Var("y")});
+  EXPECT_EQ(q->proj_index(), 2u);
+  EXPECT_EQ(q->proj_arity(), 3u);
+  EXPECT_EQ(q->child(0)->var_name(), "y");
+}
+
+TEST(ExprRebuild, WithBindersRenames) {
+  ExprPtr lam = Expr::Lambda("x", Expr::Var("x"));
+  ExprPtr renamed = lam->WithBindersAndChildren({"y"}, {Expr::Var("y")});
+  EXPECT_EQ(renamed->binder(), "y");
+}
+
+TEST(ExprMisc, TreeSizeCountsNodes) {
+  EXPECT_EQ(Expr::Var("x")->TreeSize(), 1u);
+  EXPECT_EQ(Expr::Arith(ArithOp::kAdd, Expr::Var("x"), Expr::NatConst(1))->TreeSize(), 3u);
+}
+
+TEST(ExprMisc, ChildBindersLayout) {
+  ExprPtr tab = Expr::Tab({"i", "j"}, Expr::Var("i"),
+                          {Expr::NatConst(2), Expr::NatConst(3)});
+  auto cb = ChildBinders(*tab);
+  ASSERT_EQ(cb.size(), 3u);
+  EXPECT_EQ(cb[0], (std::vector<std::string>{"i", "j"})) << "body sees binders";
+  EXPECT_TRUE(cb[1].empty()) << "bounds do not see binders";
+
+  ExprPtr bu = Expr::BigUnion("x", Expr::Var("x"), Expr::Var("s"));
+  auto cb2 = ChildBinders(*bu);
+  EXPECT_EQ(cb2[0], (std::vector<std::string>{"x"}));
+  EXPECT_TRUE(cb2[1].empty());
+}
+
+}  // namespace
+}  // namespace aql

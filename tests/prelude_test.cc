@@ -1,0 +1,147 @@
+// Behavioral tests for every macro in the standard prelude (§3 "derived
+// primitives") plus the natively-implemented ones.
+
+#include "env/system.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace aql {
+namespace {
+
+class PreludeTest : public ::testing::Test {
+ protected:
+  Value Eval(const std::string& e) { return testing::EvalOrDie(&sys_, e); }
+  std::string EvalStr(const std::string& e) { return Eval(e).ToString(); }
+  System sys_;
+};
+
+TEST_F(PreludeTest, Combinators) {
+  EXPECT_EQ(Eval("id!7"), Value::Nat(7));
+  EXPECT_EQ(Eval("compose!(fn \\x => x + 1, fn \\x => x * 2)!5"), Value::Nat(11));
+  EXPECT_EQ(Eval("min2!(3, 9)"), Value::Nat(3));
+  EXPECT_EQ(Eval("max2!(3, 9)"), Value::Nat(9));
+  EXPECT_EQ(Eval("min2!(\"b\", \"a\")"), Value::Str("a")) << "min2 is polymorphic";
+}
+
+TEST_F(PreludeTest, SetOperations) {
+  EXPECT_EQ(EvalStr("mapset!(fn \\x => x + 1, gen!3)"), "{1, 2, 3}");
+  EXPECT_EQ(EvalStr("filterset!(fn \\x => x > 1, gen!4)"), "{2, 3}");
+  EXPECT_EQ(EvalStr("cross!({1, 2}, {\"a\"})"), "{(1, \"a\"), (2, \"a\")}");
+  EXPECT_EQ(Eval("count!{5, 6, 7}"), Value::Nat(3));
+  EXPECT_EQ(Eval("forall_in!(fn \\x => x < 5, gen!5)"), Value::Bool(true));
+  EXPECT_EQ(Eval("forall_in!(fn \\x => x < 4, gen!5)"), Value::Bool(false));
+  EXPECT_EQ(Eval("exists_in!(fn \\x => x = 3, gen!5)"), Value::Bool(true));
+  EXPECT_EQ(Eval("exists_in!(fn \\x => x = 9, gen!5)"), Value::Bool(false));
+  EXPECT_EQ(EvalStr("nest!({(1, 10), (1, 11), (2, 20)})"),
+            "{(1, {10, 11}), (2, {20})}");
+  EXPECT_EQ(Eval("sumset!{1, 2, 3}"), Value::Nat(6));
+}
+
+TEST_F(PreludeTest, ArrayBasics) {
+  EXPECT_EQ(EvalStr("dom![[7, 8, 9]]"), "{0, 1, 2}");
+  EXPECT_EQ(EvalStr("dom2![[ 0 | \\i < 2, \\j < 2 ]]"),
+            "{(0, 0), (0, 1), (1, 0), (1, 1)}");
+  EXPECT_EQ(EvalStr("rng![[7, 8, 7]]"), "{7, 8}");
+  EXPECT_EQ(EvalStr("graph![[5, 6]]"), "{(0, 5), (1, 6)}");
+  EXPECT_EQ(EvalStr("graph_inv![[5, 6]]"), "{(5, 0), (6, 1)}");
+  EXPECT_EQ(EvalStr("maparr!(fn \\x => x * x, [[1, 2, 3]])"), "[[3; 1, 4, 9]]");
+  EXPECT_EQ(EvalStr("graph2![[ i * 2 + j | \\i < 2, \\j < 2 ]]"),
+            "{((0, 0), 0), ((0, 1), 1), ((1, 0), 2), ((1, 1), 3)}");
+}
+
+TEST_F(PreludeTest, PaperSectionTwoOperations) {
+  EXPECT_EQ(EvalStr("zip!([[1, 2, 3]], [[\"a\", \"b\"]])"),
+            "[[2; (1, \"a\"), (2, \"b\")]]") << "zip truncates to the shorter";
+  EXPECT_EQ(EvalStr("zip_3!([[1]], [[2]], [[3]])"), "[[1; (1, 2, 3)]]");
+  EXPECT_EQ(EvalStr("subseq!([[0, 1, 2, 3, 4, 5]], 2, 4)"), "[[3; 2, 3, 4]]");
+  EXPECT_EQ(EvalStr("reverse!([[1, 2, 3]])"), "[[3; 3, 2, 1]]");
+  EXPECT_EQ(EvalStr("evenpos!([[0, 1, 2, 3, 4, 5]])"), "[[3; 0, 2, 4]]");
+  EXPECT_EQ(EvalStr("append!([[1, 2]], [[3]])"), "[[3; 1, 2, 3]]");
+  EXPECT_EQ(EvalStr("reverse!([[]])"), "[[0; ]]");
+}
+
+TEST_F(PreludeTest, MatrixOperations) {
+  EXPECT_EQ(EvalStr("transpose!([[2, 3; 1, 2, 3, 4, 5, 6]])"),
+            "[[3,2; 1, 4, 2, 5, 3, 6]]");
+  EXPECT_EQ(EvalStr("proj_col!([[2, 2; 1, 2, 3, 4]], 1)"), "[[2; 2, 4]]");
+  EXPECT_EQ(EvalStr("proj_row!([[2, 2; 1, 2, 3, 4]], 1)"), "[[2; 3, 4]]");
+  // [[1,2],[3,4]] x [[5,6],[7,8]] = [[19,22],[43,50]].
+  EXPECT_EQ(EvalStr("matmul!([[2, 2; 1, 2, 3, 4]], [[2, 2; 5, 6, 7, 8]])"),
+            "[[2,2; 19, 22, 43, 50]]");
+  EXPECT_TRUE(Eval("matmul!([[2, 2; 1, 2, 3, 4]], [[3, 1; 5, 6, 7]])").is_bottom())
+      << "inner dimension mismatch is the error value";
+  EXPECT_EQ(EvalStr("reshape2!([[1, 2, 3, 4, 5, 6]], 2, 3)"),
+            "[[2,3; 1, 2, 3, 4, 5, 6]]");
+  EXPECT_TRUE(Eval("reshape2!([[1, 2, 3]], 2, 2)").is_bottom());
+  EXPECT_EQ(EvalStr("flatten2!([[2, 2; 9, 8, 7, 6]])"), "[[4; 9, 8, 7, 6]]");
+  // flatten2 inverts reshape2.
+  EXPECT_EQ(EvalStr("flatten2!(reshape2!([[4, 5, 6, 7, 8, 9]], 3, 2))"),
+            "[[6; 4, 5, 6, 7, 8, 9]]");
+}
+
+TEST_F(PreludeTest, MatrixMultiplyReal) {
+  EXPECT_EQ(EvalStr("matmul!([[1, 2; 1.5, 2.0]], [[2, 1; 4.0, 0.5]])"),
+            "[[1,1; 7.0]]");
+}
+
+TEST_F(PreludeTest, Histograms) {
+  // Both versions agree (§2), including a hole at value 2.
+  EXPECT_EQ(EvalStr("hist!([[1, 3, 1, 0, 3, 3]])"), "[[4; 1, 2, 0, 3]]");
+  EXPECT_EQ(EvalStr("hist_fast!([[1, 3, 1, 0, 3, 3]])"), "[[4; 1, 2, 0, 3]]");
+  EXPECT_EQ(Eval("hist!([[2, 2, 2]])").ToString(), "[[3; 0, 0, 3]]");
+  EXPECT_EQ(EvalStr("hist_fast!([[2, 2, 2]])"), "[[3; 0, 0, 3]]");
+}
+
+TEST_F(PreludeTest, HistogramsAgreeOnRandomData) {
+  testing::ValueGen gen(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Value> elems;
+    size_t n = 1 + gen.NextNat(12);
+    for (size_t i = 0; i < n; ++i) elems.push_back(Value::Nat(gen.NextNat(8)));
+    ASSERT_TRUE(sys_.DefineVal("h_input", Value::MakeVector(elems)).ok());
+    EXPECT_EQ(Eval("hist!h_input"), Eval("hist_fast!h_input"));
+  }
+}
+
+TEST_F(PreludeTest, Ranking) {
+  EXPECT_EQ(EvalStr("rank!({30, 10, 20})"), "{(10, 1), (20, 2), (30, 3)}");
+  EXPECT_EQ(EvalStr("rank!({\"b\", \"a\"})"), "{(\"a\", 1), (\"b\", 2)}");
+  EXPECT_EQ(EvalStr("ranked!({30, 10, 20})"), "{(1, 10), (2, 20), (3, 30)}");
+  EXPECT_EQ(EvalStr("unrank!(rank!({5, 3, 4}))"), "{3, 4, 5}");
+  EXPECT_EQ(EvalStr("rank!{}"), "{}");
+}
+
+TEST_F(PreludeTest, NativePrimitives) {
+  EXPECT_EQ(Eval("setmin!{5, 2, 9}"), Value::Nat(2));
+  EXPECT_EQ(Eval("setmax!{5, 2, 9}"), Value::Nat(9));
+  EXPECT_TRUE(Eval("setmin!{}").is_bottom());
+  EXPECT_TRUE(Eval("setmax!{}").is_bottom());
+  EXPECT_EQ(Eval("card!(gen!10)"), Value::Nat(10));
+  EXPECT_EQ(Eval("member!(3, gen!5)"), Value::Bool(true));
+  EXPECT_EQ(Eval("to_real!3"), Value::Real(3.0));
+  EXPECT_EQ(Eval("floor!3.7"), Value::Nat(3));
+  EXPECT_TRUE(Eval("floor!(0.0 - 1.5)").is_bottom()) << "no negative nats";
+  EXPECT_EQ(Eval("sqrt!16.0"), Value::Real(4.0));
+}
+
+TEST_F(PreludeTest, StringPrimitives) {
+  EXPECT_EQ(Eval("strcat!(\"foo\", \"bar\")"), Value::Str("foobar"));
+  EXPECT_EQ(Eval("strlen!\"hello\""), Value::Nat(5));
+  EXPECT_EQ(Eval("strlen!\"\""), Value::Nat(0));
+  EXPECT_EQ(Eval("substr!(\"weather\", 2, 3)"), Value::Str("ath"));
+  EXPECT_TRUE(Eval("substr!(\"abc\", 2, 5)").is_bottom()) << "range overruns";
+  EXPECT_EQ(Eval("nat_to_string!42"), Value::Str("42"));
+  // Composition in a query: label the positions of an array.
+  EXPECT_EQ(EvalStr("{ strcat!(\"pos\", nat_to_string!i) | [\\i : \\x] <- [[7, 8]] }"),
+            "{\"pos0\", \"pos1\"}");
+}
+
+TEST_F(PreludeTest, CountAgreesWithCard) {
+  // The paper's Sum-based count (macro) vs the O(1) native.
+  for (const char* s : {"{}", "(gen!7)", "{(1,2), (3,4)}"}) {
+    EXPECT_EQ(Eval(std::string("count!") + s), Eval(std::string("card!") + s)) << s;
+  }
+}
+
+}  // namespace
+}  // namespace aql

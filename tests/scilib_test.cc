@@ -1,0 +1,133 @@
+// Tests for the scientific-array and bag portions of the prelude: the
+// derived operations the §1 motivation calls for (regridding, windowing,
+// slabbing) and the NBC bag encoding of §6.
+
+#include "env/system.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace aql {
+namespace {
+
+class SciLibTest : public ::testing::Test {
+ protected:
+  Value Eval(const std::string& e) { return testing::EvalOrDie(&sys_, e); }
+  std::string Str(const std::string& e) { return Eval(e).ToString(); }
+  System sys_;
+};
+
+TEST_F(SciLibTest, SetAlgebra) {
+  EXPECT_EQ(Str("setunion!({1, 2}, {2, 3})"), "{1, 2, 3}");
+  EXPECT_EQ(Str("setminus!({1, 2, 3}, {2})"), "{1, 3}");
+  EXPECT_EQ(Str("intersect!({1, 2, 3}, {2, 4})"), "{2}");
+  EXPECT_EQ(Str("setunion!({}, {1})"), "{1}");
+  EXPECT_EQ(Str("intersect!({1}, {})"), "{}");
+}
+
+TEST_F(SciLibTest, Sampling) {
+  EXPECT_EQ(Str("oddpos!([[0, 1, 2, 3, 4]])"), "[[2; 1, 3]]");
+  EXPECT_EQ(Str("everynth!([[0, 1, 2, 3, 4, 5, 6]], 3)"), "[[3; 0, 3, 6]]");
+  EXPECT_EQ(Str("everynth!([[0, 1, 2]], 1)"), "[[3; 0, 1, 2]]");
+  // evenpos and oddpos interleave back to the original (even length).
+  EXPECT_EQ(Eval("zip!(evenpos!([[9, 8, 7, 6]]), oddpos!([[9, 8, 7, 6]]))").ToString(),
+            "[[2; (9, 8), (7, 6)]]");
+}
+
+TEST_F(SciLibTest, WindowsAndDifferences) {
+  EXPECT_EQ(Str("window_sum!([[1, 2, 3, 4]], 2)"), "[[3; 3, 5, 7]]");
+  EXPECT_EQ(Str("window_sum!([[1, 2, 3]], 3)"), "[[1; 6]]");
+  EXPECT_EQ(Str("smooth!([[1.0, 2.0, 3.0, 4.0]], 2)"), "[[3; 1.5, 2.5, 3.5]]");
+  EXPECT_EQ(Str("diff1!([[1, 4, 9, 16]])"), "[[3; 3, 5, 7]]");
+  EXPECT_EQ(Str("diff1!([[5]])"), "[[0; ]]");
+  EXPECT_EQ(Str("shift!([[1, 2, 3]], 1, 0)"), "[[3; 0, 1, 2]]");
+  EXPECT_EQ(Str("shift!([[1, 2, 3]], 0, 9)"), "[[3; 1, 2, 3]]");
+}
+
+TEST_F(SciLibTest, LinearAlgebraHelpers) {
+  EXPECT_EQ(Eval("dot!([[1, 2, 3]], [[4, 5, 6]])"), Value::Nat(32));
+  EXPECT_EQ(Eval("dot!([[1.5, 2.0]], [[2.0, 0.5]])"), Value::Real(4.0));
+  EXPECT_EQ(Str("outer!([[1, 2]], [[10, 20, 30]])"),
+            "[[2,3; 10, 20, 30, 20, 40, 60]]");
+  EXPECT_EQ(Str("conv1!([[1, 2, 3, 4]], [[1, 1]])"), "[[3; 3, 5, 7]]");
+  EXPECT_EQ(Str("rowsums!([[2, 3; 1, 2, 3, 4, 5, 6]])"), "[[2; 6, 15]]");
+  EXPECT_EQ(Str("colsums!([[2, 3; 1, 2, 3, 4, 5, 6]])"), "[[3; 5, 7, 9]]");
+  // identity is matmul-neutral.
+  EXPECT_EQ(Eval("matmul!([[2, 2; 1, 2, 3, 4]], identity2!2)"),
+            Eval("[[2, 2; 1, 2, 3, 4]]"));
+}
+
+TEST_F(SciLibTest, SlabsAndTwoDimensionalMaps) {
+  EXPECT_EQ(Str("subslab2!([[3, 3; 0,1,2,3,4,5,6,7,8]], (1, 0), (2, 1))"),
+            "[[2,2; 3, 4, 6, 7]]");
+  EXPECT_EQ(Str("maparr2!(fn \\x => x * x, [[2, 2; 1, 2, 3, 4]])"),
+            "[[2,2; 1, 4, 9, 16]]");
+  EXPECT_EQ(Str("zip2d!([[2, 2; 1, 2, 3, 4]], [[2, 2; 5, 6, 7, 8]])"),
+            "[[2,2; (1, 5), (2, 6), (3, 7), (4, 8)]]");
+  // zip2d truncates to the common shape like zip.
+  EXPECT_EQ(Str("zip2d!([[1, 2; 1, 2]], [[2, 1; 5, 6]])"), "[[1,1; (1, 5)]]");
+}
+
+TEST_F(SciLibTest, ArrayAggregates) {
+  EXPECT_EQ(Eval("arrmin!([[5, 2, 8]])"), Value::Nat(2));
+  EXPECT_EQ(Eval("arrmax!([[5, 2, 8]])"), Value::Nat(8));
+  EXPECT_EQ(Eval("argmax!([[5, 8, 2, 8]])"), Value::Nat(1)) << "first maximum";
+  EXPECT_TRUE(Eval("arrmin!([[]])").is_bottom());
+}
+
+TEST_F(SciLibTest, RegriddingPipelineFuses) {
+  // The §1 use case: half-hourly to hourly to daily means, fused.
+  auto plan = sys_.Compile("fn \\ws => smooth!(evenpos!ws, 24)");
+  ASSERT_TRUE(plan.ok());
+  std::function<size_t(const ExprPtr&)> tabs = [&](const ExprPtr& e) -> size_t {
+    size_t n = e->is(ExprKind::kTab) ? 1 : 0;
+    for (const ExprPtr& c : e->children()) n += tabs(c);
+    return n;
+  };
+  EXPECT_EQ(tabs(*plan), 1u) << "one fused loop: " << (*plan)->ToString();
+}
+
+// ---- bags (the NBC encoding of §6) ----
+
+TEST_F(SciLibTest, BagBasics) {
+  EXPECT_EQ(Str("bag_of!{1, 2}"), "{(1, 1), (2, 1)}");
+  EXPECT_EQ(Eval("bag_mult!(bag_of!{1, 2}, 2)"), Value::Nat(1));
+  EXPECT_EQ(Eval("bag_mult!(bag_of!{1, 2}, 9)"), Value::Nat(0));
+  EXPECT_EQ(Str("bag_support!({(1, 2), (3, 0)})"), "{1}") << "zero multiplicity drops";
+}
+
+TEST_F(SciLibTest, BagUnionAddsMultiplicities) {
+  // The NBC additive union (+) of §6.
+  EXPECT_EQ(Str("bag_union!(bag_of!{1, 2}, bag_of!{2, 3})"),
+            "{(1, 1), (2, 2), (3, 1)}");
+  EXPECT_EQ(Str("bag_union!(bag_from_arr!([[1, 1]]), bag_from_arr!([[1]]))"),
+            "{(1, 3)}");
+  EXPECT_EQ(Str("bag_union!(bag_of!{}, bag_of!{5})"), "{(5, 1)}");
+}
+
+TEST_F(SciLibTest, BagMapMergesCollisions) {
+  // NBC's map must merge equal images by adding multiplicities — the
+  // point the paper makes against the merge-operation approaches [9].
+  EXPECT_EQ(Str("bag_map!(fn \\x => x % 2, bag_from_arr!([[1, 2, 3, 4]]))"),
+            "{(0, 2), (1, 2)}");
+}
+
+TEST_F(SciLibTest, BagFromArrayCountsDuplicates) {
+  EXPECT_EQ(Str("bag_from_arr!([[1, 1, 2]])"), "{(1, 2), (2, 1)}");
+  EXPECT_EQ(Eval("bag_count!(bag_from_arr!([[7, 7, 7, 7]]))"), Value::Nat(4));
+  // Arrays carry multiplicity that sets forget: the §6 NBC vs NRC gap.
+  EXPECT_EQ(Eval("count!(rng!([[7, 7, 7, 7]]))"), Value::Nat(1));
+}
+
+TEST_F(SciLibTest, BagsAgreeWithHistogram) {
+  // bag_from_arr is hist keyed by value instead of position.
+  Value bag = Eval("bag_from_arr!([[1, 3, 1, 0, 3, 3]])");
+  Value hist = Eval("hist_fast!([[1, 3, 1, 0, 3, 3]])");
+  for (const Value& pair : bag.set().elems) {
+    uint64_t value = pair.tuple_fields()[0].nat_value();
+    uint64_t mult = pair.tuple_fields()[1].nat_value();
+    EXPECT_EQ(hist.array().elems[value], Value::Nat(mult)) << value;
+  }
+}
+
+}  // namespace
+}  // namespace aql

@@ -1,0 +1,250 @@
+// Integration tests for aql::System (Fig. 3): the two views of the
+// system, the openness contract (dynamic registration of primitives,
+// readers/writers, and optimizer rules), and the §4.2 sample session.
+
+#include "env/system.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "gtest/gtest.h"
+#include "netcdf/writer.h"
+#include "test_util.h"
+
+namespace aql {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(SystemBasics, InitializesWithPrelude) {
+  System sys;
+  ASSERT_TRUE(sys.init_status().ok()) << sys.init_status().ToString();
+  EXPECT_NE(sys.LookupMacro("zip"), nullptr);
+  EXPECT_NE(sys.LookupMacro("transpose"), nullptr);
+  EXPECT_EQ(sys.LookupMacro("no_such"), nullptr);
+}
+
+TEST(SystemBasics, QueriesBindIt) {
+  System sys;
+  auto r = sys.Run("2 + 3; it * 10;");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[1].value, Value::Nat(50));
+}
+
+TEST(SystemBasics, ValAndMacroDeclarations) {
+  System sys;
+  auto r = sys.Run(
+      "val \\n = 4;\n"
+      "macro \\sq = fn \\x => x * x;\n"
+      "sq!n;");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->back().value, Value::Nat(16));
+  EXPECT_EQ((*r)[0].kind, Statement::Kind::kVal);
+  EXPECT_EQ((*r)[1].kind, Statement::Kind::kMacro);
+  ASSERT_NE((*r)[1].type, nullptr);
+  EXPECT_EQ((*r)[1].type->ToString(), "nat -> nat");
+}
+
+TEST(SystemBasics, DisplayStringMatchesSessionStyle) {
+  System sys;
+  auto r = sys.Run("val \\months = [[0, 31, 28]];");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->front().ToDisplayString(),
+            "typ months : [[nat]]_1\nval months = [[(0):0, (1):31, (2):28]]");
+}
+
+TEST(SystemBasics, PipelineStagesExposed) {
+  System sys;
+  auto core = sys.ParseToCore("{ x | \\x <- gen!3 }");
+  ASSERT_TRUE(core.ok());
+  auto resolved = sys.ResolveNames(*core);
+  ASSERT_TRUE(resolved.ok());
+  auto type = sys.TypeOf(*resolved);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ((*type)->ToString(), "{nat}");
+  ExprPtr optimized = sys.Optimize(*resolved);
+  auto value = sys.EvalCore(optimized);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->ToString(), "{0, 1, 2}");
+}
+
+TEST(SystemBasics, ErrorsCarryStage) {
+  System sys;
+  EXPECT_EQ(sys.Eval("1 +").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(sys.Eval("{1, true}").status().code(), StatusCode::kTypeError);
+  EXPECT_EQ(sys.Eval("frobnicate!3").status().code(), StatusCode::kTypeError);
+  EXPECT_EQ(sys.Run("readval \\x using NOPE at 1;").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SystemBasics, OptimizationCanBeDisabled) {
+  SystemConfig cfg;
+  cfg.optimize = false;
+  System sys(cfg);
+  ASSERT_TRUE(sys.init_status().ok());
+  EXPECT_EQ(testing::EvalOrDie(&sys, "(transpose!([[ i | \\i < 2, \\j < 2 ]]))[0, 1]"),
+            Value::Nat(1));
+}
+
+// ---- Openness (the §4.1 contract) ----
+
+TEST(SystemOpenness, RegisterExternalPrimitive) {
+  System sys;
+  ASSERT_TRUE(sys.RegisterPrimitive(
+                     "hypot", "real * real -> real",
+                     [](const Value& arg) -> Result<Value> {
+                       const auto& f = arg.tuple_fields();
+                       return Value::Real(std::hypot(f[0].real_value(), f[1].real_value()));
+                     })
+                  .ok());
+  EXPECT_EQ(testing::EvalOrDie(&sys, "hypot!(3.0, 4.0)"), Value::Real(5.0));
+  // Type checking applies to registered primitives.
+  EXPECT_EQ(sys.Eval("hypot!(3, 4)").status().code(), StatusCode::kTypeError);
+  // Duplicate registration refused.
+  EXPECT_EQ(sys.RegisterPrimitive("hypot", "real -> real",
+                                  [](const Value&) -> Result<Value> {
+                                    return Value::Real(0);
+                                  })
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SystemOpenness, PrimitivesComposeWithMacros) {
+  System sys;
+  ASSERT_TRUE(sys.RegisterPrimitive("twice_r", "real -> real",
+                                    [](const Value& v) -> Result<Value> {
+                                      return Value::Real(2 * v.real_value());
+                                    })
+                  .ok());
+  ASSERT_TRUE(sys.DefineMacro("quad", "fn \\x => twice_r!(twice_r!x)").ok());
+  EXPECT_EQ(testing::EvalOrDie(&sys, "quad!1.5"), Value::Real(6.0));
+}
+
+TEST(SystemOpenness, RegisterReaderAndWriter) {
+  System sys;
+  ASSERT_TRUE(sys.RegisterReader("CONSTANT", [](const Value& args) -> Result<Value> {
+                   return args;  // echo
+                 }).ok());
+  Value captured;
+  ASSERT_TRUE(sys.RegisterWriter("CAPTURE",
+                                 [&captured](const Value& payload, const Value&) {
+                                   captured = payload;
+                                   return Status::OK();
+                                 })
+                  .ok());
+  auto r = sys.Run(
+      "readval \\x using CONSTANT at {1, 2, 3};\n"
+      "writeval summap(fn \\v => v)!x using CAPTURE at \"dst\";");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(captured, Value::Nat(6));
+  // The read value is typed from its data.
+  ASSERT_NE((*r)[0].type, nullptr);
+  EXPECT_EQ((*r)[0].type->ToString(), "{nat}");
+}
+
+TEST(SystemOpenness, RegisterOptimizerRule) {
+  System sys;
+  // x + x ~> 2 * x, injected into the normalization phase.
+  ASSERT_TRUE(sys.RegisterRule("normalization",
+                               {"user_double",
+                                [](const ExprPtr& e) -> ExprPtr {
+                                  if (e->is(ExprKind::kArith) &&
+                                      e->arith_op() == ArithOp::kAdd &&
+                                      e->child(0)->is(ExprKind::kVar) &&
+                                      e->child(1)->is(ExprKind::kVar) &&
+                                      e->child(0)->var_name() ==
+                                          e->child(1)->var_name()) {
+                                    return Expr::Arith(ArithOp::kMul, Expr::NatConst(2),
+                                                       e->child(0));
+                                  }
+                                  return nullptr;
+                                }})
+                  .ok());
+  auto compiled = sys.Compile("fn \\x => x + x");
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ((*compiled)->ToString(), "\\x. 2 * x");
+}
+
+TEST(SystemOpenness, DefineValFromHost) {
+  System sys;
+  ASSERT_TRUE(sys.DefineVal("threshold", Value::Real(90.0)).ok());
+  EXPECT_EQ(testing::EvalOrDie(&sys, "91.5 > threshold"), Value::Bool(true));
+}
+
+// ---- The §4.2 sample session, end to end ----
+
+class SampleSessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("aql_session_temp.nc");
+    // A year's worth of hourly temperature over (time, lat, lon), as in
+    // the paper. Scaled down: 365 days, 1x1 grid; values chosen so the
+    // answer is known: hot after sunset (hour-of-day > 19) only on June
+    // 25, 27, 28 (days since Jan 1 of non-leap 1995: June d = 151 + d).
+    netcdf::NcWriter w(1);
+    uint32_t t = w.AddDim("time", 0);
+    uint32_t la = w.AddDim("lat", 1);
+    uint32_t lo = w.AddDim("lon", 1);
+    std::vector<double> data;
+    for (uint64_t h = 0; h < 365 * 24; ++h) {
+      uint64_t day = h / 24, hour = h % 24;
+      // The session reads the slab starting at days_since_1_1(6,1,95)*24 =
+      // 152*24 and computes d = slab_hour/24 + 1, so query-day d is
+      // absolute 0-based day 151 + d.
+      uint64_t june_day = day >= 152 && day < 182 ? day - 151 : 0;
+      bool hot_evening =
+          (june_day == 25 || june_day == 27 || june_day == 28) && hour > 19;
+      data.push_back(hot_evening ? 88.0 : 70.0);
+    }
+    w.AddVar("temp", netcdf::NcType::kFloat, {t, la, lo}, data);
+    ASSERT_TRUE(w.WriteFile(path_, 365 * 24).ok());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(SampleSessionTest, DaysHotterThan85AfterSunset) {
+  System sys;
+  // Register june_sunset as the paper does: sunset hour for a (lat, lon,
+  // day) triple. Fixed at 19:00 for the synthetic data.
+  ASSERT_TRUE(sys.RegisterPrimitive("june_sunset", "real * real * nat -> nat",
+                                    [](const Value&) -> Result<Value> {
+                                      return Value::Nat(19);
+                                    })
+                  .ok());
+  ASSERT_TRUE(sys.DefineVal("NYlat", Value::Real(40.7)).ok());
+  ASSERT_TRUE(sys.DefineVal("NYlon", Value::Real(-74.0)).ok());
+
+  // The macro from the session, verbatim semantics (non-leap 1995).
+  auto r = sys.Run(
+      "val \\months = [[0,31,28,31,30,31,30,31,31,30,31,30]];\n"
+      "macro \\days_since_1_1 = fn (\\m,\\d,\\y) =>\n"
+      "  d + summap(fn \\i => months[i])!(gen!m) +\n"
+      "  if m > 2 and y % 4 = 0 then 1 else 0;\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(testing::EvalOrDie(&sys, "days_since_1_1!(6, 1, 95)"), Value::Nat(152));
+
+  std::string readval =
+      "readval \\T using NETCDF3 at\n"
+      "  (\"" + path_ + "\", \"temp\",\n"
+      "   (days_since_1_1!(6,1,95) * 24, 0, 0),\n"
+      "   (days_since_1_1!(6,30,95) * 24 + 23, 0, 0));\n";
+  auto rd = sys.Run(readval);
+  ASSERT_TRUE(rd.ok()) << rd.status().ToString();
+  ASSERT_NE(rd->front().type, nullptr);
+  EXPECT_EQ(rd->front().type->ToString(), "[[real]]_3");
+
+  // The session's final query.
+  Value days = testing::EvalOrDie(
+      &sys,
+      "{d | [(\\h,_,_) : \\t] <- T, \\d == h/24 + 1,\n"
+      "     h % 24 > june_sunset!(NYlat, NYlon, d), t > 85.0}");
+  EXPECT_EQ(days.ToString(), "{25, 27, 28}") << "the paper's answer";
+}
+
+}  // namespace
+}  // namespace aql

@@ -1,0 +1,78 @@
+// Shared helpers for the AQL test suites: a seeded deterministic value
+// generator (property tests), and shorthand for running queries through a
+// fresh System.
+
+#ifndef AQL_TESTS_TEST_UTIL_H_
+#define AQL_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "env/system.h"
+#include "gtest/gtest.h"
+#include "object/value.h"
+
+namespace aql {
+namespace testing {
+
+// Deterministic pseudo-random complex-object generator. `depth` bounds
+// nesting so generated objects stay small.
+class ValueGen {
+ public:
+  explicit ValueGen(uint64_t seed) : rng_(seed) {}
+
+  Value Next(int depth = 3) {
+    int pick = depth <= 0 ? int(rng_() % 5) : int(rng_() % 8);
+    switch (pick) {
+      case 0: return Value::Bool(rng_() % 2 == 0);
+      case 1: return Value::Nat(rng_() % 100);
+      case 2: return Value::Real(double(int64_t(rng_() % 2000)) / 10.0 - 100.0);
+      case 3: return Value::Str(std::string(1 + rng_() % 3, char('a' + rng_() % 4)));
+      case 4: return Value::Nat(rng_() % 5);
+      case 5: {  // tuple
+        size_t k = 2 + rng_() % 2;
+        std::vector<Value> fields;
+        for (size_t i = 0; i < k; ++i) fields.push_back(Next(depth - 1));
+        return Value::MakeTuple(std::move(fields));
+      }
+      case 6: {  // set
+        size_t n = rng_() % 4;
+        std::vector<Value> elems;
+        for (size_t i = 0; i < n; ++i) elems.push_back(Next(depth - 1));
+        return Value::MakeSet(std::move(elems));
+      }
+      default: {  // 1-d or 2-d array of nats (homogeneous, as types demand)
+        if (rng_() % 2 == 0) {
+          size_t n = rng_() % 4;
+          std::vector<Value> elems;
+          for (size_t i = 0; i < n; ++i) elems.push_back(Value::Nat(rng_() % 50));
+          return Value::MakeVector(std::move(elems));
+        }
+        uint64_t r = 1 + rng_() % 3, c = 1 + rng_() % 3;
+        std::vector<Value> elems;
+        for (uint64_t i = 0; i < r * c; ++i) elems.push_back(Value::Nat(rng_() % 50));
+        return *Value::MakeArray({r, c}, std::move(elems));
+      }
+    }
+  }
+
+  uint64_t NextNat(uint64_t bound) { return rng_() % bound; }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+// Evaluates a single expression in a fresh default System, failing the
+// test on any pipeline error.
+inline Value EvalOrDie(System* sys, const std::string& expr) {
+  auto r = sys->Eval(expr);
+  EXPECT_TRUE(r.ok()) << "query: " << expr << "\nerror: " << r.status().ToString();
+  return r.ok() ? std::move(r).value() : Value::Bottom();
+}
+
+}  // namespace testing
+}  // namespace aql
+
+#endif  // AQL_TESTS_TEST_UTIL_H_

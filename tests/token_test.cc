@@ -1,0 +1,113 @@
+// Lexer tests: token classification, paper-specific lexical features
+// (\x binders, primes in identifiers, nesting comments, '==' vs '=').
+
+#include "surface/token.h"
+
+#include "gtest/gtest.h"
+
+namespace aql {
+namespace {
+
+std::vector<Token> MustLex(const std::string& src) {
+  auto r = Lex(src);
+  EXPECT_TRUE(r.ok()) << src << ": " << r.status().ToString();
+  return r.ok() ? std::move(r).value() : std::vector<Token>{};
+}
+
+std::vector<TokenKind> Kinds(const std::string& src) {
+  std::vector<TokenKind> out;
+  for (const Token& t : MustLex(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, BindingVsUseIdentifiers) {
+  auto toks = MustLex("\\x x");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kBindIdent);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].kind, TokenKind::kIdent);
+}
+
+TEST(Lexer, PrimesInIdentifiers) {
+  // The motivating example binds \WS' (paper §1).
+  auto toks = MustLex("\\WS' WS'");
+  EXPECT_EQ(toks[0].text, "WS'");
+  EXPECT_EQ(toks[1].text, "WS'");
+}
+
+TEST(Lexer, OperatorDisambiguation) {
+  EXPECT_EQ(Kinds("== = => <- <= <> < >= >"),
+            (std::vector<TokenKind>{TokenKind::kBind, TokenKind::kEq, TokenKind::kArrow,
+                                    TokenKind::kGets, TokenKind::kLe, TokenKind::kNe,
+                                    TokenKind::kLt, TokenKind::kGe, TokenKind::kGt,
+                                    TokenKind::kEnd}));
+}
+
+TEST(Lexer, ArrayBracketsVsSubscriptBrackets) {
+  EXPECT_EQ(Kinds("[[ ]] [ ]"),
+            (std::vector<TokenKind>{TokenKind::kLArrayBracket, TokenKind::kRArrayBracket,
+                                    TokenKind::kLBracket, TokenKind::kRBracket,
+                                    TokenKind::kEnd}));
+}
+
+TEST(Lexer, NumberForms) {
+  auto toks = MustLex("42 85.0 1e3 2.5e-2");
+  EXPECT_EQ(toks[0].kind, TokenKind::kNat);
+  EXPECT_EQ(toks[0].nat, 42u);
+  EXPECT_EQ(toks[1].kind, TokenKind::kReal);
+  EXPECT_DOUBLE_EQ(toks[1].real, 85.0);
+  EXPECT_DOUBLE_EQ(toks[2].real, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[3].real, 0.025);
+}
+
+TEST(Lexer, NatThenSubscriptIsNotReal) {
+  // "a[1]" must lex 1 as a nat, and "2.f" style things don't exist.
+  auto toks = MustLex("a[1]");
+  EXPECT_EQ(toks[2].kind, TokenKind::kNat);
+}
+
+TEST(Lexer, Keywords) {
+  EXPECT_EQ(Kinds("fn let val in end if then else and or not isin"),
+            (std::vector<TokenKind>{
+                TokenKind::kFn, TokenKind::kLet, TokenKind::kVal, TokenKind::kIn,
+                TokenKind::kEnd_, TokenKind::kIf, TokenKind::kThen, TokenKind::kElse,
+                TokenKind::kAnd, TokenKind::kOr, TokenKind::kNot, TokenKind::kIsin,
+                TokenKind::kEnd}));
+  // Prefixes of keywords are plain identifiers.
+  EXPECT_EQ(Kinds("iffy lets")[0], TokenKind::kIdent);
+}
+
+TEST(Lexer, NestedComments) {
+  auto toks = MustLex("1 (* outer (* inner *) still out *) 2");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].nat, 1u);
+  EXPECT_EQ(toks[1].nat, 2u);
+}
+
+TEST(Lexer, StringEscapes) {
+  auto toks = MustLex("\"a\\n\\\"b\\\\\"");
+  EXPECT_EQ(toks[0].text, "a\n\"b\\");
+}
+
+TEST(Lexer, Errors) {
+  EXPECT_FALSE(Lex("\"unterminated").ok());
+  EXPECT_FALSE(Lex("(* never closed").ok());
+  EXPECT_FALSE(Lex("\\ 1").ok()) << "backslash must precede an identifier";
+  EXPECT_FALSE(Lex("@").ok());
+}
+
+TEST(Lexer, LineTracking) {
+  auto toks = MustLex("1\n  2");
+  EXPECT_EQ(toks[0].line, 1u);
+  EXPECT_EQ(toks[1].line, 2u);
+}
+
+TEST(Lexer, PaperSessionSnippetLexes) {
+  const char* snippet =
+      "{d | [(\\h,_,_):\\t] <- T, \\d==h/24+1,\n"
+      " h > june_sunset!(NYlat,NYlon,d), t > 85.0};";
+  EXPECT_TRUE(Lex(snippet).ok());
+}
+
+}  // namespace
+}  // namespace aql

@@ -1,0 +1,128 @@
+// Tests for the NRCA type system: construction, printing, parsing,
+// object-type classification, and unification.
+
+#include "types/type.h"
+
+#include "gtest/gtest.h"
+#include "types/unify.h"
+
+namespace aql {
+namespace {
+
+TEST(TypeBasics, PrintingMatchesPaperNotation) {
+  EXPECT_EQ(Type::Nat()->ToString(), "nat");
+  EXPECT_EQ(Type::Set(Type::Nat())->ToString(), "{nat}");
+  EXPECT_EQ(Type::Array(Type::Real(), 3)->ToString(), "[[real]]_3");
+  EXPECT_EQ(Type::Product({Type::Nat(), Type::Nat(), Type::Nat()})->ToString(),
+            "nat * nat * nat");
+  EXPECT_EQ(Type::Arrow(Type::Product({Type::Real(), Type::Real()}), Type::Nat())
+                ->ToString(),
+            "real * real -> nat");
+  EXPECT_EQ(Type::Arrow(Type::Nat(), Type::Arrow(Type::Nat(), Type::Bool()))->ToString(),
+            "nat -> nat -> bool");
+  EXPECT_EQ(Type::Set(Type::Product({Type::String(), Type::Array(Type::Nat(), 1)}))
+                ->ToString(),
+            "{string * [[nat]]_1}");
+}
+
+TEST(TypeBasics, NestedProductParenthesization) {
+  TypePtr inner = Type::Product({Type::Nat(), Type::Bool()});
+  TypePtr outer = Type::Product({inner, Type::Nat()});
+  EXPECT_EQ(outer->ToString(), "(nat * bool) * nat");
+}
+
+struct ParseCase {
+  const char* text;
+  const char* canonical;
+};
+
+class TypeParseTest : public ::testing::TestWithParam<ParseCase> {};
+
+TEST_P(TypeParseTest, ParsePrintRoundTrip) {
+  auto t = ParseType(GetParam().text);
+  ASSERT_TRUE(t.ok()) << GetParam().text << ": " << t.status().ToString();
+  EXPECT_EQ((*t)->ToString(), GetParam().canonical);
+  // Idempotence: parsing the canonical form gives an equal type.
+  auto t2 = ParseType((*t)->ToString());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_TRUE(Type::Equals(*t, *t2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TypeParseTest,
+    ::testing::Values(
+        ParseCase{"nat", "nat"}, ParseCase{"bool", "bool"},
+        ParseCase{"real * real * nat -> nat", "real * real * nat -> nat"},
+        ParseCase{"{nat * string}", "{nat * string}"},
+        ParseCase{"[[real]]_3", "[[real]]_3"},
+        ParseCase{"[[real]]", "[[real]]_1"},
+        ParseCase{"[[{nat}]]_2", "[[{nat}]]_2"},
+        ParseCase{"(nat -> nat) -> {nat}", "(nat -> nat) -> {nat}"},
+        ParseCase{"weather", "weather"},  // uninterpreted base type
+        ParseCase{"nat -> nat -> nat", "nat -> nat -> nat"}));
+
+TEST(TypeParse, Errors) {
+  EXPECT_FALSE(ParseType("").ok());
+  EXPECT_FALSE(ParseType("{nat").ok());
+  EXPECT_FALSE(ParseType("[[nat]]_0").ok());
+  EXPECT_FALSE(ParseType("nat *").ok());
+  EXPECT_FALSE(ParseType("nat extra").ok());
+}
+
+TEST(TypeBasics, ObjectTypeClassification) {
+  EXPECT_TRUE(Type::Set(Type::Nat())->IsObjectType());
+  EXPECT_FALSE(Type::Arrow(Type::Nat(), Type::Nat())->IsObjectType());
+  EXPECT_FALSE(Type::Set(Type::Arrow(Type::Nat(), Type::Nat()))->IsObjectType())
+      << "function types may not nest inside sets";
+  EXPECT_FALSE(Type::Var(0)->IsObjectType());
+}
+
+TEST(Unify, PrimitiveAndStructural) {
+  TypeUnifier u;
+  EXPECT_TRUE(u.Unify(Type::Nat(), Type::Nat()).ok());
+  EXPECT_FALSE(u.Unify(Type::Nat(), Type::Real()).ok());
+  EXPECT_TRUE(u.Unify(Type::Set(Type::Nat()), Type::Set(Type::Nat())).ok());
+  EXPECT_FALSE(u.Unify(Type::Array(Type::Nat(), 1), Type::Array(Type::Nat(), 2)).ok())
+      << "rank mismatch must fail";
+  EXPECT_FALSE(u.Unify(Type::Product({Type::Nat(), Type::Nat()}),
+                       Type::Product({Type::Nat(), Type::Nat(), Type::Nat()}))
+                   .ok());
+  EXPECT_FALSE(u.Unify(Type::Base("a"), Type::Base("b")).ok());
+  EXPECT_TRUE(u.Unify(Type::Base("a"), Type::Base("a")).ok());
+}
+
+TEST(Unify, VariablesBindAndResolve) {
+  TypeUnifier u;
+  TypePtr a = u.Fresh();
+  TypePtr b = u.Fresh();
+  ASSERT_TRUE(u.Unify(a, Type::Set(b)).ok());
+  ASSERT_TRUE(u.Unify(b, Type::Nat()).ok());
+  EXPECT_EQ(u.Resolve(a)->ToString(), "{nat}");
+}
+
+TEST(Unify, ChainsResolveTransitively) {
+  TypeUnifier u;
+  TypePtr a = u.Fresh(), b = u.Fresh(), c = u.Fresh();
+  ASSERT_TRUE(u.Unify(a, b).ok());
+  ASSERT_TRUE(u.Unify(b, c).ok());
+  ASSERT_TRUE(u.Unify(c, Type::Bool()).ok());
+  EXPECT_TRUE(Type::Equals(u.Resolve(a), Type::Bool()));
+}
+
+TEST(Unify, OccursCheck) {
+  TypeUnifier u;
+  TypePtr a = u.Fresh();
+  EXPECT_FALSE(u.Unify(a, Type::Set(a)).ok());
+  EXPECT_FALSE(u.Unify(a, Type::Arrow(a, Type::Nat())).ok());
+}
+
+TEST(Unify, ArrowComponentsUnify) {
+  TypeUnifier u;
+  TypePtr a = u.Fresh(), b = u.Fresh();
+  ASSERT_TRUE(u.Unify(Type::Arrow(a, b), Type::Arrow(Type::Nat(), Type::Bool())).ok());
+  EXPECT_TRUE(Type::Equals(u.Resolve(a), Type::Nat()));
+  EXPECT_TRUE(Type::Equals(u.Resolve(b), Type::Bool()));
+}
+
+}  // namespace
+}  // namespace aql

@@ -1,0 +1,231 @@
+// Type checker tests covering every Figure-1 typing rule, inference
+// through unannotated binders, deferred subscript/numeric constraints,
+// polymorphic native schemes, and rejection cases.
+
+#include "typecheck/typecheck.h"
+
+#include "env/system.h"
+#include "gtest/gtest.h"
+
+namespace aql {
+namespace {
+
+// Checks the type of an AQL expression through the full pipeline.
+std::string TypeString(System* sys, const std::string& expr) {
+  auto core = sys->CompileUnoptimized(expr);
+  EXPECT_TRUE(core.ok()) << expr << ": " << core.status().ToString();
+  if (!core.ok()) return "<error>";
+  auto t = sys->TypeOf(*core);
+  EXPECT_TRUE(t.ok()) << expr << ": " << t.status().ToString();
+  return t.ok() ? (*t)->ToString() : "<error>";
+}
+
+Status TypeError(System* sys, const std::string& expr) {
+  auto core = sys->CompileUnoptimized(expr);
+  EXPECT_FALSE(core.ok()) << expr << " unexpectedly typechecked";
+  return core.status();
+}
+
+class TypecheckTest : public ::testing::Test {
+ protected:
+  System sys_;
+};
+
+// ---- One case per Figure-1 rule ----
+
+TEST_F(TypecheckTest, RuleLambdaAndApply) {
+  EXPECT_EQ(TypeString(&sys_, "fn \\x => x + 1"), "nat -> nat");
+  EXPECT_EQ(TypeString(&sys_, "(fn \\x => x + 1)!5"), "nat");
+}
+
+TEST_F(TypecheckTest, RuleTupleAndProj) {
+  EXPECT_EQ(TypeString(&sys_, "(1, true, \"a\")"), "nat * bool * string");
+  EXPECT_EQ(TypeString(&sys_, "pi_2_3!(1, true, \"a\")"), "bool");
+  EXPECT_EQ(TypeString(&sys_, "fst!(1, 2.5)"), "nat");
+}
+
+TEST_F(TypecheckTest, RuleSets) {
+  EXPECT_EQ(TypeString(&sys_, "{1}"), "{nat}");
+  EXPECT_EQ(TypeString(&sys_, "{1, 2}"), "{nat}");
+  EXPECT_EQ(TypeString(&sys_, "{ {x} | \\x <- {1, 2} }"), "{{nat}}");
+}
+
+TEST_F(TypecheckTest, RuleBooleansAndIf) {
+  EXPECT_EQ(TypeString(&sys_, "true"), "bool");
+  EXPECT_EQ(TypeString(&sys_, "if 1 < 2 then \"a\" else \"b\""), "string");
+  EXPECT_EQ(TypeString(&sys_, "1 <= 2"), "bool");
+  EXPECT_EQ(TypeString(&sys_, "(1, 2) = (3, 4)"), "bool")
+      << "comparisons lift to all object types";
+  EXPECT_EQ(TypeString(&sys_, "{1} < {2}"), "bool");
+}
+
+TEST_F(TypecheckTest, RuleNaturals) {
+  EXPECT_EQ(TypeString(&sys_, "1 + 2 * 3 / 4 % 5 - 6"), "nat");
+  EXPECT_EQ(TypeString(&sys_, "gen!10"), "{nat}");
+  EXPECT_EQ(TypeString(&sys_, "summap(fn \\x => x)!(gen!3)"), "nat");
+}
+
+TEST_F(TypecheckTest, RealArithmeticOverloads) {
+  EXPECT_EQ(TypeString(&sys_, "1.5 + 2.5"), "real");
+  EXPECT_EQ(TypeString(&sys_, "fn \\x => x + 1.0"), "real -> real");
+}
+
+TEST_F(TypecheckTest, RuleTabulation) {
+  EXPECT_EQ(TypeString(&sys_, "[[ i | \\i < 5 ]]"), "[[nat]]_1");
+  EXPECT_EQ(TypeString(&sys_, "[[ to_real!(i + j) | \\i < 2, \\j < 3 ]]"), "[[real]]_2");
+}
+
+TEST_F(TypecheckTest, RuleSubscriptAndDim) {
+  EXPECT_EQ(TypeString(&sys_, "[[ i | \\i < 5 ]][3]"), "nat");
+  EXPECT_EQ(TypeString(&sys_, "[[ i | \\i < 2, \\j < 3 ]][1, 2]"), "nat");
+  EXPECT_EQ(TypeString(&sys_, "len![[1, 2]]"), "nat");
+  EXPECT_EQ(TypeString(&sys_, "dim2![[ i | \\i < 2, \\j < 3 ]]"), "nat * nat");
+}
+
+TEST_F(TypecheckTest, SubscriptRankInferredFromArraySide) {
+  EXPECT_EQ(TypeString(&sys_, "fn \\m => dim2!m = (2, 2) and m[0, 0] = 1"),
+            "[[nat]]_2 -> bool");
+}
+
+TEST_F(TypecheckTest, SubscriptRankInferredFromIndexSide) {
+  EXPECT_EQ(TypeString(&sys_, "fn \\a => a[(1, 2)] + 0"), "[[nat]]_2 -> nat");
+}
+
+TEST_F(TypecheckTest, SubscriptRankDefaultsToOne) {
+  std::string t = TypeString(&sys_, "fn \\a => a[0]");
+  // Polymorphic: [['b]]_1 -> 'b for some variable letter.
+  EXPECT_NE(t.find("]]_1 -> '"), std::string::npos) << t;
+  EXPECT_EQ(t.substr(0, 3), "[['") << t;
+}
+
+TEST_F(TypecheckTest, RuleIndex) {
+  EXPECT_EQ(TypeString(&sys_, "index!({(1, \"a\"), (3, \"b\")})"), "[[{string}]]_1");
+  EXPECT_EQ(TypeString(&sys_, "index2!({((1, 2), true)})"), "[[{bool}]]_2");
+}
+
+TEST_F(TypecheckTest, RuleGetAndErrors) {
+  EXPECT_EQ(TypeString(&sys_, "get!{1}"), "nat");
+  // bottom inhabits every type; unify with context.
+  EXPECT_EQ(TypeString(&sys_, "if true then bottom else 3"), "nat");
+}
+
+TEST_F(TypecheckTest, DenseLiteral) {
+  EXPECT_EQ(TypeString(&sys_, "[[2, 2; 1, 2, 3, 4]]"), "[[nat]]_2");
+  EXPECT_EQ(TypeString(&sys_, "[[1.0, 2.0]]"), "[[real]]_1");
+}
+
+// ---- Inference and polymorphism ----
+
+TEST_F(TypecheckTest, PolymorphicIdentityStaysPolymorphic) {
+  std::string t = TypeString(&sys_, "fn \\x => x");
+  ASSERT_EQ(t.size(), 8u) << t;  // "'x -> 'x"
+  EXPECT_EQ(t[0], '\'');
+  EXPECT_EQ(t.substr(0, 2), t.substr(6, 2)) << "same variable on both sides: " << t;
+}
+
+TEST_F(TypecheckTest, NativeSchemesInstantiatePerUse) {
+  EXPECT_EQ(TypeString(&sys_, "(setmin!{1}, setmin!{\"a\"})"), "nat * string");
+  EXPECT_EQ(TypeString(&sys_, "1 isin gen!5"), "bool");
+  EXPECT_EQ(TypeString(&sys_, "card!{(1, 2)}"), "nat");
+}
+
+TEST_F(TypecheckTest, MacrosArePolymorphicBySubstitution) {
+  EXPECT_EQ(TypeString(&sys_, "(zip!([[1]], [[true]]), zip!([[\"a\"]], [[2.0]]))"),
+            "[[nat * bool]]_1 * [[string * real]]_1");
+}
+
+TEST_F(TypecheckTest, ComprehensionBindersInferred) {
+  EXPECT_EQ(TypeString(&sys_, "{ (x, y) | \\x <- gen!2, \\y <- {true} }"),
+            "{nat * bool}");
+}
+
+// ---- Rejections ----
+
+TEST_F(TypecheckTest, RejectsHeterogeneousSets) {
+  EXPECT_EQ(TypeError(&sys_, "{1, true}").code(), StatusCode::kTypeError);
+}
+
+TEST_F(TypecheckTest, RejectsBranchMismatch) {
+  EXPECT_EQ(TypeError(&sys_, "if true then 1 else \"a\"").code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(TypecheckTest, RejectsNonBoolCondition) {
+  EXPECT_EQ(TypeError(&sys_, "if 1 then 2 else 3").code(), StatusCode::kTypeError);
+}
+
+TEST_F(TypecheckTest, RejectsMixedArithmetic) {
+  EXPECT_EQ(TypeError(&sys_, "1 + 2.0").code(), StatusCode::kTypeError);
+  EXPECT_EQ(TypeError(&sys_, "\"a\" + \"b\"").code(), StatusCode::kTypeError);
+}
+
+TEST_F(TypecheckTest, RejectsArityMismatch) {
+  EXPECT_EQ(TypeError(&sys_, "pi_1_2!(1, 2, 3)").code(), StatusCode::kTypeError);
+}
+
+TEST_F(TypecheckTest, RejectsRankMismatch) {
+  EXPECT_EQ(TypeError(&sys_, "[[ i | \\i < 2 ]][0, 0]").code(), StatusCode::kTypeError);
+  EXPECT_EQ(TypeError(&sys_, "dim2![[1, 2]]").code(), StatusCode::kTypeError);
+}
+
+TEST_F(TypecheckTest, RejectsUnknownIdentifier) {
+  EXPECT_EQ(TypeError(&sys_, "no_such_thing!1").code(), StatusCode::kTypeError);
+}
+
+TEST_F(TypecheckTest, RejectsSelfApplication) {
+  EXPECT_EQ(TypeError(&sys_, "fn \\x => x!x").code(), StatusCode::kTypeError)
+      << "occurs check";
+}
+
+TEST_F(TypecheckTest, RejectsApplyingNonFunction) {
+  EXPECT_EQ(TypeError(&sys_, "1!2").code(), StatusCode::kTypeError);
+}
+
+TEST_F(TypecheckTest, RejectsFunctionsInsideCollections) {
+  // Fig. 1: set and array element types are OBJECT types.
+  EXPECT_EQ(TypeError(&sys_, "{fn \\x => x + 1}").code(), StatusCode::kTypeError);
+  EXPECT_EQ(TypeError(&sys_, "[[ fn \\x => x + i | \\i < 3 ]]").code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(TypeError(&sys_, "{(1, fn \\x => x + 1)}").code(), StatusCode::kTypeError)
+      << "also inside products inside sets";
+  // Sets of sets of plain objects remain fine.
+  EXPECT_EQ(TypeString(&sys_, "{{1}, {2, 3}}"), "{{nat}}");
+}
+
+TEST_F(TypecheckTest, RejectsSummapOverNonNumeric) {
+  EXPECT_EQ(TypeError(&sys_, "summap(fn \\x => \"a\")!(gen!3)").code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(TypecheckTest, RejectsGenOfNonNat) {
+  EXPECT_EQ(TypeError(&sys_, "gen!true").code(), StatusCode::kTypeError);
+}
+
+// ---- TypeOfValue (used by readval) ----
+
+TEST(TypeOfValue, InfersFromData) {
+  TypeUnifier u;
+  auto t = TypeChecker::TypeOfValue(
+      Value::MakeSet({Value::MakeTuple({Value::Nat(1), Value::Str("a")})}), &u);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->ToString(), "{nat * string}");
+}
+
+TEST(TypeOfValue, ArraysCarryRank) {
+  TypeUnifier u;
+  auto t = TypeChecker::TypeOfValue(
+      *Value::MakeArray({2, 2}, {Value::Real(1), Value::Real(2), Value::Real(3),
+                                 Value::Real(4)}),
+      &u);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->ToString(), "[[real]]_2");
+}
+
+TEST(TypeOfValue, HeterogeneousDataRejected) {
+  TypeUnifier u;
+  auto t = TypeChecker::TypeOfValue(Value::MakeSet({Value::Nat(1), Value::Bool(true)}), &u);
+  EXPECT_FALSE(t.ok());
+}
+
+}  // namespace
+}  // namespace aql

@@ -1,0 +1,89 @@
+// Tests for the §3 data exchange format parser, including the round-trip
+// property ParseValue(v.ToString()) == v.
+
+#include "object/value_parser.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace aql {
+namespace {
+
+Value MustParse(const std::string& text) {
+  auto r = ParseValue(text);
+  EXPECT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+  return r.ok() ? std::move(r).value() : Value::Bottom();
+}
+
+TEST(ValueParser, Scalars) {
+  EXPECT_EQ(MustParse("42"), Value::Nat(42));
+  EXPECT_EQ(MustParse("true"), Value::Bool(true));
+  EXPECT_EQ(MustParse("false"), Value::Bool(false));
+  EXPECT_EQ(MustParse("bottom"), Value::Bottom());
+  EXPECT_EQ(MustParse("2.5"), Value::Real(2.5));
+  EXPECT_EQ(MustParse("1e3"), Value::Real(1000.0));
+  EXPECT_EQ(MustParse("-4.5"), Value::Real(-4.5));
+  EXPECT_EQ(MustParse("\"hi\\nthere\""), Value::Str("hi\nthere"));
+}
+
+TEST(ValueParser, Collections) {
+  EXPECT_EQ(MustParse("{3, 1, 2, 1}"),
+            Value::MakeSet({Value::Nat(1), Value::Nat(2), Value::Nat(3)}));
+  EXPECT_EQ(MustParse("{}"), Value::EmptySet());
+  EXPECT_EQ(MustParse("( 1 , \"a\" )"),
+            Value::MakeTuple({Value::Nat(1), Value::Str("a")}));
+  EXPECT_EQ(MustParse("(((7)))"), Value::Nat(7)) << "parens group";
+}
+
+TEST(ValueParser, Arrays) {
+  EXPECT_EQ(MustParse("[[1, 2, 3]]"),
+            Value::MakeVector({Value::Nat(1), Value::Nat(2), Value::Nat(3)}));
+  EXPECT_EQ(MustParse("[[]]"), Value::MakeVector({}));
+  Value dense = MustParse("[[2,2; 1, 2, 3, 4]]");
+  ASSERT_EQ(dense.kind(), ValueKind::kArray);
+  EXPECT_EQ(dense.array().dims, (std::vector<uint64_t>{2, 2}));
+  EXPECT_EQ(dense.array().elems[3], Value::Nat(4));
+}
+
+TEST(ValueParser, NestedStructures) {
+  Value v = MustParse("{(1, [[2; 10, 20]]), (2, [[1; 30]])}");
+  ASSERT_EQ(v.kind(), ValueKind::kSet);
+  ASSERT_EQ(v.set().elems.size(), 2u);
+}
+
+TEST(ValueParser, Errors) {
+  EXPECT_FALSE(ParseValue("").ok());
+  EXPECT_FALSE(ParseValue("{1, 2").ok());
+  EXPECT_FALSE(ParseValue("1 2").ok()) << "trailing junk";
+  EXPECT_FALSE(ParseValue("(1)extra").ok());
+  EXPECT_FALSE(ParseValue("\"unterminated").ok());
+  EXPECT_FALSE(ParseValue("[[2; 1]]").ok()) << "dims/count mismatch";
+  EXPECT_FALSE(ParseValue("[[1.5; 1]]").ok()) << "non-nat dimension";
+  EXPECT_FALSE(ParseValue("()").ok()) << "empty tuple";
+}
+
+TEST(ValueParser, PrefixParsingAdvancesPosition) {
+  size_t pos = 0;
+  auto v = ParseValuePrefix("  {1}  rest", &pos);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::MakeSet({Value::Nat(1)}));
+  EXPECT_EQ(std::string("  {1}  rest").substr(pos), "  rest");
+}
+
+class RoundTripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTripProperty, ParseOfPrintIsIdentity) {
+  testing::ValueGen gen(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Value v = gen.Next();
+    auto back = ParseValue(v.ToString());
+    ASSERT_TRUE(back.ok()) << v.ToString() << ": " << back.status().ToString();
+    EXPECT_EQ(*back, v) << v.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripProperty,
+                         ::testing::Values(2, 11, 101, 4242, 999983));
+
+}  // namespace
+}  // namespace aql
