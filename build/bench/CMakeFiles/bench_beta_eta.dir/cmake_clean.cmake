@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_beta_eta.dir/bench_beta_eta.cc.o"
+  "CMakeFiles/bench_beta_eta.dir/bench_beta_eta.cc.o.d"
+  "bench_beta_eta"
+  "bench_beta_eta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_beta_eta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_code_motion.dir/bench_code_motion.cc.o"
+  "CMakeFiles/bench_code_motion.dir/bench_code_motion.cc.o.d"
+  "bench_code_motion"
+  "bench_code_motion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_code_motion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_constraint_elim.dir/bench_constraint_elim.cc.o"
+  "CMakeFiles/bench_constraint_elim.dir/bench_constraint_elim.cc.o.d"
+  "bench_constraint_elim"
+  "bench_constraint_elim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_constraint_elim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heatwave.dir/bench_heatwave.cc.o"
+  "CMakeFiles/bench_heatwave.dir/bench_heatwave.cc.o.d"
+  "bench_heatwave"
+  "bench_heatwave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heatwave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_netcdf.dir/bench_netcdf.cc.o"
+  "CMakeFiles/bench_netcdf.dir/bench_netcdf.cc.o.d"
+  "bench_netcdf"
+  "bench_netcdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_netcdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

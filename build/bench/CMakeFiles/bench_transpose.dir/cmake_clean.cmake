@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transpose.dir/bench_transpose.cc.o"
+  "CMakeFiles/bench_transpose.dir/bench_transpose.cc.o.d"
+  "bench_transpose"
+  "bench_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

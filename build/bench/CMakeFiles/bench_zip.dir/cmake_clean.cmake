@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zip.dir/bench_zip.cc.o"
+  "CMakeFiles/bench_zip.dir/bench_zip.cc.o.d"
+  "bench_zip"
+  "bench_zip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aql_ncdump.dir/aql_ncdump.cpp.o"
+  "CMakeFiles/aql_ncdump.dir/aql_ncdump.cpp.o.d"
+  "aql_ncdump"
+  "aql_ncdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aql_ncdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

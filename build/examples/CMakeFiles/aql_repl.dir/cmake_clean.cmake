@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aql_repl.dir/aql_repl.cpp.o"
+  "CMakeFiles/aql_repl.dir/aql_repl.cpp.o.d"
+  "aql_repl"
+  "aql_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aql_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

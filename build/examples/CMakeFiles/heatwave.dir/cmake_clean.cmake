@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heatwave.dir/heatwave.cpp.o"
+  "CMakeFiles/heatwave.dir/heatwave.cpp.o.d"
+  "heatwave"
+  "heatwave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heatwave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

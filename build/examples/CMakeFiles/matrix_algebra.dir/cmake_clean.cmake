@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_algebra.dir/matrix_algebra.cpp.o"
+  "CMakeFiles/matrix_algebra.dir/matrix_algebra.cpp.o.d"
+  "matrix_algebra"
+  "matrix_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

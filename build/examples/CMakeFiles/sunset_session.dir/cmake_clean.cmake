@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sunset_session.dir/sunset_session.cpp.o"
+  "CMakeFiles/sunset_session.dir/sunset_session.cpp.o.d"
+  "sunset_session"
+  "sunset_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sunset_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("object")
+subdirs("types")
+subdirs("core")
+subdirs("surface")
+subdirs("typecheck")
+subdirs("eval")
+subdirs("exec")
+subdirs("opt")
+subdirs("netcdf")
+subdirs("io")
+subdirs("env")

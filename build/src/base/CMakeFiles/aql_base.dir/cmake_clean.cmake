@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aql_base.dir/status.cc.o"
+  "CMakeFiles/aql_base.dir/status.cc.o.d"
+  "CMakeFiles/aql_base.dir/strings.cc.o"
+  "CMakeFiles/aql_base.dir/strings.cc.o.d"
+  "libaql_base.a"
+  "libaql_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aql_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aql_core.dir/expr.cc.o"
+  "CMakeFiles/aql_core.dir/expr.cc.o.d"
+  "CMakeFiles/aql_core.dir/expr_ops.cc.o"
+  "CMakeFiles/aql_core.dir/expr_ops.cc.o.d"
+  "libaql_core.a"
+  "libaql_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aql_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aql_env.dir/natives.cc.o"
+  "CMakeFiles/aql_env.dir/natives.cc.o.d"
+  "CMakeFiles/aql_env.dir/prelude.cc.o"
+  "CMakeFiles/aql_env.dir/prelude.cc.o.d"
+  "CMakeFiles/aql_env.dir/system.cc.o"
+  "CMakeFiles/aql_env.dir/system.cc.o.d"
+  "libaql_env.a"
+  "libaql_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aql_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/env/CMakeFiles/aql_env.dir/prelude.cc.o: \
+ /root/repo/src/env/prelude.cc /usr/include/stdc-predef.h \
+ /root/repo/src/env/prelude.h

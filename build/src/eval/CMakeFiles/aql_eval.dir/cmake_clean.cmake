@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aql_eval.dir/evaluator.cc.o"
+  "CMakeFiles/aql_eval.dir/evaluator.cc.o.d"
+  "libaql_eval.a"
+  "libaql_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aql_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

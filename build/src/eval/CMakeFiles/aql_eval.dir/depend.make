@@ -1,0 +1,2 @@
+# Empty dependencies file for aql_eval.
+# This may be replaced when dependencies are built.

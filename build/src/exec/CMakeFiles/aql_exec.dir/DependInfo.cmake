@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/compiled.cc" "src/exec/CMakeFiles/aql_exec.dir/compiled.cc.o" "gcc" "src/exec/CMakeFiles/aql_exec.dir/compiled.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aql_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/aql_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/aql_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aql_exec.dir/compiled.cc.o"
+  "CMakeFiles/aql_exec.dir/compiled.cc.o.d"
+  "libaql_exec.a"
+  "libaql_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aql_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/drivers.cc" "src/io/CMakeFiles/aql_io.dir/drivers.cc.o" "gcc" "src/io/CMakeFiles/aql_io.dir/drivers.cc.o.d"
+  "/root/repo/src/io/registry.cc" "src/io/CMakeFiles/aql_io.dir/registry.cc.o" "gcc" "src/io/CMakeFiles/aql_io.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/object/CMakeFiles/aql_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/netcdf/CMakeFiles/aql_netcdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/aql_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

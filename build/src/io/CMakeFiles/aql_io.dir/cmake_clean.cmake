@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aql_io.dir/drivers.cc.o"
+  "CMakeFiles/aql_io.dir/drivers.cc.o.d"
+  "CMakeFiles/aql_io.dir/registry.cc.o"
+  "CMakeFiles/aql_io.dir/registry.cc.o.d"
+  "libaql_io.a"
+  "libaql_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aql_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

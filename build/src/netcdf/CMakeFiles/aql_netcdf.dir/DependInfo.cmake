@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netcdf/dump.cc" "src/netcdf/CMakeFiles/aql_netcdf.dir/dump.cc.o" "gcc" "src/netcdf/CMakeFiles/aql_netcdf.dir/dump.cc.o.d"
+  "/root/repo/src/netcdf/format.cc" "src/netcdf/CMakeFiles/aql_netcdf.dir/format.cc.o" "gcc" "src/netcdf/CMakeFiles/aql_netcdf.dir/format.cc.o.d"
+  "/root/repo/src/netcdf/reader.cc" "src/netcdf/CMakeFiles/aql_netcdf.dir/reader.cc.o" "gcc" "src/netcdf/CMakeFiles/aql_netcdf.dir/reader.cc.o.d"
+  "/root/repo/src/netcdf/synth.cc" "src/netcdf/CMakeFiles/aql_netcdf.dir/synth.cc.o" "gcc" "src/netcdf/CMakeFiles/aql_netcdf.dir/synth.cc.o.d"
+  "/root/repo/src/netcdf/writer.cc" "src/netcdf/CMakeFiles/aql_netcdf.dir/writer.cc.o" "gcc" "src/netcdf/CMakeFiles/aql_netcdf.dir/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/aql_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

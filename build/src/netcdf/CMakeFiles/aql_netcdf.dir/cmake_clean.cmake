@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aql_netcdf.dir/dump.cc.o"
+  "CMakeFiles/aql_netcdf.dir/dump.cc.o.d"
+  "CMakeFiles/aql_netcdf.dir/format.cc.o"
+  "CMakeFiles/aql_netcdf.dir/format.cc.o.d"
+  "CMakeFiles/aql_netcdf.dir/reader.cc.o"
+  "CMakeFiles/aql_netcdf.dir/reader.cc.o.d"
+  "CMakeFiles/aql_netcdf.dir/synth.cc.o"
+  "CMakeFiles/aql_netcdf.dir/synth.cc.o.d"
+  "CMakeFiles/aql_netcdf.dir/writer.cc.o"
+  "CMakeFiles/aql_netcdf.dir/writer.cc.o.d"
+  "libaql_netcdf.a"
+  "libaql_netcdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aql_netcdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/object/value.cc" "src/object/CMakeFiles/aql_object.dir/value.cc.o" "gcc" "src/object/CMakeFiles/aql_object.dir/value.cc.o.d"
+  "/root/repo/src/object/value_parser.cc" "src/object/CMakeFiles/aql_object.dir/value_parser.cc.o" "gcc" "src/object/CMakeFiles/aql_object.dir/value_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/aql_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aql_object.dir/value.cc.o"
+  "CMakeFiles/aql_object.dir/value.cc.o.d"
+  "CMakeFiles/aql_object.dir/value_parser.cc.o"
+  "CMakeFiles/aql_object.dir/value_parser.cc.o.d"
+  "libaql_object.a"
+  "libaql_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aql_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/analysis.cc" "src/opt/CMakeFiles/aql_opt.dir/analysis.cc.o" "gcc" "src/opt/CMakeFiles/aql_opt.dir/analysis.cc.o.d"
+  "/root/repo/src/opt/optimizer.cc" "src/opt/CMakeFiles/aql_opt.dir/optimizer.cc.o" "gcc" "src/opt/CMakeFiles/aql_opt.dir/optimizer.cc.o.d"
+  "/root/repo/src/opt/rewriter.cc" "src/opt/CMakeFiles/aql_opt.dir/rewriter.cc.o" "gcc" "src/opt/CMakeFiles/aql_opt.dir/rewriter.cc.o.d"
+  "/root/repo/src/opt/rules_arith.cc" "src/opt/CMakeFiles/aql_opt.dir/rules_arith.cc.o" "gcc" "src/opt/CMakeFiles/aql_opt.dir/rules_arith.cc.o.d"
+  "/root/repo/src/opt/rules_array.cc" "src/opt/CMakeFiles/aql_opt.dir/rules_array.cc.o" "gcc" "src/opt/CMakeFiles/aql_opt.dir/rules_array.cc.o.d"
+  "/root/repo/src/opt/rules_constraint.cc" "src/opt/CMakeFiles/aql_opt.dir/rules_constraint.cc.o" "gcc" "src/opt/CMakeFiles/aql_opt.dir/rules_constraint.cc.o.d"
+  "/root/repo/src/opt/rules_motion.cc" "src/opt/CMakeFiles/aql_opt.dir/rules_motion.cc.o" "gcc" "src/opt/CMakeFiles/aql_opt.dir/rules_motion.cc.o.d"
+  "/root/repo/src/opt/rules_nrc.cc" "src/opt/CMakeFiles/aql_opt.dir/rules_nrc.cc.o" "gcc" "src/opt/CMakeFiles/aql_opt.dir/rules_nrc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aql_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/aql_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/aql_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

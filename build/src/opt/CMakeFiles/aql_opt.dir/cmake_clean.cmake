@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aql_opt.dir/analysis.cc.o"
+  "CMakeFiles/aql_opt.dir/analysis.cc.o.d"
+  "CMakeFiles/aql_opt.dir/optimizer.cc.o"
+  "CMakeFiles/aql_opt.dir/optimizer.cc.o.d"
+  "CMakeFiles/aql_opt.dir/rewriter.cc.o"
+  "CMakeFiles/aql_opt.dir/rewriter.cc.o.d"
+  "CMakeFiles/aql_opt.dir/rules_arith.cc.o"
+  "CMakeFiles/aql_opt.dir/rules_arith.cc.o.d"
+  "CMakeFiles/aql_opt.dir/rules_array.cc.o"
+  "CMakeFiles/aql_opt.dir/rules_array.cc.o.d"
+  "CMakeFiles/aql_opt.dir/rules_constraint.cc.o"
+  "CMakeFiles/aql_opt.dir/rules_constraint.cc.o.d"
+  "CMakeFiles/aql_opt.dir/rules_motion.cc.o"
+  "CMakeFiles/aql_opt.dir/rules_motion.cc.o.d"
+  "CMakeFiles/aql_opt.dir/rules_nrc.cc.o"
+  "CMakeFiles/aql_opt.dir/rules_nrc.cc.o.d"
+  "libaql_opt.a"
+  "libaql_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aql_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

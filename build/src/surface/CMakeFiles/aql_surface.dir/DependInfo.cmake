@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/surface/ast.cc" "src/surface/CMakeFiles/aql_surface.dir/ast.cc.o" "gcc" "src/surface/CMakeFiles/aql_surface.dir/ast.cc.o.d"
+  "/root/repo/src/surface/desugar.cc" "src/surface/CMakeFiles/aql_surface.dir/desugar.cc.o" "gcc" "src/surface/CMakeFiles/aql_surface.dir/desugar.cc.o.d"
+  "/root/repo/src/surface/parser.cc" "src/surface/CMakeFiles/aql_surface.dir/parser.cc.o" "gcc" "src/surface/CMakeFiles/aql_surface.dir/parser.cc.o.d"
+  "/root/repo/src/surface/token.cc" "src/surface/CMakeFiles/aql_surface.dir/token.cc.o" "gcc" "src/surface/CMakeFiles/aql_surface.dir/token.cc.o.d"
+  "/root/repo/src/surface/unparse.cc" "src/surface/CMakeFiles/aql_surface.dir/unparse.cc.o" "gcc" "src/surface/CMakeFiles/aql_surface.dir/unparse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aql_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/aql_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/aql_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aql_surface.dir/ast.cc.o"
+  "CMakeFiles/aql_surface.dir/ast.cc.o.d"
+  "CMakeFiles/aql_surface.dir/desugar.cc.o"
+  "CMakeFiles/aql_surface.dir/desugar.cc.o.d"
+  "CMakeFiles/aql_surface.dir/parser.cc.o"
+  "CMakeFiles/aql_surface.dir/parser.cc.o.d"
+  "CMakeFiles/aql_surface.dir/token.cc.o"
+  "CMakeFiles/aql_surface.dir/token.cc.o.d"
+  "CMakeFiles/aql_surface.dir/unparse.cc.o"
+  "CMakeFiles/aql_surface.dir/unparse.cc.o.d"
+  "libaql_surface.a"
+  "libaql_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aql_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

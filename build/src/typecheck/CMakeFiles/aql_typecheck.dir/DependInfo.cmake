@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/typecheck/typecheck.cc" "src/typecheck/CMakeFiles/aql_typecheck.dir/typecheck.cc.o" "gcc" "src/typecheck/CMakeFiles/aql_typecheck.dir/typecheck.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aql_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/aql_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/aql_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/aql_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aql_typecheck.dir/typecheck.cc.o"
+  "CMakeFiles/aql_typecheck.dir/typecheck.cc.o.d"
+  "libaql_typecheck.a"
+  "libaql_typecheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aql_typecheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

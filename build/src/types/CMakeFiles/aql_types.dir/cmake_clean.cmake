@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aql_types.dir/type.cc.o"
+  "CMakeFiles/aql_types.dir/type.cc.o.d"
+  "CMakeFiles/aql_types.dir/unify.cc.o"
+  "CMakeFiles/aql_types.dir/unify.cc.o.d"
+  "libaql_types.a"
+  "libaql_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aql_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

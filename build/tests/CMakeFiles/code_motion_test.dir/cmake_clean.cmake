@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/code_motion_test.dir/code_motion_test.cc.o"
+  "CMakeFiles/code_motion_test.dir/code_motion_test.cc.o.d"
+  "code_motion_test"
+  "code_motion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/code_motion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_elim_test.dir/constraint_elim_test.cc.o"
+  "CMakeFiles/constraint_elim_test.dir/constraint_elim_test.cc.o.d"
+  "constraint_elim_test"
+  "constraint_elim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_elim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desugar_test.dir/desugar_test.cc.o"
+  "CMakeFiles/desugar_test.dir/desugar_test.cc.o.d"
+  "desugar_test"
+  "desugar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desugar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

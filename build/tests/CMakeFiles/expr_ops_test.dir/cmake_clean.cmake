@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_ops_test.dir/expr_ops_test.cc.o"
+  "CMakeFiles/expr_ops_test.dir/expr_ops_test.cc.o.d"
+  "expr_ops_test"
+  "expr_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heatwave_test.dir/heatwave_test.cc.o"
+  "CMakeFiles/heatwave_test.dir/heatwave_test.cc.o.d"
+  "heatwave_test"
+  "heatwave_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heatwave_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netcdf_golden_test.dir/netcdf_golden_test.cc.o"
+  "CMakeFiles/netcdf_golden_test.dir/netcdf_golden_test.cc.o.d"
+  "netcdf_golden_test"
+  "netcdf_golden_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netcdf_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

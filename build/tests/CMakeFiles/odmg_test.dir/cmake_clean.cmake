@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odmg_test.dir/odmg_test.cc.o"
+  "CMakeFiles/odmg_test.dir/odmg_test.cc.o.d"
+  "odmg_test"
+  "odmg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odmg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_derivations_test.dir/opt_derivations_test.cc.o"
+  "CMakeFiles/opt_derivations_test.dir/opt_derivations_test.cc.o.d"
+  "opt_derivations_test"
+  "opt_derivations_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_derivations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

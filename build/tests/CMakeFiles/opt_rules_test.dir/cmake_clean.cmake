@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_rules_test.dir/opt_rules_test.cc.o"
+  "CMakeFiles/opt_rules_test.dir/opt_rules_test.cc.o.d"
+  "opt_rules_test"
+  "opt_rules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

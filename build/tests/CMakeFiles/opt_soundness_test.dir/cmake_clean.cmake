@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_soundness_test.dir/opt_soundness_test.cc.o"
+  "CMakeFiles/opt_soundness_test.dir/opt_soundness_test.cc.o.d"
+  "opt_soundness_test"
+  "opt_soundness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_soundness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prelude_test.dir/prelude_test.cc.o"
+  "CMakeFiles/prelude_test.dir/prelude_test.cc.o.d"
+  "prelude_test"
+  "prelude_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prelude_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scilib_test.dir/scilib_test.cc.o"
+  "CMakeFiles/scilib_test.dir/scilib_test.cc.o.d"
+  "scilib_test"
+  "scilib_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scilib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scripts_test.dir/scripts_test.cc.o"
+  "CMakeFiles/scripts_test.dir/scripts_test.cc.o.d"
+  "scripts_test"
+  "scripts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scripts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/type_property_test.dir/type_property_test.cc.o"
+  "CMakeFiles/type_property_test.dir/type_property_test.cc.o.d"
+  "type_property_test"
+  "type_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/type_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
