@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/env/CMakeFiles/aql_env.dir/DependInfo.cmake"
   "/root/repo/build/src/netcdf/CMakeFiles/aql_netcdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/aql_service.dir/DependInfo.cmake"
   "/root/repo/build/src/surface/CMakeFiles/aql_surface.dir/DependInfo.cmake"
   "/root/repo/build/src/typecheck/CMakeFiles/aql_typecheck.dir/DependInfo.cmake"
   "/root/repo/build/src/eval/CMakeFiles/aql_eval.dir/DependInfo.cmake"

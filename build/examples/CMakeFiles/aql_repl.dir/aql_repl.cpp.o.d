@@ -226,4 +226,22 @@ examples/CMakeFiles/aql_repl.dir/aql_repl.cpp.o: \
  /root/repo/src/eval/evaluator.h /root/repo/src/exec/compiled.h \
  /root/repo/src/io/registry.h /root/repo/src/opt/optimizer.h \
  /root/repo/src/opt/rewriter.h /root/repo/src/opt/rules.h \
- /root/repo/src/surface/ast.h
+ /root/repo/src/surface/ast.h /root/repo/src/service/service.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/future \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/base/cancel.h /root/repo/src/service/metrics.h \
+ /root/repo/src/service/plan_cache.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/service/thread_pool.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread

@@ -16,3 +16,4 @@ subdirs("opt")
 subdirs("netcdf")
 subdirs("io")
 subdirs("env")
+subdirs("service")

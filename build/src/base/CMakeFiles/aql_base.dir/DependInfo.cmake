@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/cancel.cc" "src/base/CMakeFiles/aql_base.dir/cancel.cc.o" "gcc" "src/base/CMakeFiles/aql_base.dir/cancel.cc.o.d"
   "/root/repo/src/base/status.cc" "src/base/CMakeFiles/aql_base.dir/status.cc.o" "gcc" "src/base/CMakeFiles/aql_base.dir/status.cc.o.d"
   "/root/repo/src/base/strings.cc" "src/base/CMakeFiles/aql_base.dir/strings.cc.o" "gcc" "src/base/CMakeFiles/aql_base.dir/strings.cc.o.d"
   )

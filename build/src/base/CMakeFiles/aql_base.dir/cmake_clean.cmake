@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/aql_base.dir/cancel.cc.o"
+  "CMakeFiles/aql_base.dir/cancel.cc.o.d"
   "CMakeFiles/aql_base.dir/status.cc.o"
   "CMakeFiles/aql_base.dir/status.cc.o.d"
   "CMakeFiles/aql_base.dir/strings.cc.o"

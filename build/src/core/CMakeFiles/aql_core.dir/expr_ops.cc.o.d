@@ -217,4 +217,5 @@ src/core/CMakeFiles/aql_core.dir/expr_ops.cc.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aql_service.dir/metrics.cc.o"
+  "CMakeFiles/aql_service.dir/metrics.cc.o.d"
+  "CMakeFiles/aql_service.dir/plan_cache.cc.o"
+  "CMakeFiles/aql_service.dir/plan_cache.cc.o.d"
+  "CMakeFiles/aql_service.dir/service.cc.o"
+  "CMakeFiles/aql_service.dir/service.cc.o.d"
+  "CMakeFiles/aql_service.dir/thread_pool.cc.o"
+  "CMakeFiles/aql_service.dir/thread_pool.cc.o.d"
+  "libaql_service.a"
+  "libaql_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aql_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaql_service.a"
+)

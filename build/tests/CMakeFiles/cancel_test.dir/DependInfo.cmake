@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cancel_test.cc" "tests/CMakeFiles/cancel_test.dir/cancel_test.cc.o" "gcc" "tests/CMakeFiles/cancel_test.dir/cancel_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/env/CMakeFiles/aql_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/surface/CMakeFiles/aql_surface.dir/DependInfo.cmake"
+  "/root/repo/build/src/typecheck/CMakeFiles/aql_typecheck.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/aql_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/aql_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/aql_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aql_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/aql_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/aql_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/netcdf/CMakeFiles/aql_netcdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/aql_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/aql_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

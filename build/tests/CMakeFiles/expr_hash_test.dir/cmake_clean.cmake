@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_hash_test.dir/expr_hash_test.cc.o"
+  "CMakeFiles/expr_hash_test.dir/expr_hash_test.cc.o.d"
+  "expr_hash_test"
+  "expr_hash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

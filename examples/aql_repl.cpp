@@ -9,7 +9,11 @@
 //   : { x * x | [_ : \x] <- xs };
 //   typ it : {nat}
 //   val it = {1, 4, 9}
-// Commands: :quit, :help, :plan <expr>  (show the optimized core term).
+// Commands: :quit, :help, :plan <expr>  (show the optimized core term),
+// :load <file.aql>, :stats  (service counters and latency histograms).
+//
+// Statements run through a QueryService (src/service), so plan-cache and
+// latency metrics accumulate across the session and :stats reports them.
 
 #include <cstdio>
 #include <fstream>
@@ -18,11 +22,12 @@
 #include <string>
 
 #include "env/system.h"
+#include "service/service.h"
 
 namespace {
 
-void RunProgram(aql::System* sys, const std::string& program) {
-  auto results = sys->Run(program);
+void RunProgram(aql::service::QueryService* svc, const std::string& program) {
+  auto results = svc->RunScript(program);
   if (!results.ok()) {
     std::printf("error: %s\n", results.status().ToString().c_str());
     return;
@@ -30,7 +35,7 @@ void RunProgram(aql::System* sys, const std::string& program) {
   for (const auto& r : *results) std::printf("%s\n", r.ToDisplayString(16).c_str());
 }
 
-void ShowPlan(aql::System* sys, const std::string& expr) {
+void ShowPlan(const aql::System* sys, const std::string& expr) {
   auto report = sys->Explain(expr);
   if (!report.ok()) {
     std::printf("error: %s\n", report.status().ToString().c_str());
@@ -39,7 +44,7 @@ void ShowPlan(aql::System* sys, const std::string& expr) {
   std::printf("%s", report->c_str());
 }
 
-int RunFiles(aql::System* sys, int argc, char** argv) {
+int RunFiles(aql::service::QueryService* svc, int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::ifstream in(argv[i]);
     if (!in) {
@@ -48,7 +53,7 @@ int RunFiles(aql::System* sys, int argc, char** argv) {
     }
     std::stringstream buf;
     buf << in.rdbuf();
-    RunProgram(sys, buf.str());
+    RunProgram(svc, buf.str());
   }
   return 0;
 }
@@ -61,7 +66,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "init error: %s\n", sys.init_status().ToString().c_str());
     return 1;
   }
-  if (argc > 1) return RunFiles(&sys, argc, argv);
+  aql::service::QueryService svc(&sys, {.num_workers = 2});
+  if (argc > 1) return RunFiles(&svc, argc, argv);
 
   std::printf("AQL — a query language for multidimensional arrays\n");
   std::printf("(Libkin, Machlin & Wong, SIGMOD 1996). :help for help.\n");
@@ -83,7 +89,12 @@ int main(int argc, char** argv) {
             "  writeval <e> using WRITER at <e>; write external data\n"
             "  :plan <expr>                     show the optimized plan\n"
             "  :load <file.aql>                 run a script file\n"
+            "  :stats                           service metrics for this session\n"
             "  :quit                            leave\n");
+        continue;
+      }
+      if (line == ":stats") {
+        std::printf("%s", svc.StatsReport().c_str());
         continue;
       }
       if (line.rfind(":plan ", 0) == 0) {
@@ -98,7 +109,7 @@ int main(int argc, char** argv) {
         } else {
           std::stringstream buf;
           buf << in.rdbuf();
-          RunProgram(&sys, buf.str());
+          RunProgram(&svc, buf.str());
         }
         continue;
       }
@@ -108,7 +119,7 @@ int main(int argc, char** argv) {
     // Execute once the statement is ';'-terminated (ignoring whitespace).
     size_t last = pending.find_last_not_of(" \t\n");
     if (last != std::string::npos && pending[last] == ';') {
-      RunProgram(&sys, pending);
+      RunProgram(&svc, pending);
       pending.clear();
     }
   }

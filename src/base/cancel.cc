@@ -1,0 +1,17 @@
+#include "base/cancel.h"
+
+namespace aql {
+
+namespace {
+thread_local const CancelToken* g_current_token = nullptr;
+}  // namespace
+
+ExecScope::ExecScope(const CancelToken* token) : previous_(g_current_token) {
+  g_current_token = token;
+}
+
+ExecScope::~ExecScope() { g_current_token = previous_; }
+
+const CancelToken* CurrentCancelToken() { return g_current_token; }
+
+}  // namespace aql

@@ -1,0 +1,96 @@
+// Cooperative cancellation and deadlines for long-running evaluations.
+//
+// The evaluator and the compiled backend are recursive interpreters; a
+// query like `Sum{ x | \x <- gen!4000000000 }` would otherwise spin until
+// completion with no way to stop it. The service layer (src/service)
+// instead arms a CancelToken per query — carrying an optional deadline
+// and an explicit cancel flag — and installs it for the duration of the
+// evaluation with an ExecScope. The loop constructs of both backends
+// (big union, sum, tabulation, gen) poll CheckInterrupt(), which returns
+// a Cancelled / DeadlineExceeded Status that unwinds the evaluation like
+// any other host error.
+//
+// The token is installed in a thread_local slot, so concurrent
+// evaluations on different threads are independently cancellable and
+// code outside any ExecScope pays a single thread-local pointer load per
+// loop iteration.
+
+#ifndef AQL_BASE_CANCEL_H_
+#define AQL_BASE_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+#include "base/status.h"
+
+namespace aql {
+
+// Shared cancellation state for one query. Thread-safe: the worker polls
+// it while any other thread may call Cancel() or arm a deadline.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  // Requests cooperative cancellation; the running evaluation returns a
+  // Cancelled status at its next poll.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const { return cancelled_.load(std::memory_order_relaxed); }
+
+  // Arms an absolute deadline on the steady clock.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(), std::memory_order_relaxed);
+  }
+  void SetTimeout(std::chrono::nanoseconds timeout) {
+    SetDeadline(std::chrono::steady_clock::now() + timeout);
+  }
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline;
+  }
+
+  // OK, or the Status explaining why evaluation must stop.
+  Status Check() const {
+    if (cancel_requested()) return Status::Cancelled("query cancelled");
+    int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d != kNoDeadline &&
+        std::chrono::steady_clock::now().time_since_epoch().count() >= d) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int64_t kNoDeadline = std::numeric_limits<int64_t>::max();
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{kNoDeadline};
+};
+
+// RAII: installs `token` as the current thread's interrupt source for the
+// lifetime of the scope. Scopes nest; the innermost token wins.
+class ExecScope {
+ public:
+  explicit ExecScope(const CancelToken* token);
+  ~ExecScope();
+
+  ExecScope(const ExecScope&) = delete;
+  ExecScope& operator=(const ExecScope&) = delete;
+
+ private:
+  const CancelToken* previous_;
+};
+
+// The token installed on this thread, or nullptr.
+const CancelToken* CurrentCancelToken();
+
+// Polled by evaluator/exec loop constructs: OK when no token is installed
+// or the token is still live; Cancelled / DeadlineExceeded otherwise.
+inline Status CheckInterrupt() {
+  const CancelToken* token = CurrentCancelToken();
+  return token == nullptr ? Status::OK() : token->Check();
+}
+
+}  // namespace aql
+
+#endif  // AQL_BASE_CANCEL_H_

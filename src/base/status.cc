@@ -16,6 +16,9 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kInvalidArgument: return "InvalidArgument";
     case StatusCode::kUnimplemented: return "Unimplemented";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
   }
   return "Unknown";
 }

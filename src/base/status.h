@@ -29,6 +29,9 @@ enum class StatusCode {
   kInvalidArgument, // API misuse
   kUnimplemented,
   kInternal,
+  kCancelled,         // query cancelled by the caller (service layer)
+  kDeadlineExceeded,  // query exceeded its deadline (service layer)
+  kResourceExhausted, // admission queue full / capacity limit hit
 };
 
 // Human-readable name of a status code ("TypeError", ...).
@@ -75,6 +78,15 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
   }
 
   bool ok() const { return state_ == nullptr; }

@@ -1,6 +1,7 @@
 #include "core/expr_ops.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace aql {
 
@@ -218,6 +219,100 @@ bool AlphaEqualImpl(const ExprPtr& a, const ExprPtr& b,
 bool AlphaEqual(const ExprPtr& a, const ExprPtr& b) {
   std::unordered_map<std::string, std::string> a_to_b, b_to_a;
   return AlphaEqualImpl(a, b, &a_to_b, &b_to_a);
+}
+
+namespace {
+
+inline uint64_t HashMix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4);
+  return h;
+}
+
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) h = (h ^ c) * 0x100000001b3ull;
+  return h;
+}
+
+// `bound` maps a binder name to the stack of binding ids it shadows; ids
+// are assigned in traversal order, so two alpha-equivalent terms assign
+// identical ids to corresponding binders (mirroring AlphaEqualImpl, which
+// pairs up binder names child by child).
+uint64_t HashExprImpl(const ExprPtr& e,
+                      std::unordered_map<std::string, std::vector<uint64_t>>* bound,
+                      uint64_t* next_binding_id) {
+  uint64_t h = 0x100001b3ull + static_cast<uint64_t>(e->kind());
+  switch (e->kind()) {
+    case ExprKind::kVar: {
+      auto it = bound->find(e->var_name());
+      if (it != bound->end() && !it->second.empty()) {
+        return HashMix(h, it->second.back());  // bound: hash the binding id
+      }
+      return HashMix(h, HashString(e->var_name()));  // free: hash the name
+    }
+    case ExprKind::kBoolConst:
+      return HashMix(h, e->bool_const() ? 1 : 0);
+    case ExprKind::kNatConst:
+      return HashMix(h, e->nat_const());
+    case ExprKind::kRealConst: {
+      double d = e->real_const();
+      if (d == 0.0) d = 0.0;  // +0.0 and -0.0 compare equal
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return HashMix(h, bits);
+    }
+    case ExprKind::kStrConst:
+      return HashMix(h, HashString(e->str_const()));
+    case ExprKind::kCmp:
+      h = HashMix(h, static_cast<uint64_t>(e->cmp_op()));
+      break;
+    case ExprKind::kArith:
+      h = HashMix(h, static_cast<uint64_t>(e->arith_op()));
+      break;
+    case ExprKind::kProj:
+      h = HashMix(HashMix(h, e->proj_index()), e->proj_arity());
+      break;
+    case ExprKind::kDim:
+    case ExprKind::kIndex:
+    case ExprKind::kDense:
+      h = HashMix(h, e->rank());
+      break;
+    case ExprKind::kLiteral:
+      return HashMix(h, HashValue(e->literal()));
+    case ExprKind::kExternal:
+      return HashMix(h, HashString(e->var_name()));
+    default:
+      break;
+  }
+  h = HashMix(h, e->binders().size());
+
+  auto child_binders = ChildBinders(*e);
+  for (size_t i = 0; i < e->children().size(); ++i) {
+    if (child_binders[i].empty()) {
+      h = HashMix(h, HashExprImpl(e->child(i), bound, next_binding_id));
+    } else {
+      // Assign each binder a fresh id for the scope of this child, exactly
+      // as AlphaEqualImpl pairs up all binders of the node.
+      for (const std::string& b : e->binders()) {
+        (*bound)[b].push_back((*next_binding_id)++);
+      }
+      h = HashMix(h, HashExprImpl(e->child(i), bound, next_binding_id));
+      for (const std::string& b : e->binders()) {
+        auto it = bound->find(b);
+        it->second.pop_back();
+        if (it->second.empty()) bound->erase(it);
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t HashExpr(const ExprPtr& e) {
+  std::unordered_map<std::string, std::vector<uint64_t>> bound;
+  uint64_t next_binding_id = 1;
+  return HashExprImpl(e, &bound, &next_binding_id);
 }
 
 }  // namespace aql

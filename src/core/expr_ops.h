@@ -39,6 +39,14 @@ ExprPtr SubstituteAll(const ExprPtr& e,
 // Structural equality up to renaming of bound variables.
 bool AlphaEqual(const ExprPtr& a, const ExprPtr& b);
 
+// Structural hash consistent with alpha-equivalence:
+// AlphaEqual(a, b)  ⇒  HashExpr(a) == HashExpr(b).
+// Bound variables hash by binding index (de Bruijn style), free variables
+// and externals by name, literals via HashValue. This is the key function
+// of the service layer's plan cache (src/service/plan_cache.h): resolved
+// core expressions are bucketed by HashExpr and confirmed by AlphaEqual.
+uint64_t HashExpr(const ExprPtr& e);
+
 }  // namespace aql
 
 #endif  // AQL_CORE_EXPR_OPS_H_

@@ -52,7 +52,7 @@ TypePtr System::LookupScheme(const std::string& name) const {
   return it == primitives_.end() ? nullptr : it->second.scheme;
 }
 
-Result<ExprPtr> System::ParseToCore(std::string_view expression) {
+Result<ExprPtr> System::ParseToCore(std::string_view expression) const {
   AQL_ASSIGN_OR_RETURN(SurfacePtr surf, ParseExpression(expression));
   Desugarer desugarer;
   return desugarer.Desugar(surf);
@@ -96,12 +96,12 @@ Result<ExprPtr> System::ResolveImpl(const ExprPtr& e,
   return changed ? e->WithChildren(std::move(children)) : e;
 }
 
-Result<ExprPtr> System::ResolveNames(const ExprPtr& e) {
+Result<ExprPtr> System::ResolveNames(const ExprPtr& e) const {
   std::vector<std::string> bound;
   return ResolveImpl(e, &bound);
 }
 
-Result<TypePtr> System::TypeOf(const ExprPtr& resolved) {
+Result<TypePtr> System::TypeOf(const ExprPtr& resolved) const {
   TypeChecker checker([this](const std::string& name) { return LookupScheme(name); });
   return checker.Check(resolved);
 }
@@ -110,14 +110,14 @@ ExprPtr System::Optimize(const ExprPtr& e, RewriteStats* stats) const {
   return optimizer_.Optimize(e, stats);
 }
 
-Result<ExprPtr> System::CompileUnoptimized(std::string_view expression) {
+Result<ExprPtr> System::CompileUnoptimized(std::string_view expression) const {
   AQL_ASSIGN_OR_RETURN(ExprPtr core, ParseToCore(expression));
   AQL_ASSIGN_OR_RETURN(ExprPtr resolved, ResolveNames(core));
   AQL_RETURN_IF_ERROR(TypeOf(resolved).status());
   return resolved;
 }
 
-Result<ExprPtr> System::Compile(std::string_view expression) {
+Result<ExprPtr> System::Compile(std::string_view expression) const {
   AQL_ASSIGN_OR_RETURN(ExprPtr resolved, CompileUnoptimized(expression));
   return config_.optimize ? Optimize(resolved) : resolved;
 }
@@ -139,12 +139,12 @@ Result<Value> System::EvalCoreCompiled(const ExprPtr& compiled) const {
   return program.Run();
 }
 
-Result<Value> System::Eval(std::string_view expression) {
+Result<Value> System::Eval(std::string_view expression) const {
   AQL_ASSIGN_OR_RETURN(ExprPtr compiled, Compile(expression));
   return EvalCore(compiled);
 }
 
-Result<std::string> System::Explain(std::string_view expression) {
+Result<std::string> System::Explain(std::string_view expression) const {
   AQL_ASSIGN_OR_RETURN(ExprPtr core, ParseToCore(expression));
   AQL_ASSIGN_OR_RETURN(ExprPtr resolved, ResolveNames(core));
   AQL_ASSIGN_OR_RETURN(TypePtr type, TypeOf(resolved));

@@ -17,6 +17,30 @@
 //   sys.RegisterPrimitive("heatindex", "[[real * real * real]]_1 -> real",
 //                         MyHeatIndex);
 //   auto results = sys.Run("{ d | \\d <- gen!30, ... };");
+//
+// ---- Thread-safety contract ----
+//
+// A System has two phases:
+//
+//   1. Setup (single-threaded): construction, Register*/Define*, Run of
+//      any statements that bind vals or macros. These mutate the internal
+//      registries (vals_, macros_, primitives_, io_, optimizer rules) and
+//      must not overlap any other call.
+//
+//   2. Serving (shared): every const method — Eval, Compile,
+//      CompileUnoptimized, ParseToCore, ResolveNames, TypeOf, Optimize,
+//      EvalCore, EvalCoreCompiled, Explain, PrimitiveResolver, Lookup* —
+//      only reads the registries and may be called from any number of
+//      threads concurrently. Expression trees, types, and values are
+//      immutable behind shared_ptr (atomic refcounts), so results can be
+//      shared freely across threads.
+//
+// Interleaving a phase-1 mutation with concurrent phase-2 reads is a data
+// race; callers that need online mutation must serialize externally (the
+// service layer, src/service, wraps a System in a reader/writer lock and
+// routes statement execution through the exclusive path). Registered
+// primitive/reader/writer implementations must themselves be thread-safe
+// to be callable from concurrent queries.
 
 #ifndef AQL_ENV_SYSTEM_H_
 #define AQL_ENV_SYSTEM_H_
@@ -68,18 +92,18 @@ class System {
   // per statement. Queries also bind the variable `it`.
   Result<std::vector<StatementResult>> Run(std::string_view program);
   // Evaluates a single expression (no trailing ';').
-  Result<Value> Eval(std::string_view expression);
+  Result<Value> Eval(std::string_view expression) const;
 
   // ---- Compilation pipeline, exposed stage by stage ----
   // parse + desugar (free names unresolved).
-  Result<ExprPtr> ParseToCore(std::string_view expression);
+  Result<ExprPtr> ParseToCore(std::string_view expression) const;
   // Substitutes macros and vals, resolves primitives (§4.1: macros are
   // substituted in before optimization).
-  Result<ExprPtr> ResolveNames(const ExprPtr& e);
+  Result<ExprPtr> ResolveNames(const ExprPtr& e) const;
   // parse + desugar + resolve + typecheck (+ optimize unless disabled).
-  Result<ExprPtr> Compile(std::string_view expression);
-  Result<ExprPtr> CompileUnoptimized(std::string_view expression);
-  Result<TypePtr> TypeOf(const ExprPtr& resolved);
+  Result<ExprPtr> Compile(std::string_view expression) const;
+  Result<ExprPtr> CompileUnoptimized(std::string_view expression) const;
+  Result<TypePtr> TypeOf(const ExprPtr& resolved) const;
   Result<Value> EvalCore(const ExprPtr& compiled) const;
   // Same semantics as EvalCore, through the slot-based compiled backend
   // (src/exec): variables become frame slots, closures capture lists.
@@ -92,7 +116,7 @@ class System {
   // Human-readable compilation report for one expression: inferred type,
   // core term size before/after optimization, per-rule firing counts, and
   // the final plan — what the REPL's :plan command prints.
-  Result<std::string> Explain(std::string_view expression);
+  Result<std::string> Explain(std::string_view expression) const;
   ExprPtr Optimize(const ExprPtr& e, RewriteStats* stats = nullptr) const;
 
   // ---- The host-language view (openness, §4.1) ----

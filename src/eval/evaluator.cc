@@ -1,7 +1,9 @@
 #include "eval/evaluator.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "base/cancel.h"
 #include "base/strings.h"
 
 namespace aql {
@@ -125,6 +127,7 @@ Result<Value> Evaluator::Eval(const ExprPtr& e, const Environment& env) const {
       if (src.is_bottom()) return Value::Bottom();
       std::vector<Value> acc;
       for (const Value& x : src.set().elems) {
+        AQL_RETURN_IF_ERROR(CheckInterrupt());
         AQL_ASSIGN_OR_RETURN(Value part, Eval(e->child(0), env.Bind(e->binder(), x)));
         if (part.is_bottom()) return Value::Bottom();
         const auto& elems = part.set().elems;
@@ -174,8 +177,13 @@ Result<Value> Evaluator::Eval(const ExprPtr& e, const Environment& env) const {
       if (n.is_bottom()) return Value::Bottom();
       if (n.kind() != ValueKind::kNat) return Status::EvalError("gen of non-nat");
       std::vector<Value> elems;
-      elems.reserve(n.nat_value());
-      for (uint64_t i = 0; i < n.nat_value(); ++i) elems.push_back(Value::Nat(i));
+      // Clamp the reserve: a huge bound must reach the interrupt checks
+      // below rather than die up front in one giant allocation.
+      elems.reserve(std::min<uint64_t>(n.nat_value(), uint64_t{1} << 20));
+      for (uint64_t i = 0; i < n.nat_value(); ++i) {
+        if ((i & 0xFFF) == 0) AQL_RETURN_IF_ERROR(CheckInterrupt());
+        elems.push_back(Value::Nat(i));
+      }
       return Value::MakeSetCanonical(std::move(elems));
     }
     case ExprKind::kSum: {
@@ -186,6 +194,7 @@ Result<Value> Evaluator::Eval(const ExprPtr& e, const Environment& env) const {
       bool is_real = false;
       bool first = true;
       for (const Value& x : src.set().elems) {
+        AQL_RETURN_IF_ERROR(CheckInterrupt());
         AQL_ASSIGN_OR_RETURN(Value part, Eval(e->child(0), env.Bind(e->binder(), x)));
         if (part.is_bottom()) return Value::Bottom();
         if (first) {
@@ -297,9 +306,12 @@ Result<Value> Evaluator::EvalTab(const Expr& e, const Environment& env) const {
   uint64_t total = 1;
   for (uint64_t d : dims) total *= d;
   std::vector<Value> elems;
-  elems.reserve(total);
+  // Clamped for the same reason as gen: oversized tabulations must stay
+  // cancellable instead of failing one huge up-front allocation.
+  elems.reserve(std::min<uint64_t>(total, uint64_t{1} << 20));
   std::vector<uint64_t> index(k, 0);
   for (uint64_t flat = 0; flat < total; ++flat) {
+    AQL_RETURN_IF_ERROR(CheckInterrupt());
     Environment body_env = env;
     for (size_t j = 0; j < k; ++j) {
       body_env = body_env.Bind(e.binders()[j], Value::Nat(index[j]));

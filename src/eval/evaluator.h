@@ -19,6 +19,12 @@
 //
 // Host-level failures (unbound variable, applying a non-function) surface
 // as Status; a well-typed program never triggers them.
+//
+// Loop constructs (big union, sum, tabulation, gen) poll base/cancel.h's
+// CheckInterrupt(): installing a CancelToken via ExecScope around Eval()
+// bounds the evaluation with a deadline or makes it cancellable, returning
+// a DeadlineExceeded/Cancelled Status. The service layer (src/service)
+// arms one token per query.
 
 #ifndef AQL_EVAL_EVALUATOR_H_
 #define AQL_EVAL_EVALUATOR_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/cancel.h"
 #include "base/strings.h"
 #include "core/expr_ops.h"
 
@@ -168,6 +169,7 @@ class BigUnionNode : public Node {
     if (src.is_bottom()) return Value::Bottom();
     std::vector<Value> acc;
     for (const Value& x : src.set().elems) {
+      AQL_RETURN_IF_ERROR(CheckInterrupt());
       f->slots[binder_slot_] = x;
       AQL_ASSIGN_OR_RETURN(Value part, body_->Run(f));
       if (part.is_bottom()) return Value::Bottom();
@@ -280,8 +282,13 @@ class GenNode : public Node {
     if (n.is_bottom()) return Value::Bottom();
     if (n.kind() != ValueKind::kNat) return Status::EvalError("gen of non-nat");
     std::vector<Value> elems;
-    elems.reserve(n.nat_value());
-    for (uint64_t i = 0; i < n.nat_value(); ++i) elems.push_back(Value::Nat(i));
+    // Clamped so a huge bound reaches the interrupt checks below rather
+    // than dying up front in one giant allocation.
+    elems.reserve(std::min<uint64_t>(n.nat_value(), uint64_t{1} << 20));
+    for (uint64_t i = 0; i < n.nat_value(); ++i) {
+      if ((i & 0xFFF) == 0) AQL_RETURN_IF_ERROR(CheckInterrupt());
+      elems.push_back(Value::Nat(i));
+    }
     return Value::MakeSetCanonical(std::move(elems));
   }
 
@@ -300,6 +307,7 @@ class SumNode : public Node {
     double real_total = 0;
     bool is_real = false, first = true;
     for (const Value& x : src.set().elems) {
+      AQL_RETURN_IF_ERROR(CheckInterrupt());
       f->slots[binder_slot_] = x;
       AQL_ASSIGN_OR_RETURN(Value part, body_->Run(f));
       if (part.is_bottom()) return Value::Bottom();
@@ -348,9 +356,11 @@ class TabNode : public Node {
     uint64_t total = 1;
     for (uint64_t d : dims) total *= d;
     std::vector<Value> elems;
-    elems.reserve(total);
+    // Clamped so oversized tabulations stay cancellable (see GenNode).
+    elems.reserve(std::min<uint64_t>(total, uint64_t{1} << 20));
     std::vector<uint64_t> index(k, 0);
     for (uint64_t flat = 0; flat < total; ++flat) {
+      AQL_RETURN_IF_ERROR(CheckInterrupt());
       for (size_t j = 0; j < k; ++j) f->slots[binder_slots_[j]] = Value::Nat(index[j]);
       AQL_ASSIGN_OR_RETURN(Value v, body_->Run(f));
       elems.push_back(std::move(v));  // bottom stays per-point (partial arrays)

@@ -18,6 +18,12 @@
 // Semantics are identical to the evaluator (same bottom propagation, same
 // canonical sets); exec_test cross-checks the two on random programs, and
 // bench_exec measures the speedup.
+//
+// Like the evaluator, loop constructs poll base/cancel.h's CheckInterrupt(),
+// so a Program::Run under an ExecScope respects deadlines/cancellation.
+// A compiled Program is immutable and safe to Run() from many threads
+// concurrently (each Run builds its own Frame) — the plan cache
+// (src/service) shares one Program across all workers.
 
 #ifndef AQL_EXEC_COMPILED_H_
 #define AQL_EXEC_COMPILED_H_

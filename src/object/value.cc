@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "base/strings.h"
 
@@ -313,6 +314,60 @@ std::string Value::ToDisplayString(size_t max_items) const {
   std::string out;
   AppendDisplay(*this, max_items, &out);
   return out;
+}
+
+namespace {
+
+inline uint64_t HashMix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4);
+  return h;
+}
+
+}  // namespace
+
+uint64_t HashValue(const Value& v) {
+  uint64_t h = 0xcbf29ce484222325ull + static_cast<uint64_t>(v.kind());
+  switch (v.kind()) {
+    case ValueKind::kBottom:
+      return h;
+    case ValueKind::kBool:
+      return HashMix(h, v.bool_value() ? 1 : 0);
+    case ValueKind::kNat:
+      return HashMix(h, v.nat_value());
+    case ValueKind::kReal: {
+      // Compare treats +0.0 and -0.0 as equal; normalize before hashing bits.
+      double d = v.real_value();
+      if (d == 0.0) d = 0.0;
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(bits));
+      return HashMix(h, bits);
+    }
+    case ValueKind::kString: {
+      for (unsigned char c : v.str_value()) h = HashMix(h, c);
+      return h;
+    }
+    case ValueKind::kTuple: {
+      for (const Value& f : v.tuple_fields()) h = HashMix(h, HashValue(f));
+      return h;
+    }
+    case ValueKind::kSet: {
+      // Canonical (sorted, deduplicated) order makes elementwise hashing sound.
+      for (const Value& e : v.set().elems) h = HashMix(h, HashValue(e));
+      return h;
+    }
+    case ValueKind::kArray: {
+      const ArrayRep& a = v.array();
+      h = HashMix(h, a.dims.size());
+      for (uint64_t d : a.dims) h = HashMix(h, d);
+      for (const Value& e : a.elems) h = HashMix(h, HashValue(e));
+      return h;
+    }
+    case ValueKind::kFunc:
+      // Identity hash, matching Compare's identity order on functions.
+      return HashMix(h, reinterpret_cast<uintptr_t>(&v.func()));
+  }
+  return h;
 }
 
 }  // namespace aql

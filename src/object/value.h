@@ -159,6 +159,12 @@ class Value {
   Rep rep_;
 };
 
+// Structural hash consistent with the linear order:
+// Compare(a, b) == 0  ⇒  HashValue(a) == HashValue(b).
+// Function values hash by identity, matching Compare. Used by the plan
+// cache to hash literal subterms of resolved queries.
+uint64_t HashValue(const Value& v);
+
 }  // namespace aql
 
 #endif  // AQL_OBJECT_VALUE_H_

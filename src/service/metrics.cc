@@ -1,0 +1,102 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "base/strings.h"
+
+namespace aql {
+namespace service {
+
+namespace {
+
+// Bucket index for a microsecond sample: floor(log2(us)), clamped.
+size_t BucketFor(uint64_t us) {
+  if (us <= 1) return 0;
+  size_t i = static_cast<size_t>(std::bit_width(us)) - 1;
+  return std::min(i, Histogram::kBuckets - 1);
+}
+
+uint64_t BucketUpperBoundUs(size_t i) { return uint64_t{1} << (i + 1); }
+
+}  // namespace
+
+uint64_t Histogram::Snapshot::QuantileUs(double q) const {
+  if (count == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen > rank) return std::min(BucketUpperBoundUs(i), max_us);
+  }
+  return max_us;
+}
+
+std::string Histogram::Snapshot::ToString() const {
+  if (count == 0) return "count=0";
+  return StrCat("count=", count, " mean=", mean_us(), "us p50<=", QuantileUs(0.5),
+                "us p99<=", QuantileUs(0.99), "us max=", max_us, "us");
+}
+
+void Histogram::Record(uint64_t micros) {
+  buckets_[BucketFor(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(micros, std::memory_order_relaxed);
+  uint64_t prev = max_us_.load(std::memory_order_relaxed);
+  while (prev < micros &&
+         !max_us_.compare_exchange_weak(prev, micros, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum_us = sum_us_.load(std::memory_order_relaxed);
+  s.max_us = max_us_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->value();
+  return out;
+}
+
+std::map<std::string, Histogram::Snapshot> MetricsRegistry::HistogramSnapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, Histogram::Snapshot> out;
+  for (const auto& [name, h] : histograms_) out[name] = h->snapshot();
+  return out;
+}
+
+std::string MetricsRegistry::Report() const {
+  std::string out;
+  for (const auto& [name, v] : CounterValues()) {
+    out += StrCat(name, " = ", v, "\n");
+  }
+  for (const auto& [name, snap] : HistogramSnapshots()) {
+    out += StrCat(name, " : ", snap.ToString(), "\n");
+  }
+  return out;
+}
+
+}  // namespace service
+}  // namespace aql

@@ -1,0 +1,88 @@
+// Metrics for the query service: named counters and latency histograms.
+//
+// The registry hands out stable pointers to lock-free instruments:
+// recording on a Counter or Histogram is a relaxed atomic add, so the
+// per-query overhead is a handful of uncontended atomic ops. Snapshot and
+// Report take the registry mutex only to walk the name index; the values
+// they read are monotone, so a snapshot is a consistent-enough view for
+// dashboards and the REPL's :stats command.
+
+#ifndef AQL_SERVICE_METRICS_H_
+#define AQL_SERVICE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace aql {
+namespace service {
+
+// Monotone event counter.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Latency histogram over exponential (power-of-two) microsecond buckets:
+// bucket i counts samples in [2^i, 2^(i+1)) µs, bucket 0 includes 0–1 µs.
+// 40 buckets cover ~12 days, far beyond any query deadline.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 40;
+
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum_us = 0;
+    uint64_t max_us = 0;
+    std::array<uint64_t, kBuckets> buckets{};
+
+    uint64_t mean_us() const { return count == 0 ? 0 : sum_us / count; }
+    // Upper bound of the bucket holding the q-th quantile (q in [0,1]).
+    uint64_t QuantileUs(double q) const;
+    // "count=12 mean=103us p50<=128us p99<=512us max=480us"
+    std::string ToString() const;
+  };
+
+  void Record(uint64_t micros);
+  Snapshot snapshot() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_us_{0};
+  std::atomic<uint64_t> max_us_{0};
+};
+
+// Named instrument registry. Get* creates on first use and returns a
+// pointer that stays valid for the registry's lifetime; concurrent Get*
+// for the same name return the same instrument.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  std::map<std::string, uint64_t> CounterValues() const;
+  std::map<std::string, Histogram::Snapshot> HistogramSnapshots() const;
+
+  // Human-readable rendering of every instrument, sorted by name — the
+  // body of the REPL's :stats output.
+  std::string Report() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace service
+}  // namespace aql
+
+#endif  // AQL_SERVICE_METRICS_H_

@@ -1,0 +1,72 @@
+#include "service/plan_cache.h"
+
+#include "core/expr_ops.h"
+
+namespace aql {
+namespace service {
+
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(const ExprPtr& resolved) {
+  if (capacity_ == 0) return nullptr;
+  uint64_t hash = HashExpr(resolved);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [begin, end] = index_.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    if (AlphaEqual(it->second->plan->resolved, resolved)) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // bump to most recent
+      return it->second->plan;
+    }
+  }
+  return nullptr;
+}
+
+void PlanCache::Insert(std::shared_ptr<const CachedPlan> plan) {
+  if (capacity_ == 0 || plan == nullptr) return;
+  uint64_t hash = HashExpr(plan->resolved);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Replace an alpha-equal entry in place (two workers racing the same
+  // cold query both compile; last insert wins, both plans stay valid).
+  auto [begin, end] = index_.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    if (AlphaEqual(it->second->plan->resolved, plan->resolved)) {
+      it->second->plan = std::move(plan);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+  }
+  lru_.push_front(Node{hash, std::move(plan)});
+  index_.emplace(hash, lru_.begin());
+  while (lru_.size() > capacity_) {
+    EraseLocked(std::prev(lru_.end()));
+    ++evictions_;
+  }
+}
+
+void PlanCache::EraseLocked(LruList::iterator it) {
+  auto [begin, end] = index_.equal_range(it->hash);
+  for (auto idx = begin; idx != end; ++idx) {
+    if (idx->second == it) {
+      index_.erase(idx);
+      break;
+    }
+  }
+  lru_.erase(it);
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+uint64_t PlanCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace service
+}  // namespace aql

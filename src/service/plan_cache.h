@@ -1,0 +1,81 @@
+// LRU plan cache: resolved core expressions → compiled plans.
+//
+// The paper's efficiency story (§3, §5) compiles a query once and runs it
+// many times; this cache makes that automatic for a service handling
+// repeated queries. Keys are *resolved* core expressions (macros and vals
+// substituted in, primitives resolved) so textually different surface
+// queries that desugar to the same core term share one plan. Bucketing is
+// by HashExpr and confirmed by AlphaEqual, so alpha-variants — e.g. the
+// same comprehension written with different binder names — also share.
+//
+// A cached plan bundles the optimized core term, its inferred type, and
+// the exec::Program compiled from it. Programs are immutable and safe to
+// run concurrently, so one entry serves any number of workers at once.
+//
+// Thread-safe; every operation takes one internal mutex. The expensive
+// parts (hashing, alpha-comparison) touch only immutable expression trees.
+
+#ifndef AQL_SERVICE_PLAN_CACHE_H_
+#define AQL_SERVICE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/expr.h"
+#include "exec/compiled.h"
+#include "types/type.h"
+
+namespace aql {
+namespace service {
+
+// One compiled plan. Immutable after construction; shared by workers.
+struct CachedPlan {
+  ExprPtr resolved;   // cache key: resolved, pre-optimization core term
+  ExprPtr optimized;  // after the rewrite pipeline
+  TypePtr type;       // inferred type of the query
+  std::shared_ptr<const exec::Program> program;  // slot-compiled plan
+};
+
+class PlanCache {
+ public:
+  // capacity == 0 disables caching (Lookup always misses, Insert drops).
+  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+
+  // Returns the cached plan alpha-equal to `resolved` and marks it
+  // most-recently used, or nullptr.
+  std::shared_ptr<const CachedPlan> Lookup(const ExprPtr& resolved);
+
+  // Inserts a plan keyed by plan->resolved, evicting least-recently-used
+  // entries over capacity. A plan alpha-equal to an existing key replaces
+  // that entry.
+  void Insert(std::shared_ptr<const CachedPlan> plan);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t evictions() const;
+  void Clear();
+
+ private:
+  struct Node {
+    uint64_t hash;
+    std::shared_ptr<const CachedPlan> plan;
+  };
+  using LruList = std::list<Node>;
+
+  // Erases `it` from both index and LRU list. Caller holds mu_.
+  void EraseLocked(LruList::iterator it);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recently used
+  std::unordered_multimap<uint64_t, LruList::iterator> index_;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace service
+}  // namespace aql
+
+#endif  // AQL_SERVICE_PLAN_CACHE_H_

@@ -1,0 +1,154 @@
+#include "service/service.h"
+
+#include <utility>
+
+#include "base/strings.h"
+
+namespace aql {
+namespace service {
+
+namespace {
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - since)
+                                   .count());
+}
+
+}  // namespace
+
+QueryService::QueryService(System* system, ServiceConfig config)
+    : system_(system),
+      config_(config),
+      submitted_(metrics_.GetCounter("queries.submitted")),
+      completed_(metrics_.GetCounter("queries.completed")),
+      failed_(metrics_.GetCounter("queries.failed")),
+      rejected_(metrics_.GetCounter("queries.rejected")),
+      cancelled_(metrics_.GetCounter("queries.cancelled")),
+      deadline_exceeded_(metrics_.GetCounter("queries.deadline_exceeded")),
+      statements_(metrics_.GetCounter("statements.run")),
+      cache_hits_(metrics_.GetCounter("plan_cache.hits")),
+      cache_misses_(metrics_.GetCounter("plan_cache.misses")),
+      compile_us_(metrics_.GetHistogram("latency.compile_us")),
+      execute_us_(metrics_.GetHistogram("latency.execute_us")),
+      script_us_(metrics_.GetHistogram("latency.script_us")),
+      cache_(config.plan_cache_capacity),
+      pool_(config.num_workers, config.max_queue) {}
+
+QuerySubmission QueryService::Submit(std::string expression, QueryOptions options) {
+  submitted_->Increment();
+  auto token = std::make_shared<CancelToken>();
+  std::chrono::milliseconds deadline =
+      options.deadline.count() > 0 ? options.deadline : config_.default_deadline;
+  if (deadline.count() > 0) token->SetTimeout(deadline);
+
+  auto promise = std::make_shared<std::promise<Result<Value>>>();
+  QuerySubmission submission;
+  submission.future_ = promise->get_future();
+  submission.token_ = token;
+
+  bool admitted = pool_.TrySubmit(
+      [this, expression = std::move(expression), options, token, promise] {
+        Result<Value> result = RunQuery(expression, options, token.get());
+        CountOutcome(result.status());
+        promise->set_value(std::move(result));
+      });
+  if (!admitted) {
+    rejected_->Increment();
+    promise->set_value(Status::ResourceExhausted(
+        StrCat("query rejected: admission queue at capacity (",
+               config_.max_queue, ")")));
+  }
+  return submission;
+}
+
+Result<Value> QueryService::Execute(std::string_view expression, QueryOptions options) {
+  return Submit(std::string(expression), options).Wait();
+}
+
+Result<Value> QueryService::RunQuery(const std::string& expression,
+                                     const QueryOptions& options,
+                                     const CancelToken* token) {
+  // Queued past the deadline, or cancelled before starting: don't compile.
+  if (token != nullptr) AQL_RETURN_IF_ERROR(token->Check());
+
+  std::shared_lock<std::shared_mutex> lock(system_mu_);
+  ExecScope scope(token);
+
+  auto compile_start = std::chrono::steady_clock::now();
+  AQL_ASSIGN_OR_RETURN(std::shared_ptr<const CachedPlan> plan,
+                       GetPlan(expression, options.use_plan_cache));
+  compile_us_->Record(ElapsedUs(compile_start));
+
+  auto execute_start = std::chrono::steady_clock::now();
+  Result<Value> result = options.use_compiled_backend
+                             ? plan->program->Run()
+                             : system_->EvalCore(plan->optimized);
+  execute_us_->Record(ElapsedUs(execute_start));
+  return result;
+}
+
+Result<std::shared_ptr<const CachedPlan>> QueryService::GetPlan(
+    const std::string& expression, bool use_cache) {
+  AQL_ASSIGN_OR_RETURN(ExprPtr core, system_->ParseToCore(expression));
+  AQL_ASSIGN_OR_RETURN(ExprPtr resolved, system_->ResolveNames(core));
+  if (use_cache) {
+    if (std::shared_ptr<const CachedPlan> hit = cache_.Lookup(resolved)) {
+      cache_hits_->Increment();
+      return hit;
+    }
+    cache_misses_->Increment();
+  }
+  AQL_ASSIGN_OR_RETURN(TypePtr type, system_->TypeOf(resolved));
+  ExprPtr optimized = system_->Optimize(resolved);
+  AQL_ASSIGN_OR_RETURN(exec::Program program,
+                       exec::Compile(optimized, system_->PrimitiveResolver()));
+  auto plan = std::make_shared<CachedPlan>(
+      CachedPlan{std::move(resolved), std::move(optimized), std::move(type),
+                 std::make_shared<const exec::Program>(std::move(program))});
+  if (use_cache) cache_.Insert(plan);
+  return std::shared_ptr<const CachedPlan>(std::move(plan));
+}
+
+void QueryService::CountOutcome(const Status& status) {
+  if (status.ok()) {
+    completed_->Increment();
+    return;
+  }
+  switch (status.code()) {
+    case StatusCode::kCancelled:
+      cancelled_->Increment();
+      break;
+    case StatusCode::kDeadlineExceeded:
+      deadline_exceeded_->Increment();
+      break;
+    default:
+      failed_->Increment();
+      break;
+  }
+}
+
+Result<std::vector<StatementResult>> QueryService::RunScript(std::string_view program) {
+  std::unique_lock<std::shared_mutex> lock(system_mu_);
+  auto start = std::chrono::steady_clock::now();
+  Result<std::vector<StatementResult>> results = system_->Run(program);
+  script_us_->Record(ElapsedUs(start));
+  if (results.ok()) {
+    statements_->Increment(results->size());
+  } else {
+    failed_->Increment();
+  }
+  return results;
+}
+
+std::string QueryService::StatsReport() const {
+  std::string out =
+      StrCat("service: ", pool_.num_threads(), " workers, queue limit ",
+             config_.max_queue, ", plan cache ", cache_.size(), "/",
+             cache_.capacity(), " entries (", cache_.evictions(), " evictions)\n");
+  out += metrics_.Report();
+  return out;
+}
+
+}  // namespace service
+}  // namespace aql

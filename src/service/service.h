@@ -1,0 +1,154 @@
+// aql::service::QueryService — a concurrent query service over one System.
+//
+// The paper's §4.1 architecture separates the query module from the host
+// precisely so the system can serve many callers; this layer supplies the
+// serving machinery the paper leaves to the SML top level:
+//
+//   - a fixed worker pool with a bounded admission queue (back-pressure:
+//     overload returns ResourceExhausted instead of queuing unboundedly),
+//   - an LRU plan cache keyed by the structural hash of the resolved core
+//     term (compile once, run many times — the §3/§5 efficiency story),
+//   - per-query deadlines and explicit cancellation, enforced inside the
+//     evaluator's and compiled backend's loop constructs via
+//     base/cancel.h, so runaway queries stop promptly,
+//   - a metrics registry (counters + latency histograms) rendered by the
+//     REPL's :stats command.
+//
+// Concurrency model: queries (pure expressions) execute under a shared
+// lock and may run on all workers at once; RunScript — statements that
+// mutate the environment (val/macro/readval/writeval) — takes the
+// exclusive lock, honouring System's thread-safety contract (system.h).
+//
+// Typical embedding:
+//
+//   aql::System sys;                       // setup phase: register, define
+//   aql::service::QueryService svc(&sys, {.num_workers = 8});
+//   auto sub = svc.Submit("Sum{ x | \\x <- gen!1000 }",
+//                         {.deadline = std::chrono::milliseconds(50)});
+//   Result<Value> r = sub.Wait();          // value, or DeadlineExceeded
+//
+// All public methods are thread-safe.
+
+#ifndef AQL_SERVICE_SERVICE_H_
+#define AQL_SERVICE_SERVICE_H_
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/cancel.h"
+#include "base/result.h"
+#include "env/system.h"
+#include "service/metrics.h"
+#include "service/plan_cache.h"
+#include "service/thread_pool.h"
+
+namespace aql {
+namespace service {
+
+struct ServiceConfig {
+  size_t num_workers = 4;
+  size_t max_queue = 256;            // admission bound (queued, not running)
+  size_t plan_cache_capacity = 128;  // entries; 0 disables the cache
+  // Applied when QueryOptions.deadline is zero; zero here means none.
+  std::chrono::milliseconds default_deadline{0};
+};
+
+struct QueryOptions {
+  // Measured from Submit(): covers queue wait + compile + execution.
+  // Zero falls back to ServiceConfig::default_deadline.
+  std::chrono::milliseconds deadline{0};
+  bool use_plan_cache = true;
+  // false routes execution through the tree-walking evaluator instead of
+  // the compiled backend (still plan-cached at the optimized-term level).
+  bool use_compiled_backend = true;
+};
+
+// Handle for one submitted query. Wait() may be called once.
+class QuerySubmission {
+ public:
+  // Blocks until the query finishes (or was rejected/cancelled).
+  Result<Value> Wait() { return future_.get(); }
+
+  // Requests cooperative cancellation; the query returns Cancelled at its
+  // next interrupt poll (immediately, if still queued).
+  void Cancel() {
+    if (token_) token_->Cancel();
+  }
+
+  const std::shared_ptr<CancelToken>& token() const { return token_; }
+
+ private:
+  friend class QueryService;
+  std::future<Result<Value>> future_;
+  std::shared_ptr<CancelToken> token_;
+};
+
+class QueryService {
+ public:
+  // `system` must outlive the service and be past its setup phase; the
+  // service becomes the sole synchronization point for it.
+  explicit QueryService(System* system, ServiceConfig config = {});
+  ~QueryService() = default;
+
+  // Admits a pure-expression query to the worker pool. When the admission
+  // queue is full the returned submission resolves immediately with
+  // ResourceExhausted.
+  QuerySubmission Submit(std::string expression, QueryOptions options = {});
+
+  // Submit + Wait, for callers without their own concurrency.
+  Result<Value> Execute(std::string_view expression, QueryOptions options = {});
+
+  // Executes ';'-terminated statements under the exclusive lock (they may
+  // bind vals/macros or perform I/O). Serialized against all queries.
+  Result<std::vector<StatementResult>> RunScript(std::string_view program);
+
+  MetricsRegistry* metrics() { return &metrics_; }
+  const PlanCache& plan_cache() const { return cache_; }
+  size_t num_workers() const { return pool_.num_threads(); }
+
+  // ":stats" rendering: configuration line + every counter and histogram.
+  std::string StatsReport() const;
+
+ private:
+  // The worker-side path: compile (with plan cache) + run, under the
+  // shared lock and the query's ExecScope.
+  Result<Value> RunQuery(const std::string& expression, const QueryOptions& options,
+                         const CancelToken* token);
+  Result<std::shared_ptr<const CachedPlan>> GetPlan(const std::string& expression,
+                                                    bool use_cache);
+  void CountOutcome(const Status& status);
+
+  System* const system_;
+  const ServiceConfig config_;
+
+  MetricsRegistry metrics_;
+  // Well-known instruments, resolved once (recording is lock-free).
+  Counter* submitted_;
+  Counter* completed_;
+  Counter* failed_;
+  Counter* rejected_;
+  Counter* cancelled_;
+  Counter* deadline_exceeded_;
+  Counter* statements_;
+  Counter* cache_hits_;
+  Counter* cache_misses_;
+  Histogram* compile_us_;
+  Histogram* execute_us_;
+  Histogram* script_us_;
+
+  PlanCache cache_;
+  // shared: query execution; exclusive: RunScript's environment mutation.
+  std::shared_mutex system_mu_;
+  // Declared last: joins workers (which touch everything above) first.
+  ThreadPool pool_;
+};
+
+}  // namespace service
+}  // namespace aql
+
+#endif  // AQL_SERVICE_SERVICE_H_

@@ -1,0 +1,52 @@
+// Fixed-size worker pool with a bounded admission queue.
+//
+// Admission control is the service's back-pressure mechanism: TrySubmit
+// never blocks and refuses work once `max_queue` tasks are waiting, so a
+// traffic spike turns into fast ResourceExhausted rejections instead of
+// unbounded memory growth. Destruction is graceful: already-admitted
+// tasks run to completion before the workers join.
+
+#ifndef AQL_SERVICE_THREAD_POOL_H_
+#define AQL_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aql {
+namespace service {
+
+class ThreadPool {
+ public:
+  ThreadPool(size_t num_threads, size_t max_queue);
+  // Stops admission, drains the queue, joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `task` unless the queue is at capacity or the pool is
+  // shutting down; returns whether the task was admitted.
+  bool TrySubmit(std::function<void()> task);
+
+  size_t num_threads() const { return workers_.size(); }
+  size_t queue_depth() const;
+
+ private:
+  void WorkerLoop();
+
+  const size_t max_queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace service
+}  // namespace aql
+
+#endif  // AQL_SERVICE_THREAD_POOL_H_

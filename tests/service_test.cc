@@ -1,0 +1,353 @@
+// Tests for the concurrent query service: plan cache behaviour (hits,
+// alpha-variant sharing, LRU eviction, invalidation-by-keying), bounded
+// admission (ResourceExhausted), deadlines and explicit cancellation
+// through both backends, concurrent correctness, metrics, and the
+// building blocks (ThreadPool, MetricsRegistry, PlanCache).
+//
+// These tests carry the "tsan" ctest label; run them under
+// ThreadSanitizer with:  cmake -B build-tsan -S . -DAQL_SANITIZE=thread
+//                        cmake --build build-tsan -j
+//                        ctest --test-dir build-tsan -L tsan
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "service/metrics.h"
+#include "service/plan_cache.h"
+#include "service/service.h"
+#include "service/thread_pool.h"
+#include "test_util.h"
+
+namespace aql {
+namespace service {
+namespace {
+
+using std::chrono::milliseconds;
+
+// sum_{x=0}^{n-1} x^2.
+uint64_t SumOfSquares(uint64_t n) {
+  return n == 0 ? 0 : (n - 1) * n * (2 * n - 1) / 6;
+}
+
+// A query that cannot finish within a test run (10^10 tabulation points);
+// used to occupy workers / trip deadlines.
+const char kHugeQuery[] = "[[ i + j | \\i < 100000, \\j < 100000 ]]";
+
+TEST(ServiceTest, ExecuteReturnsQueryValue) {
+  System sys;
+  QueryService svc(&sys, {.num_workers = 2});
+  auto r = svc.Execute("1 + 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value(), Value::Nat(3));
+
+  auto r2 = svc.Execute("summap(fn \\x => x)!(gen!100)");
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r2.value(), Value::Nat(4950));
+}
+
+TEST(ServiceTest, ErrorsSurfaceAsFailedQueries) {
+  System sys;
+  QueryService svc(&sys);
+  auto r = svc.Execute("1 + ");  // parse error
+  ASSERT_FALSE(r.ok());
+  auto r2 = svc.Execute("1 + {}");  // type error
+  ASSERT_FALSE(r2.ok());
+  EXPECT_GE(svc.metrics()->CounterValues()["queries.failed"], 2u);
+  EXPECT_EQ(svc.metrics()->CounterValues()["queries.completed"], 0u);
+}
+
+TEST(ServiceTest, PlanCacheHitsOnRepeatedQuery) {
+  System sys;
+  QueryService svc(&sys, {.num_workers = 1});
+  for (int i = 0; i < 5; ++i) {
+    auto r = svc.Execute("summap(fn \\x => x * x)!(gen!10)");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value(), Value::Nat(SumOfSquares(10)));
+  }
+  auto counters = svc.metrics()->CounterValues();
+  EXPECT_EQ(counters["plan_cache.misses"], 1u);
+  EXPECT_EQ(counters["plan_cache.hits"], 4u);
+  EXPECT_EQ(svc.plan_cache().size(), 1u);
+}
+
+TEST(ServiceTest, AlphaVariantsShareOnePlan) {
+  System sys;
+  QueryService svc(&sys, {.num_workers = 1});
+  ASSERT_TRUE(svc.Execute("{ x * x | \\x <- gen!6 }").ok());
+  ASSERT_TRUE(svc.Execute("{ y * y | \\y <- gen!6 }").ok());
+  ASSERT_TRUE(svc.Execute("{   whatever*whatever | \\whatever <- gen!6 }").ok());
+  auto counters = svc.metrics()->CounterValues();
+  EXPECT_EQ(counters["plan_cache.misses"], 1u);
+  EXPECT_EQ(counters["plan_cache.hits"], 2u);
+  EXPECT_EQ(svc.plan_cache().size(), 1u);
+}
+
+TEST(ServiceTest, LruEvictionKeepsMostRecentPlans) {
+  System sys;
+  QueryService svc(&sys, {.num_workers = 1, .plan_cache_capacity = 2});
+  ASSERT_TRUE(svc.Execute("gen!1").ok());  // A
+  ASSERT_TRUE(svc.Execute("gen!2").ok());  // B
+  ASSERT_TRUE(svc.Execute("gen!3").ok());  // C evicts A
+  EXPECT_EQ(svc.plan_cache().size(), 2u);
+  EXPECT_EQ(svc.plan_cache().evictions(), 1u);
+  ASSERT_TRUE(svc.Execute("gen!1").ok());  // A again: miss
+  auto counters = svc.metrics()->CounterValues();
+  EXPECT_EQ(counters["plan_cache.misses"], 4u);
+  EXPECT_EQ(counters["plan_cache.hits"], 0u);
+}
+
+TEST(ServiceTest, CacheCanBeBypassedPerQuery) {
+  System sys;
+  QueryService svc(&sys, {.num_workers = 1});
+  QueryOptions no_cache;
+  no_cache.use_plan_cache = false;
+  for (int i = 0; i < 3; ++i) {
+    auto r = svc.Execute("gen!4", no_cache);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  auto counters = svc.metrics()->CounterValues();
+  EXPECT_EQ(counters["plan_cache.hits"], 0u);
+  EXPECT_EQ(svc.plan_cache().size(), 0u);
+}
+
+TEST(ServiceTest, ValRedefinitionChangesPlanKey) {
+  // Cache keys are resolved terms: vals are inlined as literals, so
+  // redefining a val yields a different key — no stale plan reuse.
+  System sys;
+  QueryService svc(&sys, {.num_workers = 1});
+  ASSERT_TRUE(svc.RunScript("val \\n = 7;").ok());
+  auto r1 = svc.Execute("summap(fn \\x => x)!(gen!n)");
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(r1.value(), Value::Nat(21));
+  ASSERT_TRUE(svc.RunScript("val \\n = 10;").ok());
+  auto r2 = svc.Execute("summap(fn \\x => x)!(gen!n)");
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r2.value(), Value::Nat(45));
+  auto counters = svc.metrics()->CounterValues();
+  EXPECT_EQ(counters["plan_cache.misses"], 2u);
+  EXPECT_EQ(counters["plan_cache.hits"], 0u);
+  EXPECT_GE(counters["statements.run"], 2u);
+}
+
+TEST(ServiceTest, DeadlineExceededFromBothBackends) {
+  System sys;
+  QueryService svc(&sys, {.num_workers = 2});
+  for (bool compiled : {true, false}) {
+    QueryOptions opts;
+    opts.deadline = milliseconds(50);
+    opts.use_compiled_backend = compiled;
+    auto r = svc.Execute(kHugeQuery, opts);
+    ASSERT_FALSE(r.ok()) << "backend compiled=" << compiled;
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+        << "backend compiled=" << compiled << ": " << r.status().ToString();
+  }
+  EXPECT_EQ(svc.metrics()->CounterValues()["queries.deadline_exceeded"], 2u);
+}
+
+TEST(ServiceTest, DefaultDeadlineFromConfig) {
+  System sys;
+  ServiceConfig cfg;
+  cfg.num_workers = 1;
+  cfg.default_deadline = milliseconds(50);
+  QueryService svc(&sys, cfg);
+  auto r = svc.Execute(kHugeQuery);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded) << r.status().ToString();
+}
+
+TEST(ServiceTest, SaturationRejectsWithResourceExhausted) {
+  System sys;
+  // One worker, queue of one: at most two huge queries can be in flight;
+  // any further submission must be rejected immediately.
+  QueryService svc(&sys, {.num_workers = 1, .max_queue = 1});
+  std::vector<QuerySubmission> subs;
+  for (int i = 0; i < 4; ++i) subs.push_back(svc.Submit(kHugeQuery));
+  // Cancel everything, then inspect: EXPECT (not ASSERT) so the huge
+  // queries are always torn down even on failure.
+  for (auto& s : subs) s.Cancel();
+  int rejected = 0, cancelled = 0;
+  for (auto& s : subs) {
+    Result<Value> r = s.Wait();
+    EXPECT_FALSE(r.ok());
+    if (r.status().code() == StatusCode::kResourceExhausted) ++rejected;
+    if (r.status().code() == StatusCode::kCancelled) ++cancelled;
+  }
+  // Worker holds at most one task and the queue at most one more.
+  EXPECT_GE(rejected, 2);
+  EXPECT_EQ(rejected + cancelled, 4);
+  EXPECT_EQ(svc.metrics()->CounterValues()["queries.rejected"],
+            uint64_t(rejected));
+}
+
+TEST(ServiceTest, ExplicitCancelStopsRunningQuery) {
+  System sys;
+  QueryService svc(&sys, {.num_workers = 1});
+  QuerySubmission sub = svc.Submit(kHugeQuery);
+  std::this_thread::sleep_for(milliseconds(30));  // let it start
+  sub.Cancel();
+  Result<Value> r = sub.Wait();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled) << r.status().ToString();
+  EXPECT_EQ(svc.metrics()->CounterValues()["queries.cancelled"], 1u);
+}
+
+TEST(ServiceTest, ConcurrentQueriesComputeCorrectValues) {
+  System sys;
+  QueryService svc(&sys, {.num_workers = 4, .max_queue = 256});
+  constexpr int kQueries = 48;
+  std::vector<QuerySubmission> subs;
+  for (int i = 0; i < kQueries; ++i) {
+    uint64_t n = 50 + (i % 7) * 10;
+    subs.push_back(svc.Submit("summap(fn \\x => x * x)!(gen!" +
+                              std::to_string(n) + ")"));
+  }
+  for (int i = 0; i < kQueries; ++i) {
+    uint64_t n = 50 + (i % 7) * 10;
+    Result<Value> r = subs[i].Wait();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value(), Value::Nat(SumOfSquares(n))) << "query " << i;
+  }
+  auto counters = svc.metrics()->CounterValues();
+  EXPECT_EQ(counters["queries.submitted"], uint64_t(kQueries));
+  EXPECT_EQ(counters["queries.completed"], uint64_t(kQueries));
+  // 7 distinct plans, everything else hits.
+  EXPECT_EQ(counters["plan_cache.misses"] + counters["plan_cache.hits"],
+            uint64_t(kQueries));
+  EXPECT_LE(counters["plan_cache.misses"], 7u * 2u);  // racing compiles allowed
+  EXPECT_EQ(svc.plan_cache().size(), 7u);
+}
+
+TEST(ServiceTest, ConcurrentSubmittersAndScripts) {
+  // Multiple client threads mixing queries with environment mutation;
+  // primarily a ThreadSanitizer target, but also checks serialization:
+  // every query sees a consistent value of \m.
+  System sys;
+  ASSERT_TRUE(sys.Run("val \\m = 4;").ok());
+  QueryService svc(&sys, {.num_workers = 4});
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&svc, &failures, t] {
+      for (int i = 0; i < 10; ++i) {
+        if (t == 0 && i % 3 == 0) {
+          if (!svc.RunScript("val \\m = 4;").ok()) failures.fetch_add(1);
+          continue;
+        }
+        auto r = svc.Execute("summap(fn \\x => x + m)!(gen!10)");
+        if (!r.ok() || !(r.value() == Value::Nat(45 + 4 * 10))) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ServiceTest, StatsReportListsInstruments) {
+  System sys;
+  QueryService svc(&sys, {.num_workers = 2});
+  ASSERT_TRUE(svc.Execute("gen!3").ok());
+  ASSERT_TRUE(svc.RunScript("val \\z = 1;").ok());
+  std::string report = svc.StatsReport();
+  for (const char* needle :
+       {"workers", "queries.submitted", "queries.completed", "plan_cache.hits",
+        "plan_cache.misses", "latency.compile_us", "latency.execute_us",
+        "statements.run"}) {
+    EXPECT_NE(report.find(needle), std::string::npos)
+        << "missing '" << needle << "' in:\n"
+        << report;
+  }
+}
+
+// ---- building blocks ----
+
+TEST(ThreadPoolTest, RunsAllAdmittedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4, 64);
+    for (int i = 0; i < 50; ++i) {
+      while (!pool.TrySubmit([&ran] { ran.fetch_add(1); })) {
+        std::this_thread::yield();
+      }
+    }
+  }  // destructor drains the queue before joining
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, RefusesWhenQueueFull) {
+  std::atomic<bool> release{false};
+  ThreadPool pool(1, 2);
+  // Block the single worker.
+  ASSERT_TRUE(pool.TrySubmit([&release] {
+    while (!release.load()) std::this_thread::yield();
+  }));
+  // Wait for the worker to pick the blocker up, then fill the queue.
+  while (pool.queue_depth() != 0) std::this_thread::yield();
+  ASSERT_TRUE(pool.TrySubmit([] {}));
+  ASSERT_TRUE(pool.TrySubmit([] {}));
+  EXPECT_FALSE(pool.TrySubmit([] {}));  // queue at capacity
+  release.store(true);
+}
+
+TEST(MetricsTest, CountersAreCumulativeAndThreadSafe) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  EXPECT_EQ(registry.GetCounter("test.counter"), c);  // stable identity
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < 1000; ++i) c->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), 4000u);
+  EXPECT_EQ(registry.CounterValues()["test.counter"], 4000u);
+}
+
+TEST(MetricsTest, HistogramBucketsAndQuantiles) {
+  Histogram h;
+  for (uint64_t us : {1, 2, 3, 100, 1000, 100000}) h.Record(us);
+  auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 6u);
+  EXPECT_EQ(snap.sum_us, 101106u);
+  EXPECT_EQ(snap.max_us, 100000u);
+  EXPECT_GE(snap.QuantileUs(0.5), 3u);
+  EXPECT_GE(snap.QuantileUs(1.0), 100000u);
+  EXPECT_FALSE(snap.ToString().empty());
+}
+
+TEST(PlanCacheTest, ZeroCapacityDisables) {
+  PlanCache cache(0);
+  auto plan = std::make_shared<CachedPlan>();
+  plan->resolved = Expr::NatConst(1);
+  cache.Insert(plan);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup(Expr::NatConst(1)), nullptr);
+}
+
+TEST(PlanCacheTest, LookupRefreshesLruOrder) {
+  PlanCache cache(2);
+  auto make = [](uint64_t n) {
+    auto p = std::make_shared<CachedPlan>();
+    p->resolved = Expr::NatConst(n);
+    return p;
+  };
+  cache.Insert(make(1));
+  cache.Insert(make(2));
+  // Touch 1 so it is most recently used, then insert 3: 2 is evicted.
+  ASSERT_NE(cache.Lookup(Expr::NatConst(1)), nullptr);
+  cache.Insert(make(3));
+  EXPECT_NE(cache.Lookup(Expr::NatConst(1)), nullptr);
+  EXPECT_EQ(cache.Lookup(Expr::NatConst(2)), nullptr);
+  EXPECT_NE(cache.Lookup(Expr::NatConst(3)), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace aql
