@@ -44,6 +44,15 @@ void ShowPlan(const aql::System* sys, const std::string& expr) {
   std::printf("%s", report->c_str());
 }
 
+void ShowVerify(const aql::System* sys, const std::string& expr) {
+  auto report = sys->VerifyReport(expr);
+  if (!report.ok()) {
+    std::printf("error: %s\n", report.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", report->c_str());
+}
+
 int RunFiles(aql::service::QueryService* svc, int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::ifstream in(argv[i]);
@@ -88,6 +97,7 @@ int main(int argc, char** argv) {
             "  readval \\x using READER at <e>;  read external data\n"
             "  writeval <e> using WRITER at <e>; write external data\n"
             "  :plan <expr>                     show the optimized plan\n"
+            "  :verify <expr>                   run the IR verifier on the plan\n"
             "  :load <file.aql>                 run a script file\n"
             "  :stats                           service metrics for this session\n"
             "  :quit                            leave\n");
@@ -99,6 +109,10 @@ int main(int argc, char** argv) {
       }
       if (line.rfind(":plan ", 0) == 0) {
         ShowPlan(&sys, line.substr(6));
+        continue;
+      }
+      if (line.rfind(":verify ", 0) == 0) {
+        ShowVerify(&sys, line.substr(8));
         continue;
       }
       if (line.rfind(":load ", 0) == 0) {

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# The full pre-merge gate: build + tests (twice: stock and under the IR
+# verifier's paranoid mode) + lint + one sanitizer lane.
+#
+# Usage: scripts/check.sh [--no-sanitize]
+set -eu
+cd "$(dirname "$0")/.."
+
+SANITIZE=1
+[ "${1:-}" = "--no-sanitize" ] && SANITIZE=0
+
+echo "== configure + build (build/)"
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+
+echo "== ctest"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+echo "== ctest under AQL_VERIFY_IR=1 (IR verifier paranoid mode)"
+AQL_VERIFY_IR=1 ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+echo "== lint"
+scripts/lint.sh build
+
+if [ "${SANITIZE}" = 1 ]; then
+  echo "== sanitizer lane: address,undefined (build-asan/, ctest -L asan)"
+  cmake -B build-asan -S . -DAQL_SANITIZE=address,undefined >/dev/null
+  cmake --build build-asan -j"$(nproc)"
+  ctest --test-dir build-asan --output-on-failure -L asan -j"$(nproc)"
+fi
+
+echo "check.sh: all gates passed"

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# clang-tidy over the project's own sources using the CMake compile
+# database (.clang-tidy at the repo root selects the checks).
+#
+# Usage: scripts/lint.sh [build-dir]       default build dir: build
+#
+# Exits 0 with a notice when clang-tidy is not installed, so check.sh can
+# run on minimal containers; install clang-tidy to make this lane real.
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+TIDY="$(command -v clang-tidy || true)"
+if [ -z "${TIDY}" ]; then
+  for candidate in clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                   clang-tidy-15 clang-tidy-14; do
+    TIDY="$(command -v "${candidate}" || true)"
+    [ -n "${TIDY}" ] && break
+  done
+fi
+if [ -z "${TIDY}" ]; then
+  echo "lint: clang-tidy not found on PATH; skipping (install clang-tidy to enable)"
+  exit 0
+fi
+
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+  echo "lint: ${BUILD_DIR}/compile_commands.json missing; configure first:"
+  echo "  cmake -B ${BUILD_DIR} -S ."
+  exit 1
+fi
+
+# Project sources only: the compile database also covers tests/benches,
+# which deliberately use patterns (huge literals, sleeps) lint dislikes.
+mapfile -t SOURCES < <(find src -name '*.cc' | sort)
+
+echo "lint: ${TIDY} over ${#SOURCES[@]} files"
+FAILED=0
+for f in "${SOURCES[@]}"; do
+  if ! "${TIDY}" -p "${BUILD_DIR}" --quiet "$f"; then
+    FAILED=1
+  fi
+done
+exit "${FAILED}"

@@ -1,0 +1,144 @@
+// aql::analysis — static verification of the optimizer's IR contract.
+//
+// The §5 rewrite phases are only sound if every rule preserves scoping,
+// typing, and the phase's normal-form contract. The rule base is open
+// (Optimizer::AddPhase / AddRule let hosts extend it at run time), so an
+// unsound user rule can silently corrupt every plan the service caches.
+// This subsystem turns those invariants into machine-checked obligations,
+// with four composable passes run between optimizer phases:
+//
+//   1. ScopeCheck        every variable bound (relative to the pre-phase
+//                        term's free variables — rewriting may drop free
+//                        variables, never introduce them), structural
+//                        well-formedness of every node (child counts,
+//                        projection indices, tabulation arity), non-empty
+//                        binders.
+//   2. TypePreservation  re-infer the type after the phase and check it
+//                        against the pre-phase type. Dead-code removal may
+//                        *generalize* a type ({nat} becoming {'a} when a
+//                        constraining branch folds away), so the check is
+//                        "pre is an instance of post"; any other change is
+//                        a violation.
+//   3. NormalFormCheck   the phase's contract: its rule base has reached a
+//                        true fixpoint (one extra sweep fires nothing), and
+//                        phase-specific structural predicates hold — after
+//                        normalization no constant conditionals, no
+//                        projections of literal tuples, no vertical
+//                        comprehension-of-comprehension left unfused; after
+//                        constraint elimination no binder bound-check the
+//                        §5 rules target remains.
+//   4. BoundsAnalysis    abstract interpretation over index arithmetic
+//                        proving `index < shape` facts (bounds.h); reported
+//                        as statistics — which eliminations are justified
+//                        by a proof versus trusting the runtime ⊥.
+//
+// When a pass fails, the verifier pinpoints the offending rule via the
+// rewriter's per-firing instrumentation (RewriteOptions::on_firing /
+// max_firings): it records the phase's firing trace, then replays the
+// phase under increasing firing caps until the invariant first breaks —
+// the last fired rule is the culprit. Normal-form violations (where
+// intermediate terms are legitimately not in normal form) are attributed
+// by leave-one-out replay instead.
+//
+// Deployment: System::Optimize runs this under AQL_VERIFY_IR=1 (paranoid
+// mode — abort on violation), the query service verifies plans before
+// caching them (ServiceConfig::verify_plans), and the REPL's :verify
+// command prints the report for one expression.
+
+#ifndef AQL_ANALYSIS_VERIFIER_H_
+#define AQL_ANALYSIS_VERIFIER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/bounds.h"
+#include "core/expr.h"
+#include "opt/optimizer.h"
+#include "typecheck/typecheck.h"
+
+namespace aql {
+namespace analysis {
+
+enum class VerifyPass { kScope, kTypePreservation, kNormalForm, kBounds };
+const char* VerifyPassName(VerifyPass pass);
+
+struct Violation {
+  VerifyPass pass = VerifyPass::kScope;
+  std::string phase;    // optimizer phase whose output is at fault
+  std::string rule;     // offending rule when pinpointed, else empty
+  std::string path;     // child-index path to the offending subterm
+  std::string message;
+
+  std::string ToString() const;
+};
+
+struct VerifierReport {
+  std::vector<Violation> violations;
+  std::vector<std::string> phases_checked;  // e.g. "normalization: ok"
+  BoundsSummary bounds;                     // over the final optimized term
+
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;
+};
+
+// Checks structural well-formedness and that every free variable of `e`
+// is in `allowed_free`. Appends violations tagged with `phase`.
+void ScopeCheck(const ExprPtr& e, const std::set<std::string>& allowed_free,
+                const std::string& phase, VerifierReport* report);
+
+// True when `pre` is an instance of `post` (equal up to a substitution of
+// post's type variables): the relation every sound rewrite maintains.
+bool TypeGeneralizes(const TypePtr& post, const TypePtr& pre);
+
+class Verifier {
+ public:
+  struct Options {
+    bool scope = true;
+    bool types = true;
+    bool normal_form = true;
+    bool bounds = true;
+    // Replay a failing phase with per-firing instrumentation to name the
+    // rule that broke the invariant (bounded work; off for speed).
+    bool pinpoint = true;
+  };
+
+  explicit Verifier(TypeChecker::ExternalLookup external_lookup);
+  Verifier(TypeChecker::ExternalLookup external_lookup, Options options);
+
+  // Runs every phase of `opt` on `e`, verifying the invariants between
+  // phases and accumulating into *report (bounds run once, on the final
+  // term). Returns the optimized term; on violation the term from the
+  // offending phase is still returned so callers can inspect it.
+  ExprPtr OptimizeVerified(const Optimizer& opt, const ExprPtr& e,
+                           RewriteStats* stats, VerifierReport* report);
+
+  // Verifies a single phase transition `pre` -> `post` produced by a
+  // fixpoint of `rules` under `rewrite_options`.
+  void VerifyPhase(const std::string& phase, const std::vector<Rule>& rules,
+                   const RewriteOptions& rewrite_options, const ExprPtr& pre,
+                   const ExprPtr& post, bool hit_budget, VerifierReport* report);
+
+ private:
+  TypePtr TryType(const ExprPtr& e) const;
+  // Replays the phase under increasing firing caps until `broken` first
+  // holds; returns the name of the firing that introduced the breakage.
+  std::string PinpointByTrace(const std::vector<Rule>& rules,
+                              const RewriteOptions& rewrite_options,
+                              const ExprPtr& pre,
+                              const std::function<bool(const ExprPtr&)>& broken) const;
+  // Re-runs the phase with one rule removed at a time; the rule whose
+  // removal makes `broken` false is the culprit.
+  std::string PinpointByRemoval(const std::vector<Rule>& rules,
+                                const RewriteOptions& rewrite_options,
+                                const ExprPtr& pre,
+                                const std::function<bool(const ExprPtr&)>& broken) const;
+
+  TypeChecker::ExternalLookup external_lookup_;
+  Options options_;
+};
+
+}  // namespace analysis
+}  // namespace aql
+
+#endif  // AQL_ANALYSIS_VERIFIER_H_

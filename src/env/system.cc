@@ -1,8 +1,11 @@
 #include "env/system.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <set>
 
+#include "analysis/verifier.h"
 #include "base/strings.h"
 #include "env/prelude.h"
 #include "io/drivers.h"
@@ -28,6 +31,15 @@ std::string StatementResult::ToDisplayString(size_t max_items) const {
   return out;
 }
 
+namespace {
+
+bool EnvFlag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' && std::string_view(v) != "0";
+}
+
+}  // namespace
+
 System::System(SystemConfig config)
     : config_(std::move(config)),
       optimizer_(config_.optimizer),
@@ -35,6 +47,7 @@ System::System(SystemConfig config)
         auto it = primitives_.find(name);
         return it == primitives_.end() ? nullptr : it->second.fn;
       }) {
+  config_.verify_ir = config_.verify_ir || EnvFlag("AQL_VERIFY_IR");
   init_status_ = RegisterBuiltinDrivers(&io_);
   if (init_status_.ok()) {
     for (NativePrimitive& prim : BuiltinPrimitives()) {
@@ -106,8 +119,30 @@ Result<TypePtr> System::TypeOf(const ExprPtr& resolved) const {
   return checker.Check(resolved);
 }
 
+TypeChecker::ExternalLookup System::SchemeResolver() const {
+  return [this](const std::string& name) { return LookupScheme(name); };
+}
+
 ExprPtr System::Optimize(const ExprPtr& e, RewriteStats* stats) const {
-  return optimizer_.Optimize(e, stats);
+  if (!config_.verify_ir) return optimizer_.Optimize(e, stats);
+  analysis::Verifier verifier(SchemeResolver());
+  analysis::VerifierReport report;
+  ExprPtr optimized = verifier.OptimizeVerified(optimizer_, e, stats, &report);
+  if (!report.ok()) {
+    std::fprintf(stderr,
+                 "AQL_VERIFY_IR: optimizer broke an IR invariant on\n  %s\n%s",
+                 e->ToString().c_str(), report.ToString().c_str());
+    std::abort();
+  }
+  return optimized;
+}
+
+Result<std::string> System::VerifyReport(std::string_view expression) const {
+  AQL_ASSIGN_OR_RETURN(ExprPtr resolved, CompileUnoptimized(expression));
+  analysis::Verifier verifier(SchemeResolver());
+  analysis::VerifierReport report;
+  verifier.OptimizeVerified(optimizer_, resolved, nullptr, &report);
+  return report.ToString();
 }
 
 Result<ExprPtr> System::CompileUnoptimized(std::string_view expression) const {

@@ -58,6 +58,7 @@
 #include "io/registry.h"
 #include "opt/optimizer.h"
 #include "surface/ast.h"
+#include "typecheck/typecheck.h"
 #include "types/type.h"
 
 namespace aql {
@@ -78,6 +79,12 @@ struct SystemConfig {
   OptimizerConfig optimizer;
   bool optimize = true;       // run the optimizer before evaluation
   bool load_prelude = true;   // standard macro prelude (env/prelude.h)
+  // Paranoid mode: run the IR verifier (src/analysis) over every optimizer
+  // phase of every Optimize call; a violation prints the report to stderr
+  // and aborts. Also enabled by the AQL_VERIFY_IR environment variable
+  // (any value but "0"), so an existing test suite can be re-run under
+  // full verification without code changes.
+  bool verify_ir = false;
 };
 
 class System {
@@ -118,6 +125,15 @@ class System {
   // the final plan — what the REPL's :plan command prints.
   Result<std::string> Explain(std::string_view expression) const;
   ExprPtr Optimize(const ExprPtr& e, RewriteStats* stats = nullptr) const;
+
+  // Compiles `expression` with the IR verifier watching every optimizer
+  // phase and returns the verifier's report (never aborts, regardless of
+  // SystemConfig::verify_ir) — what the REPL's :verify command prints.
+  Result<std::string> VerifyReport(std::string_view expression) const;
+
+  // Resolver over this system's registered primitive type schemes, for
+  // TypeChecker and the IR verifier.
+  TypeChecker::ExternalLookup SchemeResolver() const;
 
   // ---- The host-language view (openness, §4.1) ----
   Status RegisterPrimitive(const std::string& name, const std::string& type_scheme,

@@ -31,10 +31,14 @@ Optimizer::Optimizer(OptimizerConfig config) : config_(std::move(config)) {
 
 ExprPtr Optimizer::Optimize(const ExprPtr& e, RewriteStats* stats) const {
   ExprPtr cur = e;
-  for (const Phase& phase : phases_) {
-    cur = RewriteFixpoint(cur, phase.rules, config_.rewrite, stats);
+  for (size_t i = 0; i < phases_.size(); ++i) {
+    cur = RunPhase(i, cur, stats);
   }
   return cur;
+}
+
+ExprPtr Optimizer::RunPhase(size_t i, const ExprPtr& e, RewriteStats* stats) const {
+  return RewriteFixpoint(e, phases_[i].rules, config_.rewrite, stats);
 }
 
 void Optimizer::AddPhase(std::string name, std::vector<Rule> rules) {

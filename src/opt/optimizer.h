@@ -48,6 +48,14 @@ class Optimizer {
   // Adds a rule to an existing phase.
   Status AddRule(const std::string& phase, Rule rule);
 
+  // ---- Phase-level access (the IR verifier, src/analysis, drives the
+  // pipeline one phase at a time to check invariants between phases) ----
+  size_t num_phases() const { return phases_.size(); }
+  const std::string& phase_name(size_t i) const { return phases_[i].name; }
+  const std::vector<Rule>& phase_rules(size_t i) const { return phases_[i].rules; }
+  // Runs the i-th phase alone (a fixpoint over its rule base).
+  ExprPtr RunPhase(size_t i, const ExprPtr& e, RewriteStats* stats = nullptr) const;
+
   const OptimizerConfig& config() const { return config_; }
 
  private:

@@ -42,6 +42,7 @@ class Engine {
     }
     // Try rules at this node until none fires (bounded per node).
     for (size_t spin = 0; spin < 16; ++spin) {
+      if (options_.max_firings && total_firings_ >= options_.max_firings) break;
       const Rule* fired = nullptr;
       ExprPtr replacement;
       for (const Rule& r : rules_) {
@@ -59,8 +60,10 @@ class Engine {
         break;  // refuse a single step that blows the term up
       }
       *size = *size - old_size + new_size;
+      if (options_.on_firing) options_.on_firing(fired->name, e, replacement);
       e = std::move(replacement);
       changed_ = true;
+      ++total_firings_;
       if (stats_) ++stats_->firings[fired->name];
       if (*size > options_.max_nodes) break;
     }
@@ -71,6 +74,7 @@ class Engine {
   const RewriteOptions& options_;
   RewriteStats* stats_;
   bool changed_ = false;
+  size_t total_firings_ = 0;
 };
 
 }  // namespace

@@ -46,6 +46,20 @@ struct RewriteOptions {
   size_t max_passes = 64;        // full bottom-up sweeps per phase
   size_t max_nodes = 200000;     // stop rewriting when the term grows past this
   size_t max_rule_growth = 512;  // a single firing may not grow the term more
+
+  // ---- Per-rule instrumentation (src/analysis) ----
+  // Called after every successful firing with the rule name and the
+  // subterm before/after replacement. The IR verifier uses this to record
+  // the firing trace of a phase.
+  std::function<void(const std::string& rule, const ExprPtr& before,
+                     const ExprPtr& after)>
+      on_firing;
+  // Hard cap on total firings in one RewriteFixpoint call (0 = unlimited).
+  // Once reached no further rule fires, but the current sweep still
+  // completes, so the returned term is always well-formed. The verifier
+  // replays a failing phase under increasing caps to attribute a
+  // violation to the exact firing that introduced it.
+  size_t max_firings = 0;
 };
 
 // Applies `rules` bottom-up until fixpoint (or budget). Stats are

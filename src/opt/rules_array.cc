@@ -184,6 +184,11 @@ ExprPtr RuleDimOverIf(const ExprPtr& e) {
 
 // Strict constructs applied to the bottom constant are bottom.
 ExprPtr RuleBottomStrict(const ExprPtr& e) {
+  // A conditional is strict in its test only (eval/evaluator.cc): the
+  // branches are not evaluated when the test is bottom.
+  if (e->is(ExprKind::kIf)) {
+    return e->child(0)->is(ExprKind::kBottom) ? Expr::Bottom() : nullptr;
+  }
   switch (e->kind()) {
     case ExprKind::kSubscript:
     case ExprKind::kDim:

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "analysis/verifier.h"
 #include "base/strings.h"
 
 namespace aql {
@@ -29,6 +30,7 @@ QueryService::QueryService(System* system, ServiceConfig config)
       statements_(metrics_.GetCounter("statements.run")),
       cache_hits_(metrics_.GetCounter("plan_cache.hits")),
       cache_misses_(metrics_.GetCounter("plan_cache.misses")),
+      verify_failures_(metrics_.GetCounter("plans.verify_failures")),
       compile_us_(metrics_.GetHistogram("latency.compile_us")),
       execute_us_(metrics_.GetHistogram("latency.execute_us")),
       script_us_(metrics_.GetHistogram("latency.script_us")),
@@ -100,7 +102,21 @@ Result<std::shared_ptr<const CachedPlan>> QueryService::GetPlan(
     cache_misses_->Increment();
   }
   AQL_ASSIGN_OR_RETURN(TypePtr type, system_->TypeOf(resolved));
-  ExprPtr optimized = system_->Optimize(resolved);
+  ExprPtr optimized;
+  if (config_.verify_plans) {
+    analysis::Verifier verifier(system_->SchemeResolver());
+    analysis::VerifierReport report;
+    optimized =
+        verifier.OptimizeVerified(*system_->optimizer(), resolved, nullptr, &report);
+    if (!report.ok()) {
+      verify_failures_->Increment();
+      return Status::Internal(
+          StrCat("plan failed IR verification; refusing to cache or run it\n",
+                 report.ToString()));
+    }
+  } else {
+    optimized = system_->Optimize(resolved);
+  }
   AQL_ASSIGN_OR_RETURN(exec::Program program,
                        exec::Compile(optimized, system_->PrimitiveResolver()));
   auto plan = std::make_shared<CachedPlan>(

@@ -56,6 +56,11 @@ struct ServiceConfig {
   size_t plan_cache_capacity = 128;  // entries; 0 disables the cache
   // Applied when QueryOptions.deadline is zero; zero here means none.
   std::chrono::milliseconds default_deadline{0};
+  // Run the IR verifier (src/analysis) over every freshly compiled plan
+  // before it enters the cache. A violation fails that query with Internal
+  // (and counts plans.verify_failures) instead of caching — and then
+  // serving — a corrupted plan. Non-fatal, unlike SystemConfig::verify_ir.
+  bool verify_plans = false;
 };
 
 struct QueryOptions {
@@ -137,6 +142,7 @@ class QueryService {
   Counter* statements_;
   Counter* cache_hits_;
   Counter* cache_misses_;
+  Counter* verify_failures_;
   Histogram* compile_us_;
   Histogram* execute_us_;
   Histogram* script_us_;

@@ -114,6 +114,38 @@ TEST(ServiceTest, CacheCanBeBypassedPerQuery) {
   EXPECT_EQ(svc.plan_cache().size(), 0u);
 }
 
+TEST(ServiceTest, VerifyPlansGatesTheCache) {
+  // With verify_plans on, plans pass the IR verifier before caching; a
+  // clean system serves normally.
+  System sys;
+  QueryService svc(&sys, {.num_workers = 1, .verify_plans = true});
+  auto r = svc.Execute("summap(fn \\x => x)!(gen!10)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value(), Value::Nat(45));
+  EXPECT_EQ(svc.metrics()->CounterValues()["plans.verify_failures"], 0u);
+}
+
+TEST(ServiceTest, VerifyPlansRefusesUnsoundPlanAndNamesTheRule) {
+  System sys;
+  // An unsound host rule: {e} -> e changes the plan's type.
+  ASSERT_TRUE(sys.RegisterRule("normalization",
+                               {"drop_singleton",
+                                [](const ExprPtr& e) -> ExprPtr {
+                                  if (!e->is(ExprKind::kSingleton)) return nullptr;
+                                  return e->child(0);
+                                }})
+                  .ok());
+  QueryService svc(&sys, {.num_workers = 1, .verify_plans = true});
+  auto r = svc.Execute("{ 1 + 2 }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  EXPECT_NE(r.status().message().find("drop_singleton"), std::string::npos)
+      << r.status().ToString();
+  // The corrupted plan must not have been cached.
+  EXPECT_EQ(svc.plan_cache().size(), 0u);
+  EXPECT_EQ(svc.metrics()->CounterValues()["plans.verify_failures"], 1u);
+}
+
 TEST(ServiceTest, ValRedefinitionChangesPlanKey) {
   // Cache keys are resolved terms: vals are inlined as literals, so
   // redefining a val yields a different key — no stale plan reuse.
