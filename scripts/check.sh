@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # The full pre-merge gate: build + tests (twice: stock and under the IR
-# verifier's paranoid mode) + lint + one sanitizer lane.
+# verifier's paranoid mode) + lint + both sanitizer lanes (address,undefined
+# and thread — the latter covers the data-parallel execution paths).
 #
 # Usage: scripts/check.sh [--no-sanitize]
 set -eu
@@ -27,6 +28,11 @@ if [ "${SANITIZE}" = 1 ]; then
   cmake -B build-asan -S . -DAQL_SANITIZE=address,undefined >/dev/null
   cmake --build build-asan -j"$(nproc)"
   ctest --test-dir build-asan --output-on-failure -L asan -j"$(nproc)"
+
+  echo "== sanitizer lane: thread (build-tsan/, ctest -L tsan)"
+  cmake -B build-tsan -S . -DAQL_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j"$(nproc)"
+  ctest --test-dir build-tsan --output-on-failure -L tsan -j"$(nproc)"
 fi
 
 echo "check.sh: all gates passed"

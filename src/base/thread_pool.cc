@@ -1,9 +1,8 @@
-#include "service/thread_pool.h"
+#include "base/thread_pool.h"
 
 #include <algorithm>
 
 namespace aql {
-namespace service {
 
 ThreadPool::ThreadPool(size_t num_threads, size_t max_queue)
     : max_queue_(std::max<size_t>(max_queue, 1)) {
@@ -52,5 +51,4 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-}  // namespace service
 }  // namespace aql

@@ -1,13 +1,16 @@
-// Fixed-size worker pool with a bounded admission queue.
+// Fixed-size worker pool with a bounded admission queue, shared by the
+// query service (src/service: one task per query) and the data-parallel
+// exec layer (src/exec: chunked parallel-for helpers inside one query).
 //
-// Admission control is the service's back-pressure mechanism: TrySubmit
-// never blocks and refuses work once `max_queue` tasks are waiting, so a
+// Admission control is the back-pressure mechanism: TrySubmit never
+// blocks and refuses work once `max_queue` tasks are waiting, so a
 // traffic spike turns into fast ResourceExhausted rejections instead of
-// unbounded memory growth. Destruction is graceful: already-admitted
+// unbounded memory growth — and a full queue merely makes ParallelFor
+// callers run their own chunks. Destruction is graceful: already-admitted
 // tasks run to completion before the workers join.
 
-#ifndef AQL_SERVICE_THREAD_POOL_H_
-#define AQL_SERVICE_THREAD_POOL_H_
+#ifndef AQL_BASE_THREAD_POOL_H_
+#define AQL_BASE_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <deque>
@@ -17,7 +20,6 @@
 #include <vector>
 
 namespace aql {
-namespace service {
 
 class ThreadPool {
  public:
@@ -46,7 +48,6 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
-}  // namespace service
 }  // namespace aql
 
-#endif  // AQL_SERVICE_THREAD_POOL_H_
+#endif  // AQL_BASE_THREAD_POOL_H_

@@ -232,7 +232,7 @@ Result<Value> Evaluator::Eval(const ExprPtr& e, const Environment& env) const {
       }
       const ArrayRep& a = arr.array();
       if (!a.InBounds(index)) return Value::Bottom();
-      return a.elems[a.Flatten(index)];
+      return a.At(a.Flatten(index));
     }
     case ExprKind::kDim: {
       AQL_ASSIGN_OR_RETURN(Value arr, Eval(e->child(0), env));
@@ -303,8 +303,9 @@ Result<Value> Evaluator::EvalTab(const Expr& e, const Environment& env) const {
     }
     dims[j] = b.nat_value();
   }
-  uint64_t total = 1;
-  for (uint64_t d : dims) total *= d;
+  // Reject bounds whose product overflows or exceeds the element cap, as
+  // the compiled backend does; silently clamping would change semantics.
+  AQL_ASSIGN_OR_RETURN(uint64_t total, CheckedVolume(dims));
   std::vector<Value> elems;
   // Clamped for the same reason as gen: oversized tabulations must stay
   // cancellable instead of failing one huge up-front allocation.

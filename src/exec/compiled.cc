@@ -1,16 +1,45 @@
 #include "exec/compiled.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <mutex>
 
 #include "base/cancel.h"
 #include "base/strings.h"
 #include "core/expr_ops.h"
+#include "exec/kernel.h"
+#include "exec/parallel.h"
 
 namespace aql {
 namespace exec {
 
 namespace {
+
+// Upper bounds on eagerly allocated result buffers. Tabulations larger
+// than these run the legacy incremental loop (clamped reserve +
+// push_back), which stays cancellable long before the allocation would
+// hurt; the limits exist so a huge-but-under-the-cap bound does not turn
+// into one giant up-front allocation.
+constexpr uint64_t kUnboxedAllocLimit = uint64_t{1} << 26;  // 8B scalars
+constexpr uint64_t kBoxedAllocLimit = uint64_t{1} << 24;    // boxed Values
+
+// Multi-index helpers for row-major chunked loops.
+std::vector<uint64_t> DecodeIndex(uint64_t flat, const std::vector<uint64_t>& dims) {
+  std::vector<uint64_t> idx(dims.size());
+  for (size_t j = dims.size(); j-- > 0;) {
+    idx[j] = flat % dims[j];
+    flat /= dims[j];
+  }
+  return idx;
+}
+
+void IncrementIndex(std::vector<uint64_t>& idx, const std::vector<uint64_t>& dims) {
+  for (size_t j = dims.size(); j-- > 0;) {
+    if (++idx[j] < dims[j]) return;
+    idx[j] = 0;
+  }
+}
 
 // ---------- runtime nodes ----------
 
@@ -160,6 +189,61 @@ class UnionNode : public Node {
   NodePtr a_, b_;
 };
 
+// Parallel body evaluation for the set-driven loops (big union, sum):
+// every source element's body value lands in parts[i], evaluated by
+// chunks over worker-private Frame copies. The fold over the parts stays
+// sequential in the caller, which is what keeps results bit-identical to
+// the single-threaded loop (left-to-right real addition, first ⊥/error
+// in index order).
+//
+// `terminal` is the lowest index whose body came out ⊥ or as an error;
+// parts at indices beyond it may be unset (chunks stop early), so callers
+// must stop their fold when they reach it. A non-OK return is an
+// interrupt (cancellation/deadline) only.
+struct LoopParts {
+  std::vector<Value> parts;
+  uint64_t terminal = UINT64_MAX;
+  bool terminal_is_bottom = false;
+  Status terminal_status;
+};
+
+Result<LoopParts> EvalBodyParallel(const Frame& f, size_t binder_slot, const Node* body,
+                                   const std::vector<Value>& xs) {
+  LoopParts lp;
+  lp.parts.assign(xs.size(), Value());
+  std::atomic<uint64_t> terminal{UINT64_MAX};
+  std::mutex mu;
+  bool terminal_bottom = false;
+  Status terminal_status;
+  Status ps = ParallelFor(xs.size(), [&](uint64_t b, uint64_t e) -> Status {
+    Frame local = f;  // private register file per chunk
+    for (uint64_t i = b; i < e; ++i) {
+      if (((i - b) & 0x3FF) == 0) {
+        AQL_RETURN_IF_ERROR(CheckInterrupt());
+        if (terminal.load(std::memory_order_relaxed) < i) return Status::OK();
+      }
+      local.slots[binder_slot] = xs[i];
+      Result<Value> r = body->Run(&local);
+      if (!r.ok() || r.value().is_bottom()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (i < terminal.load(std::memory_order_relaxed)) {
+          terminal.store(i, std::memory_order_relaxed);
+          terminal_bottom = r.ok();
+          terminal_status = r.ok() ? Status::OK() : r.status();
+        }
+        return Status::OK();
+      }
+      lp.parts[i] = std::move(r).value();
+    }
+    return Status::OK();
+  });
+  AQL_RETURN_IF_ERROR(ps);
+  lp.terminal = terminal.load(std::memory_order_relaxed);
+  lp.terminal_is_bottom = terminal_bottom;
+  lp.terminal_status = std::move(terminal_status);
+  return lp;
+}
+
 class BigUnionNode : public Node {
  public:
   BigUnionNode(size_t binder_slot, NodePtr body, NodePtr source)
@@ -167,8 +251,22 @@ class BigUnionNode : public Node {
   Result<Value> Run(Frame* f) const override {
     AQL_ASSIGN_OR_RETURN(Value src, source_->Run(f));
     if (src.is_bottom()) return Value::Bottom();
+    const std::vector<Value>& xs = src.set().elems;
     std::vector<Value> acc;
-    for (const Value& x : src.set().elems) {
+    if (ShouldParallelize(xs.size())) {
+      AQL_ASSIGN_OR_RETURN(LoopParts lp,
+                           EvalBodyParallel(*f, binder_slot_, body_.get(), xs));
+      for (uint64_t i = 0; i < xs.size(); ++i) {
+        if (i == lp.terminal) {
+          if (lp.terminal_is_bottom) return Value::Bottom();
+          return lp.terminal_status;
+        }
+        const auto& elems = lp.parts[i].set().elems;
+        acc.insert(acc.end(), elems.begin(), elems.end());
+      }
+      return Value::MakeSet(std::move(acc));
+    }
+    for (const Value& x : xs) {
       AQL_RETURN_IF_ERROR(CheckInterrupt());
       f->slots[binder_slot_] = x;
       AQL_ASSIGN_OR_RETURN(Value part, body_->Run(f));
@@ -303,45 +401,71 @@ class SumNode : public Node {
   Result<Value> Run(Frame* f) const override {
     AQL_ASSIGN_OR_RETURN(Value src, source_->Run(f));
     if (src.is_bottom()) return Value::Bottom();
+    const std::vector<Value>& xs = src.set().elems;
     uint64_t nat_total = 0;
     double real_total = 0;
     bool is_real = false, first = true;
-    for (const Value& x : src.set().elems) {
+    if (ShouldParallelize(xs.size())) {
+      // Bodies evaluate in parallel; the fold below runs left-to-right on
+      // one thread so real addition rounds exactly as it does sequentially.
+      AQL_ASSIGN_OR_RETURN(LoopParts lp,
+                           EvalBodyParallel(*f, binder_slot_, body_.get(), xs));
+      for (uint64_t i = 0; i < xs.size(); ++i) {
+        if (i == lp.terminal) {
+          if (lp.terminal_is_bottom) return Value::Bottom();
+          return lp.terminal_status;
+        }
+        AQL_RETURN_IF_ERROR(
+            Accumulate(lp.parts[i], &nat_total, &real_total, &is_real, &first));
+      }
+      if (first) return Value::Nat(0);
+      return is_real ? Value::Real(real_total) : Value::Nat(nat_total);
+    }
+    for (const Value& x : xs) {
       AQL_RETURN_IF_ERROR(CheckInterrupt());
       f->slots[binder_slot_] = x;
       AQL_ASSIGN_OR_RETURN(Value part, body_->Run(f));
       if (part.is_bottom()) return Value::Bottom();
-      if (first) {
-        is_real = part.kind() == ValueKind::kReal;
-        first = false;
-      }
-      if (is_real) {
-        if (part.kind() != ValueKind::kReal) {
-          return Status::EvalError("Sum body mixed nat and real");
-        }
-        real_total += part.real_value();
-      } else {
-        if (part.kind() != ValueKind::kNat) {
-          return Status::EvalError("Sum body must be nat or real");
-        }
-        nat_total += part.nat_value();
-      }
+      AQL_RETURN_IF_ERROR(Accumulate(part, &nat_total, &real_total, &is_real, &first));
     }
     if (first) return Value::Nat(0);
     return is_real ? Value::Real(real_total) : Value::Nat(nat_total);
   }
 
  private:
+  static Status Accumulate(const Value& part, uint64_t* nat_total, double* real_total,
+                           bool* is_real, bool* first) {
+    if (*first) {
+      *is_real = part.kind() == ValueKind::kReal;
+      *first = false;
+    }
+    if (*is_real) {
+      if (part.kind() != ValueKind::kReal) {
+        return Status::EvalError("Sum body mixed nat and real");
+      }
+      *real_total += part.real_value();
+    } else {
+      if (part.kind() != ValueKind::kNat) {
+        return Status::EvalError("Sum body must be nat or real");
+      }
+      *nat_total += part.nat_value();
+    }
+    return Status::OK();
+  }
+
   size_t binder_slot_;
   NodePtr body_, source_;
 };
 
 class TabNode : public Node {
  public:
-  TabNode(std::vector<size_t> binder_slots, NodePtr body, std::vector<NodePtr> bounds)
+  TabNode(std::vector<size_t> binder_slots, NodePtr body, std::vector<NodePtr> bounds,
+          std::unique_ptr<const KernelSpec> kernel_spec)
       : binder_slots_(std::move(binder_slots)),
         body_(std::move(body)),
-        bounds_(std::move(bounds)) {}
+        bounds_(std::move(bounds)),
+        kernel_spec_(std::move(kernel_spec)) {}
+
   Result<Value> Run(Frame* f) const override {
     size_t k = binder_slots_.size();
     std::vector<uint64_t> dims(k);
@@ -353,10 +477,52 @@ class TabNode : public Node {
       }
       dims[j] = b.nat_value();
     }
-    uint64_t total = 1;
-    for (uint64_t d : dims) total *= d;
+    AQL_ASSIGN_OR_RETURN(uint64_t total, CheckedVolume(dims));
+    if (total == 0) {
+      auto arr = Value::MakeArray(std::move(dims), {});
+      if (!arr.ok()) return Status::Internal(arr.status().message());
+      return std::move(arr).value();
+    }
+
+    // Fused kernel: scalar body over an unboxed result buffer. A ⊥ at any
+    // point aborts the kernel and re-runs generically (the partial array
+    // keeps per-point ⊥ holes, which the unboxed payloads cannot hold).
+    if (kernel_spec_ != nullptr && total <= kUnboxedAllocLimit) {
+      if (std::unique_ptr<Kernel> kernel = Kernel::Instantiate(*kernel_spec_, *f)) {
+        bool bottom_seen = false;
+        AQL_ASSIGN_OR_RETURN(Value arr, RunKernel(*kernel, dims, total, &bottom_seen));
+        if (!bottom_seen) {
+          GlobalExecStats().unboxed_arrays.fetch_add(1, std::memory_order_relaxed);
+          return arr;
+        }
+      }
+    }
+
+    // Generic parallel: chunked body interpretation over private frames,
+    // elements written straight into their row-major slots.
+    if (ShouldParallelize(total) && total <= kBoxedAllocLimit) {
+      std::vector<Value> elems(total);
+      Status ps = ParallelFor(total, [&](uint64_t begin, uint64_t end) -> Status {
+        Frame local = *f;
+        std::vector<uint64_t> index = DecodeIndex(begin, dims);
+        for (uint64_t flat = begin; flat < end; ++flat) {
+          if (((flat - begin) & 0x3FF) == 0) AQL_RETURN_IF_ERROR(CheckInterrupt());
+          for (size_t j = 0; j < k; ++j) {
+            local.slots[binder_slots_[j]] = Value::Nat(index[j]);
+          }
+          AQL_ASSIGN_OR_RETURN(Value v, body_->Run(&local));
+          elems[flat] = std::move(v);  // bottom stays per-point (partial arrays)
+          IncrementIndex(index, dims);
+        }
+        return Status::OK();
+      });
+      AQL_RETURN_IF_ERROR(ps);
+      return Finish(std::move(dims), std::move(elems));
+    }
+
+    // Sequential fallback; also the only path for totals beyond the eager
+    // allocation limits, so oversized tabulations stay cancellable.
     std::vector<Value> elems;
-    // Clamped so oversized tabulations stay cancellable (see GenNode).
     elems.reserve(std::min<uint64_t>(total, uint64_t{1} << 20));
     std::vector<uint64_t> index(k, 0);
     for (uint64_t flat = 0; flat < total; ++flat) {
@@ -364,20 +530,85 @@ class TabNode : public Node {
       for (size_t j = 0; j < k; ++j) f->slots[binder_slots_[j]] = Value::Nat(index[j]);
       AQL_ASSIGN_OR_RETURN(Value v, body_->Run(f));
       elems.push_back(std::move(v));  // bottom stays per-point (partial arrays)
-      for (size_t j = k; j-- > 0;) {
-        if (++index[j] < dims[j]) break;
-        index[j] = 0;
-      }
+      IncrementIndex(index, dims);
     }
+    return Finish(std::move(dims), std::move(elems));
+  }
+
+ private:
+  static Result<Value> Finish(std::vector<uint64_t> dims, std::vector<Value> elems) {
     auto arr = Value::MakeArray(std::move(dims), std::move(elems));
+    if (!arr.ok()) return Status::Internal(arr.status().message());
+    if (arr.value().array().unboxed()) {
+      GlobalExecStats().unboxed_arrays.fetch_add(1, std::memory_order_relaxed);
+    }
+    return std::move(arr).value();
+  }
+
+  template <typename T, typename EvalFn>
+  static Result<Value> KernelLoop(const std::vector<uint64_t>& dims, uint64_t total,
+                                  bool* bottom_seen, EvalFn&& eval,
+                                  Result<Value> (*make)(std::vector<uint64_t>,
+                                                        std::vector<T>)) {
+    std::vector<T> buf(total);
+    std::atomic<bool> bottom{false};
+    Status ps = ParallelFor(total, [&](uint64_t begin, uint64_t end) -> Status {
+      std::vector<uint64_t> index = DecodeIndex(begin, dims);
+      for (uint64_t flat = begin; flat < end; ++flat) {
+        if (((flat - begin) & 0xFFF) == 0) {
+          AQL_RETURN_IF_ERROR(CheckInterrupt());
+          if (bottom.load(std::memory_order_relaxed)) return Status::OK();
+        }
+        if (!eval(index.data(), &buf[flat])) {
+          bottom.store(true, std::memory_order_relaxed);
+          return Status::OK();
+        }
+        IncrementIndex(index, dims);
+      }
+      return Status::OK();
+    });
+    AQL_RETURN_IF_ERROR(ps);
+    if (bottom.load(std::memory_order_relaxed)) {
+      *bottom_seen = true;
+      return Value::Bottom();  // placeholder; caller re-runs generically
+    }
+    auto arr = make(dims, std::move(buf));
     if (!arr.ok()) return Status::Internal(arr.status().message());
     return std::move(arr).value();
   }
 
- private:
+  static Result<Value> RunKernel(const Kernel& kernel, const std::vector<uint64_t>& dims,
+                                 uint64_t total, bool* bottom_seen) {
+    switch (kernel.result_type()) {
+      case Kernel::Type::kNat:
+        return KernelLoop<uint64_t>(
+            dims, total, bottom_seen,
+            [&kernel](const uint64_t* idx, uint64_t* out) {
+              return kernel.EvalNat(idx, out);
+            },
+            &Value::MakeNatArray);
+      case Kernel::Type::kReal:
+        return KernelLoop<double>(
+            dims, total, bottom_seen,
+            [&kernel](const uint64_t* idx, double* out) {
+              return kernel.EvalReal(idx, out);
+            },
+            &Value::MakeRealArray);
+      case Kernel::Type::kBool:
+        return KernelLoop<uint8_t>(
+            dims, total, bottom_seen,
+            [&kernel](const uint64_t* idx, uint8_t* out) {
+              return kernel.EvalBool(idx, out);
+            },
+            &Value::MakeBoolArray);
+    }
+    return Status::Internal("bad kernel result type");
+  }
+
   std::vector<size_t> binder_slots_;
   NodePtr body_;
   std::vector<NodePtr> bounds_;
+  std::unique_ptr<const KernelSpec> kernel_spec_;
 };
 
 bool ExtractIndexValue(const Value& v, std::vector<uint64_t>* out) {
@@ -413,7 +644,7 @@ class SubscriptNode : public Node {
     }
     const ArrayRep& a = arr.array();
     if (!a.InBounds(index)) return Value::Bottom();
-    return a.elems[a.Flatten(index)];
+    return a.At(a.Flatten(index));
   }
 
  private:
@@ -508,6 +739,9 @@ class DenseNode : public Node {
     }
     auto arr = Value::MakeArray(std::move(dims), std::move(elems));
     if (!arr.ok()) return Status::Internal(arr.status().message());
+    if (arr.value().array().unboxed()) {
+      GlobalExecStats().unboxed_arrays.fetch_add(1, std::memory_order_relaxed);
+    }
     return std::move(arr).value();
   }
 
@@ -637,10 +871,16 @@ class Compiler {
         std::vector<size_t> slots;
         for (const std::string& v : e->binders()) slots.push_back(Push(v));
         auto body = CompileNode(e->tab_body());
+        std::unique_ptr<KernelSpec> spec;
+        if (body.ok()) {
+          spec = BuildKernelSpec(
+              *e->tab_body(), slots,
+              [this](const std::string& name) { return Lookup(name); });
+        }
         Pop(e->tab_rank());
         AQL_RETURN_IF_ERROR(body.status());
-        return NodePtr(
-            new TabNode(std::move(slots), std::move(body).value(), std::move(bounds)));
+        return NodePtr(new TabNode(std::move(slots), std::move(body).value(),
+                                   std::move(bounds), std::move(spec)));
       }
       case ExprKind::kSubscript: {
         AQL_ASSIGN_OR_RETURN(NodePtr arr, CompileNode(e->child(0)));

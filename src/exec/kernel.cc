@@ -1,0 +1,415 @@
+#include "exec/kernel.h"
+
+#include <cmath>
+
+namespace aql {
+namespace exec {
+
+namespace {
+
+// Structural admission of the kernel fragment. Mirrors the runtime nodes
+// of compiled.cc exactly where it matters: nat arithmetic wraps, monus
+// truncates, nat div/mod by zero is ⊥, real div by zero is IEEE (not ⊥),
+// comparisons are the 3-way `x<y ? -1 : y<x ? 1 : 0` (so NaN compares
+// equal to everything, as in Value::Compare).
+bool BuildSpec(const Expr& e, const std::vector<size_t>& binder_slots,
+               const SlotLookup& lookup, KernelSpec* out) {
+  switch (e.kind()) {
+    case ExprKind::kNatConst:
+      out->op = KernelSpec::Op::kNatConst;
+      out->nat = e.nat_const();
+      return true;
+    case ExprKind::kRealConst:
+      out->op = KernelSpec::Op::kRealConst;
+      out->real = e.real_const();
+      return true;
+    case ExprKind::kBoolConst:
+      out->op = KernelSpec::Op::kBoolConst;
+      out->boolean = e.bool_const();
+      return true;
+    case ExprKind::kLiteral: {
+      const Value& v = e.literal();
+      switch (v.kind()) {
+        case ValueKind::kNat:
+          out->op = KernelSpec::Op::kNatConst;
+          out->nat = v.nat_value();
+          return true;
+        case ValueKind::kReal:
+          out->op = KernelSpec::Op::kRealConst;
+          out->real = v.real_value();
+          return true;
+        case ValueKind::kBool:
+          out->op = KernelSpec::Op::kBoolConst;
+          out->boolean = v.bool_value();
+          return true;
+        default:
+          return false;
+      }
+    }
+    case ExprKind::kVar: {
+      Result<size_t> slot = lookup(e.var_name());
+      if (!slot.ok()) return false;
+      // Innermost binding wins, and binder slots are the innermost scope
+      // at the body, so a binder-slot hit is exactly a loop index.
+      for (size_t j = 0; j < binder_slots.size(); ++j) {
+        if (binder_slots[j] == slot.value()) {
+          out->op = KernelSpec::Op::kBinder;
+          out->index = j;
+          return true;
+        }
+      }
+      out->op = KernelSpec::Op::kSlot;
+      out->index = slot.value();
+      return true;
+    }
+    case ExprKind::kArith: {
+      out->op = KernelSpec::Op::kArith;
+      out->arith = e.arith_op();
+      out->kids.resize(2);
+      return BuildSpec(*e.child(0), binder_slots, lookup, &out->kids[0]) &&
+             BuildSpec(*e.child(1), binder_slots, lookup, &out->kids[1]);
+    }
+    case ExprKind::kCmp: {
+      out->op = KernelSpec::Op::kCmp;
+      out->cmp = e.cmp_op();
+      out->kids.resize(2);
+      return BuildSpec(*e.child(0), binder_slots, lookup, &out->kids[0]) &&
+             BuildSpec(*e.child(1), binder_slots, lookup, &out->kids[1]);
+    }
+    case ExprKind::kIf: {
+      out->op = KernelSpec::Op::kIf;
+      out->kids.resize(3);
+      return BuildSpec(*e.child(0), binder_slots, lookup, &out->kids[0]) &&
+             BuildSpec(*e.child(1), binder_slots, lookup, &out->kids[1]) &&
+             BuildSpec(*e.child(2), binder_slots, lookup, &out->kids[2]);
+    }
+    case ExprKind::kSubscript: {
+      // Subscripts of a plain variable (the array sits in a frame slot,
+      // resolved once at instantiation) or of an inlined literal array
+      // (what a top-level val becomes after name resolution).
+      const Expr& arr = *e.child(0);
+      out->op = KernelSpec::Op::kSubscript;
+      out->kids.resize(1);
+      if (arr.is(ExprKind::kVar)) {
+        Result<size_t> slot = lookup(arr.var_name());
+        if (!slot.ok()) return false;
+        for (size_t b : binder_slots) {
+          if (b == slot.value()) return false;  // a binder is a nat, not an array
+        }
+        out->kids[0].op = KernelSpec::Op::kSlot;
+        out->kids[0].index = slot.value();
+      } else if (arr.is(ExprKind::kLiteral) &&
+                 arr.literal().kind() == ValueKind::kArray) {
+        out->kids[0].op = KernelSpec::Op::kLiteralArr;
+        out->kids[0].literal = arr.literal();
+      } else {
+        return false;
+      }
+      const Expr& idx = *e.child(1);
+      if (idx.is(ExprKind::kTuple)) {
+        for (const ExprPtr& c : idx.children()) {
+          out->kids.emplace_back();
+          if (!BuildSpec(*c, binder_slots, lookup, &out->kids.back())) return false;
+        }
+      } else {
+        out->kids.emplace_back();
+        if (!BuildSpec(idx, binder_slots, lookup, &out->kids.back())) return false;
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<KernelSpec> BuildKernelSpec(const Expr& body,
+                                            const std::vector<size_t>& binder_slots,
+                                            const SlotLookup& lookup) {
+  auto spec = std::make_unique<KernelSpec>();
+  if (!BuildSpec(body, binder_slots, lookup, spec.get())) return nullptr;
+  return spec;
+}
+
+// ---------- runtime instantiation ----------
+
+bool Kernel::Build(const KernelSpec& spec, const Frame& frame,
+                   std::vector<Value>* pinned, RtNode* out) {
+  out->op = spec.op;
+  switch (spec.op) {
+    case KernelSpec::Op::kNatConst:
+      out->type = Type::kNat;
+      out->nat = spec.nat;
+      return true;
+    case KernelSpec::Op::kRealConst:
+      out->type = Type::kReal;
+      out->real = spec.real;
+      return true;
+    case KernelSpec::Op::kBoolConst:
+      out->type = Type::kBool;
+      out->boolean = spec.boolean ? 1 : 0;
+      return true;
+    case KernelSpec::Op::kBinder:
+      out->type = Type::kNat;
+      out->binder = spec.index;
+      return true;
+    case KernelSpec::Op::kSlot: {
+      // Scalar slots freeze into constants for the whole loop (the
+      // tabulation only rebinds its binder slots).
+      if (spec.index >= frame.slots.size()) return false;
+      const Value& v = frame.slots[spec.index];
+      switch (v.kind()) {
+        case ValueKind::kNat:
+          out->op = KernelSpec::Op::kNatConst;
+          out->type = Type::kNat;
+          out->nat = v.nat_value();
+          return true;
+        case ValueKind::kReal:
+          out->op = KernelSpec::Op::kRealConst;
+          out->type = Type::kReal;
+          out->real = v.real_value();
+          return true;
+        case ValueKind::kBool:
+          out->op = KernelSpec::Op::kBoolConst;
+          out->type = Type::kBool;
+          out->boolean = v.bool_value() ? 1 : 0;
+          return true;
+        default:
+          return false;
+      }
+    }
+    case KernelSpec::Op::kArith: {
+      out->arith = spec.arith;
+      out->kids.resize(2);
+      if (!Build(spec.kids[0], frame, pinned, &out->kids[0]) ||
+          !Build(spec.kids[1], frame, pinned, &out->kids[1])) {
+        return false;
+      }
+      if (out->kids[0].type != out->kids[1].type) return false;
+      if (out->kids[0].type == Type::kBool) return false;
+      out->type = out->kids[0].type;
+      return true;
+    }
+    case KernelSpec::Op::kCmp: {
+      out->cmp = spec.cmp;
+      out->kids.resize(2);
+      if (!Build(spec.kids[0], frame, pinned, &out->kids[0]) ||
+          !Build(spec.kids[1], frame, pinned, &out->kids[1])) {
+        return false;
+      }
+      if (out->kids[0].type != out->kids[1].type) return false;
+      out->type = Type::kBool;
+      return true;
+    }
+    case KernelSpec::Op::kIf: {
+      out->kids.resize(3);
+      for (size_t i = 0; i < 3; ++i) {
+        if (!Build(spec.kids[i], frame, pinned, &out->kids[i])) return false;
+      }
+      if (out->kids[0].type != Type::kBool) return false;
+      if (out->kids[1].type != out->kids[2].type) return false;
+      out->type = out->kids[1].type;
+      return true;
+    }
+    case KernelSpec::Op::kSubscript: {
+      const Value* src;
+      if (spec.kids[0].op == KernelSpec::Op::kLiteralArr) {
+        src = &spec.kids[0].literal;
+      } else {
+        size_t slot = spec.kids[0].index;
+        if (slot >= frame.slots.size()) return false;
+        src = &frame.slots[slot];
+      }
+      const Value& v = *src;
+      if (v.kind() != ValueKind::kArray) return false;
+      const ArrayRep& a = v.array();
+      if (!a.unboxed()) return false;
+      size_t rank = spec.kids.size() - 1;
+      if (a.dims.size() != rank) return false;
+      pinned->push_back(v);  // keep the buffer alive for the kernel
+      out->arr = &pinned->back().array();
+      switch (a.payload) {
+        case ArrayRep::Payload::kNats: out->type = Type::kNat; break;
+        case ArrayRep::Payload::kReals: out->type = Type::kReal; break;
+        case ArrayRep::Payload::kBools: out->type = Type::kBool; break;
+        case ArrayRep::Payload::kBoxed: return false;
+      }
+      out->kids.resize(rank);
+      for (size_t i = 0; i < rank; ++i) {
+        if (!Build(spec.kids[1 + i], frame, pinned, &out->kids[i])) return false;
+        if (out->kids[i].type != Type::kNat) return false;
+      }
+      return true;
+    }
+    case KernelSpec::Op::kLiteralArr:
+      return false;  // only legal as a kSubscript's array operand
+  }
+  return false;
+}
+
+std::unique_ptr<Kernel> Kernel::Instantiate(const KernelSpec& spec, const Frame& frame) {
+  std::unique_ptr<Kernel> k(new Kernel());
+  // The ArrayRep pointers taken while building stay valid as pinned_
+  // grows: each rep is heap-owned by its Value's shared_ptr.
+  if (!Build(spec, frame, &k->pinned_, &k->root_)) return nullptr;
+  return k;
+}
+
+// ---------- evaluation ----------
+
+bool Kernel::SubscriptFlat(const RtNode& n, const uint64_t* idx, uint64_t* flat) {
+  const ArrayRep& a = *n.arr;
+  uint64_t f = 0;
+  for (size_t i = 0; i < n.kids.size(); ++i) {
+    uint64_t v;
+    if (!NatAt(n.kids[i], idx, &v)) return false;
+    if (v >= a.dims[i]) return false;  // out of bounds: ⊥
+    f = f * a.dims[i] + v;
+  }
+  *flat = f;
+  return true;
+}
+
+bool Kernel::NatAt(const RtNode& n, const uint64_t* idx, uint64_t* out) {
+  switch (n.op) {
+    case KernelSpec::Op::kNatConst:
+      *out = n.nat;
+      return true;
+    case KernelSpec::Op::kBinder:
+      *out = idx[n.binder];
+      return true;
+    case KernelSpec::Op::kArith: {
+      uint64_t x, y;
+      if (!NatAt(n.kids[0], idx, &x) || !NatAt(n.kids[1], idx, &y)) return false;
+      switch (n.arith) {
+        case ArithOp::kAdd: *out = x + y; return true;
+        case ArithOp::kMonus: *out = x >= y ? x - y : 0; return true;
+        case ArithOp::kMul: *out = x * y; return true;
+        case ArithOp::kDiv:
+          if (y == 0) return false;
+          *out = x / y;
+          return true;
+        case ArithOp::kMod:
+          if (y == 0) return false;
+          *out = x % y;
+          return true;
+      }
+      return false;
+    }
+    case KernelSpec::Op::kIf: {
+      uint8_t c;
+      if (!BoolAt(n.kids[0], idx, &c)) return false;
+      return NatAt(n.kids[c ? 1 : 2], idx, out);
+    }
+    case KernelSpec::Op::kSubscript: {
+      uint64_t flat;
+      if (!SubscriptFlat(n, idx, &flat)) return false;
+      *out = n.arr->nats[flat];
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+bool Kernel::RealAt(const RtNode& n, const uint64_t* idx, double* out) {
+  switch (n.op) {
+    case KernelSpec::Op::kRealConst:
+      *out = n.real;
+      return true;
+    case KernelSpec::Op::kArith: {
+      double x, y;
+      if (!RealAt(n.kids[0], idx, &x) || !RealAt(n.kids[1], idx, &y)) return false;
+      switch (n.arith) {
+        case ArithOp::kAdd: *out = x + y; return true;
+        case ArithOp::kMonus: *out = x - y; return true;
+        case ArithOp::kMul: *out = x * y; return true;
+        case ArithOp::kDiv: *out = x / y; return true;  // IEEE inf, not ⊥
+        case ArithOp::kMod: *out = std::fmod(x, y); return true;
+      }
+      return false;
+    }
+    case KernelSpec::Op::kIf: {
+      uint8_t c;
+      if (!BoolAt(n.kids[0], idx, &c)) return false;
+      return RealAt(n.kids[c ? 1 : 2], idx, out);
+    }
+    case KernelSpec::Op::kSubscript: {
+      uint64_t flat;
+      if (!SubscriptFlat(n, idx, &flat)) return false;
+      *out = n.arr->reals[flat];
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+bool Kernel::BoolAt(const RtNode& n, const uint64_t* idx, uint8_t* out) {
+  switch (n.op) {
+    case KernelSpec::Op::kBoolConst:
+      *out = n.boolean;
+      return true;
+    case KernelSpec::Op::kCmp: {
+      int c;
+      switch (n.kids[0].type) {
+        case Type::kNat: {
+          uint64_t x, y;
+          if (!NatAt(n.kids[0], idx, &x) || !NatAt(n.kids[1], idx, &y)) return false;
+          c = x < y ? -1 : y < x ? 1 : 0;
+          break;
+        }
+        case Type::kReal: {
+          double x, y;
+          if (!RealAt(n.kids[0], idx, &x) || !RealAt(n.kids[1], idx, &y)) return false;
+          c = x < y ? -1 : y < x ? 1 : 0;  // NaN compares equal, like Cmp3
+          break;
+        }
+        case Type::kBool: {
+          uint8_t x, y;
+          if (!BoolAt(n.kids[0], idx, &x) || !BoolAt(n.kids[1], idx, &y)) return false;
+          c = x < y ? -1 : y < x ? 1 : 0;
+          break;
+        }
+        default:
+          return false;
+      }
+      switch (n.cmp) {
+        case CmpOp::kEq: *out = c == 0; return true;
+        case CmpOp::kNe: *out = c != 0; return true;
+        case CmpOp::kLt: *out = c < 0; return true;
+        case CmpOp::kLe: *out = c <= 0; return true;
+        case CmpOp::kGt: *out = c > 0; return true;
+        case CmpOp::kGe: *out = c >= 0; return true;
+      }
+      return false;
+    }
+    case KernelSpec::Op::kIf: {
+      uint8_t c;
+      if (!BoolAt(n.kids[0], idx, &c)) return false;
+      return BoolAt(n.kids[c ? 1 : 2], idx, out);
+    }
+    case KernelSpec::Op::kSubscript: {
+      uint64_t flat;
+      if (!SubscriptFlat(n, idx, &flat)) return false;
+      *out = n.arr->bools[flat];
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+bool Kernel::EvalNat(const uint64_t* idx, uint64_t* out) const {
+  return NatAt(root_, idx, out);
+}
+bool Kernel::EvalReal(const uint64_t* idx, double* out) const {
+  return RealAt(root_, idx, out);
+}
+bool Kernel::EvalBool(const uint64_t* idx, uint8_t* out) const {
+  return BoolAt(root_, idx, out);
+}
+
+}  // namespace exec
+}  // namespace aql

@@ -1,0 +1,133 @@
+// Fused scalar kernels for tabulation bodies.
+//
+// A tabulation [[ e | i1<d1, ..., ik<dk ]] whose body is a scalar
+// expression over the loop indices, scalar frame slots, and subscripts of
+// unboxed array slots can run as a tight typed loop that writes straight
+// into the result's unboxed buffer — no per-element Value boxing, no
+// Result<Value> allocation, no virtual Run() dispatch.
+//
+// Two stages keep this sound:
+//
+//   1. Compile time (BuildKernelSpec): a structural scan of the body Expr
+//      admits only the closed kernel fragment — constants, binders, frame
+//      slots, arithmetic, comparisons, if/then/else, and subscripts whose
+//      array is a plain slot. Anything else (lambdas, sets, nested
+//      tabulations, externals, ...) returns nullptr and the tabulation
+//      uses the generic node interpreter.
+//
+//   2. Run time (Kernel::Instantiate): the spec is typed against the
+//      concrete frame. Scalar slots freeze into constants; array slots
+//      must hold an unboxed payload of matching rank. Type mismatches
+//      (e.g. a slot holding a set, a boxed array, mixed arith operands)
+//      reject instantiation, and the tabulation falls back to the generic
+//      path — representation never changes semantics, only speed.
+//
+// Kernel evaluation returns false when the body value is ⊥ at some index
+// (nat division/modulo by zero, out-of-bounds subscript). The caller then
+// re-runs the whole tabulation generically, producing the partial array
+// with per-point ⊥ holes that the semantics require.
+
+#ifndef AQL_EXEC_KERNEL_H_
+#define AQL_EXEC_KERNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/expr.h"
+#include "exec/compiled.h"
+#include "object/value.h"
+
+namespace aql {
+namespace exec {
+
+// Compile-time shape of a kernelizable tabulation body.
+struct KernelSpec {
+  enum class Op : uint8_t {
+    kNatConst,
+    kRealConst,
+    kBoolConst,
+    kBinder,     // loop index j (value in `index`)
+    kSlot,       // frame slot (value in `index`); type resolved at run time
+    kArith,      // kids[0] op kids[1]
+    kCmp,        // kids[0] op kids[1]
+    kIf,          // kids[0] ? kids[1] : kids[2]
+    kSubscript,   // kids[0] is the array (kSlot or kLiteralArr); kids[1..] nat indices
+    kLiteralArr,  // inlined literal array (value in `literal`)
+  };
+
+  Op op;
+  uint64_t nat = 0;
+  double real = 0;
+  bool boolean = false;
+  size_t index = 0;  // binder position (kBinder) or frame slot (kSlot)
+  ArithOp arith = ArithOp::kAdd;
+  CmpOp cmp = CmpOp::kEq;
+  Value literal;  // kLiteralArr only (vals inline as literals, §4 openness)
+  std::vector<KernelSpec> kids;
+};
+
+// Maps a free-variable name to its frame slot (mirrors the compiler's
+// scope lookup at the point of the tabulation body).
+using SlotLookup = std::function<Result<size_t>(const std::string&)>;
+
+// Builds the kernel spec for `body`, or nullptr if the body leaves the
+// kernel fragment. `binder_slots` are the tabulation's index slots in
+// binder order; variables bound to other slots become kSlot leaves.
+std::unique_ptr<KernelSpec> BuildKernelSpec(const Expr& body,
+                                            const std::vector<size_t>& binder_slots,
+                                            const SlotLookup& lookup);
+
+// A spec instantiated against one concrete frame: fully typed, slot
+// scalars frozen to constants, subscript targets resolved to raw unboxed
+// buffers (the backing Values are pinned for the kernel's lifetime).
+class Kernel {
+ public:
+  enum class Type : uint8_t { kNat, kReal, kBool };
+
+  // nullptr when the frame's values do not fit the spec (non-scalar slot,
+  // boxed or rank-mismatched array, mixed operand types, ...).
+  static std::unique_ptr<Kernel> Instantiate(const KernelSpec& spec, const Frame& frame);
+
+  Type result_type() const { return root_.type; }
+
+  // Evaluate the body at multi-index `idx` (binder order). Exactly one of
+  // these matches result_type(); all return false when the value is ⊥.
+  bool EvalNat(const uint64_t* idx, uint64_t* out) const;
+  bool EvalReal(const uint64_t* idx, double* out) const;
+  bool EvalBool(const uint64_t* idx, uint8_t* out) const;
+
+ private:
+  struct RtNode {
+    KernelSpec::Op op;
+    Type type;
+    uint64_t nat = 0;
+    double real = 0;
+    uint8_t boolean = 0;
+    size_t binder = 0;
+    ArithOp arith = ArithOp::kAdd;
+    CmpOp cmp = CmpOp::kEq;
+    const ArrayRep* arr = nullptr;  // kSubscript: dims + unboxed buffer
+    std::vector<RtNode> kids;
+  };
+
+  Kernel() = default;
+
+  static bool Build(const KernelSpec& spec, const Frame& frame,
+                    std::vector<Value>* pinned, RtNode* out);
+
+  static bool NatAt(const RtNode& n, const uint64_t* idx, uint64_t* out);
+  static bool RealAt(const RtNode& n, const uint64_t* idx, double* out);
+  static bool BoolAt(const RtNode& n, const uint64_t* idx, uint8_t* out);
+  static bool SubscriptFlat(const RtNode& n, const uint64_t* idx, uint64_t* flat);
+
+  RtNode root_;
+  std::vector<Value> pinned_;  // keeps subscripted arrays alive
+};
+
+}  // namespace exec
+}  // namespace aql
+
+#endif  // AQL_EXEC_KERNEL_H_

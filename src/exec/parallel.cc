@@ -1,0 +1,167 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/cancel.h"
+#include "base/thread_pool.h"
+
+namespace aql {
+namespace exec {
+
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env) return v;
+  }
+  return fallback;
+}
+
+int HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Lazily constructed, never destroyed: workers may still be parked in the
+// pool at process exit, and tearing the pool down from a static destructor
+// would race with other static teardown.
+ThreadPool& Pool() {
+  static ThreadPool* pool = [] {
+    // Size for the largest plausible AQL_EXEC_THREADS at first use; the
+    // per-call thread count only decides how many helper tasks we submit.
+    int n = std::max(HardwareThreads(),
+                     static_cast<int>(EnvU64("AQL_EXEC_THREADS", 0)));
+    return new ThreadPool(static_cast<size_t>(std::max(n - 1, 1)),
+                          /*max_queue=*/256);
+  }();
+  return *pool;
+}
+
+// Shared state of one ParallelFor. Chunks are claimed from an atomic
+// cursor, so the caller and however many helpers the pool granted
+// cooperate without static assignment. Held by shared_ptr: a helper task
+// that is still queued when the caller finishes every chunk must find
+// valid (spent) state when it finally runs, not a dead stack frame.
+struct ForState {
+  uint64_t total = 0;
+  uint64_t chunk = 0;
+  uint64_t num_chunks = 0;
+  const std::function<Status(uint64_t, uint64_t)>* fn = nullptr;
+  std::atomic<uint64_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::vector<Status> status;  // per chunk, written once by its claimant
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  uint64_t chunks_done = 0;
+};
+
+// Error determinism: the cursor hands out chunks in ascending order, so
+// when a chunk sees `failed` set, the failing chunk has a *lower* index —
+// skipping can only suppress errors at higher indices than one already
+// recorded. The lowest-index failing chunk therefore always executes and
+// records its status, and (since every earlier chunk succeeded and fn
+// stops at its first error) the first non-OK status in chunk order is
+// exactly the error a sequential left-to-right loop would have produced.
+void RunChunks(ForState& st) {
+  for (;;) {
+    uint64_t c = st.cursor.fetch_add(1, std::memory_order_relaxed);
+    if (c >= st.num_chunks) return;
+    Status s = Status::OK();
+    if (!st.failed.load(std::memory_order_relaxed)) {
+      uint64_t begin = c * st.chunk;
+      uint64_t end = std::min(st.total, begin + st.chunk);
+      s = (*st.fn)(begin, end);
+      if (!s.ok()) st.failed.store(true, std::memory_order_relaxed);
+    }
+    GlobalExecStats().par_chunks.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(st.mu);
+      st.status[c] = std::move(s);
+      ++st.chunks_done;
+    }
+    st.done_cv.notify_all();
+  }
+}
+
+}  // namespace
+
+int ExecThreads() {
+  uint64_t n = EnvU64("AQL_EXEC_THREADS", 0);
+  if (n > 0) return static_cast<int>(std::min<uint64_t>(n, 256));
+  return HardwareThreads();
+}
+
+uint64_t ParThreshold() {
+  uint64_t t = EnvU64("AQL_EXEC_PAR_THRESHOLD", 4096);
+  return std::max<uint64_t>(t, 1);
+}
+
+bool ShouldParallelize(uint64_t total) {
+  return ExecThreads() > 1 && total >= ParThreshold();
+}
+
+Status ParallelFor(uint64_t total,
+                   const std::function<Status(uint64_t, uint64_t)>& fn) {
+  if (total == 0) return Status::OK();
+  int threads = ExecThreads();
+  if (threads <= 1 || total < ParThreshold()) return fn(0, total);
+
+  auto st = std::make_shared<ForState>();
+  st->total = total;
+  // Oversplit relative to the thread count so stragglers rebalance, but
+  // keep chunks big enough that the claim traffic stays negligible.
+  uint64_t target_chunks = static_cast<uint64_t>(threads) * 4;
+  st->chunk = std::max<uint64_t>(1, (total + target_chunks - 1) / target_chunks);
+  st->num_chunks = (total + st->chunk - 1) / st->chunk;
+  st->fn = &fn;
+  st->status.assign(st->num_chunks, Status::OK());
+
+  GlobalExecStats().par_tasks.fetch_add(1, std::memory_order_relaxed);
+
+  // Helper tasks re-install the caller's CancelToken so CheckInterrupt()
+  // inside fn observes the same deadline/cancellation as the caller. A
+  // task that only starts after the loop is drained claims no chunk and
+  // never dereferences `token` or `fn`, so their lifetimes end safely
+  // with this call.
+  const CancelToken* token = CurrentCancelToken();
+  for (int i = 0; i < threads - 1; ++i) {
+    bool ok = Pool().TrySubmit([st, token] {
+      ExecScope scope(token);
+      RunChunks(*st);
+    });
+    if (!ok) break;  // full pool: the caller just runs more chunks itself
+  }
+
+  RunChunks(*st);  // caller participates; returns once the cursor is spent
+
+  // Helpers may still be finishing chunks they claimed before the caller
+  // drained the cursor; fn and the output buffers live in our caller, so
+  // wait for every chunk to be accounted for.
+  {
+    std::unique_lock<std::mutex> lock(st->mu);
+    st->done_cv.wait(lock, [&] { return st->chunks_done == st->num_chunks; });
+  }
+
+  for (Status& s : st->status) {
+    if (!s.ok()) return std::move(s);
+  }
+  return Status::OK();
+}
+
+ExecStats& GlobalExecStats() {
+  static ExecStats* stats = new ExecStats();
+  return *stats;
+}
+
+}  // namespace exec
+}  // namespace aql

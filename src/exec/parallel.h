@@ -1,0 +1,66 @@
+// Data-parallel helpers for the compiled exec backend.
+//
+// ParallelFor(total, fn) partitions [0, total) into contiguous chunks and
+// runs `fn(begin, end)` on each, using a process-wide ThreadPool shared by
+// all queries. The calling thread always participates: pool tasks are
+// optional helpers claimed from a shared atomic cursor, so a full pool (or
+// nested parallelism) degrades to the caller running every chunk itself —
+// never a deadlock, never a refusal.
+//
+// Contract:
+//   - fn must write only to disjoint state per [begin, end) range;
+//     the row-major output placement of tabulation makes that natural.
+//   - Worker tasks run under the caller's CancelToken (re-installed via
+//     ExecScope), so deadlines and cancellation bite inside chunks too.
+//   - The returned Status is the first non-OK status in *chunk order*,
+//     which for a lowest-index-wins error discipline equals the error the
+//     sequential loop would have produced.
+//
+// Thread count comes from AQL_EXEC_THREADS (default: hardware
+// concurrency), re-read on every call so tests can flip it in-process.
+// AQL_EXEC_PAR_THRESHOLD overrides the minimum element count below which
+// loops stay sequential.
+
+#ifndef AQL_EXEC_PARALLEL_H_
+#define AQL_EXEC_PARALLEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "base/status.h"
+
+namespace aql {
+namespace exec {
+
+// Effective worker count for data-parallel loops (>= 1).
+int ExecThreads();
+
+// Minimum element count for going parallel (AQL_EXEC_PAR_THRESHOLD,
+// default 4096).
+uint64_t ParThreshold();
+
+// True iff a loop over `total` elements should run in parallel under the
+// current environment (threads > 1 and total >= threshold).
+bool ShouldParallelize(uint64_t total);
+
+// Runs fn over contiguous chunks covering [0, total). Blocks until every
+// chunk has finished (even on error or cancellation: later chunks see the
+// failure flag and return early, but are still accounted for). fn must be
+// safe to call concurrently from multiple threads.
+Status ParallelFor(uint64_t total, const std::function<Status(uint64_t, uint64_t)>& fn);
+
+// Monotonic counters for the service metrics bridge (exec cannot depend on
+// service, so service polls these). Relaxed ordering: they are statistics,
+// not synchronization.
+struct ExecStats {
+  std::atomic<uint64_t> par_tasks{0};      // ParallelFor invocations that went parallel
+  std::atomic<uint64_t> par_chunks{0};     // chunks executed by parallel loops
+  std::atomic<uint64_t> unboxed_arrays{0};  // arrays materialized with an unboxed payload
+};
+ExecStats& GlobalExecStats();
+
+}  // namespace exec
+}  // namespace aql
+
+#endif  // AQL_EXEC_PARALLEL_H_

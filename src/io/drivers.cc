@@ -110,10 +110,12 @@ IoRegistry::ReaderFn MakeNetcdfReader(size_t rank) {
         offset = attr.numbers[0];
       }
     }
-    std::vector<Value> elems;
-    elems.reserve(data.size());
-    for (double d : data) elems.push_back(Value::Real(d * scale + offset));
-    return Value::MakeArray(std::move(count), std::move(elems));
+    // Unpack in place and hand the buffer straight to the unboxed real
+    // payload: NetCDF ingest never boxes per cell.
+    if (scale != 1.0 || offset != 0.0) {
+      for (double& d : data) d = d * scale + offset;
+    }
+    return Value::MakeRealArray(std::move(count), std::move(data));
   };
 }
 
@@ -145,17 +147,30 @@ IoRegistry::WriterFn MakeNetcdfWriter() {
     }
     const ArrayRep& arr = payload.array();
     std::vector<double> data;
-    data.reserve(arr.elems.size());
-    for (const Value& v : arr.elems) {
-      switch (v.kind()) {
-        case ValueKind::kReal: data.push_back(v.real_value()); break;
-        case ValueKind::kNat: data.push_back(double(v.nat_value())); break;
-        case ValueKind::kBool: data.push_back(v.bool_value() ? 1 : 0); break;
-        default:
-          return Status::InvalidArgument(
-              StrCat("NETCDF writer cannot encode element of kind ",
-                     ValueKindName(v.kind())));
-      }
+    data.reserve(arr.Count());
+    switch (arr.payload) {
+      case ArrayRep::Payload::kReals:
+        data = arr.reals;  // already the wire representation
+        break;
+      case ArrayRep::Payload::kNats:
+        for (uint64_t n : arr.nats) data.push_back(double(n));
+        break;
+      case ArrayRep::Payload::kBools:
+        for (uint8_t b : arr.bools) data.push_back(b ? 1 : 0);
+        break;
+      case ArrayRep::Payload::kBoxed:
+        for (const Value& v : arr.elems) {
+          switch (v.kind()) {
+            case ValueKind::kReal: data.push_back(v.real_value()); break;
+            case ValueKind::kNat: data.push_back(double(v.nat_value())); break;
+            case ValueKind::kBool: data.push_back(v.bool_value() ? 1 : 0); break;
+            default:
+              return Status::InvalidArgument(
+                  StrCat("NETCDF writer cannot encode element of kind ",
+                         ValueKindName(v.kind())));
+          }
+        }
+        break;
     }
     netcdf::NcWriter writer(1);
     std::vector<uint32_t> dim_ids;

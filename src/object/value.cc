@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
 
 #include "base/strings.h"
 
@@ -27,6 +29,26 @@ uint64_t ArrayRep::TotalSize() const {
   uint64_t n = 1;
   for (uint64_t d : dims) n *= d;
   return n;
+}
+
+uint64_t ArrayRep::Count() const {
+  switch (payload) {
+    case Payload::kBoxed: return elems.size();
+    case Payload::kNats: return nats.size();
+    case Payload::kReals: return reals.size();
+    case Payload::kBools: return bools.size();
+  }
+  return 0;
+}
+
+Value ArrayRep::At(uint64_t i) const {
+  switch (payload) {
+    case Payload::kBoxed: return elems[i];
+    case Payload::kNats: return Value::Nat(nats[i]);
+    case Payload::kReals: return Value::Real(reals[i]);
+    case Payload::kBools: return Value::Bool(bools[i] != 0);
+  }
+  return Value::Bottom();
 }
 
 uint64_t ArrayRep::Flatten(const std::vector<uint64_t>& index) const {
@@ -69,23 +91,109 @@ Value Value::MakeSetCanonical(std::vector<Value> elems) {
   return Value(Rep(std::make_shared<const SetRep>(SetRep{std::move(elems)})));
 }
 
-Result<Value> Value::MakeArray(std::vector<uint64_t> dims, std::vector<Value> elems) {
+namespace {
+
+// Canonical payload selection: a non-empty all-nat / all-real / all-bool
+// element vector (no ⊥, no nesting) moves into the matching flat buffer.
+// Every array constructor funnels through this, so equal abstract values
+// always share a representation.
+ArrayRep SpecializeRep(std::vector<uint64_t> dims, std::vector<Value> elems) {
+  ArrayRep rep;
+  rep.dims = std::move(dims);
+  if (!elems.empty()) {
+    ValueKind k = elems[0].kind();
+    bool uniform = (k == ValueKind::kNat || k == ValueKind::kReal || k == ValueKind::kBool);
+    for (size_t i = 1; uniform && i < elems.size(); ++i) {
+      uniform = elems[i].kind() == k;
+    }
+    if (uniform) {
+      switch (k) {
+        case ValueKind::kNat:
+          rep.payload = ArrayRep::Payload::kNats;
+          rep.nats.reserve(elems.size());
+          for (const Value& v : elems) rep.nats.push_back(v.nat_value());
+          return rep;
+        case ValueKind::kReal:
+          rep.payload = ArrayRep::Payload::kReals;
+          rep.reals.reserve(elems.size());
+          for (const Value& v : elems) rep.reals.push_back(v.real_value());
+          return rep;
+        case ValueKind::kBool:
+          rep.payload = ArrayRep::Payload::kBools;
+          rep.bools.reserve(elems.size());
+          for (const Value& v : elems) rep.bools.push_back(v.bool_value() ? 1 : 0);
+          return rep;
+        default:
+          break;
+      }
+    }
+  }
+  rep.elems = std::move(elems);
+  return rep;
+}
+
+Status CheckArrayShape(const std::vector<uint64_t>& dims, size_t count) {
   if (dims.empty()) {
     return Status::InvalidArgument("array must have at least one dimension");
   }
   uint64_t total = 1;
   for (uint64_t d : dims) total *= d;
-  if (total != elems.size()) {
+  if (total != count) {
     return Status::InvalidArgument(
-        StrCat("array literal has ", elems.size(), " values but dimensions require ", total));
+        StrCat("array literal has ", count, " values but dimensions require ", total));
   }
-  return Value(
-      Rep(std::make_shared<const ArrayRep>(ArrayRep{std::move(dims), std::move(elems)})));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Value> Value::MakeArray(std::vector<uint64_t> dims, std::vector<Value> elems) {
+  AQL_RETURN_IF_ERROR(CheckArrayShape(dims, elems.size()));
+  return Value(Rep(std::make_shared<const ArrayRep>(
+      SpecializeRep(std::move(dims), std::move(elems)))));
 }
 
 Value Value::MakeVector(std::vector<Value> elems) {
   uint64_t n = elems.size();
-  return Value(Rep(std::make_shared<const ArrayRep>(ArrayRep{{n}, std::move(elems)})));
+  return Value(
+      Rep(std::make_shared<const ArrayRep>(SpecializeRep({n}, std::move(elems)))));
+}
+
+Result<Value> Value::MakeNatArray(std::vector<uint64_t> dims, std::vector<uint64_t> data) {
+  AQL_RETURN_IF_ERROR(CheckArrayShape(dims, data.size()));
+  ArrayRep rep;
+  rep.dims = std::move(dims);
+  if (data.empty()) {
+    return Value(Rep(std::make_shared<const ArrayRep>(std::move(rep))));
+  }
+  rep.payload = ArrayRep::Payload::kNats;
+  rep.nats = std::move(data);
+  return Value(Rep(std::make_shared<const ArrayRep>(std::move(rep))));
+}
+
+Result<Value> Value::MakeRealArray(std::vector<uint64_t> dims, std::vector<double> data) {
+  AQL_RETURN_IF_ERROR(CheckArrayShape(dims, data.size()));
+  ArrayRep rep;
+  rep.dims = std::move(dims);
+  if (data.empty()) {
+    return Value(Rep(std::make_shared<const ArrayRep>(std::move(rep))));
+  }
+  rep.payload = ArrayRep::Payload::kReals;
+  rep.reals = std::move(data);
+  return Value(Rep(std::make_shared<const ArrayRep>(std::move(rep))));
+}
+
+Result<Value> Value::MakeBoolArray(std::vector<uint64_t> dims, std::vector<uint8_t> data) {
+  AQL_RETURN_IF_ERROR(CheckArrayShape(dims, data.size()));
+  ArrayRep rep;
+  rep.dims = std::move(dims);
+  if (data.empty()) {
+    return Value(Rep(std::make_shared<const ArrayRep>(std::move(rep))));
+  }
+  rep.payload = ArrayRep::Payload::kBools;
+  for (uint8_t& b : data) b = b ? 1 : 0;  // normalize so Compare can memcmp-style loop
+  rep.bools = std::move(data);
+  return Value(Rep(std::make_shared<const ArrayRep>(std::move(rep))));
 }
 
 Value Value::MakeFunc(std::shared_ptr<const FuncValue> fn) {
@@ -108,6 +216,34 @@ int CompareValueVectors(const std::vector<Value>& a, const std::vector<Value>& b
     if (c != 0) return c;
   }
   return Cmp3(a.size(), b.size());
+}
+
+template <typename T>
+int CompareScalarVectors(const std::vector<T>& a, const std::vector<T>& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (int c = Cmp3(a[i], b[i]); c != 0) return c;
+  }
+  return Cmp3(a.size(), b.size());
+}
+
+// Content comparison across any pair of payloads. Same-payload pairs take
+// the typed loops (the common case: representation is canonical); mixed
+// pairs box element-wise, which only happens for hand-built reps.
+int CompareArrayElems(const ArrayRep& x, const ArrayRep& y) {
+  if (x.payload == y.payload) {
+    switch (x.payload) {
+      case ArrayRep::Payload::kBoxed: return CompareValueVectors(x.elems, y.elems);
+      case ArrayRep::Payload::kNats: return CompareScalarVectors(x.nats, y.nats);
+      case ArrayRep::Payload::kReals: return CompareScalarVectors(x.reals, y.reals);
+      case ArrayRep::Payload::kBools: return CompareScalarVectors(x.bools, y.bools);
+    }
+  }
+  uint64_t n = std::min(x.Count(), y.Count());
+  for (uint64_t i = 0; i < n; ++i) {
+    if (int c = Value::Compare(x.At(i), y.At(i)); c != 0) return c;
+  }
+  return Cmp3(x.Count(), y.Count());
 }
 
 }  // namespace
@@ -133,7 +269,7 @@ int Value::Compare(const Value& a, const Value& b) {
       for (size_t i = 0; i < x.dims.size(); ++i) {
         if (int c = Cmp3(x.dims[i], y.dims[i]); c != 0) return c;
       }
-      return CompareValueVectors(x.elems, y.elems);
+      return CompareArrayElems(x, y);
     }
     case ValueKind::kFunc: {
       const FuncValue* pa = &a.func();
@@ -234,7 +370,10 @@ void AppendValue(const Value& v, std::string* out) {
         out->append(std::to_string(a.dims[i]));
       }
       out->append("; ");
-      AppendJoined(a.elems, out);
+      for (uint64_t i = 0, n = a.Count(); i < n; ++i) {
+        if (i > 0) out->append(", ");
+        AppendValue(a.At(i), out);
+      }
       out->append("]]");
       return;
     }
@@ -280,7 +419,7 @@ void AppendDisplay(const Value& v, size_t max_items, std::string* out) {
       const ArrayRep& a = v.array();
       out->append("[[");
       std::vector<uint64_t> index(a.dims.size(), 0);
-      size_t total = a.elems.size();
+      size_t total = a.Count();
       size_t limit = max_items == 0 ? total : std::min(total, max_items);
       for (size_t i = 0; i < limit; ++i) {
         if (i > 0) out->append(", ");
@@ -290,7 +429,7 @@ void AppendDisplay(const Value& v, size_t max_items, std::string* out) {
           out->append(std::to_string(index[d]));
         }
         out->append("):");
-        AppendDisplay(a.elems[i], max_items, out);
+        AppendDisplay(a.At(i), max_items, out);
         NextIndex(a.dims, &index);
       }
       if (limit < total) out->append(", ...");
@@ -323,26 +462,38 @@ inline uint64_t HashMix(uint64_t h, uint64_t v) {
   return h;
 }
 
+constexpr uint64_t kHashBase = 0xcbf29ce484222325ull;
+
+// Per-kind scalar hashes, shared by HashValue and the unboxed array fast
+// paths so a flat buffer hashes identically to its boxed equivalent.
+inline uint64_t HashScalarBool(bool b) {
+  return HashMix(kHashBase + static_cast<uint64_t>(ValueKind::kBool), b ? 1 : 0);
+}
+inline uint64_t HashScalarNat(uint64_t n) {
+  return HashMix(kHashBase + static_cast<uint64_t>(ValueKind::kNat), n);
+}
+inline uint64_t HashScalarReal(double d) {
+  // Compare treats +0.0 and -0.0 as equal; normalize before hashing bits.
+  if (d == 0.0) d = 0.0;
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return HashMix(kHashBase + static_cast<uint64_t>(ValueKind::kReal), bits);
+}
+
 }  // namespace
 
 uint64_t HashValue(const Value& v) {
-  uint64_t h = 0xcbf29ce484222325ull + static_cast<uint64_t>(v.kind());
+  uint64_t h = kHashBase + static_cast<uint64_t>(v.kind());
   switch (v.kind()) {
     case ValueKind::kBottom:
       return h;
     case ValueKind::kBool:
-      return HashMix(h, v.bool_value() ? 1 : 0);
+      return HashScalarBool(v.bool_value());
     case ValueKind::kNat:
-      return HashMix(h, v.nat_value());
-    case ValueKind::kReal: {
-      // Compare treats +0.0 and -0.0 as equal; normalize before hashing bits.
-      double d = v.real_value();
-      if (d == 0.0) d = 0.0;
-      uint64_t bits;
-      static_assert(sizeof(bits) == sizeof(d));
-      std::memcpy(&bits, &d, sizeof(bits));
-      return HashMix(h, bits);
-    }
+      return HashScalarNat(v.nat_value());
+    case ValueKind::kReal:
+      return HashScalarReal(v.real_value());
     case ValueKind::kString: {
       for (unsigned char c : v.str_value()) h = HashMix(h, c);
       return h;
@@ -360,7 +511,20 @@ uint64_t HashValue(const Value& v) {
       const ArrayRep& a = v.array();
       h = HashMix(h, a.dims.size());
       for (uint64_t d : a.dims) h = HashMix(h, d);
-      for (const Value& e : a.elems) h = HashMix(h, HashValue(e));
+      switch (a.payload) {
+        case ArrayRep::Payload::kBoxed:
+          for (const Value& e : a.elems) h = HashMix(h, HashValue(e));
+          break;
+        case ArrayRep::Payload::kNats:
+          for (uint64_t n : a.nats) h = HashMix(h, HashScalarNat(n));
+          break;
+        case ArrayRep::Payload::kReals:
+          for (double d : a.reals) h = HashMix(h, HashScalarReal(d));
+          break;
+        case ArrayRep::Payload::kBools:
+          for (uint8_t b : a.bools) h = HashMix(h, HashScalarBool(b != 0));
+          break;
+      }
       return h;
     }
     case ValueKind::kFunc:
@@ -368,6 +532,34 @@ uint64_t HashValue(const Value& v) {
       return HashMix(h, reinterpret_cast<uintptr_t>(&v.func()));
   }
   return h;
+}
+
+uint64_t MaxArrayElements() {
+  // Re-read per call (one getenv per tabulation, not per element) so tests
+  // can vary the cap within one process.
+  if (const char* env = std::getenv("AQL_EXEC_MAX_ELEMS")) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && v > 0) return v;
+  }
+  return uint64_t{1} << 36;
+}
+
+Result<uint64_t> CheckedVolume(const std::vector<uint64_t>& dims) {
+  uint64_t total = 1;
+  for (uint64_t d : dims) {
+    if (d != 0 && total > std::numeric_limits<uint64_t>::max() / d) {
+      return Status::EvalError("tabulation bounds overflow the element count");
+    }
+    total *= d;
+  }
+  uint64_t cap = MaxArrayElements();
+  if (total > cap) {
+    return Status::EvalError(
+        StrCat("tabulation of ", total, " elements exceeds the cap of ", cap,
+               " (set AQL_EXEC_MAX_ELEMS to raise it)"));
+  }
+  return total;
 }
 
 }  // namespace aql

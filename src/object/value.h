@@ -60,17 +60,46 @@ struct SetRep {
   std::vector<Value> elems;
 };
 
-// k-dimensional array: dims.size() == k >= 1, elems.size() == product(dims),
+// k-dimensional array: dims.size() == k >= 1, Count() == product(dims),
 // row-major (last index varies fastest).
+//
+// Representation specialization: an array whose elements are all nats, all
+// reals, or all bools (and contain no ⊥) is stored UNBOXED in a flat
+// scalar buffer — 8 bytes per element instead of a tagged Value — which is
+// what makes dense tabulation kernels and bulk NetCDF I/O run at memory
+// bandwidth. Arrays with nested elements (tuples, sets, arrays, strings)
+// or with ⊥-holes keep the boxed std::vector<Value> payload. The choice
+// is canonical: every constructor (Value::MakeArray and the typed
+// Make*Array variants) selects the same payload for the same abstract
+// value, so representation never leaks into semantics — Compare, hashing
+// and printing are payload-agnostic.
 struct ArrayRep {
+  enum class Payload : uint8_t {
+    kBoxed = 0,  // elems
+    kNats,       // nats
+    kReals,      // reals
+    kBools,      // bools (one byte per element, so parallel chunked writes
+                 // to disjoint ranges never share a byte)
+  };
+
   std::vector<uint64_t> dims;
-  std::vector<Value> elems;
+  std::vector<Value> elems;  // active iff payload == kBoxed
+  Payload payload = Payload::kBoxed;
+  std::vector<uint64_t> nats;
+  std::vector<double> reals;
+  std::vector<uint8_t> bools;
 
   uint64_t TotalSize() const;
   // Row-major flattening of a multi-index; no bounds checking.
   uint64_t Flatten(const std::vector<uint64_t>& index) const;
   // True iff index[i] < dims[i] for all i and arities match.
   bool InBounds(const std::vector<uint64_t>& index) const;
+
+  bool unboxed() const { return payload != Payload::kBoxed; }
+  // Element count of the active payload (== TotalSize() for valid reps).
+  uint64_t Count() const;
+  // The element at flat index i, boxed on demand for unboxed payloads.
+  Value At(uint64_t i) const;
 };
 
 // Abstract function value: closures (eval module) and registered external
@@ -100,8 +129,15 @@ class Value {
   static Value MakeSetCanonical(std::vector<Value> elems);
   static Value EmptySet() { return MakeSetCanonical({}); }
   // dims must be non-empty; elems.size() must equal product(dims).
+  // Scans the elements and selects the canonical (possibly unboxed)
+  // payload; see ArrayRep.
   static Result<Value> MakeArray(std::vector<uint64_t> dims, std::vector<Value> elems);
   static Value MakeVector(std::vector<Value> elems);  // 1-d array
+  // Typed constructors building the unboxed payloads directly (no per-cell
+  // boxing): used by tabulation kernels (src/exec) and the NetCDF drivers.
+  static Result<Value> MakeNatArray(std::vector<uint64_t> dims, std::vector<uint64_t> data);
+  static Result<Value> MakeRealArray(std::vector<uint64_t> dims, std::vector<double> data);
+  static Result<Value> MakeBoolArray(std::vector<uint64_t> dims, std::vector<uint8_t> data);
   static Value MakeFunc(std::shared_ptr<const FuncValue> fn);
 
   ValueKind kind() const { return static_cast<ValueKind>(rep_.index()); }
@@ -158,6 +194,16 @@ class Value {
 
   Rep rep_;
 };
+
+// The tabulation element cap: AQL_EXEC_MAX_ELEMS when set (> 0), else
+// 2^36. Bounds whose product exceeds this (or overflows uint64_t) are
+// rejected by both backends with an EvalError instead of being silently
+// clamped. Re-read per call so tests can vary the cap.
+uint64_t MaxArrayElements();
+
+// Overflow-checked row-major volume of a dims vector, validated against
+// MaxArrayElements(). EvalError on overflow or cap excess.
+Result<uint64_t> CheckedVolume(const std::vector<uint64_t>& dims);
 
 // Structural hash consistent with the linear order:
 // Compare(a, b) == 0  ⇒  HashValue(a) == HashValue(b).

@@ -17,6 +17,8 @@ bool ValueErrorFree(const Value& v) {
       }
       return true;
     case ValueKind::kArray:
+      // Unboxed payloads hold only scalars, never ⊥.
+      if (v.array().unboxed()) return true;
       for (const Value& x : v.array().elems) {
         if (!ValueErrorFree(x)) return false;
       }

@@ -247,7 +247,7 @@ ExprPtr RuleSubscriptConst(const ExprPtr& e) {
     const ArrayRep& a = arr->literal().array();
     if (a.dims.size() != index.size()) return nullptr;
     if (!a.InBounds(index)) return Expr::Bottom();
-    return Expr::Literal(a.elems[a.Flatten(index)]);
+    return Expr::Literal(a.At(a.Flatten(index)));
   }
   if (arr->is(ExprKind::kDense) && arr->dense_rank() == index.size()) {
     uint64_t product = 1;

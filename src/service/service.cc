@@ -4,6 +4,7 @@
 
 #include "analysis/verifier.h"
 #include "base/strings.h"
+#include "exec/parallel.h"
 
 namespace aql {
 namespace service {
@@ -31,6 +32,9 @@ QueryService::QueryService(System* system, ServiceConfig config)
       cache_hits_(metrics_.GetCounter("plan_cache.hits")),
       cache_misses_(metrics_.GetCounter("plan_cache.misses")),
       verify_failures_(metrics_.GetCounter("plans.verify_failures")),
+      exec_par_tasks_(metrics_.GetCounter("exec.par.tasks")),
+      exec_par_chunks_(metrics_.GetCounter("exec.par.chunks")),
+      exec_unboxed_arrays_(metrics_.GetCounter("exec.unboxed.arrays")),
       compile_us_(metrics_.GetHistogram("latency.compile_us")),
       execute_us_(metrics_.GetHistogram("latency.execute_us")),
       script_us_(metrics_.GetHistogram("latency.script_us")),
@@ -158,6 +162,19 @@ Result<std::vector<StatementResult>> QueryService::RunScript(std::string_view pr
 }
 
 std::string QueryService::StatsReport() const {
+  // Pull the exec layer's process-wide counters up to their service
+  // mirrors. Counters are monotone, so publishing the delta is safe even
+  // if several services report concurrently from one process.
+  const exec::ExecStats& stats = exec::GlobalExecStats();
+  auto sync = [](Counter* counter, const std::atomic<uint64_t>& source) {
+    uint64_t current = source.load(std::memory_order_relaxed);
+    uint64_t seen = counter->value();
+    if (current > seen) counter->Increment(current - seen);
+  };
+  sync(exec_par_tasks_, stats.par_tasks);
+  sync(exec_par_chunks_, stats.par_chunks);
+  sync(exec_unboxed_arrays_, stats.unboxed_arrays);
+
   std::string out =
       StrCat("service: ", pool_.num_threads(), " workers, queue limit ",
              config_.max_queue, ", plan cache ", cache_.size(), "/",

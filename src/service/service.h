@@ -45,7 +45,7 @@
 #include "env/system.h"
 #include "service/metrics.h"
 #include "service/plan_cache.h"
-#include "service/thread_pool.h"
+#include "base/thread_pool.h"
 
 namespace aql {
 namespace service {
@@ -143,6 +143,11 @@ class QueryService {
   Counter* cache_hits_;
   Counter* cache_misses_;
   Counter* verify_failures_;
+  // Mirrors of the exec layer's process-wide data-parallel statistics
+  // (exec cannot depend on service, so StatsReport syncs the deltas).
+  Counter* exec_par_tasks_;
+  Counter* exec_par_chunks_;
+  Counter* exec_unboxed_arrays_;
   Histogram* compile_us_;
   Histogram* execute_us_;
   Histogram* script_us_;

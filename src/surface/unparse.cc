@@ -134,15 +134,16 @@ class Unparser {
         return Status::OK();
       }
       case ValueKind::kArray: {
+        const ArrayRep& a = v.array();
         out->append("[[");
-        for (size_t i = 0; i < v.array().dims.size(); ++i) {
+        for (size_t i = 0; i < a.dims.size(); ++i) {
           if (i > 0) out->push_back(',');
-          out->append(std::to_string(v.array().dims[i]));
+          out->append(std::to_string(a.dims[i]));
         }
         out->append("; ");
-        for (size_t i = 0; i < v.array().elems.size(); ++i) {
+        for (uint64_t i = 0; i < a.Count(); ++i) {
           if (i > 0) out->append(", ");
-          AQL_RETURN_IF_ERROR(RenderLiteral(v.array().elems[i], out));
+          AQL_RETURN_IF_ERROR(RenderLiteral(a.At(i), out));
         }
         out->append("]]");
         return Status::OK();

@@ -80,12 +80,28 @@ Result<TypePtr> TypeChecker::TypeOfValue(const Value& v, TypeUnifier* unifier) {
       return Type::Set(unifier->Resolve(elem));
     }
     case ValueKind::kArray: {
+      const ArrayRep& a = v.array();
       TypePtr elem = unifier->Fresh();
-      for (const Value& x : v.array().elems) {
-        AQL_ASSIGN_OR_RETURN(TypePtr t, TypeOfValue(x, unifier));
-        AQL_RETURN_IF_ERROR(unifier->Unify(elem, t));
+      // Unboxed payloads are uniform by construction: one element types
+      // the whole array.
+      switch (a.payload) {
+        case ArrayRep::Payload::kNats:
+          AQL_RETURN_IF_ERROR(unifier->Unify(elem, Type::Nat()));
+          break;
+        case ArrayRep::Payload::kReals:
+          AQL_RETURN_IF_ERROR(unifier->Unify(elem, Type::Real()));
+          break;
+        case ArrayRep::Payload::kBools:
+          AQL_RETURN_IF_ERROR(unifier->Unify(elem, Type::Bool()));
+          break;
+        case ArrayRep::Payload::kBoxed:
+          for (const Value& x : a.elems) {
+            AQL_ASSIGN_OR_RETURN(TypePtr t, TypeOfValue(x, unifier));
+            AQL_RETURN_IF_ERROR(unifier->Unify(elem, t));
+          }
+          break;
       }
-      return Type::Array(unifier->Resolve(elem), v.array().dims.size());
+      return Type::Array(unifier->Resolve(elem), a.dims.size());
     }
     case ValueKind::kFunc:
       return Status::TypeError("function values have no inferable object type");

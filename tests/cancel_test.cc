@@ -7,6 +7,7 @@
 // explicit Cancel() from another thread interrupts a running evaluation.
 
 #include <chrono>
+#include <cstdlib>
 #include <functional>
 #include <thread>
 
@@ -105,6 +106,47 @@ TEST(CancelTest, ExplicitCancelFromAnotherThread) {
     return ev.Eval(HugeTab());
   }();
   canceller.join();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled) << r.status().ToString();
+}
+
+TEST(CancelTest, DeadlineInterruptsParallelTabulation) {
+  // A tabulation big enough to take the chunked parallel path (well above
+  // AQL_EXEC_PAR_THRESHOLD) but small enough to allocate: the per-chunk
+  // interrupt polls inside the worker loops must observe the deadline and
+  // fail the whole tabulation promptly.
+  ::setenv("AQL_EXEC_THREADS", "4", 1);
+  ExprPtr tab = Expr::Tab(
+      {"i", "j"},
+      Expr::Sum("x", Expr::Var("x"),
+                Expr::Gen(Expr::Arith(ArithOp::kAdd, Expr::Var("i"), Expr::Var("j")))),
+      {Expr::NatConst(1000), Expr::NatConst(1000)});
+  auto program = exec::Compile(tab, nullptr);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ExpectDeadline([&] { return program.value().Run(); }, milliseconds(50));
+  ::unsetenv("AQL_EXEC_THREADS");
+}
+
+TEST(CancelTest, ExplicitCancelStopsParallelTabulation) {
+  ::setenv("AQL_EXEC_THREADS", "4", 1);
+  ExprPtr tab = Expr::Tab(
+      {"i", "j"},
+      Expr::Sum("x", Expr::Var("x"),
+                Expr::Gen(Expr::Arith(ArithOp::kAdd, Expr::Var("i"), Expr::Var("j")))),
+      {Expr::NatConst(1000), Expr::NatConst(1000)});
+  auto program = exec::Compile(tab, nullptr);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  CancelToken token;
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(milliseconds(30));
+    token.Cancel();
+  });
+  Result<Value> r = [&]() -> Result<Value> {
+    ExecScope scope(&token);
+    return program.value().Run();
+  }();
+  canceller.join();
+  ::unsetenv("AQL_EXEC_THREADS");
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kCancelled) << r.status().ToString();
 }

@@ -45,7 +45,7 @@ TEST_F(CodeMotionTest, HoistsInvariantSumOutOfTabulation) {
   // And the result is right.
   auto v = sys_.EvalCore(*q);
   ASSERT_TRUE(v.ok());
-  EXPECT_EQ(v->array().elems[3], Value::Nat(3 + 999 * 1000 / 2));
+  EXPECT_EQ(v->array().At(3), Value::Nat(3 + 999 * 1000 / 2));
 }
 
 TEST_F(CodeMotionTest, BinderDependentExpressionStays) {

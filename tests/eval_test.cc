@@ -72,7 +72,7 @@ TEST_F(EvalTest, TabulationRowMajor) {
   Value v = Eval("[[ i * 10 + j | \\i < 2, \\j < 3 ]]");
   ASSERT_EQ(v.kind(), ValueKind::kArray);
   EXPECT_EQ(v.array().dims, (std::vector<uint64_t>{2, 3}));
-  EXPECT_EQ(v.array().elems[4], Value::Nat(11)) << "element (1,1)";
+  EXPECT_EQ(v.array().At(4), Value::Nat(11)) << "element (1,1)";
   EXPECT_EQ(Eval("[[ i | \\i < 0 ]]").array().TotalSize(), 0u);
 }
 
@@ -97,10 +97,10 @@ TEST_F(EvalTest, IndexGroupsAndFillsHoles) {
   Value v = Eval("index!({(1, \"a\"), (3, \"b\"), (1, \"c\")})");
   ASSERT_EQ(v.kind(), ValueKind::kArray);
   ASSERT_EQ(v.array().dims[0], 4u);
-  EXPECT_EQ(v.array().elems[0].ToString(), "{}");
-  EXPECT_EQ(v.array().elems[1].ToString(), "{\"a\", \"c\"}");
-  EXPECT_EQ(v.array().elems[2].ToString(), "{}");
-  EXPECT_EQ(v.array().elems[3].ToString(), "{\"b\"}");
+  EXPECT_EQ(v.array().At(0).ToString(), "{}");
+  EXPECT_EQ(v.array().At(1).ToString(), "{\"a\", \"c\"}");
+  EXPECT_EQ(v.array().At(2).ToString(), "{}");
+  EXPECT_EQ(v.array().At(3).ToString(), "{\"b\"}");
 }
 
 TEST_F(EvalTest, IndexOfEmptySet) {
@@ -112,8 +112,8 @@ TEST_F(EvalTest, IndexOfEmptySet) {
 TEST_F(EvalTest, IndexMultiDimensional) {
   Value v = Eval("index2!({((0, 1), \"x\"), ((1, 0), \"y\")})");
   ASSERT_EQ(v.array().dims, (std::vector<uint64_t>{2, 2}));
-  EXPECT_EQ(v.array().elems[1].ToString(), "{\"x\"}");
-  EXPECT_EQ(v.array().elems[2].ToString(), "{\"y\"}");
+  EXPECT_EQ(v.array().At(1).ToString(), "{\"x\"}");
+  EXPECT_EQ(v.array().At(2).ToString(), "{\"y\"}");
 }
 
 TEST_F(EvalTest, BottomPropagation) {
@@ -131,9 +131,9 @@ TEST_F(EvalTest, ArraysArePartialFunctions) {
   // arrays as partial functions; see eval/evaluator.h).
   Value v = Eval("[[ if i = 1 then bottom else i | \\i < 3 ]]");
   ASSERT_EQ(v.kind(), ValueKind::kArray);
-  EXPECT_EQ(v.array().elems[0], Value::Nat(0));
-  EXPECT_TRUE(v.array().elems[1].is_bottom());
-  EXPECT_EQ(v.array().elems[2], Value::Nat(2));
+  EXPECT_EQ(v.array().At(0), Value::Nat(0));
+  EXPECT_TRUE(v.array().At(1).is_bottom());
+  EXPECT_EQ(v.array().At(2), Value::Nat(2));
   EXPECT_EQ(Eval("len![[ if i = 1 then bottom else i | \\i < 3 ]]"), Value::Nat(3));
 }
 

@@ -1,0 +1,296 @@
+// Data-parallel execution coverage (docs/EXEC.md):
+//
+//   - property test: the compiled backend at AQL_EXEC_THREADS=1 and at
+//     AQL_EXEC_THREADS=4 (with the parallel threshold forced down to 2 so
+//     even tiny arrays take the chunked path) must produce bit-identical
+//     values on randomly generated well-typed programs, and both must agree
+//     with the tree-walking evaluator;
+//   - representation selection: all-scalar tabulations come back unboxed,
+//     bodies that can yield ⊥ fall back to boxed partial arrays;
+//   - bounds checking: tabulation extents whose product overflows uint64,
+//     or exceeds AQL_EXEC_MAX_ELEMS, fail with EvalError in BOTH backends
+//     instead of being silently clamped;
+//   - the exec.par.* / exec.unboxed.* process-wide statistics move.
+//
+// The thread-count knobs are read per top-level call, so setenv between
+// runs inside one test is safe (the gtest suite runs single-threaded).
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/expr.h"
+#include "env/system.h"
+#include "eval/evaluator.h"
+#include "exec/compiled.h"
+#include "exec/parallel.h"
+#include "expr_gen.h"
+#include "gtest/gtest.h"
+#include "object/value.h"
+
+namespace aql {
+namespace {
+
+// Scoped setenv: restores the previous value (or unsets) on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    ::setenv(name, value.c_str(), /*overwrite=*/1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+Result<Value> RunCompiled(const ExprPtr& e) {
+  AQL_ASSIGN_OR_RETURN(exec::Program program, exec::Compile(e, nullptr));
+  return program.Run();
+}
+
+ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return Expr::Arith(ArithOp::kMul, std::move(a), std::move(b));
+}
+ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return Expr::Arith(ArithOp::kAdd, std::move(a), std::move(b));
+}
+
+// ---- property: parallel == sequential == evaluator --------------------
+
+TEST(ExecParTest, ParallelMatchesSequentialOnRandomPrograms) {
+  ScopedEnv threshold("AQL_EXEC_PAR_THRESHOLD", "2");
+  Evaluator ev;
+  int compiled_ok = 0;
+  for (uint64_t seed = 0; seed < 300; ++seed) {
+    testing::ExprGen gen(seed);
+    ExprPtr e;
+    switch (seed % 3) {
+      case 0: e = gen.Arr(4); break;
+      case 1: e = gen.Nat(4); break;
+      default: e = gen.Set(4); break;
+    }
+
+    Result<Value> seq = [&] {
+      ScopedEnv threads("AQL_EXEC_THREADS", "1");
+      return RunCompiled(e);
+    }();
+    Result<Value> par = [&] {
+      ScopedEnv threads("AQL_EXEC_THREADS", "4");
+      return RunCompiled(e);
+    }();
+
+    // Identical status code, or identical value, bit for bit.
+    ASSERT_EQ(seq.ok(), par.ok())
+        << "seed " << seed << "\nseq: " << seq.status().ToString()
+        << "\npar: " << par.status().ToString();
+    if (!seq.ok()) {
+      EXPECT_EQ(seq.status().code(), par.status().code()) << "seed " << seed;
+      continue;
+    }
+    ++compiled_ok;
+    EXPECT_EQ(seq.value(), par.value()) << "seed " << seed;
+    EXPECT_EQ(seq.value().ToString(), par.value().ToString()) << "seed " << seed;
+
+    // Cross-check against the (always sequential) tree-walking evaluator.
+    Result<Value> walked = ev.Eval(e);
+    ASSERT_TRUE(walked.ok()) << "seed " << seed << ": " << walked.status().ToString();
+    EXPECT_EQ(walked.value(), par.value()) << "seed " << seed;
+  }
+  // The generator should produce mostly-evaluable programs; if this drops,
+  // the property test has lost its teeth.
+  EXPECT_GT(compiled_ok, 200);
+}
+
+// ---- representation selection -----------------------------------------
+
+TEST(ExecParTest, ScalarTabulationsComeBackUnboxed) {
+  ScopedEnv threshold("AQL_EXEC_PAR_THRESHOLD", "4");
+  ScopedEnv threads("AQL_EXEC_THREADS", "4");
+
+  // Nat kernel: [[ i*3 + j | i < 20, j < 20 ]].
+  ExprPtr nat_tab =
+      Expr::Tab({"i", "j"}, Add(Mul(Expr::Var("i"), Expr::NatConst(3)), Expr::Var("j")),
+                {Expr::NatConst(20), Expr::NatConst(20)});
+  auto nats = RunCompiled(nat_tab);
+  ASSERT_TRUE(nats.ok()) << nats.status().ToString();
+  ASSERT_EQ(nats->kind(), ValueKind::kArray);
+  EXPECT_EQ(nats->array().payload, ArrayRep::Payload::kNats);
+  EXPECT_EQ(nats->array().At(20 * 7 + 3), Value::Nat(24));
+
+  // Real kernel with a gather from an unboxed real array: [[ A[i]*2.0 ]].
+  std::vector<double> data(100);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = 0.25 * double(i);
+  Value a = *Value::MakeRealArray({100}, std::move(data));
+  ExprPtr real_tab = Expr::Tab(
+      {"i"}, Mul(Expr::Subscript(Expr::Literal(a), Expr::Var("i")), Expr::RealConst(2.0)),
+      {Expr::NatConst(100)});
+  auto reals = RunCompiled(real_tab);
+  ASSERT_TRUE(reals.ok()) << reals.status().ToString();
+  EXPECT_EQ(reals->array().payload, ArrayRep::Payload::kReals);
+  EXPECT_EQ(reals->array().At(10), Value::Real(5.0));
+
+  // Bool kernel: [[ i % 2 = 0 | i < 64 ]].
+  ExprPtr bool_tab = Expr::Tab(
+      {"i"},
+      Expr::Cmp(CmpOp::kEq, Expr::Arith(ArithOp::kMod, Expr::Var("i"), Expr::NatConst(2)),
+                Expr::NatConst(0)),
+      {Expr::NatConst(64)});
+  auto bools = RunCompiled(bool_tab);
+  ASSERT_TRUE(bools.ok()) << bools.status().ToString();
+  EXPECT_EQ(bools->array().payload, ArrayRep::Payload::kBools);
+  EXPECT_EQ(bools->array().At(6), Value::Bool(true));
+  EXPECT_EQ(bools->array().At(7), Value::Bool(false));
+}
+
+TEST(ExecParTest, BottomProducingBodiesFallBackToBoxedPartialArrays) {
+  ScopedEnv threshold("AQL_EXEC_PAR_THRESHOLD", "4");
+  ScopedEnv threads("AQL_EXEC_THREADS", "4");
+  // i / (i monus 5): division by zero for i <= 5 yields ⊥ at those points —
+  // a partial array. ⊥ holes can't live in a flat buffer, so the result
+  // must come back boxed, with ⊥ exactly where sequential semantics put it.
+  ExprPtr e = Expr::Tab(
+      {"i"},
+      Expr::Arith(ArithOp::kDiv, Expr::Var("i"),
+                  Expr::Arith(ArithOp::kMonus, Expr::Var("i"), Expr::NatConst(5))),
+      {Expr::NatConst(32)});
+  auto r = RunCompiled(e);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->kind(), ValueKind::kArray);
+  EXPECT_EQ(r->array().payload, ArrayRep::Payload::kBoxed);
+  for (uint64_t i = 0; i < 32; ++i) {
+    if (i <= 5) {
+      EXPECT_EQ(r->array().At(i), Value::Bottom()) << i;
+    } else {
+      EXPECT_EQ(r->array().At(i), Value::Nat(i / (i - 5))) << i;
+    }
+  }
+  // The evaluator agrees point for point.
+  Evaluator ev;
+  auto walked = ev.Eval(e);
+  ASSERT_TRUE(walked.ok());
+  EXPECT_EQ(walked.value(), r.value());
+}
+
+TEST(ExecParTest, NestedBodiesStayBoxedAndCorrect) {
+  ScopedEnv threshold("AQL_EXEC_PAR_THRESHOLD", "4");
+  ScopedEnv threads("AQL_EXEC_THREADS", "4");
+  // Tuple-valued body: no kernel, no unboxed payload, but the generic
+  // chunked path must still place every element row-major.
+  ExprPtr e = Expr::Tab({"i"},
+                        Expr::Tuple({Expr::Var("i"), Mul(Expr::Var("i"), Expr::Var("i"))}),
+                        {Expr::NatConst(50)});
+  auto r = RunCompiled(e);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->array().payload, ArrayRep::Payload::kBoxed);
+  EXPECT_EQ(r->array().At(7), Value::MakeTuple({Value::Nat(7), Value::Nat(49)}));
+}
+
+TEST(ExecParTest, ParallelSumAndBigUnionMatchSequential) {
+  ScopedEnv threshold("AQL_EXEC_PAR_THRESHOLD", "2");
+  // Nat sum, real sum (rounding-sensitive), and a big union.
+  std::vector<Value> reals;
+  for (int i = 0; i < 2000; ++i) reals.push_back(Value::Real(1.0 / (1.0 + i)));
+  std::vector<ExprPtr> cases;
+  cases.push_back(Expr::Sum("x", Mul(Expr::Var("x"), Expr::Var("x")),
+                            Expr::Gen(Expr::NatConst(2000))));
+  cases.push_back(Expr::Sum("x",
+                            Expr::Arith(ArithOp::kDiv, Expr::Var("x"), Expr::RealConst(7.0)),
+                            Expr::Literal(Value::MakeSet(std::move(reals)))));
+  cases.push_back(Expr::BigUnion(
+      "x", Expr::Gen(Expr::Arith(ArithOp::kMod, Expr::Var("x"), Expr::NatConst(17))),
+      Expr::Gen(Expr::NatConst(500))));
+  for (const ExprPtr& e : cases) {
+    Result<Value> seq = [&] {
+      ScopedEnv threads("AQL_EXEC_THREADS", "1");
+      return RunCompiled(e);
+    }();
+    Result<Value> par = [&] {
+      ScopedEnv threads("AQL_EXEC_THREADS", "4");
+      return RunCompiled(e);
+    }();
+    ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+    ASSERT_TRUE(par.ok()) << par.status().ToString();
+    // Bit-identical, including real rounding (the parallel path evaluates
+    // bodies in parallel but folds the partial results sequentially).
+    EXPECT_EQ(seq.value(), par.value());
+    EXPECT_EQ(seq->ToString(), par->ToString());
+  }
+}
+
+// ---- bounds checking (no silent clamping) ------------------------------
+
+TEST(ExecParTest, OverflowingTabulationBoundsFailInBothBackends) {
+  // 2^40 * 2^40 overflows uint64; the old code clamped its reserve and
+  // then looped essentially forever. Both backends must reject up front.
+  ExprPtr e = Expr::Tab({"i", "j"}, Add(Expr::Var("i"), Expr::Var("j")),
+                        {Expr::NatConst(uint64_t{1} << 40),
+                         Expr::NatConst(uint64_t{1} << 40)});
+  Evaluator ev;
+  auto walked = ev.Eval(e);
+  ASSERT_FALSE(walked.ok());
+  EXPECT_EQ(walked.status().code(), StatusCode::kEvalError)
+      << walked.status().ToString();
+
+  auto compiled = RunCompiled(e);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kEvalError)
+      << compiled.status().ToString();
+}
+
+TEST(ExecParTest, ElementCapIsConfigurableAndEnforced) {
+  ScopedEnv cap("AQL_EXEC_MAX_ELEMS", "1000");
+  ExprPtr over = Expr::Tab({"i"}, Expr::Var("i"), {Expr::NatConst(1001)});
+  ExprPtr under = Expr::Tab({"i"}, Expr::Var("i"), {Expr::NatConst(1000)});
+
+  Evaluator ev;
+  auto walked = ev.Eval(over);
+  ASSERT_FALSE(walked.ok());
+  EXPECT_EQ(walked.status().code(), StatusCode::kEvalError);
+  EXPECT_NE(walked.status().ToString().find("AQL_EXEC_MAX_ELEMS"), std::string::npos)
+      << walked.status().ToString();
+
+  auto compiled = RunCompiled(over);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kEvalError);
+
+  // At the cap exactly: fine.
+  EXPECT_TRUE(ev.Eval(under).ok());
+  EXPECT_TRUE(RunCompiled(under).ok());
+}
+
+// ---- statistics --------------------------------------------------------
+
+TEST(ExecParTest, ParallelRunsMoveTheExecStats) {
+  ScopedEnv threshold("AQL_EXEC_PAR_THRESHOLD", "4");
+  ScopedEnv threads("AQL_EXEC_THREADS", "4");
+  const exec::ExecStats& stats = exec::GlobalExecStats();
+  uint64_t tasks0 = stats.par_tasks.load();
+  uint64_t chunks0 = stats.par_chunks.load();
+  uint64_t unboxed0 = stats.unboxed_arrays.load();
+
+  ExprPtr e = Expr::Tab({"i"}, Mul(Expr::Var("i"), Expr::Var("i")),
+                        {Expr::NatConst(4096)});
+  auto r = RunCompiled(e);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r->array().unboxed());
+
+  EXPECT_GT(stats.par_tasks.load(), tasks0);
+  EXPECT_GT(stats.par_chunks.load(), chunks0);
+  EXPECT_GT(stats.unboxed_arrays.load(), unboxed0);
+}
+
+}  // namespace
+}  // namespace aql

@@ -67,8 +67,8 @@ TEST_F(ExecTest, Arrays) {
 TEST_F(ExecTest, PartialArraysKeepBottomElements) {
   Value v = Both("[[ if i = 1 then 1 / 0 else i | \\i < 3 ]]");
   ASSERT_EQ(v.kind(), ValueKind::kArray);
-  EXPECT_TRUE(v.array().elems[1].is_bottom());
-  EXPECT_EQ(v.array().elems[2], Value::Nat(2));
+  EXPECT_TRUE(v.array().At(1).is_bottom());
+  EXPECT_EQ(v.array().At(2), Value::Nat(2));
 }
 
 TEST_F(ExecTest, ClosuresCaptureByValue) {

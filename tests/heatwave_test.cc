@@ -109,13 +109,13 @@ TEST_F(HeatwaveTest, RegriddingPipelinePieces) {
   ASSERT_EQ(ws1.kind(), ValueKind::kArray);
   ASSERT_EQ(ws1.array().dims[0], kHours);
   for (uint64_t h = 0; h < kHours; h += 111) {
-    EXPECT_EQ(ws1.array().elems[h], Value::Real(winds_hourly_[h])) << h;
+    EXPECT_EQ(ws1.array().At(h), Value::Real(winds_hourly_[h])) << h;
   }
   // TRW zips to 720 triples.
   Value trw = testing::EvalOrDie(
       &sys_, "zip_3!(T, RH, evenpos!(proj_col!(WS, 0)))");
   ASSERT_EQ(trw.array().dims[0], kHours);
-  EXPECT_EQ(trw.array().elems[0].tuple_fields().size(), 3u);
+  EXPECT_EQ(trw.array().At(0).tuple_fields().size(), 3u);
 }
 
 TEST_F(HeatwaveTest, MotivatingQueryMatchesDirectComputation) {

@@ -103,8 +103,8 @@ TEST_F(NetcdfDriverTest, Netcdf3SubslabInclusiveBounds) {
   ASSERT_TRUE(v.ok()) << v.status().ToString();
   ASSERT_EQ(v->kind(), ValueKind::kArray);
   EXPECT_EQ(v->array().dims, (std::vector<uint64_t>{2, 2, 2}));
-  EXPECT_EQ(v->array().elems[0], Value::Real(4.0)) << "element (1,0,0) of source";
-  EXPECT_EQ(v->array().elems[7], Value::Real(11.0));
+  EXPECT_EQ(v->array().At(0), Value::Real(4.0)) << "element (1,0,0) of source";
+  EXPECT_EQ(v->array().At(7), Value::Real(11.0));
 }
 
 TEST_F(NetcdfDriverTest, Netcdf1ScalarBounds) {
@@ -114,7 +114,7 @@ TEST_F(NetcdfDriverTest, Netcdf1ScalarBounds) {
   auto v = reader(args);
   ASSERT_TRUE(v.ok()) << v.status().ToString();
   EXPECT_EQ(v->array().dims, (std::vector<uint64_t>{3}));
-  EXPECT_EQ(v->array().elems[0], Value::Real(1.5));
+  EXPECT_EQ(v->array().At(0), Value::Real(1.5));
 }
 
 TEST_F(NetcdfDriverTest, DriverErrorPaths) {
@@ -179,7 +179,7 @@ TEST(NetcdfWriterDriver, NatArraysWidenToDouble) {
   auto back = MakeNetcdfReader(1)(Value::MakeTuple(
       {Value::Str(path), Value::Str("v"), Value::Nat(0), Value::Nat(2)}));
   ASSERT_TRUE(back.ok());
-  EXPECT_EQ(back->array().elems[2], Value::Real(3.0));
+  EXPECT_EQ(back->array().At(2), Value::Real(3.0));
   std::remove(path.c_str());
 }
 

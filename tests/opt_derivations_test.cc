@@ -107,8 +107,8 @@ TEST_F(DerivationsTest, ZipSubseqPlansAgreeEvenOnShortArrays) {
   EXPECT_EQ(v1, r1);
   ASSERT_EQ(v1.kind(), ValueKind::kArray);
   EXPECT_EQ(v1.array().dims[0], 8u);
-  EXPECT_FALSE(v1.array().elems[1].is_bottom());
-  EXPECT_TRUE(v1.array().elems[2].is_bottom()) << "position 5 of a 5-array";
+  EXPECT_FALSE(v1.array().At(1).is_bottom());
+  EXPECT_TRUE(v1.array().At(2).is_bottom()) << "position 5 of a 5-array";
 }
 
 TEST_F(DerivationsTest, ZipSubseqFusedFormHasSingleTabulation) {

@@ -76,14 +76,14 @@ TEST(CfConventions, ScaleFactorAndAddOffsetUnpack) {
   auto packed = reader(Value::MakeTuple(
       {Value::Str(path), Value::Str("temp"), Value::Nat(0), Value::Nat(3)}));
   ASSERT_TRUE(packed.ok()) << packed.status().ToString();
-  EXPECT_EQ(packed->array().elems[0], Value::Real(50.0));
-  EXPECT_EQ(packed->array().elems[3], Value::Real(80.0));
+  EXPECT_EQ(packed->array().At(0), Value::Real(50.0));
+  EXPECT_EQ(packed->array().At(3), Value::Real(80.0));
 
   // Variables without the attributes pass through unchanged.
   auto plain = reader(Value::MakeTuple(
       {Value::Str(path), Value::Str("plain"), Value::Nat(0), Value::Nat(3)}));
   ASSERT_TRUE(plain.ok());
-  EXPECT_EQ(plain->array().elems[0], Value::Real(1.0));
+  EXPECT_EQ(plain->array().At(0), Value::Real(1.0));
   std::remove(path.c_str());
 }
 

@@ -125,7 +125,7 @@ TEST_F(SciLibTest, BagsAgreeWithHistogram) {
   for (const Value& pair : bag.set().elems) {
     uint64_t value = pair.tuple_fields()[0].nat_value();
     uint64_t mult = pair.tuple_fields()[1].nat_value();
-    EXPECT_EQ(hist.array().elems[value], Value::Nat(mult)) << value;
+    EXPECT_EQ(hist.array().At(value), Value::Nat(mult)) << value;
   }
 }
 

@@ -10,6 +10,7 @@
 //                        ctest --test-dir build-tsan -L tsan
 
 #include <atomic>
+#include <cstdlib>
 #include <chrono>
 #include <string>
 #include <thread>
@@ -19,7 +20,7 @@
 #include "service/metrics.h"
 #include "service/plan_cache.h"
 #include "service/service.h"
-#include "service/thread_pool.h"
+#include "base/thread_pool.h"
 #include "test_util.h"
 
 namespace aql {
@@ -289,11 +290,40 @@ TEST(ServiceTest, StatsReportListsInstruments) {
   for (const char* needle :
        {"workers", "queries.submitted", "queries.completed", "plan_cache.hits",
         "plan_cache.misses", "latency.compile_us", "latency.execute_us",
-        "statements.run"}) {
+        "statements.run", "exec.par.tasks", "exec.par.chunks",
+        "exec.unboxed.arrays"}) {
     EXPECT_NE(report.find(needle), std::string::npos)
         << "missing '" << needle << "' in:\n"
         << report;
   }
+}
+
+TEST(ServiceTest, StatsReportMirrorsExecParallelCounters) {
+  // Force the chunked path even for a modest tabulation, run it through
+  // the service, and check the exec-layer counters surface in :stats.
+  ::setenv("AQL_EXEC_THREADS", "4", 1);
+  ::setenv("AQL_EXEC_PAR_THRESHOLD", "16", 1);
+  System sys;
+  QueryService svc(&sys, {.num_workers = 2});
+  ASSERT_TRUE(svc.Execute("[[ i*i | \\i < 4096 ]]").ok());
+  std::string report = svc.StatsReport();
+  ::unsetenv("AQL_EXEC_THREADS");
+  ::unsetenv("AQL_EXEC_PAR_THRESHOLD");
+
+  // Counters are process-wide and monotone; after a forced-parallel query
+  // every mirror must be nonzero (i.e. not rendered as "... 0").
+  auto counter_value = [&report](const std::string& name) -> uint64_t {
+    size_t at = report.find(name);
+    EXPECT_NE(at, std::string::npos) << report;
+    if (at == std::string::npos) return 0;
+    size_t digits = report.find_first_of("0123456789", at + name.size());
+    EXPECT_NE(digits, std::string::npos) << report;
+    if (digits == std::string::npos) return 0;
+    return std::strtoull(report.c_str() + digits, nullptr, 10);
+  };
+  EXPECT_GT(counter_value("exec.par.tasks"), 0u);
+  EXPECT_GT(counter_value("exec.par.chunks"), 0u);
+  EXPECT_GT(counter_value("exec.unboxed.arrays"), 0u);
 }
 
 // ---- building blocks ----

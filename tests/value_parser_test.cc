@@ -42,7 +42,7 @@ TEST(ValueParser, Arrays) {
   Value dense = MustParse("[[2,2; 1, 2, 3, 4]]");
   ASSERT_EQ(dense.kind(), ValueKind::kArray);
   EXPECT_EQ(dense.array().dims, (std::vector<uint64_t>{2, 2}));
-  EXPECT_EQ(dense.array().elems[3], Value::Nat(4));
+  EXPECT_EQ(dense.array().At(3), Value::Nat(4));
 }
 
 TEST(ValueParser, NestedStructures) {
