@@ -1,0 +1,123 @@
+// Overhead of the src/obs tracing layer (docs/OBS.md).
+//
+// The contract is that disabled tracing is free: a Span constructor is one
+// thread-local load plus one relaxed atomic load, with no clock read and
+// no allocation. These series pin that:
+//
+//   BM_SpanDisabled        — raw cost of an inert Span (the fast path)
+//   BM_SpanCaptured        — cost of a recording Span under a TraceCapture
+//   BM_SpanToSink          — cost of a recording Span into the Tracer sink
+//   BM_QueryTraceOff/n     — a bench_exec workload end to end, tracer off
+//   BM_QueryTraceCapture/n — the same workload under a TraceCapture
+//
+// The acceptance bar for the PR that introduced obs: BM_QueryTraceOff must
+// match bench_exec's BM_ComprehensionCompiled within noise (<= 2%), since
+// it runs the identical query through the identically instrumented code.
+
+#include "bench_util.h"
+#include "exec/compiled.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+
+namespace aql {
+namespace bench {
+namespace {
+
+void BM_SpanDisabled(benchmark::State& state) {
+  if (obs::TracingActive()) {
+    state.SkipWithError("tracer unexpectedly enabled");
+    return;
+  }
+  for (auto _ : state) {
+    obs::Span span("bench", "noop");
+    benchmark::DoNotOptimize(span.active());
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanCaptured(benchmark::State& state) {
+  obs::TraceCapture capture;
+  for (auto _ : state) {
+    obs::Span span("bench", "captured");
+    benchmark::DoNotOptimize(span.active());
+  }
+  state.counters["records"] = static_cast<double>(capture.records().size());
+}
+BENCHMARK(BM_SpanCaptured);
+
+void BM_SpanToSink(benchmark::State& state) {
+  obs::Tracer::Get().SetEnabled(true);
+  for (auto _ : state) {
+    obs::Span span("bench", "sunk");
+    benchmark::DoNotOptimize(span.active());
+  }
+  obs::Tracer::Get().SetEnabled(false);
+  obs::Tracer::Get().Drain();  // do not let the sink grow across iterations
+}
+BENCHMARK(BM_SpanToSink);
+
+// The bench_exec comprehension workload, so numbers line up directly with
+// BM_ComprehensionCompiled in BENCH_exec.json.
+void RunQuery(benchmark::State& state, bool capture_spans) {
+  System* sys = SharedSystem();
+  std::string query =
+      "summap(fn \\x => x % 7)!(gen!" + std::to_string(state.range(0)) + ")";
+  ExprPtr q = MustCompile(sys, state, query);
+  if (!q) return;
+  auto program = exec::Compile(q, sys->PrimitiveResolver());
+  if (!program.ok()) {
+    state.SkipWithError(program.status().ToString().c_str());
+    return;
+  }
+  uint64_t spans = 0;
+  for (auto _ : state) {
+    if (capture_spans) {
+      obs::TraceCapture capture;
+      auto r = program->Run();
+      if (!r.ok()) {
+        state.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(r);
+      spans += capture.records().size();
+    } else {
+      auto r = program->Run();
+      if (!r.ok()) {
+        state.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  if (capture_spans && state.iterations() > 0) {
+    state.counters["spans_per_iter"] =
+        static_cast<double>(spans) / static_cast<double>(state.iterations());
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_QueryTraceOff(benchmark::State& state) { RunQuery(state, false); }
+void BM_QueryTraceCapture(benchmark::State& state) { RunQuery(state, true); }
+BENCHMARK(BM_QueryTraceOff)->RangeMultiplier(4)->Range(256, 16384)->Complexity();
+BENCHMARK(BM_QueryTraceCapture)->RangeMultiplier(4)->Range(256, 16384)->Complexity();
+
+// Full pipeline (parse → ... → exec) under System::Profile, sized like the
+// service's slow-query logging path: capture + profile build + render.
+void BM_SystemProfile(benchmark::State& state) {
+  System* sys = SharedSystem();
+  for (auto _ : state) {
+    auto r = sys->Profile("transpose!([[ i * 10 + j | \\i < 4, \\j < 5 ]])");
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SystemProfile);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aql
+
+BENCHMARK_MAIN();

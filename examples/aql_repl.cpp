@@ -22,6 +22,7 @@
 #include <string>
 
 #include "env/system.h"
+#include "obs/trace.h"
 #include "service/service.h"
 
 namespace {
@@ -46,6 +47,15 @@ void ShowPlan(const aql::System* sys, const std::string& expr) {
 
 void ShowVerify(const aql::System* sys, const std::string& expr) {
   auto report = sys->VerifyReport(expr);
+  if (!report.ok()) {
+    std::printf("error: %s\n", report.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", report->c_str());
+}
+
+void ShowProfile(const aql::System* sys, const std::string& expr) {
+  auto report = sys->Profile(expr);
   if (!report.ok()) {
     std::printf("error: %s\n", report.status().ToString().c_str());
     return;
@@ -98,6 +108,10 @@ int main(int argc, char** argv) {
             "  writeval <e> using WRITER at <e>; write external data\n"
             "  :plan <expr>                     show the optimized plan\n"
             "  :verify <expr>                   run the IR verifier on the plan\n"
+            "  :profile <expr>                  run + per-stage time breakdown\n"
+            "  :trace on|off                    toggle the process-wide tracer\n"
+            "                                   (AQL_TRACE_FILE=path exports\n"
+            "                                   Chrome trace JSON at exit)\n"
             "  :load <file.aql>                 run a script file\n"
             "  :stats                           service metrics for this session\n"
             "  :quit                            leave\n");
@@ -113,6 +127,16 @@ int main(int argc, char** argv) {
       }
       if (line.rfind(":verify ", 0) == 0) {
         ShowVerify(&sys, line.substr(8));
+        continue;
+      }
+      if (line.rfind(":profile ", 0) == 0) {
+        ShowProfile(&sys, line.substr(9));
+        continue;
+      }
+      if (line == ":trace on" || line == ":trace off") {
+        bool on = line == ":trace on";
+        aql::obs::Tracer::Get().SetEnabled(on);
+        std::printf("tracing %s\n", on ? "on" : "off");
         continue;
       }
       if (line.rfind(":load ", 0) == 0) {

@@ -6,9 +6,12 @@
 #include <set>
 
 #include "analysis/verifier.h"
+#include "base/env.h"
 #include "base/strings.h"
 #include "env/prelude.h"
 #include "io/drivers.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "surface/desugar.h"
 #include "surface/parser.h"
 #include "typecheck/typecheck.h"
@@ -30,15 +33,6 @@ std::string StatementResult::ToDisplayString(size_t max_items) const {
   }
   return out;
 }
-
-namespace {
-
-bool EnvFlag(const char* name) {
-  const char* v = std::getenv(name);
-  return v != nullptr && *v != '\0' && std::string_view(v) != "0";
-}
-
-}  // namespace
 
 System::System(SystemConfig config)
     : config_(std::move(config)),
@@ -66,7 +60,12 @@ TypePtr System::LookupScheme(const std::string& name) const {
 }
 
 Result<ExprPtr> System::ParseToCore(std::string_view expression) const {
-  AQL_ASSIGN_OR_RETURN(SurfacePtr surf, ParseExpression(expression));
+  SurfacePtr surf;
+  {
+    obs::Span span("query", "parse");
+    AQL_ASSIGN_OR_RETURN(surf, ParseExpression(expression));
+  }
+  obs::Span span("query", "desugar");
   Desugarer desugarer;
   return desugarer.Desugar(surf);
 }
@@ -110,11 +109,13 @@ Result<ExprPtr> System::ResolveImpl(const ExprPtr& e,
 }
 
 Result<ExprPtr> System::ResolveNames(const ExprPtr& e) const {
+  obs::Span span("query", "resolve");
   std::vector<std::string> bound;
   return ResolveImpl(e, &bound);
 }
 
 Result<TypePtr> System::TypeOf(const ExprPtr& resolved) const {
+  obs::Span span("query", "typecheck");
   TypeChecker checker([this](const std::string& name) { return LookupScheme(name); });
   return checker.Check(resolved);
 }
@@ -124,6 +125,7 @@ TypeChecker::ExternalLookup System::SchemeResolver() const {
 }
 
 ExprPtr System::Optimize(const ExprPtr& e, RewriteStats* stats) const {
+  obs::Span span("query", "optimize");
   if (!config_.verify_ir) return optimizer_.Optimize(e, stats);
   analysis::Verifier verifier(SchemeResolver());
   analysis::VerifierReport report;
@@ -158,6 +160,7 @@ Result<ExprPtr> System::Compile(std::string_view expression) const {
 }
 
 Result<Value> System::EvalCore(const ExprPtr& compiled) const {
+  obs::Span span("query", "eval");
   return evaluator_.Eval(compiled);
 }
 
@@ -177,6 +180,26 @@ Result<Value> System::EvalCoreCompiled(const ExprPtr& compiled) const {
 Result<Value> System::Eval(std::string_view expression) const {
   AQL_ASSIGN_OR_RETURN(ExprPtr compiled, Compile(expression));
   return EvalCore(compiled);
+}
+
+Result<std::string> System::Profile(std::string_view expression) const {
+  obs::TraceCapture capture;
+  Status failure = Status::OK();
+  {
+    // Root span: everything the pipeline does nests under it. Uses the
+    // compiled backend, the serving path, so the report shows the
+    // exec.compile / exec.run split and any parallel loops.
+    obs::Span root("query", "query");
+    Result<ExprPtr> compiled = Compile(expression);
+    if (!compiled.ok()) {
+      failure = compiled.status();
+    } else {
+      Result<Value> value = EvalCoreCompiled(*compiled);
+      if (!value.ok()) failure = value.status();
+    }
+  }
+  AQL_RETURN_IF_ERROR(failure);
+  return obs::Profile::Build(capture.TakeRecords()).ToString();
 }
 
 Result<std::string> System::Explain(std::string_view expression) const {

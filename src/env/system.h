@@ -124,6 +124,14 @@ class System {
   // core term size before/after optimization, per-rule firing counts, and
   // the final plan — what the REPL's :plan command prints.
   Result<std::string> Explain(std::string_view expression) const;
+
+  // Compiles and runs `expression` (compiled backend) under a trace
+  // capture and returns the profile report: the span tree of every
+  // pipeline stage with inclusive/exclusive wall times, plus the top
+  // optimizer rules by attributed time — what the REPL's :profile
+  // command prints. Works regardless of the global tracer state
+  // (src/obs); failures compile/run-fail as usual.
+  Result<std::string> Profile(std::string_view expression) const;
   ExprPtr Optimize(const ExprPtr& e, RewriteStats* stats = nullptr) const;
 
   // Compiles `expression` with the IR verifier watching every optimizer

@@ -10,6 +10,7 @@
 #include "core/expr_ops.h"
 #include "exec/kernel.h"
 #include "exec/parallel.h"
+#include "obs/trace.h"
 
 namespace aql {
 namespace exec {
@@ -952,6 +953,7 @@ class Compiler {
 }  // namespace
 
 Result<Value> Program::Run(std::vector<Value> args) const {
+  obs::Span span("exec", "exec.run");
   Frame frame;
   frame.slots.resize(frame_size_);
   for (size_t i = 0; i < args.size() && i < frame.slots.size(); ++i) {
@@ -962,6 +964,7 @@ Result<Value> Program::Run(std::vector<Value> args) const {
 
 Result<Program> Compile(const ExprPtr& e, const ExternalResolver& externals,
                         const std::vector<std::string>& params) {
+  obs::Span span("exec", "exec.compile");
   Compiler compiler(externals);
   return compiler.CompileProgram(e, params);
 }

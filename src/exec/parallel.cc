@@ -10,21 +10,14 @@
 #include <vector>
 
 #include "base/cancel.h"
+#include "base/env.h"
 #include "base/thread_pool.h"
+#include "obs/trace.h"
 
 namespace aql {
 namespace exec {
 
 namespace {
-
-uint64_t EnvU64(const char* name, uint64_t fallback) {
-  if (const char* env = std::getenv(name)) {
-    char* end = nullptr;
-    unsigned long long v = std::strtoull(env, &end, 10);
-    if (end != env) return v;
-  }
-  return fallback;
-}
 
 int HardwareThreads() {
   unsigned hw = std::thread::hardware_concurrency();
@@ -116,6 +109,9 @@ Status ParallelFor(uint64_t total,
   int threads = ExecThreads();
   if (threads <= 1 || total < ParThreshold()) return fn(0, total);
 
+  obs::Span span("exec", "exec.parallel_for");
+  span.AddCount("elems", total);
+
   auto st = std::make_shared<ForState>();
   st->total = total;
   // Oversplit relative to the thread count so stragglers rebalance, but
@@ -134,12 +130,14 @@ Status ParallelFor(uint64_t total,
   // never dereferences `token` or `fn`, so their lifetimes end safely
   // with this call.
   const CancelToken* token = CurrentCancelToken();
+  int helpers = 0;
   for (int i = 0; i < threads - 1; ++i) {
     bool ok = Pool().TrySubmit([st, token] {
       ExecScope scope(token);
       RunChunks(*st);
     });
     if (!ok) break;  // full pool: the caller just runs more chunks itself
+    ++helpers;
   }
 
   RunChunks(*st);  // caller participates; returns once the cursor is spent
@@ -151,6 +149,9 @@ Status ParallelFor(uint64_t total,
     std::unique_lock<std::mutex> lock(st->mu);
     st->done_cv.wait(lock, [&] { return st->chunks_done == st->num_chunks; });
   }
+
+  span.AddCount("chunks", st->num_chunks);
+  span.AddCount("helpers", static_cast<uint64_t>(helpers));
 
   for (Status& s : st->status) {
     if (!s.ok()) return std::move(s);

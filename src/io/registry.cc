@@ -1,6 +1,7 @@
 #include "io/registry.h"
 
 #include "base/strings.h"
+#include "obs/trace.h"
 
 namespace aql {
 
@@ -25,6 +26,7 @@ Result<Value> IoRegistry::Read(const std::string& reader, const Value& args) con
   if (it == readers_.end()) {
     return Status::NotFound(StrCat("no reader registered as ", reader));
   }
+  obs::Span span("io", StrCat("io.read.", reader));
   return it->second(args);
 }
 
@@ -34,6 +36,7 @@ Status IoRegistry::Write(const std::string& writer, const Value& payload,
   if (it == writers_.end()) {
     return Status::NotFound(StrCat("no writer registered as ", writer));
   }
+  obs::Span span("io", StrCat("io.write.", writer));
   return it->second(payload, args);
 }
 

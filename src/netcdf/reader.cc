@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "base/strings.h"
+#include "obs/trace.h"
 
 namespace aql {
 namespace netcdf {
@@ -274,6 +275,12 @@ Result<double> NcReader::DecodeAt(NcType type, uint64_t offset) const {
 Result<std::vector<double>> NcReader::ReadSlab(int var_index,
                                                const std::vector<uint64_t>& start,
                                                const std::vector<uint64_t>& count) const {
+  obs::Span span("io", "netcdf.read_slab");
+  if (span.active()) {
+    std::string shape;
+    for (uint64_t c : count) shape += StrCat(shape.empty() ? "" : "x", c);
+    span.SetDetail(StrCat("subslab ", shape));
+  }
   if (var_index < 0 || var_index >= static_cast<int>(header_.vars.size())) {
     return Status::InvalidArgument("netcdf: bad variable index");
   }
@@ -302,6 +309,8 @@ Result<std::vector<double>> NcReader::ReadSlab(int var_index,
   if (total > bytes_.size()) {
     return Status::FormatError("netcdf: variable extent exceeds file size");
   }
+  span.AddCount("elems", total);
+  span.AddCount("bytes", total * NcTypeSize(var.type));
   std::vector<double> out;
   out.reserve(total);
   if (total == 0) return out;

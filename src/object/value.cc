@@ -6,6 +6,7 @@
 #include <cstring>
 #include <limits>
 
+#include "base/env.h"
 #include "base/strings.h"
 
 namespace aql {
@@ -536,13 +537,12 @@ uint64_t HashValue(const Value& v) {
 
 uint64_t MaxArrayElements() {
   // Re-read per call (one getenv per tabulation, not per element) so tests
-  // can vary the cap within one process.
-  if (const char* env = std::getenv("AQL_EXEC_MAX_ELEMS")) {
-    char* end = nullptr;
-    unsigned long long v = std::strtoull(env, &end, 10);
-    if (end != env && v > 0) return v;
-  }
-  return uint64_t{1} << 36;
+  // can vary the cap within one process. Strict parse: malformed values
+  // ("12abc", "-1", "") and 0 fall back to the default instead of being
+  // half-parsed into a bogus cap.
+  constexpr uint64_t kDefault = uint64_t{1} << 36;
+  uint64_t v = EnvU64("AQL_EXEC_MAX_ELEMS", kDefault);
+  return v == 0 ? kDefault : v;
 }
 
 Result<uint64_t> CheckedVolume(const std::vector<uint64_t>& dims) {

@@ -1,0 +1,117 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <map>
+
+#include "base/strings.h"
+
+namespace aql {
+namespace obs {
+
+namespace {
+
+constexpr std::string_view kRuleUsPrefix = "rule_us/";
+constexpr std::string_view kRuleNPrefix = "rule_n/";
+
+void RenderNode(const Profile& p, size_t idx, size_t depth, std::string* out) {
+  const ProfileNode& node = p.nodes()[idx];
+  *out += std::string(2 * depth + 2, ' ');
+  *out += node.record.name;
+  *out += StrCat("  ", node.inclusive_us, "us");
+  if (!node.children.empty()) {
+    *out += StrCat(" (excl ", node.exclusive_us, "us)");
+  }
+  bool first = true;
+  for (const auto& [key, value] : node.record.counters) {
+    if (key.rfind(kRuleUsPrefix, 0) == 0 || key.rfind(kRuleNPrefix, 0) == 0) {
+      continue;  // rules get their own table
+    }
+    *out += first ? "  [" : ", ";
+    first = false;
+    *out += StrCat(key, "=", value);
+  }
+  if (!first) *out += "]";
+  if (!node.record.detail.empty()) {
+    *out += StrCat("  {", node.record.detail, "}");
+  }
+  *out += "\n";
+  for (size_t child : node.children) RenderNode(p, child, depth + 1, out);
+}
+
+}  // namespace
+
+Profile Profile::Build(std::vector<SpanRecord> records) {
+  Profile p;
+  p.nodes_.reserve(records.size());
+  std::map<uint64_t, size_t> by_id;
+  for (SpanRecord& rec : records) {
+    ProfileNode node;
+    node.record = std::move(rec);
+    node.inclusive_us = node.record.dur_us;
+    node.exclusive_us = node.record.dur_us;
+    by_id[node.record.id] = p.nodes_.size();
+    p.nodes_.push_back(std::move(node));
+  }
+  std::map<std::string, RuleTime> rules;
+  for (size_t i = 0; i < p.nodes_.size(); ++i) {
+    ProfileNode& node = p.nodes_[i];
+    auto parent = by_id.find(node.record.parent_id);
+    if (node.record.parent_id != 0 && parent != by_id.end()) {
+      ProfileNode& up = p.nodes_[parent->second];
+      up.children.push_back(i);
+      up.exclusive_us -= std::min(up.exclusive_us, node.inclusive_us);
+    } else {
+      p.roots_.push_back(i);
+      p.total_us_ += node.inclusive_us;
+    }
+    for (const auto& [key, value] : node.record.counters) {
+      if (key.rfind(kRuleUsPrefix, 0) == 0) {
+        rules[key.substr(kRuleUsPrefix.size())].attributed_us += value;
+      } else if (key.rfind(kRuleNPrefix, 0) == 0) {
+        rules[key.substr(kRuleNPrefix.size())].firings += value;
+      }
+    }
+  }
+  // Children were appended in completion order; order them by start time
+  // so the rendered tree reads as the pipeline executed.
+  for (ProfileNode& node : p.nodes_) {
+    std::sort(node.children.begin(), node.children.end(), [&](size_t a, size_t b) {
+      return p.nodes_[a].record.start_us < p.nodes_[b].record.start_us;
+    });
+  }
+  std::sort(p.roots_.begin(), p.roots_.end(), [&](size_t a, size_t b) {
+    return p.nodes_[a].record.start_us < p.nodes_[b].record.start_us;
+  });
+  p.rule_times_.reserve(rules.size());
+  for (auto& [name, rt] : rules) {
+    rt.rule = name;
+    p.rule_times_.push_back(std::move(rt));
+  }
+  std::sort(p.rule_times_.begin(), p.rule_times_.end(),
+            [](const RuleTime& a, const RuleTime& b) {
+              return a.attributed_us != b.attributed_us
+                         ? a.attributed_us > b.attributed_us
+                         : a.rule < b.rule;
+            });
+  return p;
+}
+
+std::string Profile::ToString(size_t top_rules) const {
+  if (nodes_.empty()) return "profile: no spans captured\n";
+  std::string out = StrCat("profile (total ", total_us_, "us, ", nodes_.size(),
+                           " spans)\n");
+  for (size_t root : roots_) RenderNode(*this, root, 0, &out);
+  if (!rule_times_.empty() && top_rules > 0) {
+    out += "top rules by attributed time:\n";
+    size_t shown = 0;
+    for (const RuleTime& rt : rule_times_) {
+      if (shown++ >= top_rules) break;
+      out += StrCat("  ", rt.rule, ": ", rt.attributed_us, "us (", rt.firings,
+                    rt.firings == 1 ? " firing)\n" : " firings)\n");
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace aql

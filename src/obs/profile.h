@@ -1,0 +1,62 @@
+// Profile reports over captured span records.
+//
+// A Profile is the span tree of one query (usually one TraceCapture),
+// with inclusive and exclusive wall times per node and an aggregated
+// per-optimizer-rule time table (fed by the "rule_us/<name>" /
+// "rule_n/<name>" counters the optimizer attaches to its phase spans).
+// Rendered by System::Profile / the REPL's `:profile <expr>` and the
+// service's slow-query log.
+
+#ifndef AQL_OBS_PROFILE_H_
+#define AQL_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace aql {
+namespace obs {
+
+struct ProfileNode {
+  SpanRecord record;
+  uint64_t inclusive_us = 0;  // the span's own duration
+  uint64_t exclusive_us = 0;  // inclusive minus direct children (>= 0)
+  std::vector<size_t> children;  // indices into Profile::nodes
+};
+
+struct RuleTime {
+  std::string rule;
+  uint64_t attributed_us = 0;
+  uint64_t firings = 0;
+};
+
+class Profile {
+ public:
+  // Links records into a forest by parent_id. Records must come from one
+  // thread (one TraceCapture); children finished before parents, so the
+  // input is in completion order.
+  static Profile Build(std::vector<SpanRecord> records);
+
+  const std::vector<ProfileNode>& nodes() const { return nodes_; }
+  const std::vector<size_t>& roots() const { return roots_; }
+  // Per-rule attributed time, descending; aggregated across all spans.
+  const std::vector<RuleTime>& rule_times() const { return rule_times_; }
+  uint64_t total_us() const { return total_us_; }
+
+  // Indented stage tree with inclusive/exclusive µs and counters, then
+  // the top `top_rules` optimizer rules by attributed time.
+  std::string ToString(size_t top_rules = 10) const;
+
+ private:
+  std::vector<ProfileNode> nodes_;
+  std::vector<size_t> roots_;
+  std::vector<RuleTime> rule_times_;
+  uint64_t total_us_ = 0;
+};
+
+}  // namespace obs
+}  // namespace aql
+
+#endif  // AQL_OBS_PROFILE_H_

@@ -1,0 +1,205 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/env.h"
+#include "base/strings.h"
+
+namespace aql {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+thread_local void* g_tls_capture = nullptr;
+}  // namespace internal
+
+namespace {
+
+// Per-thread ordinal for trace records: stable, small, and assigned only
+// when a thread first finishes an active span.
+uint64_t ThisThreadOrdinal() {
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+uint64_t NextSpanId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// The youngest open span on this thread (parent of new spans).
+thread_local Span* g_tls_open_span = nullptr;
+
+void JsonEscapeTo(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  if (const char* f = std::getenv("AQL_TRACE_FILE"); f != nullptr && *f != '\0') {
+    trace_file_ = f;
+  }
+  if (EnvFlag("AQL_TRACE") || !trace_file_.empty()) SetEnabled(true);
+  if (!trace_file_.empty()) {
+    std::atexit([] {
+      Tracer& t = Tracer::Get();
+      Status s = t.WriteChromeJson(t.trace_file_);
+      if (!s.ok()) {
+        std::fprintf(stderr, "AQL_TRACE_FILE: %s\n", s.ToString().c_str());
+      }
+    });
+  }
+}
+
+Tracer& Tracer::Get() {
+  // Leaked: spans may finish during static destruction of other objects.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+namespace {
+// Construct the singleton at program start. The ctor is what reads
+// AQL_TRACE / AQL_TRACE_FILE and flips g_trace_enabled; left lazy, a
+// process that never calls Tracer::Get() explicitly would ignore the
+// environment entirely, because inert spans never touch the singleton.
+const bool g_tracer_env_init = (Tracer::Get(), true);
+}  // namespace
+
+uint64_t Tracer::NowUs() const {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - epoch_)
+                                   .count());
+}
+
+void Tracer::Emit(const SpanRecord& rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (records_.size() >= kMaxRecords) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  records_.push_back(rec);
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::vector<SpanRecord> Tracer::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.swap(records_);
+  return out;
+}
+
+std::string ToChromeJson(const std::vector<SpanRecord>& records) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& r : records) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    JsonEscapeTo(&out, r.name);
+    out += "\",\"cat\":\"";
+    JsonEscapeTo(&out, r.cat);
+    out += StrCat("\",\"ph\":\"X\",\"ts\":", r.start_us, ",\"dur\":", r.dur_us,
+                  ",\"pid\":1,\"tid\":", r.tid, ",\"id\":", r.id,
+                  ",\"args\":{\"parent\":", r.parent_id);
+    if (!r.detail.empty()) {
+      out += ",\"detail\":\"";
+      JsonEscapeTo(&out, r.detail);
+      out += "\"";
+    }
+    for (const auto& [key, value] : r.counters) {
+      out += ",\"";
+      JsonEscapeTo(&out, key);
+      out += StrCat("\":", value);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Tracer::ExportChromeJson() const { return ToChromeJson(Snapshot()); }
+
+Status Tracer::WriteChromeJson(const std::string& path) const {
+  std::string json = ExportChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError(StrCat("cannot open trace file ", path));
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_err = std::fclose(f);
+  if (written != json.size() || close_err != 0) {
+    return Status::IoError(StrCat("failed writing trace file ", path));
+  }
+  return Status::OK();
+}
+
+TraceCapture::TraceCapture() : previous_(internal::g_tls_capture) {
+  internal::g_tls_capture = this;
+}
+
+TraceCapture::~TraceCapture() { internal::g_tls_capture = previous_; }
+
+void Span::Begin(const char* cat, std::string_view name) {
+  active_ = true;
+  rec_.name.assign(name);
+  rec_.cat = cat;
+  rec_.id = NextSpanId();
+  rec_.parent_id = g_tls_open_span != nullptr ? g_tls_open_span->rec_.id : 0;
+  rec_.tid = ThisThreadOrdinal();
+  prev_ = g_tls_open_span;
+  g_tls_open_span = this;
+  rec_.start_us = Tracer::Get().NowUs();
+  start_ = std::chrono::steady_clock::now();
+}
+
+void Span::End() {
+  rec_.dur_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  g_tls_open_span = prev_;
+  if (internal::g_tls_capture != nullptr) {
+    static_cast<TraceCapture*>(internal::g_tls_capture)
+        ->records_.push_back(rec_);
+  }
+  if (internal::g_trace_enabled.load(std::memory_order_relaxed)) {
+    Tracer::Get().Emit(rec_);
+  }
+}
+
+void Span::AddCount(std::string_view key, uint64_t value) {
+  if (!active_) return;
+  for (auto& [k, v] : rec_.counters) {
+    if (k == key) {
+      v += value;
+      return;
+    }
+  }
+  rec_.counters.emplace_back(std::string(key), value);
+}
+
+}  // namespace obs
+}  // namespace aql

@@ -1,0 +1,188 @@
+// aql::obs — query-lifecycle tracing and profiling.
+//
+// The paper's efficiency claims (§4.1 compiled evaluation, §5 optimizer
+// phases) are only checkable when we can see where a query spends its
+// time. This layer threads hierarchical, RAII spans through the whole
+// parse → desugar → typecheck → optimize → compile → exec pipeline:
+//
+//   obs::Span span("query", "typecheck");     // starts a steady clock
+//   span.AddCount("nodes", tree_size);        // attach statistics
+//   // ... destructor records duration and emits a SpanRecord
+//
+// Two independent consumers, both off by default:
+//
+//   1. The process-wide Tracer sink (AQL_TRACE=1, or Tracer::SetEnabled,
+//      or ServiceConfig::trace / the REPL's `:trace on`). Finished spans
+//      from every thread accumulate in a bounded, mutex-protected buffer
+//      and can be exported as Chrome trace-event JSON ("chrome://tracing"
+//      / Perfetto `Load trace`), automatically at process exit when
+//      AQL_TRACE_FILE=path is set.
+//
+//   2. A thread-local TraceCapture, which collects just the spans of the
+//      current thread — one query — for System::Profile / the REPL's
+//      `:profile <expr>` and the service's slow-query log. A capture
+//      activates span recording on its thread even when the global
+//      tracer is disabled.
+//
+// Overhead contract: when neither consumer is active, constructing a Span
+// is one relaxed atomic load plus one thread-local load — no clock read,
+// no allocation (bench/bench_obs.cc pins this; see docs/OBS.md for
+// numbers). Span hierarchy is per thread: a span's parent is the youngest
+// span still open on the same thread. Helper threads inside a parallel
+// loop therefore start their own roots; the exec layer instead annotates
+// its ParallelFor span with chunk/helper counters (exec/parallel.cc).
+//
+// Thread-safety: Tracer is safe to use from any thread. A Span and a
+// TraceCapture must be constructed and destroyed on one thread (they are
+// scoped locals by design); Span::AddCount may be called from the owning
+// thread only.
+
+#ifndef AQL_OBS_TRACE_H_
+#define AQL_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace aql {
+namespace obs {
+
+// One finished span. start_us is relative to the tracer epoch (process
+// start), so records from different threads share one timeline.
+struct SpanRecord {
+  std::string name;  // e.g. "opt.normalization", "exec.parallel_for"
+  std::string cat;   // subsystem: "query", "opt", "exec", "io", ...
+  uint64_t id = 0;         // unique within the process
+  uint64_t parent_id = 0;  // 0 = root (no enclosing span on this thread)
+  uint64_t tid = 0;        // small per-thread ordinal, not the OS id
+  uint64_t start_us = 0;
+  uint64_t dur_us = 0;
+  std::string detail;  // free-form note (e.g. a subslab shape)
+  // Accumulated statistics: ("chunks", 12), ("rule_us/tab_beta", 57), ...
+  std::vector<std::pair<std::string, uint64_t>> counters;
+};
+
+namespace internal {
+extern std::atomic<bool> g_trace_enabled;
+// Non-null while a TraceCapture is installed on this thread.
+extern thread_local void* g_tls_capture;
+}  // namespace internal
+
+// True when spans constructed on this thread should record: the global
+// tracer is on, or a TraceCapture is installed here. This is the
+// fast-path check inlined into every Span constructor.
+inline bool TracingActive() {
+  return internal::g_tls_capture != nullptr ||
+         internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+// Process-wide collector of finished spans.
+class Tracer {
+ public:
+  // The singleton reads AQL_TRACE / AQL_TRACE_FILE on first use; a set
+  // AQL_TRACE_FILE implies enabled and registers an at-exit export.
+  static Tracer& Get();
+
+  void SetEnabled(bool on) {
+    internal::g_trace_enabled.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const {
+    return internal::g_trace_enabled.load(std::memory_order_relaxed);
+  }
+
+  // Appends to the sink (no-op when the global tracer is disabled; spans
+  // inside a TraceCapture call this only when the tracer is also on).
+  void Emit(const SpanRecord& rec);
+
+  // Copies the sink contents (records stay in the sink). Drain() empties.
+  std::vector<SpanRecord> Snapshot() const;
+  std::vector<SpanRecord> Drain();
+  // Records discarded because the sink was at capacity (kMaxRecords).
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  // Chrome trace-event JSON (the "traceEvents" array-of-objects format,
+  // one complete "X" event per span) of the current sink contents.
+  std::string ExportChromeJson() const;
+  // ExportChromeJson to a file. OK even with an empty sink.
+  Status WriteChromeJson(const std::string& path) const;
+
+  // Microseconds since the tracer epoch, monotonic.
+  uint64_t NowUs() const;
+
+  // Bound on retained records; beyond it new records are counted dropped.
+  static constexpr size_t kMaxRecords = 1 << 20;
+
+ private:
+  Tracer();
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> records_;
+  std::atomic<uint64_t> dropped_{0};
+  std::chrono::steady_clock::time_point epoch_;
+  std::string trace_file_;  // AQL_TRACE_FILE; empty = no at-exit export
+};
+
+// Renders a SpanRecord list as Chrome trace-event JSON (exposed for the
+// schema round-trip test; Tracer::ExportChromeJson uses it).
+std::string ToChromeJson(const std::vector<SpanRecord>& records);
+
+// Collects the spans finished on this thread while alive. Captures nest:
+// the newest one installed on a thread receives that thread's spans, and
+// its destructor reinstates the previous one.
+class TraceCapture {
+ public:
+  TraceCapture();
+  ~TraceCapture();
+  TraceCapture(const TraceCapture&) = delete;
+  TraceCapture& operator=(const TraceCapture&) = delete;
+
+  const std::vector<SpanRecord>& records() const { return records_; }
+  std::vector<SpanRecord> TakeRecords() { return std::move(records_); }
+
+ private:
+  friend class Span;
+  std::vector<SpanRecord> records_;
+  void* previous_;
+};
+
+// RAII span. Cheap no-op unless TracingActive() at construction.
+class Span {
+ public:
+  Span(const char* cat, std::string_view name) {
+    if (TracingActive()) Begin(cat, name);
+  }
+  ~Span() {
+    if (active_) End();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return active_; }
+
+  // Accumulates `value` into the counter `key` (creating it at 0).
+  void AddCount(std::string_view key, uint64_t value);
+  void SetDetail(std::string detail) {
+    if (active_) rec_.detail = std::move(detail);
+  }
+
+ private:
+  void Begin(const char* cat, std::string_view name);
+  void End();
+
+  bool active_ = false;
+  SpanRecord rec_;
+  std::chrono::steady_clock::time_point start_;
+  Span* prev_ = nullptr;  // enclosing open span on this thread
+};
+
+}  // namespace obs
+}  // namespace aql
+
+#endif  // AQL_OBS_TRACE_H_

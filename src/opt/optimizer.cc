@@ -1,6 +1,10 @@
 #include "opt/optimizer.h"
 
+#include <chrono>
+#include <memory>
+
 #include "base/strings.h"
+#include "obs/trace.h"
 
 namespace aql {
 
@@ -38,7 +42,38 @@ ExprPtr Optimizer::Optimize(const ExprPtr& e, RewriteStats* stats) const {
 }
 
 ExprPtr Optimizer::RunPhase(size_t i, const ExprPtr& e, RewriteStats* stats) const {
-  return RewriteFixpoint(e, phases_[i].rules, config_.rewrite, stats);
+  if (!obs::TracingActive()) {
+    return RewriteFixpoint(e, phases_[i].rules, config_.rewrite, stats);
+  }
+  // Tracing: one span per phase, with per-rule time attribution riding on
+  // the rewriter's on_firing hook. Attribution model: the wall time since
+  // the previous successful firing (or the phase start) is charged to the
+  // rule that fired — which folds the scan time spent on rules that did
+  // not match into the rule that finally did. Approximate, but the scan
+  // is the dominant cost and the model needs no extra hooks. Time after
+  // the last firing (the fixpoint-confirming sweep) stays unattributed in
+  // the phase span's exclusive time.
+  obs::Span span("opt", StrCat("opt.", phases_[i].name));
+  span.AddCount("nodes_in", e->TreeSize());
+  RewriteOptions options = config_.rewrite;
+  auto previous_hook = options.on_firing;
+  auto last_event = std::make_shared<std::chrono::steady_clock::time_point>(
+      std::chrono::steady_clock::now());
+  options.on_firing = [&span, previous_hook, last_event](
+                          const std::string& rule, const ExprPtr& before,
+                          const ExprPtr& after) {
+    auto now = std::chrono::steady_clock::now();
+    uint64_t us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(now - *last_event)
+            .count());
+    *last_event = now;
+    span.AddCount(StrCat("rule_us/", rule), us);
+    span.AddCount(StrCat("rule_n/", rule), 1);
+    if (previous_hook) previous_hook(rule, before, after);
+  };
+  ExprPtr out = RewriteFixpoint(e, phases_[i].rules, options, stats);
+  span.AddCount("nodes_out", out->TreeSize());
+  return out;
 }
 
 void Optimizer::AddPhase(std::string name, std::vector<Rule> rules) {

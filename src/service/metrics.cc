@@ -17,7 +17,12 @@ size_t BucketFor(uint64_t us) {
   return std::min(i, Histogram::kBuckets - 1);
 }
 
-uint64_t BucketUpperBoundUs(size_t i) { return uint64_t{1} << (i + 1); }
+// Bucket 0 holds 0–1 µs (see BucketFor), so its upper bound is 1 µs —
+// not the 2 µs that the power-of-two formula would claim. Reporting 2 µs
+// made an all-sub-microsecond histogram print "p50<=2us".
+uint64_t BucketUpperBoundUs(size_t i) {
+  return i == 0 ? 1 : uint64_t{1} << (i + 1);
+}
 
 }  // namespace
 

@@ -5,9 +5,14 @@
 namespace aql {
 namespace service {
 
+PlanCache::PlanCache(size_t capacity, HashFn hash_for_test)
+    : capacity_(capacity),
+      hash_(hash_for_test ? std::move(hash_for_test)
+                          : [](const ExprPtr& e) { return HashExpr(e); }) {}
+
 std::shared_ptr<const CachedPlan> PlanCache::Lookup(const ExprPtr& resolved) {
   if (capacity_ == 0) return nullptr;
-  uint64_t hash = HashExpr(resolved);
+  uint64_t hash = hash_(resolved);
   std::lock_guard<std::mutex> lock(mu_);
   auto [begin, end] = index_.equal_range(hash);
   for (auto it = begin; it != end; ++it) {
@@ -21,7 +26,7 @@ std::shared_ptr<const CachedPlan> PlanCache::Lookup(const ExprPtr& resolved) {
 
 void PlanCache::Insert(std::shared_ptr<const CachedPlan> plan) {
   if (capacity_ == 0 || plan == nullptr) return;
-  uint64_t hash = HashExpr(plan->resolved);
+  uint64_t hash = hash_(plan->resolved);
   std::lock_guard<std::mutex> lock(mu_);
   // Replace an alpha-equal entry in place (two workers racing the same
   // cold query both compile; last insert wins, both plans stay valid).

@@ -19,6 +19,7 @@
 #define AQL_SERVICE_PLAN_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -41,8 +42,14 @@ struct CachedPlan {
 
 class PlanCache {
  public:
+  using HashFn = std::function<uint64_t(const ExprPtr&)>;
+
   // capacity == 0 disables caching (Lookup always misses, Insert drops).
-  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+  // `hash_for_test` overrides HashExpr for bucketing — tests pass a
+  // constant (or coarse) hash to force every key into one bucket and pin
+  // the collision behavior: alpha-distinct plans sharing a hash must
+  // coexist, never replace each other, and never skew `evictions()`.
+  explicit PlanCache(size_t capacity, HashFn hash_for_test = {});
 
   // Returns the cached plan alpha-equal to `resolved` and marks it
   // most-recently used, or nullptr.
@@ -69,6 +76,7 @@ class PlanCache {
   void EraseLocked(LruList::iterator it);
 
   const size_t capacity_;
+  const HashFn hash_;
   mutable std::mutex mu_;
   LruList lru_;  // front = most recently used
   std::unordered_multimap<uint64_t, LruList::iterator> index_;

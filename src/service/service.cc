@@ -1,10 +1,14 @@
 #include "service/service.h"
 
+#include <cstdio>
+#include <optional>
 #include <utility>
 
 #include "analysis/verifier.h"
 #include "base/strings.h"
 #include "exec/parallel.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 namespace aql {
 namespace service {
@@ -35,11 +39,14 @@ QueryService::QueryService(System* system, ServiceConfig config)
       exec_par_tasks_(metrics_.GetCounter("exec.par.tasks")),
       exec_par_chunks_(metrics_.GetCounter("exec.par.chunks")),
       exec_unboxed_arrays_(metrics_.GetCounter("exec.unboxed.arrays")),
+      slow_queries_(metrics_.GetCounter("obs.slow_queries")),
       compile_us_(metrics_.GetHistogram("latency.compile_us")),
       execute_us_(metrics_.GetHistogram("latency.execute_us")),
       script_us_(metrics_.GetHistogram("latency.script_us")),
       cache_(config.plan_cache_capacity),
-      pool_(config.num_workers, config.max_queue) {}
+      pool_(config.num_workers, config.max_queue) {
+  if (config_.trace) obs::Tracer::Get().SetEnabled(true);
+}
 
 QuerySubmission QueryService::Submit(std::string expression, QueryOptions options) {
   submitted_->Increment();
@@ -78,19 +85,48 @@ Result<Value> QueryService::RunQuery(const std::string& expression,
   // Queued past the deadline, or cancelled before starting: don't compile.
   if (token != nullptr) AQL_RETURN_IF_ERROR(token->Check());
 
-  std::shared_lock<std::shared_mutex> lock(system_mu_);
-  ExecScope scope(token);
+  // Slow-query logging needs the profile of *every* query, since a query
+  // only reveals itself as slow once it has finished; the capture keeps
+  // this worker's spans regardless of the global tracer state.
+  const bool watch_slow = config_.slow_query_us > 0;
+  std::optional<obs::TraceCapture> capture;
+  if (watch_slow) capture.emplace();
 
-  auto compile_start = std::chrono::steady_clock::now();
-  AQL_ASSIGN_OR_RETURN(std::shared_ptr<const CachedPlan> plan,
-                       GetPlan(expression, options.use_plan_cache));
-  compile_us_->Record(ElapsedUs(compile_start));
+  auto run_timed = [&]() -> Result<Value> {
+    obs::Span root("query", "query");
+    std::shared_lock<std::shared_mutex> lock(system_mu_);
+    ExecScope scope(token);
 
-  auto execute_start = std::chrono::steady_clock::now();
-  Result<Value> result = options.use_compiled_backend
-                             ? plan->program->Run()
-                             : system_->EvalCore(plan->optimized);
-  execute_us_->Record(ElapsedUs(execute_start));
+    auto compile_start = std::chrono::steady_clock::now();
+    AQL_ASSIGN_OR_RETURN(std::shared_ptr<const CachedPlan> plan,
+                         GetPlan(expression, options.use_plan_cache));
+    compile_us_->Record(ElapsedUs(compile_start));
+
+    auto execute_start = std::chrono::steady_clock::now();
+    Result<Value> result = options.use_compiled_backend
+                               ? plan->program->Run()
+                               : system_->EvalCore(plan->optimized);
+    execute_us_->Record(ElapsedUs(execute_start));
+    return result;
+  };
+
+  auto start = std::chrono::steady_clock::now();
+  Result<Value> result = run_timed();
+  if (watch_slow) {
+    uint64_t total_us = ElapsedUs(start);
+    if (total_us > config_.slow_query_us) {
+      slow_queries_->Increment();
+      std::string report =
+          StrCat("slow query (", total_us, "us > ", config_.slow_query_us,
+                 "us): ", expression, "\n",
+                 obs::Profile::Build(capture->TakeRecords()).ToString());
+      if (config_.slow_query_sink) {
+        config_.slow_query_sink(report);
+      } else {
+        std::fprintf(stderr, "%s", report.c_str());
+      }
+    }
+  }
   return result;
 }
 

@@ -33,6 +33,8 @@
 #define AQL_SERVICE_SERVICE_H_
 
 #include <chrono>
+#include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <shared_mutex>
@@ -61,6 +63,18 @@ struct ServiceConfig {
   // (and counts plans.verify_failures) instead of caching — and then
   // serving — a corrupted plan. Non-fatal, unlike SystemConfig::verify_ir.
   bool verify_plans = false;
+  // Enables the process-wide tracer (src/obs) at construction — the same
+  // switch as AQL_TRACE=1 or the REPL's `:trace on`. Spans from every
+  // query accumulate in the Tracer sink for Chrome-trace export.
+  bool trace = false;
+  // Slow-query log: a query whose total worker-side time (compile +
+  // execute) exceeds this many microseconds has its per-stage profile
+  // emitted through slow_query_sink, and `obs.slow_queries` is bumped.
+  // 0 disables. Enabling it traces every query on its worker thread
+  // (TraceCapture), a few hundred nanoseconds per pipeline stage.
+  uint64_t slow_query_us = 0;
+  // Destination for slow-query profiles; default writes to stderr.
+  std::function<void(const std::string&)> slow_query_sink = {};
 };
 
 struct QueryOptions {
@@ -148,6 +162,7 @@ class QueryService {
   Counter* exec_par_tasks_;
   Counter* exec_par_chunks_;
   Counter* exec_unboxed_arrays_;
+  Counter* slow_queries_;
   Histogram* compile_us_;
   Histogram* execute_us_;
   Histogram* script_us_;

@@ -1,6 +1,9 @@
 // Unit tests for the base layer: Status, Result<T>, the propagation
 // macros, and string helpers.
 
+#include <cstdlib>
+
+#include "base/env.h"
 #include "base/result.h"
 #include "base/status.h"
 #include "base/strings.h"
@@ -100,6 +103,64 @@ TEST(Strings, RealToStringAlwaysReparses) {
   EXPECT_EQ(std::stod(RealToString(d)), d);
   // Exponent forms still mark themselves as reals.
   EXPECT_NE(RealToString(1e300).find('e'), std::string::npos);
+}
+
+TEST(Env, ParseU64StrictAcceptsOnlyPlainDecimal) {
+  uint64_t v = 99;
+  EXPECT_TRUE(ParseU64Strict("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseU64Strict("123", &v));
+  EXPECT_EQ(v, 123u);
+  EXPECT_TRUE(ParseU64Strict("007", &v));
+  EXPECT_EQ(v, 7u);
+  // Exactly uint64 max.
+  EXPECT_TRUE(ParseU64Strict("18446744073709551615", &v));
+  EXPECT_EQ(v, UINT64_MAX);
+
+  // Rejections leave *out untouched.
+  v = 42;
+  EXPECT_FALSE(ParseU64Strict("", &v));
+  EXPECT_FALSE(ParseU64Strict("-1", &v));       // strtoull wrapped this to 2^64-1
+  EXPECT_FALSE(ParseU64Strict("+1", &v));
+  EXPECT_FALSE(ParseU64Strict("12abc", &v));    // strtoull took the 12
+  EXPECT_FALSE(ParseU64Strict("abc", &v));
+  EXPECT_FALSE(ParseU64Strict(" 1", &v));
+  EXPECT_FALSE(ParseU64Strict("1 ", &v));
+  EXPECT_FALSE(ParseU64Strict("0x10", &v));
+  EXPECT_FALSE(ParseU64Strict("1e3", &v));
+  EXPECT_FALSE(ParseU64Strict("18446744073709551616", &v));  // max + 1
+  EXPECT_FALSE(ParseU64Strict("99999999999999999999", &v));
+  EXPECT_EQ(v, 42u);
+}
+
+TEST(Env, EnvU64FallsBackOnUnsetEmptyOrMalformed) {
+  const char* kName = "AQL_TEST_ENV_U64";
+  ::unsetenv(kName);
+  EXPECT_EQ(EnvU64(kName, 7), 7u);
+  ::setenv(kName, "123", 1);
+  EXPECT_EQ(EnvU64(kName, 7), 123u);
+  ::setenv(kName, "", 1);
+  EXPECT_EQ(EnvU64(kName, 7), 7u);
+  ::setenv(kName, "12abc", 1);
+  EXPECT_EQ(EnvU64(kName, 7), 7u);
+  ::setenv(kName, "-1", 1);
+  EXPECT_EQ(EnvU64(kName, 7), 7u);
+  ::unsetenv(kName);
+}
+
+TEST(Env, EnvFlagSemantics) {
+  const char* kName = "AQL_TEST_ENV_FLAG";
+  ::unsetenv(kName);
+  EXPECT_FALSE(EnvFlag(kName));
+  ::setenv(kName, "1", 1);
+  EXPECT_TRUE(EnvFlag(kName));
+  ::setenv(kName, "0", 1);
+  EXPECT_FALSE(EnvFlag(kName));
+  ::setenv(kName, "", 1);
+  EXPECT_FALSE(EnvFlag(kName));
+  ::setenv(kName, "yes", 1);
+  EXPECT_TRUE(EnvFlag(kName));
+  ::unsetenv(kName);
 }
 
 }  // namespace

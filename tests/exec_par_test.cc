@@ -271,6 +271,50 @@ TEST(ExecParTest, ElementCapIsConfigurableAndEnforced) {
   EXPECT_TRUE(RunCompiled(under).ok());
 }
 
+// ---- strict knob parsing (base/env.h regressions) ----------------------
+
+TEST(ExecParTest, MalformedThreadKnobsFallBackToDefaults) {
+  int default_threads = [] {
+    ScopedEnv unset_guard("AQL_EXEC_THREADS", "x");  // placeholder, restored
+    ::unsetenv("AQL_EXEC_THREADS");
+    return exec::ExecThreads();
+  }();
+  ASSERT_GE(default_threads, 1);
+
+  // "-1" used to wrap through strtoull to 2^64-1 and come back as the
+  // 256-thread clamp; now it is malformed and falls back.
+  for (const char* bad : {"-1", "", "12abc", "0x8", " 4", "1e2"}) {
+    ScopedEnv threads("AQL_EXEC_THREADS", bad);
+    EXPECT_EQ(exec::ExecThreads(), default_threads) << "value: '" << bad << "'";
+  }
+  {
+    ScopedEnv threads("AQL_EXEC_THREADS", "3");
+    EXPECT_EQ(exec::ExecThreads(), 3);
+  }
+  for (const char* bad : {"-5", "4k", ""}) {
+    ScopedEnv threshold("AQL_EXEC_PAR_THRESHOLD", bad);
+    EXPECT_EQ(exec::ParThreshold(), 4096u) << "value: '" << bad << "'";
+  }
+}
+
+TEST(ExecParTest, MalformedElementCapFallsBackToDefault) {
+  // Under the old permissive parse, "12abc" became a cap of 12 and this
+  // 100-element tabulation failed; malformed now means the default cap.
+  ExprPtr e = Expr::Tab({"i"}, Expr::Var("i"), {Expr::NatConst(100)});
+  Evaluator ev;
+  for (const char* bad : {"12abc", "", "-1"}) {
+    ScopedEnv cap("AQL_EXEC_MAX_ELEMS", bad);
+    EXPECT_TRUE(ev.Eval(e).ok()) << "value: '" << bad << "'";
+    EXPECT_TRUE(RunCompiled(e).ok()) << "value: '" << bad << "'";
+  }
+  {
+    // Well-formed values still bind: cap 99 rejects the same tabulation.
+    ScopedEnv cap("AQL_EXEC_MAX_ELEMS", "99");
+    EXPECT_FALSE(ev.Eval(e).ok());
+    EXPECT_FALSE(RunCompiled(e).ok());
+  }
+}
+
 // ---- statistics --------------------------------------------------------
 
 TEST(ExecParTest, ParallelRunsMoveTheExecStats) {

@@ -1,0 +1,486 @@
+// Tests for the src/obs tracing/profiling subsystem:
+//   - spans are free when no consumer is active, and hierarchical when one is
+//   - TraceCapture collects one thread's spans with parent links
+//   - Profile builds the stage tree with inclusive/exclusive times and the
+//     per-rule attribution table
+//   - System::Profile shows every pipeline stage and at least one named
+//     optimizer rule on a real query
+//   - the Chrome trace-event JSON export round-trips through a schema check
+//   - the Tracer sink is safe under many concurrently emitting threads
+//     (this file carries the tsan ctest label; see tests/CMakeLists.txt)
+
+#include <atomic>
+#include <cctype>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "env/system.h"
+#include "gtest/gtest.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+
+namespace aql {
+namespace obs {
+namespace {
+
+// Restores the global tracer to disabled and empties the sink, so tests
+// that flip it cannot leak state into each other.
+struct TracerGuard {
+  ~TracerGuard() {
+    Tracer::Get().SetEnabled(false);
+    Tracer::Get().Drain();
+  }
+};
+
+// ---- A minimal JSON parser, just enough to schema-check the export ----
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      v;
+
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_object() const {
+    return std::holds_alternative<std::shared_ptr<JsonObject>>(v);
+  }
+  bool is_array() const {
+    return std::holds_alternative<std::shared_ptr<JsonArray>>(v);
+  }
+  const std::string& str() const { return std::get<std::string>(v); }
+  const JsonObject& obj() const {
+    return *std::get<std::shared_ptr<JsonObject>>(v);
+  }
+  const JsonArray& arr() const {
+    return *std::get<std::shared_ptr<JsonArray>>(v);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view s) : s_(s) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    return pos_ == s_.size();  // no trailing junk
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    char c = s_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') return ParseString(out);
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseNumber(out);
+    }
+    if (s_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      out->v = true;
+      return true;
+    }
+    if (s_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      out->v = false;
+      return true;
+    }
+    if (s_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      out->v = nullptr;
+      return true;
+    }
+    return false;
+  }
+  bool ParseObject(JsonValue* out) {
+    if (!Eat('{')) return false;
+    auto obj = std::make_shared<JsonObject>();
+    SkipWs();
+    if (Eat('}')) {
+      out->v = obj;
+      return true;
+    }
+    for (;;) {
+      JsonValue key;
+      if (!ParseString(&key)) return false;
+      if (!Eat(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      (*obj)[key.str()] = value;
+      if (Eat(',')) continue;
+      if (Eat('}')) break;
+      return false;
+    }
+    out->v = obj;
+    return true;
+  }
+  bool ParseArray(JsonValue* out) {
+    if (!Eat('[')) return false;
+    auto arr = std::make_shared<JsonArray>();
+    SkipWs();
+    if (Eat(']')) {
+      out->v = arr;
+      return true;
+    }
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      arr->push_back(value);
+      if (Eat(',')) continue;
+      if (Eat(']')) break;
+      return false;
+    }
+    out->v = arr;
+    return true;
+  }
+  bool ParseString(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    std::string str;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        char esc = s_[pos_++];
+        switch (esc) {
+          case '"': str += '"'; break;
+          case '\\': str += '\\'; break;
+          case '/': str += '/'; break;
+          case 'n': str += '\n'; break;
+          case 't': str += '\t'; break;
+          case 'r': str += '\r'; break;
+          case 'b': str += '\b'; break;
+          case 'f': str += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
+                return false;
+              }
+            }
+            str += '?';  // codepoint identity is irrelevant to the schema
+            pos_ += 4;
+            break;
+          }
+          default:
+            return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control characters are invalid JSON
+      } else {
+        str += c;
+      }
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    out->v = str;
+    return true;
+  }
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->v = std::stod(std::string(s_.substr(start, pos_ - start)));
+    return true;
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+// ---- Span / capture mechanics ------------------------------------------
+
+TEST(ObsTest, SpansAreInertWithoutConsumers) {
+  ASSERT_FALSE(TracingActive());
+  {
+    Span span("test", "should_not_record");
+    EXPECT_FALSE(span.active());
+    span.AddCount("ignored", 1);  // must be a no-op, not a crash
+  }
+  EXPECT_TRUE(Tracer::Get().Snapshot().empty());
+}
+
+TEST(ObsTest, CaptureCollectsHierarchyAndCounters) {
+  TraceCapture capture;
+  ASSERT_TRUE(TracingActive());
+  {
+    Span outer("test", "outer");
+    EXPECT_TRUE(outer.active());
+    {
+      Span inner("test", "inner");
+      inner.AddCount("items", 3);
+      inner.AddCount("items", 4);  // accumulates
+      inner.SetDetail("note");
+    }
+    {
+      Span sibling("test", "sibling");
+    }
+  }
+  const auto& records = capture.records();
+  ASSERT_EQ(records.size(), 3u);  // completion order: inner, sibling, outer
+  const SpanRecord& inner = records[0];
+  const SpanRecord& sibling = records[1];
+  const SpanRecord& outer = records[2];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.parent_id, 0u);
+  EXPECT_EQ(inner.parent_id, outer.id);
+  EXPECT_EQ(sibling.parent_id, outer.id);
+  ASSERT_EQ(inner.counters.size(), 1u);
+  EXPECT_EQ(inner.counters[0].first, "items");
+  EXPECT_EQ(inner.counters[0].second, 7u);
+  EXPECT_EQ(inner.detail, "note");
+  // The global sink stayed empty: the tracer itself is off.
+  EXPECT_TRUE(Tracer::Get().Snapshot().empty());
+}
+
+TEST(ObsTest, TracerSinkCollectsWhenEnabled) {
+  TracerGuard guard;
+  Tracer::Get().SetEnabled(true);
+  {
+    Span span("test", "global_span");
+  }
+  auto records = Tracer::Get().Drain();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "global_span");
+  EXPECT_TRUE(Tracer::Get().Snapshot().empty());  // drained
+}
+
+// ---- Profile building ---------------------------------------------------
+
+TEST(ObsTest, ProfileComputesInclusiveAndExclusiveTimes) {
+  std::vector<SpanRecord> records;
+  SpanRecord child;
+  child.name = "child";
+  child.id = 2;
+  child.parent_id = 1;
+  child.start_us = 10;
+  child.dur_us = 30;
+  SpanRecord root;
+  root.name = "root";
+  root.id = 1;
+  root.parent_id = 0;
+  root.start_us = 0;
+  root.dur_us = 100;
+  records.push_back(child);  // completion order: children first
+  records.push_back(root);
+
+  Profile p = Profile::Build(std::move(records));
+  ASSERT_EQ(p.roots().size(), 1u);
+  const ProfileNode& root_node = p.nodes()[p.roots()[0]];
+  EXPECT_EQ(root_node.record.name, "root");
+  EXPECT_EQ(root_node.inclusive_us, 100u);
+  EXPECT_EQ(root_node.exclusive_us, 70u);
+  ASSERT_EQ(root_node.children.size(), 1u);
+  EXPECT_EQ(p.nodes()[root_node.children[0]].record.name, "child");
+  EXPECT_EQ(p.total_us(), 100u);
+
+  std::string rendered = p.ToString();
+  EXPECT_NE(rendered.find("root  100us (excl 70us)"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("child  30us"), std::string::npos) << rendered;
+}
+
+TEST(ObsTest, ProfileAggregatesRuleTimes) {
+  std::vector<SpanRecord> records;
+  SpanRecord phase1;
+  phase1.name = "opt.normalization";
+  phase1.id = 1;
+  phase1.dur_us = 50;
+  phase1.counters = {{"rule_us/beta_p", 20}, {"rule_n/beta_p", 2},
+                     {"rule_us/eta_p", 5}, {"rule_n/eta_p", 1}};
+  SpanRecord phase2;
+  phase2.name = "opt.constraint-elimination";
+  phase2.id = 2;
+  phase2.dur_us = 10;
+  phase2.counters = {{"rule_us/beta_p", 7}, {"rule_n/beta_p", 1}};
+  records.push_back(phase1);
+  records.push_back(phase2);
+
+  Profile p = Profile::Build(std::move(records));
+  ASSERT_EQ(p.rule_times().size(), 2u);
+  EXPECT_EQ(p.rule_times()[0].rule, "beta_p");  // 27us beats 5us
+  EXPECT_EQ(p.rule_times()[0].attributed_us, 27u);
+  EXPECT_EQ(p.rule_times()[0].firings, 3u);
+  EXPECT_EQ(p.rule_times()[1].rule, "eta_p");
+
+  std::string rendered = p.ToString();
+  EXPECT_NE(rendered.find("top rules by attributed time:"), std::string::npos);
+  EXPECT_NE(rendered.find("beta_p: 27us (3 firings)"), std::string::npos) << rendered;
+  // Rule counters feed the table, not the per-node counter lists.
+  EXPECT_EQ(rendered.find("rule_us/"), std::string::npos) << rendered;
+}
+
+// ---- End-to-end: System::Profile ---------------------------------------
+
+TEST(ObsTest, SystemProfileShowsStagesAndNamedRules) {
+  System sys;
+  ASSERT_TRUE(sys.init_status().ok());
+  // The §5 running example: array comprehension + transpose. Fires beta_p
+  // and delta_p during normalization.
+  auto report = sys.Profile("transpose!([[ i * 10 + j | \\i < 4, \\j < 5 ]])");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  for (const char* stage : {"query", "parse", "desugar", "resolve", "typecheck",
+                            "optimize", "opt.normalization", "exec.compile",
+                            "exec.run"}) {
+    EXPECT_NE(report->find(stage), std::string::npos)
+        << "missing stage " << stage << " in:\n" << *report;
+  }
+  EXPECT_NE(report->find("top rules by attributed time:"), std::string::npos)
+      << *report;
+  EXPECT_NE(report->find("beta_p"), std::string::npos) << *report;
+  // Inclusive/exclusive annotations are present.
+  EXPECT_NE(report->find("us (excl "), std::string::npos) << *report;
+  // Running under a capture leaves no residue in the global sink.
+  EXPECT_TRUE(Tracer::Get().Snapshot().empty());
+}
+
+TEST(ObsTest, SystemProfilePropagatesErrors) {
+  System sys;
+  EXPECT_EQ(sys.Profile("1 +").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(sys.Profile("{1, true}").status().code(), StatusCode::kTypeError);
+}
+
+// ---- Chrome trace-event export ------------------------------------------
+
+// Validates the schema of one exported trace: a top-level object holding a
+// "traceEvents" array of complete ("ph":"X") events with string name/cat,
+// numeric ts/dur/pid/tid, and an args object.
+void CheckChromeTraceSchema(const std::string& json, size_t expect_events) {
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
+  ASSERT_TRUE(root.is_object());
+  auto events_it = root.obj().find("traceEvents");
+  ASSERT_NE(events_it, root.obj().end());
+  ASSERT_TRUE(events_it->second.is_array());
+  const JsonArray& events = events_it->second.arr();
+  EXPECT_EQ(events.size(), expect_events);
+  for (const JsonValue& event : events) {
+    ASSERT_TRUE(event.is_object());
+    const JsonObject& e = event.obj();
+    for (const char* key : {"name", "cat", "ph"}) {
+      auto it = e.find(key);
+      ASSERT_NE(it, e.end()) << "missing " << key;
+      EXPECT_TRUE(it->second.is_string()) << key;
+    }
+    EXPECT_EQ(e.at("ph").str(), "X");
+    for (const char* key : {"ts", "dur", "pid", "tid", "id"}) {
+      auto it = e.find(key);
+      ASSERT_NE(it, e.end()) << "missing " << key;
+      EXPECT_TRUE(it->second.is_number()) << key;
+    }
+    auto args = e.find("args");
+    ASSERT_NE(args, e.end());
+    ASSERT_TRUE(args->second.is_object());
+    EXPECT_TRUE(args->second.obj().count("parent"));
+  }
+}
+
+TEST(ObsTest, ChromeJsonRoundTripsThroughSchemaCheck) {
+  TracerGuard guard;
+  Tracer::Get().Drain();
+  Tracer::Get().SetEnabled(true);
+  // Real spans from a real query, exercising every instrumented layer.
+  System sys;
+  ASSERT_TRUE(sys.init_status().ok());
+  auto value = sys.Eval("transpose!([[ i * 10 + j | \\i < 4, \\j < 5 ]])");
+  ASSERT_TRUE(value.ok()) << value.status().ToString();
+  Tracer::Get().SetEnabled(false);
+
+  std::vector<SpanRecord> records = Tracer::Get().Drain();
+  ASSERT_GE(records.size(), 5u);  // parse, desugar, resolve, typecheck, opt...
+  CheckChromeTraceSchema(ToChromeJson(records), records.size());
+}
+
+TEST(ObsTest, ChromeJsonEscapesHostileStrings) {
+  std::vector<SpanRecord> records(1);
+  records[0].name = "quote\" backslash\\ newline\n tab\t control\x01";
+  records[0].cat = "test";
+  records[0].detail = "detail with \"quotes\"";
+  records[0].counters = {{"weird\"key", 7}};
+  CheckChromeTraceSchema(ToChromeJson(records), 1);
+}
+
+TEST(ObsTest, ChromeJsonOfEmptySinkIsValid) {
+  CheckChromeTraceSchema(ToChromeJson({}), 0);
+}
+
+// ---- Concurrency (tsan lane) --------------------------------------------
+
+TEST(ObsTest, TracerSinkSurvivesConcurrentEmitters) {
+  TracerGuard guard;
+  Tracer::Get().Drain();
+  Tracer::Get().SetEnabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span span("stress", "emit");
+        span.AddCount("thread", static_cast<uint64_t>(t));
+        if (i % 3 == 0) {
+          Span nested("stress", "nested");
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  Tracer::Get().SetEnabled(false);
+  auto records = Tracer::Get().Drain();
+  EXPECT_GE(records.size(), static_cast<size_t>(kThreads * kSpansPerThread));
+}
+
+TEST(ObsTest, ConcurrentCapturesStayThreadLocal) {
+  constexpr int kThreads = 4;
+  std::vector<size_t> counts(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &counts] {
+      TraceCapture capture;
+      for (int i = 0; i < 100; ++i) {
+        Span span("stress", "local");
+      }
+      counts[t] = capture.records().size();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(counts[t], 100u) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace aql

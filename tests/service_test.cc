@@ -383,6 +383,93 @@ TEST(MetricsTest, HistogramBucketsAndQuantiles) {
   EXPECT_FALSE(snap.ToString().empty());
 }
 
+TEST(MetricsTest, QuantileBucketZeroBoundIsOneMicrosecond) {
+  // Bucket 0 holds samples of 0 and 1 µs, so a quantile landing there must
+  // report <= 1µs. The power-of-two bound formula claimed 2µs, which the
+  // max_us clamp only hid when every sample was sub-microsecond.
+  Histogram h;
+  for (uint64_t us : {0, 1, 1, 3}) h.Record(us);
+  auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.QuantileUs(0.0), 1u);   // bucket 0
+  EXPECT_EQ(snap.QuantileUs(0.5), 1u);   // still bucket 0 (3 of 4 samples)
+  EXPECT_EQ(snap.QuantileUs(1.0), 3u);   // bucket 1, clamped to max
+  // 2µs lands in bucket 1 (bound 4), clamped by max.
+  Histogram h2;
+  h2.Record(2);
+  EXPECT_EQ(h2.snapshot().QuantileUs(0.5), 2u);
+  // Boundary walk: exact bucket bounds for the first powers of two.
+  Histogram h3;
+  for (uint64_t us : {4, 5, 6, 7}) h3.Record(us);  // all bucket 2, bound 8
+  EXPECT_EQ(h3.snapshot().QuantileUs(0.0), 7u);  // bound 8 clamped to max 7
+}
+
+// Rides the tsan ctest label: the Record() max-update CAS loop and the
+// registry's name→instrument maps under concurrent mixed use.
+TEST(MetricsTest, HistogramAndRegistryStress) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("stress.latency");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 2048;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        // Interleaved ascending values from every thread keep the
+        // compare-exchange loop for max_us contended.
+        h->Record(i * kThreads + static_cast<uint64_t>(t));
+        if (i % 64 == 0) {
+          registry.GetCounter("stress.counter")->Increment();
+          EXPECT_EQ(registry.GetHistogram("stress.latency"), h);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto snap = h->snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_EQ(snap.max_us, kThreads * kPerThread - 1);
+  EXPECT_EQ(registry.CounterValues()["stress.counter"],
+            kThreads * (kPerThread / 64));
+}
+
+TEST(ServiceTest, SlowQueryLogEmitsProfileAndBumpsCounter) {
+  System sys;
+  std::mutex mu;
+  std::vector<std::string> reports;
+  ServiceConfig cfg;
+  cfg.num_workers = 2;
+  cfg.slow_query_us = 1;  // every query is "slow"
+  cfg.slow_query_sink = [&](const std::string& r) {
+    std::lock_guard<std::mutex> lock(mu);
+    reports.push_back(r);
+  };
+  QueryService svc(&sys, cfg);
+  auto r = svc.Execute("summap(fn \\x => x)!(gen!2000)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(svc.metrics()->CounterValues()["obs.slow_queries"], 1u);
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_NE(reports[0].find("slow query ("), std::string::npos) << reports[0];
+  EXPECT_NE(reports[0].find("summap(fn \\x => x)!(gen!2000)"), std::string::npos);
+  // The report carries the per-stage profile of that query's worker.
+  EXPECT_NE(reports[0].find("exec.run"), std::string::npos) << reports[0];
+  EXPECT_NE(reports[0].find("profile (total "), std::string::npos) << reports[0];
+}
+
+TEST(ServiceTest, FastQueriesDoNotTripSlowLog) {
+  System sys;
+  std::vector<std::string> reports;
+  ServiceConfig cfg;
+  cfg.num_workers = 1;
+  cfg.slow_query_us = 60'000'000;  // one minute: nothing here is that slow
+  cfg.slow_query_sink = [&](const std::string& r) { reports.push_back(r); };
+  QueryService svc(&sys, cfg);
+  ASSERT_TRUE(svc.Execute("1 + 2").ok());
+  EXPECT_EQ(svc.metrics()->CounterValues()["obs.slow_queries"], 0u);
+  EXPECT_TRUE(reports.empty());
+}
+
 TEST(PlanCacheTest, ZeroCapacityDisables) {
   PlanCache cache(0);
   auto plan = std::make_shared<CachedPlan>();
@@ -408,6 +495,45 @@ TEST(PlanCacheTest, LookupRefreshesLruOrder) {
   EXPECT_EQ(cache.Lookup(Expr::NatConst(2)), nullptr);
   EXPECT_NE(cache.Lookup(Expr::NatConst(3)), nullptr);
   EXPECT_EQ(cache.evictions(), 1u);
+}
+
+// Forces every key into one hash bucket (constant test hash) to pin the
+// collision behavior: alpha-distinct plans must coexist, Lookup must
+// return the alpha-equal one, replacement must stay per-key, and eviction
+// accounting must not double-count the shared bucket.
+TEST(PlanCacheTest, ForcedHashCollisionsKeepPlansDistinct) {
+  PlanCache cache(2, [](const ExprPtr&) { return uint64_t{42}; });
+  auto make = [](uint64_t n) {
+    auto p = std::make_shared<CachedPlan>();
+    p->resolved = Expr::NatConst(n);
+    return p;
+  };
+  auto p1 = make(1);
+  auto p2 = make(2);
+  cache.Insert(p1);
+  cache.Insert(p2);
+  EXPECT_EQ(cache.size(), 2u);  // same hash, different keys: both live
+  EXPECT_EQ(cache.Lookup(Expr::NatConst(1)), p1);
+  EXPECT_EQ(cache.Lookup(Expr::NatConst(2)), p2);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // Alpha-equal reinsert replaces in place, not via eviction.
+  auto p2b = make(2);
+  cache.Insert(p2b);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Lookup(Expr::NatConst(2)), p2b);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // Overflowing capacity evicts exactly the LRU entry (1: least recently
+  // touched), and only that entry, despite the shared bucket.
+  auto p3 = make(3);
+  ASSERT_NE(cache.Lookup(Expr::NatConst(1)), nullptr);  // bump 1; LRU is 2
+  cache.Insert(p3);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Lookup(Expr::NatConst(2)), nullptr);
+  EXPECT_EQ(cache.Lookup(Expr::NatConst(1)), p1);
+  EXPECT_EQ(cache.Lookup(Expr::NatConst(3)), p3);
 }
 
 }  // namespace
