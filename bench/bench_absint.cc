@@ -1,0 +1,96 @@
+// Experiment E17: the static-analysis subsystem (src/analysis/absint.h).
+//
+// Two questions:
+//   1. What does analysis cost per plan? AnalyzeAbs / AnalyzePlan over
+//      representative optimized plans — this runs once per fresh compile
+//      in the service, so it must be cheap next to compilation.
+//   2. What do unchecked kernels buy? The same subscript-carrying
+//      tabulation executed with proof-gated unchecked kernels
+//      (AQL_EXEC_UNCHECKED=1, the default) vs forced per-cell checking
+//      (=0). The delta is the per-element bounds-check + ⊥-protocol cost
+//      the admission proofs eliminate.
+//
+// Series:
+//   BM_AnalyzeAbs/...      — product-domain analysis per plan
+//   BM_AnalyzePlan/...     — analysis + bounds + lint (service path)
+//   BM_KernelChecked/n     — tab body a[i]+a[i] with per-cell checks
+//   BM_KernelUnchecked/n   — same plan, proofs admit the unchecked loop
+
+#include <cstdlib>
+
+#include "analysis/absint.h"
+#include "analysis/lint.h"
+#include "bench_util.h"
+#include "exec/compiled.h"
+
+namespace aql {
+namespace bench {
+namespace {
+
+const char* kPlans[] = {
+    "summap(fn \\x => x % 7)!(gen!1024)",
+    "[[ [[ i + j | \\j < 32 ]] [i % 32] | \\i < 64 ]]",
+    "{ x + y | \\x <- gen!16, \\y <- gen!16, x < y }",
+};
+
+void BM_AnalyzeAbs(benchmark::State& state) {
+  System* sys = SharedSystem();
+  ExprPtr plan = MustCompile(sys, state, kPlans[state.range(0)]);
+  if (!plan) return;
+  for (auto _ : state) {
+    analysis::AbsVal v = analysis::AnalyzeAbs(plan);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_AnalyzeAbs)->DenseRange(0, 2);
+
+void BM_AnalyzePlan(benchmark::State& state) {
+  System* sys = SharedSystem();
+  ExprPtr plan = MustCompile(sys, state, kPlans[state.range(0)]);
+  if (!plan) return;
+  for (auto _ : state) {
+    analysis::PlanFacts facts = analysis::AnalyzePlan(plan);
+    benchmark::DoNotOptimize(facts);
+  }
+}
+BENCHMARK(BM_AnalyzePlan)->DenseRange(0, 2);
+
+// Subscript-carrying body: before the proof annotations this plan was
+// rejected by the kernel (subscripts forced the boxed per-cell path);
+// with them it runs as one typed loop, checked or unchecked.
+void RunKernel(benchmark::State& state, bool unchecked) {
+  ::setenv("AQL_EXEC_UNCHECKED", unchecked ? "1" : "0", 1);
+  System* sys = SharedSystem();
+  size_t n = size_t(state.range(0));
+  std::string q = "[[ a[i] + a[(i + 1) % " + std::to_string(n) + "] | \\i < " +
+                  std::to_string(n) + " ]]";
+  (void)sys->DefineVal("a", NatVector(RandomNats(n, 1000, 3)));
+  ExprPtr plan = MustCompile(sys, state, q);
+  if (!plan) return;
+  auto program = exec::Compile(plan, sys->PrimitiveResolver());
+  if (!program.ok()) {
+    state.SkipWithError(program.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto r = program->Run();
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  ::setenv("AQL_EXEC_UNCHECKED", "1", 1);
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(n));
+}
+
+void BM_KernelChecked(benchmark::State& state) { RunKernel(state, false); }
+void BM_KernelUnchecked(benchmark::State& state) { RunKernel(state, true); }
+BENCHMARK(BM_KernelChecked)->RangeMultiplier(8)->Range(4096, 262144);
+BENCHMARK(BM_KernelUnchecked)->RangeMultiplier(8)->Range(4096, 262144);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aql
+
+BENCHMARK_MAIN();

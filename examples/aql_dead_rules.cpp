@@ -1,0 +1,188 @@
+// aql_dead_rules — replay a query corpus through the optimizer and report
+// rules that never fire (candidates for deletion, or gaps in the corpus).
+//
+// Usage:
+//   aql_dead_rules              replay the embedded corpus
+//   aql_dead_rules file.aql...  also replay ';'-terminated queries from files
+//
+// Each query is compiled and optimized with per-rule firing statistics
+// (RewriteStats); the union of firings over the corpus is then compared
+// against every phase's registered rule base. Exit status is 0 either
+// way — the report is informational (a rule can be live for programs the
+// corpus doesn't cover), which is why check.sh runs it with `|| true`.
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "env/system.h"
+#include "opt/rewriter.h"
+
+namespace {
+
+// Representative queries: the paper's §2–§5 examples plus shapes chosen
+// to reach each rule family (beta/pi reductions, comprehension fusion,
+// filter promotion, constraint elimination, array normalization).
+const char* kCorpus[] = {
+    "1 + 2 * 3",
+    "if 1 < 2 then 10 else 20 / 0",
+    "(fn \\x => x + x)!7",
+    "(fn \\x => 5)!(1 / 0)",
+    "fst!((1, 2))",
+    "snd!((1, if true then 2 else 3))",
+    "{ x * x | \\x <- gen!10 }",
+    "{ x + y | \\x <- gen!3, \\y <- gen!4 }",
+    "{ x | \\x <- gen!10, x < 5 }",
+    "{ y | \\x <- gen!5, \\y <- { x, x + 1 } }",
+    "{ x | \\x <- {} }",
+    "{ x | \\x <- { 7 } }",
+    "{ x | \\x <- setunion!(gen!4, gen!2) }",
+    "{ x | \\x <- if 1 < 2 then gen!3 else gen!5 }",
+    "summap(fn \\x => x)!(gen!100)",
+    "summap(fn \\x => x * x)!{ y | \\y <- gen!10, y % 2 = 0 }",
+    "summap(fn \\x => 1)!{}",
+    "summap(fn \\x => x)!{ 9 }",
+    "get!{ 4 }",
+    "get!{ x | \\x <- gen!3, x = 1 }",
+    "[[ i * 10 + j | \\i < 2, \\j < 3 ]]",
+    "[[ [[ i + j | \\j < 3 ]] [i % 3] | \\i < 6 ]]",
+    "len!([[ i | \\i < 9 ]])",
+    "[[ i | \\i < 4 ]] [2]",
+    "transpose!([[2, 2; 1, 2, 3, 4]])",
+    "[[ if i < 8 then i else 0 | \\i < 8 ]]",
+    "{ [[ x + i | \\i < 3 ]] | \\x <- gen!2 }",
+    "1.5 + 2.5 * 2.0",
+    "(fn \\x => (x + 0) * 1)!7",
+    "{ if x = x then x else 0 | \\x <- gen!3 }",
+    "{ if x < 1 then 7 else 7 | \\x <- gen!2 }",
+    "[[ 5, 6, 7 ]] [1]",
+    "len!([[ 4, 5, 6 ]])",
+};
+
+void Replay(aql::System& sys, const std::string& query,
+            std::map<std::string, size_t>* firings, size_t* failures) {
+  // Binding and I/O statements mutate the environment rather than compile
+  // a plan; run them so subsequent corpus queries resolve.
+  size_t start = query.find_first_not_of(" \t\n");
+  if (start != std::string::npos &&
+      (query.compare(start, 4, "val ") == 0 || query.compare(start, 4, "val\\") == 0 ||
+       query.compare(start, 6, "macro ") == 0 ||
+       query.compare(start, 8, "readval ") == 0 ||
+       query.compare(start, 9, "writeval ") == 0)) {
+    auto r = sys.Run(query + ";");
+    if (!r.ok()) {
+      std::fprintf(stderr, "statement error (skipped): %s\n", query.c_str());
+      ++*failures;
+    }
+    return;
+  }
+  auto core = sys.ParseToCore(query);
+  if (!core.ok()) {
+    std::fprintf(stderr, "parse error (skipped): %s\n  %s\n", query.c_str(),
+                 core.status().ToString().c_str());
+    ++*failures;
+    return;
+  }
+  auto resolved = sys.ResolveNames(*core);
+  if (!resolved.ok()) {
+    std::fprintf(stderr, "resolve error (skipped): %s\n", query.c_str());
+    ++*failures;
+    return;
+  }
+  aql::RewriteStats stats;
+  sys.Optimize(*resolved, &stats);
+  for (const auto& [rule, count] : stats.firings) (*firings)[rule] += count;
+}
+
+// Splits a script on ';' after stripping (* ... *) comments (good enough
+// for corpus files: AQL string literals in practice don't contain
+// semicolons or comment delimiters).
+std::vector<std::string> SplitStatements(const std::string& text) {
+  std::string stripped;
+  int comment_depth = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (i + 1 < text.size() && text[i] == '(' && text[i + 1] == '*') {
+      ++comment_depth;
+      ++i;
+      continue;
+    }
+    if (i + 1 < text.size() && text[i] == '*' && text[i + 1] == ')' &&
+        comment_depth > 0) {
+      --comment_depth;
+      ++i;
+      continue;
+    }
+    if (comment_depth == 0) stripped += text[i];
+  }
+  std::vector<std::string> out;
+  std::string cur;
+  int brackets = 0;  // array literals use ';' inside [[dims; elems]]
+  for (char c : stripped) {
+    if (c == '[') ++brackets;
+    if (c == ']' && brackets > 0) --brackets;
+    if (c == ';' && brackets == 0) {
+      if (cur.find_first_not_of(" \t\n") != std::string::npos) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (cur.find_first_not_of(" \t\n") != std::string::npos) out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aql::System sys;
+  if (!sys.init_status().ok()) {
+    std::fprintf(stderr, "init error: %s\n", sys.init_status().ToString().c_str());
+    return 1;
+  }
+
+  std::map<std::string, size_t> firings;
+  size_t queries = 0, failures = 0;
+  for (const char* q : kCorpus) {
+    Replay(sys, q, &firings, &failures);
+    ++queries;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      continue;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    for (const std::string& q : SplitStatements(buf.str())) {
+      Replay(sys, q, &firings, &failures);
+      ++queries;
+    }
+  }
+
+  const aql::Optimizer* opt = sys.optimizer();
+  size_t total_rules = 0, dead = 0;
+  std::string report;
+  for (size_t p = 0; p < opt->num_phases(); ++p) {
+    for (const aql::Rule& rule : opt->phase_rules(p)) {
+      ++total_rules;
+      auto it = firings.find(rule.name);
+      if (it == firings.end() || it->second == 0) {
+        ++dead;
+        report += "  never fired: " + opt->phase_name(p) + " / " + rule.name + "\n";
+      }
+    }
+  }
+
+  std::printf("dead-rule report: %zu queries (%zu skipped), %zu rules, %zu never fired\n",
+              queries, failures, total_rules, dead);
+  if (dead > 0) std::printf("%s", report.c_str());
+  std::printf("firing totals:\n");
+  for (const auto& [rule, count] : firings) {
+    std::printf("  %6zu  %s\n", count, rule.c_str());
+  }
+  return 0;
+}

@@ -54,6 +54,15 @@ void ShowVerify(const aql::System* sys, const std::string& expr) {
   std::printf("%s", report->c_str());
 }
 
+void ShowLint(const aql::System* sys, const std::string& expr) {
+  auto report = sys->Lint(expr);
+  if (!report.ok()) {
+    std::printf("error: %s\n", report.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", report->c_str());
+}
+
 void ShowProfile(const aql::System* sys, const std::string& expr) {
   auto report = sys->Profile(expr);
   if (!report.ok()) {
@@ -108,6 +117,8 @@ int main(int argc, char** argv) {
             "  writeval <e> using WRITER at <e>; write external data\n"
             "  :plan <expr>                     show the optimized plan\n"
             "  :verify <expr>                   run the IR verifier on the plan\n"
+            "  :lint <expr>                     static analysis: shape, ⊥,\n"
+            "                                   bounds proofs, lint warnings\n"
             "  :profile <expr>                  run + per-stage time breakdown\n"
             "  :trace on|off                    toggle the process-wide tracer\n"
             "                                   (AQL_TRACE_FILE=path exports\n"
@@ -127,6 +138,10 @@ int main(int argc, char** argv) {
       }
       if (line.rfind(":verify ", 0) == 0) {
         ShowVerify(&sys, line.substr(8));
+        continue;
+      }
+      if (line.rfind(":lint ", 0) == 0) {
+        ShowLint(&sys, line.substr(6));
         continue;
       }
       if (line.rfind(":profile ", 0) == 0) {

@@ -20,8 +20,11 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 echo "== ctest under AQL_VERIFY_IR=1 (IR verifier paranoid mode)"
 AQL_VERIFY_IR=1 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
-echo "== lint"
-scripts/lint.sh build
+echo "== lint (strict: clang-tidy warnings fail the gate)"
+scripts/lint.sh --strict build
+
+echo "== dead-rule report (informational)"
+scripts/dead_rules.sh build || true
 
 if [ "${SANITIZE}" = 1 ]; then
   echo "== sanitizer lane: address,undefined (build-asan/, ctest -L asan)"

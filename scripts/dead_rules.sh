@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Dead-rule report: replay the optimizer over a query corpus and list
+# rules that never fired (see examples/aql_dead_rules.cpp). Informational
+# — a rule can be live for programs the corpus doesn't reach — so
+# check.sh invokes this with `|| true`.
+#
+# Usage: scripts/dead_rules.sh [build-dir] [corpus.aql ...]
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+shift || true
+
+BIN="${BUILD_DIR}/examples/aql_dead_rules"
+if [ ! -x "${BIN}" ]; then
+  echo "dead_rules: ${BIN} missing; build first: cmake --build ${BUILD_DIR} -j"
+  exit 1
+fi
+
+# The REPL tour exercises the surface language end to end; include it in
+# the corpus when present alongside any caller-supplied scripts.
+CORPUS=()
+[ -f examples/scripts/tour.aql ] && CORPUS+=(examples/scripts/tour.aql)
+exec "${BIN}" ${CORPUS[@]+"${CORPUS[@]}"} "$@"

@@ -2,14 +2,25 @@
 # clang-tidy over the project's own sources using the CMake compile
 # database (.clang-tidy at the repo root selects the checks).
 #
-# Usage: scripts/lint.sh [build-dir]       default build dir: build
+# Usage: scripts/lint.sh [--strict] [build-dir]   default build dir: build
+#
+# --strict promotes every clang-tidy warning to an error (CI gate): the
+# script exits non-zero if any file produces a warning. Without it, a
+# file only fails on hard errors.
 #
 # Exits 0 with a notice when clang-tidy is not installed, so check.sh can
 # run on minimal containers; install clang-tidy to make this lane real.
 set -u
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build}"
+STRICT=0
+BUILD_DIR="build"
+for arg in "$@"; do
+  case "${arg}" in
+    --strict) STRICT=1 ;;
+    *) BUILD_DIR="${arg}" ;;
+  esac
+done
 
 TIDY="$(command -v clang-tidy || true)"
 if [ -z "${TIDY}" ]; then
@@ -30,14 +41,18 @@ if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
   exit 1
 fi
 
+EXTRA=()
+[ "${STRICT}" = 1 ] && EXTRA+=("--warnings-as-errors=*")
+
 # Project sources only: the compile database also covers tests/benches,
 # which deliberately use patterns (huge literals, sleeps) lint dislikes.
 mapfile -t SOURCES < <(find src -name '*.cc' | sort)
 
-echo "lint: ${TIDY} over ${#SOURCES[@]} files"
+MODE=$([ "${STRICT}" = 1 ] && echo " (strict: warnings are errors)" || true)
+echo "lint: ${TIDY} over ${#SOURCES[@]} files${MODE}"
 FAILED=0
 for f in "${SOURCES[@]}"; do
-  if ! "${TIDY}" -p "${BUILD_DIR}" --quiet "$f"; then
+  if ! "${TIDY}" -p "${BUILD_DIR}" --quiet ${EXTRA[@]+"${EXTRA[@]}"} "$f"; then
     FAILED=1
   fi
 done

@@ -1,0 +1,309 @@
+// aql::analysis — a generic abstract interpreter over core-calculus
+// terms, parameterized by an abstract domain (paper §5: full bound and
+// definedness checking is undecidable — Proposition 5.1 — so every
+// domain here is a sound, incomplete approximation).
+//
+// The calculus is terminating and structural (no recursion, no loops over
+// terms), so one capture-aware descent per term IS the fixpoint; joins
+// appear at conditionals and the bounded-depth provers below. The
+// interpreter owns everything domain-independent:
+//
+//   - the symbolic environment (SymEnv): per-binder upper-bound facts
+//     `var < ub` and the conditions known true on the control path,
+//     killed on shadowing, seeded by tabulation/gen binders and
+//     conditional guards (AddBinderFacts);
+//   - the binding structure: a scope mapping in-scope names to abstract
+//     values, pushed per ChildBinders entry;
+//   - let-precision: `Apply(Lambda(x, body), bound)` — the core encoding
+//     of let — flows the binding's abstract value into the body when the
+//     domain opts in (sound because Apply is strict in its argument in
+//     both backends: a ⊥ binding never reaches the body).
+//
+// A domain supplies the lattice and the per-node transfer function:
+//
+//   struct Domain {
+//     using Val = ...;                      // abstract value
+//     static constexpr bool kLetPrecision;  // beta-flow let bindings?
+//     Val FreeVar(const ExprPtr& var);      // value of an unbound name
+//     Val BinderVal(const ExprPtr& parent, size_t child_index,
+//                   size_t binder_index, const SymEnv& env);
+//     Val Transfer(const ExprPtr& e, const std::vector<Val>& kids,
+//                  const SymEnv& env);
+//     Val LetTransfer(const ExprPtr& apply, const Val& bound,
+//                     const Val& body);     // only if kLetPrecision
+//     void AtNode(const ExprPtr& e, const std::vector<size_t>& path,
+//                 const SymEnv& env);       // pre-order hook
+//     void AfterNode(const ExprPtr& e, const std::vector<size_t>& path,
+//                    const Val& val, const SymEnv& env);  // post-order
+//   };
+//
+// Clients: BoundsAnalysis (bounds.h — the original prover, now a pre-order
+// hook over a trivial lattice), the Shape/Definedness/Cardinality product
+// domain below (consumed by the exec kernels for unchecked instantiation,
+// by the verifier as a cross-phase preservation check, and by the linter),
+// and exec/kernel.cc's proof annotator (which uses the SymEnv machinery
+// directly).
+
+#ifndef AQL_ANALYSIS_ABSINT_H_
+#define AQL_ANALYSIS_ABSINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/expr.h"
+#include "core/expr_ops.h"
+
+namespace aql {
+namespace analysis {
+
+// ---------- symbolic environment (shared by every domain) ----------
+
+// One abstract fact: `var < ub`, with `ub` a core expression (a NatConst
+// when the bound is known exactly, symbolic otherwise).
+struct SymFact {
+  std::string var;
+  ExprPtr ub;
+};
+
+// The abstract environment at a program point: binder bounds plus the
+// conditions known true on this control path.
+struct SymEnv {
+  std::vector<SymFact> facts;       // innermost binding last
+  std::vector<ExprPtr> true_conds;  // conditions of enclosing then-branches
+
+  // Innermost fact about `var`, or nullptr.
+  const ExprPtr* Lookup(const std::string& var) const;
+};
+
+// Entering a scope that introduces `binders` kills any fact or condition
+// mentioning those names (they now refer to different bindings) and any
+// fact *about* a shadowed name.
+SymEnv KillShadowed(const SymEnv& env, const std::vector<std::string>& binders);
+
+// Facts the construct `e` grants to its child `child_index`: tabulation
+// binders are below their bounds, gen binders below the generator
+// argument, and a conditional's test holds in its then-branch.
+void AddBinderFacts(const ExprPtr& e, size_t child_index, SymEnv* env);
+
+// Exclusive constant upper bound of a nat expression, when derivable.
+std::optional<uint64_t> ConstUpperBound(const ExprPtr& e, const SymEnv& env,
+                                        int depth = 0);
+
+// Proves `a < b` under `env`, or gives up (sound, incomplete).
+bool ProveLt(const ExprPtr& a, const ExprPtr& b, const SymEnv& env, int depth = 0);
+
+// The extent of dimension j (0-based) of array expression `arr` of rank
+// `k`: a tabulation's bound, a literal's constant dim, or the symbolic
+// `dim_k(arr)` projection.
+ExprPtr DimExtentExpr(const ExprPtr& arr, size_t j, size_t k);
+
+// "0.1.2" rendering of a child-index path; "<root>" when empty.
+std::string AbsPathString(const std::vector<size_t>& path);
+
+// ---------- the interpreter ----------
+
+template <typename Domain>
+class AbsInterp {
+ public:
+  using Val = typename Domain::Val;
+
+  explicit AbsInterp(Domain* domain) : domain_(domain) {}
+
+  Val Analyze(const ExprPtr& root) {
+    SymEnv env;
+    return Visit(root, env);
+  }
+
+ private:
+  Val Visit(const ExprPtr& e, const SymEnv& env) {
+    domain_->AtNode(e, path_, env);
+    if (e->is(ExprKind::kVar)) {
+      const Val* bound = ScopeLookup(e->var_name());
+      Val out = bound != nullptr ? *bound : domain_->FreeVar(e);
+      domain_->AfterNode(e, path_, out, env);
+      return out;
+    }
+    if constexpr (Domain::kLetPrecision) {
+      if (e->is(ExprKind::kApply) && e->child(0)->is(ExprKind::kLambda)) {
+        return VisitLet(e, env);
+      }
+    }
+    std::vector<std::vector<std::string>> child_binders = ChildBinders(*e);
+    std::vector<Val> kids;
+    kids.reserve(e->children().size());
+    for (size_t i = 0; i < e->children().size(); ++i) {
+      SymEnv child_env =
+          child_binders[i].empty() ? env : KillShadowed(env, child_binders[i]);
+      AddBinderFacts(e, i, &child_env);
+      size_t pushed = child_binders[i].size();
+      for (size_t j = 0; j < pushed; ++j) {
+        scope_.emplace_back(child_binders[i][j],
+                            domain_->BinderVal(e, i, j, child_env));
+      }
+      path_.push_back(i);
+      kids.push_back(Visit(e->child(i), child_env));
+      path_.pop_back();
+      scope_.resize(scope_.size() - pushed);
+    }
+    Val out = domain_->Transfer(e, kids, env);
+    domain_->AfterNode(e, path_, out, env);
+    return out;
+  }
+
+  // let x = bound in body, encoded Apply(Lambda(x, body), bound). The
+  // argument is visited first (it evaluates regardless of the body), then
+  // its abstract value is bound to x for the body.
+  Val VisitLet(const ExprPtr& e, const SymEnv& env) {
+    const ExprPtr& lam = e->child(0);
+    path_.push_back(1);
+    Val bound = Visit(e->child(1), env);
+    path_.pop_back();
+
+    domain_->AtNode(lam, WithStep(0), env);
+    SymEnv body_env = KillShadowed(env, lam->binders());
+    if (std::optional<uint64_t> ub = ConstUpperBound(e->child(1), env)) {
+      body_env.facts.push_back({lam->binder(), Expr::NatConst(*ub)});
+    }
+    scope_.emplace_back(lam->binder(), bound);
+    path_.push_back(0);
+    path_.push_back(0);
+    Val body = Visit(lam->child(0), body_env);
+    path_.pop_back();
+    path_.pop_back();
+    scope_.pop_back();
+    domain_->AfterNode(lam, WithStep(0), domain_->Transfer(lam, {body}, env), env);
+
+    Val out = domain_->LetTransfer(e, bound, body);
+    domain_->AfterNode(e, path_, out, env);
+    return out;
+  }
+
+  std::vector<size_t> WithStep(size_t i) const {
+    std::vector<size_t> p = path_;
+    p.push_back(i);
+    return p;
+  }
+
+  const Val* ScopeLookup(const std::string& name) const {
+    for (size_t i = scope_.size(); i-- > 0;) {
+      if (scope_[i].first == name) return &scope_[i].second;
+    }
+    return nullptr;
+  }
+
+  Domain* domain_;
+  std::vector<std::pair<std::string, Val>> scope_;
+  std::vector<size_t> path_;
+};
+
+// ---------- the shape × definedness × cardinality product domain ----------
+
+// One array extent: exactly known, known up to alpha-comparable symbolic
+// expression (`dim_k(x)`, a tabulation bound, ...), or unknown.
+struct Extent {
+  enum class Kind : uint8_t { kTop, kConst, kSym };
+  Kind kind = Kind::kTop;
+  uint64_t value = 0;  // kConst
+  ExprPtr sym;         // kSym
+
+  static Extent Top() { return {}; }
+  static Extent Const(uint64_t v) { return {Kind::kConst, v, nullptr}; }
+  static Extent Sym(ExprPtr e);  // NatConst collapses to Const
+
+  std::string ToString() const;
+};
+
+// ShapeDomain value: is the result an array, and of what extents?
+struct ShapeVal {
+  enum class Kind : uint8_t { kTop, kNotArray, kArray };
+  Kind kind = Kind::kTop;
+  std::vector<Extent> extents;  // kArray only; one per dimension
+
+  static ShapeVal Top() { return {}; }
+  static ShapeVal NotArray() { return {Kind::kNotArray, {}}; }
+  static ShapeVal Array(std::vector<Extent> extents) {
+    return {Kind::kArray, std::move(extents)};
+  }
+
+  std::string ToString() const;
+};
+
+// DefinednessDomain value. `whole` is a claim about the expression's own
+// result, conditional on evaluation succeeding (type errors are Status,
+// not ⊥, and void the claim vacuously) and on every free variable being
+// ⊥-free: kDefined = never ⊥, kBottom = always ⊥, kUnknown = no claim.
+// `elems_defined` additionally claims an array result carries no
+// per-point ⊥ holes (arrays are the calculus's partial functions; sets
+// and scalars never contain ⊥).
+enum class Definedness : uint8_t { kDefined, kUnknown, kBottom };
+
+struct DefVal {
+  Definedness whole = Definedness::kUnknown;
+  bool elems_defined = false;
+};
+
+// CardinalityDomain value: element count of a set/array result, as a
+// closed interval; hi == UINT64_MAX means unbounded. Meaningless (and
+// kept at [0, ∞)) for scalar results.
+struct CardVal {
+  uint64_t lo = 0;
+  uint64_t hi = UINT64_MAX;
+
+  std::string ToString() const;
+};
+
+struct AbsVal {
+  ShapeVal shape;
+  DefVal def;
+  CardVal card;
+
+  // "shape=[3 x dim_1(a)] def=bottom-free elems=hole-free card=[0,12]"
+  std::string ToString() const;
+};
+
+// The product domain: definedness of a subscript needs the array's shape,
+// a tabulation's cardinality needs its bounds' values, so the three
+// domains run together (a reduced product).
+class CoreDomains {
+ public:
+  using Val = AbsVal;
+  static constexpr bool kLetPrecision = true;
+
+  // Post-order observation hook (the linter records every node's value).
+  using Observer = std::function<void(const ExprPtr&, const std::vector<size_t>&,
+                                      const AbsVal&, const SymEnv&)>;
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  Val FreeVar(const ExprPtr& var);
+  Val BinderVal(const ExprPtr& parent, size_t child_index, size_t binder_index,
+                const SymEnv& env);
+  Val Transfer(const ExprPtr& e, const std::vector<Val>& kids, const SymEnv& env);
+  Val LetTransfer(const ExprPtr& apply, const Val& bound, const Val& body);
+  void AtNode(const ExprPtr&, const std::vector<size_t>&, const SymEnv&) {}
+  void AfterNode(const ExprPtr& e, const std::vector<size_t>& path, const Val& val,
+                 const SymEnv& env) {
+    if (observer_) observer_(e, path, val, env);
+  }
+
+ private:
+  Observer observer_;
+};
+
+// Abstractly interprets a core term under the product domain. Never
+// fails; unknown constructs yield ⊤.
+AbsVal AnalyzeAbs(const ExprPtr& e);
+
+// True when `a` and `b` make contradictory claims about one value —
+// definite-but-different ranks or extents, kDefined vs kBottom, disjoint
+// bounded cardinalities. Used by the verifier: a sound rewrite preserves
+// the value, so the pre- and post-phase analyses must be consistent.
+bool AbsContradicts(const AbsVal& a, const AbsVal& b, std::string* why);
+
+}  // namespace analysis
+}  // namespace aql
+
+#endif  // AQL_ANALYSIS_ABSINT_H_

@@ -1,9 +1,8 @@
 #include "analysis/bounds.h"
 
-#include <algorithm>
-#include <optional>
-#include <set>
+#include <vector>
 
+#include "analysis/absint.h"
 #include "base/strings.h"
 #include "core/expr_ops.h"
 
@@ -12,198 +11,38 @@ namespace analysis {
 
 namespace {
 
-// One abstract fact: `var < ub`, with `ub` a core expression (a NatConst
-// when the bound is known exactly, symbolic otherwise).
-struct Fact {
-  std::string var;
-  ExprPtr ub;
-};
-
-// The abstract environment at a program point: binder bounds plus the
-// conditions known true on this control path.
-struct Ctx {
-  std::vector<Fact> facts;           // innermost binding last
-  std::vector<ExprPtr> true_conds;   // conditions of enclosing then-branches
-};
-
-const ExprPtr* LookupFact(const Ctx& ctx, const std::string& var) {
-  for (auto it = ctx.facts.rbegin(); it != ctx.facts.rend(); ++it) {
-    if (it->var == var) return &it->ub;
-  }
-  return nullptr;
-}
-
-// Entering a scope that introduces `binders` kills any fact or condition
-// mentioning those names (they now refer to different bindings) and any
-// fact *about* a shadowed name.
-Ctx EnterScope(const Ctx& ctx, const std::vector<std::string>& binders) {
-  Ctx out;
-  auto mentions_binder = [&](const ExprPtr& e) {
-    for (const std::string& b : binders) {
-      if (OccursFree(e, b)) return true;
-    }
-    return false;
-  };
-  for (const Fact& f : ctx.facts) {
-    if (std::find(binders.begin(), binders.end(), f.var) != binders.end()) continue;
-    if (mentions_binder(f.ub)) continue;
-    out.facts.push_back(f);
-  }
-  for (const ExprPtr& c : ctx.true_conds) {
-    if (!mentions_binder(c)) out.true_conds.push_back(c);
-  }
-  return out;
-}
-
-// Exclusive constant upper bound of a nat expression, when derivable.
-std::optional<uint64_t> ConstUB(const ExprPtr& e, const Ctx& ctx, int depth = 0) {
-  if (depth > 16) return std::nullopt;
-  switch (e->kind()) {
-    case ExprKind::kNatConst: {
-      uint64_t n = e->nat_const();
-      if (n == UINT64_MAX) return std::nullopt;
-      return n + 1;
-    }
-    case ExprKind::kVar: {
-      const ExprPtr* ub = LookupFact(ctx, e->var_name());
-      if (ub && (*ub)->is(ExprKind::kNatConst)) return (*ub)->nat_const();
-      return std::nullopt;
-    }
-    case ExprKind::kArith: {
-      auto a = ConstUB(e->child(0), ctx, depth + 1);
-      auto b = ConstUB(e->child(1), ctx, depth + 1);
-      switch (e->arith_op()) {
-        case ArithOp::kAdd:
-          if (a && b && *a + *b > *a) return *a + *b - 1;  // (ua-1)+(ub-1)+1
-          return std::nullopt;
-        case ArithOp::kMul:
-          if (!a || !b) return std::nullopt;
-          if (*a <= 1 || *b <= 1) return 1;  // an operand < 1 is 0; product is 0
-          if ((*a - 1) > UINT64_MAX / (*b - 1)) return std::nullopt;  // overflow
-          return (*a - 1) * (*b - 1) + 1;
-        case ArithOp::kMonus:
-        case ArithOp::kDiv:
-          return a;  // x - y <= x;  x / y <= x for y >= 1 (y = 0 is ⊥)
-        case ArithOp::kMod:
-          // When defined (y > 0): x % y < y <= ub(y)-1, and x % y <= x.
-          if (b && *b >= 1) return a ? std::min(*a, *b - 1) : *b - 1;
-          return a;
-      }
-      return std::nullopt;
-    }
-    case ExprKind::kIf: {
-      auto t = ConstUB(e->child(1), ctx, depth + 1);
-      auto f = ConstUB(e->child(2), ctx, depth + 1);
-      if (t && f) return std::max(*t, *f);
-      return std::nullopt;
-    }
-    case ExprKind::kProj:
-      if (e->child(0)->is(ExprKind::kTuple) &&
-          e->child(0)->children().size() == e->proj_arity()) {
-        return ConstUB(e->child(0)->child(e->proj_index() - 1), ctx, depth + 1);
-      }
-      return std::nullopt;
-    case ExprKind::kLiteral:
-      if (e->literal().kind() == ValueKind::kNat &&
-          e->literal().nat_value() < UINT64_MAX) {
-        return e->literal().nat_value() + 1;
-      }
-      return std::nullopt;
-    default:
-      return std::nullopt;
-  }
-}
-
-// Proves `a < b` under ctx, or gives up (sound, incomplete).
-bool ProveLt(const ExprPtr& a, const ExprPtr& b, const Ctx& ctx, int depth = 0) {
-  if (depth > 16) return false;
-  // A condition alpha-equal to `a < b` holds on this path.
-  for (const ExprPtr& c : ctx.true_conds) {
-    if (c->is(ExprKind::kCmp) && c->cmp_op() == CmpOp::kLt &&
-        AlphaEqual(c->child(0), a) && AlphaEqual(c->child(1), b)) {
-      return true;
-    }
-  }
-  // Constant interval reasoning: a < ub(a) <= n = b.
-  if (b->is(ExprKind::kNatConst)) {
-    auto ub = ConstUB(a, ctx);
-    if (ub && *ub <= b->nat_const()) return true;
-  }
-  switch (a->kind()) {
-    case ExprKind::kVar: {
-      const ExprPtr* ub = LookupFact(ctx, a->var_name());
-      if (ub && AlphaEqual(*ub, b)) return true;  // a < ub = b, symbolically
-      break;
-    }
-    case ExprKind::kArith:
-      switch (a->arith_op()) {
-        case ArithOp::kMod:
-          // x % b < b whenever the mod is defined (b = 0 yields ⊥, so the
-          // subscript never sees an index).
-          if (AlphaEqual(a->child(1), b)) return true;
-          return ProveLt(a->child(0), b, ctx, depth + 1);
-        case ArithOp::kMonus:
-        case ArithOp::kDiv:
-          // x - y <= x and x / y <= x (y >= 1; y = 0 is ⊥).
-          return ProveLt(a->child(0), b, ctx, depth + 1);
-        default:
-          break;
-      }
-      break;
-    case ExprKind::kIf: {
-      Ctx then_ctx = ctx;
-      then_ctx.true_conds.push_back(a->child(0));
-      return ProveLt(a->child(1), b, then_ctx, depth + 1) &&
-             ProveLt(a->child(2), b, ctx, depth + 1);
-    }
-    default:
-      break;
-  }
-  return false;
-}
-
-// The extent of dimension j (0-based) of array expression `arr` of rank
-// `k`: a tabulation's bound, a literal's constant dim, or the symbolic
-// `dim_k(arr)` projection.
-ExprPtr DimExtent(const ExprPtr& arr, size_t j, size_t k) {
-  if (arr->is(ExprKind::kTab) && arr->tab_rank() == k) return arr->tab_bound(j);
-  if (arr->is(ExprKind::kLiteral) && arr->literal().kind() == ValueKind::kArray) {
-    const ArrayRep& rep = arr->literal().array();
-    if (rep.dims.size() == k) return Expr::NatConst(rep.dims[j]);
-  }
-  if (arr->is(ExprKind::kDense) && arr->dense_rank() == k &&
-      arr->dense_dim(j)->is(ExprKind::kNatConst)) {
-    return arr->dense_dim(j);
-  }
-  if (k == 1) return Expr::Dim(1, arr);
-  return Expr::Proj(j + 1, k, Expr::Dim(k, arr));
-}
-
-std::string PathString(const std::vector<size_t>& path) {
-  if (path.empty()) return "<root>";
-  std::string out;
-  for (size_t i : path) {
-    if (!out.empty()) out += '.';
-    out += std::to_string(i);
-  }
-  return out;
-}
-
-class BoundsInterp {
+// The original bounds prover, rebased onto the generic interpreter
+// (absint.h): the symbolic-environment machinery (facts, path conditions,
+// ConstUpperBound/ProveLt, scope killing) now lives there, shared with
+// the shape/definedness/cardinality product domain and the kernel proof
+// annotator. BoundsAnalysis keeps no per-expression abstract value — it
+// is a pure pre-order observer over the trivial one-point lattice.
+class BoundsDomain {
  public:
-  explicit BoundsInterp(BoundsSummary* out) : out_(out) {}
+  struct Unit {};
+  using Val = Unit;
+  static constexpr bool kLetPrecision = false;
 
-  void Visit(const ExprPtr& e, const Ctx& ctx, std::vector<size_t>* path) {
+  explicit BoundsDomain(BoundsSummary* out) : out_(out) {}
+
+  Val FreeVar(const ExprPtr&) { return {}; }
+  Val BinderVal(const ExprPtr&, size_t, size_t, const SymEnv&) { return {}; }
+  Val Transfer(const ExprPtr&, const std::vector<Val>&, const SymEnv&) {
+    return {};
+  }
+
+  void AtNode(const ExprPtr& e, const std::vector<size_t>& path,
+              const SymEnv& env) {
     switch (e->kind()) {
       case ExprKind::kSubscript:
-        AnalyzeSubscript(e, ctx, *path);
+        AnalyzeSubscript(e, env, path);
         break;
       case ExprKind::kIf:
         // A β^p bound-check guard: `if i < b then e else ⊥`.
         if (e->child(2)->is(ExprKind::kBottom) && e->child(0)->is(ExprKind::kCmp) &&
             e->child(0)->cmp_op() == CmpOp::kLt) {
           ++out_->residual_guards;
-          if (ProveLt(e->child(0)->child(0), e->child(0)->child(1), ctx)) {
+          if (ProveLt(e->child(0)->child(0), e->child(0)->child(1), env)) {
             ++out_->provable_guards;
           }
         }
@@ -211,54 +50,13 @@ class BoundsInterp {
       default:
         break;
     }
-    auto child_binders = ChildBinders(*e);
-    for (size_t i = 0; i < e->children().size(); ++i) {
-      Ctx child_ctx =
-          child_binders[i].empty() ? ctx : EnterScope(ctx, child_binders[i]);
-      AddBinderFacts(e, i, ctx, &child_ctx);
-      path->push_back(i);
-      Visit(e->child(i), child_ctx, path);
-      path->pop_back();
-    }
   }
+
+  void AfterNode(const ExprPtr&, const std::vector<size_t>&, const Val&,
+                 const SymEnv&) {}
 
  private:
-  // Facts the parent construct grants to child i: tabulation binders are
-  // below their bounds, gen binders below the generator argument, and a
-  // conditional's test holds in its then-branch.
-  static void AddBinderFacts(const ExprPtr& e, size_t i, const Ctx& outer, Ctx* ctx) {
-    switch (e->kind()) {
-      case ExprKind::kTab:
-        if (i == 0) {
-          for (size_t j = 0; j < e->tab_rank(); ++j) {
-            ExprPtr bound = e->tab_bound(j);
-            // The bound is evaluated outside the binders; only keep it as
-            // a fact if no sibling binder shadows a name inside it.
-            bool shadowed = false;
-            for (const std::string& b : e->binders()) {
-              if (OccursFree(bound, b)) shadowed = true;
-            }
-            if (!shadowed) ctx->facts.push_back({e->binders()[j], bound});
-          }
-        }
-        break;
-      case ExprKind::kBigUnion:
-      case ExprKind::kSum:
-        if (i == 0 && e->child(1)->is(ExprKind::kGen)) {
-          ExprPtr n = e->child(1)->child(0);
-          if (!OccursFree(n, e->binder())) ctx->facts.push_back({e->binder(), n});
-        }
-        break;
-      case ExprKind::kIf:
-        if (i == 1) ctx->true_conds.push_back(e->child(0));
-        break;
-      default:
-        break;
-    }
-    (void)outer;
-  }
-
-  void AnalyzeSubscript(const ExprPtr& e, const Ctx& ctx,
+  void AnalyzeSubscript(const ExprPtr& e, const SymEnv& env,
                         const std::vector<size_t>& path) {
     const ExprPtr& arr = e->child(0);
     const ExprPtr& idx = e->child(1);
@@ -287,7 +85,7 @@ class BoundsInterp {
     size_t proven_dims = 0;
     std::string detail;
     for (size_t j = 0; j < k; ++j) {
-      bool ok = ProveLt(parts[j], DimExtent(arr, j, k), ctx);
+      bool ok = ProveLt(parts[j], DimExtentExpr(arr, j, k), env);
       if (ok) ++proven_dims;
       if (!detail.empty()) detail += ", ";
       detail += StrCat("dim ", j + 1, ok ? " proven" : " unproven");
@@ -296,7 +94,7 @@ class BoundsInterp {
     if (proven) ++out_->proven; else ++out_->unproven;
     if (out_->facts.size() < BoundsSummary::kMaxFacts) {
       out_->facts.push_back(
-          {PathString(path), e->ToString(), proven, std::move(detail)});
+          {AbsPathString(path), e->ToString(), proven, std::move(detail)});
     }
   }
 
@@ -307,10 +105,9 @@ class BoundsInterp {
 
 BoundsSummary AnalyzeBounds(const ExprPtr& e) {
   BoundsSummary out;
-  BoundsInterp interp(&out);
-  Ctx ctx;
-  std::vector<size_t> path;
-  interp.Visit(e, ctx, &path);
+  BoundsDomain domain(&out);
+  AbsInterp<BoundsDomain> interp(&domain);
+  interp.Analyze(e);
   return out;
 }
 

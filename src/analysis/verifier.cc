@@ -344,6 +344,7 @@ const char* VerifyPassName(VerifyPass pass) {
     case VerifyPass::kTypePreservation: return "type-preservation";
     case VerifyPass::kNormalForm: return "normal-form";
     case VerifyPass::kBounds: return "bounds";
+    case VerifyPass::kAbsint: return "absint";
   }
   return "?";
 }
@@ -366,6 +367,7 @@ std::string VerifierReport::ToString() const {
   }
   for (const std::string& p : phases_checked) out += StrCat("  phase ", p, "\n");
   out += bounds.ToString();
+  if (!absint.empty()) out += StrCat("absint: ", absint, "\n");
   return out;
 }
 
@@ -519,6 +521,28 @@ void Verifier::VerifyPhase(const std::string& phase, const std::vector<Rule>& ru
     }
   }
 
+  // ---- 5. AbsintCheck ----
+  // A sound rewrite preserves the value, so the abstract analyses of the
+  // pre- and post-phase terms may not make contradictory claims.
+  if (options_.absint) {
+    AbsVal pre_v = AnalyzeAbs(pre);
+    AbsVal post_v = AnalyzeAbs(post);
+    std::string why;
+    if (AbsContradicts(pre_v, post_v, &why)) {
+      std::string rule;
+      if (options_.pinpoint) {
+        rule = PinpointByTrace(rules, rewrite_options, pre,
+                               [&pre_v](const ExprPtr& mid) {
+                                 return AbsContradicts(pre_v, AnalyzeAbs(mid),
+                                                       nullptr);
+                               });
+      }
+      AddViolation(report, VerifyPass::kAbsint, phase, std::move(rule), "<root>",
+                   StrCat("abstract values contradict (", why, "): pre ",
+                          pre_v.ToString(), " vs post ", post_v.ToString()));
+    }
+  }
+
   report->phases_checked.push_back(
       StrCat(phase, ": ",
              report->violations.size() == before ? "ok" : "VIOLATIONS"));
@@ -540,6 +564,7 @@ ExprPtr Verifier::OptimizeVerified(const Optimizer& opt, const ExprPtr& e,
     cur = next;
   }
   if (options_.bounds) report->bounds = AnalyzeBounds(cur);
+  if (options_.absint) report->absint = AnalyzeAbs(cur).ToString();
   return cur;
 }
 

@@ -5,7 +5,7 @@
 // (Optimizer::AddPhase / AddRule let hosts extend it at run time), so an
 // unsound user rule can silently corrupt every plan the service caches.
 // This subsystem turns those invariants into machine-checked obligations,
-// with four composable passes run between optimizer phases:
+// with five composable passes run between optimizer phases:
 //
 //   1. ScopeCheck        every variable bound (relative to the pre-phase
 //                        term's free variables — rewriting may drop free
@@ -31,6 +31,12 @@
 //                        proving `index < shape` facts (bounds.h); reported
 //                        as statistics — which eliminations are justified
 //                        by a proof versus trusting the runtime ⊥.
+//   5. AbsintCheck       the shape/definedness/cardinality product domain
+//                        (absint.h) analyzed before and after each phase: a
+//                        sound rewrite preserves the value, so the two
+//                        abstract values may not contradict (a definite
+//                        rank/extent change, bottom-free becoming
+//                        always-⊥, disjoint cardinalities).
 //
 // When a pass fails, the verifier pinpoints the offending rule via the
 // rewriter's per-firing instrumentation (RewriteOptions::on_firing /
@@ -52,6 +58,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/absint.h"
 #include "analysis/bounds.h"
 #include "core/expr.h"
 #include "opt/optimizer.h"
@@ -60,7 +67,7 @@
 namespace aql {
 namespace analysis {
 
-enum class VerifyPass { kScope, kTypePreservation, kNormalForm, kBounds };
+enum class VerifyPass { kScope, kTypePreservation, kNormalForm, kBounds, kAbsint };
 const char* VerifyPassName(VerifyPass pass);
 
 struct Violation {
@@ -77,6 +84,7 @@ struct VerifierReport {
   std::vector<Violation> violations;
   std::vector<std::string> phases_checked;  // e.g. "normalization: ok"
   BoundsSummary bounds;                     // over the final optimized term
+  std::string absint;  // rendered AbsVal of the final optimized term
 
   bool ok() const { return violations.empty(); }
   std::string ToString() const;
@@ -98,6 +106,7 @@ class Verifier {
     bool types = true;
     bool normal_form = true;
     bool bounds = true;
+    bool absint = true;
     // Replay a failing phase with per-firing instrumentation to name the
     // rule that broke the invariant (bounded work; off for speed).
     bool pinpoint = true;

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <set>
 
+#include "analysis/lint.h"
 #include "analysis/verifier.h"
 #include "base/env.h"
 #include "base/strings.h"
@@ -145,6 +146,12 @@ Result<std::string> System::VerifyReport(std::string_view expression) const {
   analysis::VerifierReport report;
   verifier.OptimizeVerified(optimizer_, resolved, nullptr, &report);
   return report.ToString();
+}
+
+Result<std::string> System::Lint(std::string_view expression) const {
+  AQL_ASSIGN_OR_RETURN(ExprPtr resolved, CompileUnoptimized(expression));
+  ExprPtr optimized = config_.optimize ? Optimize(resolved) : resolved;
+  return analysis::AnalyzePlan(optimized).ToString();
 }
 
 Result<ExprPtr> System::CompileUnoptimized(std::string_view expression) const {

@@ -139,6 +139,12 @@ class System {
   // SystemConfig::verify_ir) — what the REPL's :verify command prints.
   Result<std::string> VerifyReport(std::string_view expression) const;
 
+  // Compiles and optimizes `expression`, then runs the static analyses
+  // (analysis/lint.h) over the plan: the inferred shape/definedness/
+  // cardinality of the result, the bounds summary, and the lint warnings
+  // — what the REPL's :lint command prints.
+  Result<std::string> Lint(std::string_view expression) const;
+
   // Resolver over this system's registered primitive type schemes, for
   // TypeChecker and the IR verifier.
   TypeChecker::ExternalLookup SchemeResolver() const;

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <cmath>
 #include <mutex>
+#include <optional>
 
 #include "base/cancel.h"
+#include "base/env.h"
 #include "base/strings.h"
 #include "core/expr_ops.h"
 #include "exec/kernel.h"
@@ -488,8 +490,17 @@ class TabNode : public Node {
     // Fused kernel: scalar body over an unboxed result buffer. A ⊥ at any
     // point aborts the kernel and re-runs generically (the partial array
     // keeps per-point ⊥ holes, which the unboxed payloads cannot hold).
+    // When instantiation discharges every ⊥ source statically, the loop
+    // drops the per-cell checks entirely (re-read the kill switch per run
+    // so tests and benchmarks can toggle it in-process).
     if (kernel_spec_ != nullptr && total <= kUnboxedAllocLimit) {
       if (std::unique_ptr<Kernel> kernel = Kernel::Instantiate(*kernel_spec_, *f)) {
+        if (kernel->unchecked() && EnvU64("AQL_EXEC_UNCHECKED", 1) != 0) {
+          AQL_ASSIGN_OR_RETURN(Value arr, RunKernelUnchecked(*kernel, dims, total));
+          GlobalExecStats().unboxed_arrays.fetch_add(1, std::memory_order_relaxed);
+          GlobalExecStats().unchecked_kernels.fetch_add(1, std::memory_order_relaxed);
+          return arr;
+        }
         bool bottom_seen = false;
         AQL_ASSIGN_OR_RETURN(Value arr, RunKernel(*kernel, dims, total, &bottom_seen));
         if (!bottom_seen) {
@@ -576,6 +587,53 @@ class TabNode : public Node {
     auto arr = make(dims, std::move(buf));
     if (!arr.ok()) return Status::Internal(arr.status().message());
     return std::move(arr).value();
+  }
+
+  // The unchecked loop: evaluation is total, so there is no ⊥ flag to
+  // poll and no per-cell branch on the eval result — just index decode,
+  // body, store. Interrupt polling stays (deadlines must still bite).
+  template <typename T, typename EvalFn>
+  static Result<Value> KernelLoopU(const std::vector<uint64_t>& dims, uint64_t total,
+                                   EvalFn&& eval,
+                                   Result<Value> (*make)(std::vector<uint64_t>,
+                                                         std::vector<T>)) {
+    std::vector<T> buf(total);
+    Status ps = ParallelFor(total, [&](uint64_t begin, uint64_t end) -> Status {
+      std::vector<uint64_t> index = DecodeIndex(begin, dims);
+      for (uint64_t flat = begin; flat < end; ++flat) {
+        if (((flat - begin) & 0xFFF) == 0) AQL_RETURN_IF_ERROR(CheckInterrupt());
+        buf[flat] = eval(index.data());
+        IncrementIndex(index, dims);
+      }
+      return Status::OK();
+    });
+    AQL_RETURN_IF_ERROR(ps);
+    auto arr = make(dims, std::move(buf));
+    if (!arr.ok()) return Status::Internal(arr.status().message());
+    return std::move(arr).value();
+  }
+
+  static Result<Value> RunKernelUnchecked(const Kernel& kernel,
+                                          const std::vector<uint64_t>& dims,
+                                          uint64_t total) {
+    switch (kernel.result_type()) {
+      case Kernel::Type::kNat:
+        return KernelLoopU<uint64_t>(
+            dims, total,
+            [&kernel](const uint64_t* idx) { return kernel.EvalNatUnchecked(idx); },
+            &Value::MakeNatArray);
+      case Kernel::Type::kReal:
+        return KernelLoopU<double>(
+            dims, total,
+            [&kernel](const uint64_t* idx) { return kernel.EvalRealUnchecked(idx); },
+            &Value::MakeRealArray);
+      case Kernel::Type::kBool:
+        return KernelLoopU<uint8_t>(
+            dims, total,
+            [&kernel](const uint64_t* idx) { return kernel.EvalBoolUnchecked(idx); },
+            &Value::MakeBoolArray);
+    }
+    return Status::Internal("bad kernel result type");
   }
 
   static Result<Value> RunKernel(const Kernel& kernel, const std::vector<uint64_t>& dims,
@@ -751,6 +809,25 @@ class DenseNode : public Node {
   std::vector<NodePtr> dims_, values_;
 };
 
+// A dense literal whose dims and elements were all compile-time constants:
+// the array — with its canonical (usually unboxed) payload — is selected
+// once at compile time instead of being rediscovered cell-by-cell on every
+// run. Keeps DenseNode's observable counter: an unboxed materialization
+// still counts per run.
+class FoldedDenseNode : public Node {
+ public:
+  explicit FoldedDenseNode(Value v) : value_(std::move(v)) {}
+  Result<Value> Run(Frame*) const override {
+    if (value_.kind() == ValueKind::kArray && value_.array().unboxed()) {
+      GlobalExecStats().unboxed_arrays.fetch_add(1, std::memory_order_relaxed);
+    }
+    return value_;
+  }
+
+ private:
+  Value value_;
+};
+
 // ---------- compiler ----------
 
 class Compiler {
@@ -777,6 +854,53 @@ class Compiler {
       if (scope_[i] == name) return i;
     }
     return Status::EvalError(StrCat("unbound variable ", name, " at compile time"));
+  }
+
+  // A compile-time constant scalar expression, or nullopt.
+  static std::optional<Value> ConstScalar(const ExprPtr& e) {
+    switch (e->kind()) {
+      case ExprKind::kNatConst: return Value::Nat(e->nat_const());
+      case ExprKind::kRealConst: return Value::Real(e->real_const());
+      case ExprKind::kBoolConst: return Value::Bool(e->bool_const());
+      case ExprKind::kStrConst: return Value::Str(e->str_const());
+      case ExprKind::kBottom: return Value::Bottom();
+      case ExprKind::kLiteral: return e->literal();
+      default: return std::nullopt;
+    }
+  }
+
+  // Folds a dense literal with constant dims and elements into its array
+  // value at compile time, selecting the canonical payload (unboxed when
+  // the definedness analysis would prove it hole-free) up front. Mirrors
+  // DenseNode::Run exactly: the wrapping dims product, the count-mismatch
+  // ⊥, the per-point ⊥ holes. nullptr when not fully constant (or when
+  // materialization must stay a runtime error, e.g. the volume cap).
+  static NodePtr TryFoldDense(const ExprPtr& e) {
+    std::vector<uint64_t> dims(e->dense_rank());
+    for (size_t j = 0; j < e->dense_rank(); ++j) {
+      const ExprPtr& d = e->dense_dim(j);
+      if (d->is(ExprKind::kNatConst)) {
+        dims[j] = d->nat_const();
+      } else if (d->is(ExprKind::kLiteral) &&
+                 d->literal().kind() == ValueKind::kNat) {
+        dims[j] = d->literal().nat_value();
+      } else {
+        return nullptr;
+      }
+    }
+    std::vector<Value> elems;
+    elems.reserve(e->dense_value_count());
+    for (size_t j = 0; j < e->dense_value_count(); ++j) {
+      std::optional<Value> v = ConstScalar(e->dense_value(j));
+      if (!v) return nullptr;
+      elems.push_back(std::move(*v));
+    }
+    uint64_t total = 1;
+    for (uint64_t d : dims) total *= d;  // wraps, like DenseNode::Run
+    if (total != elems.size()) return NodePtr(new ConstNode(Value::Bottom()));
+    auto arr = Value::MakeArray(std::move(dims), std::move(elems));
+    if (!arr.ok()) return nullptr;  // keep cap/overflow errors at run time
+    return NodePtr(new FoldedDenseNode(std::move(arr).value()));
   }
 
   Result<NodePtr> CompileNode(const ExprPtr& e) {
@@ -877,6 +1001,9 @@ class Compiler {
           spec = BuildKernelSpec(
               *e->tab_body(), slots,
               [this](const std::string& name) { return Lookup(name); });
+          // Attach in-range/nonzero proofs so instantiation can admit the
+          // unchecked evaluators (analysis/absint.h; once per compile).
+          if (spec != nullptr) AnnotateKernelSpec(*e, spec.get());
         }
         Pop(e->tab_rank());
         AQL_RETURN_IF_ERROR(body.status());
@@ -897,6 +1024,7 @@ class Compiler {
         return NodePtr(new IndexNode(e->rank(), std::move(src)));
       }
       case ExprKind::kDense: {
+        if (NodePtr folded = TryFoldDense(e)) return folded;
         std::vector<NodePtr> dims, values;
         for (size_t j = 0; j < e->dense_rank(); ++j) {
           AQL_ASSIGN_OR_RETURN(NodePtr d, CompileNode(e->dense_dim(j)));

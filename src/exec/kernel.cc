@@ -2,10 +2,40 @@
 
 #include <cmath>
 
+#include "analysis/absint.h"
+
 namespace aql {
 namespace exec {
 
 namespace {
+
+// Resolves a kDim-rooted expression to a kDimOf spec leaf when the array
+// operand is itself admissible (a non-binder frame slot or a literal
+// array). `rank`/`j` come from the surrounding kDim/kProj.
+bool BuildDimOf(const Expr& arr, size_t rank, size_t j,
+                const std::vector<size_t>& binder_slots, const SlotLookup& lookup,
+                KernelSpec* out) {
+  out->op = KernelSpec::Op::kDimOf;
+  out->nat = rank;
+  out->index = j;
+  out->kids.resize(1);
+  if (arr.is(ExprKind::kVar)) {
+    Result<size_t> slot = lookup(arr.var_name());
+    if (!slot.ok()) return false;
+    for (size_t b : binder_slots) {
+      if (b == slot.value()) return false;  // a binder is a nat, not an array
+    }
+    out->kids[0].op = KernelSpec::Op::kSlot;
+    out->kids[0].index = slot.value();
+    return true;
+  }
+  if (arr.is(ExprKind::kLiteral) && arr.literal().kind() == ValueKind::kArray) {
+    out->kids[0].op = KernelSpec::Op::kLiteralArr;
+    out->kids[0].literal = arr.literal();
+    return true;
+  }
+  return false;
+}
 
 // Structural admission of the kernel fragment. Mirrors the runtime nodes
 // of compiled.cc exactly where it matters: nat arithmetic wraps, monus
@@ -117,6 +147,19 @@ bool BuildSpec(const Expr& e, const std::vector<size_t>& binder_slots,
       }
       return true;
     }
+    case ExprKind::kDim:
+      // dim!1 a: the extent of a rank-1 array — what index arithmetic like
+      // `A[(i + 1) % dim!1 A]` needs in scope. Higher ranks arrive through
+      // the kProj case below.
+      if (e.rank() != 1) return false;
+      return BuildDimOf(*e.child(0), 1, 0, binder_slots, lookup, out);
+    case ExprKind::kProj: {
+      // pi_j(dim!k a): one extent of a rank-k array.
+      const Expr& d = *e.child(0);
+      if (!d.is(ExprKind::kDim) || d.rank() != e.proj_arity()) return false;
+      return BuildDimOf(*d.child(0), d.rank(), e.proj_index() - 1, binder_slots,
+                        lookup, out);
+    }
     default:
       return false;
   }
@@ -132,10 +175,98 @@ std::unique_ptr<KernelSpec> BuildKernelSpec(const Expr& body,
   return spec;
 }
 
+// ---------- static proof annotation ----------
+
+namespace {
+
+// Divisor of a nat div/mod proven nonzero: a nonzero constant, or a
+// control path that established `0 < d`. (A real divisor never needs this
+// — IEEE division is total.)
+bool DivisorProvenNonzero(const ExprPtr& d, const analysis::SymEnv& env) {
+  if (d->is(ExprKind::kNatConst)) return d->nat_const() != 0;
+  if (d->is(ExprKind::kLiteral) && d->literal().kind() == ValueKind::kNat) {
+    return d->literal().nat_value() != 0;
+  }
+  if (d->is(ExprKind::kRealConst)) return true;
+  if (d->is(ExprKind::kLiteral) && d->literal().kind() == ValueKind::kReal) {
+    return true;
+  }
+  return analysis::ProveLt(Expr::NatConst(0), d, env);
+}
+
+// Walks the body expression and its spec in lockstep (BuildSpec maps the
+// admitted fragment one-to-one), attaching proofs under the environment
+// of tabulation-binder bounds and enclosing guard conditions.
+void AnnotateNode(const ExprPtr& e, const analysis::SymEnv& env, KernelSpec* spec) {
+  switch (spec->op) {
+    case KernelSpec::Op::kArith: {
+      if (!e->is(ExprKind::kArith) || spec->kids.size() != 2) return;
+      if (e->arith_op() == ArithOp::kDiv || e->arith_op() == ArithOp::kMod) {
+        spec->div_safe = DivisorProvenNonzero(e->child(1), env);
+      }
+      AnnotateNode(e->child(0), env, &spec->kids[0]);
+      AnnotateNode(e->child(1), env, &spec->kids[1]);
+      return;
+    }
+    case KernelSpec::Op::kCmp: {
+      if (!e->is(ExprKind::kCmp) || spec->kids.size() != 2) return;
+      AnnotateNode(e->child(0), env, &spec->kids[0]);
+      AnnotateNode(e->child(1), env, &spec->kids[1]);
+      return;
+    }
+    case KernelSpec::Op::kIf: {
+      if (!e->is(ExprKind::kIf) || spec->kids.size() != 3) return;
+      AnnotateNode(e->child(0), env, &spec->kids[0]);
+      analysis::SymEnv then_env = env;
+      then_env.true_conds.push_back(e->child(0));
+      AnnotateNode(e->child(1), then_env, &spec->kids[1]);
+      AnnotateNode(e->child(2), env, &spec->kids[2]);
+      return;
+    }
+    case KernelSpec::Op::kSubscript: {
+      if (!e->is(ExprKind::kSubscript) || spec->kids.size() < 2) return;
+      size_t k = spec->kids.size() - 1;
+      const ExprPtr& idx = e->child(1);
+      std::vector<ExprPtr> parts;
+      if (k == 1 && !idx->is(ExprKind::kTuple)) {
+        parts.push_back(idx);
+      } else if (idx->is(ExprKind::kTuple) && idx->children().size() == k) {
+        for (const ExprPtr& c : idx->children()) parts.push_back(c);
+      } else {
+        return;  // shape mismatch; leave unproven
+      }
+      spec->idx_proven.assign(k, 0);
+      spec->idx_ub.assign(k, 0);
+      for (size_t j = 0; j < k; ++j) {
+        spec->idx_proven[j] =
+            analysis::ProveLt(parts[j], analysis::DimExtentExpr(e->child(0), j, k),
+                              env)
+                ? 1
+                : 0;
+        spec->idx_ub[j] = analysis::ConstUpperBound(parts[j], env).value_or(0);
+        AnnotateNode(parts[j], env, &spec->kids[1 + j]);
+      }
+      return;
+    }
+    default:
+      return;  // leaves (consts, binders, slots, kDimOf) carry no proofs
+  }
+}
+
+}  // namespace
+
+void AnnotateKernelSpec(const Expr& tab, KernelSpec* spec) {
+  if (!tab.is(ExprKind::kTab)) return;
+  analysis::SymEnv env;
+  ExprPtr tab_ptr = tab.shared_from_this();
+  analysis::AddBinderFacts(tab_ptr, 0, &env);  // binders below their bounds
+  AnnotateNode(tab.tab_body(), env, spec);
+}
+
 // ---------- runtime instantiation ----------
 
 bool Kernel::Build(const KernelSpec& spec, const Frame& frame,
-                   std::vector<Value>* pinned, RtNode* out) {
+                   std::vector<Value>* pinned, RtNode* out, bool* unchecked) {
   out->op = spec.op;
   switch (spec.op) {
     case KernelSpec::Op::kNatConst:
@@ -182,20 +313,28 @@ bool Kernel::Build(const KernelSpec& spec, const Frame& frame,
     case KernelSpec::Op::kArith: {
       out->arith = spec.arith;
       out->kids.resize(2);
-      if (!Build(spec.kids[0], frame, pinned, &out->kids[0]) ||
-          !Build(spec.kids[1], frame, pinned, &out->kids[1])) {
+      if (!Build(spec.kids[0], frame, pinned, &out->kids[0], unchecked) ||
+          !Build(spec.kids[1], frame, pinned, &out->kids[1], unchecked)) {
         return false;
       }
       if (out->kids[0].type != out->kids[1].type) return false;
       if (out->kids[0].type == Type::kBool) return false;
       out->type = out->kids[0].type;
+      if ((spec.arith == ArithOp::kDiv || spec.arith == ArithOp::kMod) &&
+          out->type == Type::kNat) {
+        // ⊥ source: nat division by zero. Discharged by a static proof or
+        // a divisor frozen to a nonzero constant at instantiation.
+        bool safe = spec.div_safe || (out->kids[1].op == KernelSpec::Op::kNatConst &&
+                                      out->kids[1].nat != 0);
+        if (!safe) *unchecked = false;
+      }
       return true;
     }
     case KernelSpec::Op::kCmp: {
       out->cmp = spec.cmp;
       out->kids.resize(2);
-      if (!Build(spec.kids[0], frame, pinned, &out->kids[0]) ||
-          !Build(spec.kids[1], frame, pinned, &out->kids[1])) {
+      if (!Build(spec.kids[0], frame, pinned, &out->kids[0], unchecked) ||
+          !Build(spec.kids[1], frame, pinned, &out->kids[1], unchecked)) {
         return false;
       }
       if (out->kids[0].type != out->kids[1].type) return false;
@@ -205,7 +344,7 @@ bool Kernel::Build(const KernelSpec& spec, const Frame& frame,
     case KernelSpec::Op::kIf: {
       out->kids.resize(3);
       for (size_t i = 0; i < 3; ++i) {
-        if (!Build(spec.kids[i], frame, pinned, &out->kids[i])) return false;
+        if (!Build(spec.kids[i], frame, pinned, &out->kids[i], unchecked)) return false;
       }
       if (out->kids[0].type != Type::kBool) return false;
       if (out->kids[1].type != out->kids[2].type) return false;
@@ -237,9 +376,41 @@ bool Kernel::Build(const KernelSpec& spec, const Frame& frame,
       }
       out->kids.resize(rank);
       for (size_t i = 0; i < rank; ++i) {
-        if (!Build(spec.kids[1 + i], frame, pinned, &out->kids[i])) return false;
+        if (!Build(spec.kids[1 + i], frame, pinned, &out->kids[i], unchecked)) return false;
         if (out->kids[i].type != Type::kNat) return false;
+        // ⊥ source: out-of-bounds index. Discharged by a symbolic proof
+        // against the extent, by a constant bound validated against the
+        // concrete extent, or by an index frozen to an in-range constant.
+        bool safe =
+            (i < spec.idx_proven.size() && spec.idx_proven[i] != 0) ||
+            (i < spec.idx_ub.size() && spec.idx_ub[i] != 0 &&
+             spec.idx_ub[i] <= a.dims[i]) ||
+            (out->kids[i].op == KernelSpec::Op::kNatConst &&
+             out->kids[i].nat < a.dims[i]);
+        if (!safe) *unchecked = false;
       }
+      return true;
+    }
+    case KernelSpec::Op::kDimOf: {
+      // The extent of an array slot: a plain nat, known in-range by
+      // construction (never a ⊥ source). Unlike kSubscript the payload
+      // may be boxed — only the dims vector is read.
+      const Value* src;
+      if (spec.kids[0].op == KernelSpec::Op::kLiteralArr) {
+        src = &spec.kids[0].literal;
+      } else {
+        size_t slot = spec.kids[0].index;
+        if (slot >= frame.slots.size()) return false;
+        src = &frame.slots[slot];
+      }
+      const Value& v = *src;
+      if (v.kind() != ValueKind::kArray) return false;
+      const ArrayRep& a = v.array();
+      if (a.dims.size() != spec.nat || spec.index >= a.dims.size()) return false;
+      // Freeze the extent: dims are immutable for the kernel's lifetime.
+      out->op = KernelSpec::Op::kNatConst;
+      out->type = Type::kNat;
+      out->nat = a.dims[spec.index];
       return true;
     }
     case KernelSpec::Op::kLiteralArr:
@@ -252,7 +423,9 @@ std::unique_ptr<Kernel> Kernel::Instantiate(const KernelSpec& spec, const Frame&
   std::unique_ptr<Kernel> k(new Kernel());
   // The ArrayRep pointers taken while building stay valid as pinned_
   // grows: each rep is heap-owned by its Value's shared_ptr.
-  if (!Build(spec, frame, &k->pinned_, &k->root_)) return nullptr;
+  bool unchecked = true;
+  if (!Build(spec, frame, &k->pinned_, &k->root_, &unchecked)) return nullptr;
+  k->unchecked_ = unchecked;
   return k;
 }
 
@@ -409,6 +582,129 @@ bool Kernel::EvalReal(const uint64_t* idx, double* out) const {
 }
 bool Kernel::EvalBool(const uint64_t* idx, uint8_t* out) const {
   return BoolAt(root_, idx, out);
+}
+
+// ---------- unchecked evaluation ----------
+//
+// Mirrors the checked evaluators minus the ⊥ protocol: no per-dimension
+// bounds tests, no zero-divisor tests, values returned directly. Only
+// reachable behind unchecked() — instantiation proved every subscript
+// in-range against the concrete extents and every nat divisor nonzero.
+
+uint64_t Kernel::FlatU(const RtNode& n, const uint64_t* idx) {
+  const ArrayRep& a = *n.arr;
+  uint64_t f = 0;
+  for (size_t i = 0; i < n.kids.size(); ++i) {
+    f = f * a.dims[i] + NatAtU(n.kids[i], idx);
+  }
+  return f;
+}
+
+uint64_t Kernel::NatAtU(const RtNode& n, const uint64_t* idx) {
+  switch (n.op) {
+    case KernelSpec::Op::kNatConst:
+      return n.nat;
+    case KernelSpec::Op::kBinder:
+      return idx[n.binder];
+    case KernelSpec::Op::kArith: {
+      uint64_t x = NatAtU(n.kids[0], idx);
+      uint64_t y = NatAtU(n.kids[1], idx);
+      switch (n.arith) {
+        case ArithOp::kAdd: return x + y;
+        case ArithOp::kMonus: return x >= y ? x - y : 0;
+        case ArithOp::kMul: return x * y;
+        case ArithOp::kDiv: return x / y;
+        case ArithOp::kMod: return x % y;
+      }
+      return 0;
+    }
+    case KernelSpec::Op::kIf:
+      return NatAtU(n.kids[BoolAtU(n.kids[0], idx) ? 1 : 2], idx);
+    case KernelSpec::Op::kSubscript:
+      return n.arr->nats[FlatU(n, idx)];
+    default:
+      return 0;
+  }
+}
+
+double Kernel::RealAtU(const RtNode& n, const uint64_t* idx) {
+  switch (n.op) {
+    case KernelSpec::Op::kRealConst:
+      return n.real;
+    case KernelSpec::Op::kArith: {
+      double x = RealAtU(n.kids[0], idx);
+      double y = RealAtU(n.kids[1], idx);
+      switch (n.arith) {
+        case ArithOp::kAdd: return x + y;
+        case ArithOp::kMonus: return x - y;
+        case ArithOp::kMul: return x * y;
+        case ArithOp::kDiv: return x / y;  // IEEE inf, not ⊥
+        case ArithOp::kMod: return std::fmod(x, y);
+      }
+      return 0;
+    }
+    case KernelSpec::Op::kIf:
+      return RealAtU(n.kids[BoolAtU(n.kids[0], idx) ? 1 : 2], idx);
+    case KernelSpec::Op::kSubscript:
+      return n.arr->reals[FlatU(n, idx)];
+    default:
+      return 0;
+  }
+}
+
+uint8_t Kernel::BoolAtU(const RtNode& n, const uint64_t* idx) {
+  switch (n.op) {
+    case KernelSpec::Op::kBoolConst:
+      return n.boolean;
+    case KernelSpec::Op::kCmp: {
+      int c = 0;
+      switch (n.kids[0].type) {
+        case Type::kNat: {
+          uint64_t x = NatAtU(n.kids[0], idx);
+          uint64_t y = NatAtU(n.kids[1], idx);
+          c = x < y ? -1 : y < x ? 1 : 0;
+          break;
+        }
+        case Type::kReal: {
+          double x = RealAtU(n.kids[0], idx);
+          double y = RealAtU(n.kids[1], idx);
+          c = x < y ? -1 : y < x ? 1 : 0;  // NaN compares equal, like Cmp3
+          break;
+        }
+        case Type::kBool: {
+          uint8_t x = BoolAtU(n.kids[0], idx);
+          uint8_t y = BoolAtU(n.kids[1], idx);
+          c = x < y ? -1 : y < x ? 1 : 0;
+          break;
+        }
+      }
+      switch (n.cmp) {
+        case CmpOp::kEq: return c == 0;
+        case CmpOp::kNe: return c != 0;
+        case CmpOp::kLt: return c < 0;
+        case CmpOp::kLe: return c <= 0;
+        case CmpOp::kGt: return c > 0;
+        case CmpOp::kGe: return c >= 0;
+      }
+      return 0;
+    }
+    case KernelSpec::Op::kIf:
+      return BoolAtU(n.kids[BoolAtU(n.kids[0], idx) ? 1 : 2], idx);
+    case KernelSpec::Op::kSubscript:
+      return n.arr->bools[FlatU(n, idx)];
+    default:
+      return 0;
+  }
+}
+
+uint64_t Kernel::EvalNatUnchecked(const uint64_t* idx) const {
+  return NatAtU(root_, idx);
+}
+double Kernel::EvalRealUnchecked(const uint64_t* idx) const {
+  return RealAtU(root_, idx);
+}
+uint8_t Kernel::EvalBoolUnchecked(const uint64_t* idx) const {
+  return BoolAtU(root_, idx);
 }
 
 }  // namespace exec

@@ -26,6 +26,15 @@
 // (nat division/modulo by zero, out-of-bounds subscript). The caller then
 // re-runs the whole tabulation generically, producing the partial array
 // with per-point ⊥ holes that the semantics require.
+//
+// A third stage removes even those per-cell tests: AnnotateKernelSpec
+// attaches static proofs (subscript in-range, divisor nonzero) from the
+// abstract-interpretation framework (src/analysis/absint.h), and
+// Instantiate re-validates them against the concrete frame. When every ⊥
+// source is discharged the kernel reports unchecked() and exposes total
+// Eval*Unchecked entry points — the §5 bound-check elimination, performed
+// with a proof instead of a prayer. AQL_EXEC_UNCHECKED=0 disables the
+// unchecked path at run time (docs/EXEC.md).
 
 #ifndef AQL_EXEC_KERNEL_H_
 #define AQL_EXEC_KERNEL_H_
@@ -56,17 +65,29 @@ struct KernelSpec {
     kIf,          // kids[0] ? kids[1] : kids[2]
     kSubscript,   // kids[0] is the array (kSlot or kLiteralArr); kids[1..] nat indices
     kLiteralArr,  // inlined literal array (value in `literal`)
+    kDimOf,       // extent `index` of the rank-`nat` array kids[0]
   };
 
   Op op;
   uint64_t nat = 0;
   double real = 0;
   bool boolean = false;
-  size_t index = 0;  // binder position (kBinder) or frame slot (kSlot)
+  size_t index = 0;  // binder position (kBinder), frame slot (kSlot), dim (kDimOf)
   ArithOp arith = ArithOp::kAdd;
   CmpOp cmp = CmpOp::kEq;
   Value literal;  // kLiteralArr only (vals inline as literals, §4 openness)
   std::vector<KernelSpec> kids;
+
+  // Static proofs attached by AnnotateKernelSpec (analysis/absint.h),
+  // consulted at instantiation to admit the unchecked evaluators:
+  //   div_safe     kArith div/mod whose divisor is provably nonzero
+  //   idx_proven   kSubscript, per dimension: index proven < extent
+  //   idx_ub       kSubscript, per dimension: exclusive constant upper
+  //                bound of the index (0 = none; a real bound is >= 1),
+  //                checked against the concrete extent at instantiation
+  bool div_safe = false;
+  std::vector<uint8_t> idx_proven;
+  std::vector<uint64_t> idx_ub;
 };
 
 // Maps a free-variable name to its frame slot (mirrors the compiler's
@@ -79,6 +100,14 @@ using SlotLookup = std::function<Result<size_t>(const std::string&)>;
 std::unique_ptr<KernelSpec> BuildKernelSpec(const Expr& body,
                                             const std::vector<size_t>& binder_slots,
                                             const SlotLookup& lookup);
+
+// Attaches bound/definedness proofs to a spec built from `tab`'s body
+// (div_safe, idx_proven, idx_ub above), using the shared symbolic prover:
+// tabulation binders are below their bounds, a conditional's test holds
+// in its then-branch. Sound because the kernel fragment introduces no
+// binders of its own — a name means the same frame slot everywhere — and
+// the loop extents are the evaluated bounds. Called once at compile time.
+void AnnotateKernelSpec(const Expr& tab, KernelSpec* spec);
 
 // A spec instantiated against one concrete frame: fully typed, slot
 // scalars frozen to constants, subscript targets resolved to raw unboxed
@@ -93,11 +122,23 @@ class Kernel {
 
   Type result_type() const { return root_.type; }
 
+  // True when instantiation discharged every ⊥ source in the body — all
+  // subscripts proven in-range against the concrete extents, all nat
+  // div/mod divisors proven nonzero — so the Eval*Unchecked evaluators
+  // below are total and the per-cell ⊥ protocol can be skipped.
+  bool unchecked() const { return unchecked_; }
+
   // Evaluate the body at multi-index `idx` (binder order). Exactly one of
   // these matches result_type(); all return false when the value is ⊥.
   bool EvalNat(const uint64_t* idx, uint64_t* out) const;
   bool EvalReal(const uint64_t* idx, double* out) const;
   bool EvalBool(const uint64_t* idx, uint8_t* out) const;
+
+  // Checkless evaluation: no per-cell bounds tests, no ⊥ signalling.
+  // Callers must hold unchecked() == true.
+  uint64_t EvalNatUnchecked(const uint64_t* idx) const;
+  double EvalRealUnchecked(const uint64_t* idx) const;
+  uint8_t EvalBoolUnchecked(const uint64_t* idx) const;
 
  private:
   struct RtNode {
@@ -116,15 +157,21 @@ class Kernel {
   Kernel() = default;
 
   static bool Build(const KernelSpec& spec, const Frame& frame,
-                    std::vector<Value>* pinned, RtNode* out);
+                    std::vector<Value>* pinned, RtNode* out, bool* unchecked);
 
   static bool NatAt(const RtNode& n, const uint64_t* idx, uint64_t* out);
   static bool RealAt(const RtNode& n, const uint64_t* idx, double* out);
   static bool BoolAt(const RtNode& n, const uint64_t* idx, uint8_t* out);
   static bool SubscriptFlat(const RtNode& n, const uint64_t* idx, uint64_t* flat);
 
+  static uint64_t NatAtU(const RtNode& n, const uint64_t* idx);
+  static double RealAtU(const RtNode& n, const uint64_t* idx);
+  static uint8_t BoolAtU(const RtNode& n, const uint64_t* idx);
+  static uint64_t FlatU(const RtNode& n, const uint64_t* idx);
+
   RtNode root_;
   std::vector<Value> pinned_;  // keeps subscripted arrays alive
+  bool unchecked_ = false;
 };
 
 }  // namespace exec

@@ -57,6 +57,7 @@ struct ExecStats {
   std::atomic<uint64_t> par_tasks{0};      // ParallelFor invocations that went parallel
   std::atomic<uint64_t> par_chunks{0};     // chunks executed by parallel loops
   std::atomic<uint64_t> unboxed_arrays{0};  // arrays materialized with an unboxed payload
+  std::atomic<uint64_t> unchecked_kernels{0};  // tabulations run without per-cell checks
 };
 ExecStats& GlobalExecStats();
 

@@ -25,6 +25,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "analysis/lint.h"
 #include "core/expr.h"
 #include "exec/compiled.h"
 #include "types/type.h"
@@ -38,6 +39,10 @@ struct CachedPlan {
   ExprPtr optimized;  // after the rewrite pipeline
   TypePtr type;       // inferred type of the query
   std::shared_ptr<const exec::Program> program;  // slot-compiled plan
+  // Static facts over `optimized` (analysis/lint.h): shape/definedness/
+  // cardinality, bounds proofs, lint warnings. Computed once per compile,
+  // amortized across every cached run.
+  std::shared_ptr<const analysis::PlanFacts> facts;
 };
 
 class PlanCache {

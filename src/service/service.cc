@@ -39,7 +39,9 @@ QueryService::QueryService(System* system, ServiceConfig config)
       exec_par_tasks_(metrics_.GetCounter("exec.par.tasks")),
       exec_par_chunks_(metrics_.GetCounter("exec.par.chunks")),
       exec_unboxed_arrays_(metrics_.GetCounter("exec.unboxed.arrays")),
+      exec_unchecked_kernels_(metrics_.GetCounter("exec.unchecked.kernels")),
       slow_queries_(metrics_.GetCounter("obs.slow_queries")),
+      lint_warnings_(metrics_.GetCounter("analysis.lint.warnings")),
       compile_us_(metrics_.GetHistogram("latency.compile_us")),
       execute_us_(metrics_.GetHistogram("latency.execute_us")),
       script_us_(metrics_.GetHistogram("latency.script_us")),
@@ -159,9 +161,23 @@ Result<std::shared_ptr<const CachedPlan>> QueryService::GetPlan(
   }
   AQL_ASSIGN_OR_RETURN(exec::Program program,
                        exec::Compile(optimized, system_->PrimitiveResolver()));
+  // Static facts ride with the plan: computed once per fresh compile, then
+  // amortized across every cache hit.
+  auto facts =
+      std::make_shared<const analysis::PlanFacts>(analysis::AnalyzePlan(optimized));
+  if (config_.lint && !facts->lint.empty()) {
+    lint_warnings_->Increment(facts->lint.warnings.size());
+    std::string report = StrCat("lint: ", expression, "\n", facts->lint.ToString());
+    if (config_.lint_sink) {
+      config_.lint_sink(report);
+    } else {
+      std::fprintf(stderr, "%s", report.c_str());
+    }
+  }
   auto plan = std::make_shared<CachedPlan>(
       CachedPlan{std::move(resolved), std::move(optimized), std::move(type),
-                 std::make_shared<const exec::Program>(std::move(program))});
+                 std::make_shared<const exec::Program>(std::move(program)),
+                 std::move(facts)});
   if (use_cache) cache_.Insert(plan);
   return std::shared_ptr<const CachedPlan>(std::move(plan));
 }
@@ -210,6 +226,7 @@ std::string QueryService::StatsReport() const {
   sync(exec_par_tasks_, stats.par_tasks);
   sync(exec_par_chunks_, stats.par_chunks);
   sync(exec_unboxed_arrays_, stats.unboxed_arrays);
+  sync(exec_unchecked_kernels_, stats.unchecked_kernels);
 
   std::string out =
       StrCat("service: ", pool_.num_threads(), " workers, queue limit ",

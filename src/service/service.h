@@ -75,6 +75,13 @@ struct ServiceConfig {
   uint64_t slow_query_us = 0;
   // Destination for slow-query profiles; default writes to stderr.
   std::function<void(const std::string&)> slow_query_sink = {};
+  // Lint every freshly compiled plan (analysis/lint.h). Warnings never
+  // fail the query: each report is emitted through lint_sink and counted
+  // in `analysis.lint.warnings`. The facts themselves are computed and
+  // cached regardless of this flag; it only controls reporting.
+  bool lint = false;
+  // Destination for lint reports; default writes to stderr.
+  std::function<void(const std::string&)> lint_sink = {};
 };
 
 struct QueryOptions {
@@ -162,7 +169,9 @@ class QueryService {
   Counter* exec_par_tasks_;
   Counter* exec_par_chunks_;
   Counter* exec_unboxed_arrays_;
+  Counter* exec_unchecked_kernels_;
   Counter* slow_queries_;
+  Counter* lint_warnings_;
   Histogram* compile_us_;
   Histogram* execute_us_;
   Histogram* script_us_;
