@@ -1,0 +1,194 @@
+// HTTP front-end benchmarks (acceptance numbers for the net subsystem):
+// what does putting aql::service behind src/net's HTTP/1.1 server cost,
+// relative to calling QueryService::Submit in-process?
+//
+//   1. InProcessSubmit vs HttpRoundTrip — per-request latency of a tiny
+//      cached query, in-process vs over a keep-alive loopback connection
+//      (the delta is parse + socket + chunked-framing overhead).
+//   2. HttpRoundTripNewConnection — same, paying connect/teardown per
+//      request (the worst-case client).
+//   3. LargeResultStream/N — throughput of streaming an N-element dense
+//      array result through the chunked writer, bytes/second.
+//   4. ConcurrentClients/N — aggregate QPS with N pipelining clients
+//      against the default thread pool.
+//
+// Run:  ./bench_http --benchmark_min_time=0.2s
+// Regenerate BENCH_http.json with scripts/bench_to_json.sh bench_http.
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/socket.h"
+#include "benchmark/benchmark.h"
+#include "env/system.h"
+#include "net/server.h"
+#include "service/service.h"
+
+namespace aql {
+namespace bench {
+namespace {
+
+const char kTinyQuery[] = "1 + 2";
+
+// A stack shared by all iterations of one benchmark.
+struct Stack {
+  Stack() : service(&system, {.num_workers = 4}) {
+    net::HttpServerConfig config;
+    config.port = 0;
+    server = std::make_unique<net::HttpServer>(&service, config);
+    Status status = server->Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n", status.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  System system;
+  service::QueryService service;
+  std::unique_ptr<net::HttpServer> server;
+};
+
+// Blocking keep-alive client: one request, read the full response.
+class BenchClient {
+ public:
+  static std::unique_ptr<BenchClient> Connect(uint16_t port) {
+    Result<Socket> socket = Socket::ConnectLocal(port);
+    if (!socket.ok()) return nullptr;
+    return std::unique_ptr<BenchClient>(new BenchClient(std::move(socket).value()));
+  }
+
+  // Returns response bytes read, 0 on failure. Good enough for timing:
+  // the response is fully framed (chunked terminator or Content-Length),
+  // so we scan for the frame end rather than re-parsing headers.
+  size_t Query(const std::string& body) {
+    std::string raw = "POST /query HTTP/1.1\r\nHost: b\r\nContent-Length: " +
+                      std::to_string(body.size()) + "\r\n\r\n" + body;
+    if (!socket_.WriteAll(raw).ok()) return 0;
+    buffer_.clear();
+    // Responses to /query are always chunked; "0\r\n\r\n" terminates.
+    while (buffer_.find("0\r\n\r\n") == std::string::npos) {
+      char chunk[16384];
+      Result<size_t> n = socket_.Read(chunk, sizeof(chunk));
+      if (!n.ok() || *n == 0) return 0;
+      buffer_.append(chunk, *n);
+    }
+    return buffer_.size();
+  }
+
+ private:
+  explicit BenchClient(Socket socket) : socket_(std::move(socket)) {}
+  Socket socket_;
+  std::string buffer_;
+};
+
+void BM_Http_InProcessSubmit(benchmark::State& state) {
+  Stack stack;
+  (void)stack.service.Execute(kTinyQuery);  // warm the plan cache
+  for (auto _ : state) {
+    auto r = stack.service.Execute(kTinyQuery);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Http_InProcessSubmit);
+
+void BM_Http_RoundTrip(benchmark::State& state) {
+  Stack stack;
+  auto client = BenchClient::Connect(stack.server->port());
+  if (!client) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  (void)client->Query(kTinyQuery);  // warm cache + connection
+  for (auto _ : state) {
+    if (client->Query(kTinyQuery) == 0) {
+      state.SkipWithError("request failed");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_Http_RoundTrip);
+
+void BM_Http_RoundTripNewConnection(benchmark::State& state) {
+  Stack stack;
+  (void)stack.service.Execute(kTinyQuery);
+  for (auto _ : state) {
+    auto client = BenchClient::Connect(stack.server->port());
+    if (!client || client->Query(kTinyQuery) == 0) {
+      state.SkipWithError("request failed");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_Http_RoundTripNewConnection);
+
+// Streaming a dense array result: bytes/second through parse-once
+// (cached plan) + chunked ValueWriter + loopback socket.
+void BM_Http_LargeResultStream(benchmark::State& state) {
+  Stack stack;
+  std::string query =
+      "[[ i * i | \\i < " + std::to_string(state.range(0)) + " ]]";
+  auto client = BenchClient::Connect(stack.server->port());
+  if (!client) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  size_t response_bytes = client->Query(query);  // warm
+  if (response_bytes == 0) {
+    state.SkipWithError("request failed");
+    return;
+  }
+  for (auto _ : state) {
+    size_t n = client->Query(query);
+    if (n == 0) {
+      state.SkipWithError("request failed");
+      return;
+    }
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * int64_t(response_bytes));
+}
+BENCHMARK(BM_Http_LargeResultStream)->Arg(10000)->Arg(100000);
+
+void BM_Http_ConcurrentClients(benchmark::State& state) {
+  Stack stack;
+  (void)stack.service.Execute(kTinyQuery);
+  const int kClients = int(state.range(0));
+  for (auto _ : state) {
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    threads.reserve(size_t(kClients));
+    for (int i = 0; i < kClients; ++i) {
+      threads.emplace_back([&] {
+        auto client = BenchClient::Connect(stack.server->port());
+        if (!client) {
+          ++failures;
+          return;
+        }
+        for (int q = 0; q < 8; ++q) {
+          if (client->Query(kTinyQuery) == 0) {
+            ++failures;
+            return;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    if (failures.load() != 0) {
+      state.SkipWithError("client failures");
+      return;
+    }
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * kClients * 8);
+}
+BENCHMARK(BM_Http_ConcurrentClients)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace aql
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// aql_serve — the AQL HTTP query server (docs/HTTP.md).
+//
+// Usage:
+//   aql_serve [setup.aql ...]     run setup scripts, then serve
+//
+// Environment knobs (strict parsing per base/env.h):
+//   AQL_HTTP_PORT         listen port; 0 picks an ephemeral one (default 8080)
+//   AQL_HTTP_THREADS      connection-serving threads (default 8)
+//   AQL_HTTP_MAX_BODY     request-body cap in bytes (default 8 MiB)
+//   AQL_HTTP_RATE         per-client /query requests/second; 0 = off
+//   AQL_HTTP_BURST        token-bucket burst (default 32)
+//   AQL_HTTP_PUBLIC       bind 0.0.0.0 instead of 127.0.0.1
+//   AQL_SERVICE_WORKERS   query worker threads (default 4)
+//   AQL_SLOW_QUERY_US     slow-query threshold for GET /slow (default 100ms)
+//
+// Prints "listening on 127.0.0.1:<port>" once ready (scripts/http_smoke.sh
+// waits for this line). SIGINT/SIGTERM trigger a graceful drain: stop
+// accepting, finish in-flight requests and queries, exit 0.
+//
+//   curl -d 'summap(fn \x => x)!(gen!1000)' 'localhost:8080/query'
+//   curl 'localhost:8080/metrics'
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <semaphore>
+#include <sstream>
+#include <string>
+
+#include "base/env.h"
+#include "env/system.h"
+#include "net/server.h"
+#include "service/service.h"
+
+namespace {
+
+// Signal handler -> main-thread drain handoff (a semaphore is
+// async-signal-safe to release).
+std::binary_semaphore g_shutdown_requested(0);
+
+void HandleSignal(int) { g_shutdown_requested.release(); }
+
+int Run(int argc, char** argv) {
+  aql::System system;
+  if (!system.init_status().ok()) {
+    std::fprintf(stderr, "system init failed: %s\n",
+                 system.init_status().ToString().c_str());
+    return 1;
+  }
+  // Setup phase: optional scripts define vals/macros before serving.
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    auto results = system.Run(buf.str());
+    if (!results.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[i], results.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  aql::net::SlowQueryLog slow_log(128);
+  aql::service::ServiceConfig service_config;
+  service_config.num_workers = aql::EnvU64("AQL_SERVICE_WORKERS", 4);
+  service_config.slow_query_us = aql::EnvU64("AQL_SLOW_QUERY_US", 100000);
+  service_config.slow_query_sink = slow_log.Sink();
+  aql::service::QueryService service(&system, service_config);
+
+  aql::net::HttpServerConfig http_config;
+  http_config.port = static_cast<uint16_t>(aql::EnvU64("AQL_HTTP_PORT", 8080));
+  http_config.num_threads = aql::EnvU64("AQL_HTTP_THREADS", 8);
+  http_config.max_body = aql::EnvU64("AQL_HTTP_MAX_BODY", 8 * 1024 * 1024);
+  http_config.rate_limit_per_sec =
+      static_cast<double>(aql::EnvU64("AQL_HTTP_RATE", 0));
+  http_config.rate_limit_burst =
+      static_cast<double>(aql::EnvU64("AQL_HTTP_BURST", 32));
+  http_config.loopback_only = !aql::EnvFlag("AQL_HTTP_PUBLIC");
+  http_config.slow_log = &slow_log;
+  aql::net::HttpServer server(&service, http_config);
+
+  aql::Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%u\n", http_config.loopback_only ? "127.0.0.1" : "0.0.0.0",
+              unsigned{server.port()});
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  g_shutdown_requested.acquire();
+
+  std::printf("draining...\n");
+  std::fflush(stdout);
+  server.Shutdown();           // stop accepting, finish in-flight requests
+  service.Shutdown(true);      // then drain the query workers
+  std::printf("drained %llu requests total\n",
+              static_cast<unsigned long long>(server.requests_served()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

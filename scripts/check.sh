@@ -20,6 +20,9 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 echo "== ctest under AQL_VERIFY_IR=1 (IR verifier paranoid mode)"
 AQL_VERIFY_IR=1 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
+echo "== HTTP front-end smoke (aql_serve + curl end-to-end)"
+scripts/http_smoke.sh build
+
 echo "== lint (strict: clang-tidy warnings fail the gate)"
 scripts/lint.sh --strict build
 

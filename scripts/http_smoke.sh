@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the HTTP front end using the real aql_serve
+# binary and curl: starts the server on an ephemeral port, runs queries
+# in both formats (including a large streamed array), exercises the
+# error and rate-limit paths, scrapes /metrics, and verifies a clean
+# SIGTERM drain. Wired into scripts/check.sh and the CI http job.
+#
+# Usage: scripts/http_smoke.sh [build_dir]     (default: build)
+set -eu
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+BIN="${BUILD}/examples/aql_serve"
+if [ ! -x "${BIN}" ]; then
+  echo "error: ${BIN} not built (cmake --build ${BUILD} --target aql_serve)" >&2
+  exit 1
+fi
+command -v curl >/dev/null || { echo "error: curl not found" >&2; exit 1; }
+
+LOG="$(mktemp)"
+BODY="$(mktemp)"
+SERVER_PID=""
+cleanup() {
+  [ -n "${SERVER_PID}" ] && kill -9 "${SERVER_PID}" 2>/dev/null || true
+  rm -f "${LOG}" "${BODY}"
+}
+trap cleanup EXIT
+
+fail() { echo "http_smoke: FAIL: $*" >&2; echo "--- server log ---" >&2; cat "${LOG}" >&2; exit 1; }
+
+# Burst covers every functional check below with room to spare, while the
+# 1/s refill cannot mask burst exhaustion in the 429 loop even when this
+# box is slow (the loop uses a dedicated X-AQL-Token bucket).
+AQL_HTTP_PORT=0 AQL_HTTP_RATE=1 AQL_HTTP_BURST=30 "${BIN}" >"${LOG}" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  grep -q '^listening on ' "${LOG}" 2>/dev/null && break
+  kill -0 "${SERVER_PID}" 2>/dev/null || fail "server exited during startup"
+  sleep 0.1
+done
+PORT="$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "${LOG}" | head -1)"
+[ -n "${PORT}" ] || fail "could not read listening port"
+URL="http://127.0.0.1:${PORT}"
+
+echo "== health"
+[ "$(curl -sS "${URL}/healthz")" = "ok" ] || fail "/healthz"
+
+echo "== text query"
+[ "$(curl -sS -d '1 + 2' "${URL}/query")" = "3" ] || fail "text query"
+
+echo "== json query"
+OUT="$(curl -sS -d '{ x * x | \x <- gen!4 }' "${URL}/query?format=json")"
+[ "${OUT}" = "[0,1,4,9]" ] || fail "json query: got ${OUT}"
+
+echo "== large streamed array (chunked transfer encoding)"
+CODE="$(curl -sS -o "${BODY}" -w '%{http_code}' -d '[[ i * i | \i < 200000 ]]' "${URL}/query")"
+[ "${CODE}" = "200" ] || fail "large query: status ${CODE}"
+BYTES="$(wc -c < "${BODY}")"
+[ "${BYTES}" -gt 1000000 ] || fail "large query: only ${BYTES} bytes"
+# Spot-check the tail: the last element of [[ i*i | \i < 200000 ]].
+grep -q '39999600001]]' "${BODY}" || fail "large query: bad tail"
+
+echo "== trace"
+curl -sS -d '1 + 2' "${URL}/query?trace=1" | grep -q 'profile' || fail "trace"
+
+echo "== error paths"
+CODE="$(curl -sS -o /dev/null -w '%{http_code}' -d '1 +' "${URL}/query")"
+[ "${CODE}" = "400" ] || fail "parse error: status ${CODE}"
+CODE="$(curl -sS -o /dev/null -w '%{http_code}' "${URL}/query")"
+[ "${CODE}" = "405" ] || fail "GET /query: status ${CODE}"
+CODE="$(curl -sS -o /dev/null -w '%{http_code}' "${URL}/nowhere")"
+[ "${CODE}" = "404" ] || fail "/nowhere: status ${CODE}"
+
+echo "== rate limit returns 429 with Retry-After"
+SAW_429=0
+for _ in $(seq 1 40); do
+  CODE="$(curl -sS -o /dev/null -w '%{http_code}' -H 'X-AQL-Token: burst-check' \
+          -d '1 + 1' "${URL}/query")"
+  if [ "${CODE}" = "429" ]; then SAW_429=1; break; fi
+done
+[ "${SAW_429}" = 1 ] || fail "no 429 after exhausting the burst"
+curl -sS -i -o "${BODY}" -H 'X-AQL-Token: burst-check' -d '1 + 1' "${URL}/query" || true
+grep -qi '^retry-after:' "${BODY}" || fail "429 without Retry-After"
+
+echo "== /metrics scrape"
+curl -sS "${URL}/metrics" >"${BODY}" || fail "/metrics"
+grep -q '^aql_queries_completed ' "${BODY}" || fail "metrics: no aql_queries_completed"
+grep -q '^aql_http_requests ' "${BODY}" || fail "metrics: no aql_http_requests"
+grep -q '^aql_http_rate_limited ' "${BODY}" || fail "metrics: no aql_http_rate_limited"
+grep -q '_bucket{le="' "${BODY}" || fail "metrics: no histogram buckets"
+
+echo "== /stats and /slow"
+curl -sS "${URL}/stats" | grep -q '^http: ' || fail "/stats"
+CODE="$(curl -sS -o /dev/null -w '%{http_code}' "${URL}/slow")"
+[ "${CODE}" = "200" ] || fail "/slow: status ${CODE}"
+
+echo "== graceful drain on SIGTERM"
+kill -TERM "${SERVER_PID}"
+DRAIN_OK=0
+for _ in $(seq 1 100); do
+  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then DRAIN_OK=1; break; fi
+  sleep 0.1
+done
+[ "${DRAIN_OK}" = 1 ] || fail "server did not exit within 10s of SIGTERM"
+wait "${SERVER_PID}" 2>/dev/null && EXIT=0 || EXIT=$?
+SERVER_PID=""
+[ "${EXIT}" = 0 ] || fail "server exited with status ${EXIT}"
+grep -q 'drained .* requests total' "${LOG}" || fail "no drain report in log"
+
+echo "http_smoke: all checks passed"

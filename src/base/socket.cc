@@ -1,0 +1,189 @@
+#include "base/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "base/strings.h"
+
+namespace aql {
+
+namespace {
+
+std::string ErrnoMessage(const char* what) {
+  return StrCat(what, ": ", std::strerror(errno));
+}
+
+std::string FormatPeer(const sockaddr_in& addr) {
+  char ip[INET_ADDRSTRLEN] = {0};
+  inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof(ip));
+  return StrCat(ip, ":", ntohs(addr.sin_port));
+}
+
+// Request/response traffic writes a head and a tail back to back; Nagle
+// would hold the tail for the peer's delayed ACK (~40ms per exchange on
+// keep-alive connections), so every stream socket disables it.
+void DisableNagle(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    peer_ = std::move(other.peer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Socket> Socket::ConnectLocal(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError(ErrnoMessage("socket"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::IoError(ErrnoMessage("connect"));
+    ::close(fd);
+    return status;
+  }
+  DisableNagle(fd);
+  Socket s(fd);
+  s.peer_ = FormatPeer(addr);
+  return s;
+}
+
+Status Socket::SetTimeout(std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::IoError(ErrnoMessage("setsockopt(timeout)"));
+  }
+  return Status::OK();
+}
+
+Result<size_t> Socket::Read(char* buf, size_t len) {
+  while (true) {
+    ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("socket read timed out");
+    }
+    return Status::IoError(ErrnoMessage("recv"));
+  }
+}
+
+Status Socket::WriteAll(std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    // MSG_NOSIGNAL: a peer that hung up mid-response yields EPIPE, not a
+    // process-killing SIGPIPE.
+    ssize_t n = ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("socket write timed out");
+      }
+      return Status::IoError(ErrnoMessage("send"));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+void Socket::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Listener::Listen(uint16_t port, bool loopback_only, int backlog) {
+  if (fd_ >= 0) return Status::InvalidArgument("listener already listening");
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError(ErrnoMessage("socket"));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::IoError(ErrnoMessage(StrCat("bind(port ", port, ")").c_str()));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status status = Status::IoError(ErrnoMessage("listen"));
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status status = Status::IoError(ErrnoMessage("getsockname"));
+    ::close(fd);
+    return status;
+  }
+  fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  stopped_.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+Result<Socket> Listener::Accept() {
+  while (true) {
+    if (stopped_.load(std::memory_order_acquire)) {
+      return Status::Cancelled("listener closed");
+    }
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    int fd = ::accept(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    if (stopped_.load(std::memory_order_acquire)) {
+      if (fd >= 0) ::close(fd);
+      return Status::Cancelled("listener closed");
+    }
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return Status::IoError(ErrnoMessage("accept"));
+    }
+    DisableNagle(fd);
+    Socket s(fd);
+    s.peer_ = FormatPeer(addr);
+    return s;
+  }
+}
+
+void Listener::Close() {
+  // shutdown(2) on a listening socket wakes a blocked accept(2) on Linux;
+  // the fd itself stays open (and the port bound) until destruction so a
+  // racing Accept never sees its fd number reused by another connection.
+  stopped_.store(true, std::memory_order_release);
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Listener::~Listener() {
+  Close();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace aql

@@ -1,0 +1,96 @@
+// Thin RAII wrappers over blocking POSIX TCP sockets, used by the HTTP
+// front end (src/net). Deliberately minimal: IPv4 loopback/any binding,
+// blocking reads/writes with optional per-socket timeouts, and graceful
+// listener shutdown. No TLS, no non-blocking I/O — the serving model is
+// one connection per pooled thread (see net/server.h), so blocking calls
+// with SO_RCVTIMEO are the simplest correct primitive.
+
+#ifndef AQL_BASE_SOCKET_H_
+#define AQL_BASE_SOCKET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+#include "base/status.h"
+
+namespace aql {
+
+// An accepted (or connected) TCP stream. Move-only owner of the fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_), peer_(std::move(other.peer_)) {
+    other.fd_ = -1;
+  }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  // "ip:port" of the remote end; set by Listener::Accept / Connect.
+  const std::string& peer() const { return peer_; }
+
+  // Blocking connect to 127.0.0.1:port (the in-process test client).
+  static Result<Socket> ConnectLocal(uint16_t port);
+
+  // Applies SO_RCVTIMEO/SO_SNDTIMEO; zero clears the timeout.
+  Status SetTimeout(std::chrono::milliseconds timeout);
+
+  // Reads up to `len` bytes. Returns 0 on orderly peer shutdown,
+  // DeadlineExceeded on timeout, IoError on other failures.
+  Result<size_t> Read(char* buf, size_t len);
+
+  // Writes all of `data`, looping over partial writes.
+  Status WriteAll(std::string_view data);
+
+  // Half-close the write side (flushes a final response before Close).
+  void ShutdownWrite();
+  void Close();
+
+ private:
+  friend class Listener;
+  int fd_ = -1;
+  std::string peer_;
+};
+
+// A listening TCP socket bound to 127.0.0.1 (default) or 0.0.0.0.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&&) = delete;
+  Listener& operator=(Listener&&) = delete;
+
+  // Binds and listens. `port` 0 picks an ephemeral port (see port()).
+  Status Listen(uint16_t port, bool loopback_only = true, int backlog = 128);
+
+  // Blocks until a connection arrives or the listener is closed; returns
+  // Cancelled after Close(), so an acceptor loop can exit cleanly.
+  Result<Socket> Accept();
+
+  // Wakes any blocked Accept with Cancelled (via shutdown(2) on the
+  // listening fd). Safe to call from another thread — the drain path
+  // does. The fd itself is released by the destructor, after the
+  // acceptor thread has observably left Accept.
+  void Close();
+
+  bool listening() const { return fd_ >= 0 && !stopped_.load(std::memory_order_acquire); }
+  uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace aql
+
+#endif  // AQL_BASE_SOCKET_H_

@@ -1,0 +1,403 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "base/env.h"
+#include "base/strings.h"
+
+namespace aql {
+namespace net {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+bool IsTokenChar(char c) {
+  // RFC 9110 token characters (the set that may appear in methods and
+  // header field names).
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+std::string_view HttpRequest::Header(std::string_view name) const {
+  auto it = headers.find(ToLower(name));
+  if (it == headers.end()) return {};
+  return it->second;
+}
+
+std::string UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else if (s[i] == '%' && i + 2 < s.size() && HexDigit(s[i + 1]) >= 0 &&
+               HexDigit(s[i + 2]) >= 0) {
+      out.push_back(static_cast<char>(HexDigit(s[i + 1]) * 16 + HexDigit(s[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+void HttpParser::Fail(int http_status, std::string message) {
+  error_ = Status::InvalidArgument(std::move(message));
+  http_status_ = http_status;
+}
+
+void HttpParser::ParseRequestLine(std::string_view line) {
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    Fail(400, StrCat("malformed request line: \"", line, "\""));
+    return;
+  }
+  std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = line.substr(sp2 + 1);
+  if (method.empty() || target.empty() ||
+      !std::all_of(method.begin(), method.end(), IsTokenChar) ||
+      !std::all_of(target.begin(), target.end(),
+                   [](char c) { return c > 0x20 && c < 0x7f; })) {
+    Fail(400, StrCat("malformed request line: \"", line, "\""));
+    return;
+  }
+  // "HTTP/" is case-sensitive: anything else is malformed, not a version
+  // we politely decline (505 is reserved for real-but-unsupported ones).
+  if (version.substr(0, 5) != "HTTP/") {
+    Fail(400, StrCat("malformed request line: \"", line, "\""));
+    return;
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    Fail(505, StrCat("unsupported HTTP version: \"", version, "\""));
+    return;
+  }
+  request_.method = std::string(method);
+  request_.target = std::string(target);
+  size_t qmark = target.find('?');
+  request_.path = UrlDecode(target.substr(0, qmark));
+  if (qmark != std::string_view::npos) {
+    std::string_view qs = target.substr(qmark + 1);
+    while (!qs.empty()) {
+      size_t amp = qs.find('&');
+      std::string_view pair = qs.substr(0, amp);
+      qs = amp == std::string_view::npos ? std::string_view{} : qs.substr(amp + 1);
+      if (pair.empty()) continue;
+      size_t eq = pair.find('=');
+      std::string key = UrlDecode(pair.substr(0, eq));
+      std::string value =
+          eq == std::string_view::npos ? std::string() : UrlDecode(pair.substr(eq + 1));
+      request_.query[std::move(key)] = std::move(value);
+    }
+  }
+  state_ = State::kHeaders;
+}
+
+void HttpParser::ParseHeaderLine(std::string_view line) {
+  if (request_.headers.size() >= limits_.max_headers &&
+      state_ == State::kHeaders) {
+    Fail(431, StrCat("too many header fields (limit ", limits_.max_headers, ")"));
+    return;
+  }
+  if (line.front() == ' ' || line.front() == '\t') {
+    Fail(400, "obsolete header line folding is not supported");
+    return;
+  }
+  size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    Fail(400, StrCat("malformed header line: \"", line, "\""));
+    return;
+  }
+  std::string_view name = line.substr(0, colon);
+  if (!std::all_of(name.begin(), name.end(), IsTokenChar)) {
+    Fail(400, StrCat("invalid header field name: \"", name, "\""));
+    return;
+  }
+  std::string value(Trim(line.substr(colon + 1)));
+  if (state_ == State::kTrailers) return;  // trailers: parsed, discarded
+  std::string key = ToLower(name);
+  auto it = request_.headers.find(key);
+  if (it == request_.headers.end()) {
+    request_.headers.emplace(std::move(key), std::move(value));
+  } else {
+    it->second += StrCat(", ", value);  // repeated field: RFC 9110 list merge
+  }
+}
+
+void HttpParser::FinishHeaders() {
+  std::string_view te = request_.Header("transfer-encoding");
+  std::string_view cl = request_.Header("content-length");
+  if (!te.empty()) {
+    if (!cl.empty()) {
+      Fail(400, "both Transfer-Encoding and Content-Length present");
+      return;
+    }
+    if (ToLower(te) != "chunked") {
+      Fail(501, StrCat("unsupported Transfer-Encoding: \"", te, "\""));
+      return;
+    }
+    state_ = State::kChunkSize;
+    return;
+  }
+  if (request_.headers.count("content-length") != 0) {
+    uint64_t length = 0;
+    // An empty value is a malformed header, not an absent one.
+    if (cl.empty() || !ParseU64Strict(cl, &length)) {
+      Fail(400, StrCat("invalid Content-Length: \"", cl, "\""));
+      return;
+    }
+    if (length > limits_.max_body) {
+      Fail(413, StrCat("body of ", length, " bytes exceeds the limit of ",
+                       limits_.max_body));
+      return;
+    }
+    if (length == 0) {
+      state_ = State::kDone;
+      return;
+    }
+    body_remaining_ = static_cast<size_t>(length);
+    request_.body.reserve(body_remaining_);
+    state_ = State::kBody;
+    return;
+  }
+  state_ = State::kDone;
+}
+
+void HttpParser::Feed(std::string_view data) {
+  if (failed()) return;
+  buffer_.append(data);
+  while (!failed() && state_ != State::kDone) {
+    switch (state_) {
+      case State::kRequestLine:
+      case State::kHeaders:
+      case State::kTrailers:
+      case State::kChunkSize: {
+        size_t nl = buffer_.find('\n');
+        if (nl == std::string::npos) {
+          // No complete line yet; enforce the size limit on the partial.
+          size_t limit = state_ == State::kRequestLine ? limits_.max_request_line
+                                                       : limits_.max_header_bytes;
+          size_t used = state_ == State::kRequestLine ? buffer_.size()
+                                                      : header_bytes_ + buffer_.size();
+          if (used > limit) {
+            Fail(state_ == State::kRequestLine ? 414 : 431,
+                 state_ == State::kRequestLine
+                     ? StrCat("request line exceeds ", limit, " bytes")
+                     : StrCat("header section exceeds ", limit, " bytes"));
+          }
+          return;
+        }
+        if (nl == 0 || buffer_[nl - 1] != '\r') {
+          Fail(400, "line terminated by bare LF (CRLF required)");
+          return;
+        }
+        std::string line = buffer_.substr(0, nl - 1);
+        buffer_.erase(0, nl + 1);
+        if (state_ == State::kRequestLine) {
+          if (line.size() > limits_.max_request_line) {
+            Fail(414, StrCat("request line exceeds ", limits_.max_request_line,
+                             " bytes"));
+            return;
+          }
+          if (line.empty()) continue;  // tolerate leading empty line(s)
+          ParseRequestLine(line);
+        } else if (state_ == State::kChunkSize) {
+          // "SIZE_HEX[;extensions]\r\n"
+          std::string_view size_part(line);
+          size_t semi = size_part.find(';');
+          size_part = Trim(size_part.substr(0, semi));
+          if (size_part.empty() ||
+              !std::all_of(size_part.begin(), size_part.end(),
+                           [](char c) { return HexDigit(c) >= 0; }) ||
+              size_part.size() > 15) {
+            Fail(400, StrCat("invalid chunk size: \"", line, "\""));
+            return;
+          }
+          uint64_t size = 0;
+          for (char c : size_part) size = size * 16 + static_cast<uint64_t>(HexDigit(c));
+          if (request_.body.size() + size > limits_.max_body) {
+            Fail(413, StrCat("chunked body exceeds the limit of ", limits_.max_body));
+            return;
+          }
+          if (size == 0) {
+            state_ = State::kTrailers;
+          } else {
+            chunk_remaining_ = static_cast<size_t>(size);
+            state_ = State::kChunkData;
+          }
+        } else {  // kHeaders / kTrailers
+          header_bytes_ += line.size() + 2;
+          if (header_bytes_ > limits_.max_header_bytes) {
+            Fail(431, StrCat("header section exceeds ", limits_.max_header_bytes,
+                             " bytes"));
+            return;
+          }
+          if (line.empty()) {
+            if (state_ == State::kHeaders) {
+              FinishHeaders();
+            } else {
+              state_ = State::kDone;
+            }
+          } else {
+            ParseHeaderLine(line);
+          }
+        }
+        break;
+      }
+      case State::kBody: {
+        size_t take = std::min(body_remaining_, buffer_.size());
+        request_.body.append(buffer_, 0, take);
+        buffer_.erase(0, take);
+        body_remaining_ -= take;
+        if (body_remaining_ > 0) return;  // need more bytes
+        state_ = State::kDone;
+        break;
+      }
+      case State::kChunkData: {
+        size_t take = std::min(chunk_remaining_, buffer_.size());
+        request_.body.append(buffer_, 0, take);
+        buffer_.erase(0, take);
+        chunk_remaining_ -= take;
+        if (chunk_remaining_ > 0) return;
+        state_ = State::kChunkDataEnd;
+        break;
+      }
+      case State::kChunkDataEnd: {
+        if (buffer_.size() < 2) return;
+        if (buffer_[0] != '\r' || buffer_[1] != '\n') {
+          Fail(400, "chunk data not terminated by CRLF");
+          return;
+        }
+        buffer_.erase(0, 2);
+        state_ = State::kChunkSize;
+        break;
+      }
+      case State::kDone:
+        return;
+    }
+  }
+}
+
+HttpRequest HttpParser::TakeRequest() {
+  HttpRequest out = std::move(request_);
+  request_ = HttpRequest{};
+  state_ = State::kRequestLine;
+  header_bytes_ = 0;
+  body_remaining_ = 0;
+  chunk_remaining_ = 0;
+  // Pipelined bytes already buffered parse immediately.
+  if (!buffer_.empty()) Feed({});
+  return out;
+}
+
+std::string_view HttpStatusText(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
+    case 414: return "URI Too Long";
+    case 422: return "Unprocessable Content";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+Status HttpResponseWriter::WriteHead(
+    int status, bool chunked,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  head_written_ = true;
+  chunked_ = chunked;
+  head_ = StrCat("HTTP/1.1 ", status, " ", HttpStatusText(status), "\r\n");
+  for (const auto& [name, value] : headers) {
+    head_ += StrCat(name, ": ", value, "\r\n");
+  }
+  if (chunked) {
+    head_ += "Transfer-Encoding: chunked\r\n\r\n";
+    Status s = Send(head_);
+    head_.clear();
+    return s;
+  }
+  return Status::OK();  // head is held back until WriteBody supplies the length
+}
+
+Status HttpResponseWriter::WriteBody(std::string_view body) {
+  head_ += StrCat("Content-Length: ", body.size(), "\r\n\r\n");
+  head_ += body;
+  Status s = Send(head_);
+  head_.clear();
+  return s;
+}
+
+Status HttpResponseWriter::WriteChunk(std::string_view data) {
+  if (data.empty()) return Status::OK();
+  char size_line[32];
+  int n = std::snprintf(size_line, sizeof(size_line), "%zx\r\n", data.size());
+  std::string frame;
+  frame.reserve(static_cast<size_t>(n) + data.size() + 2);
+  frame.append(size_line, static_cast<size_t>(n));
+  frame.append(data);
+  frame.append("\r\n");
+  return Send(frame);
+}
+
+Status HttpResponseWriter::FinishChunked() { return Send("0\r\n\r\n"); }
+
+Status HttpResponseWriter::Send(std::string_view data) {
+  bytes_written_ += data.size();
+  return socket_->WriteAll(data);
+}
+
+Status WriteSimpleResponse(
+    Socket* socket, int status, std::string_view content_type, std::string_view body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  HttpResponseWriter writer(socket);
+  std::vector<std::pair<std::string, std::string>> headers;
+  headers.emplace_back("Content-Type", std::string(content_type));
+  for (const auto& h : extra_headers) headers.push_back(h);
+  AQL_RETURN_IF_ERROR(writer.WriteHead(status, /*chunked=*/false, headers));
+  return writer.WriteBody(body);
+}
+
+}  // namespace net
+}  // namespace aql

@@ -1,0 +1,148 @@
+// HTTP/1.1 message layer for the query front end: an incremental request
+// parser and a response writer with chunked transfer encoding.
+//
+// The parser is push-based: feed it raw bytes as they arrive and it
+// consumes exactly one request (request line, headers, and a body carried
+// by Content-Length or Transfer-Encoding: chunked). It enforces hard
+// limits — request-line length, total header bytes, header count, body
+// size — so a hostile peer cannot make the server buffer unboundedly;
+// exceeding a limit is a terminal parse error carrying the right HTTP
+// status code (414/431/413/400).
+//
+// The writer pairs with base/socket.h: WriteHead sends the status line
+// and headers; either WriteBody sends a Content-Length body whole, or
+// WriteChunk/FinishChunked stream a body of unknown length with chunked
+// transfer encoding — the path large array results take (the
+// object/value_write.h sink flushes straight into WriteChunk, so the
+// result is never materialized as one string).
+
+#ifndef AQL_NET_HTTP_H_
+#define AQL_NET_HTTP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "base/socket.h"
+#include "base/status.h"
+
+namespace aql {
+namespace net {
+
+struct HttpRequest {
+  std::string method;   // uppercase: "GET", "POST", ...
+  std::string target;   // raw request target, e.g. "/query?deadline_ms=50"
+  std::string path;     // target up to '?', percent-decoded
+  std::map<std::string, std::string> query;    // decoded query parameters
+  std::map<std::string, std::string> headers;  // keys lowercased
+  std::string body;
+
+  // Header lookup (name is matched case-insensitively); "" when absent.
+  std::string_view Header(std::string_view name) const;
+};
+
+struct HttpParserLimits {
+  size_t max_request_line = 8 * 1024;
+  size_t max_header_bytes = 64 * 1024;  // all header lines together
+  size_t max_headers = 100;
+  size_t max_body = 8 * 1024 * 1024;  // AQL_HTTP_MAX_BODY overrides in the server
+};
+
+// Incremental single-request parser.
+class HttpParser {
+ public:
+  explicit HttpParser(HttpParserLimits limits = {}) : limits_(limits) {}
+
+  // Consumes bytes; unprocessed ones (a pipelined next request) are
+  // buffered internally and picked up after TakeRequest. After an error
+  // the parser is poisoned: error() is set and further Feed calls are
+  // no-ops.
+  void Feed(std::string_view data);
+
+  bool done() const { return state_ == State::kDone; }
+  // No bytes of a request consumed yet — distinguishes an idle
+  // keep-alive connection timing out (just close) from a stalled
+  // mid-request peer (408).
+  bool idle() const { return state_ == State::kRequestLine && buffer_.empty(); }
+  bool failed() const { return !error_.ok(); }
+  // InvalidArgument with a diagnostic; http_status() maps it to a code.
+  const Status& error() const { return error_; }
+  // 400, 413 (body too large), 414 (request line), 431 (headers) — or 0
+  // while no error is set.
+  int http_status() const { return http_status_; }
+
+  // Valid once done(). The request is moved out; the parser resets so a
+  // keep-alive connection can parse the next request in place.
+  HttpRequest TakeRequest();
+
+ private:
+  enum class State { kRequestLine, kHeaders, kBody, kChunkSize, kChunkData,
+                     kChunkDataEnd, kTrailers, kDone };
+
+  void Fail(int http_status, std::string message);
+  void ParseRequestLine(std::string_view line);
+  void ParseHeaderLine(std::string_view line);
+  void FinishHeaders();
+
+  HttpParserLimits limits_;
+  State state_ = State::kRequestLine;
+  std::string buffer_;  // bytes not yet consumed by a complete element
+  HttpRequest request_;
+  Status error_;
+  int http_status_ = 0;
+  size_t header_bytes_ = 0;
+  size_t body_remaining_ = 0;   // kBody: Content-Length still to read
+  size_t chunk_remaining_ = 0;  // kChunkData: bytes left in this chunk
+};
+
+// Reason phrase for the subset of status codes the server emits.
+std::string_view HttpStatusText(int code);
+
+// Percent-decodes %XX escapes and '+' (as space, query-string convention).
+std::string UrlDecode(std::string_view s);
+
+// Response writer over a connected socket. Exactly one of WriteBody or
+// the WriteChunk.../FinishChunked sequence follows WriteHead.
+class HttpResponseWriter {
+ public:
+  explicit HttpResponseWriter(Socket* socket) : socket_(socket) {}
+
+  // `headers` are written in order; Content-Length / Transfer-Encoding
+  // are added by the body calls, so callers must not set them.
+  Status WriteHead(int status, bool chunked,
+                   const std::vector<std::pair<std::string, std::string>>& headers);
+  // Content-Length path (head must have been written with chunked=false).
+  Status WriteBody(std::string_view body);
+  // Chunked path: each call emits one non-empty chunk; FinishChunked
+  // emits the terminating 0-chunk.
+  Status WriteChunk(std::string_view data);
+  Status FinishChunked();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  Status Send(std::string_view data);
+
+  Socket* socket_;
+  // Non-chunked heads are held back so WriteBody can stamp the
+  // Content-Length and flush head+body in one write.
+  std::string head_;
+  bool head_written_ = false;
+  bool chunked_ = false;
+  uint64_t bytes_written_ = 0;
+};
+
+// One-call convenience for error and small-bodied responses.
+Status WriteSimpleResponse(Socket* socket, int status, std::string_view content_type,
+                           std::string_view body,
+                           const std::vector<std::pair<std::string, std::string>>&
+                               extra_headers = {});
+
+}  // namespace net
+}  // namespace aql
+
+#endif  // AQL_NET_HTTP_H_

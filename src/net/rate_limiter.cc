@@ -1,0 +1,49 @@
+#include "net/rate_limiter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aql {
+namespace net {
+
+RateLimitDecision RateLimiter::Admit(const std::string& key, uint64_t now_us) {
+  if (rate_per_sec_ <= 0.0) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) {
+    if (buckets_.size() >= max_clients_) {
+      buckets_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    lru_.push_front(key);
+    it = buckets_.emplace(key, Bucket{burst_, now_us, lru_.begin()}).first;
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    Bucket& b = it->second;
+    // Refill for the elapsed interval; a clock that appears to step
+    // backwards (shouldn't, on steady_clock) just refills nothing.
+    if (now_us > b.last_refill_us) {
+      double elapsed_s = static_cast<double>(now_us - b.last_refill_us) / 1e6;
+      b.tokens = std::min(burst_, b.tokens + elapsed_s * rate_per_sec_);
+    }
+    b.last_refill_us = now_us;
+  }
+  Bucket& b = it->second;
+  if (b.tokens >= 1.0) {
+    b.tokens -= 1.0;
+    return {};
+  }
+  // Seconds until the deficit to a whole token refills, rounded up (and
+  // at least 1, so Retry-After is always meaningful).
+  double deficit = 1.0 - b.tokens;
+  uint64_t wait_s = static_cast<uint64_t>(std::ceil(deficit / rate_per_sec_));
+  return {.allowed = false, .retry_after_s = std::max<uint64_t>(wait_s, 1)};
+}
+
+size_t RateLimiter::num_clients() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_.size();
+}
+
+}  // namespace net
+}  // namespace aql

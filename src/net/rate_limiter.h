@@ -1,0 +1,65 @@
+// Per-client token-bucket rate limiting for the HTTP front end.
+//
+// Each client key (an API token from the X-AQL-Token header, falling back
+// to the peer IP) owns a bucket holding up to `burst` tokens that refills
+// continuously at `rate_per_sec`. A request costs one token; an empty
+// bucket means the request is rejected with 429 and a Retry-After telling
+// the client when a whole token will have accumulated.
+//
+// Time is injected (microsecond ticks) so the refill math is unit-testable
+// without sleeping; the server feeds it a steady_clock reading. Buckets
+// are created on first use and capped: past `max_clients` distinct keys,
+// the least-recently-used bucket is evicted (an attacker enumerating keys
+// trades rate-limit memory for starting each key at full burst — bounded
+// either way).
+
+#ifndef AQL_NET_RATE_LIMITER_H_
+#define AQL_NET_RATE_LIMITER_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace aql {
+namespace net {
+
+struct RateLimitDecision {
+  bool allowed = true;
+  // Whole seconds until a full token exists, >= 1; the Retry-After value.
+  uint64_t retry_after_s = 0;
+};
+
+class RateLimiter {
+ public:
+  // rate_per_sec == 0 disables limiting (every Admit allows).
+  RateLimiter(double rate_per_sec, double burst, size_t max_clients = 4096)
+      : rate_per_sec_(rate_per_sec),
+        burst_(burst < 1.0 ? 1.0 : burst),
+        max_clients_(max_clients < 1 ? 1 : max_clients) {}
+
+  // Spends one token from `key`'s bucket at time `now_us`.
+  RateLimitDecision Admit(const std::string& key, uint64_t now_us);
+
+  size_t num_clients() const;
+
+ private:
+  struct Bucket {
+    double tokens;
+    uint64_t last_refill_us;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  const double rate_per_sec_;
+  const double burst_;
+  const size_t max_clients_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Bucket> buckets_;
+  std::list<std::string> lru_;  // front = most recently used
+};
+
+}  // namespace net
+}  // namespace aql
+
+#endif  // AQL_NET_RATE_LIMITER_H_

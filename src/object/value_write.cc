@@ -1,0 +1,292 @@
+#include "object/value_write.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "base/strings.h"
+
+namespace aql {
+
+bool ParseValueFormat(std::string_view name, ValueFormat* out) {
+  if (name == "text") {
+    *out = ValueFormat::kText;
+    return true;
+  }
+  if (name == "json") {
+    *out = ValueFormat::kJson;
+    return true;
+  }
+  return false;
+}
+
+std::string_view ValueFormatContentType(ValueFormat format) {
+  return format == ValueFormat::kJson ? "application/json" : "text/plain";
+}
+
+ValueWriter::ValueWriter(Sink sink, ValueFormat format, size_t flush_bytes)
+    : sink_(std::move(sink)),
+      format_(format),
+      flush_bytes_(flush_bytes < 64 ? 64 : flush_bytes) {}
+
+Status ValueWriter::Write(const Value& v) {
+  buffer_.clear();
+  bytes_emitted_ = 0;
+  flushes_ = 0;
+  AQL_RETURN_IF_ERROR(format_ == ValueFormat::kJson ? WalkJson(v) : Walk(v));
+  return FlushNow();
+}
+
+Status ValueWriter::MaybeFlush() {
+  if (buffer_.size() < flush_bytes_) return Status::OK();
+  return FlushNow();
+}
+
+Status ValueWriter::FlushNow() {
+  // The final flush always runs, so even an empty rendering reaches the
+  // sink at least once (flushes() >= 1 lets callers finish a response).
+  bytes_emitted_ += buffer_.size();
+  ++flushes_;
+  Status s = sink_(buffer_);
+  buffer_.clear();
+  return s;
+}
+
+namespace {
+
+// Mirrors the escaping of Value::ToString (pinned byte-identical by
+// tests/value_write_test.cc).
+void AppendQuotedText(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      default: out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Status ValueWriter::Walk(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kBottom:
+      Append("bottom");
+      return MaybeFlush();
+    case ValueKind::kBool:
+      Append(v.bool_value() ? "true" : "false");
+      return MaybeFlush();
+    case ValueKind::kNat:
+      Append(std::to_string(v.nat_value()));
+      return MaybeFlush();
+    case ValueKind::kReal:
+      Append(RealToString(v.real_value()));
+      return MaybeFlush();
+    case ValueKind::kString:
+      AppendQuotedText(v.str_value(), &buffer_);
+      return MaybeFlush();
+    case ValueKind::kTuple: {
+      Append("(");
+      const auto& fields = v.tuple_fields();
+      for (size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0) Append(", ");
+        AQL_RETURN_IF_ERROR(Walk(fields[i]));
+      }
+      Append(")");
+      return MaybeFlush();
+    }
+    case ValueKind::kSet: {
+      Append("{");
+      const auto& elems = v.set().elems;
+      for (size_t i = 0; i < elems.size(); ++i) {
+        if (i > 0) Append(", ");
+        AQL_RETURN_IF_ERROR(Walk(elems[i]));
+      }
+      Append("}");
+      return MaybeFlush();
+    }
+    case ValueKind::kArray:
+      return EmitArrayText(v.array());
+    case ValueKind::kFunc:
+      Append(v.func().name());
+      return MaybeFlush();
+  }
+  return Status::OK();
+}
+
+Status ValueWriter::EmitArrayText(const ArrayRep& a) {
+  Append("[[");
+  for (size_t i = 0; i < a.dims.size(); ++i) {
+    if (i > 0) Append(",");
+    Append(std::to_string(a.dims[i]));
+  }
+  Append("; ");
+  // The payload-typed loops append scalars straight from the flat buffer;
+  // this is the path that keeps a huge dense array out of memory.
+  switch (a.payload) {
+    case ArrayRep::Payload::kNats:
+      for (size_t i = 0; i < a.nats.size(); ++i) {
+        if (i > 0) Append(", ");
+        Append(std::to_string(a.nats[i]));
+        AQL_RETURN_IF_ERROR(MaybeFlush());
+      }
+      break;
+    case ArrayRep::Payload::kReals:
+      for (size_t i = 0; i < a.reals.size(); ++i) {
+        if (i > 0) Append(", ");
+        Append(RealToString(a.reals[i]));
+        AQL_RETURN_IF_ERROR(MaybeFlush());
+      }
+      break;
+    case ArrayRep::Payload::kBools:
+      for (size_t i = 0; i < a.bools.size(); ++i) {
+        if (i > 0) Append(", ");
+        Append(a.bools[i] != 0 ? "true" : "false");
+        AQL_RETURN_IF_ERROR(MaybeFlush());
+      }
+      break;
+    case ArrayRep::Payload::kBoxed:
+      for (size_t i = 0; i < a.elems.size(); ++i) {
+        if (i > 0) Append(", ");
+        AQL_RETURN_IF_ERROR(Walk(a.elems[i]));
+      }
+      break;
+  }
+  Append("]]");
+  return MaybeFlush();
+}
+
+void ValueWriter::AppendRealJson(double d) {
+  if (!std::isfinite(d)) {
+    Append("null");
+    return;
+  }
+  char buf[32];
+  int n = std::snprintf(buf, sizeof(buf), "%.17g", d);
+  std::string_view s(buf, static_cast<size_t>(n));
+  Append(s);
+  // A bare integer rendering stays a JSON number either way, but keeping
+  // the decimal point preserves the nat/real distinction for clients.
+  if (s.find('.') == std::string_view::npos && s.find('e') == std::string_view::npos) {
+    Append(".0");
+  }
+}
+
+void ValueWriter::AppendQuotedJson(const std::string& s) {
+  buffer_.push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': buffer_.append("\\\""); break;
+      case '\\': buffer_.append("\\\\"); break;
+      case '\n': buffer_.append("\\n"); break;
+      case '\t': buffer_.append("\\t"); break;
+      case '\r': buffer_.append("\\r"); break;
+      case '\b': buffer_.append("\\b"); break;
+      case '\f': buffer_.append("\\f"); break;
+      default:
+        if (c < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+          buffer_.append(esc);
+        } else {
+          buffer_.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  buffer_.push_back('"');
+}
+
+Status ValueWriter::WalkJson(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kBottom:
+      Append("null");
+      return MaybeFlush();
+    case ValueKind::kBool:
+      Append(v.bool_value() ? "true" : "false");
+      return MaybeFlush();
+    case ValueKind::kNat:
+      Append(std::to_string(v.nat_value()));
+      return MaybeFlush();
+    case ValueKind::kReal:
+      AppendRealJson(v.real_value());
+      return MaybeFlush();
+    case ValueKind::kString:
+      AppendQuotedJson(v.str_value());
+      return MaybeFlush();
+    case ValueKind::kTuple:
+    case ValueKind::kSet: {
+      const auto& elems =
+          v.kind() == ValueKind::kTuple ? v.tuple_fields() : v.set().elems;
+      Append("[");
+      for (size_t i = 0; i < elems.size(); ++i) {
+        if (i > 0) Append(",");
+        AQL_RETURN_IF_ERROR(WalkJson(elems[i]));
+      }
+      Append("]");
+      return MaybeFlush();
+    }
+    case ValueKind::kArray:
+      return EmitArrayJson(v.array());
+    case ValueKind::kFunc:
+      AppendQuotedJson(v.func().name());
+      return MaybeFlush();
+  }
+  return Status::OK();
+}
+
+Status ValueWriter::EmitArrayJson(const ArrayRep& a) {
+  Append("{\"dims\":[");
+  for (size_t i = 0; i < a.dims.size(); ++i) {
+    if (i > 0) Append(",");
+    Append(std::to_string(a.dims[i]));
+  }
+  Append("],\"data\":[");
+  switch (a.payload) {
+    case ArrayRep::Payload::kNats:
+      for (size_t i = 0; i < a.nats.size(); ++i) {
+        if (i > 0) Append(",");
+        Append(std::to_string(a.nats[i]));
+        AQL_RETURN_IF_ERROR(MaybeFlush());
+      }
+      break;
+    case ArrayRep::Payload::kReals:
+      for (size_t i = 0; i < a.reals.size(); ++i) {
+        if (i > 0) Append(",");
+        AppendRealJson(a.reals[i]);
+        AQL_RETURN_IF_ERROR(MaybeFlush());
+      }
+      break;
+    case ArrayRep::Payload::kBools:
+      for (size_t i = 0; i < a.bools.size(); ++i) {
+        if (i > 0) Append(",");
+        Append(a.bools[i] != 0 ? "true" : "false");
+        AQL_RETURN_IF_ERROR(MaybeFlush());
+      }
+      break;
+    case ArrayRep::Payload::kBoxed:
+      for (size_t i = 0; i < a.elems.size(); ++i) {
+        if (i > 0) Append(",");
+        AQL_RETURN_IF_ERROR(WalkJson(a.elems[i]));
+      }
+      break;
+  }
+  Append("]}");
+  return MaybeFlush();
+}
+
+std::string ValueToJson(const Value& v) {
+  std::string out;
+  ValueWriter writer(
+      [&out](std::string_view fragment) {
+        out.append(fragment);
+        return Status::OK();
+      },
+      ValueFormat::kJson);
+  (void)writer.Write(v);
+  return out;
+}
+
+}  // namespace aql

@@ -1,0 +1,88 @@
+// Incremental Value rendering for streaming delivery (the HTTP front
+// end's chunked responses) — the counterpart of Value::ToString that
+// never materializes the whole rendering.
+//
+// A ValueWriter walks the value recursively, appending into a bounded
+// buffer and handing the buffer to the sink every time it crosses
+// `flush_bytes`. A 1e8-element array therefore streams through ~64 KiB of
+// writer memory instead of allocating a multi-gigabyte string; the sink
+// (e.g. net::HttpResponseWriter::WriteChunk) sees a sequence of
+// near-`flush_bytes` fragments whose concatenation is the full rendering.
+//
+// Formats:
+//   kText — byte-identical to Value::ToString (the §3 exchange grammar;
+//           pinned by tests/value_write_test.cc), so existing parsers of
+//           the exchange format work unchanged on streamed output.
+//   kJson — arrays as {"dims":[...],"data":[...]}, tuples and sets as
+//           JSON arrays, bottom as null, strings JSON-escaped. Reals
+//           always carry a decimal point or exponent; non-finite reals
+//           render as null (JSON has no NaN/Infinity).
+//
+// A sink error aborts the walk and is returned from Write; the writer is
+// single-use per value and not thread-safe.
+
+#ifndef AQL_OBJECT_VALUE_WRITE_H_
+#define AQL_OBJECT_VALUE_WRITE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "object/value.h"
+
+namespace aql {
+
+enum class ValueFormat {
+  kText = 0,  // the exchange format of Value::ToString
+  kJson,
+};
+
+// Parses "text" / "json" (as used by the HTTP Accept/format knobs).
+bool ParseValueFormat(std::string_view name, ValueFormat* out);
+
+// MIME type for a format: "text/plain" or "application/json".
+std::string_view ValueFormatContentType(ValueFormat format);
+
+class ValueWriter {
+ public:
+  // The sink receives successive fragments; a non-OK return aborts.
+  using Sink = std::function<Status(std::string_view)>;
+
+  explicit ValueWriter(Sink sink, ValueFormat format = ValueFormat::kText,
+                       size_t flush_bytes = 64 * 1024);
+
+  // Streams the full rendering of `v` (including the final flush).
+  Status Write(const Value& v);
+
+  // Total bytes handed to the sink by the last Write.
+  uint64_t bytes_emitted() const { return bytes_emitted_; }
+  // Number of sink invocations by the last Write (>= 1 for any value).
+  uint64_t flushes() const { return flushes_; }
+
+ private:
+  Status Walk(const Value& v);
+  Status WalkJson(const Value& v);
+  Status EmitArrayText(const ArrayRep& a);
+  Status EmitArrayJson(const ArrayRep& a);
+  void Append(std::string_view s) { buffer_.append(s); }
+  void AppendRealJson(double d);
+  void AppendQuotedJson(const std::string& s);
+  Status MaybeFlush();
+  Status FlushNow();
+
+  Sink sink_;
+  ValueFormat format_;
+  size_t flush_bytes_;
+  std::string buffer_;
+  uint64_t bytes_emitted_ = 0;
+  uint64_t flushes_ = 0;
+};
+
+// Convenience: full JSON rendering into one string (small values; tests).
+std::string ValueToJson(const Value& v);
+
+}  // namespace aql
+
+#endif  // AQL_OBJECT_VALUE_WRITE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 
 #include "base/strings.h"
 
@@ -25,6 +26,42 @@ uint64_t BucketUpperBoundUs(size_t i) {
 }
 
 }  // namespace
+
+bool IsValidInstrumentName(std::string_view name) {
+  if (name.empty()) return false;
+  if (!(name.front() >= 'a' && name.front() <= 'z')) return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '.' || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool IsValidPrometheusName(std::string_view name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  };
+  if (!head(name.front())) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+std::string SanitizeMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out.front() >= '0' && out.front() <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
 
 uint64_t Histogram::Snapshot::QuantileUs(double q) const {
   if (count == 0) return 0;
@@ -65,6 +102,7 @@ Histogram::Snapshot Histogram::snapshot() const {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  assert(IsValidInstrumentName(name) && "instrument names are [a-z0-9._]");
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
@@ -72,6 +110,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  assert(IsValidInstrumentName(name) && "instrument names are [a-z0-9._]");
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
@@ -92,13 +131,51 @@ std::map<std::string, Histogram::Snapshot> MetricsRegistry::HistogramSnapshots()
   return out;
 }
 
+namespace {
+
+// The shared rendering guard: canonical names pass through; anything
+// else (hand-built registries) is sanitized, so both :stats and /metrics
+// only ever show renderable identifiers.
+std::string DisplayName(const std::string& name) {
+  return IsValidInstrumentName(name) ? name : SanitizeMetricName(name);
+}
+
+}  // namespace
+
 std::string MetricsRegistry::Report() const {
   std::string out;
   for (const auto& [name, v] : CounterValues()) {
-    out += StrCat(name, " = ", v, "\n");
+    out += StrCat(DisplayName(name), " = ", v, "\n");
   }
   for (const auto& [name, snap] : HistogramSnapshots()) {
-    out += StrCat(name, " : ", snap.ToString(), "\n");
+    out += StrCat(DisplayName(name), " : ", snap.ToString(), "\n");
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderPrometheus(std::string_view prefix) const {
+  std::string out;
+  for (const auto& [name, v] : CounterValues()) {
+    std::string id = StrCat(prefix, SanitizeMetricName(name));
+    out += StrCat("# TYPE ", id, " counter\n", id, " ", v, "\n");
+  }
+  for (const auto& [name, snap] : HistogramSnapshots()) {
+    std::string id = StrCat(prefix, SanitizeMetricName(name));
+    out += StrCat("# TYPE ", id, " histogram\n");
+    // Cumulative buckets up to the last non-empty one; +Inf always.
+    size_t last = 0;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (snap.buckets[i] > 0) last = i;
+    }
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i <= last && snap.count > 0; ++i) {
+      cumulative += snap.buckets[i];
+      out += StrCat(id, "_bucket{le=\"", BucketUpperBoundUs(i), "\"} ", cumulative,
+                    "\n");
+    }
+    out += StrCat(id, "_bucket{le=\"+Inf\"} ", snap.count, "\n");
+    out += StrCat(id, "_sum ", snap.sum_us, "\n");
+    out += StrCat(id, "_count ", snap.count, "\n");
   }
   return out;
 }

@@ -17,6 +17,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 namespace aql {
 namespace service {
@@ -61,9 +62,32 @@ class Histogram {
   std::atomic<uint64_t> max_us_{0};
 };
 
+// Instrument naming: canonical names are dotted lowercase
+// ("exec.par.tasks"), the style :stats prints. Prometheus identifiers
+// allow only [a-zA-Z0-9_:], so one shared sanitizer sits between the
+// canonical names and every external rendering — the HTTP /metrics
+// endpoint and :stats both go through it, and the registry rejects names
+// it cannot render (debug-asserted at Get* time).
+
+// True iff `name` is a canonical instrument name: [a-z0-9._] only,
+// starting with a letter — guaranteed to sanitize into a valid
+// Prometheus identifier.
+bool IsValidInstrumentName(std::string_view name);
+
+// True iff `name` matches the Prometheus metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+bool IsValidPrometheusName(std::string_view name);
+
+// Maps a canonical name to a Prometheus identifier: dots (and any other
+// invalid character) become underscores; a leading digit gets a '_'
+// prefix. SanitizeMetricName(n) is always a valid Prometheus name.
+std::string SanitizeMetricName(std::string_view name);
+
 // Named instrument registry. Get* creates on first use and returns a
 // pointer that stays valid for the registry's lifetime; concurrent Get*
-// for the same name return the same instrument.
+// for the same name return the same instrument. Names must satisfy
+// IsValidInstrumentName (debug-asserted; release builds sanitize on
+// render instead of crashing).
 class MetricsRegistry {
  public:
   Counter* GetCounter(const std::string& name);
@@ -73,8 +97,16 @@ class MetricsRegistry {
   std::map<std::string, Histogram::Snapshot> HistogramSnapshots() const;
 
   // Human-readable rendering of every instrument, sorted by name — the
-  // body of the REPL's :stats output.
+  // body of the REPL's :stats output. Names that fail
+  // IsValidInstrumentName render sanitized (shared path with /metrics).
   std::string Report() const;
+
+  // Prometheus text exposition format (version 0.0.4): counters as
+  // counters, histograms as cumulative `_bucket{le="..."}` series with
+  // `_sum`/`_count`, every name passed through SanitizeMetricName and
+  // prefixed (e.g. "queries.completed" -> "aql_queries_completed").
+  // Served by the HTTP front end's GET /metrics.
+  std::string RenderPrometheus(std::string_view prefix = "aql_") const;
 
  private:
   mutable std::mutex mu_;

@@ -50,6 +50,8 @@ QueryService::QueryService(System* system, ServiceConfig config)
   if (config_.trace) obs::Tracer::Get().SetEnabled(true);
 }
 
+QueryService::~QueryService() { Shutdown(/*drain=*/true); }
+
 QuerySubmission QueryService::Submit(std::string expression, QueryOptions options) {
   submitted_->Increment();
   auto token = std::make_shared<CancelToken>();
@@ -62,19 +64,57 @@ QuerySubmission QueryService::Submit(std::string expression, QueryOptions option
   submission.future_ = promise->get_future();
   submission.token_ = token;
 
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    rejected_->Increment();
+    promise->set_value(
+        Status::ResourceExhausted("query rejected: service shutting down"));
+    return submission;
+  }
+
+  // Count the query in flight *before* the pool sees it, so a concurrent
+  // drain either waits for it or rejected it above — never misses it.
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    ++inflight_;
+  }
   bool admitted = pool_.TrySubmit(
       [this, expression = std::move(expression), options, token, promise] {
         Result<Value> result = RunQuery(expression, options, token.get());
         CountOutcome(result.status());
         promise->set_value(std::move(result));
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        --inflight_;
+        inflight_cv_.notify_all();
       });
   if (!admitted) {
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      --inflight_;
+      inflight_cv_.notify_all();
+    }
     rejected_->Increment();
     promise->set_value(Status::ResourceExhausted(
         StrCat("query rejected: admission queue at capacity (",
                config_.max_queue, ")")));
   }
   return submission;
+}
+
+bool QueryService::Shutdown(bool drain, std::chrono::milliseconds timeout) {
+  shutting_down_.store(true, std::memory_order_release);
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  if (!drain) return inflight_ == 0;
+  auto drained = [this] { return inflight_ == 0; };
+  if (timeout.count() <= 0) {
+    inflight_cv_.wait(lock, drained);
+    return true;
+  }
+  return inflight_cv_.wait_for(lock, timeout, drained);
+}
+
+size_t QueryService::InFlight() const {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  return inflight_;
 }
 
 Result<Value> QueryService::Execute(std::string_view expression, QueryOptions options) {
@@ -89,10 +129,12 @@ Result<Value> QueryService::RunQuery(const std::string& expression,
 
   // Slow-query logging needs the profile of *every* query, since a query
   // only reveals itself as slow once it has finished; the capture keeps
-  // this worker's spans regardless of the global tracer state.
+  // this worker's spans regardless of the global tracer state. A
+  // per-query profile request (QueryOptions::profile_out) rides the same
+  // capture.
   const bool watch_slow = config_.slow_query_us > 0;
   std::optional<obs::TraceCapture> capture;
-  if (watch_slow) capture.emplace();
+  if (watch_slow || options.profile_out != nullptr) capture.emplace();
 
   auto run_timed = [&]() -> Result<Value> {
     obs::Span root("query", "query");
@@ -114,14 +156,18 @@ Result<Value> QueryService::RunQuery(const std::string& expression,
 
   auto start = std::chrono::steady_clock::now();
   Result<Value> result = run_timed();
-  if (watch_slow) {
+  if (capture.has_value()) {
     uint64_t total_us = ElapsedUs(start);
-    if (total_us > config_.slow_query_us) {
+    std::vector<obs::SpanRecord> records = capture->TakeRecords();
+    if (options.profile_out != nullptr) {
+      *options.profile_out = obs::Profile::Build(records).ToString();
+    }
+    if (watch_slow && total_us > config_.slow_query_us) {
       slow_queries_->Increment();
       std::string report =
           StrCat("slow query (", total_us, "us > ", config_.slow_query_us,
                  "us): ", expression, "\n",
-                 obs::Profile::Build(capture->TakeRecords()).ToString());
+                 obs::Profile::Build(std::move(records)).ToString());
       if (config_.slow_query_sink) {
         config_.slow_query_sink(report);
       } else {
@@ -213,7 +259,7 @@ Result<std::vector<StatementResult>> QueryService::RunScript(std::string_view pr
   return results;
 }
 
-std::string QueryService::StatsReport() const {
+void QueryService::SyncExecStats() const {
   // Pull the exec layer's process-wide counters up to their service
   // mirrors. Counters are monotone, so publishing the delta is safe even
   // if several services report concurrently from one process.
@@ -227,6 +273,10 @@ std::string QueryService::StatsReport() const {
   sync(exec_par_chunks_, stats.par_chunks);
   sync(exec_unboxed_arrays_, stats.unboxed_arrays);
   sync(exec_unchecked_kernels_, stats.unchecked_kernels);
+}
+
+std::string QueryService::StatsReport() const {
+  SyncExecStats();
 
   std::string out =
       StrCat("service: ", pool_.num_threads(), " workers, queue limit ",

@@ -32,11 +32,14 @@
 #ifndef AQL_SERVICE_SERVICE_H_
 #define AQL_SERVICE_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
@@ -92,6 +95,11 @@ struct QueryOptions {
   // false routes execution through the tree-walking evaluator instead of
   // the compiled backend (still plan-cached at the optimized-term level).
   bool use_compiled_backend = true;
+  // When set, the worker runs the query under an obs::TraceCapture and
+  // stores the rendered per-stage profile (obs::Profile) here — the HTTP
+  // front end's ?trace=1 option. Costs the same as the slow-query log's
+  // always-on capture.
+  std::shared_ptr<std::string> profile_out;
 };
 
 // Handle for one submitted query. Wait() may be called once.
@@ -119,7 +127,26 @@ class QueryService {
   // `system` must outlive the service and be past its setup phase; the
   // service becomes the sole synchronization point for it.
   explicit QueryService(System* system, ServiceConfig config = {});
-  ~QueryService() = default;
+  // Equivalent to Shutdown(/*drain=*/true) (the pool destructor then
+  // joins the workers, which drains anyway — Shutdown just makes the
+  // stop-admitting point explicit and observable).
+  ~QueryService();
+
+  // Stops admitting: every later Submit resolves immediately with
+  // ResourceExhausted ("service shutting down"). With drain=true, also
+  // waits for already-admitted queries (queued or running) to finish, up
+  // to `timeout` (zero = wait without limit). Returns true when no
+  // queries remain in flight on return. Idempotent and thread-safe;
+  // concurrent Submits race benignly (they either got in before the flag
+  // or are rejected).
+  bool Shutdown(bool drain = true, std::chrono::milliseconds timeout = {});
+
+  // True once Shutdown has been called (the HTTP front end's /healthz
+  // turns 503 on this).
+  bool shutting_down() const { return shutting_down_.load(std::memory_order_acquire); }
+
+  // Queries admitted but not yet finished (queued + executing).
+  size_t InFlight() const;
 
   // Admits a pure-expression query to the worker pool. When the admission
   // queue is full the returned submission resolves immediately with
@@ -139,6 +166,11 @@ class QueryService {
 
   // ":stats" rendering: configuration line + every counter and histogram.
   std::string StatsReport() const;
+
+  // Pulls the exec layer's process-wide data-parallel counters into
+  // their service mirrors (StatsReport does this implicitly; the HTTP
+  // /metrics endpoint calls it before rendering Prometheus text).
+  void SyncExecStats() const;
 
  private:
   // The worker-side path: compile (with plan cache) + run, under the
@@ -179,6 +211,11 @@ class QueryService {
   PlanCache cache_;
   // shared: query execution; exclusive: RunScript's environment mutation.
   std::shared_mutex system_mu_;
+  // Admission gate + in-flight accounting for Shutdown's drain.
+  std::atomic<bool> shutting_down_{false};
+  mutable std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  size_t inflight_ = 0;
   // Declared last: joins workers (which touch everything above) first.
   ThreadPool pool_;
 };

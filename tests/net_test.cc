@@ -1,0 +1,565 @@
+// Unit tests for the HTTP front end's building blocks (no real sockets):
+// the incremental request parser (directed malformed inputs plus a
+// deterministic fragmentation/mutation fuzz), the token-bucket rate
+// limiter's refill math under injected time, the streaming ValueWriter
+// (text output pinned byte-identical to Value::ToString, JSON cases,
+// flush accounting), and the shared Prometheus metric-name sanitizer —
+// including the guarantee that every instrument the query service and
+// HTTP server register renders as a valid Prometheus identifier.
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "net/http.h"
+#include "net/rate_limiter.h"
+#include "net/server.h"
+#include "object/value.h"
+#include "object/value_write.h"
+#include "service/metrics.h"
+#include "service/service.h"
+#include "test_util.h"
+
+namespace aql {
+namespace net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HttpParser: well-formed requests.
+
+HttpParser FedParser(std::string_view raw, HttpParserLimits limits = {}) {
+  HttpParser parser(limits);
+  parser.Feed(raw);
+  return parser;
+}
+
+TEST(HttpParser, SimpleGet) {
+  HttpParser p = FedParser("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_FALSE(p.failed()) << p.error().ToString();
+  ASSERT_TRUE(p.done());
+  HttpRequest req = p.TakeRequest();
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/healthz");
+  EXPECT_EQ(req.Header("host"), "x");
+  EXPECT_EQ(req.Header("HOST"), "x") << "header lookup is case-insensitive";
+  EXPECT_TRUE(req.body.empty());
+}
+
+TEST(HttpParser, PostWithContentLength) {
+  HttpParser p = FedParser(
+      "POST /query HTTP/1.1\r\nContent-Length: 5\r\n\r\n1 + 2");
+  ASSERT_TRUE(p.done());
+  EXPECT_EQ(p.TakeRequest().body, "1 + 2");
+}
+
+TEST(HttpParser, QueryParamsDecoded) {
+  HttpParser p = FedParser(
+      "POST /query?deadline_ms=50&format=json&q=a%20b+c HTTP/1.1\r\n"
+      "Content-Length: 0\r\n\r\n");
+  ASSERT_TRUE(p.done());
+  HttpRequest req = p.TakeRequest();
+  EXPECT_EQ(req.path, "/query");
+  EXPECT_EQ(req.query.at("deadline_ms"), "50");
+  EXPECT_EQ(req.query.at("format"), "json");
+  EXPECT_EQ(req.query.at("q"), "a b c");
+}
+
+TEST(HttpParser, ChunkedBodyDecoded) {
+  HttpParser p = FedParser(
+      "POST /query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "4\r\nSum{\r\n6;ext=1\r\n x | \\\r\n0\r\n\r\n");
+  ASSERT_FALSE(p.failed()) << p.error().ToString();
+  ASSERT_TRUE(p.done());
+  EXPECT_EQ(p.TakeRequest().body, "Sum{ x | \\");
+}
+
+TEST(HttpParser, ByteAtATimeMatchesWholeFeed) {
+  const std::string raw =
+      "POST /query?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 3\r\n\r\nabc";
+  HttpParser whole = FedParser(raw);
+  HttpParser trickle;
+  for (char c : raw) trickle.Feed(std::string_view(&c, 1));
+  ASSERT_TRUE(whole.done());
+  ASSERT_TRUE(trickle.done());
+  HttpRequest a = whole.TakeRequest(), b = trickle.TakeRequest();
+  EXPECT_EQ(a.method, b.method);
+  EXPECT_EQ(a.target, b.target);
+  EXPECT_EQ(a.headers, b.headers);
+  EXPECT_EQ(a.body, b.body);
+}
+
+TEST(HttpParser, PipelinedRequestsParseBackToBack) {
+  HttpParser p = FedParser(
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(p.done());
+  EXPECT_EQ(p.TakeRequest().path, "/a");
+  // TakeRequest resets and re-feeds the buffered second request.
+  ASSERT_TRUE(p.done());
+  EXPECT_EQ(p.TakeRequest().path, "/b");
+  EXPECT_TRUE(p.idle());
+}
+
+TEST(HttpParser, RepeatedHeadersMerge) {
+  HttpParser p = FedParser(
+      "GET / HTTP/1.1\r\nX-Tag: a\r\nX-Tag: b\r\n\r\n");
+  ASSERT_TRUE(p.done());
+  EXPECT_EQ(p.TakeRequest().Header("x-tag"), "a, b");
+}
+
+// ---------------------------------------------------------------------------
+// HttpParser: malformed and hostile inputs.
+
+TEST(HttpParser, BareLfIsRejected) {
+  HttpParser p = FedParser("GET / HTTP/1.1\nHost: x\n\n");
+  EXPECT_TRUE(p.failed());
+  EXPECT_EQ(p.http_status(), 400);
+}
+
+TEST(HttpParser, MalformedRequestLines) {
+  for (const char* raw : {
+           "GET\r\n\r\n",                        // missing target+version
+           "GET /\r\n\r\n",                      // missing version
+           "/ HTTP/1.1\r\n\r\n",                 // missing method
+           "GET  / HTTP/1.1\r\n\r\n",            // double space
+           "G@T / HTTP/1.1\r\n\r\n",             // bad method char
+           "GET /\x01 HTTP/1.1\r\n\r\n",         // control char in target
+           "GET / http/1.1\r\n\r\n",             // lowercase version
+       }) {
+    HttpParser p = FedParser(raw);
+    EXPECT_TRUE(p.failed()) << "accepted: " << raw;
+    EXPECT_EQ(p.http_status(), 400) << raw;
+  }
+}
+
+TEST(HttpParser, UnsupportedVersionIs505) {
+  HttpParser p = FedParser("GET / HTTP/2.0\r\n\r\n");
+  EXPECT_TRUE(p.failed());
+  EXPECT_EQ(p.http_status(), 505);
+}
+
+TEST(HttpParser, OversizedRequestLineIs414) {
+  HttpParserLimits limits;
+  limits.max_request_line = 64;
+  std::string raw = "GET /" + std::string(100, 'a') + " HTTP/1.1\r\n\r\n";
+  HttpParser p = FedParser(raw, limits);
+  EXPECT_TRUE(p.failed());
+  EXPECT_EQ(p.http_status(), 414);
+}
+
+TEST(HttpParser, OversizedHeadersAre431) {
+  HttpParserLimits limits;
+  limits.max_header_bytes = 128;
+  std::string raw = "GET / HTTP/1.1\r\nX-Big: " + std::string(200, 'b') + "\r\n\r\n";
+  HttpParser p = FedParser(raw, limits);
+  EXPECT_TRUE(p.failed());
+  EXPECT_EQ(p.http_status(), 431);
+}
+
+TEST(HttpParser, TooManyHeadersAre431) {
+  HttpParserLimits limits;
+  limits.max_headers = 4;
+  std::string raw = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 8; ++i) raw += "X-H" + std::to_string(i) + ": v\r\n";
+  raw += "\r\n";
+  HttpParser p = FedParser(raw, limits);
+  EXPECT_TRUE(p.failed());
+  EXPECT_EQ(p.http_status(), 431);
+}
+
+TEST(HttpParser, BodyOverLimitIs413) {
+  HttpParserLimits limits;
+  limits.max_body = 8;
+  HttpParser p = FedParser(
+      "POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789", limits);
+  EXPECT_TRUE(p.failed());
+  EXPECT_EQ(p.http_status(), 413);
+}
+
+TEST(HttpParser, ChunkedBodyOverLimitIs413) {
+  HttpParserLimits limits;
+  limits.max_body = 8;
+  HttpParser p = FedParser(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "9\r\n123456789\r\n0\r\n\r\n",
+      limits);
+  EXPECT_TRUE(p.failed());
+  EXPECT_EQ(p.http_status(), 413);
+}
+
+TEST(HttpParser, BadChunkSizes) {
+  for (const char* chunk : {
+           "zz\r\nhi\r\n0\r\n\r\n",                 // non-hex size
+           "\r\nhi\r\n0\r\n\r\n",                   // empty size
+           "-4\r\nhi\r\n0\r\n\r\n",                 // negative
+           "ffffffffffffffffff\r\nx\r\n0\r\n\r\n",  // > 15 hex digits
+           "2\r\nhiX\r\n0\r\n\r\n",                 // missing CRLF after data
+       }) {
+    std::string raw =
+        std::string("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n") + chunk;
+    HttpParser p = FedParser(raw);
+    EXPECT_TRUE(p.failed()) << "accepted chunk framing: " << chunk;
+    EXPECT_EQ(p.http_status(), 400) << chunk;
+  }
+}
+
+TEST(HttpParser, BadContentLengths) {
+  // (A value of " 5" is fine: header parsing strips optional whitespace.)
+  for (const char* cl : {"abc", "-1", "1x", "", "99999999999999999999"}) {
+    std::string raw = std::string("POST / HTTP/1.1\r\nContent-Length: ") + cl + "\r\n\r\n";
+    HttpParser p = FedParser(raw);
+    EXPECT_TRUE(p.failed()) << "accepted Content-Length: " << cl;
+  }
+}
+
+TEST(HttpParser, UnknownTransferEncodingIs501) {
+  HttpParser p = FedParser("POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n");
+  EXPECT_TRUE(p.failed());
+  EXPECT_EQ(p.http_status(), 501);
+}
+
+TEST(HttpParser, PoisonedAfterError) {
+  HttpParser p = FedParser("BAD\r\n\r\n");
+  ASSERT_TRUE(p.failed());
+  p.Feed("GET / HTTP/1.1\r\n\r\n");  // must stay failed, not "recover"
+  EXPECT_TRUE(p.failed());
+  EXPECT_FALSE(p.done());
+}
+
+// Fragmentation/mutation fuzz: random single-byte corruptions of a valid
+// request, fed in random fragments. The parser must always terminate in
+// done() or failed() without crashing, and a failure must carry a
+// plausible 4xx/5xx status.
+TEST(HttpParser, FuzzMutatedRequests) {
+  const std::string base =
+      "POST /query?deadline_ms=50 HTTP/1.1\r\n"
+      "Host: localhost\r\nX-AQL-Token: t\r\nContent-Length: 11\r\n\r\n"
+      "Sum{gen!3}?";
+  std::mt19937_64 rng(20260808);
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::string raw = base;
+    size_t mutations = 1 + rng() % 3;
+    for (size_t m = 0; m < mutations; ++m) {
+      size_t pos = rng() % raw.size();
+      switch (rng() % 3) {
+        case 0: raw[pos] = char(rng() % 256); break;
+        case 1: raw.erase(pos, 1); break;
+        default: raw.insert(pos, 1, char(rng() % 256)); break;
+      }
+    }
+    HttpParser parser;
+    size_t off = 0;
+    while (off < raw.size() && !parser.done() && !parser.failed()) {
+      size_t n = 1 + rng() % 40;
+      if (n > raw.size() - off) n = raw.size() - off;
+      parser.Feed(std::string_view(raw).substr(off, n));
+      off += n;
+    }
+    if (parser.failed()) {
+      EXPECT_GE(parser.http_status(), 400) << "raw: " << raw;
+      EXPECT_LT(parser.http_status(), 600) << "raw: " << raw;
+    } else if (parser.done()) {
+      (void)parser.TakeRequest();  // must not crash
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// UrlDecode.
+
+TEST(UrlDecodeTest, Basics) {
+  EXPECT_EQ(UrlDecode("a%20b"), "a b");
+  EXPECT_EQ(UrlDecode("a+b"), "a b");
+  EXPECT_EQ(UrlDecode("%2Fpath%3f"), "/path?");
+  EXPECT_EQ(UrlDecode("plain"), "plain");
+  // Malformed escapes pass through literally rather than corrupting.
+  EXPECT_EQ(UrlDecode("%"), "%");
+  EXPECT_EQ(UrlDecode("%2"), "%2");
+  EXPECT_EQ(UrlDecode("%zz"), "%zz");
+}
+
+// ---------------------------------------------------------------------------
+// RateLimiter: refill math with injected time.
+
+constexpr uint64_t kSecond = 1000000;
+
+TEST(RateLimiterTest, BurstThenRejects) {
+  RateLimiter limiter(/*rate_per_sec=*/1.0, /*burst=*/3.0);
+  EXPECT_TRUE(limiter.Admit("c", 0).allowed);
+  EXPECT_TRUE(limiter.Admit("c", 0).allowed);
+  EXPECT_TRUE(limiter.Admit("c", 0).allowed);
+  RateLimitDecision d = limiter.Admit("c", 0);
+  EXPECT_FALSE(d.allowed);
+  EXPECT_EQ(d.retry_after_s, 1u) << "empty bucket at 1/s refills a token in 1s";
+}
+
+TEST(RateLimiterTest, RefillRestoresTokens) {
+  RateLimiter limiter(2.0, 2.0);
+  EXPECT_TRUE(limiter.Admit("c", 0).allowed);
+  EXPECT_TRUE(limiter.Admit("c", 0).allowed);
+  EXPECT_FALSE(limiter.Admit("c", 0).allowed);
+  // 500ms at 2/s refills exactly one token.
+  EXPECT_TRUE(limiter.Admit("c", kSecond / 2).allowed);
+  EXPECT_FALSE(limiter.Admit("c", kSecond / 2).allowed);
+}
+
+TEST(RateLimiterTest, RefillCapsAtBurst) {
+  RateLimiter limiter(10.0, 2.0);
+  EXPECT_TRUE(limiter.Admit("c", 0).allowed);
+  // An hour idle must not bank more than `burst` tokens.
+  EXPECT_TRUE(limiter.Admit("c", 3600 * kSecond).allowed);
+  EXPECT_TRUE(limiter.Admit("c", 3600 * kSecond).allowed);
+  EXPECT_FALSE(limiter.Admit("c", 3600 * kSecond).allowed);
+}
+
+TEST(RateLimiterTest, RetryAfterCeilsDeficit) {
+  RateLimiter limiter(0.5, 1.0);  // one token per 2s
+  EXPECT_TRUE(limiter.Admit("c", 0).allowed);
+  RateLimitDecision d = limiter.Admit("c", 0);
+  EXPECT_FALSE(d.allowed);
+  EXPECT_EQ(d.retry_after_s, 2u);
+}
+
+TEST(RateLimiterTest, ClientsAreIndependent) {
+  RateLimiter limiter(1.0, 1.0);
+  EXPECT_TRUE(limiter.Admit("a", 0).allowed);
+  EXPECT_FALSE(limiter.Admit("a", 0).allowed);
+  EXPECT_TRUE(limiter.Admit("b", 0).allowed) << "b's bucket is fresh";
+}
+
+TEST(RateLimiterTest, ZeroRateDisables) {
+  RateLimiter limiter(0.0, 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(limiter.Admit("c", 0).allowed);
+}
+
+TEST(RateLimiterTest, LruEvictionBoundsClients) {
+  RateLimiter limiter(1.0, 1.0, /*max_clients=*/4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(limiter.Admit("client" + std::to_string(i), 0).allowed);
+  }
+  EXPECT_LE(limiter.num_clients(), 4u);
+  // The newest key kept its (empty) bucket; the oldest was evicted and
+  // would start fresh.
+  EXPECT_FALSE(limiter.Admit("client99", 0).allowed);
+  EXPECT_TRUE(limiter.Admit("client0", 0).allowed);
+}
+
+// ---------------------------------------------------------------------------
+// ValueWriter.
+
+// Concatenation of all sink fragments, with a tiny flush threshold so
+// multi-fragment paths are exercised even for small values.
+std::string StreamText(const Value& v, ValueFormat format, size_t flush_bytes,
+                       uint64_t* flushes = nullptr) {
+  std::string out;
+  ValueWriter writer([&out](std::string_view fragment) {
+                       out.append(fragment);
+                       return Status::OK();
+                     },
+                     format, flush_bytes);
+  Status status = writer.Write(v);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(writer.bytes_emitted(), out.size());
+  if (flushes != nullptr) *flushes = writer.flushes();
+  return out;
+}
+
+TEST(ValueWriterTest, TextMatchesToStringDirected) {
+  std::vector<Value> values;
+  values.push_back(Value::Bottom());
+  values.push_back(Value::Bool(true));
+  values.push_back(Value::Nat(0));
+  values.push_back(Value::Real(2.5));
+  values.push_back(Value::Real(-0.0));
+  values.push_back(Value::Str("line\nquote\"back\\slash\ttab"));
+  values.push_back(Value::MakeTuple({Value::Nat(1), Value::Str("x")}));
+  values.push_back(Value::MakeSet({Value::Nat(3), Value::Nat(1)}));
+  values.push_back(Value::EmptySet());
+  values.push_back(*Value::MakeNatArray({2, 3}, {1, 2, 3, 4, 5, 6}));
+  values.push_back(*Value::MakeRealArray({4}, {0.5, -1.0, 3.25, 1e300}));
+  values.push_back(*Value::MakeBoolArray({2}, {1, 0}));
+  values.push_back(*Value::MakeArray({2}, {Value::MakeTuple({Value::Nat(1)}),
+                                           Value::MakeTuple({Value::Nat(2)})}));
+  for (const Value& v : values) {
+    for (size_t flush : {size_t(1), size_t(7), size_t(64 * 1024)}) {
+      EXPECT_EQ(StreamText(v, ValueFormat::kText, flush), v.ToString())
+          << "flush_bytes=" << flush;
+    }
+  }
+}
+
+TEST(ValueWriterTest, TextMatchesToStringFuzz) {
+  aql::testing::ValueGen gen(987654);
+  for (int i = 0; i < 500; ++i) {
+    Value v = gen.Next(4);
+    EXPECT_EQ(StreamText(v, ValueFormat::kText, 8), v.ToString());
+  }
+}
+
+TEST(ValueWriterTest, LargeArrayStreamsInBoundedFragments) {
+  std::vector<uint64_t> data(100000);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = i;
+  const uint64_t n = data.size();  // sequenced before the move below
+  Value v = *Value::MakeNatArray({n}, std::move(data));
+  uint64_t flushes = 0;
+  size_t max_fragment = 0;
+  std::string out;
+  ValueWriter writer(
+      [&](std::string_view fragment) {
+        if (fragment.size() > max_fragment) max_fragment = fragment.size();
+        out.append(fragment);
+        return Status::OK();
+      },
+      ValueFormat::kText, /*flush_bytes=*/4096);
+  ASSERT_TRUE(writer.Write(v).ok());
+  flushes = writer.flushes();
+  EXPECT_EQ(out, v.ToString());
+  EXPECT_GT(flushes, 100u) << "a ~589KB rendering must flush many times at 4KB";
+  // Fragments stay near the threshold: the buffer flushes after the
+  // scalar that crossed it, so no fragment is ever a large multiple.
+  EXPECT_LT(max_fragment, size_t(8192));
+}
+
+TEST(ValueWriterTest, SinkErrorAborts) {
+  std::vector<uint64_t> data(100000, 7);
+  const uint64_t n = data.size();
+  Value v = *Value::MakeNatArray({n}, std::move(data));
+  int calls = 0;
+  ValueWriter writer(
+      [&calls](std::string_view) {
+        ++calls;
+        return calls >= 3 ? Status::IoError("peer gone") : Status::OK();
+      },
+      ValueFormat::kText, 4096);
+  Status status = writer.Write(v);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(calls, 3) << "the walk stops at the first sink failure";
+}
+
+TEST(ValueWriterTest, AlwaysAtLeastOneFlush) {
+  uint64_t flushes = 0;
+  EXPECT_EQ(StreamText(Value::Nat(7), ValueFormat::kText, 64 * 1024, &flushes), "7");
+  EXPECT_EQ(flushes, 1u);
+}
+
+TEST(ValueWriterTest, JsonCases) {
+  EXPECT_EQ(ValueToJson(Value::Bottom()), "null");
+  EXPECT_EQ(ValueToJson(Value::Bool(true)), "true");
+  EXPECT_EQ(ValueToJson(Value::Nat(42)), "42");
+  EXPECT_EQ(ValueToJson(Value::Real(2.5)), "2.5");
+  EXPECT_EQ(ValueToJson(Value::Real(3.0)), "3.0")
+      << "reals always carry a decimal point";
+  EXPECT_EQ(ValueToJson(Value::Real(std::numeric_limits<double>::infinity())), "null");
+  EXPECT_EQ(ValueToJson(Value::Str("a\"b\\c\nd")), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(ValueToJson(Value::Str(std::string("\x01", 1))), "\"\\u0001\"");
+  EXPECT_EQ(ValueToJson(Value::MakeTuple({Value::Nat(1), Value::Bool(false)})),
+            "[1,false]");
+  EXPECT_EQ(ValueToJson(Value::MakeSet({Value::Nat(2), Value::Nat(1)})), "[1,2]");
+  EXPECT_EQ(ValueToJson(*Value::MakeNatArray({2, 2}, {1, 2, 3, 4})),
+            "{\"dims\":[2,2],\"data\":[1,2,3,4]}");
+}
+
+TEST(ValueWriterTest, JsonStreamedEqualsOneShot) {
+  aql::testing::ValueGen gen(13579);
+  for (int i = 0; i < 200; ++i) {
+    Value v = gen.Next(3);
+    EXPECT_EQ(StreamText(v, ValueFormat::kJson, 4), ValueToJson(v));
+  }
+}
+
+TEST(ValueFormatTest, ParseAndContentType) {
+  ValueFormat format = ValueFormat::kText;
+  EXPECT_TRUE(ParseValueFormat("json", &format));
+  EXPECT_EQ(format, ValueFormat::kJson);
+  EXPECT_TRUE(ParseValueFormat("text", &format));
+  EXPECT_EQ(format, ValueFormat::kText);
+  EXPECT_FALSE(ParseValueFormat("xml", &format));
+  EXPECT_EQ(ValueFormatContentType(ValueFormat::kJson), "application/json");
+  EXPECT_EQ(ValueFormatContentType(ValueFormat::kText), "text/plain");
+}
+
+// ---------------------------------------------------------------------------
+// Metric-name sanitizer (shared by /metrics and :stats).
+
+TEST(MetricNames, InstrumentNameValidity) {
+  using service::IsValidInstrumentName;
+  EXPECT_TRUE(IsValidInstrumentName("queries.completed"));
+  EXPECT_TRUE(IsValidInstrumentName("http.latency.request_us"));
+  EXPECT_FALSE(IsValidInstrumentName(""));
+  EXPECT_FALSE(IsValidInstrumentName("9lives"));
+  EXPECT_FALSE(IsValidInstrumentName("Upper.Case"));
+  EXPECT_FALSE(IsValidInstrumentName("has space"));
+  EXPECT_FALSE(IsValidInstrumentName("has-dash"));
+}
+
+TEST(MetricNames, PrometheusGrammar) {
+  using service::IsValidPrometheusName;
+  EXPECT_TRUE(IsValidPrometheusName("aql_queries_completed"));
+  EXPECT_TRUE(IsValidPrometheusName("_private"));
+  EXPECT_TRUE(IsValidPrometheusName("ns:metric"));
+  EXPECT_FALSE(IsValidPrometheusName(""));
+  EXPECT_FALSE(IsValidPrometheusName("9starts_with_digit"));
+  EXPECT_FALSE(IsValidPrometheusName("has.dot"));
+  EXPECT_FALSE(IsValidPrometheusName("has-dash"));
+}
+
+TEST(MetricNames, SanitizeAlwaysYieldsValidNames) {
+  using service::IsValidPrometheusName;
+  using service::SanitizeMetricName;
+  EXPECT_EQ(SanitizeMetricName("queries.completed"), "queries_completed");
+  EXPECT_EQ(SanitizeMetricName("9lives"), "_9lives");
+  EXPECT_EQ(SanitizeMetricName("weird name!"), "weird_name_");
+  // Property: any byte soup sanitizes into the Prometheus grammar.
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    std::string name(1 + rng() % 24, '\0');
+    for (char& c : name) c = char(rng() % 256);
+    EXPECT_TRUE(IsValidPrometheusName(SanitizeMetricName(name)))
+        << "input bytes failed: " << name;
+  }
+}
+
+// Every instrument the service and the HTTP server register must render
+// as a valid Prometheus series — the acceptance test for the shared
+// sanitizer. Parses every sample line of the exposition output.
+TEST(MetricNames, AllRegisteredInstrumentsRenderValid) {
+  System system;
+  ASSERT_TRUE(system.init_status().ok());
+  service::QueryService service(&system, {.num_workers = 2});
+  ASSERT_TRUE(service.Execute("1 + 2").ok());
+  HttpServerConfig config;
+  config.port = 0;
+  config.num_threads = 2;
+  HttpServer server(&service, config);  // registers the http.* instruments
+  ASSERT_TRUE(server.Start().ok());
+  server.Shutdown();
+
+  std::string exposition = service.metrics()->RenderPrometheus();
+  ASSERT_FALSE(exposition.empty());
+  size_t series = 0;
+  size_t start = 0;
+  while (start < exposition.size()) {
+    size_t end = exposition.find('\n', start);
+    if (end == std::string::npos) end = exposition.size();
+    std::string_view line(exposition.data() + start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    // "name value" or "name{labels} value".
+    size_t name_end = line.find_first_of("{ ");
+    ASSERT_NE(name_end, std::string_view::npos) << line;
+    EXPECT_TRUE(service::IsValidPrometheusName(line.substr(0, name_end)))
+        << "invalid Prometheus name in line: " << line;
+    ++series;
+  }
+  EXPECT_GT(series, 20u) << "expected many series: queries.*, http.*, histograms";
+  // The shared-path guarantee, directly: every canonical instrument name
+  // currently registered sanitizes to a valid identifier.
+  for (const auto& [name, unused] : service.metrics()->CounterValues()) {
+    EXPECT_TRUE(service::IsValidInstrumentName(name)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace aql
