@@ -26,6 +26,27 @@ scripts/http_smoke.sh build
 echo "== lint (strict: clang-tidy warnings fail the gate)"
 scripts/lint.sh --strict build
 
+echo "== locking discipline (src/ uses base/sync.h wrappers only)"
+# base/sync.{h,cc} implement the wrappers; everything else under src/ must
+# go through them so the thread-safety annotations and the lock-order
+# detector see every acquisition (tests/benches are exempt).
+if grep -rn --include='*.h' --include='*.cc' \
+     -e 'std::mutex' -e 'std::lock_guard' -e 'std::unique_lock' \
+     -e 'std::shared_mutex' -e 'std::shared_lock' -e 'std::scoped_lock' \
+     -e 'std::condition_variable' \
+     src/ | grep -v '^src/base/sync\.'; then
+  echo "check.sh: raw standard-library locking under src/ — use base/sync.h" >&2
+  exit 1
+fi
+
+if command -v clang++ >/dev/null 2>&1; then
+  echo "== clang thread-safety analysis (build-tsa/, -Werror=thread-safety)"
+  cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+  cmake --build build-tsa -j"$(nproc)"
+else
+  echo "== clang thread-safety analysis: skipped (clang++ not installed)"
+fi
+
 echo "== dead-rule report (informational)"
 scripts/dead_rules.sh build || true
 

@@ -64,6 +64,11 @@ class Linter {
     interp.Analyze(e);
 
     CheckAlwaysBottom();
+    {
+      std::vector<size_t> path;
+      std::map<std::string, size_t> in_scope;
+      CheckShadowedBinders(e, &path, &in_scope);
+    }
     for (const NodeRec& rec : recs_) {
       switch (rec.expr->kind()) {
         case ExprKind::kSubscript:
@@ -95,6 +100,47 @@ class Linter {
   void Warn(const NodeRec& rec, std::string code, std::string message) {
     report_.warnings.push_back(
         {std::move(code), AbsPathString(rec.path), std::move(message)});
+  }
+
+  void WarnAt(const std::vector<size_t>& path, std::string code,
+              std::string message) {
+    report_.warnings.push_back(
+        {std::move(code), AbsPathString(path), std::move(message)});
+  }
+
+  // Scope-tracking walk over every binder-introducing construct (tab,
+  // comprehensions, lambdas — `let` desugars to Apply(Lambda)): an inner
+  // binder re-introducing a name already in scope makes the outer binding
+  // unreachable from the inner body, which in handwritten queries is
+  // almost always an index-variable slip (`[[ [[a!(i,i)|i<n]] | i<m ]]`).
+  // `in_scope` counts live bindings per name so unwinding is exact even
+  // for repeated shadowing.
+  void CheckShadowedBinders(const ExprPtr& e, std::vector<size_t>* path,
+                            std::map<std::string, size_t>* in_scope) {
+    const std::vector<std::vector<std::string>> child_binders = ChildBinders(*e);
+    for (size_t i = 0; i < e->children().size(); ++i) {
+      const std::vector<std::string>* intro =
+          i < child_binders.size() ? &child_binders[i] : nullptr;
+      if (intro != nullptr) {
+        for (const std::string& b : *intro) {
+          if ((*in_scope)[b] > 0) {
+            // Reported at the construct that introduces the inner binder
+            // (matching unused-binder), not at the body it scopes over.
+            WarnAt(*path, "shadowed-binder",
+                   StrCat("binder \\", b, " shadows an enclosing binder of ",
+                          "the same name; the outer \\", b,
+                          " is unreachable here"));
+          }
+          ++(*in_scope)[b];
+        }
+      }
+      path->push_back(i);
+      CheckShadowedBinders(e->child(i), path, in_scope);
+      path->pop_back();
+      if (intro != nullptr) {
+        for (const std::string& b : *intro) --(*in_scope)[b];
+      }
+    }
   }
 
   // Topmost subexpressions the definedness domain proves always-⊥. An

@@ -18,6 +18,10 @@
 //                   so this is informational)
 //   const-guard     a bound-check guard `if i < b then e else ⊥` the
 //                   prover can discharge but the optimizer left behind
+//   shadowed-binder an inner tab/comprehension/lambda (incl. desugared
+//                   let) binder re-using the name of an enclosing binder
+//                   still in scope — legal, but the inner body can no
+//                   longer reach the outer binding
 //
 // Entry points: Lint(e) for the warnings alone; AnalyzePlan(e) bundles the
 // warnings with the root abstract value and the bounds summary — the

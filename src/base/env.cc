@@ -19,15 +19,17 @@ bool ParseU64Strict(std::string_view s, uint64_t* out) {
   return true;
 }
 
+// getenv is listed mt-unsafe only against concurrent setenv; nothing in
+// this codebase mutates the environment after main starts.
 uint64_t EnvU64(const char* name, uint64_t fallback) {
-  const char* env = std::getenv(name);
+  const char* env = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr) return fallback;
   uint64_t v = 0;
   return ParseU64Strict(env, &v) ? v : fallback;
 }
 
 bool EnvFlag(const char* name) {
-  const char* v = std::getenv(name);
+  const char* v = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
   return v != nullptr && *v != '\0' && std::string_view(v) != "0";
 }
 

@@ -15,8 +15,19 @@ namespace aql {
 
 namespace {
 
+// strerror_r has two incompatible signatures (XSI returns int into the
+// buffer, GNU returns the message pointer); overload dispatch on the
+// actual return type picks the right reading of each.
+inline const char* StrerrorResult(int rc, const char* buf) {
+  return rc == 0 ? buf : "unknown error";
+}
+inline const char* StrerrorResult(const char* msg, const char* /*buf*/) {
+  return msg;
+}
+
 std::string ErrnoMessage(const char* what) {
-  return StrCat(what, ": ", std::strerror(errno));
+  char buf[256] = {0};
+  return StrCat(what, ": ", StrerrorResult(strerror_r(errno, buf, sizeof(buf)), buf));
 }
 
 std::string FormatPeer(const sockaddr_in& addr) {

@@ -1,0 +1,470 @@
+#include "base/sync.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <map>
+#include <atomic>
+
+#if defined(__GLIBC__) || defined(__APPLE__)
+#include <execinfo.h>
+#define AQL_SYNC_HAVE_BACKTRACE 1
+#endif
+
+#include "base/env.h"
+#include "base/strings.h"
+
+namespace aql {
+namespace sync_internal {
+
+struct LockStats {
+  std::atomic<uint64_t> acquisitions{0};
+  std::atomic<uint64_t> contended{0};
+  std::atomic<uint64_t> wait_ns{0};
+};
+
+namespace {
+
+// The detector's own guard. Deliberately not an aql::Mutex: the checker
+// cannot run its bookkeeping through the primitive it instruments without
+// recursing, so this one spinlock is the single exempt lock in src/ — it
+// is leaf-only (nothing is ever acquired under it) and held for map
+// operations measured in microseconds.
+class SpinLock {
+ public:
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+class SpinLockHolder {
+ public:
+  explicit SpinLockHolder(SpinLock* l) : l_(l) { l_->lock(); }
+  ~SpinLockHolder() { l_->unlock(); }
+
+ private:
+  SpinLock* const l_;
+};
+
+SpinLock g_registry_lock;
+
+// name -> stats. Leaked: mutexes embedded in static-storage objects
+// record their final unlocks during static destruction.
+std::map<std::string, LockStats*>* g_stats = nullptr;
+
+constexpr int kMaxFrames = 24;
+
+// One recorded acquisition context: the locks the thread held and the
+// call stack, captured when an order-graph edge was first seen.
+struct AcquireContext {
+  std::string held;  // "a (rank 100) -> b (rank 300)"
+  void* frames[kMaxFrames];
+  int num_frames = 0;
+};
+
+// Acquisition-order graph over lock *names*: edge u -> v means "some
+// thread acquired v while holding u". Contexts stick to the first
+// sighting of each edge, so a later cycle can show both sides.
+std::map<std::string, std::map<std::string, AcquireContext>>* g_edges = nullptr;
+
+// One per-thread held lock. `mu` identifies the instance (recursive
+// acquisition check); name/rank drive the hierarchy checks; the frames
+// let a violation report show where the held lock was taken.
+struct Held {
+  const void* mu;
+  const char* name;
+  int rank;
+  void* frames[kMaxFrames];
+  int num_frames;
+};
+
+std::vector<Held>& HeldStack() {
+  thread_local std::vector<Held> stack;
+  return stack;
+}
+
+int CaptureFrames(void** frames) {
+#if AQL_SYNC_HAVE_BACKTRACE
+  return backtrace(frames, kMaxFrames);
+#else
+  (void)frames;
+  return 0;
+#endif
+}
+
+void AppendFrames(std::string* out, void* const* frames, int n) {
+#if AQL_SYNC_HAVE_BACKTRACE
+  char** symbols = backtrace_symbols(frames, n);
+  for (int i = 0; i < n; ++i) {
+    out->append("      ");
+    out->append(symbols != nullptr ? symbols[i] : "?");
+    out->push_back('\n');
+  }
+  std::free(symbols);
+#else
+  (void)frames;
+  (void)n;
+  out->append("      (no backtrace on this platform)\n");
+#endif
+}
+
+std::string DescribeHeld(const std::vector<Held>& held) {
+  std::string out;
+  for (const Held& h : held) {
+    if (!out.empty()) out += " -> ";
+    out += StrCat(h.name, " (rank ", h.rank, ")");
+  }
+  return out.empty() ? "<none>" : out;
+}
+
+[[noreturn]] void AbortWithReport(const std::string& report) {
+  std::fprintf(stderr, "%s", report.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// -1 unresolved, else 0/1. Resolved lazily on the first acquisition so
+// tests can set the environment before any mutex is touched.
+std::atomic<int> g_check_enabled{-1};
+
+bool CheckEnabledSlow() {
+  // Default: on in debug builds, off in release (the detector costs a
+  // spinlocked map touch per acquisition). AQL_LOCK_CHECK overrides.
+#ifdef NDEBUG
+  const uint64_t fallback = 0;
+#else
+  const uint64_t fallback = 1;
+#endif
+  int enabled = EnvU64("AQL_LOCK_CHECK", fallback) != 0 ? 1 : 0;
+  int expected = -1;
+  g_check_enabled.compare_exchange_strong(expected, enabled,
+                                          std::memory_order_relaxed);
+  return g_check_enabled.load(std::memory_order_relaxed) != 0;
+}
+
+inline bool CheckEnabled() {
+  int v = g_check_enabled.load(std::memory_order_relaxed);
+  if (v >= 0) return v != 0;
+  return CheckEnabledSlow();
+}
+
+// True when a path to `target` exists in the edge graph starting from
+// `from`. Caller holds g_registry_lock.
+bool ReachableLocked(const std::string& from, const std::string& target,
+                     std::vector<std::string>* path) {
+  if (g_edges == nullptr) return false;
+  auto it = g_edges->find(from);
+  if (it == g_edges->end()) return false;
+  for (const auto& [next, ctx] : it->second) {
+    path->push_back(next);
+    if (next == target || ReachableLocked(next, target, path)) return true;
+    path->pop_back();
+  }
+  return false;
+}
+
+// Records edges held -> acquiring. When `abort_on_cycle`, a new edge that
+// closes a cycle in the order graph is a potential deadlock: report both
+// acquisition contexts and abort.
+void RecordEdges(const char* name, int rank, bool abort_on_cycle) {
+  std::vector<Held>& held = HeldStack();
+  if (held.empty()) return;
+  SpinLockHolder hold(&g_registry_lock);
+  if (g_edges == nullptr) {
+    g_edges = new std::map<std::string, std::map<std::string, AcquireContext>>();
+  }
+  for (const Held& h : held) {
+    if (std::strcmp(h.name, name) == 0) continue;  // instance pair, same role
+    auto& succ = (*g_edges)[h.name];
+    if (succ.find(name) != succ.end()) continue;  // edge already known
+    if (abort_on_cycle) {
+      std::vector<std::string> path{h.name};
+      if (ReachableLocked(name, h.name, &path)) {
+        const AcquireContext* other = nullptr;
+        auto rev = g_edges->find(name);
+        if (rev != g_edges->end()) {
+          auto rev_edge = rev->second.find(path.size() > 1 ? path[1] : h.name);
+          if (rev_edge != rev->second.end()) other = &rev_edge->second;
+        }
+        std::string report = StrCat(
+            "aql sync: lock-order cycle: acquiring \"", name, "\" (rank ", rank,
+            ") while holding \"", h.name,
+            "\" completes a cycle in the acquisition-order graph\n",
+            "  cycle: ", name);
+        for (const std::string& n : path) report += StrCat(" -> ", n);
+        report += StrCat("\n  this thread holds: ", DescribeHeld(held),
+                         "\n  this acquisition:\n");
+        void* frames[kMaxFrames];
+        AppendFrames(&report, frames, CaptureFrames(frames));
+        if (other != nullptr) {
+          report += StrCat("  first recorded \"", name,
+                           "\" -> ... edge (other side of the cycle), held: ",
+                           other->held, "\n");
+          AppendFrames(&report, other->frames, other->num_frames);
+        }
+        AbortWithReport(report);
+      }
+    }
+    AcquireContext ctx;
+    ctx.held = StrCat(DescribeHeld(held), " -> ", name, " (rank ", rank, ")");
+    ctx.num_frames = CaptureFrames(ctx.frames);
+    succ.emplace(name, std::move(ctx));
+  }
+}
+
+// The rank discipline for blocking acquisitions: strictly increasing
+// ranks along every held chain. Runs BEFORE the thread blocks, so an
+// inversion aborts with a report instead of deadlocking silently.
+void CheckRankBeforeBlocking(const void* mu, const char* name, int rank) {
+  const std::vector<Held>& held = HeldStack();
+  for (const Held& h : held) {
+    if (h.mu == mu) {
+      std::string report =
+          StrCat("aql sync: recursive acquisition of \"", name, "\" (rank ",
+                 rank, ")\n  this thread holds: ", DescribeHeld(held),
+                 "\n  this acquisition:\n");
+      void* frames[kMaxFrames];
+      AppendFrames(&report, frames, CaptureFrames(frames));
+      AbortWithReport(report);
+    }
+    if (h.rank >= rank) {
+      std::string report = StrCat(
+          "aql sync: lock rank inversion: acquiring \"", name, "\" (rank ",
+          rank, ") while holding \"", h.name, "\" (rank ", h.rank,
+          ") — blocking acquisitions must take strictly increasing ranks\n",
+          "  this thread holds: ", DescribeHeld(held),
+          "\n  held \"", h.name, "\" was acquired at:\n");
+      AppendFrames(&report, h.frames, h.num_frames);
+      report += "  this acquisition:\n";
+      void* frames[kMaxFrames];
+      AppendFrames(&report, frames, CaptureFrames(frames));
+      AbortWithReport(report);
+    }
+  }
+}
+
+void PushHeld(const void* mu, const char* name, int rank) {
+  Held h;
+  h.mu = mu;
+  h.name = name;
+  h.rank = rank;
+  h.num_frames = CaptureFrames(h.frames);
+  HeldStack().push_back(h);
+}
+
+void PopHeld(const void* mu) {
+  std::vector<Held>& held = HeldStack();
+  for (size_t i = held.size(); i > 0; --i) {
+    if (held[i - 1].mu == mu) {
+      held.erase(held.begin() + static_cast<ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+}
+
+LockStats* InternStats(const char* name) {
+  SpinLockHolder hold(&g_registry_lock);
+  if (g_stats == nullptr) g_stats = new std::map<std::string, LockStats*>();
+  LockStats*& slot = (*g_stats)[name];
+  if (slot == nullptr) slot = new LockStats();
+  return slot;
+}
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+// Shared bookkeeping for every acquisition flavor.
+// blocking=true runs the rank check (before the lock is attempted by the
+// caller) — call BeforeBlockingAcquire then the pthread op then
+// OnAcquired. Non-blocking flavors call OnAcquired alone.
+void BeforeBlockingAcquire(const void* mu, const char* name, int rank) {
+  if (!CheckEnabled()) return;
+  CheckRankBeforeBlocking(mu, name, rank);
+  RecordEdges(name, rank, /*abort_on_cycle=*/true);
+}
+
+void OnAcquired(const void* mu, const char* name, int rank, bool record_edges) {
+  if (!CheckEnabled()) return;
+  if (record_edges) RecordEdges(name, rank, /*abort_on_cycle=*/false);
+  PushHeld(mu, name, rank);
+}
+
+void OnReleased(const void* mu) {
+  if (!CheckEnabled()) return;
+  PopHeld(mu);
+}
+
+}  // namespace
+}  // namespace sync_internal
+
+bool LockCheckEnabled() { return sync_internal::CheckEnabled(); }
+
+void SetLockCheckForTest(bool enabled) {
+  sync_internal::g_check_enabled.store(enabled ? 1 : 0,
+                                       std::memory_order_relaxed);
+}
+
+std::vector<MutexStatsSnapshot> SnapshotMutexStats() {
+  using sync_internal::g_registry_lock;
+  using sync_internal::g_stats;
+  std::vector<MutexStatsSnapshot> out;
+  sync_internal::SpinLockHolder hold(&g_registry_lock);
+  if (g_stats == nullptr) return out;
+  out.reserve(g_stats->size());
+  for (const auto& [name, stats] : *g_stats) {
+    MutexStatsSnapshot s;
+    s.name = name;
+    s.acquisitions = stats->acquisitions.load(std::memory_order_relaxed);
+    s.contended = stats->contended.load(std::memory_order_relaxed);
+    s.wait_us = stats->wait_ns.load(std::memory_order_relaxed) / 1000;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// ---- Mutex -----------------------------------------------------------------
+
+Mutex::Mutex(const char* name, int rank)
+    : name_(name), rank_(rank), stats_(sync_internal::InternStats(name)) {}
+
+Mutex::~Mutex() { pthread_mutex_destroy(&native_); }
+
+void Mutex::Lock() {
+  sync_internal::BeforeBlockingAcquire(this, name_, rank_);
+  if (pthread_mutex_trylock(&native_) != 0) {
+    auto start = std::chrono::steady_clock::now();
+    pthread_mutex_lock(&native_);
+    stats_->contended.fetch_add(1, std::memory_order_relaxed);
+    stats_->wait_ns.fetch_add(sync_internal::ElapsedNs(start),
+                              std::memory_order_relaxed);
+  }
+  stats_->acquisitions.fetch_add(1, std::memory_order_relaxed);
+  // Edges were already recorded (with cycle check) before blocking.
+  sync_internal::OnAcquired(this, name_, rank_, /*record_edges=*/false);
+}
+
+bool Mutex::TryLock() {
+  if (pthread_mutex_trylock(&native_) != 0) return false;
+  stats_->acquisitions.fetch_add(1, std::memory_order_relaxed);
+  // Never blocks -> exempt from the rank abort, but the held entry and
+  // the order-graph edges still feed later checks.
+  sync_internal::OnAcquired(this, name_, rank_, /*record_edges=*/true);
+  return true;
+}
+
+void Mutex::Unlock() {
+  sync_internal::OnReleased(this);
+  pthread_mutex_unlock(&native_);
+}
+
+// ---- SharedMutex -----------------------------------------------------------
+
+SharedMutex::SharedMutex(const char* name, int rank)
+    : name_(name), rank_(rank), stats_(sync_internal::InternStats(name)) {}
+
+SharedMutex::~SharedMutex() { pthread_rwlock_destroy(&native_); }
+
+void SharedMutex::Lock() {
+  sync_internal::BeforeBlockingAcquire(this, name_, rank_);
+  if (pthread_rwlock_trywrlock(&native_) != 0) {
+    auto start = std::chrono::steady_clock::now();
+    pthread_rwlock_wrlock(&native_);
+    stats_->contended.fetch_add(1, std::memory_order_relaxed);
+    stats_->wait_ns.fetch_add(sync_internal::ElapsedNs(start),
+                              std::memory_order_relaxed);
+  }
+  stats_->acquisitions.fetch_add(1, std::memory_order_relaxed);
+  sync_internal::OnAcquired(this, name_, rank_, /*record_edges=*/false);
+}
+
+void SharedMutex::Unlock() {
+  sync_internal::OnReleased(this);
+  pthread_rwlock_unlock(&native_);
+}
+
+void SharedMutex::ReaderLock() {
+  sync_internal::BeforeBlockingAcquire(this, name_, rank_);
+  if (pthread_rwlock_tryrdlock(&native_) != 0) {
+    auto start = std::chrono::steady_clock::now();
+    pthread_rwlock_rdlock(&native_);
+    stats_->contended.fetch_add(1, std::memory_order_relaxed);
+    stats_->wait_ns.fetch_add(sync_internal::ElapsedNs(start),
+                              std::memory_order_relaxed);
+  }
+  stats_->acquisitions.fetch_add(1, std::memory_order_relaxed);
+  sync_internal::OnAcquired(this, name_, rank_, /*record_edges=*/false);
+}
+
+void SharedMutex::ReaderUnlock() {
+  sync_internal::OnReleased(this);
+  pthread_rwlock_unlock(&native_);
+}
+
+// ---- CondVar ---------------------------------------------------------------
+
+CondVar::CondVar() {
+  pthread_condattr_t attr;
+  pthread_condattr_init(&attr);
+#if defined(CLOCK_MONOTONIC) && !defined(__APPLE__)
+  pthread_condattr_setclock(&attr, CLOCK_MONOTONIC);
+#endif
+  pthread_cond_init(&native_, &attr);
+  pthread_condattr_destroy(&attr);
+}
+
+CondVar::~CondVar() { pthread_cond_destroy(&native_); }
+
+void CondVar::Wait(Mutex* mu) {
+  // The wait releases the mutex: reflect that in the held-lock stack so
+  // order checks during the sleep (other locks on this thread cannot
+  // exist mid-wait, but keep the bookkeeping truthful) and the
+  // re-acquisition checks see the right state.
+  sync_internal::OnReleased(mu);
+  pthread_cond_wait(&native_, &mu->native_);
+  sync_internal::OnAcquired(mu, mu->name_, mu->rank_, /*record_edges=*/true);
+}
+
+bool CondVar::WaitUntil(Mutex* mu,
+                        std::chrono::steady_clock::time_point deadline) {
+  auto now = std::chrono::steady_clock::now();
+  std::chrono::nanoseconds rel =
+      deadline > now ? deadline - now : std::chrono::nanoseconds(0);
+#if defined(CLOCK_MONOTONIC) && !defined(__APPLE__)
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  ts.tv_sec += static_cast<time_t>(rel.count() / 1000000000);
+  ts.tv_nsec += static_cast<long>(rel.count() % 1000000000);
+  if (ts.tv_nsec >= 1000000000) {
+    ts.tv_sec += 1;
+    ts.tv_nsec -= 1000000000;
+  }
+  sync_internal::OnReleased(mu);
+  int rc = pthread_cond_timedwait(&native_, &mu->native_, &ts);
+  sync_internal::OnAcquired(mu, mu->name_, mu->rank_, /*record_edges=*/true);
+  return rc != ETIMEDOUT;
+}
+
+bool CondVar::WaitFor(Mutex* mu, std::chrono::nanoseconds timeout) {
+  return WaitUntil(mu, std::chrono::steady_clock::now() + timeout);
+}
+
+void CondVar::NotifyOne() { pthread_cond_signal(&native_); }
+
+void CondVar::NotifyAll() { pthread_cond_broadcast(&native_); }
+
+}  // namespace aql

@@ -1,0 +1,268 @@
+// aql::Mutex / aql::SharedMutex / aql::CondVar — the project's only
+// locking primitives, replacing raw standard-library mutexes everywhere
+// under src/ (docs/CONCURRENCY.md is the user guide).
+//
+// Three jobs, one wrapper:
+//
+//   1. *Compile-time* thread-safety analysis. Every class and method
+//      carries Clang capability attributes (AQL_CAPABILITY,
+//      AQL_GUARDED_BY, AQL_REQUIRES, AQL_ACQUIRE/AQL_RELEASE, ...), so a
+//      clang build with -Werror=thread-safety proves statically that
+//      every access to a guarded field happens under its mutex. On
+//      non-Clang toolchains the attributes expand to nothing and the
+//      wrapper compiles to a plain pthread mutex.
+//
+//   2. *Deterministic* deadlock detection at run time. Each mutex is
+//      constructed with a name and a rank from the global hierarchy
+//      (lock_rank below). In checked builds (default when NDEBUG is
+//      unset; AQL_LOCK_CHECK=0/1 overrides) every blocking acquisition
+//      verifies that the new rank is strictly greater than every lock
+//      already held by the thread, and every acquisition feeds a global
+//      name-keyed acquisition-order graph with cycle detection. A rank
+//      inversion or an order cycle aborts immediately — printing the
+//      held-lock stacks of both sides — on the *first* schedule that
+//      exhibits the ordering, including ones TSan would need a real
+//      interleaving to observe. TryLock never blocks, so it is exempt
+//      from the rank check but still feeds the order graph.
+//
+//   3. Contention visibility. Every mutex counts acquisitions, contended
+//      acquisitions, and total wait time per *name* (instances created
+//      with the same name share one statistics slot). The service layer
+//      exports SnapshotMutexStats() through its MetricsRegistry, so lock
+//      contention shows up in /metrics and the REPL's :stats.
+//
+// Lock() costs one pthread trylock on the fast path plus two relaxed
+// atomic increments; the order-checker bookkeeping is skipped entirely
+// (one relaxed load) when checking is off.
+
+#ifndef AQL_BASE_SYNC_H_
+#define AQL_BASE_SYNC_H_
+
+#include <pthread.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// ---- Clang thread-safety-analysis attribute macros ----------------------
+//
+// The standard capability vocabulary (clang.llvm.org/docs/ThreadSafetyAnalysis):
+// no-ops on compilers without the attributes.
+#if defined(__clang__) && defined(__has_attribute)
+#define AQL_TS_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define AQL_TS_ATTRIBUTE__(x)
+#endif
+
+#define AQL_CAPABILITY(x) AQL_TS_ATTRIBUTE__(capability(x))
+#define AQL_SCOPED_CAPABILITY AQL_TS_ATTRIBUTE__(scoped_lockable)
+#define AQL_GUARDED_BY(x) AQL_TS_ATTRIBUTE__(guarded_by(x))
+#define AQL_PT_GUARDED_BY(x) AQL_TS_ATTRIBUTE__(pt_guarded_by(x))
+#define AQL_REQUIRES(...) AQL_TS_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define AQL_REQUIRES_SHARED(...) \
+  AQL_TS_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+#define AQL_ACQUIRE(...) AQL_TS_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define AQL_ACQUIRE_SHARED(...) \
+  AQL_TS_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+#define AQL_RELEASE(...) AQL_TS_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define AQL_RELEASE_SHARED(...) \
+  AQL_TS_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+#define AQL_TRY_ACQUIRE(...) \
+  AQL_TS_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+#define AQL_EXCLUDES(...) AQL_TS_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+#define AQL_ASSERT_CAPABILITY(x) AQL_TS_ATTRIBUTE__(assert_capability(x))
+#define AQL_RETURN_CAPABILITY(x) AQL_TS_ATTRIBUTE__(lock_returned(x))
+#define AQL_NO_THREAD_SAFETY_ANALYSIS \
+  AQL_TS_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace aql {
+
+// ---- The lock-rank hierarchy ---------------------------------------------
+//
+// A thread may only *block* on a mutex whose rank is strictly greater than
+// the rank of every lock it already holds; ranks therefore define the one
+// global acquisition order. Gaps are deliberate — new locks slot between
+// existing layers without renumbering. The full rationale (which chains
+// exist and why) lives in docs/CONCURRENCY.md; keep the two in sync.
+namespace lock_rank {
+inline constexpr int kServerConns = 100;      // net::HttpServer connection set
+inline constexpr int kRateLimiter = 110;      // net::RateLimiter buckets
+inline constexpr int kServiceInflight = 120;  // QueryService in-flight count
+inline constexpr int kSystem = 200;  // QueryService system lock (long-held)
+inline constexpr int kPlanCache = 300;   // service::PlanCache LRU
+inline constexpr int kThreadPool = 310;  // base::ThreadPool queues (all pools)
+inline constexpr int kExecTerminal = 450;  // exec loop first-⊥/error election
+inline constexpr int kExecForState = 500;  // exec::ParallelFor chunk state
+inline constexpr int kTracer = 600;        // obs::Tracer sink
+inline constexpr int kSlowLog = 610;       // net::SlowQueryLog ring
+inline constexpr int kMetrics = 620;       // service::MetricsRegistry index
+}  // namespace lock_rank
+
+namespace sync_internal {
+struct LockStats;  // per-name contention counters (sync.cc)
+}  // namespace sync_internal
+
+// Exclusive mutex. Non-recursive; construction takes the canonical dotted
+// lowercase name ("service.plan_cache") shared by all instances of one
+// lock role, and the role's rank from lock_rank.
+class AQL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex(const char* name, int rank);
+  ~Mutex();
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() AQL_ACQUIRE();
+  void Unlock() AQL_RELEASE();
+  // Never blocks: exempt from the rank check (but a held try-acquired
+  // lock still participates in later checks and in the order graph).
+  bool TryLock() AQL_TRY_ACQUIRE(true);
+
+  const char* name() const { return name_; }
+  int rank() const { return rank_; }
+
+ private:
+  friend class CondVar;
+
+  pthread_mutex_t native_ = PTHREAD_MUTEX_INITIALIZER;
+  const char* const name_;
+  const int rank_;
+  sync_internal::LockStats* const stats_;
+};
+
+// Reader/writer mutex (pthread rwlock). Same naming/rank/stats contract
+// as Mutex; shared acquisitions run the same order checks.
+class AQL_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex(const char* name, int rank);
+  ~SharedMutex();
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() AQL_ACQUIRE();
+  void Unlock() AQL_RELEASE();
+  void ReaderLock() AQL_ACQUIRE_SHARED();
+  void ReaderUnlock() AQL_RELEASE_SHARED();
+
+  const char* name() const { return name_; }
+  int rank() const { return rank_; }
+
+ private:
+  pthread_rwlock_t native_ = PTHREAD_RWLOCK_INITIALIZER;
+  const char* const name_;
+  const int rank_;
+  sync_internal::LockStats* const stats_;
+};
+
+// RAII exclusive lock — the only idiomatic way to hold a Mutex.
+class AQL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) AQL_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() AQL_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+// RAII shared (reader) lock on a SharedMutex.
+class AQL_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) AQL_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->ReaderLock();
+  }
+  ~ReaderMutexLock() AQL_RELEASE() { mu_->ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+// RAII exclusive (writer) lock on a SharedMutex.
+class AQL_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) AQL_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() AQL_RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+// Condition variable bound to Mutex (monotonic clock for the timed waits).
+// Callers write explicit predicate loops —
+//
+//   MutexLock lock(&mu_);
+//   while (!ready_) cv_.Wait(&mu_);
+//
+// — rather than predicate-lambda overloads: the loop body is analyzed in
+// the scope that provably holds the lock, where a lambda would escape the
+// static analysis.
+class CondVar {
+ public:
+  CondVar();
+  ~CondVar();
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases *mu and blocks; re-acquires before returning (the
+  // re-acquisition re-runs the lock-order checks). Spurious wakeups happen.
+  void Wait(Mutex* mu) AQL_REQUIRES(mu);
+
+  // Wait bounded by an absolute steady-clock deadline / a relative
+  // timeout. False = the time limit expired (the mutex is re-acquired
+  // either way).
+  bool WaitUntil(Mutex* mu, std::chrono::steady_clock::time_point deadline)
+      AQL_REQUIRES(mu);
+  bool WaitFor(Mutex* mu, std::chrono::nanoseconds timeout) AQL_REQUIRES(mu);
+
+  void NotifyOne();
+  void NotifyAll();
+
+ private:
+  pthread_cond_t native_;
+};
+
+// ---- Lock-order checking knobs ------------------------------------------
+
+// Whether acquisitions run the rank/cycle detector. Resolved once, at the
+// first acquisition: AQL_LOCK_CHECK=1 forces on, AQL_LOCK_CHECK=0 forces
+// off (strict base/env.h parsing; malformed values fall back), otherwise
+// on exactly in !NDEBUG builds.
+bool LockCheckEnabled();
+
+// Test hook: overrides the environment/build default from this call on.
+// Death tests flip it to prove the detector aborts on an injected
+// inversion even in release (NDEBUG) test binaries.
+void SetLockCheckForTest(bool enabled);
+
+// ---- Contention statistics ------------------------------------------------
+
+// One name's counters since process start. Monotone; wait time covers
+// only contended acquisitions (the trylock fast path never reads a clock).
+struct MutexStatsSnapshot {
+  std::string name;
+  uint64_t acquisitions = 0;
+  uint64_t contended = 0;
+  uint64_t wait_us = 0;
+};
+
+// Every named mutex role, sorted by name. Names appear once created and
+// never disappear (instances may come and go; the slot is per name).
+std::vector<MutexStatsSnapshot> SnapshotMutexStats();
+
+}  // namespace aql
+
+#endif  // AQL_BASE_SYNC_H_

@@ -4,8 +4,9 @@
 
 namespace aql {
 
-ThreadPool::ThreadPool(size_t num_threads, size_t max_queue)
-    : max_queue_(std::max<size_t>(max_queue, 1)) {
+ThreadPool::ThreadPool(size_t num_threads, size_t max_queue, const char* name)
+    : max_queue_(std::max<size_t>(max_queue, 1)),
+      mu_(name, lock_rank::kThreadPool) {
   size_t n = std::max<size_t>(num_threads, 1);
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -15,25 +16,25 @@ ThreadPool::ThreadPool(size_t num_threads, size_t max_queue)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 bool ThreadPool::TrySubmit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopping_ || queue_.size() >= max_queue_) return false;
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return true;
 }
 
 size_t ThreadPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
@@ -41,8 +42,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(&mu_);
       if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());
       queue_.pop_front();

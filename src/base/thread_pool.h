@@ -12,18 +12,22 @@
 #ifndef AQL_BASE_THREAD_POOL_H_
 #define AQL_BASE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "base/sync.h"
 
 namespace aql {
 
 class ThreadPool {
  public:
-  ThreadPool(size_t num_threads, size_t max_queue);
+  // `name` labels the pool's queue mutex in lock diagnostics and the
+  // lock.* contention metrics; each embedding picks its own
+  // ("service.pool", "net.http.pool", "exec.pool").
+  ThreadPool(size_t num_threads, size_t max_queue,
+             const char* name = "base.pool");
   // Stops admission, drains the queue, joins the workers.
   ~ThreadPool();
 
@@ -41,10 +45,10 @@ class ThreadPool {
   void WorkerLoop();
 
   const size_t max_queue_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ AQL_GUARDED_BY(mu_);
+  bool stopping_ AQL_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

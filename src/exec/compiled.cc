@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <mutex>
 #include <optional>
 
 #include "base/cancel.h"
 #include "base/env.h"
 #include "base/strings.h"
+#include "base/sync.h"
 #include "core/expr_ops.h"
 #include "exec/kernel.h"
 #include "exec/parallel.h"
@@ -215,7 +215,7 @@ Result<LoopParts> EvalBodyParallel(const Frame& f, size_t binder_slot, const Nod
   LoopParts lp;
   lp.parts.assign(xs.size(), Value());
   std::atomic<uint64_t> terminal{UINT64_MAX};
-  std::mutex mu;
+  Mutex mu("exec.par.terminal", lock_rank::kExecTerminal);
   bool terminal_bottom = false;
   Status terminal_status;
   Status ps = ParallelFor(xs.size(), [&](uint64_t b, uint64_t e) -> Status {
@@ -228,7 +228,7 @@ Result<LoopParts> EvalBodyParallel(const Frame& f, size_t binder_slot, const Nod
       local.slots[binder_slot] = xs[i];
       Result<Value> r = body->Run(&local);
       if (!r.ok() || r.value().is_bottom()) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(&mu);
         if (i < terminal.load(std::memory_order_relaxed)) {
           terminal.store(i, std::memory_order_relaxed);
           terminal_bottom = r.ok();

@@ -2,15 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "base/cancel.h"
 #include "base/env.h"
+#include "base/sync.h"
 #include "base/thread_pool.h"
 #include "obs/trace.h"
 
@@ -34,7 +33,7 @@ ThreadPool& Pool() {
     int n = std::max(HardwareThreads(),
                      static_cast<int>(EnvU64("AQL_EXEC_THREADS", 0)));
     return new ThreadPool(static_cast<size_t>(std::max(n - 1, 1)),
-                          /*max_queue=*/256);
+                          /*max_queue=*/256, "exec.pool");
   }();
   return *pool;
 }
@@ -51,11 +50,13 @@ struct ForState {
   const std::function<Status(uint64_t, uint64_t)>* fn = nullptr;
   std::atomic<uint64_t> cursor{0};
   std::atomic<bool> failed{false};
-  std::vector<Status> status;  // per chunk, written once by its claimant
 
-  std::mutex mu;
-  std::condition_variable done_cv;
-  uint64_t chunks_done = 0;
+  Mutex mu{"exec.par.state", lock_rank::kExecForState};
+  CondVar done_cv;
+  // Per chunk, written once by its claimant (disjoint indices, but kept
+  // under mu so the completion protocol is one static story).
+  std::vector<Status> status AQL_GUARDED_BY(mu);
+  uint64_t chunks_done AQL_GUARDED_BY(mu) = 0;
 };
 
 // Error determinism: the cursor hands out chunks in ascending order, so
@@ -78,11 +79,11 @@ void RunChunks(ForState& st) {
     }
     GlobalExecStats().par_chunks.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(st.mu);
+      MutexLock lock(&st.mu);
       st.status[c] = std::move(s);
       ++st.chunks_done;
     }
-    st.done_cv.notify_all();
+    st.done_cv.NotifyAll();
   }
 }
 
@@ -120,7 +121,10 @@ Status ParallelFor(uint64_t total,
   st->chunk = std::max<uint64_t>(1, (total + target_chunks - 1) / target_chunks);
   st->num_chunks = (total + st->chunk - 1) / st->chunk;
   st->fn = &fn;
-  st->status.assign(st->num_chunks, Status::OK());
+  {
+    MutexLock lock(&st->mu);
+    st->status.assign(st->num_chunks, Status::OK());
+  }
 
   GlobalExecStats().par_tasks.fetch_add(1, std::memory_order_relaxed);
 
@@ -144,19 +148,23 @@ Status ParallelFor(uint64_t total,
 
   // Helpers may still be finishing chunks they claimed before the caller
   // drained the cursor; fn and the output buffers live in our caller, so
-  // wait for every chunk to be accounted for.
+  // wait for every chunk to be accounted for. The first non-OK status (in
+  // chunk order) is read under the same lock that sequenced the writes.
+  Status result = Status::OK();
   {
-    std::unique_lock<std::mutex> lock(st->mu);
-    st->done_cv.wait(lock, [&] { return st->chunks_done == st->num_chunks; });
+    MutexLock lock(&st->mu);
+    while (st->chunks_done != st->num_chunks) st->done_cv.Wait(&st->mu);
+    for (Status& s : st->status) {
+      if (!s.ok()) {
+        result = std::move(s);
+        break;
+      }
+    }
   }
 
   span.AddCount("chunks", st->num_chunks);
   span.AddCount("helpers", static_cast<uint64_t>(helpers));
-
-  for (Status& s : st->status) {
-    if (!s.ok()) return std::move(s);
-  }
-  return Status::OK();
+  return result;
 }
 
 ExecStats& GlobalExecStats() {

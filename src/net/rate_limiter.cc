@@ -8,7 +8,7 @@ namespace net {
 
 RateLimitDecision RateLimiter::Admit(const std::string& key, uint64_t now_us) {
   if (rate_per_sec_ <= 0.0) return {};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = buckets_.find(key);
   if (it == buckets_.end()) {
     if (buckets_.size() >= max_clients_) {
@@ -41,7 +41,7 @@ RateLimitDecision RateLimiter::Admit(const std::string& key, uint64_t now_us) {
 }
 
 size_t RateLimiter::num_clients() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return buckets_.size();
 }
 

@@ -18,9 +18,10 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "base/sync.h"
 
 namespace aql {
 namespace net {
@@ -54,9 +55,9 @@ class RateLimiter {
   const double rate_per_sec_;
   const double burst_;
   const size_t max_clients_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Bucket> buckets_;
-  std::list<std::string> lru_;  // front = most recently used
+  mutable Mutex mu_{"net.ratelimit", lock_rank::kRateLimiter};
+  std::unordered_map<std::string, Bucket> buckets_ AQL_GUARDED_BY(mu_);
+  std::list<std::string> lru_ AQL_GUARDED_BY(mu_);  // front = most recently used
 };
 
 }  // namespace net

@@ -45,13 +45,13 @@ int HttpStatusForQuery(const Status& status) {
 }  // namespace
 
 void SlowQueryLog::Record(std::string report) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   reports_.push_front(std::move(report));
   while (reports_.size() > capacity_) reports_.pop_back();
 }
 
 std::string SlowQueryLog::Render() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out;
   for (const std::string& r : reports_) {
     out += r;
@@ -62,7 +62,7 @@ std::string SlowQueryLog::Render() const {
 }
 
 size_t SlowQueryLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return reports_.size();
 }
 
@@ -86,8 +86,8 @@ HttpServer::~HttpServer() { Shutdown(); }
 Status HttpServer::Start() {
   if (started_) return Status::InvalidArgument("server already started");
   AQL_RETURN_IF_ERROR(listener_.Listen(config_.port, config_.loopback_only));
-  pool_ = std::make_unique<ThreadPool>(config_.num_threads,
-                                       config_.max_pending_connections);
+  pool_ = std::make_unique<ThreadPool>(
+      config_.num_threads, config_.max_pending_connections, "net.http.pool");
   acceptor_ = std::thread([this] { AcceptLoop(); });
   started_ = true;
   return Status::OK();
@@ -103,7 +103,7 @@ void HttpServer::Shutdown() {
     //    responses still write; each serving loop exits at its next
     //    request boundary (or EOF).
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(&conns_mu_);
       for (int fd : active_conns_) ::shutdown(fd, SHUT_RD);
     }
     // 3. Finish in-flight: the pool destructor runs every admitted
@@ -142,7 +142,7 @@ void HttpServer::AcceptLoop() {
 
 void HttpServer::ServeConnection(Socket socket) {
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(&conns_mu_);
     active_conns_.insert(socket.fd());
   }
   HttpParserLimits limits;
@@ -184,7 +184,7 @@ void HttpServer::ServeConnection(Socket socket) {
                  !draining_.load(std::memory_order_acquire);
   }
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(&conns_mu_);
     active_conns_.erase(socket.fd());
   }
   // The socket closes here, after deregistration — Shutdown can never

@@ -39,13 +39,14 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "base/socket.h"
+#include "base/sync.h"
 #include "base/status.h"
 #include "base/thread_pool.h"
 #include "net/http.h"
@@ -72,8 +73,8 @@ class SlowQueryLog {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::deque<std::string> reports_;  // front = newest
+  mutable Mutex mu_{"net.slowlog", lock_rank::kSlowLog};
+  std::deque<std::string> reports_ AQL_GUARDED_BY(mu_);  // front = newest
 };
 
 struct HttpServerConfig {
@@ -151,8 +152,8 @@ class HttpServer {
   // Active connection fds; Shutdown half-closes their read sides so
   // blocked reads wake promptly. An fd is removed under the mutex before
   // its Socket closes, so Shutdown never touches a reused descriptor.
-  std::mutex conns_mu_;
-  std::set<int> active_conns_;
+  Mutex conns_mu_{"net.server.conns", lock_rank::kServerConns};
+  std::set<int> active_conns_ AQL_GUARDED_BY(conns_mu_);
 
   // http.* instruments in the shared service registry.
   service::Counter* connections_accepted_;

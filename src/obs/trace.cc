@@ -55,6 +55,7 @@ void JsonEscapeTo(std::string* out, std::string_view s) {
 }  // namespace
 
 Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): singleton ctor, pre-threading.
   if (const char* f = std::getenv("AQL_TRACE_FILE"); f != nullptr && *f != '\0') {
     trace_file_ = f;
   }
@@ -91,7 +92,7 @@ uint64_t Tracer::NowUs() const {
 }
 
 void Tracer::Emit(const SpanRecord& rec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (records_.size() >= kMaxRecords) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -100,12 +101,12 @@ void Tracer::Emit(const SpanRecord& rec) {
 }
 
 std::vector<SpanRecord> Tracer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return records_;
 }
 
 std::vector<SpanRecord> Tracer::Drain() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<SpanRecord> out;
   out.swap(records_);
   return out;

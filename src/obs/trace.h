@@ -43,13 +43,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "base/status.h"
+#include "base/sync.h"
 
 namespace aql {
 namespace obs {
@@ -122,8 +122,8 @@ class Tracer {
  private:
   Tracer();
 
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> records_;
+  mutable Mutex mu_{"obs.tracer", lock_rank::kTracer};
+  std::vector<SpanRecord> records_ AQL_GUARDED_BY(mu_);
   std::atomic<uint64_t> dropped_{0};
   std::chrono::steady_clock::time_point epoch_;
   std::string trace_file_;  // AQL_TRACE_FILE; empty = no at-exit export

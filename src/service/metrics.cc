@@ -103,7 +103,7 @@ Histogram::Snapshot Histogram::snapshot() const {
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   assert(IsValidInstrumentName(name) && "instrument names are [a-z0-9._]");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
@@ -111,21 +111,21 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   assert(IsValidInstrumentName(name) && "instrument names are [a-z0-9._]");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 std::map<std::string, uint64_t> MetricsRegistry::CounterValues() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::map<std::string, uint64_t> out;
   for (const auto& [name, c] : counters_) out[name] = c->value();
   return out;
 }
 
 std::map<std::string, Histogram::Snapshot> MetricsRegistry::HistogramSnapshots() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::map<std::string, Histogram::Snapshot> out;
   for (const auto& [name, h] : histograms_) out[name] = h->snapshot();
   return out;

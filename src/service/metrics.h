@@ -15,9 +15,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "base/sync.h"
 
 namespace aql {
 namespace service {
@@ -109,9 +110,10 @@ class MetricsRegistry {
   std::string RenderPrometheus(std::string_view prefix = "aql_") const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_{"service.metrics", lock_rank::kMetrics};
+  std::map<std::string, std::unique_ptr<Counter>> counters_ AQL_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      AQL_GUARDED_BY(mu_);
 };
 
 }  // namespace service

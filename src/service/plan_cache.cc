@@ -13,7 +13,7 @@ PlanCache::PlanCache(size_t capacity, HashFn hash_for_test)
 std::shared_ptr<const CachedPlan> PlanCache::Lookup(const ExprPtr& resolved) {
   if (capacity_ == 0) return nullptr;
   uint64_t hash = hash_(resolved);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto [begin, end] = index_.equal_range(hash);
   for (auto it = begin; it != end; ++it) {
     if (AlphaEqual(it->second->plan->resolved, resolved)) {
@@ -27,7 +27,7 @@ std::shared_ptr<const CachedPlan> PlanCache::Lookup(const ExprPtr& resolved) {
 void PlanCache::Insert(std::shared_ptr<const CachedPlan> plan) {
   if (capacity_ == 0 || plan == nullptr) return;
   uint64_t hash = hash_(plan->resolved);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Replace an alpha-equal entry in place (two workers racing the same
   // cold query both compile; last insert wins, both plans stay valid).
   auto [begin, end] = index_.equal_range(hash);
@@ -58,17 +58,17 @@ void PlanCache::EraseLocked(LruList::iterator it) {
 }
 
 size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return lru_.size();
 }
 
 uint64_t PlanCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return evictions_;
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   lru_.clear();
   index_.clear();
 }

@@ -22,10 +22,10 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "analysis/lint.h"
+#include "base/sync.h"
 #include "core/expr.h"
 #include "exec/compiled.h"
 #include "types/type.h"
@@ -77,15 +77,15 @@ class PlanCache {
   };
   using LruList = std::list<Node>;
 
-  // Erases `it` from both index and LRU list. Caller holds mu_.
-  void EraseLocked(LruList::iterator it);
+  // Erases `it` from both index and LRU list.
+  void EraseLocked(LruList::iterator it) AQL_REQUIRES(mu_);
 
   const size_t capacity_;
   const HashFn hash_;
-  mutable std::mutex mu_;
-  LruList lru_;  // front = most recently used
-  std::unordered_multimap<uint64_t, LruList::iterator> index_;
-  uint64_t evictions_ = 0;
+  mutable Mutex mu_{"service.plan_cache", lock_rank::kPlanCache};
+  LruList lru_ AQL_GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_multimap<uint64_t, LruList::iterator> index_ AQL_GUARDED_BY(mu_);
+  uint64_t evictions_ AQL_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace service

@@ -46,7 +46,7 @@ QueryService::QueryService(System* system, ServiceConfig config)
       execute_us_(metrics_.GetHistogram("latency.execute_us")),
       script_us_(metrics_.GetHistogram("latency.script_us")),
       cache_(config.plan_cache_capacity),
-      pool_(config.num_workers, config.max_queue) {
+      pool_(config.num_workers, config.max_queue, "service.pool") {
   if (config_.trace) obs::Tracer::Get().SetEnabled(true);
 }
 
@@ -74,7 +74,7 @@ QuerySubmission QueryService::Submit(std::string expression, QueryOptions option
   // Count the query in flight *before* the pool sees it, so a concurrent
   // drain either waits for it or rejected it above — never misses it.
   {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(&inflight_mu_);
     ++inflight_;
   }
   bool admitted = pool_.TrySubmit(
@@ -82,15 +82,15 @@ QuerySubmission QueryService::Submit(std::string expression, QueryOptions option
         Result<Value> result = RunQuery(expression, options, token.get());
         CountOutcome(result.status());
         promise->set_value(std::move(result));
-        std::lock_guard<std::mutex> lock(inflight_mu_);
+        MutexLock lock(&inflight_mu_);
         --inflight_;
-        inflight_cv_.notify_all();
+        inflight_cv_.NotifyAll();
       });
   if (!admitted) {
     {
-      std::lock_guard<std::mutex> lock(inflight_mu_);
+      MutexLock lock(&inflight_mu_);
       --inflight_;
-      inflight_cv_.notify_all();
+      inflight_cv_.NotifyAll();
     }
     rejected_->Increment();
     promise->set_value(Status::ResourceExhausted(
@@ -102,18 +102,21 @@ QuerySubmission QueryService::Submit(std::string expression, QueryOptions option
 
 bool QueryService::Shutdown(bool drain, std::chrono::milliseconds timeout) {
   shutting_down_.store(true, std::memory_order_release);
-  std::unique_lock<std::mutex> lock(inflight_mu_);
+  MutexLock lock(&inflight_mu_);
   if (!drain) return inflight_ == 0;
-  auto drained = [this] { return inflight_ == 0; };
   if (timeout.count() <= 0) {
-    inflight_cv_.wait(lock, drained);
+    while (inflight_ != 0) inflight_cv_.Wait(&inflight_mu_);
     return true;
   }
-  return inflight_cv_.wait_for(lock, timeout, drained);
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (inflight_ != 0) {
+    if (!inflight_cv_.WaitUntil(&inflight_mu_, deadline)) return inflight_ == 0;
+  }
+  return true;
 }
 
 size_t QueryService::InFlight() const {
-  std::lock_guard<std::mutex> lock(inflight_mu_);
+  MutexLock lock(&inflight_mu_);
   return inflight_;
 }
 
@@ -138,7 +141,7 @@ Result<Value> QueryService::RunQuery(const std::string& expression,
 
   auto run_timed = [&]() -> Result<Value> {
     obs::Span root("query", "query");
-    std::shared_lock<std::shared_mutex> lock(system_mu_);
+    ReaderMutexLock lock(&system_mu_);
     ExecScope scope(token);
 
     auto compile_start = std::chrono::steady_clock::now();
@@ -247,7 +250,7 @@ void QueryService::CountOutcome(const Status& status) {
 }
 
 Result<std::vector<StatementResult>> QueryService::RunScript(std::string_view program) {
-  std::unique_lock<std::shared_mutex> lock(system_mu_);
+  WriterMutexLock lock(&system_mu_);
   auto start = std::chrono::steady_clock::now();
   Result<std::vector<StatementResult>> results = system_->Run(program);
   script_us_->Record(ElapsedUs(start));
@@ -273,6 +276,20 @@ void QueryService::SyncExecStats() const {
   sync(exec_par_chunks_, stats.par_chunks);
   sync(exec_unboxed_arrays_, stats.unboxed_arrays);
   sync(exec_unchecked_kernels_, stats.unchecked_kernels);
+
+  // Same delta treatment for the per-mutex contention counters
+  // (base/sync.h). Names arrive dotted-lowercase, so they pass
+  // IsValidInstrumentName as-is under the lock. prefix.
+  auto sync_value = [this](const std::string& name, uint64_t current) {
+    Counter* counter = metrics_.GetCounter(name);
+    uint64_t seen = counter->value();
+    if (current > seen) counter->Increment(current - seen);
+  };
+  for (const MutexStatsSnapshot& m : SnapshotMutexStats()) {
+    sync_value(StrCat("lock.", m.name, ".acquisitions"), m.acquisitions);
+    sync_value(StrCat("lock.", m.name, ".contended"), m.contended);
+    sync_value(StrCat("lock.", m.name, ".wait_us"), m.wait_us);
+  }
 }
 
 std::string QueryService::StatsReport() const {

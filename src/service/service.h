@@ -34,19 +34,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "base/cancel.h"
 #include "base/result.h"
+#include "base/sync.h"
 #include "env/system.h"
 #include "service/metrics.h"
 #include "service/plan_cache.h"
@@ -167,9 +165,11 @@ class QueryService {
   // ":stats" rendering: configuration line + every counter and histogram.
   std::string StatsReport() const;
 
-  // Pulls the exec layer's process-wide data-parallel counters into
-  // their service mirrors (StatsReport does this implicitly; the HTTP
-  // /metrics endpoint calls it before rendering Prometheus text).
+  // Pulls the exec layer's process-wide data-parallel counters and the
+  // per-mutex contention statistics (base/sync.h SnapshotMutexStats:
+  // lock.<name>.{acquisitions,contended,wait_us}) into their service
+  // mirrors (StatsReport does this implicitly; the HTTP /metrics endpoint
+  // calls it before rendering Prometheus text).
   void SyncExecStats() const;
 
  private:
@@ -184,7 +184,9 @@ class QueryService {
   System* const system_;
   const ServiceConfig config_;
 
-  MetricsRegistry metrics_;
+  // mutable: SyncExecStats() const mints lock.* mirror counters on demand
+  // (GetCounter is itself thread-safe).
+  mutable MetricsRegistry metrics_;
   // Well-known instruments, resolved once (recording is lock-free).
   Counter* submitted_;
   Counter* completed_;
@@ -210,12 +212,12 @@ class QueryService {
 
   PlanCache cache_;
   // shared: query execution; exclusive: RunScript's environment mutation.
-  std::shared_mutex system_mu_;
+  SharedMutex system_mu_{"service.system", lock_rank::kSystem};
   // Admission gate + in-flight accounting for Shutdown's drain.
   std::atomic<bool> shutting_down_{false};
-  mutable std::mutex inflight_mu_;
-  std::condition_variable inflight_cv_;
-  size_t inflight_ = 0;
+  mutable Mutex inflight_mu_{"service.inflight", lock_rank::kServiceInflight};
+  CondVar inflight_cv_;
+  size_t inflight_ AQL_GUARDED_BY(inflight_mu_) = 0;
   // Declared last: joins workers (which touch everything above) first.
   ThreadPool pool_;
 };

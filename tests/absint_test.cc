@@ -206,6 +206,50 @@ TEST(LintTest, ReportsUnusedBinder) {
   EXPECT_TRUE(HasCode(report, "unused-binder")) << report.ToString();
 }
 
+TEST(LintTest, ReportsShadowedTabBinder) {
+  // [[ [[ i | \i < 2 ]] | \i < 3 ]] — the inner tab's \i hides the outer.
+  ExprPtr inner = Expr::Tab({"i"}, Expr::Var("i"), {Nat(2)});
+  ExprPtr outer = Expr::Tab({"i"}, std::move(inner), {Nat(3)});
+  LintReport report = Lint(outer);
+  EXPECT_TRUE(HasCode(report, "shadowed-binder")) << report.ToString();
+}
+
+TEST(LintTest, ReportsShadowedLetBinder) {
+  // let x = 1 in (let x = 2 in x) — desugared as Apply(Lambda(x, ...)).
+  ExprPtr inner = Expr::Apply(Expr::Lambda("x", Expr::Var("x")), Nat(2));
+  ExprPtr outer = Expr::Apply(Expr::Lambda("x", std::move(inner)), Nat(1));
+  LintReport report = Lint(outer);
+  EXPECT_TRUE(HasCode(report, "shadowed-binder")) << report.ToString();
+}
+
+TEST(LintTest, ReportsShadowedComprehensionBinder) {
+  // Sum{ Sum{ x | \x <- gen!2 } | \x <- gen!3 }.
+  ExprPtr inner = Expr::Sum("x", Expr::Var("x"), Expr::Gen(Nat(2)));
+  ExprPtr outer = Expr::Sum("x", std::move(inner), Expr::Gen(Nat(3)));
+  LintReport report = Lint(outer);
+  EXPECT_TRUE(HasCode(report, "shadowed-binder")) << report.ToString();
+}
+
+TEST(LintTest, SiblingScopesDoNotShadow) {
+  // Two tabs reusing \i side by side never nest scopes: no warning.
+  ExprPtr a = Expr::Tab({"i"}, Expr::Var("i"), {Nat(2)});
+  ExprPtr b = Expr::Tab({"i"}, Mul(Expr::Var("i"), Nat(2)), {Nat(2)});
+  ExprPtr e = Add(Expr::Subscript(std::move(a), Nat(0)),
+                  Expr::Subscript(std::move(b), Nat(1)));
+  LintReport report = Lint(e);
+  EXPECT_FALSE(HasCode(report, "shadowed-binder")) << report.ToString();
+}
+
+TEST(LintTest, TabBoundExpressionsAreOutsideTheBinderScope) {
+  // [[ [[ j | \j < i ]] ! 0 | \i < 3 ]]: the inner tab's *bound* mentions
+  // the outer \i but introduces only \j — distinct names, no shadow.
+  ExprPtr inner = Expr::Tab({"j"}, Expr::Var("j"), {Expr::Var("i")});
+  ExprPtr outer = Expr::Tab(
+      {"i"}, Expr::Subscript(std::move(inner), Nat(0)), {Nat(3)});
+  LintReport report = Lint(outer);
+  EXPECT_FALSE(HasCode(report, "shadowed-binder")) << report.ToString();
+}
+
 TEST(LintTest, ReportsConstantFoldableGuard) {
   // if i < 5 then i else ⊥ under \i < 3: the guard is provably true.
   ExprPtr body = Expr::If(Expr::Cmp(CmpOp::kLt, Expr::Var("i"), Nat(5)),

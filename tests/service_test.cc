@@ -298,6 +298,24 @@ TEST(ServiceTest, StatsReportListsInstruments) {
   }
 }
 
+TEST(ServiceTest, StatsReportExportsPerMutexContentionCounters) {
+  System sys;
+  QueryService svc(&sys, {.num_workers = 2});
+  ASSERT_TRUE(svc.Execute("gen!3").ok());
+  std::string report = svc.StatsReport();
+  // The base/sync.h wrappers count acquisitions per named mutex; the
+  // service mirrors every name into lock.<name>.{acquisitions,contended,
+  // wait_us}. The service's own locks always show up after one query.
+  for (const char* needle :
+       {"lock.service.plan_cache.acquisitions", "lock.service.system.acquisitions",
+        "lock.service.inflight.acquisitions", "lock.service.pool.acquisitions",
+        "lock.service.plan_cache.contended", "lock.service.plan_cache.wait_us"}) {
+    EXPECT_NE(report.find(needle), std::string::npos)
+        << "missing '" << needle << "' in:\n"
+        << report;
+  }
+}
+
 TEST(ServiceTest, StatsReportMirrorsExecParallelCounters) {
   // Force the chunked path even for a modest tabulation, run it through
   // the service, and check the exec-layer counters surface in :stats.
