@@ -1,0 +1,208 @@
+// Semantic result cache (service/result_cache.h): the three workloads of
+// EXPERIMENTS.md's caching section, each as a cache-on / cache-off pair
+// through a full QueryService.
+//
+//   RepeatedQuery_*   — the same query over and over: on = answered from
+//                       the cached value, off = re-executed every time.
+//   SubsumedSubslab_* — a rotating family of subslab reads of one big
+//                       tabulation: on = sliced out of the cached slab
+//                       (then memoized), off = each subslab re-planned
+//                       (beta^p) and re-executed.
+//   UniqueQueries_*   — every iteration a NEVER-seen query: both sides
+//                       miss everything, so the pair prices the cache
+//                       machinery itself (hash + alpha probe + insert) on
+//                       the miss path. This ratio is the "overhead within
+//                       noise" acceptance number.
+//
+// `bench_result_cache --smoke` runs a self-checking version (speedup
+// thresholds + bit-identity) in a couple of seconds for check.sh.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_util.h"
+#include "service/service.h"
+
+namespace aql {
+namespace bench {
+namespace {
+
+using service::QueryService;
+using service::ServiceConfig;
+
+constexpr char kRepeated[] = "summap(fn \\x => (x * x + 7) % 97)!(gen!20000)";
+constexpr char kSlab[] = "[[ (i * i + j * 3) % 1001 | \\i < 256, \\j < 256 ]]";
+
+std::string SubslabQuery(uint64_t n) {
+  // 64x64 window at a rotating origin inside the 256x256 slab.
+  uint64_t lo_i = (n * 37) % 192, lo_j = (n * 53) % 192;
+  return std::string("[[ (") + kSlab + ")[a + " + std::to_string(lo_i) +
+         ", b + " + std::to_string(lo_j) + "] | \\a < 64, \\b < 64 ]]";
+}
+
+std::string UniqueQuery(uint64_t n) {
+  return "summap(fn \\x => x + " + std::to_string(n) + ")!(gen!64)";
+}
+
+QueryService* MakeService(System* sys, bool cache_on) {
+  ServiceConfig cfg;
+  cfg.num_workers = 1;
+  if (!cache_on) cfg.result_cache_bytes = 0;
+  return new QueryService(sys, cfg);
+}
+
+void RunRepeated(benchmark::State& state, bool cache_on) {
+  System sys;
+  QueryService* svc = MakeService(&sys, cache_on);
+  (void)svc->Execute(kRepeated);  // warm: plan (and value, if on) cached
+  for (auto _ : state) {
+    auto r = svc->Execute(kRepeated);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  delete svc;
+}
+
+void BM_RepeatedQuery_CacheOn(benchmark::State& state) { RunRepeated(state, true); }
+void BM_RepeatedQuery_CacheOff(benchmark::State& state) { RunRepeated(state, false); }
+BENCHMARK(BM_RepeatedQuery_CacheOn);
+BENCHMARK(BM_RepeatedQuery_CacheOff);
+
+void RunSubslab(benchmark::State& state, bool cache_on) {
+  System sys;
+  QueryService* svc = MakeService(&sys, cache_on);
+  (void)svc->Execute(kSlab);  // the containing slab, cached when on
+  uint64_t n = 0;
+  for (auto _ : state) {
+    auto r = svc->Execute(SubslabQuery(n++ % 128));
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  delete svc;
+}
+
+void BM_SubsumedSubslab_CacheOn(benchmark::State& state) { RunSubslab(state, true); }
+void BM_SubsumedSubslab_CacheOff(benchmark::State& state) { RunSubslab(state, false); }
+BENCHMARK(BM_SubsumedSubslab_CacheOn);
+BENCHMARK(BM_SubsumedSubslab_CacheOff);
+
+void RunUnique(benchmark::State& state, bool cache_on) {
+  System sys;
+  QueryService* svc = MakeService(&sys, cache_on);
+  uint64_t n = 0;
+  for (auto _ : state) {
+    auto r = svc->Execute(UniqueQuery(n++));
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  delete svc;
+}
+
+void BM_UniqueQueries_CacheOn(benchmark::State& state) { RunUnique(state, true); }
+void BM_UniqueQueries_CacheOff(benchmark::State& state) { RunUnique(state, false); }
+BENCHMARK(BM_UniqueQueries_CacheOn);
+BENCHMARK(BM_UniqueQueries_CacheOff);
+
+// ---- --smoke: the acceptance thresholds, self-checking ----
+
+double SecondsFor(QueryService* svc, const std::string& query, int iters) {
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    auto r = svc->Execute(query);
+    if (!r.ok()) {
+      std::fprintf(stderr, "smoke: query failed: %s\n",
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+int Smoke() {
+  System sys_on, sys_off;
+  QueryService* on = MakeService(&sys_on, true);
+  QueryService* off = MakeService(&sys_off, false);
+  int failures = 0;
+
+  // Repeated query: warm both (plan cache), then time the steady state.
+  auto check = [&](const char* name, double t_on, double t_off, double need) {
+    double speedup = t_on > 0 ? t_off / t_on : 0;
+    bool ok = speedup >= need;
+    std::printf("smoke %-18s cache-off %.4fs  cache-on %.4fs  speedup %.1fx  %s\n",
+                name, t_off, t_on, speedup, ok ? "ok" : "FAIL (need >= 5x)");
+    if (!ok) ++failures;
+  };
+
+  (void)on->Execute(kRepeated);
+  (void)off->Execute(kRepeated);
+  check("repeated-query", SecondsFor(on, kRepeated, 50),
+        SecondsFor(off, kRepeated, 50), 5.0);
+
+  (void)on->Execute(kSlab);
+  (void)off->Execute(kSlab);
+  {
+    auto run = [&](QueryService* svc) {
+      auto start = std::chrono::steady_clock::now();
+      for (int i = 0; i < 30; ++i) {
+        auto r = svc->Execute(SubslabQuery(i));
+        if (!r.ok()) {
+          std::fprintf(stderr, "smoke: %s\n", r.status().ToString().c_str());
+          std::exit(1);
+        }
+      }
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+    };
+    check("subsumed-subslab", run(on), run(off), 5.0);
+  }
+
+  // Bit-identity spot check on top of the speedups.
+  for (int i = 0; i < 10; ++i) {
+    std::string q = SubslabQuery(i * 11);
+    auto a = on->Execute(q);
+    auto b = off->Execute(q);
+    if (!a.ok() || !b.ok() || !(*a == *b)) {
+      std::printf("smoke bit-identity    FAIL at %s\n", q.c_str());
+      ++failures;
+      break;
+    }
+  }
+  const auto stats = on->result_cache().stats();
+  std::printf("smoke cache stats     hits %llu  subsumed %llu  misses %llu\n",
+              (unsigned long long)stats.hits, (unsigned long long)stats.subsumptions,
+              (unsigned long long)stats.misses);
+  if (stats.hits == 0 || stats.subsumptions == 0) {
+    std::printf("smoke cache stats     FAIL (expected hits and subsumptions)\n");
+    ++failures;
+  }
+  delete on;
+  delete off;
+  std::printf("smoke result: %s\n", failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aql
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return aql::bench::Smoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

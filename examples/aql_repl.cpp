@@ -10,12 +10,19 @@
 //   typ it : {nat}
 //   val it = {1, 4, 9}
 // Commands: :quit, :help, :plan <expr>  (show the optimized core term),
-// :load <file.aql>, :stats  (service counters and latency histograms).
+// :load <file.aql>, :stats  (service counters and latency histograms),
+// :cache / :cache clear  (result-cache statistics / flush).
 //
-// Statements run through a QueryService (src/service), so plan-cache and
-// latency metrics accumulate across the session and :stats reports them.
+// Statements run through a QueryService (src/service). Single pure-query
+// statements take the service's query path (Submit), so they exercise the
+// plan cache AND the semantic result cache — a repeated query is answered
+// from its cached value; `:cache` shows the traffic. Statement forms that
+// mutate the environment (val/macro/readval/writeval, multi-statement
+// programs) go through RunScript as before.
 
+#include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -27,7 +34,54 @@
 
 namespace {
 
-void RunProgram(aql::service::QueryService* svc, const std::string& program) {
+// True when `program` is exactly one query statement: ';'-terminated, no
+// interior ';', and not opening with a binding/IO keyword. Conservative —
+// anything ambiguous (say, a ';' inside a string literal looks like a
+// second statement) falls back to RunScript, which handles everything.
+bool IsSingleQueryStatement(const std::string& program, std::string* expr) {
+  size_t last = program.find_last_not_of(" \t\n");
+  if (last == std::string::npos || program[last] != ';') return false;
+  std::string body = program.substr(0, last);
+  if (body.find(';') != std::string::npos) return false;
+  size_t first = body.find_first_not_of(" \t\n");
+  if (first == std::string::npos) return false;
+  for (const char* kw : {"val", "macro", "readval", "writeval"}) {
+    size_t n = std::strlen(kw);
+    if (body.compare(first, n, kw) == 0 &&
+        (first + n >= body.size() ||
+         (!std::isalnum(static_cast<unsigned char>(body[first + n])) &&
+          body[first + n] != '_'))) {
+      return false;
+    }
+  }
+  *expr = body.substr(first);
+  return true;
+}
+
+void RunProgram(aql::service::QueryService* svc, aql::System* sys,
+                const std::string& program) {
+  std::string expr;
+  if (IsSingleQueryStatement(program, &expr)) {
+    auto r = svc->Execute(expr);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+      return;
+    }
+    // Match the RunScript rendering: typ + val lines, and rebind `it`.
+    // Mutating the System directly is safe here because this REPL is the
+    // service's only client and no query is in flight.
+    auto core = sys->ParseToCore(expr);
+    if (core.ok()) {
+      auto resolved = sys->ResolveNames(*core);
+      if (resolved.ok()) {
+        auto type = sys->TypeOf(*resolved);
+        if (type.ok()) std::printf("typ it : %s\n", (*type)->ToString().c_str());
+      }
+    }
+    sys->DefineVal("it", *r);
+    std::printf("val it = %s\n", r->ToDisplayString(16).c_str());
+    return;
+  }
   auto results = svc->RunScript(program);
   if (!results.ok()) {
     std::printf("error: %s\n", results.status().ToString().c_str());
@@ -72,7 +126,8 @@ void ShowProfile(const aql::System* sys, const std::string& expr) {
   std::printf("%s", report->c_str());
 }
 
-int RunFiles(aql::service::QueryService* svc, int argc, char** argv) {
+int RunFiles(aql::service::QueryService* svc, aql::System* sys, int argc,
+             char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::ifstream in(argv[i]);
     if (!in) {
@@ -81,7 +136,7 @@ int RunFiles(aql::service::QueryService* svc, int argc, char** argv) {
     }
     std::stringstream buf;
     buf << in.rdbuf();
-    RunProgram(svc, buf.str());
+    RunProgram(svc, sys, buf.str());
   }
   return 0;
 }
@@ -95,7 +150,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   aql::service::QueryService svc(&sys, {.num_workers = 2});
-  if (argc > 1) return RunFiles(&svc, argc, argv);
+  if (argc > 1) return RunFiles(&svc, &sys, argc, argv);
 
   std::printf("AQL — a query language for multidimensional arrays\n");
   std::printf("(Libkin, Machlin & Wong, SIGMOD 1996). :help for help.\n");
@@ -125,11 +180,34 @@ int main(int argc, char** argv) {
             "                                   Chrome trace JSON at exit)\n"
             "  :load <file.aql>                 run a script file\n"
             "  :stats                           service metrics for this session\n"
+            "  :cache                           result-cache statistics\n"
+            "  :cache clear                     flush the result cache\n"
             "  :quit                            leave\n");
         continue;
       }
       if (line == ":stats") {
         std::printf("%s", svc.StatsReport().c_str());
+        continue;
+      }
+      if (line == ":cache") {
+        const auto rc = svc.result_cache().stats();
+        std::printf(
+            "result cache: %llu entries, %llu/%llu bytes\n"
+            "  hits %llu  misses %llu  subsumed %llu  evictions %llu"
+            "  invalidations %llu\n"
+            "plan cache: %zu/%zu entries, %llu bytes\n",
+            (unsigned long long)rc.entries, (unsigned long long)rc.bytes,
+            (unsigned long long)svc.result_cache().max_bytes(),
+            (unsigned long long)rc.hits, (unsigned long long)rc.misses,
+            (unsigned long long)rc.subsumptions, (unsigned long long)rc.evictions,
+            (unsigned long long)rc.invalidations, svc.plan_cache().size(),
+            svc.plan_cache().capacity(),
+            (unsigned long long)svc.plan_cache().bytes());
+        continue;
+      }
+      if (line == ":cache clear") {
+        svc.mutable_result_cache()->Clear();
+        std::printf("result cache cleared\n");
         continue;
       }
       if (line.rfind(":plan ", 0) == 0) {
@@ -162,7 +240,7 @@ int main(int argc, char** argv) {
         } else {
           std::stringstream buf;
           buf << in.rdbuf();
-          RunProgram(&svc, buf.str());
+          RunProgram(&svc, &sys, buf.str());
         }
         continue;
       }
@@ -172,7 +250,7 @@ int main(int argc, char** argv) {
     // Execute once the statement is ';'-terminated (ignoring whitespace).
     size_t last = pending.find_last_not_of(" \t\n");
     if (last != std::string::npos && pending[last] == ';') {
-      RunProgram(&svc, pending);
+      RunProgram(&svc, &sys, pending);
       pending.clear();
     }
   }

@@ -23,6 +23,9 @@ AQL_VERIFY_IR=1 ctest --test-dir build --output-on-failure -j"$(nproc)"
 echo "== HTTP front-end smoke (aql_serve + curl end-to-end)"
 scripts/http_smoke.sh build
 
+echo "== result-cache smoke (speedup thresholds + bit-identity)"
+build/bench/bench_result_cache --smoke
+
 echo "== lint (strict: clang-tidy warnings fail the gate)"
 scripts/lint.sh --strict build
 

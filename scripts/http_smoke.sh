@@ -61,6 +61,13 @@ BYTES="$(wc -c < "${BODY}")"
 # Spot-check the tail: the last element of [[ i*i | \i < 200000 ]].
 grep -q '39999600001]]' "${BODY}" || fail "large query: bad tail"
 
+echo "== repeated query served from the result cache"
+A="$(curl -sS -d 'summap(fn \x => x * x)!(gen!500)' "${URL}/query")"
+B="$(curl -sS -d 'summap(fn \x => x * x)!(gen!500)' "${URL}/query")"
+[ "${A}" = "${B}" ] || fail "repeated query: results differ (${A} vs ${B})"
+curl -sS "${URL}/metrics" | grep '^aql_cache_result_hits ' | awk '{exit !($2 > 0)}' \
+  || fail "repeated query: aql_cache_result_hits still zero after a repeat"
+
 echo "== trace"
 curl -sS -d '1 + 2' "${URL}/query?trace=1" | grep -q 'profile' || fail "trace"
 

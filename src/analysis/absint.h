@@ -154,6 +154,21 @@ class AbsInterp {
     return out;
   }
 
+  // Domains may customize the value a let binding contributes at each USE
+  // of the bound variable (default: the bound value itself). The cost
+  // domain (opt/cost.cc) overrides this: a variable occurrence reads a
+  // frame slot for free, the binding's own cost is charged once in
+  // LetTransfer — without the hook every use would re-price the whole
+  // bound expression.
+  template <typename D>
+  static auto ScopedBound(D& d, const Val& bound, int) -> decltype(d.ScopedVal(bound)) {
+    return d.ScopedVal(bound);
+  }
+  template <typename D>
+  static Val ScopedBound(D&, const Val& bound, long) {
+    return bound;
+  }
+
   // let x = bound in body, encoded Apply(Lambda(x, body), bound). The
   // argument is visited first (it evaluates regardless of the body), then
   // its abstract value is bound to x for the body.
@@ -168,7 +183,7 @@ class AbsInterp {
     if (std::optional<uint64_t> ub = ConstUpperBound(e->child(1), env)) {
       body_env.facts.push_back({lam->binder(), Expr::NatConst(*ub)});
     }
-    scope_.emplace_back(lam->binder(), bound);
+    scope_.emplace_back(lam->binder(), ScopedBound(*domain_, bound, 0));
     path_.push_back(0);
     path_.push_back(0);
     Val body = Visit(lam->child(0), body_env);

@@ -90,8 +90,9 @@ inline constexpr int kServerConns = 100;      // net::HttpServer connection set
 inline constexpr int kRateLimiter = 110;      // net::RateLimiter buckets
 inline constexpr int kServiceInflight = 120;  // QueryService in-flight count
 inline constexpr int kSystem = 200;  // QueryService system lock (long-held)
-inline constexpr int kPlanCache = 300;   // service::PlanCache LRU
-inline constexpr int kThreadPool = 310;  // base::ThreadPool queues (all pools)
+inline constexpr int kPlanCache = 300;    // service::PlanCache LRU
+inline constexpr int kResultCache = 305;  // service::ResultCache LRU
+inline constexpr int kThreadPool = 310;   // base::ThreadPool queues (all pools)
 inline constexpr int kExecTerminal = 450;  // exec loop first-⊥/error election
 inline constexpr int kExecForState = 500;  // exec::ParallelFor chunk state
 inline constexpr int kTracer = 600;        // obs::Tracer sink

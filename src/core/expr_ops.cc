@@ -315,4 +315,25 @@ uint64_t HashExpr(const ExprPtr& e) {
   return HashExprImpl(e, &bound, &next_binding_id);
 }
 
+uint64_t ApproxExprBytes(const ExprPtr& e) {
+  uint64_t b = sizeof(Expr) + sizeof(ExprPtr);
+  switch (e->kind()) {
+    case ExprKind::kVar:
+    case ExprKind::kExternal:
+      b += e->var_name().size();
+      break;
+    case ExprKind::kStrConst:
+      b += e->str_const().size();
+      break;
+    case ExprKind::kLiteral:
+      b += ApproxValueBytes(e->literal());
+      break;
+    default:
+      break;
+  }
+  for (const std::string& binder : e->binders()) b += binder.size();
+  for (const ExprPtr& c : e->children()) b += ApproxExprBytes(c);
+  return b;
+}
+
 }  // namespace aql

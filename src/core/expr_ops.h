@@ -47,6 +47,13 @@ bool AlphaEqual(const ExprPtr& a, const ExprPtr& b);
 // core expressions are bucketed by HashExpr and confirmed by AlphaEqual.
 uint64_t HashExpr(const ExprPtr& e);
 
+// Approximate heap footprint of a term in bytes: per-node overhead plus
+// binder/name strings and literal payloads (object/value.h's
+// ApproxValueBytes). Shared subterms are charged at every reference —
+// deliberate, since cache eviction wants the cost of keeping the tree
+// reachable, not its minimal DAG size. Used by the byte-bounded caches.
+uint64_t ApproxExprBytes(const ExprPtr& e);
+
 }  // namespace aql
 
 #endif  // AQL_CORE_EXPR_OPS_H_

@@ -270,6 +270,7 @@ Result<StatementResult> System::RunStatement(const Statement& stmt) {
       AQL_ASSIGN_OR_RETURN(ExprPtr resolved, ResolveNames(core));
       AQL_ASSIGN_OR_RETURN(result.type, TypeOf(resolved));
       macros_[stmt.name] = resolved;
+      env_epoch_.fetch_add(1, std::memory_order_acq_rel);
       return result;
     }
     case Statement::Kind::kReadval: {
@@ -309,6 +310,7 @@ Status System::RegisterPrimitive(const std::string& name, const std::string& typ
   }
   AQL_ASSIGN_OR_RETURN(TypePtr scheme, ParseType(type_scheme));
   primitives_[name] = NativePrimitive{name, std::move(scheme), WrapFunction(name, std::move(fn))};
+  env_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
@@ -325,6 +327,7 @@ Status System::DefineMacro(const std::string& name, std::string_view aql_source)
   AQL_ASSIGN_OR_RETURN(ExprPtr resolved, ResolveNames(core));
   AQL_RETURN_IF_ERROR(TypeOf(resolved).status());
   macros_[name] = resolved;
+  env_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
@@ -334,7 +337,9 @@ Status System::DefineVal(const std::string& name, Value value) {
 }
 
 Status System::RegisterRule(const std::string& phase, Rule rule) {
-  return optimizer_.AddRule(phase, std::move(rule));
+  AQL_RETURN_IF_ERROR(optimizer_.AddRule(phase, std::move(rule)));
+  env_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::OK();
 }
 
 const Value* System::LookupVal(const std::string& name) const {

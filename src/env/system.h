@@ -45,6 +45,8 @@
 #ifndef AQL_ENV_SYSTEM_H_
 #define AQL_ENV_SYSTEM_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -164,6 +166,19 @@ class System {
   IoRegistry* io() { return &io_; }
   const Evaluator& evaluator() const { return evaluator_; }
 
+  // Monotone counter covering every mutation that can change what a
+  // QUERY evaluates to without changing its resolved core term: writeval
+  // (external state any registered driver may observe), reader/writer/
+  // primitive registration, macro definition, and optimizer rule
+  // injection. Deliberately NOT bumped by val bindings (DefineVal,
+  // readval, the `it` of a query): vals are substituted into the resolved
+  // term during ResolveNames, so a changed val changes the cache key
+  // itself. The service's result cache flushes when this moves (see
+  // docs/CACHING.md for the protocol).
+  uint64_t mutation_epoch() const {
+    return env_epoch_.load(std::memory_order_acquire) + io_.mutation_epoch();
+  }
+
  private:
   Result<StatementResult> RunStatement(const Statement& stmt);
   Result<ExprPtr> ResolveImpl(const ExprPtr& e, std::vector<std::string>* bound) const;
@@ -177,6 +192,7 @@ class System {
   std::map<std::string, Value> vals_;
   std::map<std::string, ExprPtr> macros_;
   std::map<std::string, NativePrimitive> primitives_;
+  std::atomic<uint64_t> env_epoch_{0};  // see mutation_epoch()
 };
 
 }  // namespace aql

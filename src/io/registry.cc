@@ -10,6 +10,7 @@ Status IoRegistry::RegisterReader(const std::string& name, ReaderFn reader) {
     return Status::AlreadyExists(StrCat("reader ", name, " already registered"));
   }
   readers_[name] = std::move(reader);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
@@ -18,6 +19,7 @@ Status IoRegistry::RegisterWriter(const std::string& name, WriterFn writer) {
     return Status::AlreadyExists(StrCat("writer ", name, " already registered"));
   }
   writers_[name] = std::move(writer);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
@@ -37,7 +39,11 @@ Status IoRegistry::Write(const std::string& writer, const Value& payload,
     return Status::NotFound(StrCat("no writer registered as ", writer));
   }
   obs::Span span("io", StrCat("io.write.", writer));
-  return it->second(payload, args);
+  Status status = it->second(payload, args);
+  // Epoch advances only when the writer reports success: a failed write
+  // promises it left no observable state behind.
+  if (status.ok()) epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return status;
 }
 
 }  // namespace aql

@@ -9,6 +9,8 @@
 #ifndef AQL_IO_REGISTRY_H_
 #define AQL_IO_REGISTRY_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
@@ -32,9 +34,21 @@ class IoRegistry {
   bool HasReader(const std::string& name) const { return readers_.count(name) > 0; }
   bool HasWriter(const std::string& name) const { return writers_.count(name) > 0; }
 
+  // Bumped on every registration and every successful Write. Writers and
+  // registered drivers are opaque: a write may mutate state any reader or
+  // primitive observes, so the service's result cache treats an epoch
+  // change as "anything derived from external state may be stale" (see
+  // docs/CACHING.md). Monotone; safe to poll from concurrent queries.
+  uint64_t mutation_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
  private:
   std::map<std::string, ReaderFn> readers_;
   std::map<std::string, WriterFn> writers_;
+  // mutable: Write is const (it does not touch the registries) but still
+  // advances the epoch.
+  mutable std::atomic<uint64_t> epoch_{0};
 };
 
 }  // namespace aql

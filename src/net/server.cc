@@ -274,7 +274,10 @@ bool HttpServer::HandleQuery(const HttpRequest& request, Socket* socket) {
   }
   options.deadline = deadline_ms > 0 ? std::chrono::milliseconds(deadline_ms)
                                      : config_.default_deadline;
-  if (param("no_cache") == "1") options.use_plan_cache = false;
+  if (param("no_cache") == "1") {
+    options.use_plan_cache = false;
+    options.use_result_cache = false;  // both layers: force a real run
+  }
   std::string_view backend = param("backend");
   if (backend == "eval") {
     options.use_compiled_backend = false;

@@ -562,4 +562,120 @@ Result<uint64_t> CheckedVolume(const std::vector<uint64_t>& dims) {
   return total;
 }
 
+uint64_t ApproxValueBytes(const Value& v) {
+  constexpr uint64_t kNode = sizeof(Value);
+  switch (v.kind()) {
+    case ValueKind::kBottom:
+    case ValueKind::kBool:
+    case ValueKind::kNat:
+    case ValueKind::kReal:
+    case ValueKind::kFunc:  // the closure body is not data we account for
+      return kNode;
+    case ValueKind::kString:
+      return kNode + sizeof(std::string) + v.str_value().size();
+    case ValueKind::kTuple: {
+      uint64_t b = kNode + sizeof(std::vector<Value>);
+      for (const Value& f : v.tuple_fields()) b += ApproxValueBytes(f);
+      return b;
+    }
+    case ValueKind::kSet: {
+      uint64_t b = kNode + sizeof(SetRep);
+      for (const Value& e : v.set().elems) b += ApproxValueBytes(e);
+      return b;
+    }
+    case ValueKind::kArray: {
+      const ArrayRep& a = v.array();
+      uint64_t b = kNode + sizeof(ArrayRep) + 8 * a.dims.size();
+      switch (a.payload) {
+        case ArrayRep::Payload::kBoxed:
+          for (const Value& e : a.elems) b += ApproxValueBytes(e);
+          break;
+        case ArrayRep::Payload::kNats:
+          b += 8 * a.nats.size();
+          break;
+        case ArrayRep::Payload::kReals:
+          b += 8 * a.reals.size();
+          break;
+        case ArrayRep::Payload::kBools:
+          b += a.bools.size();
+          break;
+      }
+      return b;
+    }
+  }
+  return kNode;
+}
+
+Result<Value> SliceArray(const ArrayRep& arr, const std::vector<uint64_t>& lower,
+                         const std::vector<uint64_t>& extents) {
+  const size_t k = arr.dims.size();
+  if (lower.size() != k || extents.size() != k) {
+    return Status::InvalidArgument(
+        StrCat("slice arity ", lower.size(), "/", extents.size(),
+               " does not match array rank ", k));
+  }
+  for (size_t j = 0; j < k; ++j) {
+    if (extents[j] > arr.dims[j] || lower[j] > arr.dims[j] - extents[j]) {
+      return Status::InvalidArgument(
+          StrCat("slice [", lower[j], ", ", lower[j], "+", extents[j],
+                 ") leaves dimension ", j, " of extent ", arr.dims[j]));
+    }
+  }
+  auto volume = CheckedVolume(extents);
+  if (!volume.ok()) return volume.status();
+  const uint64_t n = *volume;
+
+  // Row-major source strides; the innermost dimension is contiguous, so
+  // the copy moves whole runs of extents[k-1] elements.
+  std::vector<uint64_t> stride(k, 1);
+  for (size_t j = k - 1; j-- > 0;) stride[j] = stride[j + 1] * arr.dims[j + 1];
+  const uint64_t run = extents[k - 1];
+  const uint64_t rows = run == 0 ? 0 : n / run;
+
+  std::vector<uint64_t> idx = lower;  // source index of the current run
+  auto offset = [&]() {
+    uint64_t off = 0;
+    for (size_t j = 0; j < k; ++j) off += idx[j] * stride[j];
+    return off;
+  };
+  auto advance = [&]() {  // odometer over the k-1 outer dimensions
+    for (size_t j = k - 1; j-- > 0;) {
+      if (++idx[j] < lower[j] + extents[j]) return;
+      idx[j] = lower[j];
+    }
+  };
+  auto copy_rows = [&](const auto& src, auto* out) {
+    out->reserve(n);
+    for (uint64_t r = 0; r < rows; ++r) {
+      uint64_t off = offset();
+      out->insert(out->end(), src.begin() + off, src.begin() + off + run);
+      advance();
+    }
+  };
+
+  switch (arr.payload) {
+    case ArrayRep::Payload::kNats: {
+      std::vector<uint64_t> data;
+      copy_rows(arr.nats, &data);
+      return Value::MakeNatArray(extents, std::move(data));
+    }
+    case ArrayRep::Payload::kReals: {
+      std::vector<double> data;
+      copy_rows(arr.reals, &data);
+      return Value::MakeRealArray(extents, std::move(data));
+    }
+    case ArrayRep::Payload::kBools: {
+      std::vector<uint8_t> data;
+      copy_rows(arr.bools, &data);
+      return Value::MakeBoolArray(extents, std::move(data));
+    }
+    case ArrayRep::Payload::kBoxed: {
+      std::vector<Value> data;
+      copy_rows(arr.elems, &data);
+      return Value::MakeArray(extents, std::move(data));
+    }
+  }
+  return Status::InvalidArgument("unknown array payload");
+}
+
 }  // namespace aql

@@ -211,6 +211,23 @@ Result<uint64_t> CheckedVolume(const std::vector<uint64_t>& dims);
 // cache to hash literal subterms of resolved queries.
 uint64_t HashValue(const Value& v);
 
+// Approximate heap footprint of a value in bytes: payload buffers plus a
+// fixed per-node overhead, counted as if nothing were shared (shared
+// substructure is charged at every reference). Cheap for unboxed arrays
+// (O(1)), O(n) for nested data. Used by the byte-bounded caches
+// (service::ResultCache, PlanCache) for honest-enough accounting.
+uint64_t ApproxValueBytes(const Value& v);
+
+// The rectangular subslab arr[lower[j] .. lower[j]+extents[j]) per
+// dimension, as a new array of dims == extents. Preserves the unboxed
+// payload kind (a nat slab slices into a nat slab — no boxing), which is
+// what lets the result cache serve a contained subslab request by
+// copying rows out of the cached buffer instead of re-executing.
+// InvalidArgument when arities mismatch or the slab leaves the array;
+// EvalError (via CheckedVolume) when extents are empty or overflow.
+Result<Value> SliceArray(const ArrayRep& arr, const std::vector<uint64_t>& lower,
+                         const std::vector<uint64_t>& extents);
+
 }  // namespace aql
 
 #endif  // AQL_OBJECT_VALUE_H_

@@ -1,0 +1,229 @@
+#include "opt/cost.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analysis/absint.h"
+#include "core/expr_ops.h"
+
+namespace aql {
+
+namespace {
+
+// The cost domain rides the Shape/Definedness/Cardinality reduced product
+// (analysis::CoreDomains) and adds one component: the estimated cost of
+// evaluating the node once. Loop nodes multiply their body's cost by the
+// trip count the Cardinality facts admit.
+struct CostVal {
+  analysis::AbsVal abs;
+  double cost = 0.0;
+};
+
+class CostDomain {
+ public:
+  using Val = CostVal;
+  static constexpr bool kLetPrecision = true;
+
+  explicit CostDomain(const CostModel& model) : model_(model) {}
+
+  Val FreeVar(const ExprPtr& var) { return {core_.FreeVar(var), 0.0}; }
+
+  Val BinderVal(const ExprPtr& parent, size_t child_index, size_t binder_index,
+                const analysis::SymEnv& env) {
+    return {core_.BinderVal(parent, child_index, binder_index, env), 0.0};
+  }
+
+  Val Transfer(const ExprPtr& e, const std::vector<Val>& kids,
+               const analysis::SymEnv& env) {
+    std::vector<analysis::AbsVal> abs_kids;
+    abs_kids.reserve(kids.size());
+    for (const Val& k : kids) abs_kids.push_back(k.abs);
+    analysis::AbsVal abs = core_.Transfer(e, abs_kids, env);
+    double cost = NodeCost(e, kids, abs);
+    return {std::move(abs), cost};
+  }
+
+  Val LetTransfer(const ExprPtr& apply, const Val& bound, const Val& body) {
+    return {core_.LetTransfer(apply, bound.abs, body.abs),
+            bound.cost + body.cost + model_.let_overhead};
+  }
+
+  // A use of a let-bound variable reads a frame slot: the abstract facts
+  // flow through, the evaluation cost does not (it is charged once, in
+  // LetTransfer). See AbsInterp::ScopedBound.
+  Val ScopedVal(const Val& bound) { return {bound.abs, 0.0}; }
+
+  void AtNode(const ExprPtr&, const std::vector<size_t>&, const analysis::SymEnv&) {}
+  void AfterNode(const ExprPtr&, const std::vector<size_t>&, const Val&,
+                 const analysis::SymEnv&) {}
+
+ private:
+  // Trip estimate from a cardinality interval: the exact/upper count when
+  // bounded, the unknown_trips fallback otherwise, clamped either way.
+  double Trips(const analysis::CardVal& card) const {
+    double t = card.hi == UINT64_MAX
+                   ? std::max(model_.unknown_trips, static_cast<double>(card.lo))
+                   : static_cast<double>(card.hi);
+    return std::min(t, model_.trip_cap);
+  }
+
+  double SumCosts(const std::vector<Val>& kids) const {
+    double s = 0;
+    for (const Val& k : kids) s += k.cost;
+    return s;
+  }
+
+  double NodeCost(const ExprPtr& e, const std::vector<Val>& kids,
+                  const analysis::AbsVal& abs) const {
+    switch (e->kind()) {
+      case ExprKind::kVar:
+      case ExprKind::kBoolConst:
+      case ExprKind::kNatConst:
+      case ExprKind::kRealConst:
+      case ExprKind::kStrConst:
+      case ExprKind::kBottom:
+      case ExprKind::kEmptySet:
+      case ExprKind::kLiteral:   // already materialized
+      case ExprKind::kExternal:  // bare reference; dispatch priced at kApply
+        return 0.0;
+      case ExprKind::kLambda:
+        // Closure construction. The body is charged where it runs: the
+        // let-encoded Apply(Lambda, ·) path goes through LetTransfer; a
+        // lambda handed to an external is not charged at all (we cannot
+        // see how often the callee applies it).
+        return model_.call_overhead;
+      case ExprKind::kApply:
+        return SumCosts(kids) + (e->child(0)->is(ExprKind::kExternal)
+                                     ? model_.external_call
+                                     : model_.call_overhead);
+      case ExprKind::kTuple:
+        return SumCosts(kids) + model_.scalar_op * static_cast<double>(kids.size());
+      case ExprKind::kProj:
+      case ExprKind::kCmp:
+      case ExprKind::kArith:
+      case ExprKind::kGet:
+        return SumCosts(kids) + model_.scalar_op;
+      case ExprKind::kIf:
+        // Upper estimate: the test plus the dearer branch.
+        return kids[0].cost + std::max(kids[1].cost, kids[2].cost) +
+               model_.scalar_op;
+      case ExprKind::kSingleton:
+        return SumCosts(kids) + model_.set_elem;
+      case ExprKind::kUnion:
+        return SumCosts(kids) + Trips(abs.card) * model_.set_elem;
+      case ExprKind::kGen:
+        // gen(n) emits 0..n-1 already sorted and deduplicated.
+        return SumCosts(kids) + Trips(abs.card) * model_.alloc_elem;
+      case ExprKind::kBigUnion: {
+        double trips = Trips(kids[1].abs.card);
+        return kids[1].cost + trips * (kids[0].cost + model_.iter_overhead) +
+               Trips(abs.card) * model_.set_elem;
+      }
+      case ExprKind::kSum: {
+        double trips = Trips(kids[1].abs.card);
+        return kids[1].cost +
+               trips * (kids[0].cost + model_.iter_overhead + model_.scalar_op);
+      }
+      case ExprKind::kTab: {
+        // kids[0] = body, kids[1..] = bounds. The result cardinality IS
+        // the trip count (product of the inferred extents).
+        double bounds_cost = 0;
+        for (size_t j = 1; j < kids.size(); ++j) bounds_cost += kids[j].cost;
+        return bounds_cost + Trips(abs.card) * (kids[0].cost +
+                                                model_.iter_overhead +
+                                                model_.alloc_elem);
+      }
+      case ExprKind::kSubscript:
+        return SumCosts(kids) + model_.subscript;
+      case ExprKind::kDim:
+        // O(1) on a materialized array; evaluating the operand (e.g. a
+        // full tabulation) is already charged in kids[0].
+        return SumCosts(kids) + model_.scalar_op;
+      case ExprKind::kIndex:
+        return SumCosts(kids) + Trips(abs.card) * model_.set_elem;
+      case ExprKind::kDense: {
+        double n = static_cast<double>(e->dense_value_count());
+        return SumCosts(kids) + n * model_.alloc_elem;
+      }
+    }
+    return SumCosts(kids) + model_.scalar_op;
+  }
+
+  const CostModel& model_;
+  analysis::CoreDomains core_;
+};
+
+}  // namespace
+
+OptCostStats& GlobalOptCostStats() {
+  static OptCostStats* stats = new OptCostStats();
+  return *stats;
+}
+
+namespace {
+
+// Folds the model's weights into the memo key, so callers with different
+// calibrations (tests) cannot share entries.
+uint64_t HashModel(const CostModel& model) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](double d) {
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    h = (h ^ bits) * 0x100000001b3ull;
+  };
+  mix(model.scalar_op);
+  mix(model.subscript);
+  mix(model.alloc_elem);
+  mix(model.set_elem);
+  mix(model.external_call);
+  mix(model.iter_overhead);
+  mix(model.let_overhead);
+  mix(model.call_overhead);
+  mix(model.unknown_trips);
+  mix(model.trip_cap);
+  return h;
+}
+
+}  // namespace
+
+double EstimateCost(const ExprPtr& e, const CostModel& model) {
+  GlobalOptCostStats().estimates.fetch_add(1, std::memory_order_relaxed);
+  // Memo keyed by the alpha-consistent structural hash (+ model weights).
+  // The rewriter's fixpoint sweeps re-consult the gate on every suppressed
+  // redex each sweep until the term stabilizes, re-deriving identical
+  // estimates; one tree hash is far cheaper than an abstract
+  // interpretation. Cost is alpha-invariant, so sharing across variants is
+  // exact; a 64-bit hash collision can at worst skew a heuristic estimate
+  // between semantically equal candidates — never correctness.
+  // Thread-local: compiles run concurrently on service workers.
+  thread_local std::unordered_map<uint64_t, double> memo;
+  uint64_t key = HashExpr(e) ^ HashModel(model);
+  auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+  CostDomain domain(model);
+  analysis::AbsInterp<CostDomain> interp(&domain);
+  double cost = interp.Analyze(e).cost;
+  if (memo.size() >= 1 << 14) memo.clear();  // bound the per-thread table
+  memo.emplace(key, cost);
+  return cost;
+}
+
+CostGate MakeCostGate(CostModel model) {
+  return [model](const char*, const ExprPtr& before, const ExprPtr& after) {
+    OptCostStats& stats = GlobalOptCostStats();
+    double cost_before = EstimateCost(before, model);
+    double cost_after = EstimateCost(after, model);
+    // Strict improvement required: ties keep the existing form, and a
+    // firing always shrinks the estimate, so gated rules cannot cycle
+    // (code motion and cost-driven inlining are exact inverses).
+    bool fire = cost_after < cost_before;
+    (fire ? stats.gate_fired : stats.gate_suppressed)
+        .fetch_add(1, std::memory_order_relaxed);
+    return fire;
+  };
+}
+
+}  // namespace aql

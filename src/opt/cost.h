@@ -1,0 +1,87 @@
+// Cost-based plan selection (the missing half of the paper's §5 engine).
+//
+// The rewrite engine is syntactic: a rule fires wherever it matches. Most
+// of the rule base is safely monotone (smaller terms, fewer operations),
+// but three families can regress a plan:
+//
+//   - beta^p duplicates the subscript index into every bound check and
+//     body occurrence — a loop-carrying index expression is then
+//     re-evaluated k+1 times instead of once;
+//   - code motion materializes a loop-invariant subterm into a `let`,
+//     which only pays when the loop actually iterates more than once;
+//   - the dual decision, re-inlining a `let` binding whose body use sits
+//     under a provably-single-trip loop, saves the binding overhead.
+//
+// This module prices a core term with the abstract-interpretation facts
+// from src/analysis (the Cardinality/Shape reduced product bounds every
+// loop's trip count) and a table of per-op weights calibrated against
+// bench_exec, and exposes a CostGate the rule bases consult before firing.
+// The gate requires a STRICT cost improvement, so rival normal forms can
+// never cycle: every gated firing shrinks the estimate.
+//
+// Estimates are heuristic, not sound bounds: unknown trip counts fall back
+// to CostModel::unknown_trips, free variables are shapeless, and lambda
+// bodies passed to externals are not charged. The gate only chooses among
+// semantically equal forms, so a bad estimate costs time, never
+// correctness (opt_cost_test pins the decisions that matter).
+
+#ifndef AQL_OPT_COST_H_
+#define AQL_OPT_COST_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "core/expr.h"
+
+namespace aql {
+
+// Per-operation weights in abstract nanoseconds. The defaults were
+// calibrated against bench_exec on the compiled backend: a fused scalar
+// tabulation sustains ~1ns/element, a gather ~2ns, set insertion (sort +
+// dedup dominated) tens of ns.
+struct CostModel {
+  double scalar_op = 1.0;       // arith / cmp / proj / if dispatch
+  double subscript = 2.0;       // bounds check + gather
+  double alloc_elem = 2.0;      // materializing one array element
+  double set_elem = 40.0;       // set insert: ordered, deduplicated
+  double external_call = 25.0;  // registered primitive dispatch
+  double iter_overhead = 1.5;   // per-iteration loop bookkeeping
+  double let_overhead = 6.0;    // frame slot store + load
+  double call_overhead = 4.0;   // closure application
+  // Assumed trip count when the Cardinality domain cannot bound a loop.
+  // Deliberately > 1: unbounded loops usually iterate, so hoisting out of
+  // them and fusing into them stays profitable by default.
+  double unknown_trips = 64.0;
+  // Clamp for constant trip counts, so one 2^36-element tabulation does
+  // not flush every other term's cost to noise.
+  double trip_cap = 1 << 24;
+};
+
+// Estimated cost of evaluating `e` once, in abstract ns. Deterministic
+// and total: unknown constructs price as plain scalar ops.
+double EstimateCost(const ExprPtr& e, const CostModel& model = {});
+
+// Process-wide gate statistics, mirrored into the service metrics as
+// opt.cost.* (src/opt cannot depend on src/service, same pattern as
+// exec::GlobalExecStats).
+struct OptCostStats {
+  std::atomic<uint64_t> estimates{0};         // EstimateCost calls
+  std::atomic<uint64_t> gate_fired{0};        // gate said: rewrite pays
+  std::atomic<uint64_t> gate_suppressed{0};   // gate said: keep the redex
+};
+OptCostStats& GlobalOptCostStats();
+
+// Profitability test injected into the rule bases: called with the redex
+// and the candidate replacement; returns true to let the rule fire. A
+// null CostGate means "always fire" — the paper's syntactic engine.
+using CostGate =
+    std::function<bool(const char* rule, const ExprPtr& before, const ExprPtr& after)>;
+
+// The standard gate: fire iff EstimateCost(after) < EstimateCost(before).
+// Strict, so ties keep the existing form and gated rules cannot cycle.
+CostGate MakeCostGate(CostModel model);
+
+}  // namespace aql
+
+#endif  // AQL_OPT_COST_H_

@@ -18,8 +18,10 @@ std::vector<Rule> Concat(std::vector<Rule> a, const std::vector<Rule>& b) {
 }  // namespace
 
 Optimizer::Optimizer(OptimizerConfig config) : config_(std::move(config)) {
-  std::vector<Rule> normalization =
-      Concat(Concat(NrcRules(), ArithRules()), ArrayRules(config_.strict_arrays));
+  CostGate gate;
+  if (config_.cost_based) gate = MakeCostGate(config_.cost_model);
+  std::vector<Rule> normalization = Concat(
+      Concat(NrcRules(), ArithRules()), ArrayRules(config_.strict_arrays, gate));
   phases_.push_back({"normalization", normalization});
   if (config_.enable_constraint_elimination) {
     // Constraint elimination introduces boolean constants; the folding
@@ -28,8 +30,11 @@ Optimizer::Optimizer(OptimizerConfig config) : config_(std::move(config)) {
                        Concat(ConstraintRules(), normalization)});
   }
   if (config_.enable_code_motion) {
-    // Last: nothing after this phase may re-inline the hoisted bindings.
-    phases_.push_back({"code-motion", CodeMotionRules(config_.aggressive_code_motion)});
+    // Last: nothing after this phase may re-inline the hoisted bindings
+    // (inline_let_cost may, but only under the gate's strict-improvement
+    // contract, which cannot undo a hoist that fired).
+    phases_.push_back(
+        {"code-motion", CodeMotionRules(config_.aggressive_code_motion, gate)});
   }
 }
 
@@ -55,11 +60,17 @@ ExprPtr Optimizer::RunPhase(size_t i, const ExprPtr& e, RewriteStats* stats) con
   // the phase span's exclusive time.
   obs::Span span("opt", StrCat("opt.", phases_[i].name));
   span.AddCount("nodes_in", e->TreeSize());
+  if (config_.cost_based) {
+    span.AddCount("cost_in",
+                  static_cast<uint64_t>(EstimateCost(e, config_.cost_model)));
+  }
   RewriteOptions options = config_.rewrite;
   auto previous_hook = options.on_firing;
   auto last_event = std::make_shared<std::chrono::steady_clock::time_point>(
       std::chrono::steady_clock::now());
-  options.on_firing = [&span, previous_hook, last_event](
+  bool cost_based = config_.cost_based;
+  CostModel cost_model = config_.cost_model;
+  options.on_firing = [&span, previous_hook, last_event, cost_based, cost_model](
                           const std::string& rule, const ExprPtr& before,
                           const ExprPtr& after) {
     auto now = std::chrono::steady_clock::now();
@@ -69,10 +80,28 @@ ExprPtr Optimizer::RunPhase(size_t i, const ExprPtr& e, RewriteStats* stats) con
     *last_event = now;
     span.AddCount(StrCat("rule_us/", rule), us);
     span.AddCount(StrCat("rule_n/", rule), 1);
+    if (cost_based) {
+      // Per-firing cost delta on the rewritten subtree. A rule may grow
+      // the estimate locally (beta duplicating a consumable argument pays
+      // off only after beta^p/pi eat the copies), so gains and losses get
+      // separate monotone counters.
+      double saved = EstimateCost(before, cost_model) - EstimateCost(after, cost_model);
+      if (saved >= 0) {
+        span.AddCount(StrCat("rule_cost_saved/", rule),
+                      static_cast<uint64_t>(saved));
+      } else {
+        span.AddCount(StrCat("rule_cost_added/", rule),
+                      static_cast<uint64_t>(-saved));
+      }
+    }
     if (previous_hook) previous_hook(rule, before, after);
   };
   ExprPtr out = RewriteFixpoint(e, phases_[i].rules, options, stats);
   span.AddCount("nodes_out", out->TreeSize());
+  if (config_.cost_based) {
+    span.AddCount("cost_out",
+                  static_cast<uint64_t>(EstimateCost(out, config_.cost_model)));
+  }
   return out;
 }
 

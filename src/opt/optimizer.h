@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "base/result.h"
+#include "opt/cost.h"
 #include "opt/rewriter.h"
 #include "opt/rules.h"
 
@@ -31,6 +32,12 @@ struct OptimizerConfig {
   // Hoist possibly-erroring expressions too (trades definedness monotonicity
   // for speed; see rules_motion.cc).
   bool aggressive_code_motion = false;
+  // Cost-based plan selection (opt/cost.h): rules whose profitability
+  // depends on trip counts — beta^p with a loop-carrying index, loop-
+  // invariant hoisting, let re-inlining — consult EstimateCost before
+  // firing. Off restores the paper's purely syntactic engine.
+  bool cost_based = true;
+  CostModel cost_model;
   RewriteOptions rewrite;
 };
 

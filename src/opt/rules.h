@@ -26,19 +26,30 @@
 
 #include <vector>
 
+#include "opt/cost.h"
 #include "opt/rewriter.h"
 
 namespace aql {
 
 std::vector<Rule> NrcRules();
 std::vector<Rule> ArithRules();
-std::vector<Rule> ArrayRules(bool strict_arrays);
+
+// `gate`, when non-null, arbitrates the rewrites whose profitability
+// depends on the plan (opt/cost.h): beta^p consults it before duplicating
+// a loop-carrying index expression (a loop-free index is O(1) per copy
+// and keeps the paper's unconditional behavior).
+std::vector<Rule> ArrayRules(bool strict_arrays, const CostGate& gate = {});
 std::vector<Rule> ConstraintRules();
 
 // Loop-invariant hoisting (the paper's "code motion" phase). With
 // `aggressive`, expressions that may error are hoisted too (changes WHEN
 // an error surfaces; off by default to keep definedness monotone).
-std::vector<Rule> CodeMotionRules(bool aggressive);
+// A non-null `gate` makes hoisting cost-aware (a provably single-trip
+// loop is not worth a let frame) and enables the dual rule
+// inline_let_cost, which re-inlines a surviving let binding when the
+// estimate says the binding overhead exceeds the sharing it buys.
+// inline_let_cost is purely cost-driven: without a gate it never fires.
+std::vector<Rule> CodeMotionRules(bool aggressive, const CostGate& gate = {});
 
 }  // namespace aql
 

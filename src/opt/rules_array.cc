@@ -16,7 +16,16 @@ namespace {
 // the bound check and the body (the language is pure, so the duplicate
 // evaluation can only cost time, and the constraint-elimination phase
 // usually deletes the check anyway).
-ExprPtr RuleBetaP(const ExprPtr& e) {
+//
+// "Only cost time" is exactly what the cost gate arbitrates: a
+// loop-carrying index (itself a tabulation, sum, or comprehension) is
+// re-evaluated once per bound check and once per body occurrence, which
+// can dwarf the materialize-then-subscript plan the rule deletes. When a
+// gate is installed and the index is not loop-free, the rule fires only
+// if the estimate says the duplicated plan is cheaper. A loop-free index
+// keeps the paper's unconditional behavior — the §5 derivations (where
+// the index is a binder variable) never consult the gate.
+ExprPtr RuleBetaP(const ExprPtr& e, const CostGate& gate) {
   if (!e->is(ExprKind::kSubscript)) return nullptr;
   const ExprPtr& tab = e->child(0);
   if (!tab->is(ExprKind::kTab)) return nullptr;
@@ -41,6 +50,7 @@ ExprPtr RuleBetaP(const ExprPtr& e) {
     out = Expr::If(Expr::Cmp(CmpOp::kLt, parts[j], tab->tab_bound(j)), std::move(out),
                    Expr::Bottom());
   }
+  if (gate && !LoopFree(idx) && !gate("beta_p", e, out)) return nullptr;
   return out;
 }
 
@@ -269,10 +279,10 @@ ExprPtr RuleSubscriptConst(const ExprPtr& e) {
 
 }  // namespace
 
-std::vector<Rule> ArrayRules(bool strict_arrays) {
+std::vector<Rule> ArrayRules(bool strict_arrays, const CostGate& gate) {
   return {
       {"dense_fold", RuleDenseFold},
-      {"beta_p", RuleBetaP},
+      {"beta_p", [gate](const ExprPtr& e) { return RuleBetaP(e, gate); }},
       {"eta_p", RuleEtaP},
       {"delta_p",
        [strict_arrays](const ExprPtr& e) { return RuleDeltaP(e, strict_arrays); }},

@@ -117,7 +117,8 @@ void CollectAllNames(const ExprPtr& e, std::set<std::string>* out) {
   for (const ExprPtr& c : e->children()) CollectAllNames(c, out);
 }
 
-ExprPtr RuleHoistLoopInvariant(const ExprPtr& e, bool aggressive) {
+ExprPtr RuleHoistLoopInvariant(const ExprPtr& e, bool aggressive,
+                               const CostGate& gate) {
   if (!IsLoop(e)) return nullptr;
   std::set<std::string> blocked(e->binders().begin(), e->binders().end());
   std::vector<ExprPtr> candidates;
@@ -148,15 +149,43 @@ ExprPtr RuleHoistLoopInvariant(const ExprPtr& e, bool aggressive) {
   for (size_t i = lets.size(); i-- > 0;) {
     node = Expr::Let(lets[i].first, lets[i].second, node);
   }
+  // Materializing pays only when the loop actually repeats the saved
+  // work: with a cost gate installed, a provably single-trip (or empty)
+  // loop keeps its body inline rather than spending a let frame.
+  if (gate && !gate("hoist_loop_invariant", e, node)) return nullptr;
   return node;
+}
+
+// inline_let_cost — the materialize-vs-inline decision taken the other
+// way. Beta (rules_nrc.cc) declines to inline a binding whose argument is
+// non-atomic and used under a loop; that policy is syntactic and cannot
+// see trip counts. When the cost model proves the loop around the use
+// iterates at most once, re-inlining saves the frame. Purely cost-driven:
+// never fires without a gate, and the gate's strict-improvement contract
+// makes a hoist/inline cycle impossible (each firing shrinks the
+// estimate; undoing a firing would have to grow it back).
+ExprPtr RuleInlineLetCost(const ExprPtr& e, const CostGate& gate) {
+  if (!gate) return nullptr;
+  if (!e->is(ExprKind::kApply)) return nullptr;
+  const ExprPtr& fn = e->child(0);
+  if (!fn->is(ExprKind::kLambda)) return nullptr;
+  const ExprPtr& arg = e->child(1);
+  const ExprPtr& body = fn->child(0);
+  ExprPtr inlined = Substitute(body, fn->binder(), arg);
+  if (!gate("inline_let_cost", e, inlined)) return nullptr;
+  return inlined;
 }
 
 }  // namespace
 
-std::vector<Rule> CodeMotionRules(bool aggressive) {
+std::vector<Rule> CodeMotionRules(bool aggressive, const CostGate& gate) {
   return {
       {"hoist_loop_invariant",
-       [aggressive](const ExprPtr& e) { return RuleHoistLoopInvariant(e, aggressive); }},
+       [aggressive, gate](const ExprPtr& e) {
+         return RuleHoistLoopInvariant(e, aggressive, gate);
+       }},
+      {"inline_let_cost",
+       [gate](const ExprPtr& e) { return RuleInlineLetCost(e, gate); }},
   };
 }
 

@@ -109,6 +109,14 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
   return slot.get();
 }
 
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  assert(IsValidInstrumentName(name) && "instrument names are [a-z0-9._]");
+  MutexLock lock(&mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   assert(IsValidInstrumentName(name) && "instrument names are [a-z0-9._]");
   MutexLock lock(&mu_);
@@ -121,6 +129,13 @@ std::map<std::string, uint64_t> MetricsRegistry::CounterValues() const {
   MutexLock lock(&mu_);
   std::map<std::string, uint64_t> out;
   for (const auto& [name, c] : counters_) out[name] = c->value();
+  return out;
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::GaugeValues() const {
+  MutexLock lock(&mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, g] : gauges_) out[name] = g->value();
   return out;
 }
 
@@ -147,6 +162,9 @@ std::string MetricsRegistry::Report() const {
   for (const auto& [name, v] : CounterValues()) {
     out += StrCat(DisplayName(name), " = ", v, "\n");
   }
+  for (const auto& [name, v] : GaugeValues()) {
+    out += StrCat(DisplayName(name), " = ", v, "\n");
+  }
   for (const auto& [name, snap] : HistogramSnapshots()) {
     out += StrCat(DisplayName(name), " : ", snap.ToString(), "\n");
   }
@@ -158,6 +176,10 @@ std::string MetricsRegistry::RenderPrometheus(std::string_view prefix) const {
   for (const auto& [name, v] : CounterValues()) {
     std::string id = StrCat(prefix, SanitizeMetricName(name));
     out += StrCat("# TYPE ", id, " counter\n", id, " ", v, "\n");
+  }
+  for (const auto& [name, v] : GaugeValues()) {
+    std::string id = StrCat(prefix, SanitizeMetricName(name));
+    out += StrCat("# TYPE ", id, " gauge\n", id, " ", v, "\n");
   }
   for (const auto& [name, snap] : HistogramSnapshots()) {
     std::string id = StrCat(prefix, SanitizeMetricName(name));

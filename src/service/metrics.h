@@ -33,6 +33,19 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+// Point-in-time level (cache bytes, entry counts): settable and
+// decrementable, unlike a Counter. Renders as a Prometheus gauge.
+class Gauge {
+ public:
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(uint64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
 // Latency histogram over exponential (power-of-two) microsecond buckets:
 // bucket i counts samples in [2^i, 2^(i+1)) µs, bucket 0 includes 0–1 µs.
 // 40 buckets cover ~12 days, far beyond any query deadline.
@@ -92,9 +105,11 @@ std::string SanitizeMetricName(std::string_view name);
 class MetricsRegistry {
  public:
   Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
   std::map<std::string, uint64_t> CounterValues() const;
+  std::map<std::string, uint64_t> GaugeValues() const;
   std::map<std::string, Histogram::Snapshot> HistogramSnapshots() const;
 
   // Human-readable rendering of every instrument, sorted by name — the
@@ -112,6 +127,7 @@ class MetricsRegistry {
  private:
   mutable Mutex mu_{"service.metrics", lock_rank::kMetrics};
   std::map<std::string, std::unique_ptr<Counter>> counters_ AQL_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ AQL_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Histogram>> histograms_
       AQL_GUARDED_BY(mu_);
 };

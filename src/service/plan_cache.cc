@@ -24,22 +24,41 @@ std::shared_ptr<const CachedPlan> PlanCache::Lookup(const ExprPtr& resolved) {
   return nullptr;
 }
 
+namespace {
+
+// Approximate footprint of one entry. The exec::Program and PlanFacts are
+// opaque here; a fixed overhead per entry keeps the gauge honest enough
+// without a deep-size protocol on every plan component.
+uint64_t PlanBytes(const CachedPlan& plan) {
+  constexpr uint64_t kEntryOverhead = 1024;
+  uint64_t b = kEntryOverhead;
+  if (plan.resolved) b += ApproxExprBytes(plan.resolved);
+  if (plan.optimized) b += ApproxExprBytes(plan.optimized);
+  return b;
+}
+
+}  // namespace
+
 void PlanCache::Insert(std::shared_ptr<const CachedPlan> plan) {
   if (capacity_ == 0 || plan == nullptr) return;
   uint64_t hash = hash_(plan->resolved);
+  uint64_t bytes = PlanBytes(*plan);
   MutexLock lock(&mu_);
   // Replace an alpha-equal entry in place (two workers racing the same
   // cold query both compile; last insert wins, both plans stay valid).
   auto [begin, end] = index_.equal_range(hash);
   for (auto it = begin; it != end; ++it) {
     if (AlphaEqual(it->second->plan->resolved, plan->resolved)) {
+      bytes_ += bytes - it->second->bytes;
       it->second->plan = std::move(plan);
+      it->second->bytes = bytes;
       lru_.splice(lru_.begin(), lru_, it->second);
       return;
     }
   }
-  lru_.push_front(Node{hash, std::move(plan)});
+  lru_.push_front(Node{hash, bytes, std::move(plan)});
   index_.emplace(hash, lru_.begin());
+  bytes_ += bytes;
   while (lru_.size() > capacity_) {
     EraseLocked(std::prev(lru_.end()));
     ++evictions_;
@@ -54,6 +73,7 @@ void PlanCache::EraseLocked(LruList::iterator it) {
       break;
     }
   }
+  bytes_ -= it->bytes;
   lru_.erase(it);
 }
 
@@ -67,10 +87,16 @@ uint64_t PlanCache::evictions() const {
   return evictions_;
 }
 
+uint64_t PlanCache::bytes() const {
+  MutexLock lock(&mu_);
+  return bytes_;
+}
+
 void PlanCache::Clear() {
   MutexLock lock(&mu_);
   lru_.clear();
   index_.clear();
+  bytes_ = 0;
 }
 
 }  // namespace service

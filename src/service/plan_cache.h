@@ -68,11 +68,18 @@ class PlanCache {
   size_t size() const;
   size_t capacity() const { return capacity_; }
   uint64_t evictions() const;
+  // Approximate heap bytes held by the cached plans (the resolved and
+  // optimized terms via ApproxExprBytes, plus a fixed per-entry overhead
+  // standing in for the compiled program and facts). Reporting only — the
+  // eviction bound stays the entry-count capacity — surfaced as the
+  // `cache.plans.bytes` gauge so both caches report memory honestly.
+  uint64_t bytes() const;
   void Clear();
 
  private:
   struct Node {
     uint64_t hash;
+    uint64_t bytes;
     std::shared_ptr<const CachedPlan> plan;
   };
   using LruList = std::list<Node>;
@@ -86,6 +93,7 @@ class PlanCache {
   LruList lru_ AQL_GUARDED_BY(mu_);  // front = most recently used
   std::unordered_multimap<uint64_t, LruList::iterator> index_ AQL_GUARDED_BY(mu_);
   uint64_t evictions_ AQL_GUARDED_BY(mu_) = 0;
+  uint64_t bytes_ AQL_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace service

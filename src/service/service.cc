@@ -1,14 +1,17 @@
 #include "service/service.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <utility>
 
 #include "analysis/verifier.h"
+#include "base/env.h"
 #include "base/strings.h"
 #include "exec/parallel.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
+#include "opt/cost.h"
 
 namespace aql {
 namespace service {
@@ -19,6 +22,17 @@ uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
   return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
                                    std::chrono::steady_clock::now() - since)
                                    .count());
+}
+
+// The configured result-cache bound, after the environment knobs:
+// AQL_RESULT_CACHE set-but-falsey kills the cache outright (the boolean
+// must distinguish unset from "0", so it reads getenv directly);
+// AQL_RESULT_CACHE_BYTES resizes it.
+uint64_t EffectiveResultCacheBytes(const ServiceConfig& config) {
+  if (std::getenv("AQL_RESULT_CACHE") != nullptr && !EnvFlag("AQL_RESULT_CACHE")) {
+    return 0;
+  }
+  return EnvU64("AQL_RESULT_CACHE_BYTES", config.result_cache_bytes);
 }
 
 }  // namespace
@@ -46,6 +60,7 @@ QueryService::QueryService(System* system, ServiceConfig config)
       execute_us_(metrics_.GetHistogram("latency.execute_us")),
       script_us_(metrics_.GetHistogram("latency.script_us")),
       cache_(config.plan_cache_capacity),
+      result_cache_(EffectiveResultCacheBytes(config)),
       pool_(config.num_workers, config.max_queue, "service.pool") {
   if (config_.trace) obs::Tracer::Get().SetEnabled(true);
 }
@@ -145,8 +160,26 @@ Result<Value> QueryService::RunQuery(const std::string& expression,
     ExecScope scope(token);
 
     auto compile_start = std::chrono::steady_clock::now();
+    AQL_ASSIGN_OR_RETURN(ExprPtr core, system_->ParseToCore(expression));
+    AQL_ASSIGN_OR_RETURN(ExprPtr resolved, system_->ResolveNames(core));
+
+    // Result cache: answered queries skip compilation and execution
+    // entirely. The epoch is read under the shared lock, and every
+    // mutation that could stale a cached value runs under the exclusive
+    // lock (RunScript), so one read is consistent for both the lookup
+    // here and the insert after execution.
+    const bool use_results = options.use_result_cache && result_cache_.enabled();
+    uint64_t epoch = 0;
+    if (use_results) {
+      epoch = system_->mutation_epoch();
+      if (std::optional<Value> hit = result_cache_.Lookup(resolved, epoch)) {
+        compile_us_->Record(ElapsedUs(compile_start));
+        return *std::move(hit);
+      }
+    }
+
     AQL_ASSIGN_OR_RETURN(std::shared_ptr<const CachedPlan> plan,
-                         GetPlan(expression, options.use_plan_cache));
+                         GetPlan(expression, resolved, options.use_plan_cache));
     compile_us_->Record(ElapsedUs(compile_start));
 
     auto execute_start = std::chrono::steady_clock::now();
@@ -154,6 +187,9 @@ Result<Value> QueryService::RunQuery(const std::string& expression,
                                ? plan->program->Run()
                                : system_->EvalCore(plan->optimized);
     execute_us_->Record(ElapsedUs(execute_start));
+    if (use_results && result.ok()) {
+      result_cache_.Insert(resolved, *result, epoch);
+    }
     return result;
   };
 
@@ -182,9 +218,7 @@ Result<Value> QueryService::RunQuery(const std::string& expression,
 }
 
 Result<std::shared_ptr<const CachedPlan>> QueryService::GetPlan(
-    const std::string& expression, bool use_cache) {
-  AQL_ASSIGN_OR_RETURN(ExprPtr core, system_->ParseToCore(expression));
-  AQL_ASSIGN_OR_RETURN(ExprPtr resolved, system_->ResolveNames(core));
+    const std::string& expression, ExprPtr resolved, bool use_cache) {
   if (use_cache) {
     if (std::shared_ptr<const CachedPlan> hit = cache_.Lookup(resolved)) {
       cache_hits_->Increment();
@@ -290,15 +324,40 @@ void QueryService::SyncExecStats() const {
     sync_value(StrCat("lock.", m.name, ".contended"), m.contended);
     sync_value(StrCat("lock.", m.name, ".wait_us"), m.wait_us);
   }
+
+  // Result-cache counters live in the cache (its mutex is the source of
+  // truth); mirror them the same delta way, and publish the two memory
+  // gauges alongside.
+  const ResultCache::Stats rc = result_cache_.stats();
+  sync_value("cache.result.hits", rc.hits);
+  sync_value("cache.result.misses", rc.misses);
+  sync_value("cache.result.subsumed", rc.subsumptions);
+  sync_value("cache.result.evictions", rc.evictions);
+  sync_value("cache.result.invalidations", rc.invalidations);
+  metrics_.GetGauge("cache.result.bytes")->Set(rc.bytes);
+  metrics_.GetGauge("cache.result.entries")->Set(rc.entries);
+  metrics_.GetGauge("cache.plans.bytes")->Set(cache_.bytes());
+
+  // Cost-model counters (opt/cost.h) are process-wide atomics for the
+  // same reason as ExecStats: the optimizer cannot depend on the service.
+  const OptCostStats& cost = GlobalOptCostStats();
+  sync(metrics_.GetCounter("opt.cost.estimates"), cost.estimates);
+  sync(metrics_.GetCounter("opt.cost.gate_fired"), cost.gate_fired);
+  sync(metrics_.GetCounter("opt.cost.gate_suppressed"), cost.gate_suppressed);
 }
 
 std::string QueryService::StatsReport() const {
   SyncExecStats();
 
+  const ResultCache::Stats rc = result_cache_.stats();
   std::string out =
       StrCat("service: ", pool_.num_threads(), " workers, queue limit ",
              config_.max_queue, ", plan cache ", cache_.size(), "/",
              cache_.capacity(), " entries (", cache_.evictions(), " evictions)\n");
+  out += StrCat("result cache: ", rc.entries, " entries, ", rc.bytes, "/",
+                result_cache_.max_bytes(), " bytes (", rc.hits, " hits, ",
+                rc.subsumptions, " subsumed, ", rc.evictions, " evictions, ",
+                rc.invalidations, " invalidated)\n");
   out += metrics_.Report();
   return out;
 }

@@ -48,6 +48,7 @@
 #include "env/system.h"
 #include "service/metrics.h"
 #include "service/plan_cache.h"
+#include "service/result_cache.h"
 #include "base/thread_pool.h"
 
 namespace aql {
@@ -57,6 +58,15 @@ struct ServiceConfig {
   size_t num_workers = 4;
   size_t max_queue = 256;            // admission bound (queued, not running)
   size_t plan_cache_capacity = 128;  // entries; 0 disables the cache
+  // Semantic result cache (service/result_cache.h): repeated queries are
+  // answered from their cached VALUE, and constant-extent subslab queries
+  // from a slice of a cached containing slab, without compiling or
+  // executing anything. Bounded by approximate bytes; 0 disables.
+  // Environment overrides (read once, at service construction):
+  // AQL_RESULT_CACHE=0 disables, AQL_RESULT_CACHE_BYTES=<n> sets the
+  // bound. Invalidation is automatic — see System::mutation_epoch() and
+  // docs/CACHING.md.
+  uint64_t result_cache_bytes = 64ull << 20;
   // Applied when QueryOptions.deadline is zero; zero here means none.
   std::chrono::milliseconds default_deadline{0};
   // Run the IR verifier (src/analysis) over every freshly compiled plan
@@ -90,6 +100,10 @@ struct QueryOptions {
   // Zero falls back to ServiceConfig::default_deadline.
   std::chrono::milliseconds deadline{0};
   bool use_plan_cache = true;
+  // false bypasses the semantic result cache for this query (no lookup,
+  // no insert) — the HTTP front end's no_cache=1 sets both this and
+  // use_plan_cache false.
+  bool use_result_cache = true;
   // false routes execution through the tree-walking evaluator instead of
   // the compiled backend (still plan-cached at the optimized-term level).
   bool use_compiled_backend = true;
@@ -160,6 +174,10 @@ class QueryService {
 
   MetricsRegistry* metrics() { return &metrics_; }
   const PlanCache& plan_cache() const { return cache_; }
+  const ResultCache& result_cache() const { return result_cache_; }
+  // Non-const access for administrative operations (the REPL's
+  // `:cache clear`); ResultCache is internally synchronized.
+  ResultCache* mutable_result_cache() { return &result_cache_; }
   size_t num_workers() const { return pool_.num_threads(); }
 
   // ":stats" rendering: configuration line + every counter and histogram.
@@ -177,8 +195,11 @@ class QueryService {
   // shared lock and the query's ExecScope.
   Result<Value> RunQuery(const std::string& expression, const QueryOptions& options,
                          const CancelToken* token);
+  // `resolved` is the already-resolved core term for `expression` (the
+  // result-cache key, computed by RunQuery before the lookup); kept by
+  // value so the plan can own it.
   Result<std::shared_ptr<const CachedPlan>> GetPlan(const std::string& expression,
-                                                    bool use_cache);
+                                                    ExprPtr resolved, bool use_cache);
   void CountOutcome(const Status& status);
 
   System* const system_;
@@ -211,6 +232,7 @@ class QueryService {
   Histogram* script_us_;
 
   PlanCache cache_;
+  ResultCache result_cache_;
   // shared: query execution; exclusive: RunScript's environment mutation.
   SharedMutex system_mu_{"service.system", lock_rank::kSystem};
   // Admission gate + in-flight accounting for Shutdown's drain.

@@ -1,0 +1,198 @@
+// Cost-based plan selection (opt/cost.h): the estimator itself, the
+// strict-improvement gate, and a profitable/unprofitable exemplar pair
+// for every gated rule — beta^p with a loop-carrying index, loop-
+// invariant hoisting, cost-driven let inlining. Each pair pins both
+// directions: the gate lets the rewrite fire where the estimate drops,
+// and suppresses it where the paper's syntactic engine would have made
+// the plan worse (verified by re-running with cost_based = false).
+
+#include "core/expr_ops.h"
+#include "env/system.h"
+#include "gtest/gtest.h"
+#include "opt/cost.h"
+#include "opt/optimizer.h"
+
+namespace aql {
+namespace {
+
+size_t CountKind(const ExprPtr& e, ExprKind kind) {
+  size_t n = e->is(kind) ? 1 : 0;
+  for (const ExprPtr& c : e->children()) n += CountKind(c, kind);
+  return n;
+}
+
+// An Apply(Lambda ...) whose argument is not a variable: a preserved let.
+bool HasLet(const ExprPtr& e) {
+  if (e->is(ExprKind::kApply) && e->child(0)->is(ExprKind::kLambda) &&
+      !e->child(1)->is(ExprKind::kVar)) {
+    return true;
+  }
+  for (const ExprPtr& c : e->children()) {
+    if (HasLet(c)) return true;
+  }
+  return false;
+}
+
+System MakeSystem(bool cost_based) {
+  SystemConfig cfg;
+  cfg.optimizer.cost_based = cost_based;
+  return System(cfg);
+}
+
+TEST(CostModelTest, EstimateScalesWithTripCount) {
+  System sys;
+  auto small = sys.CompileUnoptimized("[[ i | \\i < 10 ]]");
+  auto large = sys.CompileUnoptimized("[[ i | \\i < 1000 ]]");
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_GT(EstimateCost(*large), EstimateCost(*small));
+  // Nesting multiplies: the 2-d tabulation prices body * both bounds.
+  auto nested = sys.CompileUnoptimized("[[ i + j | \\i < 100, \\j < 100 ]]");
+  ASSERT_TRUE(nested.ok());
+  EXPECT_GT(EstimateCost(*nested), EstimateCost(*large));
+}
+
+TEST(CostModelTest, EstimateChargesLetBindingOnce) {
+  System sys;
+  // The bound Sum is paid once plus a frame, NOT once per use: the whole
+  // point of keeping a let. Three uses must cost well under 3x one use.
+  auto one = sys.CompileUnoptimized(
+      "let val \\s = summap(fn \\j => j)!(gen!1000) in s + 1 end");
+  auto three = sys.CompileUnoptimized(
+      "let val \\s = summap(fn \\j => j)!(gen!1000) in s + s + s end");
+  ASSERT_TRUE(one.ok() && three.ok());
+  EXPECT_LT(EstimateCost(*three), EstimateCost(*one) * 2.0);
+}
+
+TEST(CostModelTest, GateRequiresStrictImprovement) {
+  System sys;
+  auto cheap = sys.CompileUnoptimized("1 + 2");
+  auto pricey = sys.CompileUnoptimized("summap(fn \\j => j)!(gen!1000)");
+  ASSERT_TRUE(cheap.ok() && pricey.ok());
+  const OptCostStats& stats = GlobalOptCostStats();
+  uint64_t fired = stats.gate_fired.load();
+  uint64_t suppressed = stats.gate_suppressed.load();
+  CostGate gate = MakeCostGate(CostModel{});
+  EXPECT_TRUE(gate("test_rule", *pricey, *cheap));
+  EXPECT_FALSE(gate("test_rule", *cheap, *pricey));
+  EXPECT_FALSE(gate("test_rule", *cheap, *cheap));  // equal cost: keep the plan
+  EXPECT_EQ(stats.gate_fired.load(), fired + 1);
+  EXPECT_EQ(stats.gate_suppressed.load(), suppressed + 2);
+}
+
+// ---- beta^p with a loop-carrying index ----
+//
+// Subscripting a tabulation with an index that itself contains a loop:
+// inlining duplicates the index per use, materializing runs the whole
+// tabulation. Which wins depends on the trip counts — exactly what the
+// gate prices.
+
+TEST(CostModelTest, BetaPFiresWhenMaterializationDominates) {
+  // 10000-slot tabulation read once at a loop-carrying index: inlining
+  // the single use avoids materializing 10000 elements.
+  const char* q =
+      "([[ i | \\i < 10000 ]])[(summap(fn \\x => x)!(gen!100)) % 10000]";
+  System sys = MakeSystem(true);
+  auto plan = sys.Compile(q);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(CountKind(*plan, ExprKind::kTab), 0u) << (*plan)->ToString();
+  auto v = sys.EvalCore(*plan);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Nat(4950));
+}
+
+TEST(CostModelTest, BetaPSuppressedWhenDuplicationDominates) {
+  // 3-slot tabulation whose body uses the binder three times, subscripted
+  // by an expensive loop: beta^p would evaluate the Sum four times (three
+  // body uses + the bounds check) to avoid a 3-element materialization.
+  const char* q =
+      "([[ i * i + i + i | \\i < 3 ]])"
+      "[(summap(fn \\x => x)!(gen!1000)) % 3]";
+  System gated = MakeSystem(true);
+  auto plan = gated.Compile(q);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_GE(CountKind(*plan, ExprKind::kTab), 1u) << (*plan)->ToString();
+
+  // The paper's syntactic engine fires it regardless — and both plans
+  // still agree on the value (the gate is about speed, never semantics).
+  System syntactic = MakeSystem(false);
+  auto plan2 = syntactic.Compile(q);
+  ASSERT_TRUE(plan2.ok());
+  EXPECT_EQ(CountKind(*plan2, ExprKind::kTab), 0u) << (*plan2)->ToString();
+  auto v1 = gated.EvalCore(*plan);
+  auto v2 = syntactic.EvalCore(*plan2);
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  EXPECT_EQ(*v1, *v2);
+  EXPECT_EQ(*v1, Value::Nat(0));  // 499500 % 3 == 0 -> 0*0 + 0 + 0
+}
+
+// ---- loop-invariant hoisting ----
+
+TEST(CostModelTest, HoistFiresWhenLoopRepeatsTheWork) {
+  System sys = MakeSystem(true);
+  auto plan = sys.Compile("[[ i + summap(fn \\j => j)!(gen!1000) | \\i < 50 ]]");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(HasLet(*plan)) << (*plan)->ToString();
+}
+
+TEST(CostModelTest, HoistSuppressedForSingleTripLoop) {
+  // One trip: the invariant Sum runs once either way, and hoisting would
+  // only add a let frame. The syntactic engine hoists it anyway.
+  const char* q = "[[ i + summap(fn \\j => j)!(gen!1000) | \\i < 1 ]]";
+  System gated = MakeSystem(true);
+  auto plan = gated.Compile(q);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_FALSE(HasLet(*plan)) << (*plan)->ToString();
+
+  System syntactic = MakeSystem(false);
+  auto plan2 = syntactic.Compile(q);
+  ASSERT_TRUE(plan2.ok());
+  EXPECT_TRUE(HasLet(*plan2)) << (*plan2)->ToString();
+
+  auto v1 = gated.EvalCore(*plan);
+  auto v2 = syntactic.EvalCore(*plan2);
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  EXPECT_EQ(*v1, *v2);
+}
+
+// ---- cost-driven let inlining ----
+//
+// Normalization's beta inlines trivial and small loop-free bindings on
+// syntax alone; inline_let_cost handles what it leaves behind, and ONLY
+// fires under the gate (with cost_based off the rule does not exist).
+
+TEST(CostModelTest, InlineLetFiresForSingleUseUnderSingleTripLoop) {
+  // Normalization's beta declines any single use under a binder (it could
+  // be a loop body and duplicate the work per trip). The gate proves this
+  // loop runs exactly once, so inlining is free and saves the let frame.
+  const char* q =
+      "let val \\s = summap(fn \\j => j)!(gen!100) in [[ s + i | \\i < 1 ]] end";
+  System gated = MakeSystem(true);
+  auto plan = gated.Compile(q);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_FALSE(HasLet(*plan)) << (*plan)->ToString();
+
+  System syntactic = MakeSystem(false);
+  auto plan2 = syntactic.Compile(q);
+  ASSERT_TRUE(plan2.ok());
+  EXPECT_TRUE(HasLet(*plan2)) << (*plan2)->ToString();
+
+  auto v = gated.EvalCore(*plan);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->array().At(0), Value::Nat(4950));
+}
+
+TEST(CostModelTest, InlineLetSuppressedForSharedBinding) {
+  // Two uses of a loop: inlining would run the Sum twice.
+  const char* q =
+      "let val \\s = summap(fn \\j => j)!(gen!100) in s + s end";
+  System gated = MakeSystem(true);
+  auto plan = gated.Compile(q);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(HasLet(*plan)) << (*plan)->ToString();
+  auto v = gated.EvalCore(*plan);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Nat(9900));
+}
+
+}  // namespace
+}  // namespace aql

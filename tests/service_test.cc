@@ -63,7 +63,9 @@ TEST(ServiceTest, ErrorsSurfaceAsFailedQueries) {
 
 TEST(ServiceTest, PlanCacheHitsOnRepeatedQuery) {
   System sys;
-  QueryService svc(&sys, {.num_workers = 1});
+  // Result cache off: this test pins the PLAN cache layer, which the
+  // result cache would otherwise intercept on every repeat.
+  QueryService svc(&sys, {.num_workers = 1, .result_cache_bytes = 0});
   for (int i = 0; i < 5; ++i) {
     auto r = svc.Execute("summap(fn \\x => x * x)!(gen!10)");
     ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -77,7 +79,7 @@ TEST(ServiceTest, PlanCacheHitsOnRepeatedQuery) {
 
 TEST(ServiceTest, AlphaVariantsShareOnePlan) {
   System sys;
-  QueryService svc(&sys, {.num_workers = 1});
+  QueryService svc(&sys, {.num_workers = 1, .result_cache_bytes = 0});
   ASSERT_TRUE(svc.Execute("{ x * x | \\x <- gen!6 }").ok());
   ASSERT_TRUE(svc.Execute("{ y * y | \\y <- gen!6 }").ok());
   ASSERT_TRUE(svc.Execute("{   whatever*whatever | \\whatever <- gen!6 }").ok());
@@ -89,7 +91,8 @@ TEST(ServiceTest, AlphaVariantsShareOnePlan) {
 
 TEST(ServiceTest, LruEvictionKeepsMostRecentPlans) {
   System sys;
-  QueryService svc(&sys, {.num_workers = 1, .plan_cache_capacity = 2});
+  QueryService svc(&sys, {.num_workers = 1, .plan_cache_capacity = 2,
+                          .result_cache_bytes = 0});
   ASSERT_TRUE(svc.Execute("gen!1").ok());  // A
   ASSERT_TRUE(svc.Execute("gen!2").ok());  // B
   ASSERT_TRUE(svc.Execute("gen!3").ok());  // C evicts A
@@ -230,7 +233,8 @@ TEST(ServiceTest, ExplicitCancelStopsRunningQuery) {
 
 TEST(ServiceTest, ConcurrentQueriesComputeCorrectValues) {
   System sys;
-  QueryService svc(&sys, {.num_workers = 4, .max_queue = 256});
+  QueryService svc(&sys, {.num_workers = 4, .max_queue = 256,
+                          .result_cache_bytes = 0});
   constexpr int kQueries = 48;
   std::vector<QuerySubmission> subs;
   for (int i = 0; i < kQueries; ++i) {
