@@ -1,0 +1,211 @@
+// Out-of-core tiled storage (storage/tile_store.h): the EXPERIMENTS.md
+// storage section. A NetCDF grid several times the tile-cache budget is
+// scanned and windowed through the TileStore and through the eager
+// (RAM-resident) reader:
+//
+//   ColdScan_Tiled / ColdScan_Eager — full scan, cache cleared per
+//       iteration: prices tile-granular streaming against one bulk read.
+//   WarmScan_Tiled                  — full scan with the dataset resident:
+//       the cache-hit fast path.
+//   Window_TileStore / Window_Materialized — a small window read via the
+//       slab's bulk ReadInto (what the exec subslab pushdown issues)
+//       against materializing the whole variable and slicing.
+//
+// `bench_storage --smoke` self-checks the acceptance criteria in a few
+// seconds for check.sh: a scan of a dataset larger than the budget stays
+// under the byte budget and matches the eager read bit-for-bit, and the
+// window read touches measurably fewer tiles than a full materialize.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "netcdf/reader.h"
+#include "netcdf/writer.h"
+#include "storage/tile_store.h"
+
+namespace aql {
+namespace bench {
+namespace {
+
+constexpr uint64_t kRows = 512, kCols = 64;  // 256 KiB of doubles
+constexpr uint64_t kTileBytes = 16 << 10;    // 32 rows per tile, 16 tiles
+constexpr uint64_t kBudget = 48 << 10;       // 3 tiles: the scan must evict
+
+std::string DataPath() {
+  return (std::filesystem::temp_directory_path() / "aql_bench_storage.nc").string();
+}
+
+void EnsureDataFile() {
+  static bool done = [] {
+    netcdf::NcWriter w(1);
+    uint32_t r = w.AddDim("row", kRows);
+    uint32_t c = w.AddDim("col", kCols);
+    std::vector<double> data(kRows * kCols);
+    for (uint64_t i = 0; i < data.size(); ++i) data[i] = double((i * 37) % 1001) * 0.5;
+    w.AddVar("v", netcdf::NcType::kDouble, {r, c}, std::move(data));
+    Status s = w.WriteFile(DataPath());
+    if (!s.ok()) {
+      std::fprintf(stderr, "bench_storage: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+    ::setenv("AQL_TILE_BYTES", std::to_string(kTileBytes).c_str(), 1);
+    return true;
+  }();
+  (void)done;
+}
+
+std::shared_ptr<const LazyRealSlab> OpenWholeSlab(storage::TileStore* store) {
+  auto slab = store->OpenSlab(DataPath(), "v", {0, 0}, {kRows, kCols});
+  if (!slab.ok()) {
+    std::fprintf(stderr, "bench_storage: %s\n", slab.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *slab;
+}
+
+void BM_ColdScan_Tiled(benchmark::State& state) {
+  EnsureDataFile();
+  storage::TileStore store(kBudget);
+  auto slab = OpenWholeSlab(&store);
+  std::vector<double> out(kRows * kCols);
+  for (auto _ : state) {
+    store.Clear();
+    slab = OpenWholeSlab(&store);  // Clear drops the dataset too
+    Status s = slab->ReadInto({0, 0}, {kRows, kCols}, out.data());
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * int64_t(out.size() * 8));
+}
+BENCHMARK(BM_ColdScan_Tiled);
+
+void BM_ColdScan_Eager(benchmark::State& state) {
+  EnsureDataFile();
+  for (auto _ : state) {
+    auto reader = netcdf::NcReader::OpenFile(DataPath());
+    if (!reader.ok()) state.SkipWithError(reader.status().ToString().c_str());
+    auto all = reader->ReadSlab(0, {0, 0}, {kRows, kCols});
+    if (!all.ok()) state.SkipWithError(all.status().ToString().c_str());
+    benchmark::DoNotOptimize(all->data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * int64_t(kRows * kCols * 8));
+}
+BENCHMARK(BM_ColdScan_Eager);
+
+void BM_WarmScan_Tiled(benchmark::State& state) {
+  EnsureDataFile();
+  storage::TileStore store(1 << 20);  // everything fits: all hits
+  auto slab = OpenWholeSlab(&store);
+  std::vector<double> out(kRows * kCols);
+  (void)slab->ReadInto({0, 0}, {kRows, kCols}, out.data());  // warm
+  for (auto _ : state) {
+    Status s = slab->ReadInto({0, 0}, {kRows, kCols}, out.data());
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * int64_t(out.size() * 8));
+}
+BENCHMARK(BM_WarmScan_Tiled);
+
+void BM_Window_TileStore(benchmark::State& state) {
+  EnsureDataFile();
+  storage::TileStore store(kBudget);
+  auto slab = OpenWholeSlab(&store);
+  std::vector<double> out(16 * kCols);
+  uint64_t n = 0;
+  for (auto _ : state) {
+    uint64_t r0 = (n++ * 61) % (kRows - 16);
+    Status s = slab->ReadInto({r0, 0}, {16, kCols}, out.data());
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Window_TileStore);
+
+void BM_Window_Materialized(benchmark::State& state) {
+  EnsureDataFile();
+  std::vector<double> out(16 * kCols);
+  uint64_t n = 0;
+  for (auto _ : state) {
+    auto reader = netcdf::NcReader::OpenFile(DataPath());
+    if (!reader.ok()) state.SkipWithError(reader.status().ToString().c_str());
+    auto all = reader->ReadSlab(0, {0, 0}, {kRows, kCols});
+    if (!all.ok()) state.SkipWithError(all.status().ToString().c_str());
+    uint64_t r0 = (n++ * 61) % (kRows - 16);
+    std::memcpy(out.data(), all->data() + r0 * kCols, out.size() * 8);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Window_Materialized);
+
+// ---- --smoke: the acceptance criteria, self-checking ----
+
+int Smoke() {
+  EnsureDataFile();
+  int failures = 0;
+
+  // 1. A full scan of a dataset ~5x the budget completes under budget and
+  //    matches the eager read bit-for-bit.
+  {
+    storage::TileStore store(kBudget);
+    auto slab = OpenWholeSlab(&store);
+    std::vector<double> tiled(kRows * kCols);
+    Status s = slab->ReadInto({0, 0}, {kRows, kCols}, tiled.data());
+    if (!s.ok()) {
+      std::printf("smoke full-scan       FAIL (%s)\n", s.ToString().c_str());
+      return 1;
+    }
+    auto reader = netcdf::NcReader::OpenFile(DataPath());
+    auto eager = reader->ReadSlab(0, {0, 0}, {kRows, kCols});
+    bool identical = eager.ok() && *eager == tiled;
+    storage::TileStoreStats st = store.stats();
+    bool bounded = st.bytes <= kBudget && st.evictions > 0;
+    std::printf(
+        "smoke full-scan       %llu tile loads, %llu evictions, %llu/%llu "
+        "resident bytes, bit-identical %s  %s\n",
+        (unsigned long long)st.misses, (unsigned long long)st.evictions,
+        (unsigned long long)st.bytes, (unsigned long long)kBudget,
+        identical ? "yes" : "NO", identical && bounded ? "ok" : "FAIL");
+    if (!identical || !bounded) ++failures;
+  }
+
+  // 2. A window read (the shape the exec subslab pushdown issues) touches
+  //    measurably fewer tiles than materializing the whole variable.
+  {
+    storage::TileStore store(kBudget);
+    auto slab = OpenWholeSlab(&store);
+    std::vector<double> out(16 * kCols);
+    Status s = slab->ReadInto({64, 0}, {16, kCols}, out.data());
+    uint64_t window_loads = store.stats().misses;
+    std::vector<double> full(kRows * kCols);
+    (void)slab->ReadInto({0, 0}, {kRows, kCols}, full.data());
+    uint64_t total_loads = store.stats().misses;
+    bool ok = s.ok() && window_loads * 4 <= total_loads;
+    std::printf("smoke subslab-window  %llu tile loads vs %llu for the full scan  %s\n",
+                (unsigned long long)window_loads, (unsigned long long)total_loads,
+                ok ? "ok" : "FAIL");
+    if (!ok) ++failures;
+  }
+
+  std::printf("smoke result: %s\n", failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aql
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return aql::bench::Smoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

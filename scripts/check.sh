@@ -26,6 +26,9 @@ scripts/http_smoke.sh build
 echo "== result-cache smoke (speedup thresholds + bit-identity)"
 build/bench/bench_result_cache --smoke
 
+echo "== out-of-core smoke (tile cache budget + bit-identity + subslab reads)"
+build/bench/bench_storage --smoke
+
 echo "== lint (strict: clang-tidy warnings fail the gate)"
 scripts/lint.sh --strict build
 

@@ -310,7 +310,9 @@ bool DivisorConstZero(const ExprPtr& e) {
 }
 
 // Scans a literal array for per-point ⊥ holes (bounded; boxed payloads
-// beyond the cap conservatively count as holed).
+// beyond the cap conservatively count as holed). Unboxed payloads —
+// including kTiled slabs, whose elements are total by construction
+// (storage zone maps track defined counts per tile) — never hold ⊥.
 bool LiteralElemsDefined(const ArrayRep& rep) {
   if (rep.unboxed()) return true;
   constexpr size_t kScanCap = 4096;

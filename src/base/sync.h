@@ -95,6 +95,7 @@ inline constexpr int kResultCache = 305;  // service::ResultCache LRU
 inline constexpr int kThreadPool = 310;   // base::ThreadPool queues (all pools)
 inline constexpr int kExecTerminal = 450;  // exec loop first-⊥/error election
 inline constexpr int kExecForState = 500;  // exec::ParallelFor chunk state
+inline constexpr int kTileCache = 550;     // storage::TileStore LRU + zone maps
 inline constexpr int kTracer = 600;        // obs::Tracer sink
 inline constexpr int kSlowLog = 610;       // net::SlowQueryLog ring
 inline constexpr int kMetrics = 620;       // service::MetricsRegistry index

@@ -460,14 +460,96 @@ class SumNode : public Node {
   NodePtr body_, source_;
 };
 
+// Compile-time subslab pushdown: a tabulation of the shape
+//   [[ S[i1+lo1, ..., ik+lok] | i1 < e1, ..., ik < ek ]]
+// where S is a tiled-array literal (a resolved out-of-core readval) turns
+// into ONE bulk range read against the tile store — the optimizer's
+// subscript-range constraints pushed down into TileStore instead of
+// materializing the whole variable and gathering point-wise.
+struct TabPushdown {
+  Value base;                   // the tiled-array literal (keeps the slab alive)
+  std::vector<uint64_t> lower;  // per-dimension constant offsets
+};
+
+// Matches `part` as binder + constant offset (the binder alone, binder+c,
+// or c+binder), where c may be a NatConst or a nat literal. Mirrors the
+// result cache's subslab matcher (service/result_cache.cc); a different
+// binder — a transposed access — fails.
+bool MatchPushdownIndexPart(const ExprPtr& part, const std::string& binder,
+                            uint64_t* offset) {
+  auto nat_const = [](const ExprPtr& x, uint64_t* out) {
+    if (x->is(ExprKind::kNatConst)) {
+      *out = x->nat_const();
+      return true;
+    }
+    if (x->is(ExprKind::kLiteral) && x->literal().kind() == ValueKind::kNat) {
+      *out = x->literal().nat_value();
+      return true;
+    }
+    return false;
+  };
+  if (part->is(ExprKind::kVar) && part->var_name() == binder) {
+    *offset = 0;
+    return true;
+  }
+  if (!part->is(ExprKind::kArith) || part->arith_op() != ArithOp::kAdd) return false;
+  const ExprPtr& a = part->child(0);
+  const ExprPtr& b = part->child(1);
+  if (a->is(ExprKind::kVar) && a->var_name() == binder && nat_const(b, offset)) return true;
+  if (b->is(ExprKind::kVar) && b->var_name() == binder && nat_const(a, offset)) return true;
+  return false;
+}
+
+// Detects the pushdown-eligible tabulation shape at compile time. The base
+// must be a LITERAL tiled array (how a resolved out-of-core readval
+// appears in a plan) so the region is known to come straight from storage;
+// binder names must be distinct so "part j uses binder j" is unambiguous.
+std::unique_ptr<const TabPushdown> TryMatchPushdown(const ExprPtr& e) {
+  const ExprPtr& body = e->tab_body();
+  if (!body->is(ExprKind::kSubscript)) return nullptr;
+  const ExprPtr& base = body->child(0);
+  if (!base->is(ExprKind::kLiteral)) return nullptr;
+  const Value& v = base->literal();
+  if (v.kind() != ValueKind::kArray ||
+      v.array().payload != ArrayRep::Payload::kTiled) {
+    return nullptr;
+  }
+  const size_t k = e->tab_rank();
+  if (v.array().dims.size() != k) return nullptr;
+  const std::vector<std::string>& binders = e->binders();
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      if (binders[i] == binders[j]) return nullptr;  // shadowing: ambiguous
+    }
+  }
+  const ExprPtr& idx = body->child(1);
+  std::vector<ExprPtr> parts(k);
+  if (k == 1) {
+    parts[0] = idx;
+  } else if (idx->is(ExprKind::kTuple) && idx->children().size() == k) {
+    for (size_t j = 0; j < k; ++j) parts[j] = idx->child(j);
+  } else {
+    return nullptr;
+  }
+  auto pd = std::make_unique<TabPushdown>();
+  pd->base = v;
+  pd->lower.resize(k);
+  for (size_t j = 0; j < k; ++j) {
+    if (!MatchPushdownIndexPart(parts[j], binders[j], &pd->lower[j])) return nullptr;
+  }
+  return pd;
+}
+
 class TabNode : public Node {
  public:
   TabNode(std::vector<size_t> binder_slots, NodePtr body, std::vector<NodePtr> bounds,
-          std::unique_ptr<const KernelSpec> kernel_spec)
+          std::unique_ptr<const KernelSpec> kernel_spec,
+          std::unique_ptr<const TabPushdown> pushdown)
       : binder_slots_(std::move(binder_slots)),
         body_(std::move(body)),
         bounds_(std::move(bounds)),
-        kernel_spec_(std::move(kernel_spec)) {}
+        kernel_spec_(std::move(kernel_spec)),
+        pushdown_(std::move(pushdown)) {}
 
   Result<Value> Run(Frame* f) const override {
     size_t k = binder_slots_.size();
@@ -485,6 +567,31 @@ class TabNode : public Node {
       auto arr = Value::MakeArray(std::move(dims), {});
       if (!arr.ok()) return Status::Internal(arr.status().message());
       return std::move(arr).value();
+    }
+
+    // Subslab pushdown: one bulk tile-store range read replaces the whole
+    // gather loop. Only when the requested region fits inside the base —
+    // an out-of-range region must fall through so each out-of-bounds
+    // point keeps its ⊥ hole (bit-identical to the generic path; in-range
+    // elements are decoded by the very same tile reads either way).
+    if (pushdown_ != nullptr && total <= kUnboxedAllocLimit &&
+        EnvU64("AQL_EXEC_PUSHDOWN", 1) != 0) {
+      const ArrayRep& base = pushdown_->base.array();
+      bool fits = base.dims.size() == k;
+      for (size_t j = 0; fits && j < k; ++j) {
+        fits = dims[j] <= base.dims[j] && pushdown_->lower[j] <= base.dims[j] - dims[j];
+      }
+      if (fits) {
+        std::vector<double> buf(total);
+        // An I/O failure here is the query's error: the generic path would
+        // hit the same failing read element-wise.
+        AQL_RETURN_IF_ERROR(base.tiled->ReadInto(pushdown_->lower, dims, buf.data()));
+        auto arr = Value::MakeRealArray(dims, std::move(buf));
+        if (!arr.ok()) return Status::Internal(arr.status().message());
+        GlobalExecStats().tab_pushdowns.fetch_add(1, std::memory_order_relaxed);
+        GlobalExecStats().unboxed_arrays.fetch_add(1, std::memory_order_relaxed);
+        return std::move(arr).value();
+      }
     }
 
     // Fused kernel: scalar body over an unboxed result buffer. A ⊥ at any
@@ -668,6 +775,7 @@ class TabNode : public Node {
   NodePtr body_;
   std::vector<NodePtr> bounds_;
   std::unique_ptr<const KernelSpec> kernel_spec_;
+  std::unique_ptr<const TabPushdown> pushdown_;
 };
 
 bool ExtractIndexValue(const Value& v, std::vector<uint64_t>* out) {
@@ -1008,7 +1116,8 @@ class Compiler {
         Pop(e->tab_rank());
         AQL_RETURN_IF_ERROR(body.status());
         return NodePtr(new TabNode(std::move(slots), std::move(body).value(),
-                                   std::move(bounds), std::move(spec)));
+                                   std::move(bounds), std::move(spec),
+                                   TryMatchPushdown(e)));
       }
       case ExprKind::kSubscript: {
         AQL_ASSIGN_OR_RETURN(NodePtr arr, CompileNode(e->child(0)));

@@ -373,6 +373,9 @@ bool Kernel::Build(const KernelSpec& spec, const Frame& frame,
         case ArrayRep::Payload::kReals: out->type = Type::kReal; break;
         case ArrayRep::Payload::kBools: out->type = Type::kBool; break;
         case ArrayRep::Payload::kBoxed: return false;
+        // Tiled slabs have no flat buffer for the kernel to index; the
+        // interpreter path (with its tile memo) handles them.
+        case ArrayRep::Payload::kTiled: return false;
       }
       out->kids.resize(rank);
       for (size_t i = 0; i < rank; ++i) {

@@ -58,6 +58,7 @@ struct ExecStats {
   std::atomic<uint64_t> par_chunks{0};     // chunks executed by parallel loops
   std::atomic<uint64_t> unboxed_arrays{0};  // arrays materialized with an unboxed payload
   std::atomic<uint64_t> unchecked_kernels{0};  // tabulations run without per-cell checks
+  std::atomic<uint64_t> tab_pushdowns{0};  // tabs served by one bulk tile-store range read
 };
 ExecStats& GlobalExecStats();
 

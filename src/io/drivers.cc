@@ -1,12 +1,15 @@
 #include "io/drivers.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
+#include "base/env.h"
 #include "base/strings.h"
 #include "netcdf/reader.h"
 #include "netcdf/writer.h"
 #include "object/value_parser.h"
+#include "storage/tile_store.h"
 
 namespace aql {
 
@@ -91,12 +94,31 @@ IoRegistry::ReaderFn MakeNetcdfReader(size_t rank) {
                  rank));
     }
     std::vector<uint64_t> count(rank);
+    uint64_t slab_elems = 1;
+    bool overflow = false;
     for (size_t j = 0; j < rank; ++j) {
       if (upper[j] < lower[j]) {
         return Status::InvalidArgument("upper bound below lower bound");
       }
       count[j] = upper[j] - lower[j] + 1;  // bounds are inclusive (§4.1)
+      if (count[j] != 0 && slab_elems > UINT64_MAX / count[j]) overflow = true;
+      slab_elems *= count[j];
     }
+
+    // Large slabs stay out-of-core: back the array with the tile store so
+    // tab/sum pipelines stream it tile-by-tile instead of materializing.
+    // Small reads keep the eager flat buffer (no behavior change, and the
+    // pread-backed reader already bounds their memory to the slab).
+    const bool tiled_on = EnvU64("AQL_TILED_READ", 1) != 0;
+    const uint64_t threshold =
+        EnvU64("AQL_TILED_READ_THRESHOLD", 8ull << 20) / sizeof(double);
+    if (tiled_on && !overflow && slab_elems >= std::max<uint64_t>(threshold, 1)) {
+      AQL_ASSIGN_OR_RETURN(
+          std::shared_ptr<const LazyRealSlab> slab,
+          storage::TileStore::Global().OpenSlab(path, var_name, lower, count));
+      return Value::MakeTiledArray(std::move(slab));
+    }
+
     AQL_ASSIGN_OR_RETURN(std::vector<double> data, reader.ReadSlab(var, lower, count));
 
     // CF packing convention: if the variable carries numeric scale_factor
@@ -171,6 +193,13 @@ IoRegistry::WriterFn MakeNetcdfWriter() {
           }
         }
         break;
+      case ArrayRep::Payload::kTiled: {
+        // Writing re-materializes: the wire format needs the full buffer.
+        data.resize(arr.TotalSize());
+        std::vector<uint64_t> start(arr.dims.size(), 0);
+        AQL_RETURN_IF_ERROR(arr.tiled->ReadInto(start, arr.dims, data.data()));
+        break;
+      }
     }
     netcdf::NcWriter writer(1);
     std::vector<uint32_t> dim_ids;

@@ -40,9 +40,11 @@ Status IoRegistry::Write(const std::string& writer, const Value& payload,
   }
   obs::Span span("io", StrCat("io.write.", writer));
   Status status = it->second(payload, args);
-  // Epoch advances only when the writer reports success: a failed write
-  // promises it left no observable state behind.
-  if (status.ok()) epoch_.fetch_add(1, std::memory_order_acq_rel);
+  // Epoch advances on ANY write attempt, failed or not: a writer that
+  // errors midway (partial file, truncated stream) may still have mutated
+  // the external world, and a stale result cache serving data from before
+  // the partial write is worse than a few spurious invalidations.
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
   return status;
 }
 

@@ -34,10 +34,13 @@ class IoRegistry {
   bool HasReader(const std::string& name) const { return readers_.count(name) > 0; }
   bool HasWriter(const std::string& name) const { return writers_.count(name) > 0; }
 
-  // Bumped on every registration and every successful Write. Writers and
-  // registered drivers are opaque: a write may mutate state any reader or
-  // primitive observes, so the service's result cache treats an epoch
-  // change as "anything derived from external state may be stale" (see
+  // Bumped on every registration and every Write ATTEMPT, including
+  // failed ones — a writer that errors midway may already have mutated
+  // external state (partial file), and the result cache must not serve
+  // results derived from the pre-write world. Writers and registered
+  // drivers are opaque: a write may mutate state any reader or primitive
+  // observes, so the service's result cache treats an epoch change as
+  // "anything derived from external state may be stale" (see
   // docs/CACHING.md). Monotone; safe to poll from concurrent queries.
   uint64_t mutation_epoch() const {
     return epoch_.load(std::memory_order_acquire);

@@ -1,7 +1,11 @@
 #include "netcdf/reader.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <cstring>
-#include <fstream>
 
 #include "base/strings.h"
 #include "obs/trace.h"
@@ -16,15 +20,28 @@ constexpr uint32_t kTagDimension = 0x0A;
 constexpr uint32_t kTagVariable = 0x0B;
 constexpr uint32_t kTagAttribute = 0x0C;
 
-// Big-endian cursor over the header bytes.
+// Overflow-checked arithmetic for untrusted header-derived quantities.
+bool MulU64(uint64_t a, uint64_t b, uint64_t* out) {
+  return !__builtin_mul_overflow(a, b, out);
+}
+bool AddU64(uint64_t a, uint64_t b, uint64_t* out) {
+  return !__builtin_add_overflow(a, b, out);
+}
+
+// Big-endian cursor over the header bytes. `hit_end` distinguishes "the
+// parse ran past the prefix we fetched" (fetch more and retry) from a
+// malformed header.
 class Cursor {
  public:
   Cursor(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
 
   uint64_t pos() const { return pos_; }
+  bool hit_end() const { return hit_end_; }
 
-  Status Need(uint64_t n) const {
-    if (pos_ + n > bytes_.size()) {
+  Status Need(uint64_t n) {
+    uint64_t end;
+    if (!AddU64(pos_, n, &end) || end > bytes_.size()) {
+      hit_end_ = true;
       return Status::FormatError(StrCat("netcdf: truncated file at offset ", pos_));
     }
     return Status::OK();
@@ -49,8 +66,8 @@ class Cursor {
     AQL_RETURN_IF_ERROR(Need(len));
     std::string out(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
     pos_ += len;
-    return SkipPad(len).ok() ? Result<std::string>(std::move(out))
-                             : Result<std::string>(Status::FormatError("netcdf: bad pad"));
+    AQL_RETURN_IF_ERROR(SkipPad(len));
+    return out;
   }
 
   Status SkipPad(uint64_t consumed) {
@@ -71,6 +88,7 @@ class Cursor {
  private:
   const std::vector<uint8_t>& bytes_;
   uint64_t pos_ = 0;
+  bool hit_end_ = false;
 };
 
 double DecodeBigEndian(NcType type, const uint8_t* p) {
@@ -152,124 +170,317 @@ Result<std::vector<NcAttr>> ParseAttrList(Cursor* cur) {
   return attrs;
 }
 
+// Full header parse over a prefix of the file. On failure, *hit_end says
+// whether the parse simply ran off the end of the prefix (the caller
+// fetches a longer prefix and retries) rather than finding bad structure.
+Status ParseHeader(const std::vector<uint8_t>& bytes, NcHeader* header,
+                   uint64_t* recsize_out, bool* hit_end) {
+  Cursor cur(bytes);
+  *hit_end = false;
+  Status parsed = [&]() -> Status {
+    AQL_RETURN_IF_ERROR(cur.Need(4));
+    if (bytes[0] != 'C' || bytes[1] != 'D' || bytes[2] != 'F') {
+      return Status::FormatError("netcdf: bad magic (not a classic NetCDF file)");
+    }
+    header->version = bytes[3];
+    if (header->version != 1 && header->version != 2) {
+      return Status::FormatError(
+          StrCat("netcdf: unsupported version byte ", int(header->version)));
+    }
+    AQL_RETURN_IF_ERROR(cur.Skip(4));
+    AQL_ASSIGN_OR_RETURN(uint32_t numrecs, cur.U32());
+    header->numrecs = numrecs == 0xFFFFFFFFu ? 0 : numrecs;  // STREAMING -> computed later
+
+    // dim_list.
+    AQL_ASSIGN_OR_RETURN(uint32_t dim_tag, cur.U32());
+    AQL_ASSIGN_OR_RETURN(uint32_t ndims, cur.U32());
+    if (dim_tag != kTagAbsent && dim_tag != kTagDimension) {
+      return Status::FormatError("netcdf: bad dimension list tag");
+    }
+    if (dim_tag == kTagAbsent && ndims != 0) {
+      return Status::FormatError("netcdf: ABSENT dim list with nonzero count");
+    }
+    for (uint32_t i = 0; i < ndims; ++i) {
+      NcDim dim;
+      AQL_ASSIGN_OR_RETURN(dim.name, cur.Name());
+      AQL_ASSIGN_OR_RETURN(uint32_t len, cur.U32());
+      dim.length = len;
+      dim.is_record = (len == 0);
+      header->dims.push_back(std::move(dim));
+    }
+
+    AQL_ASSIGN_OR_RETURN(header->gattrs, ParseAttrList(&cur));
+
+    // var_list.
+    AQL_ASSIGN_OR_RETURN(uint32_t var_tag, cur.U32());
+    AQL_ASSIGN_OR_RETURN(uint32_t nvars, cur.U32());
+    if (var_tag != kTagAbsent && var_tag != kTagVariable) {
+      return Status::FormatError("netcdf: bad variable list tag");
+    }
+    uint64_t recsize = 0;
+    size_t record_var_count = 0;
+    for (uint32_t i = 0; i < nvars; ++i) {
+      NcVar var;
+      AQL_ASSIGN_OR_RETURN(var.name, cur.Name());
+      AQL_ASSIGN_OR_RETURN(uint32_t vdims, cur.U32());
+      for (uint32_t j = 0; j < vdims; ++j) {
+        AQL_ASSIGN_OR_RETURN(uint32_t dim_id, cur.U32());
+        if (dim_id >= header->dims.size()) {
+          return Status::FormatError("netcdf: variable references unknown dimension");
+        }
+        var.dim_ids.push_back(dim_id);
+      }
+      AQL_ASSIGN_OR_RETURN(var.attrs, ParseAttrList(&cur));
+      AQL_ASSIGN_OR_RETURN(uint32_t raw_type, cur.U32());
+      AQL_ASSIGN_OR_RETURN(var.type, DecodeType(raw_type));
+      AQL_ASSIGN_OR_RETURN(uint32_t vsize, cur.U32());
+      var.vsize = vsize;
+      if (header->version == 2) {
+        AQL_ASSIGN_OR_RETURN(var.begin, cur.U64());
+      } else {
+        AQL_ASSIGN_OR_RETURN(uint32_t begin, cur.U32());
+        var.begin = begin;
+      }
+      if (var.IsRecord(header->dims)) {
+        recsize += var.vsize;
+        ++record_var_count;
+      }
+      header->vars.push_back(std::move(var));
+    }
+    // Classic-format special case: a single record variable packs its
+    // records without padding to a 4-byte boundary.
+    if (record_var_count == 1) {
+      for (const NcVar& v : header->vars) {
+        if (v.IsRecord(header->dims)) {
+          uint64_t unpadded = NcTypeSize(v.type);
+          std::vector<uint64_t> shape = header->VarShape(v);
+          for (size_t j = 1; j < shape.size(); ++j) unpadded *= shape[j];
+          recsize = unpadded;
+        }
+      }
+    }
+    *recsize_out = recsize;
+    return Status::OK();
+  }();
+  if (!parsed.ok()) *hit_end = cur.hit_end();
+  return parsed;
+}
+
+class MemSource : public ByteSource {
+ public:
+  explicit MemSource(std::vector<uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+  uint64_t size() const override { return bytes_.size(); }
+
+  Status ReadAt(uint64_t offset, uint64_t len, uint8_t* out) const override {
+    uint64_t end;
+    if (!AddU64(offset, len, &end) || end > bytes_.size()) {
+      return Status::FormatError("netcdf: data read past end of file");
+    }
+    std::memcpy(out, bytes_.data() + offset, len);
+    return Status::OK();
+  }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+class FileSource : public ByteSource {
+ public:
+  FileSource(int fd, uint64_t size, std::string path)
+      : fd_(fd), size_(size), path_(std::move(path)) {}
+  ~FileSource() override { ::close(fd_); }
+
+  FileSource(const FileSource&) = delete;
+  FileSource& operator=(const FileSource&) = delete;
+
+  uint64_t size() const override { return size_; }
+
+  Status ReadAt(uint64_t offset, uint64_t len, uint8_t* out) const override {
+    uint64_t end;
+    if (!AddU64(offset, len, &end) || end > size_) {
+      return Status::FormatError("netcdf: data read past end of file");
+    }
+    uint64_t done = 0;
+    while (done < len) {
+      ssize_t n = ::pread(fd_, out + done, len - done, off_t(offset + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(
+            StrCat("pread ", path_, " at ", offset + done, ": ", std::strerror(errno)));
+      }
+      if (n == 0) {
+        return Status::FormatError("netcdf: data read past end of file");
+      }
+      done += uint64_t(n);
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  uint64_t size_;
+  std::string path_;
+};
+
 }  // namespace
 
+Result<std::shared_ptr<const ByteSource>> OpenFileSource(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::IoError(StrCat("cannot open ", path));
+  off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    return Status::IoError(StrCat("cannot stat ", path));
+  }
+  return std::shared_ptr<const ByteSource>(
+      std::make_shared<FileSource>(fd, uint64_t(end), path));
+}
+
 Result<NcReader> NcReader::Open(std::vector<uint8_t> bytes) {
-  Cursor cur(bytes);
-  AQL_RETURN_IF_ERROR(cur.Need(4));
-  if (bytes[0] != 'C' || bytes[1] != 'D' || bytes[2] != 'F') {
-    return Status::FormatError("netcdf: bad magic (not a classic NetCDF file)");
-  }
-  NcHeader header;
-  header.version = bytes[3];
-  if (header.version != 1 && header.version != 2) {
-    return Status::FormatError(
-        StrCat("netcdf: unsupported version byte ", int(header.version)));
-  }
-  AQL_RETURN_IF_ERROR(cur.Skip(4));
-  AQL_ASSIGN_OR_RETURN(uint32_t numrecs, cur.U32());
-  header.numrecs = numrecs == 0xFFFFFFFFu ? 0 : numrecs;  // STREAMING -> computed later
-
-  // dim_list.
-  AQL_ASSIGN_OR_RETURN(uint32_t dim_tag, cur.U32());
-  AQL_ASSIGN_OR_RETURN(uint32_t ndims, cur.U32());
-  if (dim_tag != kTagAbsent && dim_tag != kTagDimension) {
-    return Status::FormatError("netcdf: bad dimension list tag");
-  }
-  if (dim_tag == kTagAbsent && ndims != 0) {
-    return Status::FormatError("netcdf: ABSENT dim list with nonzero count");
-  }
-  for (uint32_t i = 0; i < ndims; ++i) {
-    NcDim dim;
-    AQL_ASSIGN_OR_RETURN(dim.name, cur.Name());
-    AQL_ASSIGN_OR_RETURN(uint32_t len, cur.U32());
-    dim.length = len;
-    dim.is_record = (len == 0);
-    header.dims.push_back(std::move(dim));
-  }
-
-  AQL_ASSIGN_OR_RETURN(header.gattrs, ParseAttrList(&cur));
-
-  // var_list.
-  AQL_ASSIGN_OR_RETURN(uint32_t var_tag, cur.U32());
-  AQL_ASSIGN_OR_RETURN(uint32_t nvars, cur.U32());
-  if (var_tag != kTagAbsent && var_tag != kTagVariable) {
-    return Status::FormatError("netcdf: bad variable list tag");
-  }
-  uint64_t recsize = 0;
-  size_t record_var_count = 0;
-  for (uint32_t i = 0; i < nvars; ++i) {
-    NcVar var;
-    AQL_ASSIGN_OR_RETURN(var.name, cur.Name());
-    AQL_ASSIGN_OR_RETURN(uint32_t vdims, cur.U32());
-    for (uint32_t j = 0; j < vdims; ++j) {
-      AQL_ASSIGN_OR_RETURN(uint32_t dim_id, cur.U32());
-      if (dim_id >= header.dims.size()) {
-        return Status::FormatError("netcdf: variable references unknown dimension");
-      }
-      var.dim_ids.push_back(dim_id);
-    }
-    AQL_ASSIGN_OR_RETURN(var.attrs, ParseAttrList(&cur));
-    AQL_ASSIGN_OR_RETURN(uint32_t raw_type, cur.U32());
-    AQL_ASSIGN_OR_RETURN(var.type, DecodeType(raw_type));
-    AQL_ASSIGN_OR_RETURN(uint32_t vsize, cur.U32());
-    var.vsize = vsize;
-    if (header.version == 2) {
-      AQL_ASSIGN_OR_RETURN(var.begin, cur.U64());
-    } else {
-      AQL_ASSIGN_OR_RETURN(uint32_t begin, cur.U32());
-      var.begin = begin;
-    }
-    if (var.IsRecord(header.dims)) {
-      recsize += var.vsize;
-      ++record_var_count;
-    }
-    header.vars.push_back(std::move(var));
-  }
-  // Classic-format special case: a single record variable packs its
-  // records without padding to a 4-byte boundary.
-  if (record_var_count == 1) {
-    for (const NcVar& v : header.vars) {
-      if (v.IsRecord(header.dims)) {
-        uint64_t unpadded = NcTypeSize(v.type);
-        std::vector<uint64_t> shape = header.VarShape(v);
-        for (size_t j = 1; j < shape.size(); ++j) unpadded *= shape[j];
-        recsize = unpadded;
-      }
-    }
-  }
-  return NcReader(std::move(header), std::move(bytes), recsize);
+  return OpenSource(std::make_shared<MemSource>(std::move(bytes)));
 }
 
 Result<NcReader> NcReader::OpenFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError(StrCat("cannot open ", path));
-  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
-                             std::istreambuf_iterator<char>());
-  return Open(std::move(bytes));
+  AQL_ASSIGN_OR_RETURN(std::shared_ptr<const ByteSource> src, OpenFileSource(path));
+  return OpenSource(std::move(src));
 }
 
-uint64_t NcReader::ElementOffset(const NcVar& var, const std::vector<uint64_t>& shape,
-                                 const std::vector<uint64_t>& index) const {
+Result<NcReader> NcReader::OpenSource(std::shared_ptr<const ByteSource> source) {
+  if (source == nullptr) return Status::InvalidArgument("netcdf: null byte source");
+  // Parse the header from a doubling prefix: small files and small headers
+  // cost one read; a header larger than the guess re-fetches with a 4x
+  // longer prefix until it parses or provably cannot.
+  constexpr uint64_t kInitialPrefix = 64 * 1024;
+  uint64_t prefix = std::min<uint64_t>(source->size(), kInitialPrefix);
+  for (;;) {
+    std::vector<uint8_t> bytes(prefix);
+    if (prefix > 0) {
+      AQL_RETURN_IF_ERROR(source->ReadAt(0, prefix, bytes.data()));
+    }
+    NcHeader header;
+    uint64_t recsize = 0;
+    bool hit_end = false;
+    Status parsed = ParseHeader(bytes, &header, &recsize, &hit_end);
+    if (parsed.ok()) {
+      return NcReader(std::move(header), std::move(source), recsize);
+    }
+    if (!hit_end || prefix >= source->size()) return parsed;
+    uint64_t grown;
+    if (!MulU64(prefix, 4, &grown)) grown = source->size();
+    prefix = std::min<uint64_t>(source->size(), std::max<uint64_t>(grown, 8));
+  }
+}
+
+Result<uint64_t> NcReader::ElementOffset(const NcVar& var,
+                                         const std::vector<uint64_t>& shape,
+                                         const std::vector<uint64_t>& index) const {
+  constexpr const char* kOverflow = "netcdf: variable data offset overflows";
   size_t esize = NcTypeSize(var.type);
+  uint64_t offset = var.begin;
   if (var.IsRecord(header_.dims)) {
     // Record r lives at begin + r * recsize; within the record the
     // remaining dimensions are contiguous.
     uint64_t within = 0;
-    for (size_t j = 1; j < shape.size(); ++j) within = within * shape[j] + index[j];
-    return var.begin + index[0] * recsize_ + within * esize;
+    for (size_t j = 1; j < shape.size(); ++j) {
+      if (!MulU64(within, shape[j], &within) || !AddU64(within, index[j], &within)) {
+        return Status::FormatError(kOverflow);
+      }
+    }
+    uint64_t rec_bytes, within_bytes;
+    if (!MulU64(index.empty() ? 0 : index[0], recsize_, &rec_bytes) ||
+        !MulU64(within, esize, &within_bytes) || !AddU64(offset, rec_bytes, &offset) ||
+        !AddU64(offset, within_bytes, &offset)) {
+      return Status::FormatError(kOverflow);
+    }
+    return offset;
   }
   uint64_t flat = 0;
-  for (size_t j = 0; j < shape.size(); ++j) flat = flat * shape[j] + index[j];
-  return var.begin + flat * esize;
+  for (size_t j = 0; j < shape.size(); ++j) {
+    if (!MulU64(flat, shape[j], &flat) || !AddU64(flat, index[j], &flat)) {
+      return Status::FormatError(kOverflow);
+    }
+  }
+  uint64_t flat_bytes;
+  if (!MulU64(flat, esize, &flat_bytes) || !AddU64(offset, flat_bytes, &offset)) {
+    return Status::FormatError(kOverflow);
+  }
+  return offset;
 }
 
-Result<double> NcReader::DecodeAt(NcType type, uint64_t offset) const {
-  size_t esize = NcTypeSize(type);
-  if (offset + esize > bytes_.size()) {
-    return Status::FormatError("netcdf: data read past end of file");
+Result<uint64_t> NcReader::CheckSlab(const NcVar& var, const std::vector<uint64_t>& shape,
+                                     const std::vector<uint64_t>& start,
+                                     const std::vector<uint64_t>& count) const {
+  if (start.size() != shape.size() || count.size() != shape.size()) {
+    return Status::InvalidArgument(
+        StrCat("netcdf: slab rank mismatch for variable ", var.name, " (rank ",
+               shape.size(), ")"));
   }
-  return DecodeBigEndian(type, bytes_.data() + offset);
+  uint64_t total = 1;
+  for (size_t j = 0; j < shape.size(); ++j) {
+    // Bounds without computing start+count, so a start/count pair summing
+    // past 2^64 is rejected instead of wrapping into range.
+    if (start[j] > shape[j] || count[j] > shape[j] - start[j]) {
+      return Status::InvalidArgument(
+          StrCat("netcdf: slab out of range on dimension ", j, " of ", var.name));
+    }
+    if (!MulU64(total, count[j], &total)) {
+      return Status::FormatError("netcdf: slab element count overflows");
+    }
+  }
+  // Every requested element is a distinct byte range of the file, so the
+  // request can never legitimately exceed the file size: a larger product
+  // means the header lies about the shape.
+  uint64_t total_bytes;
+  if (!MulU64(total, NcTypeSize(var.type), &total_bytes) ||
+      total_bytes > source_->size()) {
+    return Status::FormatError("netcdf: variable extent exceeds file size");
+  }
+  return total;
+}
+
+Status NcReader::ReadSlabInto(int var_index, const std::vector<uint64_t>& start,
+                              const std::vector<uint64_t>& count, double* out) const {
+  if (var_index < 0 || var_index >= static_cast<int>(header_.vars.size())) {
+    return Status::InvalidArgument("netcdf: bad variable index");
+  }
+  const NcVar& var = header_.vars[var_index];
+  if (var.type == NcType::kChar) {
+    return Status::InvalidArgument("netcdf: use ReadChars for char variables");
+  }
+  std::vector<uint64_t> shape = header_.VarShape(var);
+  AQL_ASSIGN_OR_RETURN(uint64_t total, CheckSlab(var, shape, start, count));
+  if (total == 0) return Status::OK();
+
+  const size_t k = shape.size();
+  const size_t esize = NcTypeSize(var.type);
+  // Contiguous run: the innermost dimension, except that a rank-1 record
+  // variable strides by recsize_ between records, so its runs are single
+  // elements.
+  uint64_t run = 1;
+  if (k > 0 && !(k == 1 && var.IsRecord(header_.dims))) run = count[k - 1];
+
+  std::vector<uint8_t> buf(run * esize);
+  std::vector<uint64_t> rel(k, 0);
+  std::vector<uint64_t> abs(k);
+  for (uint64_t n = 0; n < total; n += run) {
+    for (size_t j = 0; j < k; ++j) abs[j] = start[j] + rel[j];
+    AQL_ASSIGN_OR_RETURN(uint64_t offset, ElementOffset(var, shape, abs));
+    AQL_RETURN_IF_ERROR(source_->ReadAt(offset, run * esize, buf.data()));
+    for (uint64_t i = 0; i < run; ++i) {
+      out[n + i] = DecodeBigEndian(var.type, buf.data() + i * esize);
+    }
+    // Advance the odometer by one whole run (the innermost dimension
+    // either IS the run or steps element-wise for rank-1 record vars).
+    for (size_t j = k; j-- > 0;) {
+      rel[j] += (j == k - 1) ? run : 1;
+      if (rel[j] < count[j]) break;
+      rel[j] = 0;
+    }
+  }
+  return Status::OK();
 }
 
 Result<std::vector<double>> NcReader::ReadSlab(int var_index,
@@ -289,42 +500,11 @@ Result<std::vector<double>> NcReader::ReadSlab(int var_index,
     return Status::InvalidArgument("netcdf: use ReadChars for char variables");
   }
   std::vector<uint64_t> shape = header_.VarShape(var);
-  if (start.size() != shape.size() || count.size() != shape.size()) {
-    return Status::InvalidArgument(
-        StrCat("netcdf: slab rank mismatch for variable ", var.name, " (rank ",
-               shape.size(), ")"));
-  }
-  uint64_t total = 1;
-  for (size_t j = 0; j < shape.size(); ++j) {
-    if (start[j] + count[j] > shape[j]) {
-      return Status::InvalidArgument(
-          StrCat("netcdf: slab out of range on dimension ", j, " of ", var.name));
-    }
-    if (count[j] != 0 && total > bytes_.size() / count[j]) {
-      // More elements than the file has bytes: the header is corrupt.
-      return Status::FormatError("netcdf: variable extent exceeds file size");
-    }
-    total *= count[j];
-  }
-  if (total > bytes_.size()) {
-    return Status::FormatError("netcdf: variable extent exceeds file size");
-  }
+  AQL_ASSIGN_OR_RETURN(uint64_t total, CheckSlab(var, shape, start, count));
   span.AddCount("elems", total);
   span.AddCount("bytes", total * NcTypeSize(var.type));
-  std::vector<double> out;
-  out.reserve(total);
-  if (total == 0) return out;
-  std::vector<uint64_t> rel(shape.size(), 0);
-  std::vector<uint64_t> abs(shape.size());
-  for (uint64_t n = 0; n < total; ++n) {
-    for (size_t j = 0; j < shape.size(); ++j) abs[j] = start[j] + rel[j];
-    AQL_ASSIGN_OR_RETURN(double v, DecodeAt(var.type, ElementOffset(var, shape, abs)));
-    out.push_back(v);
-    for (size_t j = shape.size(); j-- > 0;) {
-      if (++rel[j] < count[j]) break;
-      rel[j] = 0;
-    }
-  }
+  std::vector<double> out(total);
+  AQL_RETURN_IF_ERROR(ReadSlabInto(var_index, start, count, out.data()));
   return out;
 }
 
@@ -348,31 +528,33 @@ Result<std::string> NcReader::ReadChars(int var_index, const std::vector<uint64_
     return Status::InvalidArgument("netcdf: ReadChars on non-char variable");
   }
   std::vector<uint64_t> shape = header_.VarShape(var);
-  if (start.size() != shape.size() || count.size() != shape.size()) {
-    return Status::InvalidArgument("netcdf: slab rank mismatch");
-  }
-  uint64_t total = 1;
-  for (size_t j = 0; j < shape.size(); ++j) {
-    if (start[j] + count[j] > shape[j]) {
-      return Status::InvalidArgument("netcdf: slab out of range");
+  uint64_t total;
+  {
+    auto checked = CheckSlab(var, shape, start, count);
+    if (!checked.ok()) {
+      // Preserve the historical terse messages for the char path.
+      if (checked.status().message().find("rank mismatch") != std::string::npos) {
+        return Status::InvalidArgument("netcdf: slab rank mismatch");
+      }
+      if (checked.status().message().find("out of range") != std::string::npos) {
+        return Status::InvalidArgument("netcdf: slab out of range");
+      }
+      return checked.status();
     }
-    if (count[j] != 0 && total > bytes_.size() / count[j]) {
-      return Status::FormatError("netcdf: variable extent exceeds file size");
-    }
-    total *= count[j];
-  }
-  if (total > bytes_.size()) {
-    return Status::FormatError("netcdf: variable extent exceeds file size");
+    total = *checked;
   }
   std::string out;
   out.reserve(total);
   std::vector<uint64_t> rel(shape.size(), 0);
   std::vector<uint64_t> abs(shape.size());
+  uint8_t byte = 0;
   for (uint64_t n = 0; n < total; ++n) {
     for (size_t j = 0; j < shape.size(); ++j) abs[j] = start[j] + rel[j];
-    uint64_t offset = ElementOffset(var, shape, abs);
-    if (offset >= bytes_.size()) return Status::FormatError("netcdf: char read past end");
-    out.push_back(static_cast<char>(bytes_[offset]));
+    AQL_ASSIGN_OR_RETURN(uint64_t offset, ElementOffset(var, shape, abs));
+    if (Status s = source_->ReadAt(offset, 1, &byte); !s.ok()) {
+      return Status::FormatError("netcdf: char read past end");
+    }
+    out.push_back(static_cast<char>(byte));
     for (size_t j = shape.size(); j-- > 0;) {
       if (++rel[j] < count[j]) break;
       rel[j] = 0;

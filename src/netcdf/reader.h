@@ -1,15 +1,25 @@
 // NetCDF classic-format reader with hyperslab extraction.
 //
-// The file is loaded into memory once; header decoding and slab reads
-// operate on the byte buffer. Slab reads are the NETCDF<k> reader's
-// workhorse (paper §4.1): `ReadSlab(var, start, count)` returns `count`
-// elements per dimension starting at `start`, decoded to doubles in
-// row-major order, honouring record-variable interleaving.
+// Reads go through a ByteSource — either an in-memory buffer or a
+// pread(2)-backed file handle — so opening a file no longer slurps it
+// into memory: the header is parsed from a bounded prefix and slab reads
+// fetch only the byte ranges they decode. That is what lets the storage
+// layer (src/storage) stream datasets larger than memory tile-by-tile.
+// Slab reads are the NETCDF<k> reader's workhorse (paper §4.1):
+// `ReadSlab(var, start, count)` returns `count` elements per dimension
+// starting at `start`, decoded to doubles in row-major order, honouring
+// record-variable interleaving.
+//
+// All slab arithmetic is overflow-checked: start/count are validated
+// against the dimension extents without computing start+count, and the
+// element-count product and byte offsets reject uint64_t overflow from
+// crafted headers instead of decoding out-of-bounds bytes.
 
 #ifndef AQL_NETCDF_READER_H_
 #define AQL_NETCDF_READER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,11 +29,28 @@
 namespace aql {
 namespace netcdf {
 
+// Random-access byte provider for a NetCDF file. Implementations must be
+// thread-safe: concurrent ReadAt calls happen when tiles load in parallel.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+  virtual uint64_t size() const = 0;
+  // Copies [offset, offset+len) into out; error when the range leaves the
+  // source or the underlying read fails.
+  virtual Status ReadAt(uint64_t offset, uint64_t len, uint8_t* out) const = 0;
+};
+
+// pread(2)-backed file source (O_RDONLY, RAII descriptor).
+Result<std::shared_ptr<const ByteSource>> OpenFileSource(const std::string& path);
+
 class NcReader {
  public:
-  // Parses the header; the buffer is copied and kept for slab reads.
+  // Parses the header; the buffer becomes an in-memory ByteSource.
   static Result<NcReader> Open(std::vector<uint8_t> bytes);
+  // Opens `path` through a pread-backed source: only the header prefix is
+  // read eagerly; data bytes stream on demand per slab.
   static Result<NcReader> OpenFile(const std::string& path);
+  static Result<NcReader> OpenSource(std::shared_ptr<const ByteSource> source);
 
   const NcHeader& header() const { return header_; }
 
@@ -33,6 +60,11 @@ class NcReader {
                                        const std::vector<uint64_t>& start,
                                        const std::vector<uint64_t>& count) const;
 
+  // Same read, decoded into a caller-owned buffer of the slab's volume —
+  // the storage layer's tile loads decode straight into cached tiles.
+  Status ReadSlabInto(int var_index, const std::vector<uint64_t>& start,
+                      const std::vector<uint64_t>& count, double* out) const;
+
   // Whole-variable convenience read.
   Result<std::vector<double>> ReadAll(int var_index) const;
 
@@ -41,18 +73,21 @@ class NcReader {
                                 const std::vector<uint64_t>& count) const;
 
  private:
-  NcReader(NcHeader header, std::vector<uint8_t> bytes, uint64_t recsize)
-      : header_(std::move(header)), bytes_(std::move(bytes)), recsize_(recsize) {}
+  NcReader(NcHeader header, std::shared_ptr<const ByteSource> source, uint64_t recsize)
+      : header_(std::move(header)), source_(std::move(source)), recsize_(recsize) {}
 
-  // Byte offset of element `flat_index` (row-major over the full variable
-  // shape) of variable `var`.
-  uint64_t ElementOffset(const NcVar& var, const std::vector<uint64_t>& shape,
-                         const std::vector<uint64_t>& index) const;
+  // Overflow-checked byte offset of element `index` (absolute multi-index
+  // over the full variable shape) of variable `var`.
+  Result<uint64_t> ElementOffset(const NcVar& var, const std::vector<uint64_t>& shape,
+                                 const std::vector<uint64_t>& index) const;
 
-  Result<double> DecodeAt(NcType type, uint64_t offset) const;
+  // Validates a slab request and returns its overflow-checked volume.
+  Result<uint64_t> CheckSlab(const NcVar& var, const std::vector<uint64_t>& shape,
+                             const std::vector<uint64_t>& start,
+                             const std::vector<uint64_t>& count) const;
 
   NcHeader header_;
-  std::vector<uint8_t> bytes_;
+  std::shared_ptr<const ByteSource> source_;
   uint64_t recsize_ = 0;  // bytes per record across all record variables
 };
 

@@ -38,6 +38,7 @@ uint64_t ArrayRep::Count() const {
     case Payload::kNats: return nats.size();
     case Payload::kReals: return reals.size();
     case Payload::kBools: return bools.size();
+    case Payload::kTiled: return TotalSize();  // no buffer; count is implied
   }
   return 0;
 }
@@ -48,6 +49,13 @@ Value ArrayRep::At(uint64_t i) const {
     case Payload::kNats: return Value::Nat(nats[i]);
     case Payload::kReals: return Value::Real(reals[i]);
     case Payload::kBools: return Value::Bool(bools[i] != 0);
+    case Payload::kTiled: {
+      // The one place out-of-core storage can leak into semantics: an I/O
+      // failure has no channel through At, so it degrades to ⊥ (bulk
+      // ReadInto consumers see the real Status).
+      Result<double> r = tiled->AtFlat(i);
+      return r.ok() ? Value::Real(*r) : Value::Bottom();
+    }
   }
   return Value::Bottom();
 }
@@ -197,6 +205,28 @@ Result<Value> Value::MakeBoolArray(std::vector<uint64_t> dims, std::vector<uint8
   return Value(Rep(std::make_shared<const ArrayRep>(std::move(rep))));
 }
 
+Result<Value> Value::MakeTiledArray(std::shared_ptr<const LazyRealSlab> slab) {
+  if (slab == nullptr) {
+    return Status::InvalidArgument("tiled array requires a storage slab");
+  }
+  const std::vector<uint64_t>& dims = slab->dims();
+  if (dims.empty()) {
+    return Status::InvalidArgument("array must have at least one dimension");
+  }
+  auto volume = CheckedVolume(dims);
+  if (!volume.ok()) return volume.status();
+  if (*volume == 0) {
+    // Canonical empty arrays are kBoxed; keep kTiled strictly non-empty so
+    // every payload consumer can assume a live slab with elements.
+    return MakeArray(dims, {});
+  }
+  ArrayRep rep;
+  rep.dims = dims;
+  rep.payload = ArrayRep::Payload::kTiled;
+  rep.tiled = std::move(slab);
+  return Value(Rep(std::make_shared<const ArrayRep>(std::move(rep))));
+}
+
 Value Value::MakeFunc(std::shared_ptr<const FuncValue> fn) {
   return Value(Rep(std::move(fn)));
 }
@@ -238,6 +268,9 @@ int CompareArrayElems(const ArrayRep& x, const ArrayRep& y) {
       case ArrayRep::Payload::kNats: return CompareScalarVectors(x.nats, y.nats);
       case ArrayRep::Payload::kReals: return CompareScalarVectors(x.reals, y.reals);
       case ArrayRep::Payload::kBools: return CompareScalarVectors(x.bools, y.bools);
+      case ArrayRep::Payload::kTiled:
+        if (x.tiled == y.tiled) return 0;  // same slab, no I/O needed
+        break;                             // distinct slabs: stream elementwise
     }
   }
   uint64_t n = std::min(x.Count(), y.Count());
@@ -266,6 +299,7 @@ int Value::Compare(const Value& a, const Value& b) {
       // lexicographic product of linear orders, hence linear.
       const ArrayRep& x = a.array();
       const ArrayRep& y = b.array();
+      if (&x == &y) return 0;  // shared rep (e.g. a cached tiled literal)
       if (int c = Cmp3(x.dims.size(), y.dims.size()); c != 0) return c;
       for (size_t i = 0; i < x.dims.size(); ++i) {
         if (int c = Cmp3(x.dims[i], y.dims[i]); c != 0) return c;
@@ -525,6 +559,11 @@ uint64_t HashValue(const Value& v) {
         case ArrayRep::Payload::kBools:
           for (uint8_t b : a.bools) h = HashMix(h, HashScalarBool(b != 0));
           break;
+        case ArrayRep::Payload::kTiled:
+          // Provenance, not content: hashing must never do I/O. See the
+          // contract note on HashValue in value.h.
+          h = HashMix(h, a.tiled->ProvenanceHash());
+          break;
       }
       return h;
     }
@@ -599,12 +638,66 @@ uint64_t ApproxValueBytes(const Value& v) {
         case ArrayRep::Payload::kBools:
           b += a.bools.size();
           break;
+        case ArrayRep::Payload::kTiled:
+          b += 64;  // handle only — tile bytes are charged to the tile cache
+          break;
       }
       return b;
     }
   }
   return kNode;
 }
+
+namespace {
+
+// Lazy rectangular view into a tiled slab: slicing a tiled array shifts
+// coordinates instead of materializing, so a subslab of an out-of-core
+// dataset stays out-of-core (the result cache's subsumption path relies
+// on SliceArray being cheap).
+class SlicedSlab : public LazyRealSlab {
+ public:
+  SlicedSlab(std::shared_ptr<const LazyRealSlab> base, std::vector<uint64_t> lower,
+             std::vector<uint64_t> extents)
+      : base_(std::move(base)), lower_(std::move(lower)), dims_(std::move(extents)) {}
+
+  const std::vector<uint64_t>& dims() const override { return dims_; }
+
+  Status ReadInto(const std::vector<uint64_t>& start, const std::vector<uint64_t>& count,
+                  double* out) const override {
+    std::vector<uint64_t> abs(lower_.size());
+    for (size_t j = 0; j < lower_.size(); ++j) abs[j] = lower_[j] + start[j];
+    return base_->ReadInto(abs, count, out);
+  }
+
+  Result<double> AtFlat(uint64_t flat) const override {
+    // Unflatten over the view dims, shift, reflatten over the base dims.
+    const std::vector<uint64_t>& base_dims = base_->dims();
+    uint64_t base_flat = 0;
+    for (size_t j = dims_.size(); j-- > 0;) {
+      uint64_t coord = lower_[j] + flat % dims_[j];
+      flat /= dims_[j];
+      uint64_t stride = 1;
+      for (size_t i = j + 1; i < base_dims.size(); ++i) stride *= base_dims[i];
+      base_flat += coord * stride;
+    }
+    return base_->AtFlat(base_flat);
+  }
+
+  uint64_t ProvenanceHash() const override {
+    uint64_t h = base_->ProvenanceHash();
+    for (size_t j = 0; j < lower_.size(); ++j) {
+      h = HashMix(HashMix(h, lower_[j]), dims_[j]);
+    }
+    return h;
+  }
+
+ private:
+  std::shared_ptr<const LazyRealSlab> base_;
+  std::vector<uint64_t> lower_;
+  std::vector<uint64_t> dims_;
+};
+
+}  // namespace
 
 Result<Value> SliceArray(const ArrayRep& arr, const std::vector<uint64_t>& lower,
                          const std::vector<uint64_t>& extents) {
@@ -674,6 +767,9 @@ Result<Value> SliceArray(const ArrayRep& arr, const std::vector<uint64_t>& lower
       copy_rows(arr.elems, &data);
       return Value::MakeArray(extents, std::move(data));
     }
+    case ArrayRep::Payload::kTiled:
+      // No copy: compose the coordinate shift lazily (see SlicedSlab).
+      return Value::MakeTiledArray(std::make_shared<SlicedSlab>(arr.tiled, lower, extents));
   }
   return Status::InvalidArgument("unknown array payload");
 }

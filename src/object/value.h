@@ -60,6 +60,32 @@ struct SetRep {
   std::vector<Value> elems;
 };
 
+// Out-of-core real-valued slab: the abstract face of the tiled storage
+// layer (src/storage implements it; declaring it here keeps aql_object
+// free of storage/netcdf dependencies). A LazyRealSlab is an immutable
+// k-dimensional array of doubles whose elements live behind a tile cache
+// rather than in a flat buffer. All methods are thread-safe.
+//
+// Every element is total (never ⊥) by construction — NetCDF slabs decode
+// every cell — so arrays backed by a slab participate in the unboxed()
+// fast paths of absint and the optimizer.
+class LazyRealSlab {
+ public:
+  virtual ~LazyRealSlab() = default;
+  // Shape of the slab; dims().size() >= 1 and no zero extents.
+  virtual const std::vector<uint64_t>& dims() const = 0;
+  // Bulk-reads the rectangular region [start[j], start[j]+count[j]) into
+  // `out` (row-major, product(count) doubles). The workhorse for
+  // materialization and subslab pushdown.
+  virtual Status ReadInto(const std::vector<uint64_t>& start,
+                          const std::vector<uint64_t>& count, double* out) const = 0;
+  // Single element at a row-major flat index; tile-cached.
+  virtual Result<double> AtFlat(uint64_t flat) const = 0;
+  // Stable identity hash over (dataset, region) — NOT content. See
+  // HashValue: hashing must never do I/O.
+  virtual uint64_t ProvenanceHash() const = 0;
+};
+
 // k-dimensional array: dims.size() == k >= 1, Count() == product(dims),
 // row-major (last index varies fastest).
 //
@@ -80,6 +106,9 @@ struct ArrayRep {
     kReals,      // reals
     kBools,      // bools (one byte per element, so parallel chunked writes
                  // to disjoint ranges never share a byte)
+    kTiled,      // tiled: out-of-core reals behind a tile cache. Counts as
+                 // unboxed() (all-total reals) but has NO flat buffer, so
+                 // flat-buffer consumers must handle it explicitly.
   };
 
   std::vector<uint64_t> dims;
@@ -88,6 +117,7 @@ struct ArrayRep {
   std::vector<uint64_t> nats;
   std::vector<double> reals;
   std::vector<uint8_t> bools;
+  std::shared_ptr<const LazyRealSlab> tiled;  // active iff payload == kTiled
 
   uint64_t TotalSize() const;
   // Row-major flattening of a multi-index; no bounds checking.
@@ -138,6 +168,12 @@ class Value {
   static Result<Value> MakeNatArray(std::vector<uint64_t> dims, std::vector<uint64_t> data);
   static Result<Value> MakeRealArray(std::vector<uint64_t> dims, std::vector<double> data);
   static Result<Value> MakeBoolArray(std::vector<uint64_t> dims, std::vector<uint8_t> data);
+  // Out-of-core array over a tiled slab (dims taken from slab->dims()).
+  // Error if the slab is null, its rank is 0, or its volume violates
+  // CheckedVolume. Semantically identical to the MakeRealArray the slab
+  // would materialize to — except that element access can fail on I/O
+  // errors, which ArrayRep::At maps to ⊥ (ReadInto callers see a Status).
+  static Result<Value> MakeTiledArray(std::shared_ptr<const LazyRealSlab> slab);
   static Value MakeFunc(std::shared_ptr<const FuncValue> fn);
 
   ValueKind kind() const { return static_cast<ValueKind>(rep_.index()); }
@@ -209,6 +245,12 @@ Result<uint64_t> CheckedVolume(const std::vector<uint64_t>& dims);
 // Compare(a, b) == 0  ⇒  HashValue(a) == HashValue(b).
 // Function values hash by identity, matching Compare. Used by the plan
 // cache to hash literal subterms of resolved queries.
+//
+// Tiled arrays are the one deliberate relaxation: they hash by
+// ProvenanceHash() (dataset + region), not content, because hashing must
+// never perform I/O. Content-equal values of different provenance may
+// therefore hash differently — for the caches that's only a missed hit,
+// never a wrong answer, since every hash match is confirmed by Compare.
 uint64_t HashValue(const Value& v);
 
 // Approximate heap footprint of a value in bytes: payload buffers plus a

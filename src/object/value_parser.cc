@@ -1,6 +1,7 @@
 #include "object/value_parser.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -123,9 +124,16 @@ class ValueParser {
     std::string token(text_.substr(start, pos_ - start));
     if (is_real || token[0] == '-') {
       char* end = nullptr;
+      errno = 0;
       double d = std::strtod(token.c_str(), &end);
       if (end != token.c_str() + token.size()) {
         return Status::FormatError(StrCat("bad numeric literal '", token, "'"));
+      }
+      // strtod signals both overflow (±HUGE_VAL) and underflow-to-denormal
+      // via ERANGE; neither round-trips through the writer, so reject.
+      if (errno == ERANGE) {
+        return Status::FormatError(
+            StrCat("numeric literal '", token, "' out of range"));
       }
       return Value::Real(d);
     }

@@ -154,6 +154,16 @@ Status ValueWriter::EmitArrayText(const ArrayRep& a) {
         AQL_RETURN_IF_ERROR(Walk(a.elems[i]));
       }
       break;
+    case ArrayRep::Payload::kTiled:
+      // Element-at-a-time through the tile cache: rendering never holds
+      // more than the write buffer plus one tile in memory.
+      for (uint64_t i = 0, n = a.TotalSize(); i < n; ++i) {
+        if (i > 0) Append(", ");
+        AQL_ASSIGN_OR_RETURN(double d, a.tiled->AtFlat(i));
+        Append(RealToString(d));
+        AQL_RETURN_IF_ERROR(MaybeFlush());
+      }
+      break;
   }
   Append("]]");
   return MaybeFlush();
@@ -270,6 +280,14 @@ Status ValueWriter::EmitArrayJson(const ArrayRep& a) {
       for (size_t i = 0; i < a.elems.size(); ++i) {
         if (i > 0) Append(",");
         AQL_RETURN_IF_ERROR(WalkJson(a.elems[i]));
+      }
+      break;
+    case ArrayRep::Payload::kTiled:
+      for (uint64_t i = 0, n = a.TotalSize(); i < n; ++i) {
+        if (i > 0) Append(",");
+        AQL_ASSIGN_OR_RETURN(double d, a.tiled->AtFlat(i));
+        AppendRealJson(d);
+        AQL_RETURN_IF_ERROR(MaybeFlush());
       }
       break;
   }

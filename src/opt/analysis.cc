@@ -17,7 +17,9 @@ bool ValueErrorFree(const Value& v) {
       }
       return true;
     case ValueKind::kArray:
-      // Unboxed payloads hold only scalars, never ⊥.
+      // Unboxed payloads hold only scalars, never ⊥. That includes kTiled
+      // slabs: every element is total by construction (LazyRealSlab's
+      // contract), so out-of-core arrays stay on the error-free fast path.
       if (v.array().unboxed()) return true;
       for (const Value& x : v.array().elems) {
         if (!ValueErrorFree(x)) return false;

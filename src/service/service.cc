@@ -12,6 +12,7 @@
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "opt/cost.h"
+#include "storage/tile_store.h"
 
 namespace aql {
 namespace service {
@@ -310,6 +311,7 @@ void QueryService::SyncExecStats() const {
   sync(exec_par_chunks_, stats.par_chunks);
   sync(exec_unboxed_arrays_, stats.unboxed_arrays);
   sync(exec_unchecked_kernels_, stats.unchecked_kernels);
+  sync(metrics_.GetCounter("exec.tab.pushdowns"), stats.tab_pushdowns);
 
   // Same delta treatment for the per-mutex contention counters
   // (base/sync.h). Names arrive dotted-lowercase, so they pass
@@ -344,6 +346,17 @@ void QueryService::SyncExecStats() const {
   sync(metrics_.GetCounter("opt.cost.estimates"), cost.estimates);
   sync(metrics_.GetCounter("opt.cost.gate_fired"), cost.gate_fired);
   sync(metrics_.GetCounter("opt.cost.gate_suppressed"), cost.gate_suppressed);
+
+  // Tile-store counters (storage/tile_store.h) are process-wide for the
+  // same reason; the byte and entry totals are gauges, not counters.
+  const storage::TileStoreStats ts = storage::TileStore::Global().stats();
+  sync_value("storage.tile.hits", ts.hits);
+  sync_value("storage.tile.misses", ts.misses);
+  sync_value("storage.tile.evictions", ts.evictions);
+  sync_value("storage.tile.zone_fills", ts.zone_fills);
+  sync_value("storage.tile.read_errors", ts.read_errors);
+  metrics_.GetGauge("storage.tile.bytes")->Set(ts.bytes);
+  metrics_.GetGauge("storage.tile.entries")->Set(ts.entries);
 }
 
 std::string QueryService::StatsReport() const {
@@ -358,6 +371,11 @@ std::string QueryService::StatsReport() const {
                 result_cache_.max_bytes(), " bytes (", rc.hits, " hits, ",
                 rc.subsumptions, " subsumed, ", rc.evictions, " evictions, ",
                 rc.invalidations, " invalidated)\n");
+  const storage::TileStoreStats ts = storage::TileStore::Global().stats();
+  out += StrCat("tile cache: ", ts.entries, " tiles, ", ts.bytes, "/",
+                storage::TileStore::Global().Budget(), " bytes (", ts.hits,
+                " hits, ", ts.misses, " misses, ", ts.evictions,
+                " evictions)\n");
   out += metrics_.Report();
   return out;
 }

@@ -89,6 +89,7 @@ Result<TypePtr> TypeChecker::TypeOfValue(const Value& v, TypeUnifier* unifier) {
           AQL_RETURN_IF_ERROR(unifier->Unify(elem, Type::Nat()));
           break;
         case ArrayRep::Payload::kReals:
+        case ArrayRep::Payload::kTiled:  // tiled slabs are real-valued
           AQL_RETURN_IF_ERROR(unifier->Unify(elem, Type::Real()));
           break;
         case ArrayRep::Payload::kBools:

@@ -150,6 +150,115 @@ TEST_P(NetcdfCorruptionProperty, CorruptBytesNeverCrash) {
 INSTANTIATE_TEST_SUITE_P(Seeds, NetcdfCorruptionProperty,
                          ::testing::Values(11, 22, 1996));
 
+// ---- crafted headers targeting the reader's checked arithmetic ----
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->push_back(uint8_t(v >> 24));
+  out->push_back(uint8_t(v >> 16));
+  out->push_back(uint8_t(v >> 8));
+  out->push_back(uint8_t(v));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  PutU32(out, uint32_t(v >> 32));
+  PutU32(out, uint32_t(v));
+}
+
+void PutName(std::vector<uint8_t>* out, const std::string& name) {
+  PutU32(out, uint32_t(name.size()));
+  out->insert(out->end(), name.begin(), name.end());
+  while (out->size() % 4 != 0) out->push_back(0);
+}
+
+// A syntactically valid CDF header whose fixed double variable "v" spans
+// `dims`, with an arbitrary begin offset. version 1 encodes begin as u32,
+// version 2 as u64.
+std::vector<uint8_t> CraftHeader(int version, const std::vector<uint32_t>& dims,
+                                 uint64_t begin) {
+  std::vector<uint8_t> b{'C', 'D', 'F', uint8_t(version)};
+  PutU32(&b, 0);  // numrecs
+  PutU32(&b, 0x0A);  // dim_list
+  PutU32(&b, uint32_t(dims.size()));
+  for (size_t i = 0; i < dims.size(); ++i) {
+    PutName(&b, "d" + std::to_string(i));
+    PutU32(&b, dims[i]);
+  }
+  PutU32(&b, 0);  // global attrs ABSENT
+  PutU32(&b, 0);
+  PutU32(&b, 0x0B);  // var_list
+  PutU32(&b, 1);
+  PutName(&b, "v");
+  PutU32(&b, uint32_t(dims.size()));
+  for (uint32_t i = 0; i < dims.size(); ++i) PutU32(&b, i);
+  PutU32(&b, 0);  // var attrs ABSENT
+  PutU32(&b, 0);
+  PutU32(&b, 6);  // NC_DOUBLE
+  PutU32(&b, 0);  // vsize (advisory)
+  if (version == 1) {
+    PutU32(&b, uint32_t(begin));
+  } else {
+    PutU64(&b, begin);
+  }
+  // A little data so small in-range reads have bytes to hit.
+  for (int i = 0; i < 64; ++i) b.push_back(0);
+  return b;
+}
+
+TEST(NetcdfCraftedHeader, HugeDimProductFailsWithoutOverflow) {
+  // 0xFFFFFFF0^3 overflows uint64; every full-variable read must reject
+  // via checked multiplication rather than wrapping into a small alloc.
+  auto bytes = CraftHeader(1, {0xFFFFFFF0u, 0xFFFFFFF0u, 0xFFFFFFF0u}, 128);
+  auto reader = NcReader::Open(bytes);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  auto all = reader->ReadAll(0);
+  ASSERT_FALSE(all.ok());
+  EXPECT_NE(all.status().message().find("overflow"), std::string::npos)
+      << all.status().ToString();
+  auto slab = reader->ReadSlab(0, {0, 0, 0}, {0xFFFFFFF0u, 0xFFFFFFF0u, 0xFFFFFFF0u});
+  ASSERT_FALSE(slab.ok());
+  EXPECT_NE(slab.status().message().find("overflow"), std::string::npos);
+}
+
+TEST(NetcdfCraftedHeader, HugeDimExtentExceedsFileSize) {
+  // The element count fits in 64 bits but the byte extent dwarfs the
+  // file: the slab check must reject before any allocation.
+  auto bytes = CraftHeader(1, {0xFFFFFFF0u, 2}, 128);
+  auto reader = NcReader::Open(bytes);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  auto all = reader->ReadAll(0);
+  ASSERT_FALSE(all.ok());
+  EXPECT_NE(all.status().message().find("exceeds file size"), std::string::npos)
+      << all.status().ToString();
+}
+
+TEST(NetcdfCraftedHeader, HugeBeginOffsetOverflows) {
+  // CDF-2 begin near UINT64_MAX: begin + element offset must go through
+  // checked addition, then fail cleanly (offset overflow / past EOF).
+  auto bytes = CraftHeader(2, {4}, 0xFFFFFFFFFFFFFFF0ull);
+  auto reader = NcReader::Open(bytes);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  auto slab = reader->ReadSlab(0, {2}, {2});
+  ASSERT_FALSE(slab.ok());
+  // Either the checked offset arithmetic or the read-past-EOF guard may
+  // fire first; both are safe rejections.
+  EXPECT_TRUE(
+      slab.status().message().find("overflow") != std::string::npos ||
+      slab.status().message().find("past end") != std::string::npos)
+      << slab.status().ToString();
+}
+
+TEST(NetcdfCraftedHeader, BeginPastEofRejected) {
+  auto bytes = CraftHeader(1, {4}, 0xFFFFFF00u);
+  auto reader = NcReader::Open(bytes);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  auto all = reader->ReadAll(0);
+  ASSERT_FALSE(all.ok());
+  EXPECT_TRUE(
+      all.status().message().find("exceeds file size") != std::string::npos ||
+      all.status().message().find("past end") != std::string::npos)
+      << all.status().ToString();
+}
+
 }  // namespace
 }  // namespace netcdf
 }  // namespace aql

@@ -234,6 +234,30 @@ TEST(ResultCacheServiceTest, WritevalInvalidatesCachedValues) {
   EXPECT_GE(svc.result_cache().stats().invalidations, 1u);
 }
 
+TEST(ResultCacheServiceTest, FailingWriterStillInvalidatesCache) {
+  System sys;
+  ExternalState ext;
+  ext.Install(&sys);
+  // A writer that mutates external state and THEN reports failure — a
+  // partial write is observable even though the status is an error, so
+  // the mutation epoch must advance on the attempt, not the success.
+  ASSERT_TRUE(sys.RegisterWriter("POKE_FAIL",
+                                 [&ext](const Value& payload, const Value&) {
+                                   ext.state.store(payload.nat_value(),
+                                                   std::memory_order_relaxed);
+                                   return Status::IoError("disk full after mutating");
+                                 })
+                  .ok());
+  QueryService svc(&sys, {.num_workers = 1});
+  ASSERT_EQ(*svc.Execute("peek!0"), Value::Nat(1));
+  ASSERT_EQ(*svc.Execute("peek!0"), Value::Nat(1));  // cached
+
+  EXPECT_FALSE(svc.RunScript("writeval 99 using POKE_FAIL at 0;").ok());
+  auto r = svc.Execute("peek!0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Value::Nat(99)) << "failed write must still flush stale entries";
+}
+
 TEST(ResultCacheServiceTest, PerQueryOptOutBypassesTheCache) {
   System sys;
   ExternalState ext;

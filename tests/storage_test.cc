@@ -1,0 +1,421 @@
+// Tests for the out-of-core tiled storage layer (src/storage): tile-store
+// bit-identity against the eager RAM path, LRU eviction under a byte
+// budget, zone-map constant refills, file-rewrite staleness, concurrent
+// readers, and the end-to-end tab/sum + subslab-pushdown paths through
+// the System with a dataset larger than the cache budget.
+
+#include "storage/tile_store.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <random>
+#include <thread>
+
+#include "env/system.h"
+#include "exec/parallel.h"
+#include "gtest/gtest.h"
+#include "netcdf/reader.h"
+#include "netcdf/writer.h"
+
+namespace aql {
+namespace storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    const char* old = ::getenv(name);
+    if (old != nullptr) saved_ = old;
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+// Writes an R x C double variable `v` where element (i,j) = i * 1000 + j.
+void WriteGrid(const std::string& path, uint64_t rows, uint64_t cols) {
+  netcdf::NcWriter w(1);
+  uint32_t r = w.AddDim("row", rows);
+  uint32_t c = w.AddDim("col", cols);
+  std::vector<double> data(rows * cols);
+  for (uint64_t i = 0; i < rows; ++i) {
+    for (uint64_t j = 0; j < cols; ++j) data[i * cols + j] = double(i * 1000 + j);
+  }
+  w.AddVar("v", netcdf::NcType::kDouble, {r, c}, std::move(data));
+  ASSERT_TRUE(w.WriteFile(path).ok());
+}
+
+TEST(TileStore, BitIdenticalToEagerReads) {
+  std::string path = TempPath("aql_storage_ident.nc");
+  WriteGrid(path, 64, 16);
+  // 4 rows of 16 doubles per tile: the 64-row slab spans 16 tiles.
+  ScopedEnv tile("AQL_TILE_BYTES", "512");
+
+  TileStore store;
+  auto slab = store.OpenSlab(path, "v", {0, 0}, {64, 16});
+  ASSERT_TRUE(slab.ok()) << slab.status().ToString();
+  EXPECT_EQ((*slab)->dims(), (std::vector<uint64_t>{64, 16}));
+
+  auto reader = netcdf::NcReader::OpenFile(path);
+  ASSERT_TRUE(reader.ok());
+
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    uint64_t r0 = rng() % 64, c0 = rng() % 16;
+    std::vector<uint64_t> start{r0, c0};
+    std::vector<uint64_t> count{1 + rng() % (64 - r0), 1 + rng() % (16 - c0)};
+    auto eager = reader->ReadSlab(0, start, count);
+    ASSERT_TRUE(eager.ok());
+    std::vector<double> tiled(eager->size());
+    ASSERT_TRUE((*slab)->ReadInto(start, count, tiled.data()).ok());
+    EXPECT_EQ(tiled, *eager) << "trial " << trial;
+  }
+  // Point reads agree with the flat row-major order.
+  for (uint64_t flat : {0ull, 15ull, 16ull, 517ull, 64ull * 16 - 1}) {
+    auto d = (*slab)->AtFlat(flat);
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(*d, double((flat / 16) * 1000 + flat % 16));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TileStore, SubRegionSlabShiftsCoordinates) {
+  std::string path = TempPath("aql_storage_region.nc");
+  WriteGrid(path, 32, 8);
+  ScopedEnv tile("AQL_TILE_BYTES", "512");
+
+  TileStore store;
+  // Region rows [10, 30), cols [2, 8).
+  auto slab = store.OpenSlab(path, "v", {10, 2}, {20, 6});
+  ASSERT_TRUE(slab.ok()) << slab.status().ToString();
+  std::vector<double> out(20 * 6);
+  ASSERT_TRUE((*slab)->ReadInto({0, 0}, {20, 6}, out.data()).ok());
+  for (uint64_t i = 0; i < 20; ++i) {
+    for (uint64_t j = 0; j < 6; ++j) {
+      EXPECT_EQ(out[i * 6 + j], double((i + 10) * 1000 + (j + 2)));
+    }
+  }
+  auto d = (*slab)->AtFlat(3 * 6 + 1);  // (13, 3) in file coordinates
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, 13003.0);
+  std::remove(path.c_str());
+}
+
+TEST(TileStore, EvictsToStayUnderBudget) {
+  std::string path = TempPath("aql_storage_evict.nc");
+  WriteGrid(path, 64, 16);
+  ScopedEnv tile("AQL_TILE_BYTES", "512");  // 512-byte tiles (4 rows)
+
+  // Budget of 3 tiles; the 16-tile scan must evict.
+  TileStore store(/*max_bytes=*/1536);
+  auto slab = store.OpenSlab(path, "v", {0, 0}, {64, 16});
+  ASSERT_TRUE(slab.ok());
+  std::vector<double> out(64 * 16);
+  ASSERT_TRUE((*slab)->ReadInto({0, 0}, {64, 16}, out.data()).ok());
+
+  TileStoreStats s = store.stats();
+  EXPECT_GE(s.misses, 16u);
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_LE(s.bytes, 1536u);
+  EXPECT_LE(s.entries, 3u);
+
+  // A re-scan stays under budget too, and the data is still right.
+  std::vector<double> again(64 * 16);
+  ASSERT_TRUE((*slab)->ReadInto({0, 0}, {64, 16}, again.data()).ok());
+  EXPECT_EQ(out, again);
+  EXPECT_LE(store.stats().bytes, 1536u);
+  std::remove(path.c_str());
+}
+
+TEST(TileStore, CacheHitsOnRepeatedReads) {
+  std::string path = TempPath("aql_storage_hits.nc");
+  WriteGrid(path, 16, 16);
+  ScopedEnv tile("AQL_TILE_BYTES", "1024");
+
+  TileStore store(/*max_bytes=*/1 << 20);
+  auto slab = store.OpenSlab(path, "v", {0, 0}, {16, 16});
+  ASSERT_TRUE(slab.ok());
+  std::vector<double> out(16 * 16);
+  ASSERT_TRUE((*slab)->ReadInto({0, 0}, {16, 16}, out.data()).ok());
+  uint64_t misses_after_first = store.stats().misses;
+  ASSERT_TRUE((*slab)->ReadInto({0, 0}, {16, 16}, out.data()).ok());
+  TileStoreStats s = store.stats();
+  EXPECT_EQ(s.misses, misses_after_first) << "second scan must be all hits";
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_EQ(s.evictions, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TileStore, ConstantTilesRefillFromZoneMapWithoutIo) {
+  std::string path = TempPath("aql_storage_zone.nc");
+  netcdf::NcWriter w(1);
+  uint32_t r = w.AddDim("row", 32);
+  uint32_t c = w.AddDim("col", 16);
+  // All elements identical: every tile's zone map is constant.
+  w.AddVar("v", netcdf::NcType::kDouble, {r, c}, std::vector<double>(32 * 16, 2.5));
+  ASSERT_TRUE(w.WriteFile(path).ok());
+  ScopedEnv tile("AQL_TILE_BYTES", "512");  // 8 tiles of 4 rows
+
+  // Budget of one tile (576 bytes with entry overhead): each new tile
+  // evicts the previous one, but the last one scanned stays resident.
+  TileStore store(/*max_bytes=*/1000);
+  auto slab = store.OpenSlab(path, "v", {0, 0}, {32, 16});
+  ASSERT_TRUE(slab.ok());
+  std::vector<double> out(32 * 16);
+  ASSERT_TRUE((*slab)->ReadInto({0, 0}, {32, 16}, out.data()).ok());
+  uint64_t misses_cold = store.stats().misses;
+  EXPECT_EQ(store.stats().zone_fills, 0u);
+
+  // Every tile was evicted except the last, but all zones are known
+  // constant: the second scan refills from zone maps, not the file.
+  ASSERT_TRUE((*slab)->ReadInto({0, 0}, {32, 16}, out.data()).ok());
+  TileStoreStats s = store.stats();
+  EXPECT_EQ(s.misses, misses_cold) << "refills must not count as misses";
+  EXPECT_GT(s.zone_fills, 0u);
+  for (double d : out) EXPECT_EQ(d, 2.5);
+  std::remove(path.c_str());
+}
+
+TEST(TileStore, RewrittenFileInvalidatesDataset) {
+  std::string path = TempPath("aql_storage_stale.nc");
+  WriteGrid(path, 8, 8);
+  ScopedEnv tile("AQL_TILE_BYTES", "512");
+
+  TileStore store;
+  auto slab1 = store.OpenSlab(path, "v", {0, 0}, {8, 8});
+  ASSERT_TRUE(slab1.ok());
+  auto first = (*slab1)->AtFlat(0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 0.0);
+
+  // Rewrite with different contents (and different size via extra var so
+  // staleness triggers even on filesystems with coarse mtime).
+  netcdf::NcWriter w(1);
+  uint32_t r = w.AddDim("row", 8);
+  uint32_t c = w.AddDim("col", 8);
+  w.AddVar("v", netcdf::NcType::kDouble, {r, c}, std::vector<double>(64, 7.0));
+  w.AddVar("pad", netcdf::NcType::kDouble, {r}, std::vector<double>(8, 0.0));
+  ASSERT_TRUE(w.WriteFile(path).ok());
+
+  auto slab2 = store.OpenSlab(path, "v", {0, 0}, {8, 8});
+  ASSERT_TRUE(slab2.ok()) << slab2.status().ToString();
+  auto fresh = (*slab2)->AtFlat(0);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(*fresh, 7.0);
+  std::remove(path.c_str());
+}
+
+TEST(TileStore, OversizeTileServedUncached) {
+  std::string path = TempPath("aql_storage_oversize.nc");
+  WriteGrid(path, 8, 8);
+  // One giant tile per file, but a budget smaller than the tile: the
+  // store must serve reads without ever caching (or exceeding budget).
+  ScopedEnv tile("AQL_TILE_BYTES", "1048576");
+  TileStore store(/*max_bytes=*/128);
+  auto slab = store.OpenSlab(path, "v", {0, 0}, {8, 8});
+  ASSERT_TRUE(slab.ok());
+  std::vector<double> out(64);
+  ASSERT_TRUE((*slab)->ReadInto({0, 0}, {8, 8}, out.data()).ok());
+  EXPECT_EQ(out[9], 1001.0);
+  TileStoreStats s = store.stats();
+  EXPECT_LE(s.bytes, 128u);
+  EXPECT_EQ(s.entries, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TileStore, ConcurrentReadersAgreeUnderTinyBudget) {
+  std::string path = TempPath("aql_storage_conc.nc");
+  WriteGrid(path, 64, 16);
+  ScopedEnv tile("AQL_TILE_BYTES", "512");
+
+  TileStore store(/*max_bytes=*/1024);  // 2 tiles: constant churn
+  auto slab = store.OpenSlab(path, "v", {0, 0}, {64, 16});
+  ASSERT_TRUE(slab.ok());
+
+  std::vector<double> expect(64 * 16);
+  ASSERT_TRUE((*slab)->ReadInto({0, 0}, {64, 16}, expect.data()).ok());
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937 rng(t);
+      for (int iter = 0; iter < 40; ++iter) {
+        uint64_t r0 = rng() % 64;
+        std::vector<uint64_t> start{r0, 0};
+        std::vector<uint64_t> count{1 + rng() % (64 - r0), 16};
+        std::vector<double> got(count[0] * 16);
+        if (!(*slab)->ReadInto(start, count, got.data()).ok()) {
+          ++failures[t];
+          continue;
+        }
+        for (uint64_t i = 0; i < got.size(); ++i) {
+          if (got[i] != expect[r0 * 16 + i]) ++failures[t];
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << "thread " << t;
+  EXPECT_LE(store.stats().bytes, 1024u);
+  std::remove(path.c_str());
+}
+
+// ---- end-to-end through the System ----
+
+TEST(OutOfCore, TabSumBitIdenticalToRamPathUnderTinyBudget) {
+  std::string path = TempPath("aql_storage_e2e.nc");
+  WriteGrid(path, 256, 32);  // 64 KiB of doubles
+
+  std::string read_stmt = "readval \\S using NETCDF2 at (\"" + path +
+                          "\", \"v\", (0, 0), (255, 31));";
+  std::string query =
+      "summap(fn \\k => summap(fn \\l => S[k, l] * 2.0)!(gen!32))!(gen!256);";
+
+  Value tiled_sum, eager_sum;
+  {
+    // Tiled: 4 KiB tiles, 8 KiB budget — the 64 KiB dataset cannot fit.
+    ScopedEnv thr("AQL_TILED_READ_THRESHOLD", "1");
+    ScopedEnv tb("AQL_TILE_BYTES", "4096");
+    ScopedEnv budget("AQL_TILE_CACHE_BYTES", "8192");
+    TileStore::Global().Clear();
+    System sys;
+    auto rd = sys.Run(read_stmt);
+    ASSERT_TRUE(rd.ok()) << rd.status().ToString();
+    ASSERT_TRUE(rd->back().value.kind() == ValueKind::kArray);
+    EXPECT_EQ(rd->back().value.array().payload, ArrayRep::Payload::kTiled)
+        << "read must stay out-of-core under the 1-element threshold";
+    auto q = sys.Run(query);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    tiled_sum = q->back().value;
+    TileStoreStats s = TileStore::Global().stats();
+    EXPECT_LE(s.bytes, 8192u) << "cache must respect the byte budget";
+    EXPECT_GT(s.misses, 0u);
+  }
+  {
+    ScopedEnv off("AQL_TILED_READ", "0");
+    System sys;
+    auto rd = sys.Run(read_stmt);
+    ASSERT_TRUE(rd.ok()) << rd.status().ToString();
+    EXPECT_EQ(rd->back().value.array().payload, ArrayRep::Payload::kReals)
+        << "the control run must take the eager RAM path";
+    auto q = sys.Run(query);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    eager_sum = q->back().value;
+  }
+  EXPECT_EQ(tiled_sum, eager_sum) << "out-of-core result must be bit-identical";
+  std::remove(path.c_str());
+}
+
+TEST(OutOfCore, SubslabPushdownSkipsUntouchedTiles) {
+  std::string path = TempPath("aql_storage_pushdown.nc");
+  WriteGrid(path, 256, 32);
+  std::string read_stmt = "readval \\S using NETCDF2 at (\"" + path +
+                          "\", \"v\", (0, 0), (255, 31));";
+  // A small window: rows [8, 12), all columns shifted by 4.
+  std::string window = "[[ S[i + 8, j + 4] | \\i < 4, \\j < 8 ]]";
+
+  ScopedEnv thr("AQL_TILED_READ_THRESHOLD", "1");
+  ScopedEnv tb("AQL_TILE_BYTES", "4096");  // 16 rows per tile -> 16 tiles
+
+  Value with_pd, without_pd;
+  uint64_t misses_with = 0, misses_without = 0;
+  uint64_t pd_before = exec::GlobalExecStats().tab_pushdowns.load();
+  {
+    TileStore::Global().Clear();
+    // optimize=false keeps the literal tab intact so the backend (not the
+    // constant folder) evaluates it.
+    SystemConfig cfg;
+    cfg.optimize = false;
+    System sys(cfg);
+    ASSERT_TRUE(sys.Run(read_stmt).ok());
+    auto compiled = sys.Compile(window);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    ScopedEnv pd("AQL_EXEC_PUSHDOWN", "1");
+    auto v = sys.EvalCoreCompiled(*compiled);
+    ASSERT_TRUE(v.ok()) << v.status().ToString();
+    with_pd = *v;
+    misses_with = TileStore::Global().stats().misses;
+  }
+  uint64_t pd_after = exec::GlobalExecStats().tab_pushdowns.load();
+  EXPECT_GT(pd_after, pd_before) << "the window tab must take the pushdown path";
+  {
+    TileStore::Global().Clear();
+    SystemConfig cfg;
+    cfg.optimize = false;
+    System sys(cfg);
+    ASSERT_TRUE(sys.Run(read_stmt).ok());
+    auto compiled = sys.Compile(window);
+    ASSERT_TRUE(compiled.ok());
+    ScopedEnv pd("AQL_EXEC_PUSHDOWN", "0");
+    auto v = sys.EvalCoreCompiled(*compiled);
+    ASSERT_TRUE(v.ok()) << v.status().ToString();
+    without_pd = *v;
+    misses_without = TileStore::Global().stats().misses;
+  }
+  EXPECT_EQ(with_pd, without_pd);
+  // The window touches one 16-row tile; the generic path gathers
+  // point-wise through the same tiles, so both read >= 1, but the
+  // pushdown must not read MORE tiles than the generic path, and both
+  // must read far fewer than the 16-tile full materialization.
+  EXPECT_LE(misses_with, misses_without);
+  EXPECT_LT(misses_with, 16u) << "pushdown must not materialize the base";
+  // The expected values, independently.
+  const auto& arr = with_pd.array();
+  ASSERT_EQ(arr.dims, (std::vector<uint64_t>{4, 8}));
+  for (uint64_t i = 0; i < 4; ++i) {
+    for (uint64_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(arr.At(i * 8 + j), Value::Real(double((i + 8) * 1000 + j + 4)));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(OutOfCore, WritevalRoundTripsTiledArrays) {
+  std::string path = TempPath("aql_storage_wv_in.nc");
+  std::string out_path = TempPath("aql_storage_wv_out.nc");
+  WriteGrid(path, 64, 16);
+  ScopedEnv thr("AQL_TILED_READ_THRESHOLD", "1");
+  ScopedEnv tb("AQL_TILE_BYTES", "512");
+  TileStore::Global().Clear();
+
+  System sys;
+  ASSERT_TRUE(sys.init_status().ok());
+  auto rd = sys.Run("readval \\S using NETCDF2 at (\"" + path +
+                    "\", \"v\", (0, 0), (63, 15));");
+  ASSERT_TRUE(rd.ok()) << rd.status().ToString();
+  ASSERT_EQ(rd->back().value.array().payload, ArrayRep::Payload::kTiled);
+  auto wr = sys.Run("writeval S using NETCDF at (\"" + out_path + "\", \"v\");");
+  ASSERT_TRUE(wr.ok()) << wr.status().ToString();
+
+  // Read the copy back eagerly and compare raw element order.
+  auto reader = netcdf::NcReader::OpenFile(out_path);
+  ASSERT_TRUE(reader.ok());
+  auto all = reader->ReadAll(reader->header().FindVar("v"));
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 64u * 16);
+  for (uint64_t i = 0; i < all->size(); ++i) {
+    EXPECT_EQ((*all)[i], double((i / 16) * 1000 + i % 16));
+  }
+  std::remove(path.c_str());
+  std::remove(out_path.c_str());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace aql

@@ -51,6 +51,22 @@ TEST(ValueParser, NestedStructures) {
   ASSERT_EQ(v.set().elems.size(), 2u);
 }
 
+TEST(ValueParser, RangeLimitsOfRealLiterals) {
+  // In-range values, including ones near the double limits, parse fine.
+  EXPECT_EQ(MustParse("1.5e10"), Value::Real(1.5e10));
+  EXPECT_EQ(MustParse("0.0"), Value::Real(0.0));
+  EXPECT_EQ(MustParse("-0.0"), Value::Real(-0.0));
+  EXPECT_EQ(MustParse("1e308"), Value::Real(1e308));
+  // Overflow to ±inf must be rejected (strtod reports ERANGE): an inf
+  // would not round-trip through the writer, which has no literal for it.
+  EXPECT_FALSE(ParseValue("1e999").ok());
+  EXPECT_FALSE(ParseValue("-1e999").ok());
+  EXPECT_FALSE(ParseValue("1e99999999999999999999").ok());
+  // Underflow: denormals (and underflow-to-zero) also raise ERANGE.
+  EXPECT_FALSE(ParseValue("1e-320").ok()) << "denormal";
+  EXPECT_FALSE(ParseValue("1e-9999").ok()) << "underflow to zero";
+}
+
 TEST(ValueParser, Errors) {
   EXPECT_FALSE(ParseValue("").ok());
   EXPECT_FALSE(ParseValue("{1, 2").ok());
