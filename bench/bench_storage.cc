@@ -10,20 +10,30 @@
 //   Window_TileStore / Window_Materialized — a small window read via the
 //       slab's bulk ReadInto (what the exec subslab pushdown issues)
 //       against materializing the whole variable and slicing.
+//   Aggregate_Pruned / Aggregate_Generic — a repeated sum over a mostly-
+//       constant tiled grid under a 3-tile cache, through the compiled
+//       exec backend: the pruned fold answers 14 of 16 tiles from their
+//       zone maps (no I/O), the generic fold re-reads every tile per
+//       iteration.
 //
 // `bench_storage --smoke` self-checks the acceptance criteria in a few
 // seconds for check.sh: a scan of a dataset larger than the budget stays
-// under the byte budget and matches the eager read bit-for-bit, and the
-// window read touches measurably fewer tiles than a full materialize.
+// under the byte budget and matches the eager read bit-for-bit, the
+// window read touches measurably fewer tiles than a full materialize,
+// and a repeated aggregate over the mostly-constant grid prunes tile
+// reads while staying bit-identical to AQL_EXEC_PUSHDOWN=0.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "core/expr.h"
+#include "exec/compiled.h"
 #include "netcdf/reader.h"
 #include "netcdf/writer.h"
 #include "storage/tile_store.h"
@@ -127,6 +137,130 @@ void BM_Window_TileStore(benchmark::State& state) {
 }
 BENCHMARK(BM_Window_TileStore);
 
+// ---- aggregate pruning over zone maps (docs/STORAGE.md) ----
+//
+// Same 512x64 shape, but rows [0, 448) hold the constant 2.5: under
+// 16 KiB tiles that is 14 constant tiles out of 16. The sum nest
+// `sum k < 512. sum l < 64. S[k, l]` compiles to the zone-aware row fold
+// (`aggregate-prune` certificate); once the first run has warmed the zone
+// maps, every repeat answers the constant tiles without touching the
+// store. A 3-tile AQL_TILE_CACHE_BYTES keeps the generic fold honest: it
+// must re-read (and evict) every tile per iteration, which is exactly the
+// out-of-core case pruning is for — zones survive eviction.
+
+constexpr uint64_t kConstRows = 448;
+
+std::string PruneDataPath() {
+  return (std::filesystem::temp_directory_path() / "aql_bench_storage_prune.nc")
+      .string();
+}
+
+void EnsurePruneDataFile() {
+  EnsureDataFile();  // sets AQL_TILE_BYTES
+  static bool done = [] {
+    netcdf::NcWriter w(1);
+    uint32_t r = w.AddDim("row", kRows);
+    uint32_t c = w.AddDim("col", kCols);
+    std::vector<double> data(kRows * kCols);
+    for (uint64_t i = 0; i < kRows; ++i) {
+      for (uint64_t j = 0; j < kCols; ++j) {
+        data[i * kCols + j] = i < kConstRows ? 2.5 : double(i * 1000 + j);
+      }
+    }
+    w.AddVar("v", netcdf::NcType::kDouble, {r, c}, std::move(data));
+    Status s = w.WriteFile(PruneDataPath());
+    if (!s.ok()) {
+      std::fprintf(stderr, "bench_storage: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+    return true;
+  }();
+  (void)done;
+}
+
+// Opens the prune grid as a tiled value through readval and compiles the
+// full-grid sum nest against it. Returns nullptr (with a message) on any
+// setup failure.
+std::unique_ptr<System> g_prune_sys;
+
+std::unique_ptr<exec::Program> CompilePruneSum(std::string* err) {
+  ::setenv("AQL_TILED_READ_THRESHOLD", "1", 1);
+  storage::TileStore::Global().Clear();
+  SystemConfig cfg;
+  cfg.optimize = false;
+  g_prune_sys = std::make_unique<System>(cfg);
+  auto rd = g_prune_sys->Run("readval \\S using NETCDF2 at (\"" +
+                             PruneDataPath() + "\", \"v\", (0, 0), (" +
+                             std::to_string(kRows - 1) + ", " +
+                             std::to_string(kCols - 1) + "));");
+  if (!rd.ok()) {
+    *err = rd.status().ToString();
+    return nullptr;
+  }
+  const Value& tiled = rd->back().value;
+  if (tiled.array().payload != ArrayRep::Payload::kTiled) {
+    *err = "readval did not produce a tiled payload";
+    return nullptr;
+  }
+  ExprPtr body = Expr::Subscript(
+      Expr::Literal(tiled), Expr::Tuple({Expr::Var("k"), Expr::Var("l")}));
+  ExprPtr nest = Expr::Sum(
+      "k", Expr::Sum("l", std::move(body), Expr::Gen(Expr::NatConst(kCols))),
+      Expr::Gen(Expr::NatConst(kRows)));
+  auto program = exec::Compile(nest, g_prune_sys->PrimitiveResolver());
+  if (!program.ok()) {
+    *err = program.status().ToString();
+    return nullptr;
+  }
+  bool certified = false;
+  for (const auto& e : program->proof().entries) {
+    if (e.optimization == "aggregate-prune") certified = true;
+  }
+  if (!certified) {
+    *err = "sum nest lost its aggregate-prune certificate";
+    return nullptr;
+  }
+  return std::make_unique<exec::Program>(std::move(*program));
+}
+
+void RunAggregate(benchmark::State& state, bool pushdown) {
+  EnsurePruneDataFile();
+  ::setenv("AQL_TILE_CACHE_BYTES", std::to_string(kBudget).c_str(), 1);
+  std::string err;
+  auto program = CompilePruneSum(&err);
+  if (!program) {
+    state.SkipWithError(err.c_str());
+    return;
+  }
+  ::setenv("AQL_EXEC_PUSHDOWN", pushdown ? "1" : "0", 1);
+  {
+    auto warm = program->Run();  // first pass loads every tile, warms zones
+    if (!warm.ok()) {
+      state.SkipWithError(warm.status().ToString().c_str());
+      return;
+    }
+  }
+  for (auto _ : state) {
+    auto r = program->Run();
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  ::setenv("AQL_EXEC_PUSHDOWN", "1", 1);
+  ::unsetenv("AQL_TILE_CACHE_BYTES");
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(kRows * kCols * 8));
+}
+
+void BM_Aggregate_Pruned(benchmark::State& state) { RunAggregate(state, true); }
+void BM_Aggregate_Generic(benchmark::State& state) {
+  RunAggregate(state, false);
+}
+BENCHMARK(BM_Aggregate_Pruned);
+BENCHMARK(BM_Aggregate_Generic);
+
 void BM_Window_Materialized(benchmark::State& state) {
   EnsureDataFile();
   std::vector<double> out(16 * kCols);
@@ -190,6 +324,39 @@ int Smoke() {
                 (unsigned long long)window_loads, (unsigned long long)total_loads,
                 ok ? "ok" : "FAIL");
     if (!ok) ++failures;
+  }
+
+  // 3. A repeated aggregate over the mostly-constant grid answers its
+  //    constant tiles from zone maps (storage.tile.prunes moves) and stays
+  //    bit-identical to the generic AQL_EXEC_PUSHDOWN=0 fold.
+  {
+    EnsurePruneDataFile();
+    std::string err;
+    auto program = CompilePruneSum(&err);
+    bool ok = false;
+    uint64_t pruned = 0;
+    if (!program) {
+      std::printf("smoke pruned-agg      FAIL (%s)\n", err.c_str());
+      ++failures;
+    } else {
+      ::setenv("AQL_EXEC_PUSHDOWN", "1", 1);
+      auto warm = program->Run();  // loads every tile, warms the zones
+      uint64_t before = storage::TileStore::Global().stats().prunes;
+      auto repeat = program->Run();
+      pruned = storage::TileStore::Global().stats().prunes - before;
+      ::setenv("AQL_EXEC_PUSHDOWN", "0", 1);
+      auto generic = program->Run();
+      ::setenv("AQL_EXEC_PUSHDOWN", "1", 1);
+      bool identical = warm.ok() && repeat.ok() && generic.ok() &&
+                       *warm == *generic && *repeat == *generic;
+      ok = identical && pruned > 0;
+      std::printf(
+          "smoke pruned-agg      %llu zone-pruned rows on repeat, "
+          "bit-identical %s  %s\n",
+          (unsigned long long)pruned, identical ? "yes" : "NO",
+          ok ? "ok" : "FAIL");
+      if (!ok) ++failures;
+    }
   }
 
   std::printf("smoke result: %s\n", failures == 0 ? "PASS" : "FAIL");

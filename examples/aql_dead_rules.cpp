@@ -2,18 +2,23 @@
 // rules that never fire (candidates for deletion, or gaps in the corpus).
 //
 // Usage:
-//   aql_dead_rules              replay the embedded corpus
-//   aql_dead_rules file.aql...  also replay ';'-terminated queries from files
+//   aql_dead_rules [--check] [--allow FILE] [file.aql ...]
 //
 // Each query is compiled and optimized with per-rule firing statistics
 // (RewriteStats); the union of firings over the corpus is then compared
-// against every phase's registered rule base. Exit status is 0 either
-// way — the report is informational (a rule can be live for programs the
-// corpus doesn't cover), which is why check.sh runs it with `|| true`.
+// against every phase's registered rule base.
+//
+// Without --check the report is informational and the exit status is 0
+// either way (a rule can be live for programs the corpus doesn't cover).
+// With --check, a never-fired `phase / rule` pair that is NOT listed in
+// the --allow file (default scripts/dead_rules_allow.txt, `#` comments)
+// fails the run: the allowlist is the audited baseline, so adding a rule
+// without a corpus query that exercises it turns the CI gate red.
 
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -134,9 +139,40 @@ std::vector<std::string> SplitStatements(const std::string& text) {
   return out;
 }
 
+// Allowlist lines are `phase / rule` pairs, one per line; blank lines and
+// `#` comments are skipped. Returns false if the file cannot be read.
+bool LoadAllowlist(const std::string& path, std::set<std::string>* allow) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    size_t last = line.find_last_not_of(" \t");
+    allow->insert(line.substr(first, last - first + 1));
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool check = false;
+  std::string allow_path = "scripts/dead_rules_allow.txt";
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--check") {
+      check = true;
+    } else if (arg == "--allow" && i + 1 < argc) {
+      allow_path = argv[++i];
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+
   aql::System sys;
   if (!sys.init_status().ok()) {
     std::fprintf(stderr, "init error: %s\n", sys.init_status().ToString().c_str());
@@ -149,10 +185,10 @@ int main(int argc, char** argv) {
     Replay(sys, q, &firings, &failures);
     ++queries;
   }
-  for (int i = 1; i < argc; ++i) {
-    std::ifstream in(argv[i]);
+  for (const char* path : files) {
+    std::ifstream in(path);
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      std::fprintf(stderr, "cannot open %s\n", path);
       continue;
     }
     std::stringstream buf;
@@ -163,16 +199,26 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::set<std::string> allow;
+  if (check && !LoadAllowlist(allow_path, &allow)) {
+    std::fprintf(stderr, "dead_rules: cannot read allowlist %s\n",
+                 allow_path.c_str());
+    return 1;
+  }
+
   const aql::Optimizer* opt = sys.optimizer();
   size_t total_rules = 0, dead = 0;
   std::string report;
+  std::vector<std::string> unallowed;
   for (size_t p = 0; p < opt->num_phases(); ++p) {
     for (const aql::Rule& rule : opt->phase_rules(p)) {
       ++total_rules;
       auto it = firings.find(rule.name);
       if (it == firings.end() || it->second == 0) {
         ++dead;
-        report += "  never fired: " + opt->phase_name(p) + " / " + rule.name + "\n";
+        std::string pair = opt->phase_name(p) + " / " + rule.name;
+        report += "  never fired: " + pair + "\n";
+        if (check && allow.find(pair) == allow.end()) unallowed.push_back(pair);
       }
     }
   }
@@ -183,6 +229,20 @@ int main(int argc, char** argv) {
   std::printf("firing totals:\n");
   for (const auto& [rule, count] : firings) {
     std::printf("  %6zu  %s\n", count, rule.c_str());
+  }
+  if (check) {
+    if (!unallowed.empty()) {
+      std::printf("dead-rule check FAILED: %zu never-fired rule(s) not in %s:\n",
+                  unallowed.size(), allow_path.c_str());
+      for (const std::string& pair : unallowed) {
+        std::printf("  %s\n", pair.c_str());
+      }
+      std::printf("add a corpus query that exercises each rule, or (with a "
+                  "reviewer's sign-off) append it to the allowlist\n");
+      return 1;
+    }
+    std::printf("dead-rule check passed: every never-fired rule is in the "
+                "audited baseline (%s)\n", allow_path.c_str());
   }
   return 0;
 }

@@ -171,6 +171,9 @@ int main(int argc, char** argv) {
             "  readval \\x using READER at <e>;  read external data\n"
             "  writeval <e> using WRITER at <e>; write external data\n"
             "  :plan <expr>                     show the optimized plan\n"
+            "  :explain <expr>                  plan + proof certificates (which\n"
+            "                                   affine facts justified which\n"
+            "                                   optimization)\n"
             "  :verify <expr>                   run the IR verifier on the plan\n"
             "  :lint <expr>                     static analysis: shape, ⊥,\n"
             "                                   bounds proofs, lint warnings\n"
@@ -212,6 +215,10 @@ int main(int argc, char** argv) {
       }
       if (line.rfind(":plan ", 0) == 0) {
         ShowPlan(&sys, line.substr(6));
+        continue;
+      }
+      if (line.rfind(":explain ", 0) == 0) {
+        ShowPlan(&sys, line.substr(9));
         continue;
       }
       if (line.rfind(":verify ", 0) == 0) {

@@ -53,8 +53,8 @@ else
   echo "== clang thread-safety analysis: skipped (clang++ not installed)"
 fi
 
-echo "== dead-rule report (informational)"
-scripts/dead_rules.sh build || true
+echo "== dead-rule check (new never-fired rules fail; baseline in scripts/dead_rules_allow.txt)"
+scripts/dead_rules.sh --check build
 
 if [ "${SANITIZE}" = 1 ]; then
   echo "== sanitizer lane: address,undefined (build-asan/, ctest -L asan)"

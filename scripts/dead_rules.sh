@@ -1,12 +1,22 @@
 #!/usr/bin/env bash
 # Dead-rule report: replay the optimizer over a query corpus and list
-# rules that never fired (see examples/aql_dead_rules.cpp). Informational
-# — a rule can be live for programs the corpus doesn't reach — so
-# check.sh invokes this with `|| true`.
+# rules that never fired (see examples/aql_dead_rules.cpp).
 #
-# Usage: scripts/dead_rules.sh [build-dir] [corpus.aql ...]
+# Usage: scripts/dead_rules.sh [--check] [build-dir] [corpus.aql ...]
+#
+# Without --check the report is informational. With --check the run FAILS
+# if any never-fired `phase / rule` pair is missing from the audited
+# baseline (scripts/dead_rules_allow.txt) — i.e. someone added an
+# optimizer rule without a corpus query that exercises it. CI runs the
+# check mode and archives the report as an artifact.
 set -u
 cd "$(dirname "$0")/.."
+
+CHECK=()
+if [ "${1:-}" = "--check" ]; then
+  CHECK=(--check --allow scripts/dead_rules_allow.txt)
+  shift
+fi
 
 BUILD_DIR="${1:-build}"
 shift || true
@@ -21,4 +31,4 @@ fi
 # the corpus when present alongside any caller-supplied scripts.
 CORPUS=()
 [ -f examples/scripts/tour.aql ] && CORPUS+=(examples/scripts/tour.aql)
-exec "${BIN}" ${CORPUS[@]+"${CORPUS[@]}"} "$@"
+exec "${BIN}" ${CHECK[@]+"${CHECK[@]}"} ${CORPUS[@]+"${CORPUS[@]}"} "$@"

@@ -2,36 +2,50 @@
 # clang-tidy over the project's own sources using the CMake compile
 # database (.clang-tidy at the repo root selects the checks).
 #
-# Usage: scripts/lint.sh [--strict] [build-dir]   default build dir: build
+# Usage: scripts/lint.sh [--strict] [--require] [build-dir]
+#   default build dir: build
 #
 # --strict promotes every clang-tidy warning to an error (CI gate): the
 # script exits non-zero if any file produces a warning. Without it, a
 # file only fails on hard errors.
 #
-# Exits 0 with a notice when clang-tidy is not installed, so check.sh can
-# run on minimal containers; install clang-tidy to make this lane real.
+# --require makes a missing clang-tidy a FAILURE instead of a skip. CI
+# passes it so the lint job cannot silently turn into a no-op when the
+# runner image drops the package; local runs without it still exit 0 with
+# a notice, so check.sh works on minimal containers. Either way the skip
+# notice names every binary that was probed, so "why did lint not run?"
+# is answered by the log.
 set -u
 cd "$(dirname "$0")/.."
 
 STRICT=0
+REQUIRE=0
 BUILD_DIR="build"
 for arg in "$@"; do
   case "${arg}" in
     --strict) STRICT=1 ;;
+    --require) REQUIRE=1 ;;
     *) BUILD_DIR="${arg}" ;;
   esac
 done
 
-TIDY="$(command -v clang-tidy || true)"
+# Probe the unversioned name first, then recent versioned packagings.
+CANDIDATES=(clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17
+            clang-tidy-16 clang-tidy-15 clang-tidy-14)
+TIDY=""
+for candidate in "${CANDIDATES[@]}"; do
+  TIDY="$(command -v "${candidate}" || true)"
+  [ -n "${TIDY}" ] && break
+done
 if [ -z "${TIDY}" ]; then
-  for candidate in clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16 \
-                   clang-tidy-15 clang-tidy-14; do
-    TIDY="$(command -v "${candidate}" || true)"
-    [ -n "${TIDY}" ] && break
-  done
-fi
-if [ -z "${TIDY}" ]; then
-  echo "lint: clang-tidy not found on PATH; skipping (install clang-tidy to enable)"
+  echo "lint: clang-tidy not found on PATH (probed: ${CANDIDATES[*]})"
+  if [ "${REQUIRE}" = 1 ]; then
+    echo "lint: FAILED — --require set and no clang-tidy is installed" >&2
+    echo "lint: install it (e.g. apt-get install clang-tidy) or fix PATH" >&2
+    exit 1
+  fi
+  echo "lint: skipping (install clang-tidy to enable, or run with --require"
+  echo "lint: to make the absence an error as CI does)"
   exit 0
 fi
 
@@ -49,7 +63,8 @@ EXTRA=()
 mapfile -t SOURCES < <(find src -name '*.cc' | sort)
 
 MODE=$([ "${STRICT}" = 1 ] && echo " (strict: warnings are errors)" || true)
-echo "lint: ${TIDY} over ${#SOURCES[@]} files${MODE}, $(nproc) at a time"
+echo "lint: ${TIDY} ($("${TIDY}" --version | head -n1 | sed 's/^ *//'))"
+echo "lint: over ${#SOURCES[@]} files${MODE}, $(nproc) at a time"
 # One clang-tidy process per file, $(nproc)-wide: the tool is single
 # threaded, so per-file fan-out is what actually cuts the wall clock.
 # xargs exits non-zero if any invocation failed.

@@ -1,0 +1,270 @@
+// aql::analysis — a relational affine-index domain (Cousot & Halbwachs
+// style, restricted to the single-assignment nat arithmetic of the core
+// calculus). Each nat-typed subexpression is represented as an affine form
+//
+//     c0 + Σ ci·bi          (ci ≥ 1, bi in-scope binders)
+//
+// with ⊤ fallback and an interval [lo, hi] derived from the binders'
+// bound facts (the same SymEnv machinery the non-relational
+// ConstUpperBound / ProveLt provers in absint.h consume). The relational
+// representation proves what interval folding alone cannot — cancellation
+// (`i*2 - i` is exactly `i`), exact division (`(i*4)/2` is `2·i`), and
+// stride/alignment facts (`2·i + 1` is odd) — which feed four consumers:
+//
+//   1. exec/compiled.cc — the subslab pushdown matcher generalizes from
+//      literal `i+lo` to any affine single-binder index (strides,
+//      commuted offsets, bare binders) and emits strided bulk reads;
+//   2. the aggregate-pruning pass (SumNode) — zone-map facts skip tile
+//      reads when the affine access range proves coverage;
+//   3. exec/kernel.cc — affine in-bounds proofs admit UNCHECKED kernels
+//      the const-only interval path has to reject;
+//   4. ShardLocal — proves a subscript touches one partition of a
+//      leading-dimension split (the ROADMAP sharding item's blocker).
+//
+// Every optimization justified by an affine fact records a proof
+// certificate (analysis::Proof) naming the facts, surfaced via REPL
+// `:explain` and the `?trace=1` profile. The verifier grows an
+// AffineCheck pass: across optimizer phases affine facts must refine,
+// never widen (verifier.h).
+
+#ifndef AQL_ANALYSIS_AFFINE_H_
+#define AQL_ANALYSIS_AFFINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/absint.h"
+#include "core/expr.h"
+
+namespace aql {
+namespace analysis {
+
+// ---------- the affine lattice ----------
+
+// One monomial ci·bi of an affine form; coeff >= 1.
+struct AffineCoeff {
+  std::string var;
+  uint64_t coeff = 0;
+};
+
+// Abstract value: an affine form over in-scope binders (when `affine`),
+// plus an inclusive value interval [lo, hi] (when `bounded`) inherited
+// from the binder-bound facts. ⊤ is {affine=false, bounded=false}; the
+// two components are independent (a non-affine `x % 8` still has bounds).
+// Like every absint claim, both are conditional on evaluation succeeding
+// (⊥ and type errors void them vacuously).
+struct AffineVal {
+  bool affine = false;
+  uint64_t c0 = 0;
+  std::vector<AffineCoeff> terms;  // sorted by var, no zero coefficients
+
+  bool bounded = false;
+  uint64_t lo = 0, hi = 0;  // inclusive
+
+  static AffineVal Top() { return {}; }
+  static AffineVal Const(uint64_t c);
+
+  bool IsConst() const { return affine && terms.empty(); }
+  // gcd of the coefficients: the form's value is ≡ c0 (mod Modulus()).
+  // 0 for a constant form (exact), 1 when nothing is known.
+  uint64_t Modulus() const;
+
+  // "2*i + j + 3 in [3, 12]", "top in [0, 7]", "top".
+  std::string ToString() const;
+};
+
+bool operator==(const AffineVal& a, const AffineVal& b);
+
+// Pure transfer functions over forms (nullopt on overflow / non-affine
+// combination). Shared by the AbsInterp domain below and the direct
+// expression walker AffineOf.
+std::optional<AffineVal> AffineAdd(const AffineVal& a, const AffineVal& b);
+std::optional<AffineVal> AffineMulConst(const AffineVal& a, uint64_t k);
+// Exact only when `a` dominates `b` coefficient-wise (then a ∸ b = a - b
+// pointwise and the difference is again affine).
+std::optional<AffineVal> AffineMonus(const AffineVal& a, const AffineVal& b);
+
+// Affine value of a nat expression under the binder facts of `env`
+// (depth-bounded like ConstUpperBound). This is the workhorse the
+// kernel annotator, the linter, and the pushdown matchers call on index
+// subexpressions; AnalyzeAffineAbs below runs the same transfer
+// functions as a full AbsInterp domain.
+AffineVal AffineOf(const ExprPtr& e, const SymEnv& env, int depth = 0);
+
+// Exclusive constant upper bound from the affine interval — the
+// relational counterpart of ConstUpperBound (strictly stronger on
+// cancellation/division forms, never weaker than [0, CUB-1]).
+std::optional<uint64_t> AffineUpperBound(const ExprPtr& e, const SymEnv& env);
+
+// ---------- the AbsInterp domain and the reduced product ----------
+
+// AffineDomain satisfies the AbsInterp<Domain> contract on its own;
+// AffineCoreDomains below joins it with the Shape/Definedness/Cardinality
+// product (the form every consumer actually wants: the reduction needs
+// shape extents to turn affine ranges into definedness proofs).
+class AffineDomain {
+ public:
+  using Val = AffineVal;
+  static constexpr bool kLetPrecision = true;
+
+  Val FreeVar(const ExprPtr& var);
+  Val BinderVal(const ExprPtr& parent, size_t child_index, size_t binder_index,
+                const SymEnv& env);
+  Val Transfer(const ExprPtr& e, const std::vector<Val>& kids, const SymEnv& env);
+  Val LetTransfer(const ExprPtr& apply, const Val& bound, const Val& body) {
+    return body;
+  }
+  void AtNode(const ExprPtr&, const std::vector<size_t>&, const SymEnv&) {}
+  void AfterNode(const ExprPtr&, const std::vector<size_t>&, const Val&,
+                 const SymEnv&) {}
+};
+
+// The reduced product of CoreDomains and AffineDomain. Reduction runs
+// both ways: shape extents bound subscript indexes (an affine range
+// inside a constant extent upgrades definedness where the syntactic
+// ProveLt gives up), and affine constants sharpen cardinalities.
+struct AffineAbsVal {
+  AbsVal core;
+  AffineVal aff;
+
+  std::string ToString() const;
+};
+
+class AffineCoreDomains {
+ public:
+  using Val = AffineAbsVal;
+  static constexpr bool kLetPrecision = true;
+
+  using Observer = std::function<void(const ExprPtr&, const std::vector<size_t>&,
+                                      const AffineAbsVal&, const SymEnv&)>;
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  Val FreeVar(const ExprPtr& var);
+  Val BinderVal(const ExprPtr& parent, size_t child_index, size_t binder_index,
+                const SymEnv& env);
+  Val Transfer(const ExprPtr& e, const std::vector<Val>& kids, const SymEnv& env);
+  Val LetTransfer(const ExprPtr& apply, const Val& bound, const Val& body);
+  void AtNode(const ExprPtr&, const std::vector<size_t>&, const SymEnv&) {}
+  void AfterNode(const ExprPtr& e, const std::vector<size_t>& path, const Val& val,
+                 const SymEnv& env) {
+    if (observer_) observer_(e, path, val, env);
+  }
+
+ private:
+  CoreDomains core_;
+  AffineDomain aff_;
+  Observer observer_;
+};
+
+// Abstractly interprets a core term under the reduced product. Never
+// fails; unknown constructs yield ⊤.
+AffineAbsVal AnalyzeAffineAbs(const ExprPtr& e);
+
+// The AffineCheck relation (verifier pass 6): true when `pre` and `post`
+// make contradictory or widened claims about one value — definite
+// constants that differ, disjoint bounded intervals, or a post interval
+// strictly wider than a bounded pre interval. Rewrites must refine facts,
+// never widen them. The check is vacuous when `pre` is always-⊥ (the
+// ⊥-refinement direction AbsContradicts already allows).
+bool AffineWidens(const AffineAbsVal& pre, const AffineAbsVal& post,
+                  std::string* why);
+
+// ---------- access summaries ----------
+
+// Per-dimension access pattern of a subscript under loop binders: the
+// index is `base + stride·binder` with `binder` sweeping [0, extent), and
+// the touched coordinates are ≡ align_residue (mod align_modulus).
+// A constant index has stride 0, extent 1, empty binder.
+struct DimAccess {
+  uint64_t base = 0;
+  uint64_t stride = 0;
+  uint64_t extent = 1;
+  uint64_t align_modulus = 0;  // 0 = exact (constant index)
+  uint64_t align_residue = 0;
+  std::string binder;
+
+  // Highest coordinate touched: base + stride*(extent-1); nullopt on
+  // overflow or a zero-trip binder.
+  std::optional<uint64_t> MaxIndex() const;
+
+  std::string ToString() const;  // "8 + 2*i, i < 4 (≡ 0 mod 2)"
+};
+
+// Whole-subscript summary: one DimAccess per array dimension.
+struct AccessSummary {
+  std::string array;  // rendering of the subscripted array expression
+  std::vector<DimAccess> dims;
+
+  std::string ToString() const;
+};
+
+// Summarizes the subscript access of a tabulation body `[[ S[e1, ..., ek]
+// | i1 < b1, ... ]]` (or any binder environment `env` carrying the loop
+// bounds): each part must be single-binder affine with a constant-bounded
+// binder or a constant. nullopt when any part is relationally opaque.
+std::optional<AccessSummary> SummarizeAccess(const ExprPtr& subscript,
+                                             const SymEnv& env);
+
+// Compact rendering of an array operand for summaries and proof sites:
+// a variable prints as its name, a literal as "<array d1 d2 ...>" (never
+// its elements), anything else as a truncated term rendering.
+std::string RenderArrayExpr(const ExprPtr& arr);
+
+// ---------- syntactic single-binder matcher (pushdown fast path) ----------
+
+// The shape the subslab pushdown compiles: offset + stride·binder, in any
+// commutation (`i`, `i+c`, `c+i`, `s*i`, `i*s`, and the `add(mul)` forms).
+// Purely syntactic — no SymEnv needed — so exec/compiled.cc can run it on
+// plans whose bounds are not constant.
+struct Affine1D {
+  std::string binder;
+  uint64_t offset = 0;
+  uint64_t stride = 1;
+};
+
+std::optional<Affine1D> MatchAffine1D(const ExprPtr& part);
+
+// ---------- shard locality ----------
+
+// A leading-dimension range split: shard s owns rows
+// [s*rows_per_shard, (s+1)*rows_per_shard), s < shard_count.
+struct PartitionSpec {
+  uint64_t shard_count = 1;
+  uint64_t rows_per_shard = 0;
+};
+
+// Proves the summary's leading-dimension access stays inside ONE
+// partition of `spec` and names it. nullopt when the access can straddle
+// a boundary (or the spec is degenerate). Consumed by nothing yet — this
+// is the static fact the ROADMAP's scatter–gather item needs to route a
+// subplan to a single shard without a broadcast.
+std::optional<uint64_t> ShardLocal(const AccessSummary& summary,
+                                   const PartitionSpec& spec);
+
+// ---------- proof certificates ----------
+
+// Which facts justified which optimization. Producers (the pushdown
+// matchers, the kernel annotator, the aggregate pruner) append entries at
+// compile time; the Program carries them so `:explain` and the `?trace=1`
+// profile can show WHY a plan runs the way it does.
+struct ProofEntry {
+  std::string optimization;        // "strided-pushdown", "unchecked-kernel", ...
+  std::string site;                // the justified subexpression
+  std::vector<std::string> facts;  // human-readable affine facts
+};
+
+struct Proof {
+  std::vector<ProofEntry> entries;
+
+  bool empty() const { return entries.empty(); }
+  void Add(std::string optimization, std::string site,
+           std::vector<std::string> facts);
+  std::string ToString() const;
+};
+
+}  // namespace analysis
+}  // namespace aql
+
+#endif  // AQL_ANALYSIS_AFFINE_H_

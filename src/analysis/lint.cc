@@ -4,6 +4,7 @@
 #include <map>
 #include <utility>
 
+#include "analysis/affine.h"
 #include "base/strings.h"
 #include "core/expr_ops.h"
 
@@ -56,7 +57,7 @@ class Linter {
     domain.set_observer([this](const ExprPtr& node, const std::vector<size_t>& path,
                                const AbsVal& val, const SymEnv& env) {
       NodeRec rec{path, node, val, SymEnv{}};
-      if (node->is(ExprKind::kIf)) rec.env = env;
+      if (node->is(ExprKind::kIf) || node->is(ExprKind::kSubscript)) rec.env = env;
       by_path_[AbsPathString(path)] = recs_.size();
       recs_.push_back(std::move(rec));
     });
@@ -201,6 +202,60 @@ class Linter {
     std::string oob = StaticOob(rec);
     if (!oob.empty()) {
       Warn(rec, "oob-subscript", StrCat("subscript is always out of bounds: ", oob));
+    }
+    CheckAffineParts(rec, /*report_oob=*/oob.empty());
+  }
+
+  // Relational checks on each index component (analysis/affine.h):
+  //   affine-oob-subscript  the component's affine interval lies entirely
+  //                         at or beyond a constant extent — every
+  //                         iteration is out of bounds, which the
+  //                         const-only StaticOob above cannot see once a
+  //                         binder is involved (`a!(i+5)` under i<3);
+  //   degenerate-stride     the component mentions a loop binder but is
+  //                         provably one constant (`a!(i-i)`, `a!(0*i)`) —
+  //                         the loop re-reads a single cell, almost always
+  //                         an index-arithmetic slip.
+  void CheckAffineParts(const NodeRec& rec, bool report_oob) {
+    const ExprPtr& idx = rec.expr->child(1);
+    std::vector<ExprPtr> parts;
+    if (idx->is(ExprKind::kTuple)) {
+      for (const ExprPtr& c : idx->children()) parts.push_back(c);
+    } else {
+      parts.push_back(idx);
+    }
+    const AbsVal* arr = nullptr;
+    const std::string arr_key = AbsPathString(rec.path) == "<root>"
+                                    ? "0"
+                                    : AbsPathString(rec.path) + ".0";
+    auto it = by_path_.find(arr_key);
+    if (it != by_path_.end()) arr = &recs_[it->second].val;
+    const bool extents_known =
+        arr != nullptr && arr->shape.kind == ShapeVal::Kind::kArray &&
+        arr->shape.extents.size() == parts.size();
+    for (size_t j = 0; j < parts.size(); ++j) {
+      const AffineVal v = AffineOf(parts[j], rec.env);
+      bool mentions_binder = false;
+      for (const SymFact& f : rec.env.facts) {
+        if (OccursFree(parts[j], f.var)) {
+          mentions_binder = true;
+          break;
+        }
+      }
+      if (v.IsConst() && mentions_binder) {
+        Warn(rec, "degenerate-stride",
+             StrCat("index component ", j + 1, " mentions a loop binder but is ",
+                    "provably the constant ", v.c0,
+                    " on every iteration (stride 0)"));
+      }
+      if (report_oob && extents_known && v.bounded && !v.IsConst() &&
+          arr->shape.extents[j].kind == Extent::Kind::kConst &&
+          v.lo >= arr->shape.extents[j].value) {
+        Warn(rec, "affine-oob-subscript",
+             StrCat("index component ", j + 1, " is provably out of bounds: ",
+                    v.ToString(), " vs extent ", arr->shape.extents[j].value,
+                    " in dimension ", j + 1));
+      }
     }
   }
 

@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 
+#include "analysis/affine.h"
 #include "base/strings.h"
 #include "core/expr_ops.h"
 #include "opt/rewriter.h"
@@ -345,6 +346,7 @@ const char* VerifyPassName(VerifyPass pass) {
     case VerifyPass::kNormalForm: return "normal-form";
     case VerifyPass::kBounds: return "bounds";
     case VerifyPass::kAbsint: return "absint";
+    case VerifyPass::kAffine: return "affine";
   }
   return "?";
 }
@@ -539,6 +541,30 @@ void Verifier::VerifyPhase(const std::string& phase, const std::vector<Rule>& ru
       }
       AddViolation(report, VerifyPass::kAbsint, phase, std::move(rule), "<root>",
                    StrCat("abstract values contradict (", why, "): pre ",
+                          pre_v.ToString(), " vs post ", post_v.ToString()));
+    }
+  }
+
+  // ---- 6. AffineCheck ----
+  // Affine facts must refine, never widen, across phases: a rewrite may
+  // sharpen a constant or interval claim but never relax one — relaxing
+  // means the phase changed the value, or destroyed a proof a planner
+  // downstream already consumed (pushdown strides, unchecked kernels).
+  if (options_.affine) {
+    AffineAbsVal pre_v = AnalyzeAffineAbs(pre);
+    AffineAbsVal post_v = AnalyzeAffineAbs(post);
+    std::string why;
+    if (AffineWidens(pre_v, post_v, &why)) {
+      std::string rule;
+      if (options_.pinpoint) {
+        rule = PinpointByTrace(rules, rewrite_options, pre,
+                               [&pre_v](const ExprPtr& mid) {
+                                 return AffineWidens(pre_v, AnalyzeAffineAbs(mid),
+                                                     nullptr);
+                               });
+      }
+      AddViolation(report, VerifyPass::kAffine, phase, std::move(rule), "<root>",
+                   StrCat("affine facts widened (", why, "): pre ",
                           pre_v.ToString(), " vs post ", post_v.ToString()));
     }
   }

@@ -37,6 +37,13 @@
 //                        abstract values may not contradict (a definite
 //                        rank/extent change, bottom-free becoming
 //                        always-⊥, disjoint cardinalities).
+//   6. AffineCheck       the relational affine domain (affine.h) analyzed
+//                        before and after each phase: affine facts must
+//                        refine, never widen — a constant claim may not
+//                        change, and a bounded interval may not grow or
+//                        become unbounded (rewrites the planner justified
+//                        with those facts would silently lose their
+//                        proofs).
 //
 // When a pass fails, the verifier pinpoints the offending rule via the
 // rewriter's per-firing instrumentation (RewriteOptions::on_firing /
@@ -67,7 +74,14 @@
 namespace aql {
 namespace analysis {
 
-enum class VerifyPass { kScope, kTypePreservation, kNormalForm, kBounds, kAbsint };
+enum class VerifyPass {
+  kScope,
+  kTypePreservation,
+  kNormalForm,
+  kBounds,
+  kAbsint,
+  kAffine,
+};
 const char* VerifyPassName(VerifyPass pass);
 
 struct Violation {
@@ -107,6 +121,7 @@ class Verifier {
     bool normal_form = true;
     bool bounds = true;
     bool absint = true;
+    bool affine = true;
     // Replay a failing phase with per-firing instrumentation to name the
     // rule that broke the invariant (bounded work; off for speed).
     bool pinpoint = true;

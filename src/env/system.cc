@@ -192,6 +192,7 @@ Result<Value> System::Eval(std::string_view expression) const {
 Result<std::string> System::Profile(std::string_view expression) const {
   obs::TraceCapture capture;
   Status failure = Status::OK();
+  analysis::Proof proof;
   {
     // Root span: everything the pipeline does nests under it. Uses the
     // compiled backend, the serving path, so the report shows the
@@ -201,12 +202,26 @@ Result<std::string> System::Profile(std::string_view expression) const {
     if (!compiled.ok()) {
       failure = compiled.status();
     } else {
-      Result<Value> value = EvalCoreCompiled(*compiled);
-      if (!value.ok()) failure = value.status();
+      Result<exec::Program> program =
+          exec::Compile(*compiled, PrimitiveResolver());
+      if (!program.ok()) {
+        failure = program.status();
+      } else {
+        proof = program->proof();
+        Result<Value> value = program->Run();
+        if (!value.ok()) failure = value.status();
+      }
     }
   }
   AQL_RETURN_IF_ERROR(failure);
-  return obs::Profile::Build(capture.TakeRecords()).ToString();
+  std::string out = obs::Profile::Build(capture.TakeRecords()).ToString();
+  if (!proof.empty()) {
+    // The compile-time certificates behind the plan the profile just
+    // timed: which affine facts justified which optimization.
+    out += "optimization proofs:\n";
+    out += proof.ToString();
+  }
+  return out;
 }
 
 Result<std::string> System::Explain(std::string_view expression) const {
@@ -233,6 +248,15 @@ Result<std::string> System::Explain(std::string_view expression) const {
     }
   }
   out += StrCat("plan            : ", optimized->ToString(), "\n");
+  // Compile against the exec backend to collect the proof certificates
+  // (pushdowns, pruned aggregates, unchecked kernels and the affine facts
+  // that justified them). Compilation can fail where evaluation would too
+  // (e.g. an unresolved external); Explain still reports the plan then.
+  Result<exec::Program> program = exec::Compile(optimized, PrimitiveResolver());
+  if (program.ok() && !program->proof().empty()) {
+    out += "proof certificates:\n";
+    out += program->proof().ToString();
+  }
   return out;
 }
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <optional>
 
+#include "analysis/affine.h"
 #include "base/cancel.h"
 #include "base/env.h"
 #include "base/strings.h"
@@ -397,11 +399,120 @@ class GenNode : public Node {
   NodePtr inner_;
 };
 
+// Compile-time aggregate pruning: a sum nest of the shape
+//   sum i1 < e1. ... sum ik < ek. S[i1+lo1, ..., ik+lok]
+// over a tiled-array literal reads row-by-row instead of materializing,
+// and skips the read entirely for any leading row a zone map proves
+// constant (LazyRealSlab::ConstantRowRun) — the fold is replayed on the
+// constant with the exact same left-to-right addition order, so results
+// stay bit-identical to the generic nested SumNode path.
+struct SumPushdown {
+  Value base;                    // the tiled-array literal (keeps the slab alive)
+  std::vector<uint64_t> lower;   // per-dimension constant offsets
+  std::vector<uint64_t> extent;  // per-binder trip counts e1..ek
+  uint64_t row_volume = 1;       // product(extent[1..]) — one leading row
+};
+
+// Matches the whole nest rooted at `e`: each level must be a sum over
+// `gen(const)`, binders must be distinct, and the innermost body must be a
+// subscript of a tiled literal whose index parts are unit-stride affine in
+// the nest binders (offset + binder). The compile-time fits check makes
+// every iteration provably in range, so the body is total and the pruned
+// fold needs no per-point ⊥ handling. Records an aggregate-prune proof
+// certificate naming the per-dimension range facts.
+std::unique_ptr<const SumPushdown> TryMatchSumPushdown(const ExprPtr& e,
+                                                       analysis::Proof* proof) {
+  auto nat_of = [](const ExprPtr& x, uint64_t* out) {
+    if (x->is(ExprKind::kNatConst)) {
+      *out = x->nat_const();
+      return true;
+    }
+    if (x->is(ExprKind::kLiteral) && x->literal().kind() == ValueKind::kNat) {
+      *out = x->literal().nat_value();
+      return true;
+    }
+    return false;
+  };
+  std::vector<std::string> binders;
+  std::vector<uint64_t> extents;
+  ExprPtr cur = e;
+  while (cur->is(ExprKind::kSum)) {
+    const ExprPtr& src = cur->child(1);
+    uint64_t n = 0;
+    if (!src->is(ExprKind::kGen) || !nat_of(src->child(0), &n)) return nullptr;
+    binders.push_back(cur->binder());
+    extents.push_back(n);
+    cur = cur->child(0);
+  }
+  const size_t k = binders.size();
+  if (k == 0 || !cur->is(ExprKind::kSubscript)) return nullptr;
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      if (binders[i] == binders[j]) return nullptr;  // shadowing: ambiguous
+    }
+  }
+  const ExprPtr& base = cur->child(0);
+  if (!base->is(ExprKind::kLiteral)) return nullptr;
+  const Value& v = base->literal();
+  if (v.kind() != ValueKind::kArray ||
+      v.array().payload != ArrayRep::Payload::kTiled) {
+    return nullptr;
+  }
+  if (v.array().dims.size() != k) return nullptr;
+  const ExprPtr& idx = cur->child(1);
+  std::vector<ExprPtr> parts(k);
+  if (k == 1) {
+    parts[0] = idx;
+  } else if (idx->is(ExprKind::kTuple) && idx->children().size() == k) {
+    for (size_t j = 0; j < k; ++j) parts[j] = idx->child(j);
+  } else {
+    return nullptr;
+  }
+  auto pd = std::make_unique<SumPushdown>();
+  pd->base = v;
+  pd->lower.resize(k);
+  pd->extent = extents;
+  for (size_t j = 0; j < k; ++j) {
+    std::optional<analysis::Affine1D> m = analysis::MatchAffine1D(parts[j]);
+    if (!m || m->binder != binders[j] || m->stride != 1) return nullptr;
+    pd->lower[j] = m->offset;
+    // Every touched coordinate must be in range: lo + (e-1) < dim.
+    const uint64_t dim = v.array().dims[j];
+    if (extents[j] > dim || pd->lower[j] > dim - extents[j]) return nullptr;
+  }
+  for (size_t j = 1; j < k; ++j) {
+    if (extents[j] != 0 && pd->row_volume > kUnboxedAllocLimit / extents[j]) {
+      return nullptr;  // a single row would blow the buffer budget
+    }
+    pd->row_volume *= extents[j];
+  }
+  if (proof != nullptr) {
+    std::vector<std::string> facts;
+    for (size_t j = 0; j < k; ++j) {
+      facts.push_back(StrCat("dim ", j, ": ", binders[j], " + ", pd->lower[j],
+                             " sweeps [", pd->lower[j], ", ",
+                             pd->lower[j] + (extents[j] == 0 ? 0 : extents[j] - 1),
+                             "] inside extent ", v.array().dims[j]));
+    }
+    proof->Add("aggregate-prune",
+               StrCat("sum over ", analysis::RenderArrayExpr(base)),
+               std::move(facts));
+  }
+  return pd;
+}
+
 class SumNode : public Node {
  public:
-  SumNode(size_t binder_slot, NodePtr body, NodePtr source)
-      : binder_slot_(binder_slot), body_(std::move(body)), source_(std::move(source)) {}
+  SumNode(size_t binder_slot, NodePtr body, NodePtr source,
+          std::unique_ptr<const SumPushdown> pushdown = nullptr)
+      : binder_slot_(binder_slot),
+        body_(std::move(body)),
+        source_(std::move(source)),
+        pushdown_(std::move(pushdown)) {}
   Result<Value> Run(Frame* f) const override {
+    if (pushdown_ != nullptr && EnvU64("AQL_EXEC_PUSHDOWN", 1) != 0) {
+      return RunPruned();
+    }
     AQL_ASSIGN_OR_RETURN(Value src, source_->Run(f));
     if (src.is_bottom()) return Value::Bottom();
     const std::vector<Value>& xs = src.set().elems;
@@ -456,8 +567,71 @@ class SumNode : public Node {
     return Status::OK();
   }
 
+  // The pruned fold: row-by-row over the leading dimension, consulting the
+  // slab's zone maps first. Mirrors the generic nest exactly — each leading
+  // row contributes its own inner left-to-right fold, and rows accumulate
+  // left-to-right — so a run of constant rows adds the SAME inner sub-sum
+  // once per row instead of re-reading the tile.
+  Result<Value> RunPruned() const {
+    const SumPushdown& pd = *pushdown_;
+    for (uint64_t ext : pd.extent) {
+      // An empty trip count anywhere makes every (nested) fold start and
+      // stay at the nat identity, exactly like the generic path.
+      if (ext == 0) return Value::Nat(0);
+    }
+    const LazyRealSlab& slab = *pd.base.array().tiled;
+    const size_t k = pd.extent.size();
+    std::vector<double> row(pd.row_volume);
+    std::vector<uint64_t> start(k), count(k);
+    for (size_t j = 1; j < k; ++j) {
+      start[j] = pd.lower[j];
+      count[j] = pd.extent[j];
+    }
+    double total = 0;
+    for (uint64_t i = 0; i < pd.extent[0];) {
+      AQL_RETURN_IF_ERROR(CheckInterrupt());
+      const uint64_t r = pd.lower[0] + i;
+      double c = 0;
+      const uint64_t run = slab.ConstantRowRun(r, &c);
+      if (run > 0) {
+        const double sub = FoldConst(c, 1);
+        const uint64_t cover = std::min<uint64_t>(run, pd.extent[0] - i);
+        for (uint64_t t = 0; t < cover; ++t) total += sub;
+        i += cover;
+        continue;
+      }
+      start[0] = r;
+      count[0] = 1;
+      AQL_RETURN_IF_ERROR(slab.ReadInto(start, count, row.data()));
+      size_t pos = 0;
+      total += FoldRow(row.data(), &pos, 1);
+      ++i;
+    }
+    return Value::Real(total);
+  }
+
+  // Inner fold of one leading row, replicating the nested SumNode
+  // addition order (level j sums extent[j] sub-folds left-to-right).
+  double FoldRow(const double* row, size_t* pos, size_t level) const {
+    if (level == pushdown_->extent.size()) return row[(*pos)++];
+    double s = 0;
+    for (uint64_t t = 0; t < pushdown_->extent[level]; ++t) {
+      s += FoldRow(row, pos, level + 1);
+    }
+    return s;
+  }
+  double FoldConst(double c, size_t level) const {
+    if (level == pushdown_->extent.size()) return c;
+    double s = 0;
+    for (uint64_t t = 0; t < pushdown_->extent[level]; ++t) {
+      s += FoldConst(c, level + 1);
+    }
+    return s;
+  }
+
   size_t binder_slot_;
   NodePtr body_, source_;
+  std::unique_ptr<const SumPushdown> pushdown_;
 };
 
 // Compile-time subslab pushdown: a tabulation of the shape
@@ -467,44 +641,31 @@ class SumNode : public Node {
 // subscript-range constraints pushed down into TileStore instead of
 // materializing the whole variable and gathering point-wise.
 struct TabPushdown {
-  Value base;                   // the tiled-array literal (keeps the slab alive)
-  std::vector<uint64_t> lower;  // per-dimension constant offsets
+  Value base;                    // the tiled-array literal (keeps the slab alive)
+  std::vector<uint64_t> lower;   // per-dimension constant offsets
+  std::vector<uint64_t> stride;  // per-dimension strides (>= 1)
 };
 
-// Matches `part` as binder + constant offset (the binder alone, binder+c,
-// or c+binder), where c may be a NatConst or a nat literal. Mirrors the
-// result cache's subslab matcher (service/result_cache.cc); a different
-// binder — a transposed access — fails.
+// Matches `part` as offset + stride·binder in any commutation (the binder
+// alone, binder+c, c+binder, s*binder, and the add-of-mul forms), via the
+// affine single-binder matcher (analysis/affine.h). A different binder — a
+// transposed access — fails. The unit-stride subset mirrors the result
+// cache's subslab matcher (service/result_cache.cc).
 bool MatchPushdownIndexPart(const ExprPtr& part, const std::string& binder,
-                            uint64_t* offset) {
-  auto nat_const = [](const ExprPtr& x, uint64_t* out) {
-    if (x->is(ExprKind::kNatConst)) {
-      *out = x->nat_const();
-      return true;
-    }
-    if (x->is(ExprKind::kLiteral) && x->literal().kind() == ValueKind::kNat) {
-      *out = x->literal().nat_value();
-      return true;
-    }
-    return false;
-  };
-  if (part->is(ExprKind::kVar) && part->var_name() == binder) {
-    *offset = 0;
-    return true;
-  }
-  if (!part->is(ExprKind::kArith) || part->arith_op() != ArithOp::kAdd) return false;
-  const ExprPtr& a = part->child(0);
-  const ExprPtr& b = part->child(1);
-  if (a->is(ExprKind::kVar) && a->var_name() == binder && nat_const(b, offset)) return true;
-  if (b->is(ExprKind::kVar) && b->var_name() == binder && nat_const(a, offset)) return true;
-  return false;
+                            uint64_t* offset, uint64_t* stride) {
+  std::optional<analysis::Affine1D> m = analysis::MatchAffine1D(part);
+  if (!m || m->binder != binder || m->stride == 0) return false;
+  *offset = m->offset;
+  *stride = m->stride;
+  return true;
 }
 
 // Detects the pushdown-eligible tabulation shape at compile time. The base
 // must be a LITERAL tiled array (how a resolved out-of-core readval
 // appears in a plan) so the region is known to come straight from storage;
 // binder names must be distinct so "part j uses binder j" is unambiguous.
-std::unique_ptr<const TabPushdown> TryMatchPushdown(const ExprPtr& e) {
+std::unique_ptr<const TabPushdown> TryMatchPushdown(const ExprPtr& e,
+                                                    analysis::Proof* proof) {
   const ExprPtr& body = e->tab_body();
   if (!body->is(ExprKind::kSubscript)) return nullptr;
   const ExprPtr& base = body->child(0);
@@ -534,8 +695,25 @@ std::unique_ptr<const TabPushdown> TryMatchPushdown(const ExprPtr& e) {
   auto pd = std::make_unique<TabPushdown>();
   pd->base = v;
   pd->lower.resize(k);
+  pd->stride.resize(k);
   for (size_t j = 0; j < k; ++j) {
-    if (!MatchPushdownIndexPart(parts[j], binders[j], &pd->lower[j])) return nullptr;
+    if (!MatchPushdownIndexPart(parts[j], binders[j], &pd->lower[j],
+                                &pd->stride[j])) {
+      return nullptr;
+    }
+  }
+  if (proof != nullptr) {
+    bool unit = true;
+    std::vector<std::string> facts;
+    for (size_t j = 0; j < k; ++j) {
+      if (pd->stride[j] != 1) unit = false;
+      facts.push_back(StrCat("dim ", j, ": index = ", pd->lower[j], " + ",
+                             pd->stride[j], "*", binders[j], " (affine in ",
+                             binders[j], ")"));
+    }
+    proof->Add(unit ? "subslab-pushdown" : "strided-pushdown",
+               StrCat("tab over ", analysis::RenderArrayExpr(base)),
+               std::move(facts));
   }
   return pd;
 }
@@ -578,10 +756,20 @@ class TabNode : public Node {
         EnvU64("AQL_EXEC_PUSHDOWN", 1) != 0) {
       const ArrayRep& base = pushdown_->base.array();
       bool fits = base.dims.size() == k;
+      bool unit = true;
       for (size_t j = 0; fits && j < k; ++j) {
-        fits = dims[j] <= base.dims[j] && pushdown_->lower[j] <= base.dims[j] - dims[j];
+        // Every touched coordinate lower+stride*(dims[j]-1) must be in
+        // range (dims[j] >= 1 here: total > 0), without overflowing.
+        const uint64_t s = pushdown_->stride[j];
+        if (s != 1) unit = false;
+        fits = s >= 1 && dims[j] - 1 <= UINT64_MAX / s;
+        if (fits) {
+          const uint64_t span = s * (dims[j] - 1);
+          fits = span <= base.dims[j] - 1 &&
+                 pushdown_->lower[j] <= base.dims[j] - 1 - span;
+        }
       }
-      if (fits) {
+      if (fits && unit) {
         std::vector<double> buf(total);
         // An I/O failure here is the query's error: the generic path would
         // hit the same failing read element-wise.
@@ -591,6 +779,12 @@ class TabNode : public Node {
         GlobalExecStats().tab_pushdowns.fetch_add(1, std::memory_order_relaxed);
         GlobalExecStats().unboxed_arrays.fetch_add(1, std::memory_order_relaxed);
         return std::move(arr).value();
+      }
+      if (fits) {
+        AQL_ASSIGN_OR_RETURN(Value arr, RunStridedPushdown(dims, total));
+        GlobalExecStats().tab_pushdowns.fetch_add(1, std::memory_order_relaxed);
+        GlobalExecStats().unboxed_arrays.fetch_add(1, std::memory_order_relaxed);
+        return arr;
       }
     }
 
@@ -655,6 +849,61 @@ class TabNode : public Node {
   }
 
  private:
+  // Strided bulk read: one output row at a time, decimating covering
+  // range reads on the last dimension. Bit-identical to the generic
+  // gather (the same tile decode serves both); strides and bounds were
+  // validated by the caller's fits check.
+  Result<Value> RunStridedPushdown(const std::vector<uint64_t>& dims,
+                                   uint64_t total) const {
+    const ArrayRep& base = pushdown_->base.array();
+    const LazyRealSlab& slab = *base.tiled;
+    const size_t k = dims.size();
+    std::vector<double> buf(total);
+    const uint64_t lastn = dims[k - 1];
+    const uint64_t lasts = pushdown_->stride[k - 1];
+    const uint64_t rows = total / lastn;  // lastn >= 1 (total > 0)
+    std::vector<uint64_t> outer(k > 1 ? k - 1 : 0, 0);
+    std::vector<uint64_t> start(k), count(k, 1);
+    std::vector<double> tmp;
+    for (uint64_t r = 0; r < rows; ++r) {
+      AQL_RETURN_IF_ERROR(CheckInterrupt());
+      for (size_t j = 0; j + 1 < k; ++j) {
+        start[j] = pushdown_->lower[j] + pushdown_->stride[j] * outer[j];
+      }
+      double* out = &buf[r * lastn];
+      if (lasts == 1) {
+        start[k - 1] = pushdown_->lower[k - 1];
+        count[k - 1] = lastn;
+        AQL_RETURN_IF_ERROR(slab.ReadInto(start, count, out));
+        count[k - 1] = 1;
+      } else {
+        // Covering reads: fetch [first, last] of each chunk contiguously
+        // and keep every lasts-th element. Chunked so the scratch buffer
+        // stays small for huge strides.
+        constexpr uint64_t kChunk = uint64_t{1} << 16;
+        uint64_t done = 0;
+        while (done < lastn) {
+          const uint64_t take =
+              std::min<uint64_t>(lastn - done, std::max<uint64_t>(1, kChunk / lasts));
+          start[k - 1] = pushdown_->lower[k - 1] + lasts * done;
+          count[k - 1] = lasts * (take - 1) + 1;
+          tmp.resize(count[k - 1]);
+          AQL_RETURN_IF_ERROR(slab.ReadInto(start, count, tmp.data()));
+          for (uint64_t t = 0; t < take; ++t) out[done + t] = tmp[t * lasts];
+          done += take;
+          count[k - 1] = 1;
+        }
+      }
+      for (size_t j = k > 1 ? k - 1 : 0; j-- > 0;) {
+        if (++outer[j] < dims[j]) break;
+        outer[j] = 0;
+      }
+    }
+    auto arr = Value::MakeRealArray(dims, std::move(buf));
+    if (!arr.ok()) return Status::Internal(arr.status().message());
+    return std::move(arr).value();
+  }
+
   static Result<Value> Finish(std::vector<uint64_t> dims, std::vector<Value> elems) {
     auto arr = Value::MakeArray(std::move(dims), std::move(elems));
     if (!arr.ok()) return Status::Internal(arr.status().message());
@@ -946,7 +1195,7 @@ class Compiler {
     scope_ = params;
     high_water_ = params.size();
     AQL_ASSIGN_OR_RETURN(NodePtr root, CompileNode(e));
-    return Program(std::move(root), high_water_);
+    return Program(std::move(root), high_water_, std::move(proof_));
   }
 
  private:
@@ -1093,7 +1342,8 @@ class Compiler {
         auto body = CompileNode(e->child(0));
         Pop();
         AQL_RETURN_IF_ERROR(body.status());
-        return NodePtr(new SumNode(slot, std::move(body).value(), std::move(src)));
+        return NodePtr(new SumNode(slot, std::move(body).value(), std::move(src),
+                                   TryMatchSumPushdown(e, &proof_)));
       }
       case ExprKind::kTab: {
         std::vector<NodePtr> bounds;
@@ -1111,13 +1361,13 @@ class Compiler {
               [this](const std::string& name) { return Lookup(name); });
           // Attach in-range/nonzero proofs so instantiation can admit the
           // unchecked evaluators (analysis/absint.h; once per compile).
-          if (spec != nullptr) AnnotateKernelSpec(*e, spec.get());
+          if (spec != nullptr) AnnotateKernelSpec(*e, spec.get(), &proof_);
         }
         Pop(e->tab_rank());
         AQL_RETURN_IF_ERROR(body.status());
         return NodePtr(new TabNode(std::move(slots), std::move(body).value(),
                                    std::move(bounds), std::move(spec),
-                                   TryMatchPushdown(e)));
+                                   TryMatchPushdown(e, &proof_)));
       }
       case ExprKind::kSubscript: {
         AQL_ASSIGN_OR_RETURN(NodePtr arr, CompileNode(e->child(0)));
@@ -1178,6 +1428,11 @@ class Compiler {
     inner.scope_.push_back(e->binder());
     inner.high_water_ = inner.scope_.size();
     AQL_ASSIGN_OR_RETURN(NodePtr body, inner.CompileNode(e->child(0)));
+    // Proof entries produced inside the lambda body belong to the whole
+    // program's certificate.
+    for (analysis::ProofEntry& pe : inner.proof_.entries) {
+      proof_.entries.push_back(std::move(pe));
+    }
     return NodePtr(
         new LambdaNode(std::move(capture_slots), std::move(body), inner.high_water_));
   }
@@ -1185,6 +1440,7 @@ class Compiler {
   const ExternalResolver& externals_;
   std::vector<std::string> scope_;
   size_t high_water_ = 0;
+  analysis::Proof proof_;
 };
 
 }  // namespace

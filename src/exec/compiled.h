@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/affine.h"
 #include "base/result.h"
 #include "core/expr.h"
 #include "object/value.h"
@@ -56,8 +57,10 @@ using NodePtr = std::unique_ptr<const Node>;
 
 class Program {
  public:
-  Program(NodePtr root, size_t frame_size)
-      : root_(std::move(root)), frame_size_(frame_size) {}
+  Program(NodePtr root, size_t frame_size, analysis::Proof proof = {})
+      : root_(std::move(root)),
+        frame_size_(frame_size),
+        proof_(std::move(proof)) {}
 
   // Executes the program; `args` (if any) pre-populate the first slots —
   // used when compiling open expressions whose free variables are
@@ -66,9 +69,16 @@ class Program {
 
   size_t frame_size() const { return frame_size_; }
 
+  // The proof certificate accumulated at compile time: which affine /
+  // absint facts justified which plan optimizations (pushdowns, pruned
+  // aggregates, unchecked kernels). Surfaced by REPL `:explain` and the
+  // `?trace=1` profile.
+  const analysis::Proof& proof() const { return proof_; }
+
  private:
   NodePtr root_;
   size_t frame_size_;
+  analysis::Proof proof_;
 };
 
 // Resolves a registered external primitive name, or nullptr.

@@ -1,8 +1,12 @@
 #include "exec/kernel.h"
 
 #include <cmath>
+#include <optional>
+#include <string>
 
 #include "analysis/absint.h"
+#include "analysis/affine.h"
+#include "base/strings.h"
 
 namespace aql {
 namespace exec {
@@ -197,30 +201,31 @@ bool DivisorProvenNonzero(const ExprPtr& d, const analysis::SymEnv& env) {
 // Walks the body expression and its spec in lockstep (BuildSpec maps the
 // admitted fragment one-to-one), attaching proofs under the environment
 // of tabulation-binder bounds and enclosing guard conditions.
-void AnnotateNode(const ExprPtr& e, const analysis::SymEnv& env, KernelSpec* spec) {
+void AnnotateNode(const ExprPtr& e, const analysis::SymEnv& env, KernelSpec* spec,
+                  analysis::Proof* proof) {
   switch (spec->op) {
     case KernelSpec::Op::kArith: {
       if (!e->is(ExprKind::kArith) || spec->kids.size() != 2) return;
       if (e->arith_op() == ArithOp::kDiv || e->arith_op() == ArithOp::kMod) {
         spec->div_safe = DivisorProvenNonzero(e->child(1), env);
       }
-      AnnotateNode(e->child(0), env, &spec->kids[0]);
-      AnnotateNode(e->child(1), env, &spec->kids[1]);
+      AnnotateNode(e->child(0), env, &spec->kids[0], proof);
+      AnnotateNode(e->child(1), env, &spec->kids[1], proof);
       return;
     }
     case KernelSpec::Op::kCmp: {
       if (!e->is(ExprKind::kCmp) || spec->kids.size() != 2) return;
-      AnnotateNode(e->child(0), env, &spec->kids[0]);
-      AnnotateNode(e->child(1), env, &spec->kids[1]);
+      AnnotateNode(e->child(0), env, &spec->kids[0], proof);
+      AnnotateNode(e->child(1), env, &spec->kids[1], proof);
       return;
     }
     case KernelSpec::Op::kIf: {
       if (!e->is(ExprKind::kIf) || spec->kids.size() != 3) return;
-      AnnotateNode(e->child(0), env, &spec->kids[0]);
+      AnnotateNode(e->child(0), env, &spec->kids[0], proof);
       analysis::SymEnv then_env = env;
       then_env.true_conds.push_back(e->child(0));
-      AnnotateNode(e->child(1), then_env, &spec->kids[1]);
-      AnnotateNode(e->child(2), env, &spec->kids[2]);
+      AnnotateNode(e->child(1), then_env, &spec->kids[1], proof);
+      AnnotateNode(e->child(2), env, &spec->kids[2], proof);
       return;
     }
     case KernelSpec::Op::kSubscript: {
@@ -237,14 +242,44 @@ void AnnotateNode(const ExprPtr& e, const analysis::SymEnv& env, KernelSpec* spe
       }
       spec->idx_proven.assign(k, 0);
       spec->idx_ub.assign(k, 0);
+      std::vector<std::string> affine_facts;
       for (size_t j = 0; j < k; ++j) {
-        spec->idx_proven[j] =
-            analysis::ProveLt(parts[j], analysis::DimExtentExpr(e->child(0), j, k),
-                              env)
-                ? 1
-                : 0;
-        spec->idx_ub[j] = analysis::ConstUpperBound(parts[j], env).value_or(0);
-        AnnotateNode(parts[j], env, &spec->kids[1 + j]);
+        const ExprPtr ext = analysis::DimExtentExpr(e->child(0), j, k);
+        spec->idx_proven[j] = analysis::ProveLt(parts[j], ext, env) ? 1 : 0;
+        // Take the tighter of the syntactic and the relational bound: the
+        // affine interval sees through cancellation (`i*2 - i`) and exact
+        // division (`(i*4)/2`) that ConstUpperBound folds away to ⊤.
+        const uint64_t cub = analysis::ConstUpperBound(parts[j], env).value_or(0);
+        const std::optional<uint64_t> aub = analysis::AffineUpperBound(parts[j], env);
+        uint64_t ub = cub;
+        bool affine_used = false;
+        if (aub.has_value() && (cub == 0 || *aub < cub)) {
+          ub = *aub;
+          affine_used = true;
+        }
+        spec->idx_ub[j] = ub;
+        if (spec->idx_proven[j] == 0 && aub.has_value() &&
+            ext->is(ExprKind::kNatConst) && *aub <= ext->nat_const()) {
+          spec->idx_proven[j] = 1;
+          affine_used = true;
+        }
+        if (affine_used) {
+          std::string fact = StrCat("dim ", j, ": index ",
+                                    analysis::AffineOf(parts[j], env).ToString());
+          if (spec->idx_proven[j] && ext->is(ExprKind::kNatConst)) {
+            fact += StrCat(" proves in-bounds vs extent ", ext->nat_const());
+          } else {
+            fact += StrCat(", affine upper bound ", ub);
+          }
+          affine_facts.push_back(std::move(fact));
+        }
+        AnnotateNode(parts[j], env, &spec->kids[1 + j], proof);
+      }
+      if (proof != nullptr && !affine_facts.empty()) {
+        proof->Add("unchecked-kernel-bounds",
+                   StrCat("subscript of ",
+                          analysis::RenderArrayExpr(e->child(0))),
+                   std::move(affine_facts));
       }
       return;
     }
@@ -255,12 +290,12 @@ void AnnotateNode(const ExprPtr& e, const analysis::SymEnv& env, KernelSpec* spe
 
 }  // namespace
 
-void AnnotateKernelSpec(const Expr& tab, KernelSpec* spec) {
+void AnnotateKernelSpec(const Expr& tab, KernelSpec* spec, analysis::Proof* proof) {
   if (!tab.is(ExprKind::kTab)) return;
   analysis::SymEnv env;
   ExprPtr tab_ptr = tab.shared_from_this();
   analysis::AddBinderFacts(tab_ptr, 0, &env);  // binders below their bounds
-  AnnotateNode(tab.tab_body(), env, spec);
+  AnnotateNode(tab.tab_body(), env, spec, proof);
 }
 
 // ---------- runtime instantiation ----------

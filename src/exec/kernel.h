@@ -107,7 +107,12 @@ std::unique_ptr<KernelSpec> BuildKernelSpec(const Expr& body,
 // in its then-branch. Sound because the kernel fragment introduces no
 // binders of its own — a name means the same frame slot everywhere — and
 // the loop extents are the evaluated bounds. Called once at compile time.
-void AnnotateKernelSpec(const Expr& tab, KernelSpec* spec);
+// The relational affine domain (analysis/affine.h) tightens idx_ub and
+// proves in-bounds where the syntactic provers give up (cancellation,
+// exact division); when an affine fact is what closed the proof, an
+// "unchecked-kernel-bounds" certificate is appended to `proof`.
+void AnnotateKernelSpec(const Expr& tab, KernelSpec* spec,
+                        analysis::Proof* proof = nullptr);
 
 // A spec instantiated against one concrete frame: fully typed, slot
 // scalars frozen to constants, subscript targets resolved to raw unboxed

@@ -84,6 +84,29 @@ class LazyRealSlab {
   // Stable identity hash over (dataset, region) — NOT content. See
   // HashValue: hashing must never do I/O.
   virtual uint64_t ProvenanceHash() const = 0;
+
+  // Zone-map queries for aggregate pruning (no I/O; answered from
+  // metadata the implementation already holds, never by reading tiles).
+  //
+  // ConstantRowRun: if every element whose leading coordinate lies in
+  // [row, row+run) is one non-NaN constant, returns run > 0 and stores the
+  // constant; returns 0 when unknown (cold metadata, NaN, or mixed
+  // values). Implementations count successful calls as prunes.
+  virtual uint64_t ConstantRowRun(uint64_t row, double* value) const {
+    (void)row;
+    (void)value;
+    return 0;
+  }
+  // ZoneRowRun: min/max (and constancy) over the same leading-row run;
+  // 0 when unknown or when the bounds are NaN-poisoned.
+  virtual uint64_t ZoneRowRun(uint64_t row, double* min, double* max,
+                              bool* constant) const {
+    (void)row;
+    (void)min;
+    (void)max;
+    (void)constant;
+    return 0;
+  }
 };
 
 // k-dimensional array: dims.size() == k >= 1, Count() == product(dims),

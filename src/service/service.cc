@@ -154,6 +154,7 @@ Result<Value> QueryService::RunQuery(const std::string& expression,
   const bool watch_slow = config_.slow_query_us > 0;
   std::optional<obs::TraceCapture> capture;
   if (watch_slow || options.profile_out != nullptr) capture.emplace();
+  std::string proof_text;  // plan proof certificates for the ?trace=1 report
 
   auto run_timed = [&]() -> Result<Value> {
     obs::Span root("query", "query");
@@ -182,6 +183,10 @@ Result<Value> QueryService::RunQuery(const std::string& expression,
     AQL_ASSIGN_OR_RETURN(std::shared_ptr<const CachedPlan> plan,
                          GetPlan(expression, resolved, options.use_plan_cache));
     compile_us_->Record(ElapsedUs(compile_start));
+    if (options.profile_out != nullptr && plan->program != nullptr &&
+        !plan->program->proof().empty()) {
+      proof_text = plan->program->proof().ToString();
+    }
 
     auto execute_start = std::chrono::steady_clock::now();
     Result<Value> result = options.use_compiled_backend
@@ -201,6 +206,9 @@ Result<Value> QueryService::RunQuery(const std::string& expression,
     std::vector<obs::SpanRecord> records = capture->TakeRecords();
     if (options.profile_out != nullptr) {
       *options.profile_out = obs::Profile::Build(records).ToString();
+      if (!proof_text.empty()) {
+        *options.profile_out += "optimization proofs:\n" + proof_text;
+      }
     }
     if (watch_slow && total_us > config_.slow_query_us) {
       slow_queries_->Increment();
@@ -354,6 +362,7 @@ void QueryService::SyncExecStats() const {
   sync_value("storage.tile.misses", ts.misses);
   sync_value("storage.tile.evictions", ts.evictions);
   sync_value("storage.tile.zone_fills", ts.zone_fills);
+  sync_value("storage.tile.prunes", ts.prunes);
   sync_value("storage.tile.read_errors", ts.read_errors);
   metrics_.GetGauge("storage.tile.bytes")->Set(ts.bytes);
   metrics_.GetGauge("storage.tile.entries")->Set(ts.entries);
@@ -375,7 +384,7 @@ std::string QueryService::StatsReport() const {
   out += StrCat("tile cache: ", ts.entries, " tiles, ", ts.bytes, "/",
                 storage::TileStore::Global().Budget(), " bytes (", ts.hits,
                 " hits, ", ts.misses, " misses, ", ts.evictions,
-                " evictions)\n");
+                " evictions, ", ts.prunes, " prunes)\n");
   out += metrics_.Report();
   return out;
 }

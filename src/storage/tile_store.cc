@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "base/env.h"
 #include "base/strings.h"
@@ -170,6 +172,42 @@ class TiledSlab : public LazyRealSlab {
   }
 
   uint64_t ProvenanceHash() const override { return hash_; }
+
+  // Zone-map pruning hooks (object/value.h): answered from the dataset's
+  // zone entries — populated as tiles load, surviving eviction — so a
+  // repeated aggregate over a constant region does zero tile I/O. The
+  // tile-wide constant covers any trailing-dimension sub-view; NaN
+  // constants are refused (the caller's fold could not reproduce the
+  // generic path's NaN payload bit-for-bit through comparisons).
+  uint64_t ConstantRowRun(uint64_t row, double* value) const override {
+    if (row >= dims_[0]) return 0;
+    const uint64_t g = lower_[0] + row;
+    ZoneMap zone;
+    const uint64_t run = store_->ZoneRun(ds_, g, &zone);
+    if (run == 0 || !zone.constant) return 0;
+    double v;
+    std::memcpy(&v, &zone.constant_bits, sizeof(v));
+    if (std::isnan(v)) return 0;
+    *value = v;
+    store_->CountPrune();
+    return std::min(run, dims_[0] - row);
+  }
+
+  // Conservative per-row bounds: the zone min/max cover the WHOLE tile,
+  // so for a trailing-dimension sub-view they are outer bounds, which is
+  // the direction range pruning needs. NaN-poisoned zones report unknown.
+  uint64_t ZoneRowRun(uint64_t row, double* min, double* max,
+                      bool* constant) const override {
+    if (row >= dims_[0]) return 0;
+    const uint64_t g = lower_[0] + row;
+    ZoneMap zone;
+    const uint64_t run = store_->ZoneRun(ds_, g, &zone);
+    if (run == 0 || std::isnan(zone.min) || std::isnan(zone.max)) return 0;
+    *min = zone.min;
+    *max = zone.max;
+    *constant = zone.constant;
+    return std::min(run, dims_[0] - row);
+  }
 
  private:
   // Copies the rectangular tail region (m = rank-1 trailing dimensions,
@@ -390,12 +428,22 @@ Result<std::shared_ptr<const std::vector<double>>> TileStore::GetTile(
   zone.max = (*data)[0];
   zone.constant = true;
   zone.constant_bits = first_bits;
+  bool poisoned = false;
   for (double d : *data) {
+    if (std::isnan(d)) poisoned = true;
     if (d < zone.min) zone.min = d;
     if (d > zone.max) zone.max = d;
     uint64_t bits;
     std::memcpy(&bits, &d, sizeof(bits));
     if (bits != first_bits) zone.constant = false;
+  }
+  // A NaN anywhere in the tile poisons the bounds: ordered comparisons
+  // ignore NaN, so min/max would silently exclude it and a range prune
+  // would be unsound. (Constancy is bitwise, so constant refill is still
+  // exact even for an all-NaN tile.)
+  if (poisoned) {
+    zone.min = std::numeric_limits<double>::quiet_NaN();
+    zone.max = std::numeric_limits<double>::quiet_NaN();
   }
 
   MutexLock lock(&mu_);
@@ -434,6 +482,24 @@ std::shared_ptr<const std::vector<double>> TileStore::InsertTile(
     ++stats_.evictions;
   }
   return data;
+}
+
+uint64_t TileStore::ZoneRun(const std::shared_ptr<const Dataset>& ds, uint64_t row,
+                            ZoneMap* zone) {
+  if (row >= ds->shape[0]) return 0;
+  const uint64_t tile = row / ds->rows_per_tile;
+  {
+    MutexLock lock(&mu_);
+    auto it = ds->zones.find(tile);
+    if (it == ds->zones.end()) return 0;
+    *zone = it->second;
+  }
+  return ds->FirstRow(tile) + ds->RowsInTile(tile) - row;
+}
+
+void TileStore::CountPrune() {
+  MutexLock lock(&mu_);
+  ++stats_.prunes;
 }
 
 TileStoreStats TileStore::stats() const {

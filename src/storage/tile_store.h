@@ -53,6 +53,7 @@ struct TileStoreStats {
   uint64_t misses = 0;      // tile loaded from the file
   uint64_t evictions = 0;   // tiles evicted to stay under budget
   uint64_t zone_fills = 0;  // constant tiles refilled from the zone map, no I/O
+  uint64_t prunes = 0;      // aggregate reads answered from a zone map, no tile
   uint64_t read_errors = 0; // tile loads that failed (I/O or format)
   uint64_t bytes = 0;       // resident tile bytes (≤ budget)
   uint64_t entries = 0;     // resident tile count
@@ -128,6 +129,16 @@ class TileStore {
   std::shared_ptr<const std::vector<double>> InsertTile(
       const TileKey& key, std::shared_ptr<const std::vector<double>> data)
       AQL_REQUIRES(mu_);
+
+  // Zone lookup for aggregate pruning: fills `zone` for the tile holding
+  // global row `row` and returns the number of rows from `row` through the
+  // end of that tile; 0 when no zone entry exists yet (tile never loaded).
+  // No I/O, one short critical section.
+  uint64_t ZoneRun(const std::shared_ptr<const Dataset>& ds, uint64_t row,
+                   ZoneMap* zone);
+
+  // Records one zone-answered aggregate read (storage.tile.prunes).
+  void CountPrune();
 
   const uint64_t max_bytes_;
 

@@ -12,7 +12,12 @@
 #include <random>
 #include <thread>
 
+#include <cmath>
+#include <limits>
+
+#include "core/expr.h"
 #include "env/system.h"
+#include "exec/compiled.h"
 #include "exec/parallel.h"
 #include "gtest/gtest.h"
 #include "netcdf/reader.h"
@@ -383,6 +388,274 @@ TEST(OutOfCore, SubslabPushdownSkipsUntouchedTiles) {
       EXPECT_EQ(arr.At(i * 8 + j), Value::Real(double((i + 8) * 1000 + j + 4)));
     }
   }
+  std::remove(path.c_str());
+}
+
+// ---- zone-map min/max (the pruning metadata) ----
+
+TEST(TileStore, ZoneRowRunReportsTileBounds) {
+  std::string path = TempPath("aql_storage_zonebounds.nc");
+  WriteGrid(path, 32, 8);
+  ScopedEnv tile("AQL_TILE_BYTES", "512");  // 8 rows of 8 doubles per tile
+
+  TileStore store;
+  auto slab = store.OpenSlab(path, "v", {0, 0}, {32, 8});
+  ASSERT_TRUE(slab.ok());
+
+  double mn = 0, mx = 0;
+  bool constant = true;
+  // Zones exist only after a tile has loaded at least once.
+  EXPECT_EQ((*slab)->ZoneRowRun(0, &mn, &mx, &constant), 0u);
+
+  std::vector<double> out(32 * 8);
+  ASSERT_TRUE((*slab)->ReadInto({0, 0}, {32, 8}, out.data()).ok());
+
+  // Tile 0 covers rows [0, 8): min is (0,0)=0, max is (7,7)=7007.
+  ASSERT_EQ((*slab)->ZoneRowRun(0, &mn, &mx, &constant), 8u);
+  EXPECT_EQ(mn, 0.0);
+  EXPECT_EQ(mx, 7007.0);
+  EXPECT_FALSE(constant);
+  // Mid-tile: the run is what remains of the tile.
+  EXPECT_EQ((*slab)->ZoneRowRun(5, &mn, &mx, &constant), 3u);
+  // Tile 2 covers rows [16, 24).
+  ASSERT_EQ((*slab)->ZoneRowRun(16, &mn, &mx, &constant), 8u);
+  EXPECT_EQ(mn, 16000.0);
+  EXPECT_EQ(mx, 23007.0);
+  // Past the end: nothing.
+  EXPECT_EQ((*slab)->ZoneRowRun(32, &mn, &mx, &constant), 0u);
+  // The grid is not constant anywhere, so no constant-run prune.
+  double c = 0;
+  EXPECT_EQ((*slab)->ConstantRowRun(0, &c), 0u);
+  EXPECT_EQ(store.stats().prunes, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TileStore, ZoneRowRunSurvivesEviction) {
+  std::string path = TempPath("aql_storage_zoneevict.nc");
+  WriteGrid(path, 32, 16);
+  ScopedEnv tile("AQL_TILE_BYTES", "512");  // 4 rows per tile, 8 tiles
+
+  // Budget of ~1 tile: the full scan evicts everything but the last tile,
+  // yet every tile's zone map stays behind on the dataset.
+  TileStore store(/*max_bytes=*/1000);
+  auto slab = store.OpenSlab(path, "v", {0, 0}, {32, 16});
+  ASSERT_TRUE(slab.ok());
+  std::vector<double> out(32 * 16);
+  ASSERT_TRUE((*slab)->ReadInto({0, 0}, {32, 16}, out.data()).ok());
+  ASSERT_GT(store.stats().evictions, 0u);
+
+  double mn = 0, mx = 0;
+  bool constant = true;
+  ASSERT_EQ((*slab)->ZoneRowRun(0, &mn, &mx, &constant), 4u)
+      << "zones must survive tile eviction";
+  EXPECT_EQ(mn, 0.0);
+  EXPECT_EQ(mx, 3015.0);  // (3, 15)
+  ASSERT_EQ((*slab)->ZoneRowRun(28, &mn, &mx, &constant), 4u);
+  EXPECT_EQ(mx, 31015.0);
+  std::remove(path.c_str());
+}
+
+TEST(TileStore, NaNPoisonsZoneBoundsButNotBitwiseConstancy) {
+  std::string path = TempPath("aql_storage_zonenan.nc");
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  // 24 x 8, three 8-row tiles under 512-byte tiles:
+  //   tile 0: rows 0..7 varied, with one NaN at (1, 1)
+  //   tile 1: rows 8..15 constant 2.5
+  //   tile 2: rows 16..23 all the SAME NaN bit pattern
+  std::vector<double> data(24 * 8);
+  for (uint64_t i = 0; i < 24; ++i) {
+    for (uint64_t j = 0; j < 8; ++j) {
+      data[i * 8 + j] = i < 8 ? double(i * 1000 + j) : (i < 16 ? 2.5 : qnan);
+    }
+  }
+  data[1 * 8 + 1] = qnan;
+  netcdf::NcWriter w(1);
+  uint32_t r = w.AddDim("row", 24);
+  uint32_t c = w.AddDim("col", 8);
+  w.AddVar("v", netcdf::NcType::kDouble, {r, c}, std::move(data));
+  ASSERT_TRUE(w.WriteFile(path).ok());
+  ScopedEnv tile("AQL_TILE_BYTES", "512");
+
+  TileStore store;
+  auto slab = store.OpenSlab(path, "v", {0, 0}, {24, 8});
+  ASSERT_TRUE(slab.ok());
+  std::vector<double> out(24 * 8);
+  ASSERT_TRUE((*slab)->ReadInto({0, 0}, {24, 8}, out.data()).ok());
+
+  double mn = 0, mx = 0, cv = 0;
+  bool constant = false;
+  // Tile 0: one NaN poisons the bounds — ordered min/max would silently
+  // exclude it, so the slab must report "unknown" rather than bounds.
+  EXPECT_EQ((*slab)->ZoneRowRun(0, &mn, &mx, &constant), 0u);
+  EXPECT_EQ((*slab)->ConstantRowRun(0, &cv), 0u);
+  // Tile 1: clean constant — bounds and constant-run both answer.
+  ASSERT_EQ((*slab)->ZoneRowRun(8, &mn, &mx, &constant), 8u);
+  EXPECT_EQ(mn, 2.5);
+  EXPECT_EQ(mx, 2.5);
+  EXPECT_TRUE(constant);
+  uint64_t prunes_before = store.stats().prunes;
+  ASSERT_EQ((*slab)->ConstantRowRun(8, &cv), 8u);
+  EXPECT_EQ(cv, 2.5);
+  EXPECT_GT(store.stats().prunes, prunes_before);
+  // Tile 2: bitwise-constant NaN. The zone knows it is constant (the
+  // store's constant REFILL is bitwise and stays exact) but the pruning
+  // hooks refuse it: no bounds, no constant-run.
+  EXPECT_EQ((*slab)->ZoneRowRun(16, &mn, &mx, &constant), 0u);
+  EXPECT_EQ((*slab)->ConstantRowRun(16, &cv), 0u);
+  std::remove(path.c_str());
+}
+
+// ---- directed pushdown regressions: commuted, bare, strided indices ----
+
+TEST(OutOfCore, PushdownMatchesCommutedBareAndStridedIndices) {
+  std::string path = TempPath("aql_storage_pdforms.nc");
+  WriteGrid(path, 64, 16);
+  std::string read_stmt = "readval \\S using NETCDF2 at (\"" + path +
+                          "\", \"v\", (0, 0), (63, 15));";
+  ScopedEnv thr("AQL_TILED_READ_THRESHOLD", "1");
+  ScopedEnv tb("AQL_TILE_BYTES", "2048");  // 16 rows per tile
+
+  struct Case {
+    const char* window;
+    // expected element at output (i, j)
+    uint64_t (*at)(uint64_t, uint64_t);
+  };
+  const Case cases[] = {
+      // Commuted offset: lo + i instead of i + lo.
+      {"[[ S[8 + i, j] | \\i < 4, \\j < 8 ]]",
+       [](uint64_t i, uint64_t j) { return (i + 8) * 1000 + j; }},
+      // Bare binder: no offset at all.
+      {"[[ S[i, j] | \\i < 4, \\j < 8 ]]",
+       [](uint64_t i, uint64_t j) { return i * 1000 + j; }},
+      // Strided: 2*i + 8 sweeps rows 8, 10, ..., 14.
+      {"[[ S[2 * i + 8, j] | \\i < 4, \\j < 8 ]]",
+       [](uint64_t i, uint64_t j) { return (2 * i + 8) * 1000 + j; }},
+      // Stride on the trailing axis too.
+      {"[[ S[i + 8, 2 * j] | \\i < 4, \\j < 8 ]]",
+       [](uint64_t i, uint64_t j) { return (i + 8) * 1000 + 2 * j; }},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.window);
+    Value with_pd, without_pd;
+    uint64_t pd_before = exec::GlobalExecStats().tab_pushdowns.load();
+    {
+      TileStore::Global().Clear();
+      SystemConfig cfg;
+      cfg.optimize = false;
+      System sys(cfg);
+      ASSERT_TRUE(sys.Run(read_stmt).ok());
+      auto compiled = sys.Compile(c.window);
+      ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+      ScopedEnv pd("AQL_EXEC_PUSHDOWN", "1");
+      auto v = sys.EvalCoreCompiled(*compiled);
+      ASSERT_TRUE(v.ok()) << v.status().ToString();
+      with_pd = *v;
+    }
+    EXPECT_GT(exec::GlobalExecStats().tab_pushdowns.load(), pd_before)
+        << "window must compile to a pushdown";
+    {
+      TileStore::Global().Clear();
+      SystemConfig cfg;
+      cfg.optimize = false;
+      System sys(cfg);
+      ASSERT_TRUE(sys.Run(read_stmt).ok());
+      auto compiled = sys.Compile(c.window);
+      ASSERT_TRUE(compiled.ok());
+      ScopedEnv pd("AQL_EXEC_PUSHDOWN", "0");
+      auto v = sys.EvalCoreCompiled(*compiled);
+      ASSERT_TRUE(v.ok()) << v.status().ToString();
+      without_pd = *v;
+    }
+    EXPECT_EQ(with_pd, without_pd) << "pushdown must be bit-identical";
+    const auto& arr = with_pd.array();
+    ASSERT_EQ(arr.dims, (std::vector<uint64_t>{4, 8}));
+    for (uint64_t i = 0; i < 4; ++i) {
+      for (uint64_t j = 0; j < 8; ++j) {
+        EXPECT_EQ(arr.At(i * 8 + j), Value::Real(double(c.at(i, j))))
+            << "(" << i << ", " << j << ")";
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// ---- aggregate pruning over zone maps ----
+
+TEST(OutOfCore, PrunedAggregateSkipsConstantTiles) {
+  std::string path = TempPath("aql_storage_prune.nc");
+  // 64 x 16: rows [0, 48) constant 1.5 (three 16-row tiles under 2 KiB
+  // tiles), rows [48, 64) varied (one tile).
+  std::vector<double> data(64 * 16);
+  for (uint64_t i = 0; i < 64; ++i) {
+    for (uint64_t j = 0; j < 16; ++j) {
+      data[i * 16 + j] = i < 48 ? 1.5 : double(i * 1000 + j);
+    }
+  }
+  netcdf::NcWriter w(1);
+  uint32_t r = w.AddDim("row", 64);
+  uint32_t c = w.AddDim("col", 16);
+  w.AddVar("v", netcdf::NcType::kDouble, {r, c}, std::move(data));
+  ASSERT_TRUE(w.WriteFile(path).ok());
+
+  ScopedEnv thr("AQL_TILED_READ_THRESHOLD", "1");
+  ScopedEnv tb("AQL_TILE_BYTES", "2048");
+  TileStore::Global().Clear();
+
+  SystemConfig cfg;
+  cfg.optimize = false;
+  System sys(cfg);
+  auto rd = sys.Run("readval \\S using NETCDF2 at (\"" + path +
+                    "\", \"v\", (0, 0), (63, 15));");
+  ASSERT_TRUE(rd.ok()) << rd.status().ToString();
+  const Value& tiled = rd->back().value;
+  ASSERT_EQ(tiled.array().payload, ArrayRep::Payload::kTiled);
+
+  // sum k < 64. sum l < 16. S[k, l] — built directly in core form (the
+  // exact nest TryMatchSumPushdown targets).
+  ExprPtr body = Expr::Subscript(
+      Expr::Literal(tiled), Expr::Tuple({Expr::Var("k"), Expr::Var("l")}));
+  ExprPtr nest = Expr::Sum(
+      "k", Expr::Sum("l", std::move(body), Expr::Gen(Expr::NatConst(16))),
+      Expr::Gen(Expr::NatConst(64)));
+  auto program = exec::Compile(nest, sys.PrimitiveResolver());
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  bool certified = false;
+  for (const auto& e : program->proof().entries) {
+    if (e.optimization == "aggregate-prune") certified = true;
+  }
+  EXPECT_TRUE(certified) << program->proof().ToString();
+
+  // First run: zones are cold, the fold reads every row (and warms them).
+  Value first, second, generic;
+  {
+    ScopedEnv pd("AQL_EXEC_PUSHDOWN", "1");
+    auto v1 = program->Run();
+    ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+    first = *v1;
+    // Second run: the three constant tiles answer from their zone maps.
+    uint64_t prunes_before = TileStore::Global().stats().prunes;
+    auto v2 = program->Run();
+    ASSERT_TRUE(v2.ok());
+    second = *v2;
+    EXPECT_GT(TileStore::Global().stats().prunes, prunes_before)
+        << "constant tiles must be answered from zone maps";
+  }
+  {
+    ScopedEnv pd("AQL_EXEC_PUSHDOWN", "0");
+    auto v = program->Run();
+    ASSERT_TRUE(v.ok()) << v.status().ToString();
+    generic = *v;
+  }
+  EXPECT_EQ(first, generic) << "cold pruned fold must be bit-identical";
+  EXPECT_EQ(second, generic) << "warm pruned fold must be bit-identical";
+  // And the value is right, independently.
+  double expect = 48.0 * 16 * 1.5;
+  for (uint64_t i = 48; i < 64; ++i) {
+    double row = 0;
+    for (uint64_t j = 0; j < 16; ++j) row += double(i * 1000 + j);
+    expect += row;
+  }
+  EXPECT_EQ(first, Value::Real(expect));
   std::remove(path.c_str());
 }
 
